@@ -1,0 +1,188 @@
+// Experiments A1–A3 — quantifying the paper's §2 critiques.
+//
+// All four composition disciplines (SCI, Context Toolkit, Solar, iQueue)
+// consume the same churn feed; counters report:
+//   availability   — fraction of churn steps during which the application
+//                    receives the requested context;
+//   work           — components built / rewires / full rebuilds.
+//
+// BM_ChurnAvailability/<fw>/R — R% of steps remove a live source, the rest
+//                               add one (alternating door- and wlan-style
+//                               sources so semantic matching matters).
+// BM_SemanticOutage/<fw>      — the iQueue scenario verbatim: all door
+//                               sensors die, only wlan sources remain.
+// BM_AdaptationCost/<fw>      — work performed per 1000 churn events.
+//
+// Expected shape: SCI availability strictly dominates; Context Toolkit pays
+// full-rebuild costs; iQueue matches SCI's availability only while
+// same-named sources exist and collapses in the semantic-outage scenario.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/frameworks.h"
+#include "common/rng.h"
+#include "entity/sensors.h"
+
+namespace {
+
+using namespace sci;
+using baselines::Framework;
+using compose::RequestedType;
+
+const entity::TypeSig kDoorLocation{"door.location", "", "position"};
+const entity::TypeSig kWlanLocation{"wlan.location", "", "position"};
+const RequestedType kWant{"door.location", "", "position"};
+
+entity::Profile source(Guid id, const entity::TypeSig& output) {
+  entity::Profile p;
+  p.entity = id;
+  p.name = "src";
+  p.outputs.push_back(output);
+  return p;
+}
+
+std::unique_ptr<Framework> make_framework(
+    int kind, const compose::SemanticRegistry* registry) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<baselines::SciFramework>(registry);
+    case 1:
+      return std::make_unique<baselines::ContextToolkitFramework>(registry, 3);
+    case 2:
+      return std::make_unique<baselines::SolarFramework>(registry, 2);
+    default:
+      return std::make_unique<baselines::IQueueFramework>(registry);
+  }
+}
+
+void BM_ChurnAvailability(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const double removal_fraction =
+      static_cast<double>(state.range(1)) / 100.0;
+  compose::SemanticRegistry registry;
+  std::uint64_t up_steps = 0;
+  std::uint64_t steps = 0;
+  std::string name;
+  for (auto _ : state) {
+    auto framework = make_framework(kind, &registry);
+    name = framework->name();
+    Rng rng(42);
+    std::vector<Guid> live;
+    const Guid first = Guid::random(rng);
+    live.push_back(first);
+    framework->init({source(first, kDoorLocation)}, kWant);
+    bool next_is_door = false;
+    for (int step = 0; step < 1000; ++step) {
+      if (!live.empty() && rng.next_bool(removal_fraction)) {
+        const std::size_t victim = rng.next_below(live.size());
+        framework->on_departure(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      } else {
+        const Guid id = Guid::random(rng);
+        framework->on_arrival(
+            source(id, next_is_door ? kDoorLocation : kWlanLocation));
+        next_is_door = !next_is_door;
+        live.push_back(id);
+      }
+      if (framework->available()) ++up_steps;
+      ++steps;
+    }
+  }
+  state.SetLabel(name);
+  state.counters["removal_pct"] = static_cast<double>(state.range(1));
+  state.counters["availability"] =
+      steps > 0 ? static_cast<double>(up_steps) / static_cast<double>(steps)
+                : 0.0;
+}
+
+void BM_SemanticOutage(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  compose::SemanticRegistry registry;
+  std::string name;
+  std::uint64_t survived = 0;
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    auto framework = make_framework(kind, &registry);
+    name = framework->name();
+    Rng rng(7);
+    // Start: three door sensors and three wlan sources.
+    std::vector<entity::Profile> initial;
+    std::vector<Guid> doors;
+    for (int i = 0; i < 3; ++i) {
+      const Guid id = Guid::random(rng);
+      doors.push_back(id);
+      initial.push_back(source(id, kDoorLocation));
+    }
+    for (int i = 0; i < 3; ++i) {
+      initial.push_back(source(Guid::random(rng), kWlanLocation));
+    }
+    framework->init(initial, kWant);
+    // Outage: every door sensor dies.
+    for (const Guid door : doors) framework->on_departure(door);
+    // Give laggy frameworks a few more changes to react.
+    for (int i = 0; i < 4; ++i) {
+      framework->on_arrival(source(Guid::random(rng), kWlanLocation));
+    }
+    if (framework->available()) ++survived;
+    ++trials;
+  }
+  state.SetLabel(name);
+  state.counters["survives_outage"] =
+      trials > 0 ? static_cast<double>(survived) / static_cast<double>(trials)
+                 : 0.0;
+}
+
+void BM_AdaptationCost(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  compose::SemanticRegistry registry;
+  std::string name;
+  baselines::AdaptationStats last;
+  for (auto _ : state) {
+    auto framework = make_framework(kind, &registry);
+    name = framework->name();
+    Rng rng(99);
+    std::vector<Guid> live;
+    std::vector<entity::Profile> initial;
+    for (int i = 0; i < 8; ++i) {
+      const Guid id = Guid::random(rng);
+      live.push_back(id);
+      initial.push_back(source(id, kDoorLocation));
+    }
+    framework->init(initial, kWant);
+    for (int step = 0; step < 1000; ++step) {
+      if (step % 2 == 0 && !live.empty()) {
+        const std::size_t victim = rng.next_below(live.size());
+        framework->on_departure(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      } else {
+        const Guid id = Guid::random(rng);
+        framework->on_arrival(source(id, kDoorLocation));
+        live.push_back(id);
+      }
+    }
+    last = framework->stats();
+  }
+  state.SetLabel(name);
+  state.counters["components_built"] =
+      static_cast<double>(last.components_built);
+  state.counters["rewires"] = static_cast<double>(last.rewires);
+  state.counters["full_rebuilds"] = static_cast<double>(last.full_rebuilds);
+  state.counters["broken_intervals"] =
+      static_cast<double>(last.broken_intervals);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChurnAvailability)
+    ->ArgsProduct({{0, 1, 2, 3}, {30, 50, 70}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SemanticOutage)->DenseRange(0, 3)->Iterations(10);
+BENCHMARK(BM_AdaptationCost)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

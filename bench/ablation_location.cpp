@@ -1,0 +1,143 @@
+// Experiment A5 — location-model interoperability (paper §3.3).
+//
+// BM_ModelConversion/kind — LocRef completion from each starting
+//                           representation (logical / geometric / place).
+// BM_TopologicalRoute/N   — Dijkstra over a building with N rooms/floor.
+// BM_Trilateration/B      — RSSI → position with B beacons; counters report
+//                           mean position error vs noise.
+// BM_SignalToPlace        — the full §3.3 conversion: signal strengths →
+//                           geometric position → containing place →
+//                           logical path.
+//
+// Expected shape: conversions are sub-microsecond; trilateration error
+// shrinks with beacon count; routing grows near-linearly with place count.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "location/trilateration.h"
+#include "mobility/building.h"
+
+namespace {
+
+using namespace sci;
+using namespace sci::location;
+
+void BM_ModelConversion(benchmark::State& state) {
+  mobility::Building building({.floors = 3, .rooms_per_floor = 8});
+  const auto& dir = building.directory();
+  const int kind = static_cast<int>(state.range(0));
+  const Place* room = dir.place(building.room(1, 3));
+  LocRef ref;
+  const char* label = "";
+  switch (kind) {
+    case 0:
+      ref = LocRef::from_logical(room->path);
+      label = "from-logical";
+      break;
+    case 1:
+      ref = LocRef::from_point(room->anchor);
+      label = "from-geometric";
+      break;
+    default:
+      ref = LocRef::from_place(room->id);
+      label = "from-place";
+      break;
+  }
+  for (auto _ : state) {
+    auto resolved = dir.resolve(ref);
+    SCI_ASSERT(resolved.has_value());
+    SCI_ASSERT(resolved->place == room->id);
+    benchmark::DoNotOptimize(resolved);
+  }
+  state.SetLabel(label);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TopologicalRoute(benchmark::State& state) {
+  const auto rooms = static_cast<unsigned>(state.range(0));
+  mobility::Building building({.floors = 4, .rooms_per_floor = rooms});
+  const auto& dir = building.directory();
+  Rng rng(3);
+  const auto random_room = [&] {
+    return building.room(static_cast<unsigned>(rng.next_below(4)),
+                         static_cast<unsigned>(rng.next_below(rooms)));
+  };
+  for (auto _ : state) {
+    auto route = dir.route(random_room(), random_room());
+    SCI_ASSERT(route.has_value());
+    benchmark::DoNotOptimize(route);
+  }
+  state.counters["places"] = static_cast<double>(dir.place_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Trilateration(benchmark::State& state) {
+  const auto beacons = static_cast<std::size_t>(state.range(0));
+  const PathLossModel model;
+  Rng rng(5);
+  RunningStats error;
+  for (auto _ : state) {
+    const Point actual{rng.next_double(5, 45), rng.next_double(5, 45)};
+    std::vector<BeaconReading> readings;
+    for (std::size_t i = 0; i < beacons; ++i) {
+      // Beacons on a jittered grid around the area.
+      const Point beacon{rng.next_double(0, 50), rng.next_double(0, 50)};
+      readings.push_back(
+          {beacon, model.rssi_at(distance(beacon, actual)) +
+                       rng.next_normal(0.0, 1.0)});
+    }
+    const auto estimate = trilaterate(readings, model);
+    if (estimate) error.add(distance(*estimate, actual));
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["beacons"] = static_cast<double>(beacons);
+  state.counters["position_error_mean"] = error.mean();
+  state.counters["position_error_max"] = error.max();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SignalToPlace(benchmark::State& state) {
+  mobility::Building building({.floors = 1, .rooms_per_floor = 8});
+  const auto& dir = building.directory();
+  const PathLossModel model;
+  Rng rng(7);
+  std::uint64_t correct = 0;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    // A device sits in a random room; four corner base stations hear it.
+    const unsigned room_index = static_cast<unsigned>(rng.next_below(8));
+    const Place* room = dir.place(building.room(0, room_index));
+    const Point actual = room->anchor;
+    std::vector<BeaconReading> readings;
+    for (const Point station :
+         {Point{0, 0}, Point{80, 0}, Point{0, 12}, Point{80, 12}}) {
+      readings.push_back(
+          {station, model.rssi_at(distance(station, actual)) +
+                        rng.next_normal(0.0, 0.5)});
+    }
+    const auto estimate = trilaterate(readings, model);
+    SCI_ASSERT(estimate.has_value());
+    // Geometric → place → logical.
+    const auto resolved = dir.resolve(LocRef::from_point(*estimate));
+    SCI_ASSERT(resolved.has_value());
+    ++total;
+    if (resolved->place == room->id) ++correct;
+    benchmark::DoNotOptimize(resolved);
+  }
+  state.counters["room_accuracy"] =
+      total > 0 ? static_cast<double>(correct) / static_cast<double>(total)
+                : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ModelConversion)->DenseRange(0, 2);
+BENCHMARK(BM_TopologicalRoute)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Trilateration)->Arg(3)->Arg(5)->Arg(9)->Arg(17)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SignalToPlace)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// Experiment F1 — Figure 1 (SCINET).
+//
+// Claim under test (paper §3): "Routing through an overlay network avoids
+// any bottlenecks created when using hierarchical infrastructures whilst
+// achieving comparable performance."
+//
+// BM_OverlayRouting/N   — Pastry-style SCINET of N ranges: random pairwise
+//                         traffic; counters report mean hops, delivery
+//                         latency, and the load-imbalance factor
+//                         (max node forwarding load / mean load).
+// BM_HierarchyRouting/N — the same traffic over a fanout-4 tree: the root's
+//                         load fraction exposes the bottleneck.
+//
+// Expected shape: overlay hops ~ O(log16 N) with imbalance close to 1;
+// hierarchy hops comparable (O(log4 N)) but root load fraction orders of
+// magnitude above 1/N and growing with N.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/stats.h"
+#include "overlay/hierarchical.h"
+#include "overlay/scinet.h"
+
+namespace {
+
+using namespace sci;
+
+constexpr int kMessagesPerRound = 2000;
+
+void BM_OverlayRouting(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator(42);
+  net::Network network(simulator);
+  net::LinkModel link;
+  link.base_latency = Duration::micros(500);
+  link.jitter = Duration::micros(100);
+  network.set_link_model(link);
+  overlay::Scinet scinet(network, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    scinet.add_node(simulator.rng().next_double(0, 1000),
+                    simulator.rng().next_double(0, 1000));
+  }
+  scinet.settle(Duration::seconds(5));
+
+  RunningStats hops;
+  PercentileSampler latency_ms;
+  std::unordered_map<Guid, SimTime> send_time;
+  for (const auto& node : scinet.nodes()) {
+    node->set_deliver_handler([&](const overlay::RoutedMessage& m) {
+      hops.add(static_cast<double>(m.hops));
+      // Payload carries the origination time.
+      serde::Reader r(m.payload);
+      if (const auto t = r.svarint(); t) {
+        latency_ms.add(
+            (simulator.now() - SimTime::from_micros(*t)).millis_f());
+      }
+    });
+  }
+
+  Rng traffic(7);
+  std::uint64_t baseline_forwarded = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kMessagesPerRound; ++i) {
+      const auto& from =
+          scinet.nodes()[traffic.next_below(scinet.size())];
+      const auto& to = scinet.nodes()[traffic.next_below(scinet.size())];
+      serde::Writer w;
+      w.svarint(simulator.now().micros());
+      (void)from->route(to->id(), 1, w.take());
+    }
+    scinet.settle(Duration::seconds(30));
+    benchmark::DoNotOptimize(baseline_forwarded);
+  }
+
+  // Load distribution over forwarding work.
+  RunningStats load;
+  double max_load = 0.0;
+  for (const auto& node : scinet.nodes()) {
+    const double forwarded =
+        static_cast<double>(node->stats().routed_forwarded);
+    load.add(forwarded);
+    max_load = std::max(max_load, forwarded);
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["hops_mean"] = hops.mean();
+  state.counters["hops_max"] = hops.max();
+  state.counters["latency_ms_p50"] = latency_ms.percentile(0.5);
+  state.counters["latency_ms_p99"] = latency_ms.percentile(0.99);
+  state.counters["delivered"] = static_cast<double>(hops.count());
+  // Bottleneck factor: 1.0 = perfectly even forwarding load.
+  state.counters["load_imbalance"] =
+      load.mean() > 0 ? max_load / load.mean() : 0.0;
+  // Share of all forwarding done by the single busiest node.
+  const double total_forwarded =
+      load.mean() * static_cast<double>(load.count());
+  state.counters["busiest_node_share"] =
+      total_forwarded > 0 ? max_load / total_forwarded : 0.0;
+}
+
+void BM_HierarchyRouting(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator(42);
+  net::Network network(simulator);
+  net::LinkModel link;
+  link.base_latency = Duration::micros(500);
+  link.jitter = Duration::micros(100);
+  network.set_link_model(link);
+  Rng rng(11);
+  overlay::HierTree tree(network, n, /*fanout=*/4, rng);
+
+  RunningStats hops;
+  PercentileSampler latency_ms;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    tree.node(i).set_deliver_handler([&](const overlay::HierMessage& m) {
+      hops.add(static_cast<double>(m.hops));
+      serde::Reader r(m.payload);
+      if (const auto t = r.svarint(); t) {
+        latency_ms.add(
+            (simulator.now() - SimTime::from_micros(*t)).millis_f());
+      }
+    });
+  }
+
+  Rng traffic(7);
+  for (auto _ : state) {
+    for (int i = 0; i < kMessagesPerRound; ++i) {
+      const auto from = traffic.next_below(tree.size());
+      const auto to = traffic.next_below(tree.size());
+      serde::Writer w;
+      w.svarint(simulator.now().micros());
+      (void)tree.node(from).send(tree.node(to).id(), 1, w.take());
+    }
+    simulator.run_all();
+  }
+
+  RunningStats load;
+  double max_load = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const double forwarded =
+        static_cast<double>(tree.node(i).stats().forwarded);
+    load.add(forwarded);
+    max_load = std::max(max_load, forwarded);
+    total += forwarded;
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["hops_mean"] = hops.mean();
+  state.counters["hops_max"] = hops.max();
+  state.counters["latency_ms_p50"] = latency_ms.percentile(0.5);
+  state.counters["latency_ms_p99"] = latency_ms.percentile(0.99);
+  state.counters["delivered"] = static_cast<double>(hops.count());
+  state.counters["load_imbalance"] =
+      load.mean() > 0 ? max_load / load.mean() : 0.0;
+  state.counters["busiest_node_share"] = total > 0 ? max_load / total : 0.0;
+  state.counters["root_forwarded"] =
+      static_cast<double>(tree.root().stats().forwarded);
+}
+
+}  // namespace
+
+BENCHMARK(BM_OverlayRouting)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_HierarchyRouting)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

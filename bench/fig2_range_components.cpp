@@ -1,0 +1,177 @@
+// Experiment F2 — Figure 2 (structure of a Range).
+//
+// The paper argues a centralised, always-on Context Server per Range is
+// justified by "the complexity and timely response required when providing
+// contextual information". This bench measures the CS's core utility
+// operations as the range population grows:
+//
+// BM_RegistrationHandshake/N — full Fig 5 handshake latency with N members
+//                              already registered.
+// BM_ProfileOps/N            — Profile Manager get/update throughput.
+// BM_SubscriptionChurn/N     — Event Mediator subscribe/unsubscribe cost.
+// BM_EventDispatch/N/S       — event fan-out through the mediator with N
+//                              registered members and S subscribers.
+//
+// Expected shape: registration and profile ops stay near-constant in N
+// (hash-indexed stores); dispatch scales with the matched subscriber count,
+// not with the population.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/sci.h"
+#include "entity/sensors.h"
+
+namespace {
+
+using namespace sci;
+
+struct RangeBench {
+  Sci sci{7};
+  mobility::Building building{{.floors = 4, .rooms_per_floor = 8}};
+  range::ContextServer* range = nullptr;
+  std::vector<std::unique_ptr<entity::ContextEntity>> members;
+
+  explicit RangeBench(std::size_t population) {
+    sci.set_location_directory(&building.directory());
+    range = &sci.create_range("r", building.building_path());
+    for (std::size_t i = 0; i < population; ++i) {
+      auto ce = std::make_unique<entity::ContextEntity>(
+          sci.network(), sci.new_guid(), "m" + std::to_string(i),
+          entity::EntityKind::kDevice);
+      const Status enrolled = sci.enroll(*ce, *range);
+      SCI_ASSERT(enrolled.is_ok());
+      members.push_back(std::move(ce));
+    }
+  }
+};
+
+void BM_RegistrationHandshake(benchmark::State& state) {
+  RangeBench bench(static_cast<std::size_t>(state.range(0)));
+  RunningStats handshake_ms;
+  std::uint64_t joined = 0;
+  for (auto _ : state) {
+    entity::ContextEntity fresh(bench.sci.network(), bench.sci.new_guid(),
+                                "fresh", entity::EntityKind::kDevice);
+    const SimTime before = bench.sci.now();
+    const Status enrolled = bench.sci.enroll(fresh, *bench.range);
+    SCI_ASSERT(enrolled.is_ok());
+    handshake_ms.add((bench.sci.now() - before).millis_f());
+    ++joined;
+    fresh.stop();
+    bench.sci.run_for(Duration::millis(10));
+  }
+  state.counters["population"] = static_cast<double>(state.range(0));
+  state.counters["handshake_ms_mean"] = handshake_ms.mean();
+  state.counters["handshakes"] = static_cast<double>(joined);
+}
+
+void BM_ProfileOps(benchmark::State& state) {
+  RangeBench bench(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    auto& member = *bench.members[i % bench.members.size()];
+    member.set_metadata(vmap({{"tick", static_cast<std::int64_t>(i)}}));
+    bench.sci.run_for(Duration::millis(5));
+    benchmark::DoNotOptimize(
+        bench.range->profiles().profile(member.id()));
+    ++i;
+    ++ops;
+  }
+  state.counters["population"] = static_cast<double>(state.range(0));
+  state.counters["profile_updates"] =
+      static_cast<double>(bench.range->profiles().updates());
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+void BM_SubscriptionChurn(benchmark::State& state) {
+  RangeBench bench(static_cast<std::size_t>(state.range(0)));
+  // Measure the mediator data structure directly: the protocol path is
+  // covered by BM_EventDispatch.
+  range::EventMediator mediator(bench.sci.network(),
+                                bench.range->server_node());
+  Rng rng(3);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const Guid subscriber =
+        bench.members[rng.next_below(bench.members.size())]->id();
+    const auto id = mediator.subscribe(subscriber, std::nullopt,
+                                       "type" + std::to_string(ops % 32), {});
+    benchmark::DoNotOptimize(id);
+    (void)mediator.unsubscribe(id);
+    ops += 2;
+  }
+  state.counters["population"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+void BM_EventDispatch(benchmark::State& state) {
+  RangeBench bench(static_cast<std::size_t>(state.range(0)));
+  const auto subscribers = static_cast<std::size_t>(state.range(1));
+  // One producer publishes; S members subscribe through real queries.
+  entity::TemperatureSensorCE sensor(bench.sci.network(),
+                                     bench.sci.new_guid(), "sensor",
+                                     "celsius", Duration::seconds(3600));
+  SCI_ASSERT(bench.sci.enroll(sensor, *bench.range).is_ok());
+
+  struct CountingApp final : entity::ContextAwareApp {
+    using ContextAwareApp::ContextAwareApp;
+    std::uint64_t received = 0;
+    void on_event(const event::Event&, std::uint64_t) override {
+      ++received;
+    }
+  };
+  std::vector<std::unique_ptr<CountingApp>> apps;
+  for (std::size_t i = 0; i < subscribers; ++i) {
+    auto app = std::make_unique<CountingApp>(
+        bench.sci.network(), bench.sci.new_guid(),
+        "app" + std::to_string(i), entity::EntityKind::kSoftware);
+    SCI_ASSERT(bench.sci.enroll(*app, *bench.range).is_ok());
+    const std::string xml =
+        query::QueryBuilder("q" + std::to_string(i), app->id())
+            .pattern(entity::types::kTemperature)
+            .mode(query::QueryMode::kEventSubscription)
+            .to_xml();
+    SCI_ASSERT(app->submit_query("q" + std::to_string(i), xml).is_ok());
+    apps.push_back(std::move(app));
+  }
+  bench.sci.run_for(Duration::millis(100));
+
+  std::uint64_t published = 0;
+  for (auto _ : state) {
+    sensor.publish(entity::types::kTemperature,
+                   vmap({{"value", 20.0}, {"unit", "celsius"}}));
+    bench.sci.run_for(Duration::millis(20));
+    ++published;
+  }
+  std::uint64_t received = 0;
+  for (const auto& app : apps) received += app->received;
+  state.counters["population"] = static_cast<double>(state.range(0));
+  state.counters["subscribers"] = static_cast<double>(subscribers);
+  state.counters["fanout_delivered"] =
+      published > 0
+          ? static_cast<double>(received) / static_cast<double>(published)
+          : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RegistrationHandshake)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfileOps)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_SubscriptionChurn)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EventDispatch)
+    ->Args({50, 1})
+    ->Args({50, 8})
+    ->Args({50, 32})
+    ->Args({500, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

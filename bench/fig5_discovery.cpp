@@ -1,0 +1,167 @@
+// Experiment F5 — Figure 5 (entity discovery sequence).
+//
+// Measures the four-message handshake (hello → range info → register → ack)
+// under load:
+//
+// BM_DiscoveryLatency/N   — handshake completion time with N members
+//                           already registered (table-size sensitivity).
+// BM_ArrivalBurst/K       — K components arrive simultaneously: time until
+//                           the whole burst is registered, and Registrar
+//                           consistency afterwards.
+// BM_ArrivalRate/R        — sustained Poisson arrivals at R per second for
+//                           a fixed window; counters report completed
+//                           registrations and mean handshake latency.
+//
+// Expected shape: handshake latency ≈ 4 one-way latencies regardless of N;
+// burst completion grows linearly in K (single CS, the paper's centralised
+// choice) without losing registrations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/sci.h"
+#include "entity/sensors.h"
+
+namespace {
+
+using namespace sci;
+
+void BM_DiscoveryLatency(benchmark::State& state) {
+  Sci sci(5);
+  mobility::Building building({.floors = 1, .rooms_per_floor = 4});
+  sci.set_location_directory(&building.directory());
+  auto& range = sci.create_range("r", building.building_path());
+  std::vector<std::unique_ptr<entity::ContextEntity>> members;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto ce = std::make_unique<entity::ContextEntity>(
+        sci.network(), sci.new_guid(), "m" + std::to_string(i),
+        entity::EntityKind::kDevice);
+    SCI_ASSERT(sci.enroll(*ce, range).is_ok());
+    members.push_back(std::move(ce));
+  }
+
+  RunningStats handshake_ms;
+  for (auto _ : state) {
+    entity::ContextEntity fresh(sci.network(), sci.new_guid(), "fresh",
+                                entity::EntityKind::kDevice);
+    fresh.start();
+    const SimTime before = sci.now();
+    fresh.discover(range.server_node());
+    while (!fresh.is_registered()) {
+      if (!sci.simulator().step()) break;
+    }
+    handshake_ms.add((sci.now() - before).millis_f());
+    fresh.stop();
+    sci.run_for(Duration::millis(5));
+  }
+  state.counters["population"] = static_cast<double>(state.range(0));
+  state.counters["handshake_ms_mean"] = handshake_ms.mean();
+  state.counters["handshake_ms_max"] = handshake_ms.max();
+}
+
+void BM_ArrivalBurst(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  RunningStats completion_ms;
+  std::size_t registered = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Sci sci(6);
+    mobility::Building building({.floors = 1, .rooms_per_floor = 4});
+    sci.set_location_directory(&building.directory());
+    auto& range = sci.create_range("r", building.building_path());
+    std::vector<std::unique_ptr<entity::ContextEntity>> arrivals;
+    for (std::size_t i = 0; i < burst; ++i) {
+      auto ce = std::make_unique<entity::ContextEntity>(
+          sci.network(), sci.new_guid(), "a" + std::to_string(i),
+          entity::EntityKind::kDevice);
+      ce->start();
+      arrivals.push_back(std::move(ce));
+    }
+    state.ResumeTiming();
+
+    const SimTime before = sci.now();
+    for (const auto& ce : arrivals) ce->discover(range.server_node());
+    const SimTime deadline = before + Duration::seconds(30);
+    const auto all_registered = [&] {
+      for (const auto& ce : arrivals) {
+        if (!ce->is_registered()) return false;
+      }
+      return true;
+    };
+    while (!all_registered() && sci.now() < deadline) {
+      if (!sci.simulator().step(deadline)) break;
+    }
+    completion_ms.add((sci.now() - before).millis_f());
+    registered = range.registrar().size();
+    SCI_ASSERT(registered == burst);
+  }
+  state.counters["burst"] = static_cast<double>(burst);
+  state.counters["completion_ms_mean"] = completion_ms.mean();
+  state.counters["registered"] = static_cast<double>(registered);
+}
+
+void BM_ArrivalRate(benchmark::State& state) {
+  const double rate_per_second = static_cast<double>(state.range(0));
+  std::size_t completed = 0;
+  std::size_t offered = 0;
+  for (auto _ : state) {
+    Sci sci(7);
+    mobility::Building building({.floors = 1, .rooms_per_floor = 4});
+    sci.set_location_directory(&building.directory());
+    auto& range = sci.create_range("r", building.building_path());
+    std::vector<std::unique_ptr<entity::ContextEntity>> arrivals;
+    Rng rng(8);
+    // Poisson arrivals over a 10-second window.
+    double at = 0.0;
+    while (at < 10.0) {
+      at += rng.next_exponential(1.0 / rate_per_second);
+      if (at >= 10.0) break;
+      auto ce = std::make_unique<entity::ContextEntity>(
+          sci.network(), sci.new_guid(),
+          "a" + std::to_string(arrivals.size()),
+          entity::EntityKind::kDevice);
+      ce->start();
+      entity::ContextEntity* raw = ce.get();
+      const Guid server = range.server_node();
+      sci.simulator().schedule_at(
+          SimTime::from_micros(static_cast<std::int64_t>(at * 1e6)),
+          [raw, server] { raw->discover(server); });
+      arrivals.push_back(std::move(ce));
+    }
+    offered = arrivals.size();
+    sci.run_for(Duration::seconds(12));
+    completed = range.registrar().size();
+  }
+  state.counters["rate_per_s"] = rate_per_second;
+  state.counters["offered"] = static_cast<double>(offered);
+  state.counters["completed"] = static_cast<double>(completed);
+  state.counters["completion_ratio"] =
+      offered > 0
+          ? static_cast<double>(completed) / static_cast<double>(offered)
+          : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_DiscoveryLatency)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(100);
+BENCHMARK(BM_ArrivalBurst)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_ArrivalRate)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// Experiment F7 — Figure 7 / §5 (CAPA: printer selection).
+//
+// The complete CAPA pipeline as a measurable workload:
+//
+// BM_CapaEndToEnd          — Bob's full story: deferred query on the
+//                            device → register in the lobby → SCINET
+//                            forward → trigger on the office door →
+//                            closest-printer selection → print. Reports the
+//                            door-to-selection latency.
+// BM_PrinterSelection/P/C  — selection cost with P printers and C active
+//                            constraint kinds (paper: busy / no paper /
+//                            locked). Verifies the winner is always the
+//                            closest acceptable printer.
+//
+// Expected shape: door-to-selection latency is a handful of network hops
+// (a few ms); selection cost grows linearly in P with a small constant.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/sci.h"
+#include "entity/printer.h"
+#include "entity/sensors.h"
+
+namespace {
+
+using namespace sci;
+
+struct SelectApp final : entity::ContextAwareApp {
+  using ContextAwareApp::ContextAwareApp;
+  int replies = 0;
+  std::string last_winner;
+  bool last_ok = false;
+  void on_query_result(const std::string&, const Error& error,
+                       const Value& result) override {
+    ++replies;
+    last_ok = error.ok();
+    last_winner = error.ok() ? result.at("name").string_or("?") : "";
+  }
+};
+
+void BM_CapaEndToEnd(benchmark::State& state) {
+  RunningStats door_to_selection_ms;
+  RunningStats total_ms;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Sci sci(2003);
+    mobility::Building building({.floors = 2, .rooms_per_floor = 4});
+    sci.set_location_directory(&building.directory());
+    auto& tower = sci.create_range("tower", building.building_path());
+    auto& level10 = sci.create_range("level10", building.floor_path(1));
+    auto& world = sci.world();
+    (void)tower;
+
+    std::vector<std::unique_ptr<entity::DoorSensorCE>> doors;
+    for (unsigned i = 0; i < 4; ++i) {
+      doors.push_back(std::make_unique<entity::DoorSensorCE>(
+          sci.network(), sci.new_guid(), "door" + std::to_string(i),
+          building.corridor(1), building.room(1, i)));
+      SCI_ASSERT(sci.enroll(*doors.back(), level10).is_ok());
+      world.attach_door_sensor(doors.back().get());
+    }
+    std::vector<std::unique_ptr<entity::PrinterCE>> printers;
+    for (unsigned i = 0; i < 4; ++i) {
+      printers.push_back(std::make_unique<entity::PrinterCE>(
+          sci.network(), sci.new_guid(), "P" + std::to_string(i + 1),
+          building.room(1, i)));
+      SCI_ASSERT(sci.enroll(*printers.back(), level10).is_ok());
+    }
+
+    entity::ContextEntity bob(sci.network(), sci.new_guid(), "Bob",
+                              entity::EntityKind::kPerson);
+    SelectApp capa(sci.network(), sci.new_guid(), "CAPA",
+                   entity::EntityKind::kSoftware);
+    bob.start();
+    capa.start();
+    world.add_badge(bob.id(), building.lobby());
+    world.bind_component(bob.id(), &bob);
+    world.bind_component(bob.id(), &capa);
+    sci.run_for(Duration::seconds(1));  // lobby registration
+    SCI_ASSERT(capa.is_registered());
+
+    const auto office = building.room_path(1, 0);
+    const std::string xml =
+        query::QueryBuilder("q", capa.id())
+            .entity_type("printing")
+            .in(office)
+            .when_enters(bob.id(), office)
+            .select(query::SelectPolicy::kClosest)
+            .require("has_paper", Value(true))
+            .mode(query::QueryMode::kAdvertisementRequest)
+            .to_xml();
+    const SimTime submit_at = sci.now();
+    SCI_ASSERT(capa.submit_query("q", xml).is_ok());
+    sci.run_for(Duration::seconds(1));  // forward + defer
+    SCI_ASSERT(level10.deferred_queries() == 1);
+
+    // Walk Bob to his office door.
+    SCI_ASSERT(world.walk_to(bob.id(), building.corridor(1),
+                             Duration::seconds(2))
+                   .is_ok());
+    sci.run_for(Duration::seconds(10));
+    state.ResumeTiming();
+
+    // The measured step: the door event fires the deferred configuration.
+    const SimTime door_at = sci.now();
+    SCI_ASSERT(world.step(bob.id(), building.room(1, 0)).is_ok());
+    while (capa.replies == 0) {
+      if (!sci.simulator().step()) break;
+    }
+    door_to_selection_ms.add((sci.now() - door_at).millis_f());
+    total_ms.add((sci.now() - submit_at).millis_f());
+    SCI_ASSERT(capa.last_ok);
+    SCI_ASSERT(capa.last_winner == "P1");
+  }
+  state.counters["door_to_selection_ms"] = door_to_selection_ms.mean();
+  state.counters["submit_to_selection_ms"] = total_ms.mean();
+}
+
+void BM_PrinterSelection(benchmark::State& state) {
+  const auto printer_count = static_cast<unsigned>(state.range(0));
+  const auto constraint_kinds = static_cast<unsigned>(state.range(1));
+  Sci sci(55);
+  mobility::Building building(
+      {.floors = 1, .rooms_per_floor = std::max(printer_count, 4u)});
+  sci.set_location_directory(&building.directory());
+  auto& range = sci.create_range("r", building.building_path());
+
+  std::vector<std::unique_ptr<entity::PrinterCE>> printers;
+  for (unsigned i = 0; i < printer_count; ++i) {
+    printers.push_back(std::make_unique<entity::PrinterCE>(
+        sci.network(), sci.new_guid(), "P" + std::to_string(i + 1),
+        building.room(0, i % building.spec().rooms_per_floor)));
+    SCI_ASSERT(sci.enroll(*printers.back(), range).is_ok());
+  }
+  // Degrade a third of them per active constraint kind.
+  Rng rng(9);
+  if (constraint_kinds >= 1) {
+    for (unsigned i = 1; i < printer_count; i += 3) {
+      printers[i]->set_paper(false);
+    }
+  }
+  if (constraint_kinds >= 2) {
+    for (unsigned i = 2; i < printer_count; i += 3) {
+      printers[i]->set_locked(true);
+    }
+  }
+
+  entity::ContextEntity user(sci.network(), sci.new_guid(), "User",
+                             entity::EntityKind::kPerson);
+  user.set_location(location::LocRef::from_place(building.room(0, 0)));
+  SCI_ASSERT(sci.enroll(user, range).is_ok());
+  SelectApp app(sci.network(), sci.new_guid(), "app",
+                entity::EntityKind::kSoftware);
+  SCI_ASSERT(sci.enroll(app, range).is_ok());
+  sci.run_for(Duration::millis(100));
+
+  RunningStats select_ms;
+  int round = 0;
+  for (auto _ : state) {
+    const std::string qid = "q" + std::to_string(round++);
+    query::QueryBuilder builder(qid, app.id());
+    builder.entity_type("printing")
+        .closest_to(user.id())
+        .select(query::SelectPolicy::kClosest)
+        .mode(query::QueryMode::kAdvertisementRequest);
+    if (constraint_kinds >= 1) builder.require("has_paper", Value(true));
+    if (constraint_kinds >= 2) builder.check_access();
+    const int replies_before = app.replies;
+    const SimTime before = sci.now();
+    SCI_ASSERT(app.submit_query(qid, builder.to_xml()).is_ok());
+    while (app.replies == replies_before) {
+      if (!sci.simulator().step()) break;
+    }
+    select_ms.add((sci.now() - before).millis_f());
+    SCI_ASSERT(app.last_ok);
+    SCI_ASSERT(app.last_winner == "P1");  // healthy and closest
+  }
+  state.counters["printers"] = static_cast<double>(printer_count);
+  state.counters["constraints"] = static_cast<double>(constraint_kinds);
+  state.counters["select_ms_mean"] = select_ms.mean();
+}
+
+}  // namespace
+
+BENCHMARK(BM_CapaEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_PrinterSelection)
+    ->Args({4, 0})
+    ->Args({4, 2})
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(50);
+
+BENCHMARK_MAIN();

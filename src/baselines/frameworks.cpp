@@ -1,0 +1,236 @@
+#include "baselines/frameworks.h"
+
+#include <algorithm>
+
+namespace sci::baselines {
+
+namespace {
+
+void remove_profile(std::vector<entity::Profile>& profiles, Guid entity) {
+  std::erase_if(profiles, [&](const entity::Profile& p) {
+    return p.entity == entity;
+  });
+}
+
+bool contains(const std::vector<Guid>& ids, Guid id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SCI: automatic semantic composition with immediate recomposition.
+
+void SciFramework::init(const std::vector<entity::Profile>& alive,
+                        const compose::RequestedType& want) {
+  alive_ = alive;
+  want_ = want;
+  recompose();
+}
+
+void SciFramework::recompose() {
+  compose::ResolveRequest request;
+  request.requested = want_;
+  auto plan = resolver_.resolve(request, alive_);
+  const bool was_available = available_;
+  if (plan) {
+    // Rewires only what changed: count entity-set delta as the work done.
+    std::size_t delta = 0;
+    for (const Guid id : plan->entities) {
+      if (!contains(current_entities_, id)) ++delta;
+    }
+    for (const Guid id : current_entities_) {
+      if (!contains(plan->entities, id)) ++delta;
+    }
+    stats_.rewires += delta;
+    stats_.components_built += delta;
+    current_entities_ = plan->entities;
+    available_ = true;
+  } else {
+    current_entities_.clear();
+    available_ = false;
+  }
+  if (was_available && !available_) ++stats_.broken_intervals;
+}
+
+void SciFramework::on_arrival(const entity::Profile& profile) {
+  remove_profile(alive_, profile.entity);
+  alive_.push_back(profile);
+  // Recompose only when currently broken or the newcomer is relevant; a
+  // cheap relevance test mirrors the Context Server's behaviour.
+  recompose();
+}
+
+void SciFramework::on_departure(Guid entity) {
+  remove_profile(alive_, entity);
+  if (contains(current_entities_, entity)) {
+    recompose();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Context Toolkit: design-time wiring, full rebuild after a lag.
+
+void ContextToolkitFramework::init(const std::vector<entity::Profile>& alive,
+                                   const compose::RequestedType& want) {
+  alive_ = alive;
+  want_ = want;
+  rebuild();
+}
+
+void ContextToolkitFramework::rebuild() {
+  // A rebuild reconstructs *every* widget/aggregator/interpreter from
+  // scratch — the design-time decomposition is monolithic.
+  compose::ResolveRequest request;
+  request.requested = want_;
+  auto plan = resolver_.resolve(request, alive_);
+  ++stats_.full_rebuilds;
+  if (plan) {
+    assembly_ = plan->entities;
+    stats_.components_built += assembly_.size();
+    stats_.rewires += plan->edges.size();
+    assembly_ok_ = true;
+  } else {
+    assembly_.clear();
+    assembly_ok_ = false;
+  }
+  changes_since_break_ = 0;
+  broken_noticed_ = false;
+}
+
+bool ContextToolkitFramework::available() const {
+  // Fixed wiring delivers only while every wired component is still alive.
+  if (!assembly_ok_) return false;
+  for (const Guid id : assembly_) {
+    const bool alive = std::any_of(
+        alive_.begin(), alive_.end(),
+        [&](const entity::Profile& p) { return p.entity == id; });
+    if (!alive) return false;
+  }
+  return true;
+}
+
+void ContextToolkitFramework::on_change() {
+  if (available()) return;
+  if (!broken_noticed_) {
+    broken_noticed_ = true;
+    ++stats_.broken_intervals;
+    changes_since_break_ = 0;
+  }
+  // The application only notices and redeploys after `notice_lag_` further
+  // environment changes.
+  if (changes_since_break_++ >= notice_lag_) rebuild();
+}
+
+void ContextToolkitFramework::on_arrival(const entity::Profile& profile) {
+  remove_profile(alive_, profile.entity);
+  alive_.push_back(profile);
+  on_change();
+}
+
+void ContextToolkitFramework::on_departure(Guid entity) {
+  remove_profile(alive_, entity);
+  on_change();
+}
+
+// ---------------------------------------------------------------------------
+// Solar: explicit graphs with developer re-specification lag.
+
+void SolarFramework::init(const std::vector<entity::Profile>& alive,
+                          const compose::RequestedType& want) {
+  alive_ = alive;
+  want_ = want;
+  specify_graph();
+}
+
+void SolarFramework::specify_graph() {
+  // The developer writes the operator graph against the sources visible
+  // right now, naming them explicitly.
+  compose::ResolveRequest request;
+  request.requested = want_;
+  auto plan = resolver_.resolve(request, alive_);
+  if (plan) {
+    // Subgraph reuse: only newly named operators are instantiated.
+    std::size_t fresh = 0;
+    for (const Guid id : plan->entities) {
+      if (!contains(graph_, id)) ++fresh;
+    }
+    stats_.components_built += fresh;
+    stats_.rewires += plan->edges.size();
+    graph_ = plan->entities;
+    graph_ok_ = true;
+  } else {
+    graph_.clear();
+    graph_ok_ = false;
+  }
+  changes_since_break_ = 0;
+}
+
+bool SolarFramework::available() const {
+  if (!graph_ok_) return false;
+  // The graph names exact sources; all must still exist.
+  for (const Guid id : graph_) {
+    const bool alive = std::any_of(
+        alive_.begin(), alive_.end(),
+        [&](const entity::Profile& p) { return p.entity == id; });
+    if (!alive) return false;
+  }
+  return true;
+}
+
+void SolarFramework::on_change() {
+  if (available()) return;
+  if (changes_since_break_ == 0) ++stats_.broken_intervals;
+  // Re-specification needs the developer: it lags behind the environment.
+  if (changes_since_break_++ >= respecify_lag_) specify_graph();
+}
+
+void SolarFramework::on_arrival(const entity::Profile& profile) {
+  remove_profile(alive_, profile.entity);
+  alive_.push_back(profile);
+  on_change();
+}
+
+void SolarFramework::on_departure(Guid entity) {
+  remove_profile(alive_, entity);
+  on_change();
+}
+
+// ---------------------------------------------------------------------------
+// iQueue: immediate automatic rebinding, but syntactic-only matching.
+
+void IQueueFramework::init(const std::vector<entity::Profile>& alive,
+                           const compose::RequestedType& want) {
+  alive_ = alive;
+  want_ = want;
+  rebind();
+}
+
+void IQueueFramework::rebind() {
+  compose::ResolveRequest request;
+  request.requested = want_;
+  request.strict_syntactic = true;  // the defining limitation
+  const bool was_available = available_;
+  auto plan = resolver_.resolve(request, alive_);
+  if (plan) {
+    if (!plan->edges.empty()) stats_.rewires += 1;
+    stats_.components_built += plan->entities.size();
+    available_ = true;
+  } else {
+    available_ = false;
+  }
+  if (was_available && !available_) ++stats_.broken_intervals;
+}
+
+void IQueueFramework::on_arrival(const entity::Profile& profile) {
+  remove_profile(alive_, profile.entity);
+  alive_.push_back(profile);
+  rebind();
+}
+
+void IQueueFramework::on_departure(Guid entity) {
+  remove_profile(alive_, entity);
+  rebind();
+}
+
+}  // namespace sci::baselines

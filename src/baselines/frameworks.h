@@ -1,0 +1,199 @@
+// SCI — comparative baselines (paper §2).
+//
+// The paper motivates SCI by critiquing three systems; to quantify those
+// critiques (benches A1–A3) this module reimplements each one's *composition
+// discipline* behind a common interface, driven by the same churn workloads
+// as SCI's own resolver:
+//
+//   Context Toolkit (Dey et al.): widgets/aggregators/interpreters wired at
+//     design time. "After the decision has been made and these context
+//     components are built, they become fixed." On any environmental change
+//     the application must rebuild the whole assembly, and it only notices
+//     at its own (polling) pace.
+//
+//   Solar (Chen & Kotz): applications explicitly name the operator graph.
+//     Scales via subgraph reuse, but "the requirement that the application
+//     developer has to explicitly choose data source … will affect the
+//     robustness of the context system": a dead named source breaks the
+//     graph until the developer re-specifies.
+//
+//   iQueue (Cohen et al.): composers bind data specifications to the best
+//     available source and continually rebind — but matching is syntactic,
+//     so "an application developed to request location data from a network
+//     of door sensors cannot take advantage of an environment that provides
+//     location information using a wireless detection scheme".
+//
+//   SCI: automatic composition + semantic matching + recomposition (wraps
+//     the real compose::Resolver).
+//
+// Each framework consumes the same arrival/departure feed and reports
+// whether its application currently receives the requested context, plus
+// how much adaptation work it performed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/guid.h"
+#include "compose/resolver.h"
+#include "compose/semantics.h"
+#include "entity/profile.h"
+
+namespace sci::baselines {
+
+struct AdaptationStats {
+  std::uint64_t components_built = 0;   // components (re)instantiated
+  std::uint64_t rewires = 0;            // subscription changes
+  std::uint64_t full_rebuilds = 0;      // whole-assembly reconstructions
+  std::uint64_t broken_intervals = 0;   // availability loss episodes
+};
+
+// Common driver interface for the A1–A3 ablation benches.
+class Framework {
+ public:
+  virtual ~Framework() = default;
+
+  // Initialises the application's request against the starting population.
+  virtual void init(const std::vector<entity::Profile>& alive,
+                    const compose::RequestedType& want) = 0;
+  virtual void on_arrival(const entity::Profile& profile) = 0;
+  virtual void on_departure(Guid entity) = 0;
+
+  // Does the application currently receive the requested context?
+  [[nodiscard]] virtual bool available() const = 0;
+
+  [[nodiscard]] virtual const AdaptationStats& stats() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// --- SCI -----------------------------------------------------------------
+
+class SciFramework final : public Framework {
+ public:
+  explicit SciFramework(const compose::SemanticRegistry* registry)
+      : resolver_(registry) {}
+
+  void init(const std::vector<entity::Profile>& alive,
+            const compose::RequestedType& want) override;
+  void on_arrival(const entity::Profile& profile) override;
+  void on_departure(Guid entity) override;
+  [[nodiscard]] bool available() const override { return available_; }
+  [[nodiscard]] const AdaptationStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::string name() const override { return "sci"; }
+
+ private:
+  void recompose();
+
+  compose::Resolver resolver_;
+  compose::RequestedType want_;
+  std::vector<entity::Profile> alive_;
+  std::vector<Guid> current_entities_;
+  bool available_ = false;
+  AdaptationStats stats_;
+};
+
+// --- Context Toolkit -------------------------------------------------------
+
+class ContextToolkitFramework final : public Framework {
+ public:
+  // `notice_lag_changes`: how many environment changes pass before the
+  // application notices breakage and rebuilds (models design-time wiring +
+  // manual redeployment; 0 = instant rebuild, still full-cost).
+  explicit ContextToolkitFramework(const compose::SemanticRegistry* registry,
+                                   unsigned notice_lag_changes = 3)
+      : resolver_(registry), notice_lag_(notice_lag_changes) {}
+
+  void init(const std::vector<entity::Profile>& alive,
+            const compose::RequestedType& want) override;
+  void on_arrival(const entity::Profile& profile) override;
+  void on_departure(Guid entity) override;
+  [[nodiscard]] bool available() const override;
+  [[nodiscard]] const AdaptationStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::string name() const override { return "context-toolkit"; }
+
+ private:
+  void rebuild();
+  void on_change();
+
+  compose::Resolver resolver_;
+  unsigned notice_lag_;
+  compose::RequestedType want_;
+  std::vector<entity::Profile> alive_;
+  // The fixed assembly: entity ids wired at build time.
+  std::vector<Guid> assembly_;
+  bool assembly_ok_ = false;
+  unsigned changes_since_break_ = 0;
+  bool broken_noticed_ = false;
+  AdaptationStats stats_;
+};
+
+// --- Solar -----------------------------------------------------------------
+
+class SolarFramework final : public Framework {
+ public:
+  // `respecify_lag_changes`: environment changes before the developer
+  // re-specifies a broken graph.
+  explicit SolarFramework(const compose::SemanticRegistry* registry,
+                          unsigned respecify_lag_changes = 2)
+      : resolver_(registry), respecify_lag_(respecify_lag_changes) {}
+
+  void init(const std::vector<entity::Profile>& alive,
+            const compose::RequestedType& want) override;
+  void on_arrival(const entity::Profile& profile) override;
+  void on_departure(Guid entity) override;
+  [[nodiscard]] bool available() const override;
+  [[nodiscard]] const AdaptationStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::string name() const override { return "solar"; }
+
+ private:
+  void specify_graph();
+  void on_change();
+
+  compose::Resolver resolver_;
+  unsigned respecify_lag_;
+  compose::RequestedType want_;
+  std::vector<entity::Profile> alive_;
+  // The explicitly specified graph: exact named sources.
+  std::vector<Guid> graph_;
+  bool graph_ok_ = false;
+  unsigned changes_since_break_ = 0;
+  AdaptationStats stats_;
+};
+
+// --- iQueue -------------------------------------------------------------------
+
+class IQueueFramework final : public Framework {
+ public:
+  explicit IQueueFramework(const compose::SemanticRegistry* registry)
+      : resolver_(registry) {}
+
+  void init(const std::vector<entity::Profile>& alive,
+            const compose::RequestedType& want) override;
+  void on_arrival(const entity::Profile& profile) override;
+  void on_departure(Guid entity) override;
+  [[nodiscard]] bool available() const override { return available_; }
+  [[nodiscard]] const AdaptationStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::string name() const override { return "iqueue"; }
+
+ private:
+  void rebind();
+
+  compose::Resolver resolver_;
+  compose::RequestedType want_;
+  std::vector<entity::Profile> alive_;
+  bool available_ = false;
+  AdaptationStats stats_;
+};
+
+}  // namespace sci::baselines

@@ -1,0 +1,37 @@
+// SCI — contract-checking macros.
+//
+// Narrow contracts (C++ Core Guidelines I.6/E.12): violations are programmer
+// errors and abort in all build types. Library code must never rely on these
+// for validating external input — use sci::Expected for that.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sci::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "SCI_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace sci::detail
+
+#define SCI_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::sci::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define SCI_ASSERT_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) [[unlikely]]                                      \
+      ::sci::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (false)
+
+// Marks unreachable control flow; aborts if reached.
+#define SCI_UNREACHABLE()                                                    \
+  ::sci::detail::assert_fail("unreachable code reached", __FILE__, __LINE__, \
+                             nullptr)

@@ -1,0 +1,44 @@
+#include "common/error.h"
+
+namespace sci {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kTypeMismatch:
+      return "type_mismatch";
+    case ErrorCode::kUnresolvable:
+      return "unresolvable";
+    case ErrorCode::kPermissionDenied:
+      return "permission_denied";
+    case ErrorCode::kCapacity:
+      return "capacity";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{sci::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sci

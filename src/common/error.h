@@ -1,0 +1,52 @@
+// SCI — error type used across all module boundaries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sci {
+
+// Coarse error categories; the string payload carries detail.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied bad external input
+  kNotFound,          // entity/range/route/key absent
+  kAlreadyExists,     // duplicate registration
+  kUnavailable,       // component failed / partitioned / departed
+  kTimeout,           // temporal constraint or delivery deadline missed
+  kParseError,        // malformed wire format (XML query, binary frame)
+  kTypeMismatch,      // composition type matching failed
+  kUnresolvable,      // no configuration satisfies the query
+  kPermissionDenied,  // range/group access control
+  kCapacity,          // resource limits (queue full, table full)
+  kInternal,          // invariant violation surfaced as recoverable error
+};
+
+std::string_view to_string(ErrorCode code);
+
+// Value-type error: a code plus a human-readable message.
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Error&, const Error&) = default;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error(code, std::move(message));
+}
+
+}  // namespace sci

@@ -1,0 +1,109 @@
+// SCI — Expected<T>: value-or-Error result type.
+//
+// C++20 predates std::expected; this is a deliberately small equivalent used
+// for every fallible operation that crosses a module boundary (Core
+// Guidelines E.2: signal errors you cannot handle locally by value, not by
+// exception, in a middleware hot path).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace sci {
+
+template <typename T>
+class [[nodiscard]] Expected {
+  static_assert(!std::is_same_v<T, Error>, "Expected<Error> is ambiguous");
+
+ public:
+  // Intentionally implicit so `return value;` and `return error;` both work.
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : data_(std::in_place_index<1>, std::move(error)) {
+    SCI_ASSERT_MSG(!std::get<1>(data_).ok(),
+                   "Expected constructed from an ok() Error");
+  }
+
+  [[nodiscard]] bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    SCI_ASSERT(has_value());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    SCI_ASSERT(has_value());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    SCI_ASSERT(has_value());
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    SCI_ASSERT(!has_value());
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  // Monadic map: applies `fn` to the value, forwards the error unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) const& -> Expected<std::invoke_result_t<Fn, const T&>> {
+    if (has_value()) return std::forward<Fn>(fn)(std::get<0>(data_));
+    return std::get<1>(data_);
+  }
+
+  // Monadic bind: `fn` returns Expected<U>.
+  template <typename Fn>
+  auto and_then(Fn&& fn) const& -> std::invoke_result_t<Fn, const T&> {
+    if (has_value()) return std::forward<Fn>(fn)(std::get<0>(data_));
+    return std::get<1>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Specialisation-free void flavour: success or Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(Error error) : error_(std::move(error)) {}
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return error_.ok(); }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] const Error& error() const {
+    SCI_ASSERT(!is_ok());
+    return error_;
+  }
+
+ private:
+  Error error_;
+};
+
+// Propagates the error out of the enclosing function (which must itself
+// return Expected<U> or Status).
+#define SCI_TRY(expr)                          \
+  do {                                         \
+    if (auto try_status_ = (expr); !try_status_) \
+      return try_status_.error();              \
+  } while (false)
+
+#define SCI_TRY_ASSIGN(lhs, expr)         \
+  auto lhs##_result_ = (expr);            \
+  if (!lhs##_result_) return lhs##_result_.error(); \
+  auto& lhs = *lhs##_result_
+
+}  // namespace sci

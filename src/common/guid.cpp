@@ -1,0 +1,109 @@
+#include "common/guid.h"
+
+#include <bit>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace sci {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void append_hex64(std::string& out, std::uint64_t word) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(word >> shift) & 0xFU]);
+  }
+}
+
+}  // namespace
+
+Guid Guid::random(Rng& rng) {
+  Guid g(rng.next_u64(), rng.next_u64());
+  // Astronomically unlikely, but the nil GUID is reserved.
+  while (g.is_nil()) g = Guid(rng.next_u64(), rng.next_u64());
+  return g;
+}
+
+Guid Guid::from_name(std::string_view name) {
+  // Two passes of FNV-1a with different offsets to fill 128 bits. Not
+  // cryptographic; collision resistance is adequate for test fixtures.
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t hi = 0xCBF29CE484222325ULL;
+  std::uint64_t lo = 0x84222325CBF29CE4ULL;
+  for (const char c : name) {
+    hi = (hi ^ static_cast<unsigned char>(c)) * kPrime;
+    lo = (lo ^ static_cast<unsigned char>(c)) * kPrime;
+    lo = std::rotl(lo, 17) ^ hi;
+  }
+  Guid g(hi, lo);
+  if (g.is_nil()) g = Guid(1, 1);
+  return g;
+}
+
+std::optional<Guid> Guid::parse(std::string_view text) {
+  if (text.size() != kDigits) return std::nullopt;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    const int v = hex_value(text[i]);
+    if (v < 0) return std::nullopt;
+    hi = (hi << 4) | static_cast<std::uint64_t>(v);
+  }
+  for (unsigned i = 16; i < 32; ++i) {
+    const int v = hex_value(text[i]);
+    if (v < 0) return std::nullopt;
+    lo = (lo << 4) | static_cast<std::uint64_t>(v);
+  }
+  return Guid(hi, lo);
+}
+
+unsigned Guid::shared_prefix_length(const Guid& other) const {
+  const std::uint64_t diff_hi = hi_ ^ other.hi_;
+  if (diff_hi != 0) {
+    return static_cast<unsigned>(std::countl_zero(diff_hi)) / 4U;
+  }
+  const std::uint64_t diff_lo = lo_ ^ other.lo_;
+  if (diff_lo != 0) {
+    return 16U + static_cast<unsigned>(std::countl_zero(diff_lo)) / 4U;
+  }
+  return kDigits;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Guid::ring_distance(
+    const Guid& other) const {
+  // Treat (hi, lo) as a 128-bit unsigned integer; compute a - b mod 2^128 in
+  // both directions and keep the smaller.
+  const auto sub128 = [](std::uint64_t ahi, std::uint64_t alo,
+                         std::uint64_t bhi, std::uint64_t blo) {
+    const std::uint64_t rlo = alo - blo;
+    const std::uint64_t borrow = alo < blo ? 1 : 0;
+    const std::uint64_t rhi = ahi - bhi - borrow;
+    return std::pair{rhi, rlo};
+  };
+  const auto d1 = sub128(hi_, lo_, other.hi_, other.lo_);
+  const auto d2 = sub128(other.hi_, other.lo_, hi_, lo_);
+  return d1 <= d2 ? d1 : d2;
+}
+
+std::string Guid::to_string() const {
+  std::string out;
+  out.reserve(kDigits);
+  append_hex64(out, hi_);
+  append_hex64(out, lo_);
+  return out;
+}
+
+std::string Guid::short_string() const {
+  return to_string().substr(0, 8);
+}
+
+}  // namespace sci

@@ -1,0 +1,83 @@
+// SCI — 128-bit globally unique identifiers.
+//
+// The SCINET overlay addresses every Range, Context Entity and Context Aware
+// Application by GUID rather than by network address (paper §3: "entities
+// communicate across many heterogeneous network types using GUIDs rather
+// than traditional addressing schemes"). GUIDs double as overlay keys: the
+// prefix-routing layer interprets them as 32 hex digits.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sci {
+
+class Rng;  // forward declaration (rng.h)
+
+class Guid {
+ public:
+  // The nil GUID: never assigned to a live component.
+  constexpr Guid() = default;
+  constexpr Guid(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  // Draws a fresh GUID from the supplied deterministic RNG.
+  static Guid random(Rng& rng);
+
+  // Derives a stable GUID from a name (FNV-1a based). Used for well-known
+  // components in tests and examples.
+  static Guid from_name(std::string_view name);
+
+  // Parses the canonical 32-hex-digit form (as produced by to_string).
+  static std::optional<Guid> parse(std::string_view text);
+
+  [[nodiscard]] constexpr bool is_nil() const { return hi_ == 0 && lo_ == 0; }
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  // Hex digit (0..15) at position `index` (0 = most significant). The
+  // overlay's prefix routing works digit by digit over this view.
+  // Precondition: index < kDigits (kept assert-free so the function stays
+  // constexpr-friendly; out-of-range reads are masked, not UB).
+  [[nodiscard]] constexpr unsigned digit(unsigned index) const {
+    const std::uint64_t word = (index & 16U) == 0 ? hi_ : lo_;
+    const unsigned shift = 60U - 4U * (index % 16U);
+    return static_cast<unsigned>((word >> shift) & 0xFU);
+  }
+
+  // Length of the shared hex-digit prefix with `other` (0..32).
+  [[nodiscard]] unsigned shared_prefix_length(const Guid& other) const;
+
+  // Circular distance on the 2^128 key ring (used for leaf-set proximity):
+  // the minimum of clockwise and anticlockwise distance, returned as a
+  // (hi, lo) pair so comparisons are exact.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> ring_distance(
+      const Guid& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+  // First 8 hex digits — for logs.
+  [[nodiscard]] std::string short_string() const;
+
+  friend constexpr auto operator<=>(const Guid&, const Guid&) = default;
+
+  static constexpr unsigned kDigits = 32;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+}  // namespace sci
+
+template <>
+struct std::hash<sci::Guid> {
+  std::size_t operator()(const sci::Guid& g) const noexcept {
+    // hi/lo are already uniformly random for generated GUIDs.
+    return static_cast<std::size_t>(g.hi() ^ (g.lo() * 0x9E3779B97F4A7C15ULL));
+  }
+};

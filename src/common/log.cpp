@@ -1,0 +1,51 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace sci {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view tag, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof message, fmt, args);
+  va_end(args);
+  if (now_ != nullptr) {
+    std::fprintf(stderr, "[%11.6f] %s [%.*s] %s\n", now_->seconds_f(),
+                 level_name(level), static_cast<int>(tag.size()), tag.data(),
+                 message);
+  } else {
+    std::fprintf(stderr, "%s [%.*s] %s\n", level_name(level),
+                 static_cast<int>(tag.size()), tag.data(), message);
+  }
+}
+
+}  // namespace sci

@@ -1,0 +1,60 @@
+// SCI — leveled logger.
+//
+// A single global sink with a runtime-adjustable level. Components log with
+// a subsystem tag; the simulation harness injects the current SimTime so log
+// lines are ordered by virtual time, not wall time.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+#include "common/time.h"
+
+namespace sci {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  // Global logger instance. Not thread-safe by design: the simulation kernel
+  // is single-threaded (see sim/simulator.h).
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  // Supplies the virtual clock used to timestamp lines. May be nullptr
+  // (lines are then unstamped). The pointee must outlive its registration.
+  void set_clock(const SimTime* now) { now_ = now; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view tag, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  const SimTime* now_ = nullptr;
+};
+
+}  // namespace sci
+
+#define SCI_LOG(level, tag, ...)                                      \
+  do {                                                                \
+    if (::sci::Logger::instance().enabled(level)) [[unlikely]]        \
+      ::sci::Logger::instance().log(level, tag, __VA_ARGS__);         \
+  } while (false)
+
+#define SCI_TRACE(tag, ...) SCI_LOG(::sci::LogLevel::kTrace, tag, __VA_ARGS__)
+#define SCI_DEBUG(tag, ...) SCI_LOG(::sci::LogLevel::kDebug, tag, __VA_ARGS__)
+#define SCI_INFO(tag, ...) SCI_LOG(::sci::LogLevel::kInfo, tag, __VA_ARGS__)
+#define SCI_WARN(tag, ...) SCI_LOG(::sci::LogLevel::kWarn, tag, __VA_ARGS__)
+#define SCI_ERROR(tag, ...) SCI_LOG(::sci::LogLevel::kError, tag, __VA_ARGS__)

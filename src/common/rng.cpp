@@ -1,0 +1,30 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace sci {
+
+double Rng::next_exponential(double mean) {
+  SCI_ASSERT(mean > 0.0);
+  // 1 - U in (0, 1] avoids log(0).
+  const double u = 1.0 - next_double();
+  return -mean * std::log(u);
+}
+
+double Rng::next_normal(double mean, double stddev) {
+  SCI_ASSERT(stddev >= 0.0);
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box–Muller transform.
+  const double u1 = 1.0 - next_double();
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 6.283185307179586476925286766559 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+}  // namespace sci

@@ -1,0 +1,83 @@
+// SCI — streaming statistics accumulators used by benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sci {
+
+// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact-percentile reservoir: stores all samples (fine at bench scale).
+class PercentileSampler {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  // q in [0, 1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double q) {
+    SCI_ASSERT(q >= 0.0 && q <= 1.0);
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace sci

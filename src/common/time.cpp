@@ -1,0 +1,26 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace sci {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string SimTime::to_string() const {
+  if (is_infinite()) return "t=inf";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", seconds_f());
+  return buf;
+}
+
+}  // namespace sci

@@ -1,0 +1,90 @@
+// SCI — simulated time.
+//
+// The entire middleware runs against a discrete-event clock: SimTime is
+// microseconds since simulation start. No library component ever reads the
+// wall clock, which is what makes experiments deterministic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace sci {
+
+// Duration in simulated microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t n) { return Duration(n); }
+  static constexpr Duration millis(std::int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration seconds(std::int64_t n) {
+    return Duration(n * 1'000'000);
+  }
+  static constexpr Duration from_seconds_f(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds_f() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double millis_f() const {
+    return static_cast<double>(us_) / 1e3;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.us_ + b.us_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.us_ - b.us_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.us_ / k);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// Absolute instant on the simulation clock.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_micros(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  // Sentinel meaning "never" — compares greater than any reachable time.
+  static constexpr SimTime infinity() {
+    return SimTime(INT64_MAX);
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds_f() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return us_ == INT64_MAX;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime(t.us_ + d.count_micros());
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace sci

@@ -1,0 +1,74 @@
+#include "compose/semantics.h"
+
+namespace sci::compose {
+
+std::string RequestedType::to_string() const {
+  std::string out = type.empty() ? "*" : type;
+  if (!unit.empty()) out += "[" + unit + "]";
+  if (!semantic.empty()) out += "{" + semantic + "}";
+  return out;
+}
+
+SemanticRegistry::SemanticRegistry() {
+  // Built-in conversions the Location Service understands out of the box.
+  add_unit_conversion("celsius", "fahrenheit");
+  add_unit_conversion("fahrenheit", "celsius");
+}
+
+std::string SemanticRegistry::root_of(std::string_view tag) const {
+  std::string current(tag);
+  for (;;) {
+    const auto it = semantic_parent_.find(current);
+    if (it == semantic_parent_.end() || it->second == current) return current;
+    current = it->second;
+  }
+}
+
+void SemanticRegistry::add_semantic_alias(std::string_view a,
+                                          std::string_view b) {
+  const std::string root_a = root_of(a);
+  const std::string root_b = root_of(b);
+  if (root_a != root_b) semantic_parent_[root_a] = root_b;
+  // Path-compress the direct entries.
+  semantic_parent_[std::string(a)] = root_b;
+  semantic_parent_[std::string(b)] = root_b;
+}
+
+bool SemanticRegistry::semantics_equivalent(std::string_view a,
+                                            std::string_view b) const {
+  if (a.empty() || b.empty()) return false;
+  if (a == b) return true;
+  return root_of(a) == root_of(b);
+}
+
+void SemanticRegistry::add_unit_conversion(std::string_view from,
+                                           std::string_view to) {
+  unit_conversions_[std::string(from) + "->" + std::string(to)] = true;
+}
+
+bool SemanticRegistry::unit_acceptable(std::string_view required,
+                                       std::string_view provided) const {
+  if (required.empty() || required == provided) return true;
+  // A conversion from the provided unit to the required one suffices.
+  return unit_conversions_.contains(std::string(provided) + "->" +
+                                    std::string(required));
+}
+
+bool SemanticRegistry::matches(const RequestedType& requested,
+                               const entity::TypeSig& provided,
+                               bool strict_syntactic) const {
+  if (!unit_acceptable(requested.unit, provided.unit)) return false;
+  if (!requested.type.empty() && requested.type == provided.name) {
+    // Name match; semantics, if both given, must not contradict.
+    if (!requested.semantic.empty() && !provided.semantic.empty() &&
+        !semantics_equivalent(requested.semantic, provided.semantic)) {
+      return false;
+    }
+    return true;
+  }
+  if (strict_syntactic) return false;  // iQueue-style: name or nothing
+  // Semantic match path.
+  return semantics_equivalent(requested.semantic, provided.semantic);
+}
+
+}  // namespace sci::compose

@@ -1,0 +1,67 @@
+// SCI — semantic type matching for composition.
+//
+// The paper's critique of iQueue (§2): "an application developed to request
+// location data from a network of door sensors cannot take advantage of an
+// environment that provides location information using a wireless detection
+// scheme" — because matching is syntactic. SCI's resolver therefore matches
+// on *semantics* as well: a requested signature matches a provided one when
+// the names agree, OR when their semantic tags are equivalent under the
+// registry's alias relation; units must agree or be declared convertible.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "entity/profile.h"
+
+namespace sci::compose {
+
+// What a consumer (or a query) asks for. Empty fields are wildcards.
+struct RequestedType {
+  std::string type;      // exact event type name ("" = match by semantic)
+  std::string unit;      // required unit ("" = any)
+  std::string semantic;  // required semantics ("" = name match only)
+
+  static RequestedType from_sig(const entity::TypeSig& sig) {
+    return RequestedType{sig.name, sig.unit, sig.semantic};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class SemanticRegistry {
+ public:
+  SemanticRegistry();
+
+  // Declares two semantic tags equivalent (symmetric, transitive).
+  void add_semantic_alias(std::string_view a, std::string_view b);
+
+  // Declares `from` convertible to `to` (directional; e.g. celsius→kelvin).
+  void add_unit_conversion(std::string_view from, std::string_view to);
+
+  [[nodiscard]] bool semantics_equivalent(std::string_view a,
+                                          std::string_view b) const;
+  [[nodiscard]] bool unit_acceptable(std::string_view required,
+                                     std::string_view provided) const;
+
+  // The core predicate: does `provided` satisfy `requested`?
+  //  * name match: requested.type empty or equal to provided.name;
+  //  * otherwise semantic match: both sides declare semantics and they are
+  //    equivalent under the alias relation (strict = name-only matching,
+  //    used to emulate the iQueue baseline);
+  //  * units must be acceptable in either case.
+  [[nodiscard]] bool matches(const RequestedType& requested,
+                             const entity::TypeSig& provided,
+                             bool strict_syntactic = false) const;
+
+ private:
+  // Union-find over semantic tags.
+  [[nodiscard]] std::string root_of(std::string_view tag) const;
+
+  mutable std::unordered_map<std::string, std::string> semantic_parent_;
+  // key: "from->to"
+  std::unordered_map<std::string, bool> unit_conversions_;
+};
+
+}  // namespace sci::compose

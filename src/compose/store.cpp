@@ -1,0 +1,135 @@
+#include "compose/store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sci::compose {
+
+std::vector<PlanEdge> ConfigurationStore::admit(
+    ActiveConfiguration configuration) {
+  std::vector<PlanEdge> to_establish;
+  for (const PlanEdge& edge : configuration.plan.edges) {
+    if (!enable_reuse_) {
+      ++stats_.edges_created;
+      to_establish.push_back(edge);
+      continue;
+    }
+    const std::string key = edge.share_key();
+    const auto [it, inserted] = edge_refs_.emplace(key, 1);
+    if (inserted) {
+      ++stats_.edges_created;
+      to_establish.push_back(edge);
+    } else {
+      it->second += 1;
+      ++stats_.edges_shared;
+    }
+  }
+  const std::uint64_t tag = configuration.plan.tag;
+  configurations_[tag] = std::move(configuration);
+  return to_establish;
+}
+
+std::vector<PlanEdge> ConfigurationStore::retire(std::uint64_t tag) {
+  std::vector<PlanEdge> to_tear_down;
+  const auto it = configurations_.find(tag);
+  if (it == configurations_.end()) return to_tear_down;
+  for (const PlanEdge& edge : it->second.plan.edges) {
+    if (!enable_reuse_) {
+      ++stats_.edges_torn_down;
+      to_tear_down.push_back(edge);
+      continue;
+    }
+    const auto ref_it = edge_refs_.find(edge.share_key());
+    if (ref_it == edge_refs_.end()) continue;  // already gone
+    if (--ref_it->second == 0) {
+      edge_refs_.erase(ref_it);
+      ++stats_.edges_torn_down;
+      to_tear_down.push_back(edge);
+    }
+  }
+  configurations_.erase(it);
+  return to_tear_down;
+}
+
+ConfigurationStore::ReplaceDiff ConfigurationStore::replace(
+    std::uint64_t tag, ActiveConfiguration configuration) {
+  ReplaceDiff diff;
+  const auto it = configurations_.find(tag);
+  // Snapshot the old edges before the map slot is overwritten.
+  std::vector<PlanEdge> old_edges;
+  if (it != configurations_.end()) old_edges = it->second.plan.edges;
+
+  // Admit-new-first so edges shared between old and new keep refcount >= 1
+  // throughout.
+  std::vector<PlanEdge> new_edges = configuration.plan.edges;
+  for (const PlanEdge& edge : new_edges) {
+    if (!enable_reuse_) {
+      ++stats_.edges_created;
+      diff.establish.push_back(edge);
+      continue;
+    }
+    const auto [ref_it, inserted] = edge_refs_.emplace(edge.share_key(), 1);
+    if (inserted) {
+      ++stats_.edges_created;
+      diff.establish.push_back(edge);
+    } else {
+      ref_it->second += 1;
+      ++stats_.edges_shared;
+    }
+  }
+  configurations_[tag] = std::move(configuration);
+
+  for (const PlanEdge& edge : old_edges) {
+    if (!enable_reuse_) {
+      ++stats_.edges_torn_down;
+      diff.tear_down.push_back(edge);
+      continue;
+    }
+    const auto ref_it = edge_refs_.find(edge.share_key());
+    if (ref_it == edge_refs_.end()) continue;
+    if (--ref_it->second == 0) {
+      edge_refs_.erase(ref_it);
+      ++stats_.edges_torn_down;
+      diff.tear_down.push_back(edge);
+    }
+  }
+  return diff;
+}
+
+const ActiveConfiguration* ConfigurationStore::find(std::uint64_t tag) const {
+  const auto it = configurations_.find(tag);
+  return it == configurations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> ConfigurationStore::tags_involving(
+    Guid entity) const {
+  std::vector<std::uint64_t> tags;
+  for (const auto& [tag, configuration] : configurations_) {
+    const auto& entities = configuration.plan.entities;
+    if (std::find(entities.begin(), entities.end(), entity) !=
+        entities.end()) {
+      tags.push_back(tag);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+std::size_t ConfigurationStore::distinct_entities() const {
+  std::unordered_set<Guid> seen;
+  for (const auto& [tag, configuration] : configurations_) {
+    seen.insert(configuration.plan.entities.begin(),
+                configuration.plan.entities.end());
+  }
+  return seen.size();
+}
+
+std::vector<std::uint64_t> ConfigurationStore::all_tags() const {
+  std::vector<std::uint64_t> tags;
+  tags.reserve(configurations_.size());
+  for (const auto& [tag, configuration] : configurations_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+}  // namespace sci::compose

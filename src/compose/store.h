@@ -1,0 +1,82 @@
+// SCI — active configuration store with subgraph reuse.
+//
+// Solar's insight, adopted by SCI (§2): "the infrastructure will try to
+// find the common parts of context processing graphs of different
+// applications and will reuse them, thus improving scalability." The store
+// refcounts subscription edges across configurations: admitting a plan
+// returns only the edges that do not already exist (the ones the Context
+// Server must newly establish); retiring a plan returns the edges whose
+// last user just left (the ones to tear down).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.h"
+#include "compose/resolver.h"
+
+namespace sci::compose {
+
+struct ActiveConfiguration {
+  ConfigurationPlan plan;
+  Guid app;              // the application this configuration serves
+  std::string query_id;  // originating query
+  bool one_time = false;
+};
+
+struct StoreStats {
+  std::uint64_t edges_created = 0;  // genuinely new subscriptions
+  std::uint64_t edges_shared = 0;   // satisfied by an existing subscription
+  std::uint64_t edges_torn_down = 0;
+};
+
+class ConfigurationStore {
+ public:
+  // With reuse disabled every admit creates all its edges (the ablation
+  // baseline for bench A4).
+  explicit ConfigurationStore(bool enable_reuse = true)
+      : enable_reuse_(enable_reuse) {}
+
+  // Admits a configuration. Returns the edges the caller must establish.
+  std::vector<PlanEdge> admit(ActiveConfiguration configuration);
+
+  // Retires the configuration with `tag`. Returns the edges the caller must
+  // tear down (refcount reached zero). Unknown tags return empty.
+  std::vector<PlanEdge> retire(std::uint64_t tag);
+
+  // Atomically swaps the configuration with `tag` for a recomposed one:
+  // new edges are admitted before old ones are released so shared edges
+  // never glitch through a refcount of zero. Used for dynamic recomposition
+  // after entity failure/departure.
+  struct ReplaceDiff {
+    std::vector<PlanEdge> establish;
+    std::vector<PlanEdge> tear_down;
+  };
+  ReplaceDiff replace(std::uint64_t tag, ActiveConfiguration configuration);
+
+  [[nodiscard]] const ActiveConfiguration* find(std::uint64_t tag) const;
+  [[nodiscard]] std::size_t size() const { return configurations_.size(); }
+
+  // Tags of configurations that include `entity` anywhere in their graph —
+  // the set needing recomposition when `entity` fails or departs.
+  [[nodiscard]] std::vector<std::uint64_t> tags_involving(Guid entity) const;
+
+  // Distinct entities participating in at least one configuration.
+  [[nodiscard]] std::size_t distinct_entities() const;
+
+  [[nodiscard]] const StoreStats& stats() const { return stats_; }
+
+  [[nodiscard]] std::vector<std::uint64_t> all_tags() const;
+
+ private:
+  bool enable_reuse_;
+  std::unordered_map<std::uint64_t, ActiveConfiguration> configurations_;
+  // Edge share-key -> refcount (only when reuse is enabled).
+  std::unordered_map<std::string, std::uint32_t> edge_refs_;
+  StoreStats stats_;
+};
+
+}  // namespace sci::compose

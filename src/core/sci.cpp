@@ -1,0 +1,96 @@
+#include "core/sci.h"
+
+#include "common/log.h"
+
+namespace sci {
+
+Sci::Sci(std::uint64_t seed)
+    : simulator_(seed),
+      network_(simulator_),
+      rng_(simulator_.rng().split()) {}
+
+Sci::~Sci() {
+  // Ranges reference the network and directory; drop them first, in reverse
+  // creation order.
+  while (!ranges_.empty()) ranges_.pop_back();
+}
+
+void Sci::set_location_directory(
+    const location::LocationDirectory* directory) {
+  SCI_ASSERT(directory != nullptr);
+  locations_ = directory;
+}
+
+mobility::World& Sci::world() {
+  SCI_ASSERT_MSG(locations_ != nullptr,
+                 "set_location_directory() before world()");
+  if (!world_) {
+    world_.emplace(simulator_, locations_);
+    world_->set_range_directory(&directory_);
+    for (const auto& server : ranges_) world_->add_range(server.get());
+  }
+  return *world_;
+}
+
+range::ContextServer& Sci::create_range(std::string name,
+                                        location::LogicalPath root,
+                                        RangeOptions options) {
+  range::RangeConfig config;
+  config.range = new_guid();
+  config.context_server = new_guid();
+  config.name = std::move(name);
+  config.logical_root = std::move(root);
+  config.x = options.x;
+  config.y = options.y;
+  config.ping_period = options.ping_period;
+  config.ping_miss_limit = options.ping_miss_limit;
+  config.enable_reuse = options.enable_reuse;
+  config.strict_syntactic = options.strict_syntactic;
+  config.rebind_on_arrival = options.rebind_on_arrival;
+  config.group = options.group;
+  config.beacon_period = options.beacon_period;
+  config.beacon_radius = options.beacon_radius;
+
+  auto server = std::make_unique<range::ContextServer>(
+      network_, std::move(config), &directory_, &semantics_, locations_);
+  range::ContextServer& ref = *server;
+
+  if (options.join_by_discovery) {
+    ref.join_via_discovery();
+    // Listen window + join handshake.
+    run_for(Duration::seconds(4));
+  } else if (ranges_.empty()) {
+    ref.bootstrap_overlay();
+  } else {
+    (void)ref.join_overlay(ranges_.front()->id());
+    run_for(Duration::millis(100));  // let the join settle
+  }
+  ranges_.push_back(std::move(server));
+  if (world_) world_->add_range(&ref);
+  return ref;
+}
+
+range::ContextServer* Sci::range_named(std::string_view name) {
+  for (const auto& server : ranges_) {
+    if (server->config().name == name) return server.get();
+  }
+  return nullptr;
+}
+
+Status Sci::enroll(entity::Component& component, range::ContextServer& server,
+                   double x, double y) {
+  if (!component.is_started()) component.start(x, y);
+  component.discover(server.server_node());
+  // Hello → RangeInfo → Register → Ack: four one-way latencies plus
+  // processing; give it a generous bounded window.
+  const SimTime deadline = simulator_.now() + Duration::seconds(2);
+  while (!component.is_registered() && simulator_.now() < deadline) {
+    if (!simulator_.step(deadline)) break;
+  }
+  if (!component.is_registered())
+    return make_error(ErrorCode::kTimeout,
+                      component.name() + " did not complete registration");
+  return Status::ok();
+}
+
+}  // namespace sci

@@ -1,0 +1,116 @@
+// SCI — public facade.
+//
+// `Sci` owns one simulated deployment of the Strathclyde Context
+// Infrastructure: the discrete-event simulator, the network fabric, the
+// shared semantic registry and range directory, the SCINET membership of
+// every range, and (once a location directory is supplied) the mobility
+// world. Examples, tests and benches build everything through this type:
+//
+//   sci::Sci sci(/*seed=*/42);
+//   sci::mobility::Building building({.floors = 2, .rooms_per_floor = 4});
+//   sci.set_location_directory(&building.directory());
+//   auto& level0 = sci.create_range("level0", building.floor_path(0));
+//   ...
+//   sci.run_for(sci::Duration::seconds(5));
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compose/semantics.h"
+#include "entity/component.h"
+#include "mobility/building.h"
+#include "mobility/world.h"
+#include "net/network.h"
+#include "overlay/scinet.h"
+#include "query/query.h"
+#include "range/context_server.h"
+#include "range/directory.h"
+#include "sim/simulator.h"
+
+namespace sci {
+
+struct RangeOptions {
+  bool enable_reuse = true;
+  bool strict_syntactic = false;
+  bool rebind_on_arrival = true;
+  Duration ping_period = Duration::seconds(2);
+  unsigned ping_miss_limit = 3;
+  double x = 0.0;
+  double y = 0.0;
+  // Access-control group (queries never cross groups).
+  int group = 0;
+  // Discovery beacons: broadcast period (0 = off) and radio radius.
+  Duration beacon_period = Duration::seconds(0);
+  double beacon_radius = 500.0;
+  // When true the new range joins the SCINET by listening for beacons
+  // instead of being handed a bootstrap range by the facade.
+  bool join_by_discovery = false;
+};
+
+class Sci {
+ public:
+  explicit Sci(std::uint64_t seed = 42);
+  ~Sci();
+
+  Sci(const Sci&) = delete;
+  Sci& operator=(const Sci&) = delete;
+
+  // --- substrate access -----------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] compose::SemanticRegistry& semantics() { return semantics_; }
+  [[nodiscard]] range::RangeDirectory& directory() { return directory_; }
+
+  // Supplies the world's location model (typically a mobility::Building's
+  // directory). Must be called before create_range / world(). The pointee
+  // must outlive this Sci.
+  void set_location_directory(const location::LocationDirectory* directory);
+
+  // The mobility world (requires a location directory).
+  [[nodiscard]] mobility::World& world();
+
+  // --- ranges -----------------------------------------------------------------
+  // Creates a Range governing `root`; the first range bootstraps the
+  // SCINET, later ranges join through it. Runs the simulator briefly so the
+  // join completes.
+  range::ContextServer& create_range(std::string name,
+                                     location::LogicalPath root,
+                                     RangeOptions options = {});
+
+  [[nodiscard]] const std::vector<std::unique_ptr<range::ContextServer>>&
+  ranges() const {
+    return ranges_;
+  }
+  [[nodiscard]] range::ContextServer* range_named(std::string_view name);
+
+  // --- component lifecycle ------------------------------------------------------
+  // Starts `component` at (x, y), points it at `server`'s Range Service and
+  // runs the simulator until the Fig 5 handshake completes (bounded wait).
+  Status enroll(entity::Component& component, range::ContextServer& server,
+                double x = 0.0, double y = 0.0);
+
+  // --- time -------------------------------------------------------------------
+  void run_for(Duration duration) {
+    simulator_.run_until(simulator_.now() + duration);
+  }
+  [[nodiscard]] SimTime now() const { return simulator_.now(); }
+
+  // Fresh GUID from the deployment's deterministic stream.
+  Guid new_guid() { return Guid::random(rng_); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  sim::Simulator simulator_;
+  net::Network network_;
+  Rng rng_;
+  compose::SemanticRegistry semantics_;
+  range::RangeDirectory directory_;
+  const location::LocationDirectory* locations_ = nullptr;
+  std::optional<mobility::World> world_;
+  std::vector<std::unique_ptr<range::ContextServer>> ranges_;
+};
+
+}  // namespace sci

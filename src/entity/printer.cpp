@@ -1,0 +1,147 @@
+#include "entity/printer.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "entity/sensors.h"
+
+namespace sci::entity {
+
+PrinterCE::PrinterCE(net::Network& network, Guid id, std::string name,
+                     location::PlaceId located_in, double pages_per_minute)
+    : ContextEntity(network, id, std::move(name), EntityKind::kDevice),
+      located_in_(located_in),
+      pages_per_minute_(pages_per_minute) {
+  SCI_ASSERT(pages_per_minute > 0.0);
+  set_location(location::LocRef::from_place(located_in));
+}
+
+std::vector<TypeSig> PrinterCE::profile_outputs() const {
+  return {TypeSig{types::kPrinterStatus, "", "device-status"}};
+}
+
+std::optional<Advertisement> PrinterCE::advertisement() const {
+  Advertisement ad;
+  ad.service = "printing";
+  ad.methods = {MethodDesc{"print", {"document", "pages", "owner"}},
+                MethodDesc{"status", {}}};
+  ValueMap attributes;
+  attributes.emplace("pages_per_minute", pages_per_minute_);
+  ad.attributes = Value(std::move(attributes));
+  return ad;
+}
+
+void PrinterCE::set_paper(bool has_paper) {
+  if (has_paper_ == has_paper) return;
+  has_paper_ = has_paper;
+  refresh_profile_and_publish();
+}
+
+void PrinterCE::set_locked(bool locked) {
+  if (locked_ == locked) return;
+  locked_ = locked;
+  refresh_profile_and_publish();
+}
+
+void PrinterCE::add_keyholder(Guid person) {
+  keyholders_.push_back(person);
+  refresh_profile_and_publish();
+}
+
+Expected<Value> PrinterCE::on_invoke(const std::string& method,
+                                     const Value& args) {
+  if (method == "print") return handle_print(args);
+  if (method == "status") return status_value();
+  return ContextEntity::on_invoke(method, args);
+}
+
+Expected<Value> PrinterCE::handle_print(const Value& args) {
+  if (!has_paper_)
+    return make_error(ErrorCode::kUnavailable, name() + " is out of paper");
+  const auto owner = args.at("owner").as_guid();
+  if (!owner)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "print job needs an 'owner' guid");
+  if (locked_ &&
+      std::find(keyholders_.begin(), keyholders_.end(), *owner) ==
+          keyholders_.end()) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      name() + " is behind a locked door");
+  }
+  Job job;
+  job.id = next_job_id_++;
+  job.owner = *owner;
+  job.document = args.at("document").string_or("untitled");
+  job.pages = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(args.at("pages").number_or(1.0)));
+  queue_.push_back(std::move(job));
+  const std::uint64_t accepted_id = queue_.back().id;
+  maybe_start_next();
+  refresh_profile_and_publish();
+  ValueMap result;
+  result.emplace("job", static_cast<std::int64_t>(accepted_id));
+  result.emplace("printer", name());
+  return Value(std::move(result));
+}
+
+Value PrinterCE::status_value() const {
+  ValueMap status;
+  status.emplace("queue_length",
+                 static_cast<std::int64_t>(queue_.size() + (busy_ ? 1 : 0)));
+  status.emplace("has_paper", has_paper_);
+  status.emplace("busy", busy_);
+  status.emplace("locked", locked_);
+  status.emplace("place", static_cast<std::int64_t>(located_in_));
+  return Value(std::move(status));
+}
+
+void PrinterCE::refresh_profile_and_publish() {
+  // Mirror dynamic state into profile metadata so the Context Server's
+  // Which-policies can rank printers without a round trip.
+  ValueMap metadata;
+  metadata.emplace("service", "printing");
+  metadata.emplace("queue_length",
+                   static_cast<std::int64_t>(queue_.size() + (busy_ ? 1 : 0)));
+  metadata.emplace("has_paper", has_paper_);
+  metadata.emplace("busy", busy_);
+  metadata.emplace("locked", locked_);
+  ValueList holders;
+  for (const Guid g : keyholders_) holders.emplace_back(g);
+  metadata.emplace("keyholders", Value(std::move(holders)));
+  set_metadata(Value(std::move(metadata)));
+  if (is_registered()) publish(types::kPrinterStatus, status_value());
+}
+
+void PrinterCE::maybe_start_next() {
+  if (busy_ || queue_.empty() || !has_paper_) return;
+  current_ = queue_.front();
+  queue_.pop_front();
+  busy_ = true;
+  const double minutes =
+      static_cast<double>(current_->pages) / pages_per_minute_;
+  finish_timer_ = simulator().schedule(
+      Duration::from_seconds_f(minutes * 60.0), [this] { finish_current(); });
+}
+
+void PrinterCE::finish_current() {
+  if (!current_) return;
+  SCI_DEBUG("printer", "%s finished job %llu (%s)", name().c_str(),
+            static_cast<unsigned long long>(current_->id),
+            current_->document.c_str());
+  current_.reset();
+  busy_ = false;
+  ++jobs_completed_;
+  maybe_start_next();
+  refresh_profile_and_publish();
+}
+
+void PrinterCE::on_registered() {
+  refresh_profile_and_publish();
+}
+
+void PrinterCE::on_deregistered() {
+  simulator().cancel(finish_timer_);
+  finish_timer_ = sim::TimerHandle();
+}
+
+}  // namespace sci::entity

@@ -1,0 +1,75 @@
+// SCI — printer Context Entity for the CAPA scenario (paper §5).
+//
+// A PrinterCE advertises a 'printing' service interface, mirrors its dynamic
+// state (queue length, paper, busy) into its profile metadata (so the
+// Context Server's selection policies can evaluate it) and publishes
+// printer.status events on every state change.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "entity/component.h"
+#include "location/models.h"
+
+namespace sci::entity {
+
+class PrinterCE : public ContextEntity {
+ public:
+  PrinterCE(net::Network& network, Guid id, std::string name,
+            location::PlaceId located_in, double pages_per_minute = 12.0);
+
+  // --- world / scenario controls -----------------------------------------
+  // Out-of-paper printers refuse jobs (CAPA: "P2 is unavailable due to
+  // being out of paper").
+  void set_paper(bool has_paper);
+  // A locked printer is only usable by listed keyholders (CAPA: "P3 is
+  // behind a locked door to which John has no access").
+  void set_locked(bool locked);
+  void add_keyholder(Guid person);
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool is_busy() const { return busy_; }
+  [[nodiscard]] bool has_paper() const { return has_paper_; }
+  [[nodiscard]] location::PlaceId located_in() const { return located_in_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_;
+  }
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+  [[nodiscard]] std::optional<Advertisement> advertisement() const override;
+  Expected<Value> on_invoke(const std::string& method,
+                            const Value& args) override;
+  void on_registered() override;
+  void on_deregistered() override;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    Guid owner;
+    std::string document;
+    std::int64_t pages = 1;
+  };
+
+  Expected<Value> handle_print(const Value& args);
+  [[nodiscard]] Value status_value() const;
+  void refresh_profile_and_publish();
+  void maybe_start_next();
+  void finish_current();
+
+  location::PlaceId located_in_;
+  double pages_per_minute_;
+  bool has_paper_ = true;
+  bool locked_ = false;
+  std::vector<Guid> keyholders_;
+  bool busy_ = false;
+  std::deque<Job> queue_;
+  std::optional<Job> current_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t jobs_completed_ = 0;
+  sim::TimerHandle finish_timer_;
+};
+
+}  // namespace sci::entity

@@ -1,0 +1,257 @@
+#include "entity/protocol.h"
+
+namespace sci::entity {
+
+namespace {
+
+void write_optional_ad(serde::Writer& w,
+                       const std::optional<Advertisement>& ad) {
+  w.boolean(ad.has_value());
+  if (ad) ad->encode(w);
+}
+
+}  // namespace
+
+std::vector<std::byte> HelloBody::encode() const {
+  serde::Writer w;
+  w.boolean(is_app);
+  w.string(name);
+  return w.take();
+}
+
+Expected<HelloBody> HelloBody::decode(const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  HelloBody b;
+  SCI_TRY_ASSIGN(is_app, r.boolean());
+  b.is_app = is_app;
+  SCI_TRY_ASSIGN(name, r.string());
+  b.name = std::move(name);
+  return b;
+}
+
+std::vector<std::byte> RangeInfoBody::encode() const {
+  serde::Writer w;
+  write_guid(w, range);
+  write_guid(w, registrar);
+  return w.take();
+}
+
+Expected<RangeInfoBody> RangeInfoBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  RangeInfoBody b;
+  SCI_TRY_ASSIGN(range, read_guid(r));
+  b.range = range;
+  SCI_TRY_ASSIGN(registrar, read_guid(r));
+  b.registrar = registrar;
+  return b;
+}
+
+std::vector<std::byte> RegisterRequestBody::encode() const {
+  serde::Writer w;
+  w.boolean(is_app);
+  profile.encode(w);
+  write_optional_ad(w, advertisement);
+  return w.take();
+}
+
+Expected<RegisterRequestBody> RegisterRequestBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  RegisterRequestBody b;
+  SCI_TRY_ASSIGN(is_app, r.boolean());
+  b.is_app = is_app;
+  SCI_TRY_ASSIGN(profile, Profile::decode(r));
+  b.profile = std::move(profile);
+  SCI_TRY_ASSIGN(has_ad, r.boolean());
+  if (has_ad) {
+    SCI_TRY_ASSIGN(ad, Advertisement::decode(r));
+    b.advertisement = std::move(ad);
+  }
+  return b;
+}
+
+std::vector<std::byte> RegisterAckBody::encode() const {
+  serde::Writer w;
+  w.boolean(accepted);
+  w.string(reason);
+  write_guid(w, range);
+  write_guid(w, context_server);
+  write_guid(w, event_mediator);
+  return w.take();
+}
+
+Expected<RegisterAckBody> RegisterAckBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  RegisterAckBody b;
+  SCI_TRY_ASSIGN(accepted, r.boolean());
+  b.accepted = accepted;
+  SCI_TRY_ASSIGN(reason, r.string());
+  b.reason = std::move(reason);
+  SCI_TRY_ASSIGN(range, read_guid(r));
+  b.range = range;
+  SCI_TRY_ASSIGN(cs, read_guid(r));
+  b.context_server = cs;
+  SCI_TRY_ASSIGN(em, read_guid(r));
+  b.event_mediator = em;
+  return b;
+}
+
+std::vector<std::byte> PublishBody::encode() const {
+  serde::Writer w;
+  event.encode(w);
+  return w.take();
+}
+
+Expected<PublishBody> PublishBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  PublishBody b;
+  SCI_TRY_ASSIGN(event, event::Event::decode(r));
+  b.event = std::move(event);
+  return b;
+}
+
+std::vector<std::byte> DeliverBody::encode() const {
+  serde::Writer w;
+  w.varint(subscription);
+  w.varint(owner_tag);
+  event.encode(w);
+  return w.take();
+}
+
+Expected<DeliverBody> DeliverBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  DeliverBody b;
+  SCI_TRY_ASSIGN(subscription, r.varint());
+  b.subscription = subscription;
+  SCI_TRY_ASSIGN(owner_tag, r.varint());
+  b.owner_tag = owner_tag;
+  SCI_TRY_ASSIGN(event, event::Event::decode(r));
+  b.event = std::move(event);
+  return b;
+}
+
+std::vector<std::byte> ConfigureBody::encode() const {
+  serde::Writer w;
+  w.varint(config_tag);
+  params.encode(w);
+  return w.take();
+}
+
+Expected<ConfigureBody> ConfigureBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  ConfigureBody b;
+  SCI_TRY_ASSIGN(config_tag, r.varint());
+  b.config_tag = config_tag;
+  SCI_TRY_ASSIGN(params, Value::decode(r));
+  b.params = std::move(params);
+  return b;
+}
+
+std::vector<std::byte> QuerySubmitBody::encode() const {
+  serde::Writer w;
+  w.string(query_id);
+  w.string(xml);
+  return w.take();
+}
+
+Expected<QuerySubmitBody> QuerySubmitBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  QuerySubmitBody b;
+  SCI_TRY_ASSIGN(query_id, r.string());
+  b.query_id = std::move(query_id);
+  SCI_TRY_ASSIGN(xml, r.string());
+  b.xml = std::move(xml);
+  return b;
+}
+
+std::vector<std::byte> QueryResultBody::encode() const {
+  serde::Writer w;
+  w.string(query_id);
+  w.u8(status);
+  w.string(message);
+  result.encode(w);
+  return w.take();
+}
+
+Expected<QueryResultBody> QueryResultBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  QueryResultBody b;
+  SCI_TRY_ASSIGN(query_id, r.string());
+  b.query_id = std::move(query_id);
+  SCI_TRY_ASSIGN(status, r.u8());
+  b.status = status;
+  SCI_TRY_ASSIGN(message, r.string());
+  b.message = std::move(message);
+  SCI_TRY_ASSIGN(result, Value::decode(r));
+  b.result = std::move(result);
+  return b;
+}
+
+std::vector<std::byte> ServiceInvokeBody::encode() const {
+  serde::Writer w;
+  w.varint(invoke_id);
+  w.string(method);
+  args.encode(w);
+  return w.take();
+}
+
+Expected<ServiceInvokeBody> ServiceInvokeBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  ServiceInvokeBody b;
+  SCI_TRY_ASSIGN(invoke_id, r.varint());
+  b.invoke_id = invoke_id;
+  SCI_TRY_ASSIGN(method, r.string());
+  b.method = std::move(method);
+  SCI_TRY_ASSIGN(args, Value::decode(r));
+  b.args = std::move(args);
+  return b;
+}
+
+std::vector<std::byte> ServiceReplyBody::encode() const {
+  serde::Writer w;
+  w.varint(invoke_id);
+  w.u8(status);
+  w.string(message);
+  result.encode(w);
+  return w.take();
+}
+
+Expected<ServiceReplyBody> ServiceReplyBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  ServiceReplyBody b;
+  SCI_TRY_ASSIGN(invoke_id, r.varint());
+  b.invoke_id = invoke_id;
+  SCI_TRY_ASSIGN(status, r.u8());
+  b.status = status;
+  SCI_TRY_ASSIGN(message, r.string());
+  b.message = std::move(message);
+  SCI_TRY_ASSIGN(result, Value::decode(r));
+  b.result = std::move(result);
+  return b;
+}
+
+std::vector<std::byte> ProfileUpdateBody::encode() const {
+  serde::Writer w;
+  profile.encode(w);
+  return w.take();
+}
+
+Expected<ProfileUpdateBody> ProfileUpdateBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  ProfileUpdateBody b;
+  SCI_TRY_ASSIGN(profile, Profile::decode(r));
+  b.profile = std::move(profile);
+  return b;
+}
+
+}  // namespace sci::entity

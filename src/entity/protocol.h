@@ -1,0 +1,169 @@
+// SCI — wire protocol between components (CEs/CAAs) and range
+// infrastructure (Context Server and its utilities).
+//
+// Message sequence for discovery/registration follows Figure 5:
+//   component --kHello--> Range Service
+//   component <--kRangeInfo-- Range Service (registrar details)
+//   component --kRegisterRequest--> Registrar
+//   component <--kRegisterAck-- Registrar (CS details for a CAA,
+//                                          Event Mediator details for a CE)
+// Thereafter CEs publish events to the Event Mediator (kPublish) and
+// receive configuration wiring (kConfigure) plus event deliveries
+// (kDeliver); CAAs submit queries (kQuerySubmit, Fig 6 XML on the wire) and
+// receive results (kQueryResult) and deliveries. Service traffic
+// (kServiceInvoke/kServiceReply) flows point-to-point between CAA and CE —
+// the paper's hybrid communication model (§4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "entity/profile.h"
+#include "event/event.h"
+#include "serde/buffer.h"
+
+namespace sci::entity {
+
+enum ComponentMsg : std::uint32_t {
+  kHello = 0xCE01,
+  kRangeInfo,
+  kRegisterRequest,
+  kRegisterAck,
+  kDeregister,
+  kPublish,
+  kDeliver,
+  kConfigure,
+  kUnconfigure,
+  kQuerySubmit,
+  kQueryResult,
+  kServiceInvoke,
+  kServiceReply,
+  kProfileUpdate,
+  kPing,   // liveness probe from the Range Service
+  kPong,
+};
+
+inline void write_guid(serde::Writer& w, Guid g) {
+  w.u64(g.hi());
+  w.u64(g.lo());
+}
+
+inline Expected<Guid> read_guid(serde::Reader& r) {
+  SCI_TRY_ASSIGN(hi, r.u64());
+  SCI_TRY_ASSIGN(lo, r.u64());
+  return Guid(hi, lo);
+}
+
+struct HelloBody {
+  bool is_app = false;
+  std::string name;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<HelloBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct RangeInfoBody {
+  Guid range;
+  Guid registrar;  // network address (node) of the registrar
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<RangeInfoBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct RegisterRequestBody {
+  bool is_app = false;
+  Profile profile;
+  std::optional<Advertisement> advertisement;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<RegisterRequestBody> decode(
+      const std::vector<std::byte>& bytes);
+};
+
+struct RegisterAckBody {
+  bool accepted = false;
+  std::string reason;  // when rejected
+  Guid range;
+  Guid context_server;
+  Guid event_mediator;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<RegisterAckBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct PublishBody {
+  event::Event event;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<PublishBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct DeliverBody {
+  std::uint64_t subscription = 0;
+  std::uint64_t owner_tag = 0;  // configuration / query handle
+  event::Event event;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<DeliverBody> decode(const std::vector<std::byte>& bytes);
+};
+
+// Per-configuration parameters handed to a CE when the Context Server wires
+// it into a configuration (e.g. which two entities a path CE should track).
+struct ConfigureBody {
+  std::uint64_t config_tag = 0;
+  Value params;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<ConfigureBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct QuerySubmitBody {
+  std::string query_id;
+  std::string xml;  // the Figure 6 document
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<QuerySubmitBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct QueryResultBody {
+  std::string query_id;
+  std::uint8_t status = 0;  // ErrorCode
+  std::string message;
+  Value result;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<QueryResultBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct ServiceInvokeBody {
+  std::uint64_t invoke_id = 0;
+  std::string method;
+  Value args;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<ServiceInvokeBody> decode(
+      const std::vector<std::byte>& bytes);
+};
+
+struct ServiceReplyBody {
+  std::uint64_t invoke_id = 0;
+  std::uint8_t status = 0;  // ErrorCode
+  std::string message;
+  Value result;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<ServiceReplyBody> decode(const std::vector<std::byte>& bytes);
+};
+
+struct ProfileUpdateBody {
+  Profile profile;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<ProfileUpdateBody> decode(
+      const std::vector<std::byte>& bytes);
+};
+
+}  // namespace sci::entity

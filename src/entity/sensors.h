@@ -1,0 +1,191 @@
+// SCI — concrete Context Entities from the paper's scenarios.
+//
+// These are the building blocks of Figure 3 (doorSensorCE → objLocationCE →
+// pathCE → pathApp) and Section 5 (CAPA): sensors at the bottom, context
+// aggregators above them. Each declares typed inputs/outputs in its profile
+// so the Query Resolver can chain them automatically.
+//
+// Event type vocabulary:
+//   door.transit      {entity, from_place, to_place, door}
+//   wlan.sighting     {entity, rssi, station_x, station_y, station}
+//   location.update   {entity, place, x, y, logical}     semantic: position
+//   path.update       {config, from, to, route[], cost}  semantic: route
+//   temperature       {value}                            unit: celsius|fahrenheit
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "entity/component.h"
+#include "location/models.h"
+#include "location/trilateration.h"
+
+namespace sci::entity {
+
+// Event type names, shared by producers, the resolver and tests.
+namespace types {
+inline constexpr const char* kDoorTransit = "door.transit";
+inline constexpr const char* kWlanSighting = "wlan.sighting";
+inline constexpr const char* kLocationUpdate = "location.update";
+inline constexpr const char* kPathUpdate = "path.update";
+inline constexpr const char* kTemperature = "temperature";
+inline constexpr const char* kPrinterStatus = "printer.status";
+// Semantic tags (the resolver's cross-syntax equivalence key).
+inline constexpr const char* kSemPosition = "position";
+inline constexpr const char* kSemRoute = "route";
+inline constexpr const char* kSemPresence = "presence";
+}  // namespace types
+
+// A door sensor guarding one portal: "doorSensor CEs produce events
+// indicating when an object (equipped with ID tag) passes through them"
+// (paper §3.2). Driven by the mobility world via sense_transit().
+class DoorSensorCE : public ContextEntity {
+ public:
+  DoorSensorCE(net::Network& network, Guid id, std::string name,
+               location::PlaceId place_a, location::PlaceId place_b);
+
+  // World driver: a badge crossed this door from `from` to `to` (both must
+  // be this door's places).
+  void sense_transit(Guid badge, location::PlaceId from,
+                     location::PlaceId to);
+
+  [[nodiscard]] location::PlaceId place_a() const { return place_a_; }
+  [[nodiscard]] location::PlaceId place_b() const { return place_b_; }
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+
+ private:
+  location::PlaceId place_a_;
+  location::PlaceId place_b_;
+};
+
+// Aggregates door-transit events into per-entity locations — the paper's
+// objLocationCE: "takes an entity ID as an input and produces location
+// information as an output".
+class ObjectLocationCE : public ContextEntity {
+ public:
+  ObjectLocationCE(net::Network& network, Guid id, std::string name,
+                   const location::LocationDirectory* directory);
+
+  // Last place this CE believes `entity` to be in (kNoPlace when unknown).
+  [[nodiscard]] location::PlaceId last_place(Guid entity) const;
+
+  // Seeds an initial position (e.g. from registration-time profile data).
+  void seed(Guid entity, location::PlaceId place);
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_inputs() const override;
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+  void on_event(const event::Event& event, std::uint64_t owner_tag) override;
+
+ private:
+  void publish_location(Guid entity, location::PlaceId place);
+
+  const location::LocationDirectory* directory_;
+  std::unordered_map<Guid, location::PlaceId> positions_;
+};
+
+// A W-LAN base station: reports signal sightings of badges in radio range.
+// Driven by the mobility world via sense().
+class WlanBaseStationCE : public ContextEntity {
+ public:
+  WlanBaseStationCE(net::Network& network, Guid id, std::string name,
+                    location::Point position);
+
+  void sense(Guid badge, double rssi);
+
+  [[nodiscard]] location::Point position() const { return position_; }
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+
+ private:
+  location::Point position_;
+};
+
+// Fuses wlan.sighting events from >= 3 stations into location.update events
+// via trilateration — the alternative position source the paper uses to
+// motivate semantic (not syntactic) source matching (§2, iQueue critique).
+class WlanLocationCE : public ContextEntity {
+ public:
+  WlanLocationCE(net::Network& network, Guid id, std::string name,
+                 const location::LocationDirectory* directory,
+                 location::PathLossModel model = {});
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_inputs() const override;
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+  void on_event(const event::Event& event, std::uint64_t owner_tag) override;
+
+ private:
+  struct Sighting {
+    location::Point station;
+    double rssi = 0.0;
+  };
+
+  const location::LocationDirectory* directory_;
+  location::PathLossModel model_;
+  // Latest sighting per (entity, station-key).
+  std::unordered_map<Guid, std::unordered_map<std::uint64_t, Sighting>>
+      sightings_;
+};
+
+// Computes the route between two tracked entities — the paper's pathCE:
+// "a CE is found that meets this requirement but requires two locations as
+// inputs" (§3.2). Which two entities to track arrives per configuration via
+// on_configure (params: {"from": guid, "to": guid}).
+class PathCE : public ContextEntity {
+ public:
+  PathCE(net::Network& network, Guid id, std::string name,
+         const location::LocationDirectory* directory);
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_inputs() const override;
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+  void on_configure(std::uint64_t config_tag, const Value& params) override;
+  void on_unconfigure(std::uint64_t config_tag) override;
+  void on_event(const event::Event& event, std::uint64_t owner_tag) override;
+
+ private:
+  struct Tracking {
+    Guid from;
+    Guid to;
+    location::PlaceId from_place = location::kNoPlace;
+    location::PlaceId to_place = location::kNoPlace;
+  };
+
+  void recompute(std::uint64_t config_tag, Tracking& tracking);
+
+  const location::LocationDirectory* directory_;
+  std::unordered_map<std::uint64_t, Tracking> configs_;
+};
+
+// A periodic temperature sensor; `unit` is "celsius" or "fahrenheit" so
+// tests can exercise unit-aware matching. Values follow a bounded random
+// walk seeded from the simulator RNG.
+class TemperatureSensorCE : public ContextEntity {
+ public:
+  TemperatureSensorCE(net::Network& network, Guid id, std::string name,
+                      std::string unit = "celsius",
+                      Duration period = Duration::seconds(5));
+
+  [[nodiscard]] double current() const { return current_; }
+
+ protected:
+  [[nodiscard]] std::vector<TypeSig> profile_outputs() const override;
+  void on_registered() override;
+  void on_deregistered() override;
+
+ private:
+  void tick();
+
+  std::string unit_;
+  Duration period_;
+  double current_ = 20.0;
+  std::optional<sim::PeriodicTimer> timer_;
+  std::optional<Rng> rng_;
+};
+
+}  // namespace sci::entity

@@ -1,0 +1,68 @@
+// SCI — typed context events.
+//
+// Context Entities "communicate by means of producing and consuming typed
+// events" (paper §3.1). An Event couples a type name (matched against CE
+// profile inputs/outputs during composition), the producing entity, a
+// virtual timestamp and a structured Value payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "common/time.h"
+#include "serde/value.h"
+
+namespace sci::event {
+
+struct Event {
+  std::uint64_t sequence = 0;  // per-producer sequence number
+  std::string type;            // event type name, e.g. "location.update"
+  Guid source;                 // producing entity
+  SimTime timestamp;
+  Value payload;
+
+  void encode(serde::Writer& w) const;
+  static Expected<Event> decode(serde::Reader& r);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Constraint operators for payload field filters.
+enum class FilterOp : std::uint8_t {
+  kEquals = 0,
+  kNotEquals,
+  kLess,
+  kLessOrEqual,
+  kGreater,
+  kGreaterOrEqual,
+  kExists,
+};
+
+struct FieldConstraint {
+  std::string key;  // payload map key
+  FilterOp op = FilterOp::kEquals;
+  Value operand;
+
+  [[nodiscard]] bool matches(const Value& payload) const;
+
+  void encode(serde::Writer& w) const;
+  static Expected<FieldConstraint> decode(serde::Reader& r);
+};
+
+// Declarative event filter evaluated by the Event Mediator before delivery.
+// An empty filter matches everything of the subscribed type.
+struct EventFilter {
+  std::optional<Guid> source;            // only events from this entity
+  std::vector<FieldConstraint> fields;   // all must hold (conjunction)
+
+  [[nodiscard]] bool matches(const Event& event) const;
+
+  void encode(serde::Writer& w) const;
+  static Expected<EventFilter> decode(serde::Reader& r);
+};
+
+}  // namespace sci::event

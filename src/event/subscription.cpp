@@ -1,0 +1,111 @@
+#include "event/subscription.h"
+
+#include <algorithm>
+
+namespace sci::event {
+
+SubscriptionId SubscriptionTable::add(Guid subscriber,
+                                      std::optional<Guid> producer,
+                                      std::string event_type,
+                                      EventFilter filter, bool one_time,
+                                      std::uint64_t owner_tag) {
+  const SubscriptionId id = next_id_++;
+  Subscription subscription;
+  subscription.id = id;
+  subscription.subscriber = subscriber;
+  subscription.producer = producer;
+  subscription.event_type = event_type;
+  subscription.filter = std::move(filter);
+  subscription.one_time = one_time;
+  subscription.owner_tag = owner_tag;
+  by_type_[event_type].push_back(id);
+  subscriptions_.emplace(id, std::move(subscription));
+  return id;
+}
+
+Status SubscriptionTable::remove(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end())
+    return make_error(ErrorCode::kNotFound,
+                      "no subscription " + std::to_string(id));
+  unindex(it->second);
+  subscriptions_.erase(it);
+  return Status::ok();
+}
+
+void SubscriptionTable::unindex(const Subscription& subscription) {
+  const auto it = by_type_.find(subscription.event_type);
+  if (it == by_type_.end()) return;
+  auto& ids = it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), subscription.id), ids.end());
+  if (ids.empty()) by_type_.erase(it);
+}
+
+std::size_t SubscriptionTable::remove_subscriber(Guid subscriber) {
+  std::vector<SubscriptionId> to_remove;
+  for (const auto& [id, subscription] : subscriptions_) {
+    if (subscription.subscriber == subscriber) to_remove.push_back(id);
+  }
+  for (const SubscriptionId id : to_remove) (void)remove(id);
+  return to_remove.size();
+}
+
+std::size_t SubscriptionTable::remove_producer(Guid producer) {
+  std::vector<SubscriptionId> to_remove;
+  for (const auto& [id, subscription] : subscriptions_) {
+    if (subscription.producer == producer) to_remove.push_back(id);
+  }
+  for (const SubscriptionId id : to_remove) (void)remove(id);
+  return to_remove.size();
+}
+
+std::size_t SubscriptionTable::remove_owner(std::uint64_t owner_tag) {
+  if (owner_tag == 0) return 0;
+  std::vector<SubscriptionId> to_remove;
+  for (const auto& [id, subscription] : subscriptions_) {
+    if (subscription.owner_tag == owner_tag) to_remove.push_back(id);
+  }
+  for (const SubscriptionId id : to_remove) (void)remove(id);
+  return to_remove.size();
+}
+
+std::vector<Subscription> SubscriptionTable::collect_matches(
+    const Event& event) {
+  std::vector<Subscription> matched;
+  const auto it = by_type_.find(event.type);
+  if (it == by_type_.end()) return matched;
+  std::vector<SubscriptionId> one_shots;
+  for (const SubscriptionId id : it->second) {
+    auto sub_it = subscriptions_.find(id);
+    if (sub_it == subscriptions_.end()) continue;
+    Subscription& subscription = sub_it->second;
+    if (subscription.producer.has_value() &&
+        *subscription.producer != event.source) {
+      continue;
+    }
+    if (!subscription.filter.matches(event)) continue;
+    subscription.delivered += 1;
+    ++total_delivered_;
+    matched.push_back(subscription);
+    if (subscription.one_time) one_shots.push_back(id);
+  }
+  for (const SubscriptionId id : one_shots) (void)remove(id);
+  return matched;
+}
+
+const Subscription* SubscriptionTable::find(SubscriptionId id) const {
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+std::vector<SubscriptionId> SubscriptionTable::ids_for_subscriber(
+    Guid subscriber) const {
+  std::vector<SubscriptionId> out;
+  for (const auto& [id, subscription] : subscriptions_) {
+    if (subscription.subscriber == subscriber) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sci::event

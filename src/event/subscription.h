@@ -1,0 +1,86 @@
+// SCI — subscription bookkeeping for the Event Mediator.
+//
+// The Event Mediator "manages the establishment, maintenance and removal of
+// event subscriptions between Context Entities and Context Aware
+// Applications" (paper §3.1). SubscriptionTable is its core data structure:
+// an index from (producer, event type) to interested subscribers, with
+// filters, one-shot semantics (the paper's "one-time subscription" query
+// mode) and per-subscription delivery statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "event/event.h"
+
+namespace sci::event {
+
+using SubscriptionId = std::uint64_t;
+
+struct Subscription {
+  SubscriptionId id = 0;
+  Guid subscriber;               // CE or CAA receiving deliveries
+  std::optional<Guid> producer;  // nullopt = any producer of this type
+  std::string event_type;
+  EventFilter filter;
+  bool one_time = false;         // cancel after first delivery
+  std::uint64_t delivered = 0;
+
+  // Configurations tag their subscriptions so teardown can find them.
+  std::uint64_t owner_tag = 0;
+};
+
+class SubscriptionTable {
+ public:
+  // Registers a subscription and returns its id.
+  SubscriptionId add(Guid subscriber, std::optional<Guid> producer,
+                     std::string event_type, EventFilter filter,
+                     bool one_time = false, std::uint64_t owner_tag = 0);
+
+  Status remove(SubscriptionId id);
+
+  // Removes every subscription held by `subscriber` (entity departed).
+  std::size_t remove_subscriber(Guid subscriber);
+
+  // Removes every subscription naming `producer` explicitly. Type-wildcard
+  // subscriptions survive (they rebind to other producers naturally).
+  std::size_t remove_producer(Guid producer);
+
+  // Removes every subscription tagged with `owner_tag` (configuration
+  // teardown).
+  std::size_t remove_owner(std::uint64_t owner_tag);
+
+  // Returns the subscriptions matching `event`, bumping their delivery
+  // counters and dropping the one-time ones. The returned snapshot is safe
+  // to iterate while the table mutates.
+  std::vector<Subscription> collect_matches(const Event& event);
+
+  [[nodiscard]] const Subscription* find(SubscriptionId id) const;
+  [[nodiscard]] std::size_t size() const { return subscriptions_.size(); }
+
+  // All subscriptions held by a subscriber (diagnostics, tests).
+  [[nodiscard]] std::vector<SubscriptionId> ids_for_subscriber(
+      Guid subscriber) const;
+
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    return total_delivered_;
+  }
+
+ private:
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  // Index: event type -> subscription ids (producer filtering happens at
+  // match time; type is the selective key in practice).
+  std::unordered_map<std::string, std::vector<SubscriptionId>> by_type_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t total_delivered_ = 0;
+
+  void unindex(const Subscription& subscription);
+};
+
+}  // namespace sci::event

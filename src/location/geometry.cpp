@@ -1,0 +1,94 @@
+#include "location/geometry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace sci::location {
+
+std::string Point::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "(%.2f, %.2f)", x, y);
+  return buf;
+}
+
+bool Polygon::contains(Point p) const {
+  if (empty()) return false;
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    // Boundary check: point on segment a-b counts as inside.
+    const double cross =
+        (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if (std::abs(cross) < 1e-12 &&
+        p.x >= std::min(a.x, b.x) - 1e-12 &&
+        p.x <= std::max(a.x, b.x) + 1e-12 &&
+        p.y >= std::min(a.y, b.y) - 1e-12 &&
+        p.y <= std::max(a.y, b.y) + 1e-12) {
+      return true;
+    }
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at_y = a.x + (b.x - a.x) * (p.y - a.y) / (b.y - a.y);
+      if (p.x < x_at_y) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Point Polygon::centroid() const {
+  if (empty()) return {};
+  // Area-weighted centroid; falls back to vertex mean for degenerate
+  // (zero-area) polygons.
+  double a2 = 0.0;  // twice the signed area
+  double cx = 0.0;
+  double cy = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    const double cross = p.x * q.y - q.x * p.y;
+    a2 += cross;
+    cx += (p.x + q.x) * cross;
+    cy += (p.y + q.y) * cross;
+  }
+  if (std::abs(a2) < 1e-12) {
+    double sx = 0.0;
+    double sy = 0.0;
+    for (const Point& p : vertices_) {
+      sx += p.x;
+      sy += p.y;
+    }
+    return {sx / static_cast<double>(n), sy / static_cast<double>(n)};
+  }
+  return {cx / (3.0 * a2), cy / (3.0 * a2)};
+}
+
+double Polygon::area() const {
+  if (empty()) return 0.0;
+  double a2 = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    a2 += p.x * q.y - q.x * p.y;
+  }
+  return std::abs(a2) / 2.0;
+}
+
+Rect Polygon::bounding_box() const {
+  Rect box{{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()},
+           {-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()}};
+  for (const Point& p : vertices_) {
+    box.min.x = std::min(box.min.x, p.x);
+    box.min.y = std::min(box.min.y, p.y);
+    box.max.x = std::max(box.max.x, p.x);
+    box.max.y = std::max(box.max.y, p.y);
+  }
+  return box;
+}
+
+}  // namespace sci::location

@@ -1,0 +1,67 @@
+// SCI — 2-D geometry primitives for the geometric location model.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace sci::location {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+inline double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct Rect {
+  Point min;
+  Point max;
+
+  [[nodiscard]] bool contains(Point p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  [[nodiscard]] Point center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+  [[nodiscard]] double width() const { return max.x - min.x; }
+  [[nodiscard]] double height() const { return max.y - min.y; }
+};
+
+// Simple polygon (vertices in order, implicitly closed).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+  static Polygon from_rect(const Rect& rect) {
+    return Polygon({{rect.min.x, rect.min.y},
+                    {rect.max.x, rect.min.y},
+                    {rect.max.x, rect.max.y},
+                    {rect.min.x, rect.max.y}});
+  }
+
+  [[nodiscard]] const std::vector<Point>& vertices() const {
+    return vertices_;
+  }
+  [[nodiscard]] bool empty() const { return vertices_.size() < 3; }
+
+  // Ray-casting point-in-polygon test; boundary points count as inside.
+  [[nodiscard]] bool contains(Point p) const;
+
+  [[nodiscard]] Point centroid() const;
+  [[nodiscard]] double area() const;
+  [[nodiscard]] Rect bounding_box() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+}  // namespace sci::location

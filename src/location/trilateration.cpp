@@ -1,0 +1,68 @@
+#include "location/trilateration.h"
+
+#include <cmath>
+
+namespace sci::location {
+
+double PathLossModel::rssi_at(double dist) const {
+  const double clamped = std::max(dist, 0.01);
+  return tx_power_dbm - 10.0 * exponent * std::log10(clamped);
+}
+
+double PathLossModel::distance_for(double rssi) const {
+  return std::pow(10.0, (tx_power_dbm - rssi) / (10.0 * exponent));
+}
+
+Expected<Point> trilaterate(const std::vector<BeaconReading>& readings,
+                            const PathLossModel& model) {
+  if (readings.size() < 3)
+    return make_error(ErrorCode::kUnresolvable,
+                      "trilateration needs at least 3 beacons, got " +
+                          std::to_string(readings.size()));
+
+  // Linearisation: subtracting the circle equation of the last beacon from
+  // each other beacon's gives a linear system A x = b with
+  //   A_i = 2 * (x_i - x_n, y_i - y_n)
+  //   b_i = r_n^2 - r_i^2 + x_i^2 - x_n^2 + y_i^2 - y_n^2
+  // solved via the 2x2 normal equations.
+  const BeaconReading& last = readings.back();
+  const double rn = model.distance_for(last.rssi);
+  double ata00 = 0.0, ata01 = 0.0, ata11 = 0.0;
+  double atb0 = 0.0, atb1 = 0.0;
+  for (std::size_t i = 0; i + 1 < readings.size(); ++i) {
+    const BeaconReading& reading = readings[i];
+    const double ri = model.distance_for(reading.rssi);
+    const double ax = 2.0 * (reading.beacon.x - last.beacon.x);
+    const double ay = 2.0 * (reading.beacon.y - last.beacon.y);
+    const double b = rn * rn - ri * ri + reading.beacon.x * reading.beacon.x -
+                     last.beacon.x * last.beacon.x +
+                     reading.beacon.y * reading.beacon.y -
+                     last.beacon.y * last.beacon.y;
+    ata00 += ax * ax;
+    ata01 += ax * ay;
+    ata11 += ay * ay;
+    atb0 += ax * b;
+    atb1 += ay * b;
+  }
+  const double det = ata00 * ata11 - ata01 * ata01;
+  if (std::abs(det) < 1e-9)
+    return make_error(ErrorCode::kUnresolvable,
+                      "beacons are collinear; position is ambiguous");
+  return Point{(ata11 * atb0 - ata01 * atb1) / det,
+               (ata00 * atb1 - ata01 * atb0) / det};
+}
+
+double trilateration_residual(const std::vector<BeaconReading>& readings,
+                              const PathLossModel& model, Point position) {
+  if (readings.empty()) return 0.0;
+  double sum = 0.0;
+  for (const BeaconReading& reading : readings) {
+    const double measured = model.distance_for(reading.rssi);
+    const double actual = distance(reading.beacon, position);
+    const double residual = measured - actual;
+    sum += residual * residual;
+  }
+  return std::sqrt(sum / static_cast<double>(readings.size()));
+}
+
+}  // namespace sci::location

@@ -1,0 +1,42 @@
+// SCI — signal-strength positioning (paper §3.3: "convert network signal
+// strength to a geometric position").
+//
+// A log-distance path-loss model turns RSSI readings into range estimates,
+// and a linearised least-squares solve turns >= 3 beacon ranges into a
+// position. This is the converter the Location Service uses to place W-LAN
+// devices into the geometric model.
+#pragma once
+
+#include <vector>
+
+#include "common/expected.h"
+#include "location/geometry.h"
+
+namespace sci::location {
+
+struct PathLossModel {
+  double tx_power_dbm = -40.0;   // RSSI at 1 unit distance
+  double exponent = 2.0;         // path-loss exponent (2 = free space)
+
+  // Expected RSSI at `dist` units (dist clamped away from zero).
+  [[nodiscard]] double rssi_at(double dist) const;
+  // Inverts rssi_at: estimated distance for a measured RSSI.
+  [[nodiscard]] double distance_for(double rssi) const;
+};
+
+struct BeaconReading {
+  Point beacon;      // known beacon position
+  double rssi = 0.0; // measured signal strength (dBm)
+};
+
+// Estimates a position from beacon readings. Needs >= 3 non-collinear
+// beacons; returns kUnresolvable otherwise.
+Expected<Point> trilaterate(const std::vector<BeaconReading>& readings,
+                            const PathLossModel& model);
+
+// Root-mean-square residual between measured-range circles and a position;
+// the Location Service uses it as a quality score.
+double trilateration_residual(const std::vector<BeaconReading>& readings,
+                              const PathLossModel& model, Point position);
+
+}  // namespace sci::location

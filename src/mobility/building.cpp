@@ -1,0 +1,94 @@
+#include "mobility/building.h"
+
+#include "common/assert.h"
+
+namespace sci::mobility {
+
+using location::LogicalPath;
+using location::PlaceId;
+using location::Point;
+using location::Polygon;
+using location::Rect;
+
+Building::Building(const BuildingSpec& spec) : spec_(spec) {
+  SCI_ASSERT(spec.floors >= 1);
+  SCI_ASSERT(spec.rooms_per_floor >= 1);
+
+  const LogicalPath building = building_path();
+
+  // Ground-floor lobby spans the corridor width in front of the building.
+  {
+    const Rect bounds{{0.0, -spec.corridor_depth},
+                      {static_cast<double>(spec.rooms_per_floor) *
+                           spec.room_width,
+                       0.0}};
+    auto lobby_id = directory_.add_place(building.child("lobby"),
+                                         Polygon::from_rect(bounds));
+    SCI_ASSERT(lobby_id.has_value());
+    lobby_ = *lobby_id;
+  }
+
+  for (unsigned floor = 0; floor < spec.floors; ++floor) {
+    const double y0 = static_cast<double>(floor) * spec.floor_gap;
+    const LogicalPath level = floor_path(floor);
+
+    // Corridor along the front of the rooms.
+    const Rect corridor_bounds{
+        {0.0, y0},
+        {static_cast<double>(spec.rooms_per_floor) * spec.room_width,
+         y0 + spec.corridor_depth}};
+    auto corridor_id = directory_.add_place(
+        level.child("corridor"), Polygon::from_rect(corridor_bounds));
+    SCI_ASSERT(corridor_id.has_value());
+    corridors_.push_back(*corridor_id);
+
+    // Rooms in a row behind the corridor, one door each onto the corridor.
+    for (unsigned index = 0; index < spec.rooms_per_floor; ++index) {
+      const double x0 = static_cast<double>(index) * spec.room_width;
+      const Rect room_bounds{
+          {x0, y0 + spec.corridor_depth},
+          {x0 + spec.room_width,
+           y0 + spec.corridor_depth + spec.room_depth}};
+      auto room_id = directory_.add_place(room_path(floor, index),
+                                          Polygon::from_rect(room_bounds));
+      SCI_ASSERT(room_id.has_value());
+      rooms_.push_back(*room_id);
+      SCI_ASSERT(directory_.connect(*corridor_id, *room_id).is_ok());
+    }
+
+    // Stairs: corridor to the next floor's corridor.
+    if (floor > 0) {
+      SCI_ASSERT(
+          directory_.connect(corridors_[floor - 1], corridors_[floor],
+                             spec.floor_gap)
+              .is_ok());
+    }
+  }
+
+  // Lobby opens onto the ground-floor corridor.
+  SCI_ASSERT(directory_.connect(lobby_, corridors_[0]).is_ok());
+}
+
+PlaceId Building::corridor(unsigned floor) const {
+  SCI_ASSERT(floor < corridors_.size());
+  return corridors_[floor];
+}
+
+PlaceId Building::room(unsigned floor, unsigned index) const {
+  SCI_ASSERT(floor < spec_.floors && index < spec_.rooms_per_floor);
+  return rooms_[floor * spec_.rooms_per_floor + index];
+}
+
+LogicalPath Building::building_path() const {
+  return LogicalPath({spec_.campus, spec_.name});
+}
+
+LogicalPath Building::floor_path(unsigned floor) const {
+  return building_path().child("level" + std::to_string(floor));
+}
+
+LogicalPath Building::room_path(unsigned floor, unsigned index) const {
+  return floor_path(floor).child("room" + std::to_string(index));
+}
+
+}  // namespace sci::mobility

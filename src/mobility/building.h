@@ -1,0 +1,66 @@
+// SCI — synthetic building generator.
+//
+// Stands in for the paper's Livingstone Tower deployment (DESIGN.md §2):
+// produces a LocationDirectory populated with a campus/building/floor/room
+// logical hierarchy, rectangular geometric footprints, and a topological
+// portal graph (room↔corridor doors, corridor↔corridor stairs, a ground
+// floor lobby). Sized by spec so benches can sweep building scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "location/models.h"
+
+namespace sci::mobility {
+
+struct BuildingSpec {
+  std::string campus = "campus";
+  std::string name = "tower";
+  unsigned floors = 1;
+  unsigned rooms_per_floor = 8;
+  double room_width = 10.0;
+  double room_depth = 8.0;
+  double corridor_depth = 4.0;
+  // Vertical offset applied per floor so geometric distance reflects floor
+  // changes (a flattened 2-D embedding of the tower).
+  double floor_gap = 40.0;
+};
+
+class Building {
+ public:
+  explicit Building(const BuildingSpec& spec);
+
+  [[nodiscard]] const location::LocationDirectory& directory() const {
+    return directory_;
+  }
+  // Non-const access for attaching door-sensor GUIDs to portals.
+  [[nodiscard]] location::LocationDirectory& directory() {
+    return directory_;
+  }
+
+  [[nodiscard]] const BuildingSpec& spec() const { return spec_; }
+
+  [[nodiscard]] location::PlaceId lobby() const { return lobby_; }
+  [[nodiscard]] location::PlaceId corridor(unsigned floor) const;
+  [[nodiscard]] location::PlaceId room(unsigned floor, unsigned index) const;
+  [[nodiscard]] std::size_t room_count() const { return rooms_.size(); }
+  [[nodiscard]] const std::vector<location::PlaceId>& rooms() const {
+    return rooms_;
+  }
+
+  // Logical path helpers ("campus/tower/level2/room5").
+  [[nodiscard]] location::LogicalPath room_path(unsigned floor,
+                                                unsigned index) const;
+  [[nodiscard]] location::LogicalPath floor_path(unsigned floor) const;
+  [[nodiscard]] location::LogicalPath building_path() const;
+
+ private:
+  BuildingSpec spec_;
+  location::LocationDirectory directory_;
+  location::PlaceId lobby_ = location::kNoPlace;
+  std::vector<location::PlaceId> corridors_;  // per floor
+  std::vector<location::PlaceId> rooms_;      // floor-major
+};
+
+}  // namespace sci::mobility

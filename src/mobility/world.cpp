@@ -1,0 +1,252 @@
+#include "mobility/world.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sci::mobility {
+
+namespace {
+constexpr const char* kTag = "world";
+}
+
+World::World(sim::Simulator& simulator,
+             const location::LocationDirectory* directory)
+    : simulator_(simulator),
+      directory_(directory),
+      rng_(simulator.rng().split()) {
+  SCI_ASSERT(directory != nullptr);
+}
+
+void World::add_range(range::ContextServer* server) {
+  SCI_ASSERT(server != nullptr);
+  ranges_.push_back(server);
+}
+
+void World::attach_door_sensor(entity::DoorSensorCE* sensor) {
+  SCI_ASSERT(sensor != nullptr);
+  door_sensors_.push_back(sensor);
+}
+
+void World::attach_base_station(entity::WlanBaseStationCE* station,
+                                double radius) {
+  SCI_ASSERT(station != nullptr);
+  SCI_ASSERT(radius > 0.0);
+  stations_.push_back(Station{station, radius});
+}
+
+void World::add_badge(Guid badge, location::PlaceId start) {
+  Badge state;
+  state.place = start;
+  badges_[badge] = std::move(state);
+  auto& stored = badges_[badge];
+  handoff_if_needed(badge, stored);
+}
+
+void World::bind_component(Guid badge, entity::Component* component) {
+  SCI_ASSERT(component != nullptr);
+  auto it = badges_.find(badge);
+  SCI_ASSERT_MSG(it != badges_.end(), "bind_component on unknown badge");
+  it->second.components.push_back(component);
+  // Late binding: introduce the component to the current range immediately.
+  if (!it->second.current_range.is_nil()) {
+    if (range::ContextServer* server = server_for_place(it->second.place);
+        server != nullptr) {
+      if (component->is_started()) component->discover(server->server_node());
+    }
+  }
+}
+
+location::PlaceId World::position(Guid badge) const {
+  const auto it = badges_.find(badge);
+  return it == badges_.end() ? location::kNoPlace : it->second.place;
+}
+
+std::optional<Guid> World::range_of(Guid badge) const {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end() || it->second.current_range.is_nil())
+    return std::nullopt;
+  return it->second.current_range;
+}
+
+std::optional<location::Point> World::geometric_position(Guid badge) const {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end()) return std::nullopt;
+  const location::Place* place = directory_->place(it->second.place);
+  if (place == nullptr) return std::nullopt;
+  return place->anchor;
+}
+
+range::ContextServer* World::server_for_place(
+    location::PlaceId place_id) const {
+  if (range_directory_ == nullptr) {
+    // Single-range worlds: everything belongs to the only range.
+    return ranges_.size() == 1 ? ranges_.front() : nullptr;
+  }
+  const location::Place* place = directory_->place(place_id);
+  if (place == nullptr) return nullptr;
+  const auto entry = range_directory_->range_for_path(place->path);
+  if (!entry) return nullptr;
+  for (range::ContextServer* server : ranges_) {
+    if (server->id() == entry->range) return server;
+  }
+  return nullptr;
+}
+
+Status World::step(Guid badge, location::PlaceId to) {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end())
+    return make_error(ErrorCode::kNotFound, "unknown badge");
+  Badge& state = it->second;
+  const location::PlaceId from = state.place;
+  if (from == to) return Status::ok();
+  const auto neighbours = directory_->neighbours(from);
+  if (std::find(neighbours.begin(), neighbours.end(), to) ==
+      neighbours.end()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "places are not adjacent in the portal graph");
+  }
+  state.place = to;
+  ++stats_.hops;
+  fire_door_sensors(badge, from, to);
+  handoff_if_needed(badge, state);
+  return Status::ok();
+}
+
+void World::fire_door_sensors(Guid badge, location::PlaceId from,
+                              location::PlaceId to) {
+  for (entity::DoorSensorCE* sensor : door_sensors_) {
+    const bool guards = (sensor->place_a() == from && sensor->place_b() == to) ||
+                        (sensor->place_a() == to && sensor->place_b() == from);
+    if (guards) {
+      ++stats_.door_triggers;
+      sensor->sense_transit(badge, from, to);
+    }
+  }
+}
+
+void World::handoff_if_needed(Guid badge, Badge& state) {
+  range::ContextServer* server = server_for_place(state.place);
+  const Guid new_range = server != nullptr ? server->id() : Guid();
+  if (new_range == state.current_range) return;
+
+  // Departure from the old range.
+  if (!state.current_range.is_nil()) {
+    for (range::ContextServer* old_server : ranges_) {
+      if (old_server->id() != state.current_range) continue;
+      for (entity::Component* component : state.components) {
+        old_server->detect_departure(component->id());
+      }
+      break;
+    }
+  }
+  state.current_range = new_range;
+  if (server == nullptr) {
+    SCI_DEBUG(kTag, "badge %s left all ranges", badge.short_string().c_str());
+    return;
+  }
+  ++stats_.handoffs;
+  // Arrival: the new Range Service discovers the badge's components, which
+  // restarts the Fig 5 handshake for each of them.
+  for (entity::Component* component : state.components) {
+    if (component->is_started()) component->discover(server->server_node());
+  }
+  SCI_DEBUG(kTag, "badge %s handed off to range %s",
+            badge.short_string().c_str(), new_range.short_string().c_str());
+}
+
+Status World::walk_to(Guid badge, location::PlaceId target, Duration per_hop) {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end())
+    return make_error(ErrorCode::kNotFound, "unknown badge");
+  Badge& state = it->second;
+  SCI_TRY_ASSIGN(route, directory_->route(state.place, target));
+  state.route = std::move(route);
+  state.route_next = 1;  // element 0 is the current place
+  state.wandering = false;
+  ++state.motion_epoch;
+  if (state.route_next >= state.route.size()) return Status::ok();
+  schedule_next_walk_hop(badge, per_hop);
+  return Status::ok();
+}
+
+void World::schedule_next_walk_hop(Guid badge, Duration per_hop) {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end()) return;
+  const std::uint64_t epoch = it->second.motion_epoch;
+  simulator_.schedule(per_hop, [this, badge, per_hop, epoch] {
+    const auto badge_it = badges_.find(badge);
+    if (badge_it == badges_.end()) return;
+    Badge& state = badge_it->second;
+    if (state.motion_epoch != epoch) return;  // superseded walk
+    if (state.route_next >= state.route.size()) return;
+    const location::PlaceId next = state.route[state.route_next++];
+    (void)step(badge, next);
+    if (state.route_next < state.route.size()) {
+      schedule_next_walk_hop(badge, per_hop);
+    }
+  });
+}
+
+void World::wander(Guid badge, Duration per_hop) {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end()) return;
+  it->second.wandering = true;
+  ++it->second.motion_epoch;
+  schedule_next_wander_hop(badge, per_hop);
+}
+
+void World::stop_wandering(Guid badge) {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end()) return;
+  it->second.wandering = false;
+  ++it->second.motion_epoch;
+}
+
+void World::schedule_next_wander_hop(Guid badge, Duration per_hop) {
+  const auto it = badges_.find(badge);
+  if (it == badges_.end()) return;
+  const std::uint64_t epoch = it->second.motion_epoch;
+  simulator_.schedule(per_hop, [this, badge, per_hop, epoch] {
+    const auto badge_it = badges_.find(badge);
+    if (badge_it == badges_.end()) return;
+    Badge& state = badge_it->second;
+    if (!state.wandering || state.motion_epoch != epoch) return;
+    const auto neighbours = directory_->neighbours(state.place);
+    if (!neighbours.empty()) {
+      const location::PlaceId next =
+          neighbours[rng_.next_below(neighbours.size())];
+      (void)step(badge, next);
+    }
+    schedule_next_wander_hop(badge, per_hop);
+  });
+}
+
+void World::start_wlan_scanning(Duration period,
+                                location::PathLossModel model,
+                                double noise_stddev) {
+  wlan_model_ = model;
+  wlan_noise_stddev_ = noise_stddev;
+  wlan_timer_.emplace(simulator_, period, [this] { wlan_scan(); });
+  wlan_timer_->start();
+}
+
+void World::stop_wlan_scanning() { wlan_timer_.reset(); }
+
+void World::wlan_scan() {
+  for (const Station& station : stations_) {
+    const location::Point station_position = station.ce->position();
+    for (const auto& [badge, state] : badges_) {
+      const location::Place* place = directory_->place(state.place);
+      if (place == nullptr) continue;
+      const double d = location::distance(place->anchor, station_position);
+      if (d > station.radius) continue;
+      const double rssi = wlan_model_.rssi_at(d) +
+                          rng_.next_normal(0.0, wlan_noise_stddev_);
+      ++stats_.wlan_sightings;
+      station.ce->sense(badge, rssi);
+    }
+  }
+}
+
+}  // namespace sci::mobility

@@ -1,0 +1,139 @@
+// SCI — the mobility world (paper §3.4).
+//
+// "In a dynamic environment entities will move in and between Ranges
+// throughout their lifecycle. Each range monitors internal activity as well
+// as activity at its boundaries in order to detect the arrival and
+// departure of entities."
+//
+// The World is the physics the middleware observes: it tracks where each
+// tagged badge is, moves badges along topological routes, fires door
+// sensors when a badge crosses an instrumented portal, lets W-LAN base
+// stations sight badges in radio range, and performs the range handoff —
+// telling the old range's Context Server about departures and pointing the
+// badge's components at the new range's Range Service (which restarts the
+// Fig 5 handshake).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/guid.h"
+#include "common/rng.h"
+#include "entity/component.h"
+#include "entity/sensors.h"
+#include "location/models.h"
+#include "location/trilateration.h"
+#include "range/context_server.h"
+#include "sim/simulator.h"
+
+namespace sci::mobility {
+
+struct WorldStats {
+  std::uint64_t hops = 0;            // badge place-to-place moves
+  std::uint64_t door_triggers = 0;   // instrumented portal crossings
+  std::uint64_t handoffs = 0;        // cross-range transitions
+  std::uint64_t wlan_sightings = 0;
+};
+
+class World {
+ public:
+  World(sim::Simulator& simulator,
+        const location::LocationDirectory* directory);
+
+  // --- infrastructure wiring ------------------------------------------------
+  // Ranges the world performs handoff against. The directory decides which
+  // range governs a place (longest logical prefix).
+  void add_range(range::ContextServer* server);
+  void set_range_directory(const range::RangeDirectory* directory) {
+    range_directory_ = directory;
+  }
+
+  // Door sensors fire when a badge crosses the portal between their two
+  // places (in either direction).
+  void attach_door_sensor(entity::DoorSensorCE* sensor);
+  // Base stations sight badges within `radius` of their position during
+  // scans.
+  void attach_base_station(entity::WlanBaseStationCE* station, double radius);
+
+  // --- badges -----------------------------------------------------------------
+  // A badge is any tagged entity (person, artifact). `components` are the
+  // network components carried by the badge (its CE, a PDA CAA, …) that
+  // register with whichever range the badge is in.
+  void add_badge(Guid badge, location::PlaceId start);
+  void bind_component(Guid badge, entity::Component* component);
+
+  [[nodiscard]] location::PlaceId position(Guid badge) const;
+  [[nodiscard]] std::optional<Guid> range_of(Guid badge) const;
+
+  // --- movement ----------------------------------------------------------------
+  // Instantly steps a badge to an adjacent place, firing door sensors and
+  // handoff. Returns kInvalidArgument when the places are not connected.
+  Status step(Guid badge, location::PlaceId to);
+
+  // Walks the badge along the shortest route to `target`, one portal every
+  // `per_hop`. Movements are scheduled on the simulator; a later walk_to
+  // cancels an in-progress one.
+  Status walk_to(Guid badge, location::PlaceId target, Duration per_hop);
+
+  // Random wandering: one move to a uniformly chosen neighbour every
+  // `per_hop`, until stop_wandering. Drives churn benches.
+  void wander(Guid badge, Duration per_hop);
+  void stop_wandering(Guid badge);
+
+  // --- W-LAN scanning -------------------------------------------------------------
+  // Starts periodic scans: every `period`, every base station senses every
+  // badge within its radius, with RSSI = path-loss model + gaussian noise.
+  void start_wlan_scanning(Duration period,
+                           location::PathLossModel model = {},
+                           double noise_stddev = 1.0);
+  void stop_wlan_scanning();
+
+  [[nodiscard]] const WorldStats& stats() const { return stats_; }
+
+  // Geometric position of a badge (its current place's anchor).
+  [[nodiscard]] std::optional<location::Point> geometric_position(
+      Guid badge) const;
+
+ private:
+  struct Badge {
+    location::PlaceId place = location::kNoPlace;
+    Guid current_range;  // nil = not in any range
+    std::vector<entity::Component*> components;
+    // In-progress scripted walk.
+    std::vector<location::PlaceId> route;
+    std::size_t route_next = 0;
+    bool wandering = false;
+    std::uint64_t motion_epoch = 0;  // invalidates stale scheduled moves
+  };
+
+  struct Station {
+    entity::WlanBaseStationCE* ce = nullptr;
+    double radius = 0.0;
+  };
+
+  void fire_door_sensors(Guid badge, location::PlaceId from,
+                         location::PlaceId to);
+  void handoff_if_needed(Guid badge, Badge& state);
+  void schedule_next_walk_hop(Guid badge, Duration per_hop);
+  void schedule_next_wander_hop(Guid badge, Duration per_hop);
+  void wlan_scan();
+  [[nodiscard]] range::ContextServer* server_for_place(
+      location::PlaceId place) const;
+
+  sim::Simulator& simulator_;
+  const location::LocationDirectory* directory_;
+  const range::RangeDirectory* range_directory_ = nullptr;
+  std::vector<range::ContextServer*> ranges_;
+  std::vector<entity::DoorSensorCE*> door_sensors_;
+  std::vector<Station> stations_;
+  std::unordered_map<Guid, Badge> badges_;
+  Rng rng_;
+  std::optional<sim::PeriodicTimer> wlan_timer_;
+  location::PathLossModel wlan_model_;
+  double wlan_noise_stddev_ = 1.0;
+  WorldStats stats_;
+};
+
+}  // namespace sci::mobility

@@ -1,0 +1,153 @@
+#include "net/network.h"
+
+#include <cmath>
+
+namespace sci::net {
+
+Status Network::attach(Guid id, MessageHandler handler, double x, double y) {
+  if (id.is_nil())
+    return make_error(ErrorCode::kInvalidArgument, "nil node id");
+  if (handler == nullptr)
+    return make_error(ErrorCode::kInvalidArgument, "null message handler");
+  const auto [it, inserted] =
+      nodes_.emplace(id, NodeRecord{std::move(handler), x, y, {}});
+  (void)it;
+  if (!inserted)
+    return make_error(ErrorCode::kAlreadyExists,
+                      "node already attached: " + id.short_string());
+  return Status::ok();
+}
+
+Status Network::detach(Guid id) {
+  if (nodes_.erase(id) == 0)
+    return make_error(ErrorCode::kNotFound,
+                      "node not attached: " + id.short_string());
+  crashed_.erase(id);
+  partition_groups_.erase(id);
+  return Status::ok();
+}
+
+Status Network::set_crashed(Guid id, bool crashed) {
+  if (!nodes_.contains(id))
+    return make_error(ErrorCode::kNotFound,
+                      "node not attached: " + id.short_string());
+  if (crashed) {
+    crashed_.insert(id);
+  } else {
+    crashed_.erase(id);
+  }
+  return Status::ok();
+}
+
+void Network::set_partition_group(Guid id, int group) {
+  partition_groups_[id] = group;
+}
+
+int Network::partition_group(Guid id) const {
+  const auto it = partition_groups_.find(id);
+  return it == partition_groups_.end() ? 0 : it->second;
+}
+
+Duration Network::sample_latency(const NodeRecord& a, const NodeRecord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  std::int64_t micros = link_model_.base_latency.count_micros();
+  micros += static_cast<std::int64_t>(
+      distance * link_model_.latency_per_unit_distance);
+  const std::int64_t jitter = link_model_.jitter.count_micros();
+  if (jitter > 0) {
+    micros += static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(jitter)));
+  }
+  return Duration::micros(micros);
+}
+
+Status Network::send(Message message) {
+  const auto from_it = nodes_.find(message.from);
+  if (from_it == nodes_.end())
+    return make_error(ErrorCode::kNotFound,
+                      "sender not attached: " + message.from.short_string());
+  const auto to_it = nodes_.find(message.to);
+  if (to_it == nodes_.end())
+    return make_error(ErrorCode::kNotFound,
+                      "destination not attached: " + message.to.short_string());
+
+  const std::size_t size = message.wire_size();
+  from_it->second.stats.messages_sent += 1;
+  from_it->second.stats.bytes_sent += size;
+  ++total_sent_;
+
+  // Faults are indistinguishable from loss at the sender, as on a real
+  // network: send() still succeeds.
+  if (crashed_.contains(message.from) || crashed_.contains(message.to) ||
+      partition_group(message.from) != partition_group(message.to) ||
+      (link_model_.drop_probability > 0.0 &&
+       rng_.next_bool(link_model_.drop_probability))) {
+    ++total_dropped_;
+    return Status::ok();
+  }
+
+  const Duration latency = sample_latency(from_it->second, to_it->second);
+  const Guid to = message.to;
+  simulator_.schedule(
+      latency, [this, to, size, msg = std::move(message)]() mutable {
+        const auto it = nodes_.find(to);
+        // The destination may have detached or crashed in flight.
+        if (it == nodes_.end() || crashed_.contains(to)) {
+          ++total_dropped_;
+          return;
+        }
+        it->second.stats.messages_received += 1;
+        it->second.stats.bytes_received += size;
+        ++total_delivered_;
+        it->second.handler(msg);
+      });
+  return Status::ok();
+}
+
+std::size_t Network::broadcast(Message message, double radius) {
+  const auto from_it = nodes_.find(message.from);
+  if (from_it == nodes_.end()) return 0;
+  const double fx = from_it->second.x;
+  const double fy = from_it->second.y;
+  std::vector<Guid> recipients;
+  for (const auto& [id, record] : nodes_) {
+    if (id == message.from) continue;
+    const double dx = record.x - fx;
+    const double dy = record.y - fy;
+    if (dx * dx + dy * dy > radius * radius) continue;
+    recipients.push_back(id);
+  }
+  std::size_t scheduled = 0;
+  for (const Guid to : recipients) {
+    Message copy = message;
+    copy.to = to;
+    if (send(std::move(copy)).is_ok()) ++scheduled;
+  }
+  return scheduled;
+}
+
+const NodeStats& Network::stats(Guid id) const {
+  static const NodeStats kEmpty;
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? kEmpty : it->second.stats;
+}
+
+void Network::reset_stats() {
+  for (auto& [id, record] : nodes_) record.stats = NodeStats{};
+  total_sent_ = 0;
+  total_delivered_ = 0;
+  total_dropped_ = 0;
+}
+
+std::vector<Guid> Network::live_nodes() const {
+  std::vector<Guid> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, record] : nodes_) {
+    if (!crashed_.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace sci::net

@@ -1,0 +1,149 @@
+// SCI — simulated message-passing network.
+//
+// The physical substrate under the SCINET overlay. Every node is addressed
+// by GUID; messages are serialized byte frames delivered after a modelled
+// latency (base + distance + jitter), with optional loss, crash and
+// partition fault injection. Per-node traffic counters feed the Figure 1
+// bottleneck analysis (overlay vs hierarchy load distribution).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "common/time.h"
+#include "serde/buffer.h"
+#include "sim/simulator.h"
+
+namespace sci::net {
+
+// A routed frame. `type` dispatches to the handler registered by the
+// receiving protocol layer; `payload` is an opaque serialized body.
+struct Message {
+  std::uint32_t type = 0;
+  Guid from;
+  Guid to;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    // type + 2 GUIDs + length prefix + body; close enough for load stats.
+    return 4 + 32 + 4 + payload.size();
+  }
+};
+
+// Latency/loss parameters for the whole fabric. Per-pair latency adds a
+// distance term when both endpoints have coordinates.
+struct LinkModel {
+  Duration base_latency = Duration::micros(500);
+  Duration jitter = Duration::micros(100);       // uniform [0, jitter)
+  double latency_per_unit_distance = 2.0;        // microseconds per unit
+  double drop_probability = 0.0;                 // iid per message
+};
+
+struct NodeStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+// Handler invoked on message delivery at the destination node.
+using MessageHandler = std::function<void(const Message&)>;
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& simulator)
+      : simulator_(simulator), rng_(simulator.rng().split()) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void set_link_model(LinkModel model) { link_model_ = model; }
+  [[nodiscard]] const LinkModel& link_model() const { return link_model_; }
+
+  // Attaches a node. `handler` receives every frame addressed to `id` while
+  // the node is alive. Coordinates are optional (0,0 default) and only
+  // influence the distance latency term.
+  Status attach(Guid id, MessageHandler handler, double x = 0.0,
+                double y = 0.0);
+
+  // Detaches a node entirely (departed the system).
+  Status detach(Guid id);
+
+  // Fault injection: a crashed node silently drops traffic in both
+  // directions but keeps its registration (models CE/CS failure, paper §2
+  // "adaptivity to environmental changes (e.g. component failure)").
+  Status set_crashed(Guid id, bool crashed);
+  [[nodiscard]] bool is_crashed(Guid id) const {
+    return crashed_.contains(id);
+  }
+
+  // Partition fault injection: nodes are assigned to partition groups;
+  // messages between different groups are dropped. Group 0 (default) is the
+  // connected core.
+  void set_partition_group(Guid id, int group);
+  void heal_partitions() { partition_groups_.clear(); }
+
+  [[nodiscard]] bool is_attached(Guid id) const {
+    return nodes_.contains(id);
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  // Sends `message` from message.from to message.to. Returns kNotFound if
+  // the destination was never attached; silently drops (as a real network
+  // would) on crash, loss or partition. Delivery happens via the simulator.
+  Status send(Message message);
+
+  // Local broadcast: delivers `message` to every attached node within
+  // `radius` of the sender's coordinates (the sender excluded). Models the
+  // link-local discovery beacons of a wireless segment. Crash/partition/
+  // loss rules apply per recipient. Returns the number of deliveries
+  // scheduled.
+  std::size_t broadcast(Message message, double radius);
+
+  [[nodiscard]] const NodeStats& stats(Guid id) const;
+  void reset_stats();
+
+  // Total frames handed to the fabric / delivered to handlers.
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    return total_delivered_;
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+  // Lists currently attached, non-crashed node ids (used by discovery
+  // bootstrap and by tests).
+  [[nodiscard]] std::vector<Guid> live_nodes() const;
+
+ private:
+  struct NodeRecord {
+    MessageHandler handler;
+    double x = 0.0;
+    double y = 0.0;
+    NodeStats stats;
+  };
+
+  [[nodiscard]] Duration sample_latency(const NodeRecord& a,
+                                        const NodeRecord& b);
+  [[nodiscard]] int partition_group(Guid id) const;
+
+  sim::Simulator& simulator_;
+  Rng rng_;
+  LinkModel link_model_;
+  std::unordered_map<Guid, NodeRecord> nodes_;
+  std::unordered_set<Guid> crashed_;
+  std::unordered_map<Guid, int> partition_groups_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_dropped_ = 0;
+};
+
+}  // namespace sci::net

@@ -1,0 +1,431 @@
+#include "query/query.h"
+
+#include <charconv>
+
+namespace sci::query {
+
+namespace {
+
+std::string double_to_string(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+Expected<double> parse_double(std::string_view text, const char* what) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return make_error(ErrorCode::kParseError,
+                      std::string("bad number in ") + what + ": '" +
+                          std::string(text) + "'");
+  return out;
+}
+
+Expected<Guid> parse_guid_attr(const xml::Element& element,
+                               std::string_view key) {
+  const std::string text = element.attribute_or(key, "");
+  const auto guid = Guid::parse(text);
+  if (!guid)
+    return make_error(ErrorCode::kParseError,
+                      "bad guid in attribute '" + std::string(key) + "'");
+  return *guid;
+}
+
+// Renders a Value as an XML attribute string and back (requirements only
+// need scalars).
+std::string value_to_attr(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kBool:
+      return value.get_bool() ? "true" : "false";
+    case Value::Kind::kInt:
+      return std::to_string(value.get_int());
+    case Value::Kind::kDouble:
+      return double_to_string(value.get_double());
+    case Value::Kind::kString:
+      return value.get_string();
+    case Value::Kind::kGuid:
+      return value.get_guid().to_string();
+    default:
+      return value.to_string();
+  }
+}
+
+Value attr_to_value(const std::string& text) {
+  if (text == "true") return Value(true);
+  if (text == "false") return Value(false);
+  // Integer?
+  {
+    std::int64_t i = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), i);
+    if (ec == std::errc() && ptr == text.data() + text.size()) return Value(i);
+  }
+  // Double?
+  {
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), d);
+    if (ec == std::errc() && ptr == text.data() + text.size()) return Value(d);
+  }
+  if (const auto guid = Guid::parse(text); guid) return Value(*guid);
+  return Value(text);
+}
+
+}  // namespace
+
+std::string_view to_string(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kProfileRequest:
+      return "profile";
+    case QueryMode::kEventSubscription:
+      return "subscribe";
+    case QueryMode::kOneTimeSubscription:
+      return "once";
+    case QueryMode::kAdvertisementRequest:
+      return "advertisement";
+  }
+  return "unknown";
+}
+
+Expected<QueryMode> query_mode_from_string(std::string_view text) {
+  if (text == "profile") return QueryMode::kProfileRequest;
+  if (text == "subscribe") return QueryMode::kEventSubscription;
+  if (text == "once") return QueryMode::kOneTimeSubscription;
+  if (text == "advertisement") return QueryMode::kAdvertisementRequest;
+  return make_error(ErrorCode::kParseError,
+                    "unknown query mode '" + std::string(text) + "'");
+}
+
+std::string_view to_string(SelectPolicy policy) {
+  switch (policy) {
+    case SelectPolicy::kAny:
+      return "any";
+    case SelectPolicy::kClosest:
+      return "closest";
+    case SelectPolicy::kMinAttr:
+      return "min";
+    case SelectPolicy::kMaxAttr:
+      return "max";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Expected<SelectPolicy> select_policy_from_string(std::string_view text) {
+  if (text.empty() || text == "any") return SelectPolicy::kAny;
+  if (text == "closest") return SelectPolicy::kClosest;
+  if (text == "min") return SelectPolicy::kMinAttr;
+  if (text == "max") return SelectPolicy::kMaxAttr;
+  return make_error(ErrorCode::kParseError,
+                    "unknown selection policy '" + std::string(text) + "'");
+}
+
+}  // namespace
+
+std::string Query::to_xml() const {
+  xml::Element root;
+  root.name = "query";
+
+  xml::Element query_id;
+  query_id.name = "query_id";
+  query_id.text = id;
+  root.children.push_back(std::move(query_id));
+
+  xml::Element owner_id;
+  owner_id.name = "owner_id";
+  owner_id.text = owner.to_string();
+  root.children.push_back(std::move(owner_id));
+
+  // what
+  xml::Element what_el;
+  what_el.name = "what";
+  switch (what.kind) {
+    case WhatKind::kEntityType: {
+      xml::Element entity;
+      entity.name = "entity";
+      entity.attributes.emplace("type", what.entity_type);
+      what_el.children.push_back(std::move(entity));
+      break;
+    }
+    case WhatKind::kNamedEntity: {
+      xml::Element entity;
+      entity.name = "entity";
+      entity.attributes.emplace("guid", what.named.to_string());
+      what_el.children.push_back(std::move(entity));
+      break;
+    }
+    case WhatKind::kPattern: {
+      xml::Element pattern;
+      pattern.name = "pattern";
+      if (!what.type.empty()) pattern.attributes.emplace("type", what.type);
+      if (!what.unit.empty()) pattern.attributes.emplace("unit", what.unit);
+      if (!what.semantic.empty())
+        pattern.attributes.emplace("semantic", what.semantic);
+      if (what.subject)
+        pattern.attributes.emplace("subject", what.subject->to_string());
+      if (what.history > 0)
+        pattern.attributes.emplace("history", std::to_string(what.history));
+      what_el.children.push_back(std::move(pattern));
+      break;
+    }
+  }
+  root.children.push_back(std::move(what_el));
+
+  // where
+  xml::Element where_el;
+  where_el.name = "where";
+  if (where.explicit_path)
+    where_el.attributes.emplace("explicit", where.explicit_path->to_string());
+  if (where.closest) where_el.attributes.emplace("relative", "closest");
+  if (where.relative_to)
+    where_el.attributes.emplace("to", where.relative_to->to_string());
+  if (where.range)
+    where_el.attributes.emplace("range", where.range->to_string());
+  root.children.push_back(std::move(where_el));
+
+  // when
+  xml::Element when_el;
+  when_el.name = "when";
+  if (when.not_before_seconds)
+    when_el.attributes.emplace("not_before",
+                               double_to_string(*when.not_before_seconds));
+  if (when.expires_after_seconds > 0.0)
+    when_el.attributes.emplace("expires_after",
+                               double_to_string(when.expires_after_seconds));
+  if (when.trigger) {
+    xml::Element trigger;
+    trigger.name = "trigger";
+    trigger.attributes.emplace("event", "enters");
+    trigger.attributes.emplace("entity", when.trigger->entity.to_string());
+    trigger.attributes.emplace("place", when.trigger->place.to_string());
+    when_el.children.push_back(std::move(trigger));
+  }
+  root.children.push_back(std::move(when_el));
+
+  // which
+  xml::Element which_el;
+  which_el.name = "which";
+  which_el.attributes.emplace("policy", std::string(to_string(which.policy)));
+  if (!which.attr_key.empty())
+    which_el.attributes.emplace("key", which.attr_key);
+  if (which.check_access) which_el.attributes.emplace("check_access", "true");
+  if (which.fresh_within_seconds > 0.0)
+    which_el.attributes.emplace("fresh_within",
+                                double_to_string(which.fresh_within_seconds));
+  if (which.min_confidence > 0.0)
+    which_el.attributes.emplace("min_confidence",
+                                double_to_string(which.min_confidence));
+  for (const Requirement& requirement : which.require) {
+    xml::Element require_el;
+    require_el.name = "require";
+    require_el.attributes.emplace("key", requirement.key);
+    require_el.attributes.emplace("equals", value_to_attr(requirement.equals));
+    which_el.children.push_back(std::move(require_el));
+  }
+  root.children.push_back(std::move(which_el));
+
+  // mode
+  xml::Element mode_el;
+  mode_el.name = "mode";
+  mode_el.text = std::string(to_string(mode));
+  root.children.push_back(std::move(mode_el));
+
+  return xml::serialize(root);
+}
+
+Expected<Query> Query::parse(std::string_view xml_text) {
+  SCI_TRY_ASSIGN(root, xml::parse(xml_text));
+  if (root.name != "query")
+    return make_error(ErrorCode::kParseError,
+                      "root element must be <query>, got <" + root.name + ">");
+  Query q;
+  q.id = std::string(root.child_text("query_id"));
+  if (q.id.empty())
+    return make_error(ErrorCode::kParseError, "missing <query_id>");
+  {
+    const auto owner = Guid::parse(root.child_text("owner_id"));
+    if (!owner)
+      return make_error(ErrorCode::kParseError, "bad or missing <owner_id>");
+    q.owner = *owner;
+  }
+
+  // what
+  const xml::Element* what_el = root.child("what");
+  if (what_el == nullptr)
+    return make_error(ErrorCode::kParseError, "missing <what>");
+  if (const xml::Element* entity = what_el->child("entity");
+      entity != nullptr) {
+    if (entity->attributes.contains("guid")) {
+      SCI_TRY_ASSIGN(guid, parse_guid_attr(*entity, "guid"));
+      q.what.kind = WhatKind::kNamedEntity;
+      q.what.named = guid;
+    } else {
+      const std::string type = entity->attribute_or("type", "");
+      if (type.empty())
+        return make_error(ErrorCode::kParseError,
+                          "<entity> needs type= or guid=");
+      q.what.kind = WhatKind::kEntityType;
+      q.what.entity_type = type;
+    }
+  } else if (const xml::Element* pattern = what_el->child("pattern");
+             pattern != nullptr) {
+    q.what.kind = WhatKind::kPattern;
+    q.what.type = pattern->attribute_or("type", "");
+    q.what.unit = pattern->attribute_or("unit", "");
+    q.what.semantic = pattern->attribute_or("semantic", "");
+    if (q.what.type.empty() && q.what.semantic.empty())
+      return make_error(ErrorCode::kParseError,
+                        "<pattern> needs type= and/or semantic=");
+    if (pattern->attributes.contains("subject")) {
+      SCI_TRY_ASSIGN(subject, parse_guid_attr(*pattern, "subject"));
+      q.what.subject = subject;
+    }
+    if (pattern->attributes.contains("history")) {
+      SCI_TRY_ASSIGN(history, parse_double(
+                                  pattern->attribute_or("history", ""),
+                                  "pattern/history"));
+      if (history < 0 || history > 1e6)
+        return make_error(ErrorCode::kParseError, "history out of range");
+      q.what.history = static_cast<unsigned>(history);
+    }
+  } else {
+    return make_error(ErrorCode::kParseError,
+                      "<what> needs <entity> or <pattern>");
+  }
+
+  // where (optional content)
+  if (const xml::Element* where_el = root.child("where");
+      where_el != nullptr) {
+    const std::string explicit_path = where_el->attribute_or("explicit", "");
+    if (!explicit_path.empty()) {
+      SCI_TRY_ASSIGN(path, location::LogicalPath::parse(explicit_path));
+      q.where.explicit_path = std::move(path);
+    }
+    if (where_el->attribute_or("relative", "") == "closest")
+      q.where.closest = true;
+    if (where_el->attributes.contains("to")) {
+      SCI_TRY_ASSIGN(to, parse_guid_attr(*where_el, "to"));
+      q.where.relative_to = to;
+    }
+    if (where_el->attributes.contains("range")) {
+      SCI_TRY_ASSIGN(range, parse_guid_attr(*where_el, "range"));
+      q.where.range = range;
+    }
+  }
+
+  // when
+  if (const xml::Element* when_el = root.child("when"); when_el != nullptr) {
+    if (when_el->attributes.contains("not_before")) {
+      SCI_TRY_ASSIGN(not_before, parse_double(
+                                     when_el->attribute_or("not_before", ""),
+                                     "when/not_before"));
+      q.when.not_before_seconds = not_before;
+    }
+    if (when_el->attributes.contains("expires_after")) {
+      SCI_TRY_ASSIGN(
+          expires, parse_double(when_el->attribute_or("expires_after", ""),
+                                "when/expires_after"));
+      q.when.expires_after_seconds = expires;
+    }
+    if (const xml::Element* trigger = when_el->child("trigger");
+        trigger != nullptr) {
+      if (trigger->attribute_or("event", "") != "enters")
+        return make_error(ErrorCode::kParseError,
+                          "only trigger event=\"enters\" is supported");
+      SCI_TRY_ASSIGN(entity, parse_guid_attr(*trigger, "entity"));
+      SCI_TRY_ASSIGN(place, location::LogicalPath::parse(
+                                trigger->attribute_or("place", "")));
+      if (place.empty())
+        return make_error(ErrorCode::kParseError, "trigger needs place=");
+      q.when.trigger = WhenTrigger{entity, std::move(place)};
+    }
+  }
+
+  // which
+  if (const xml::Element* which_el = root.child("which");
+      which_el != nullptr) {
+    SCI_TRY_ASSIGN(policy, select_policy_from_string(
+                               which_el->attribute_or("policy", "any")));
+    q.which.policy = policy;
+    q.which.attr_key = which_el->attribute_or("key", "");
+    q.which.check_access =
+        which_el->attribute_or("check_access", "false") == "true";
+    if (which_el->attributes.contains("fresh_within")) {
+      SCI_TRY_ASSIGN(fresh,
+                     parse_double(which_el->attribute_or("fresh_within", ""),
+                                  "which/fresh_within"));
+      q.which.fresh_within_seconds = fresh;
+    }
+    if (which_el->attributes.contains("min_confidence")) {
+      SCI_TRY_ASSIGN(
+          confidence,
+          parse_double(which_el->attribute_or("min_confidence", ""),
+                       "which/min_confidence"));
+      q.which.min_confidence = confidence;
+    }
+    for (const xml::Element* require_el : which_el->children_named("require")) {
+      Requirement requirement;
+      requirement.key = require_el->attribute_or("key", "");
+      if (requirement.key.empty())
+        return make_error(ErrorCode::kParseError, "<require> needs key=");
+      requirement.equals = attr_to_value(require_el->attribute_or("equals", ""));
+      q.which.require.push_back(std::move(requirement));
+    }
+  }
+
+  // mode
+  {
+    const std::string_view mode_text = root.child_text("mode");
+    if (mode_text.empty())
+      return make_error(ErrorCode::kParseError, "missing <mode>");
+    SCI_TRY_ASSIGN(mode, query_mode_from_string(mode_text));
+    q.mode = mode;
+  }
+
+  SCI_TRY(q.validate());
+  return q;
+}
+
+Status Query::validate() const {
+  if (id.empty())
+    return make_error(ErrorCode::kInvalidArgument, "query id is empty");
+  if (owner.is_nil())
+    return make_error(ErrorCode::kInvalidArgument, "query owner is nil");
+  switch (what.kind) {
+    case WhatKind::kEntityType:
+      if (what.entity_type.empty())
+        return make_error(ErrorCode::kInvalidArgument,
+                          "entity-type what with empty type");
+      break;
+    case WhatKind::kNamedEntity:
+      if (what.named.is_nil())
+        return make_error(ErrorCode::kInvalidArgument,
+                          "named-entity what with nil guid");
+      break;
+    case WhatKind::kPattern:
+      if (what.type.empty() && what.semantic.empty())
+        return make_error(ErrorCode::kInvalidArgument,
+                          "pattern what with no type or semantic");
+      break;
+  }
+  if ((which.policy == SelectPolicy::kMinAttr ||
+       which.policy == SelectPolicy::kMaxAttr) &&
+      which.attr_key.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "min/max policy needs an attribute key");
+  }
+  if (when.expires_after_seconds < 0.0)
+    return make_error(ErrorCode::kInvalidArgument, "negative expiry");
+  if (which.fresh_within_seconds < 0.0)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "negative freshness contract");
+  if (which.min_confidence < 0.0 || which.min_confidence > 1.0)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "confidence contract outside [0, 1]");
+  return Status::ok();
+}
+
+}  // namespace sci::query

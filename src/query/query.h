@@ -1,0 +1,264 @@
+// SCI — the context query model (paper §4.3, Fig 6).
+//
+// A query has five sections plus identity:
+//   what  — an entity type, a named entity (GUID), or an information
+//           pattern (event type / semantic, optionally unit-constrained)
+//   where — explicit location, another range, or relative ("closest to me")
+//   when  — temporal execution condition (immediate, not-before, or
+//           triggered by an entity entering a place — CAPA's "when I reach
+//           Room L10.01")
+//   which — qualitative selection among multiple candidates (closest,
+//           min/max attribute, plus hard requirements)
+//   mode  — profile request | event subscription | one-time subscription |
+//           advertisement request
+//
+// The wire format is the paper's XML document:
+//   <query>
+//     <query_id>…</query_id> <owner_id>…</owner_id>
+//     <what>…</what> <where>…</where> <when>…</when> <which>…</which>
+//     <mode>…</mode>
+//   </query>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "location/models.h"
+#include "serde/value.h"
+#include "serde/xml.h"
+
+namespace sci::query {
+
+enum class QueryMode : std::uint8_t {
+  kProfileRequest = 0,
+  kEventSubscription,
+  kOneTimeSubscription,
+  kAdvertisementRequest,
+};
+
+std::string_view to_string(QueryMode mode);
+Expected<QueryMode> query_mode_from_string(std::string_view text);
+
+// --- what ------------------------------------------------------------
+
+enum class WhatKind : std::uint8_t {
+  kEntityType = 0,  // e.g. "a printer" (matched against advertised service
+                    // or entity kind)
+  kNamedEntity,     // a specific GUID
+  kPattern,         // information fitting a pattern, e.g. temperature in C
+};
+
+struct WhatClause {
+  WhatKind kind = WhatKind::kPattern;
+  std::string entity_type;  // kEntityType: service/kind name
+  Guid named;               // kNamedEntity
+  std::string type;         // kPattern: event type name ("" = match by
+                            // semantic only)
+  std::string unit;         // kPattern: required unit ("" = any)
+  std::string semantic;     // kPattern: required semantics ("" = none)
+  // kPattern about a specific subject ("location OF Bob"): the resolver
+  // narrows the configuration to this entity.
+  std::optional<Guid> subject;
+  // Profile-mode pull from the Context Store: how many stored events to
+  // return (0 = just the current context).
+  unsigned history = 0;
+};
+
+// --- where -----------------------------------------------------------
+
+struct WhereClause {
+  // Explicit place ("Room 10.01").
+  std::optional<location::LogicalPath> explicit_path;
+  // Relative: closest to the query owner (or to a named entity).
+  bool closest = false;
+  std::optional<Guid> relative_to;  // defaults to the owner when `closest`
+  // Direct range targeting (forwarding hint; normally derived from
+  // explicit_path by the Context Server).
+  std::optional<Guid> range;
+
+  [[nodiscard]] bool is_empty() const {
+    return !explicit_path && !closest && !range;
+  }
+};
+
+// --- when ------------------------------------------------------------
+
+struct WhenTrigger {
+  Guid entity;                  // who must move
+  location::LogicalPath place;  // where they must arrive
+};
+
+struct WhenClause {
+  // Immediate unless constrained.
+  std::optional<double> not_before_seconds;  // virtual time lower bound
+  std::optional<WhenTrigger> trigger;        // deferred until the trigger
+  // Subscriptions may carry an expiry; 0 = no expiry.
+  double expires_after_seconds = 0.0;
+
+  [[nodiscard]] bool is_immediate() const {
+    return !not_before_seconds && !trigger;
+  }
+};
+
+// --- which -----------------------------------------------------------
+
+enum class SelectPolicy : std::uint8_t {
+  kAny = 0,    // first acceptable candidate
+  kClosest,    // minimise distance to the where/owner anchor
+  kMinAttr,    // minimise a numeric profile attribute (e.g. queue_length)
+  kMaxAttr,    // maximise a numeric profile attribute
+};
+
+std::string_view to_string(SelectPolicy policy);
+
+struct Requirement {
+  std::string key;  // profile metadata key
+  Value equals;     // required value
+};
+
+struct WhichClause {
+  SelectPolicy policy = SelectPolicy::kAny;
+  std::string attr_key;  // for kMinAttr/kMaxAttr, and tie-breaking
+  std::vector<Requirement> require;
+  // Honour lock/keyholder access semantics (candidate excluded when its
+  // metadata says locked=true and the owner is not a keyholder).
+  bool check_access = false;
+  // Quality-of-context contracts (paper §6 item 2: "contracts on quality of
+  // the context information"):
+  //  * fresh_within_seconds — candidates whose last sign of life is older
+  //    than this are excluded (0 = no contract);
+  //  * min_confidence — subscription deliveries whose payload carries a
+  //    "confidence" below this are suppressed, and candidates advertising a
+  //    lower confidence are excluded (0 = no contract).
+  double fresh_within_seconds = 0.0;
+  double min_confidence = 0.0;
+};
+
+// --- the query -------------------------------------------------------
+
+struct Query {
+  std::string id;
+  Guid owner;
+  WhatClause what;
+  WhereClause where;
+  WhenClause when;
+  WhichClause which;
+  QueryMode mode = QueryMode::kEventSubscription;
+
+  [[nodiscard]] std::string to_xml() const;
+  static Expected<Query> parse(std::string_view xml_text);
+
+  // Structural validation beyond parse (e.g. named entity needs a GUID).
+  [[nodiscard]] Status validate() const;
+};
+
+// Fluent builder so examples and tests read like the scenarios:
+//   auto q = QueryBuilder("q1", bob)
+//       .pattern("path.update", /*semantic=*/"route")
+//       .subject_pair(bob, john)  …
+class QueryBuilder {
+ public:
+  QueryBuilder(std::string id, Guid owner) {
+    query_.id = std::move(id);
+    query_.owner = owner;
+  }
+
+  QueryBuilder& entity_type(std::string type) {
+    query_.what.kind = WhatKind::kEntityType;
+    query_.what.entity_type = std::move(type);
+    return *this;
+  }
+  QueryBuilder& named(Guid entity) {
+    query_.what.kind = WhatKind::kNamedEntity;
+    query_.what.named = entity;
+    return *this;
+  }
+  QueryBuilder& pattern(std::string type, std::string unit = "",
+                        std::string semantic = "") {
+    query_.what.kind = WhatKind::kPattern;
+    query_.what.type = std::move(type);
+    query_.what.unit = std::move(unit);
+    query_.what.semantic = std::move(semantic);
+    return *this;
+  }
+  QueryBuilder& about(Guid subject) {
+    query_.what.subject = subject;
+    return *this;
+  }
+  // Pull `count` stored events from the Context Store (profile mode).
+  QueryBuilder& with_history(unsigned count) {
+    query_.what.history = count;
+    return *this;
+  }
+  QueryBuilder& in(location::LogicalPath path) {
+    query_.where.explicit_path = std::move(path);
+    return *this;
+  }
+  QueryBuilder& in_range(Guid range) {
+    query_.where.range = range;
+    return *this;
+  }
+  QueryBuilder& closest_to_me() {
+    query_.where.closest = true;
+    return *this;
+  }
+  QueryBuilder& closest_to(Guid entity) {
+    query_.where.closest = true;
+    query_.where.relative_to = entity;
+    return *this;
+  }
+  // Anchors the query to an entity without requesting closest-selection
+  // (e.g. the 'from' end of a path request).
+  QueryBuilder& relative_to(Guid entity) {
+    query_.where.relative_to = entity;
+    return *this;
+  }
+  QueryBuilder& when_enters(Guid entity, location::LogicalPath place) {
+    query_.when.trigger = WhenTrigger{entity, std::move(place)};
+    return *this;
+  }
+  QueryBuilder& not_before(double seconds) {
+    query_.when.not_before_seconds = seconds;
+    return *this;
+  }
+  QueryBuilder& expires_after(double seconds) {
+    query_.when.expires_after_seconds = seconds;
+    return *this;
+  }
+  QueryBuilder& select(SelectPolicy policy, std::string attr_key = "") {
+    query_.which.policy = policy;
+    query_.which.attr_key = std::move(attr_key);
+    return *this;
+  }
+  QueryBuilder& require(std::string key, Value equals) {
+    query_.which.require.push_back(Requirement{std::move(key), std::move(equals)});
+    return *this;
+  }
+  QueryBuilder& check_access() {
+    query_.which.check_access = true;
+    return *this;
+  }
+  QueryBuilder& fresh_within(double seconds) {
+    query_.which.fresh_within_seconds = seconds;
+    return *this;
+  }
+  QueryBuilder& min_confidence(double confidence) {
+    query_.which.min_confidence = confidence;
+    return *this;
+  }
+  QueryBuilder& mode(QueryMode m) {
+    query_.mode = m;
+    return *this;
+  }
+
+  [[nodiscard]] Query build() const { return query_; }
+  [[nodiscard]] std::string to_xml() const { return query_.to_xml(); }
+
+ private:
+  Query query_;
+};
+
+}  // namespace sci::query

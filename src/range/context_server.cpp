@@ -1,0 +1,1084 @@
+#include "range/context_server.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "entity/sensors.h"
+
+namespace sci::range {
+
+namespace {
+
+constexpr const char* kTag = "cs";
+
+Value profile_to_value(const entity::Profile& profile) {
+  ValueMap map;
+  map.emplace("entity", profile.entity);
+  map.emplace("name", profile.name);
+  map.emplace("kind", std::string(entity::to_string(profile.kind)));
+  map.emplace("metadata", profile.metadata);
+  map.emplace("location", profile.location.to_value());
+  ValueList outputs;
+  for (const entity::TypeSig& sig : profile.outputs) {
+    outputs.emplace_back(sig.to_string());
+  }
+  map.emplace("outputs", Value(std::move(outputs)));
+  return Value(std::move(map));
+}
+
+struct ForwardedQueryWire {
+  Guid app;
+  std::string xml;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    serde::Writer w;
+    entity::write_guid(w, app);
+    w.string(xml);
+    return w.take();
+  }
+
+  static Expected<ForwardedQueryWire> decode(
+      const std::vector<std::byte>& bytes) {
+    serde::Reader r(bytes);
+    ForwardedQueryWire out;
+    SCI_TRY_ASSIGN(app, entity::read_guid(r));
+    out.app = app;
+    SCI_TRY_ASSIGN(xml, r.string());
+    out.xml = std::move(xml);
+    return out;
+  }
+};
+
+}  // namespace
+
+ContextServer::ContextServer(net::Network& network, RangeConfig config,
+                             RangeDirectory* directory,
+                             const compose::SemanticRegistry* semantics,
+                             const location::LocationDirectory* locations)
+    : network_(network),
+      config_(std::move(config)),
+      directory_(directory),
+      location_directory_(locations),
+      mediator_(network, config_.context_server),
+      locations_(locations),
+      resolver_(semantics),
+      store_(config_.enable_reuse) {
+  SCI_ASSERT(!config_.range.is_nil());
+  SCI_ASSERT(!config_.context_server.is_nil());
+  SCI_ASSERT(semantics != nullptr);
+  semantics_ = semantics;
+
+  const Status attached = network_.attach(
+      config_.context_server,
+      [this](const net::Message& m) { on_component_message(m); }, config_.x,
+      config_.y);
+  SCI_ASSERT_MSG(attached.is_ok(), "context server node id collision");
+
+  scinet_ = std::make_unique<overlay::ScinetNode>(
+      network_, config_.range, config_.scinet, config_.x, config_.y);
+  scinet_->set_deliver_handler(
+      [this](const overlay::RoutedMessage& m) { on_scinet_deliver(m); });
+
+  if (directory_ != nullptr) {
+    directory_->add(RangeDirectory::Entry{config_.range,
+                                          config_.context_server,
+                                          config_.logical_root, config_.name,
+                                          config_.group});
+  }
+
+  ping_timer_.emplace(network_.simulator(), config_.ping_period,
+                      [this] { ping_tick(); });
+  ping_timer_->start();
+
+  if (config_.beacon_period > Duration::seconds(0)) {
+    beacon_timer_.emplace(network_.simulator(), config_.beacon_period,
+                          [this] {
+                            if (!scinet_->is_ready()) return;
+                            serde::Writer w;
+                            entity::write_guid(w, config_.range);
+                            net::Message beacon;
+                            beacon.type = kRangeBeacon;
+                            beacon.from = config_.context_server;
+                            beacon.payload = w.take();
+                            (void)network_.broadcast(std::move(beacon),
+                                                     config_.beacon_radius);
+                          });
+    beacon_timer_->start();
+  }
+}
+
+ContextServer::~ContextServer() {
+  beacon_timer_.reset();
+  ping_timer_.reset();
+  scinet_.reset();
+  if (directory_ != nullptr) directory_->remove(config_.range);
+  if (network_.is_attached(config_.context_server)) {
+    (void)network_.detach(config_.context_server);
+  }
+}
+
+void ContextServer::bootstrap_overlay() { scinet_->bootstrap(); }
+
+Status ContextServer::join_overlay(Guid bootstrap_range) {
+  return scinet_->join(bootstrap_range);
+}
+
+void ContextServer::join_via_discovery(Duration listen_window) {
+  if (scinet_->is_ready()) return;
+  discovering_ = true;
+  network_.simulator().schedule(listen_window, [this] {
+    if (!discovering_) return;  // a beacon already triggered the join
+    discovering_ = false;
+    SCI_INFO(kTag, "%s: no beacons heard — bootstrapping a new SCINET",
+             config_.name.c_str());
+    scinet_->bootstrap();
+  });
+}
+
+void ContextServer::detect_arrival(Guid component) {
+  // Fig 5 step 2: the Range Service tells the component where the Registrar
+  // is. (The Registrar shares the CS node in this implementation.)
+  entity::RangeInfoBody info{config_.range, config_.context_server};
+  send_to(component, entity::kRangeInfo, info.encode());
+}
+
+void ContextServer::detect_departure(Guid component) {
+  // Tell the component it is no longer part of this range, then clean up.
+  send_to(component, entity::kDeregister, {});
+  departure(component, /*failure=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// message plumbing
+
+void ContextServer::send_to(Guid to, std::uint32_t type,
+                            std::vector<std::byte> payload) {
+  net::Message message;
+  message.type = type;
+  message.from = config_.context_server;
+  message.to = to;
+  message.payload = std::move(payload);
+  (void)network_.send(std::move(message));
+}
+
+void ContextServer::reply_result(Guid app, const std::string& query_id,
+                                 const Error& error, Value result) {
+  entity::QueryResultBody body;
+  body.query_id = query_id;
+  body.status = static_cast<std::uint8_t>(error.code());
+  body.message = error.message();
+  body.result = std::move(result);
+  send_to(app, entity::kQueryResult, body.encode());
+  if (error.ok()) {
+    ++stats_.queries_answered;
+  } else {
+    ++stats_.queries_failed;
+  }
+}
+
+void ContextServer::on_component_message(const net::Message& message) {
+  switch (message.type) {
+    case entity::kHello:
+      handle_hello(message);
+      return;
+    case entity::kRegisterRequest:
+      handle_register(message);
+      return;
+    case entity::kDeregister:
+      departure(message.from, /*failure=*/false);
+      return;
+    case entity::kPublish:
+      handle_publish(message);
+      return;
+    case entity::kProfileUpdate: {
+      auto body = entity::ProfileUpdateBody::decode(message.payload);
+      if (!body) return;
+      registrar_.touch(message.from, network_.simulator().now());
+      (void)profiles_.update(body->profile);
+      return;
+    }
+    case entity::kQuerySubmit:
+      handle_query_submit(message);
+      return;
+    case entity::kPong:
+      registrar_.touch(message.from, network_.simulator().now());
+      return;
+    case kForwardedQueryDirect: {
+      auto wire = ForwardedQueryWire::decode(message.payload);
+      if (!wire) return;
+      auto parsed = query::Query::parse(wire->xml);
+      if (!parsed) return;
+      ++stats_.queries_adopted;
+      admit_query(std::move(*parsed), wire->app);
+      return;
+    }
+    case kRangeBeacon: {
+      if (!discovering_) return;
+      serde::Reader r(message.payload);
+      auto peer_range = entity::read_guid(r);
+      if (!peer_range || *peer_range == config_.range) return;
+      discovering_ = false;
+      SCI_INFO(kTag, "%s: discovered range %s via beacon — joining",
+               config_.name.c_str(), peer_range->short_string().c_str());
+      (void)scinet_->join(*peer_range);
+      return;
+    }
+    default:
+      SCI_DEBUG(kTag, "%s: unhandled component message 0x%x",
+                config_.name.c_str(), message.type);
+  }
+}
+
+void ContextServer::on_scinet_deliver(const overlay::RoutedMessage& message) {
+  if (message.app_type != kAppForwardedQuery) {
+    SCI_DEBUG(kTag, "%s: unknown scinet app type 0x%x", config_.name.c_str(),
+              message.app_type);
+    return;
+  }
+  auto wire = ForwardedQueryWire::decode(message.payload);
+  if (!wire) return;
+  auto parsed = query::Query::parse(wire->xml);
+  if (!parsed) {
+    SCI_WARN(kTag, "%s: forwarded query failed to parse: %s",
+             config_.name.c_str(), parsed.error().message().c_str());
+    return;
+  }
+  if (message.key != config_.range) {
+    // The overlay delivered at the closest node because the exact target
+    // range has gone — tell the application.
+    reply_result(wire->app, parsed->id,
+                 make_error(ErrorCode::kUnavailable,
+                            "target range is no longer reachable"),
+                 Value());
+    return;
+  }
+  ++stats_.queries_adopted;
+  admit_query(std::move(*parsed), wire->app);
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5 handshake
+
+void ContextServer::handle_hello(const net::Message& message) {
+  auto body = entity::HelloBody::decode(message.payload);
+  if (!body) return;
+  detect_arrival(message.from);
+}
+
+void ContextServer::handle_register(const net::Message& message) {
+  auto body = entity::RegisterRequestBody::decode(message.payload);
+  if (!body) return;
+  const SimTime now = network_.simulator().now();
+  const Guid component = message.from;
+
+  if (!registrar_.contains(component)) {
+    const Status added = registrar_.add(component, body->is_app, now);
+    if (!added.is_ok()) {
+      entity::RegisterAckBody nack;
+      nack.accepted = false;
+      nack.reason = added.error().message();
+      send_to(component, entity::kRegisterAck, nack.encode());
+      return;
+    }
+    ++stats_.registrations;
+  } else {
+    registrar_.touch(component, now);
+  }
+  profiles_.put(body->profile, std::move(body->advertisement));
+
+  entity::RegisterAckBody ack;
+  ack.accepted = true;
+  ack.range = config_.range;
+  ack.context_server = config_.context_server;
+  ack.event_mediator = config_.context_server;
+  send_to(component, entity::kRegisterAck, ack.encode());
+
+  // A new arrival may unblock parked queries or offer better sources.
+  retry_pending_queries();
+  if (config_.rebind_on_arrival && !body->is_app) rebind_after_arrival();
+}
+
+// ---------------------------------------------------------------------------
+// event pipeline
+
+void ContextServer::handle_publish(const net::Message& message) {
+  auto body = entity::PublishBody::decode(message.payload);
+  if (!body) return;
+  if (!registrar_.contains(message.from)) {
+    SCI_DEBUG(kTag, "%s: publish from unregistered %s dropped",
+              config_.name.c_str(), message.from.short_string().c_str());
+    return;
+  }
+  registrar_.touch(message.from, network_.simulator().now());
+  ++stats_.events_in;
+  const event::Event& event = body->event;
+
+  // 0. Context gathering and storage (paper conclusion): every event is
+  // recorded under its subject for later pull queries.
+  context_store_.record(event);
+
+  // 1. Fan out to subscribers; one-time configurations retire after their
+  // first delivery.
+  const auto matched = mediator_.dispatch(event);
+  for (const event::Subscription& subscription : matched) {
+    if (subscription.one_time && subscription.owner_tag != 0) {
+      retire_configuration(subscription.owner_tag);
+    }
+  }
+
+  // 2. Location Service keeps profiles current from location-bearing events.
+  const auto new_location = locations_.observe(event, profiles_);
+
+  // 3. Deferred-query triggers ("when Bob enters L10.01").
+  if (new_location) check_triggers(event, *new_location);
+}
+
+void ContextServer::check_triggers(const event::Event& event,
+                                   const location::LocRef& new_location) {
+  const auto subject = event.payload.at("entity").as_guid();
+  if (!subject) return;
+  for (std::size_t i = 0; i < deferred_.size();) {
+    DeferredQuery& deferred = deferred_[i];
+    const auto& trigger = deferred.query.when.trigger;
+    if (trigger && trigger->entity == *subject &&
+        locations_.within(new_location, trigger->place)) {
+      SCI_INFO(kTag, "%s: trigger fired for query %s", config_.name.c_str(),
+               deferred.query.id.c_str());
+      query::Query ready = std::move(deferred.query);
+      const Guid app = deferred.app;
+      deferred_.erase(deferred_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      ready.when = query::WhenClause{};  // constraints satisfied
+      execute_query(ready, app);
+      continue;  // index i now holds the next element
+    }
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// query pipeline
+
+void ContextServer::handle_query_submit(const net::Message& message) {
+  auto body = entity::QuerySubmitBody::decode(message.payload);
+  if (!body) return;
+  ++stats_.queries_received;
+  registrar_.touch(message.from, network_.simulator().now());
+  auto parsed = query::Query::parse(body->xml);
+  if (!parsed) {
+    reply_result(message.from, body->query_id, parsed.error(), Value());
+    return;
+  }
+  admit_query(std::move(*parsed), message.from);
+}
+
+void ContextServer::admit_query(query::Query q, Guid app) {
+  // Forwarding: a query about somewhere this range does not govern goes to
+  // the responsible range's Context Server over the SCINET (paper §5).
+  Guid target_range;
+  if (q.where.range && *q.where.range != config_.range) {
+    target_range = *q.where.range;
+  } else if (q.where.explicit_path && directory_ != nullptr) {
+    // Longest-prefix lookup: range roots may nest, so a more specific range
+    // can govern a place inside this range's own root.
+    if (const auto entry = directory_->range_for_path(*q.where.explicit_path);
+        entry && entry->range != config_.range) {
+      target_range = entry->range;
+    } else if (!entry &&
+               !config_.logical_root.contains_or_equals(
+                   *q.where.explicit_path)) {
+      reply_result(app, q.id,
+                   make_error(ErrorCode::kNotFound,
+                              "no range governs " +
+                                  q.where.explicit_path->to_string()),
+                   Value());
+      return;
+    }
+  }
+  if (!target_range.is_nil()) {
+    // Group access control: queries never cross range groups.
+    if (directory_ != nullptr) {
+      const auto target_entry = directory_->find(target_range);
+      if (target_entry && target_entry->group != config_.group) {
+        reply_result(app, q.id,
+                     make_error(ErrorCode::kPermissionDenied,
+                                "target range is in access group " +
+                                    std::to_string(target_entry->group)),
+                     Value());
+        return;
+      }
+    }
+    ++stats_.queries_forwarded;
+    ForwardedQueryWire wire{app, q.to_xml()};
+    // Hybrid communication model (§4): prefer the overlay, but when this
+    // range's routing state no longer covers the target (partition healed,
+    // membership lost), fall back to point-to-point via the directory.
+    if (!scinet_->knows(target_range) && directory_ != nullptr) {
+      if (const auto entry = directory_->find(target_range); entry) {
+        send_to(entry->context_server, kForwardedQueryDirect, wire.encode());
+        return;
+      }
+    }
+    const Status routed =
+        scinet_->route(target_range, kAppForwardedQuery, wire.encode());
+    if (!routed.is_ok()) {
+      reply_result(app, q.id,
+                   make_error(ErrorCode::kUnavailable,
+                              "SCINET forwarding failed: " +
+                                  routed.error().message()),
+                   Value());
+    }
+    return;
+  }
+
+  // Temporal constraints: hold the query until they are satisfied.
+  if (q.when.trigger) {
+    ++stats_.queries_deferred;
+    const SimTime now = network_.simulator().now();
+    if (q.when.expires_after_seconds > 0.0) {
+      const std::string query_id = q.id;
+      const Guid app_copy = app;
+      network_.simulator().schedule(
+          Duration::from_seconds_f(q.when.expires_after_seconds),
+          [this, query_id, app_copy] {
+            const auto it = std::find_if(
+                deferred_.begin(), deferred_.end(),
+                [&](const DeferredQuery& d) {
+                  return d.query.id == query_id && d.app == app_copy;
+                });
+            if (it == deferred_.end()) return;
+            deferred_.erase(it);
+            reply_result(app_copy, query_id,
+                         make_error(ErrorCode::kTimeout,
+                                    "deferred query expired unanswered"),
+                         Value());
+          });
+    }
+    deferred_.push_back(DeferredQuery{std::move(q), app, now});
+    return;
+  }
+  if (q.when.not_before_seconds) {
+    schedule_not_before(q, app);
+    return;
+  }
+  execute_query(q, app);
+}
+
+void ContextServer::schedule_not_before(const query::Query& q, Guid app) {
+  const SimTime at =
+      SimTime::from_micros(static_cast<std::int64_t>(
+          *q.when.not_before_seconds * 1e6));
+  const SimTime now = network_.simulator().now();
+  query::Query ready = q;
+  ready.when = query::WhenClause{};
+  if (at <= now) {
+    execute_query(ready, app);
+    return;
+  }
+  ++stats_.queries_deferred;
+  network_.simulator().schedule_at(
+      at, [this, ready, app] { execute_query(ready, app); });
+}
+
+void ContextServer::execute_query(const query::Query& q, Guid app) {
+  switch (q.mode) {
+    case query::QueryMode::kProfileRequest:
+      execute_profile_request(q, app);
+      return;
+    case query::QueryMode::kAdvertisementRequest:
+      execute_advertisement_request(q, app);
+      return;
+    case query::QueryMode::kEventSubscription:
+      execute_subscription(q, app, /*one_time=*/false);
+      return;
+    case query::QueryMode::kOneTimeSubscription:
+      execute_subscription(q, app, /*one_time=*/true);
+      return;
+  }
+  SCI_UNREACHABLE();
+}
+
+void ContextServer::execute_profile_request(const query::Query& q, Guid app) {
+  // A pattern-what about a subject is a Context Store pull: "what does the
+  // infrastructure currently know (and remember) about this entity".
+  if (q.what.kind == query::WhatKind::kPattern && q.what.subject) {
+    execute_context_pull(q, app);
+    return;
+  }
+  std::vector<Guid> candidates = find_candidates(q);
+  if (candidates.empty()) {
+    reply_result(app, q.id,
+                 make_error(ErrorCode::kNotFound, "no matching entities"),
+                 Value());
+    return;
+  }
+  const bool selective = q.which.policy != query::SelectPolicy::kAny ||
+                         !q.which.require.empty() || q.which.check_access;
+  if (selective) {
+    auto winner = select_candidate(q, std::move(candidates));
+    if (!winner) {
+      reply_result(app, q.id, winner.error(), Value());
+      return;
+    }
+    candidates = {*winner};
+  }
+  ValueList profiles;
+  for (const Guid id : candidates) {
+    if (const entity::Profile* p = profiles_.profile(id); p != nullptr) {
+      profiles.push_back(profile_to_value(*p));
+    }
+  }
+  reply_result(app, q.id, Error(), Value(std::move(profiles)));
+}
+
+void ContextServer::execute_context_pull(const query::Query& q, Guid app) {
+  const Guid subject = *q.what.subject;
+  ValueMap result;
+  result.emplace("subject", subject);
+  if (!q.what.type.empty()) {
+    const auto events = context_store_.history(
+        subject, q.what.type, std::max<unsigned>(q.what.history, 1));
+    if (events.empty()) {
+      reply_result(app, q.id,
+                   make_error(ErrorCode::kNotFound,
+                              "no stored " + q.what.type + " context for " +
+                                  subject.short_string()),
+                   Value());
+      return;
+    }
+    result.emplace("type", q.what.type);
+    result.emplace("current", ContextStore::event_to_value(events.front()));
+    ValueList history;
+    for (const event::Event& e : events) {
+      history.push_back(ContextStore::event_to_value(e));
+    }
+    result.emplace("history", Value(std::move(history)));
+  } else {
+    Value snapshot = context_store_.snapshot(subject);
+    if (snapshot.get_map().empty()) {
+      reply_result(app, q.id,
+                   make_error(ErrorCode::kNotFound,
+                              "no stored context for " +
+                                  subject.short_string()),
+                   Value());
+      return;
+    }
+    result.emplace("current", std::move(snapshot));
+  }
+  reply_result(app, q.id, Error(), Value(std::move(result)));
+}
+
+void ContextServer::execute_advertisement_request(const query::Query& q,
+                                                  Guid app) {
+  auto winner = select_candidate(q, find_candidates(q));
+  if (!winner) {
+    reply_result(app, q.id, winner.error(), Value());
+    return;
+  }
+  const entity::Advertisement* ad = profiles_.advertisement(*winner);
+  if (ad == nullptr) {
+    reply_result(app, q.id,
+                 make_error(ErrorCode::kNotFound,
+                            "selected entity has no advertisement"),
+                 Value());
+    return;
+  }
+  ValueMap result;
+  result.emplace("entity", *winner);
+  result.emplace("service", ad->service);
+  ValueList methods;
+  for (const entity::MethodDesc& m : ad->methods) methods.emplace_back(m.name);
+  result.emplace("methods", Value(std::move(methods)));
+  result.emplace("attributes", ad->attributes);
+  if (const entity::Profile* p = profiles_.profile(*winner); p != nullptr) {
+    result.emplace("name", p->name);
+    result.emplace("location", p->location.to_value());
+  }
+  reply_result(app, q.id, Error(), Value(std::move(result)));
+}
+
+void ContextServer::execute_subscription(const query::Query& q, Guid app,
+                                         bool one_time) {
+  // Named-entity and entity-type subscriptions bind directly to the chosen
+  // entity's output events; pattern subscriptions go through composition.
+  if (q.what.kind != query::WhatKind::kPattern) {
+    auto winner = select_candidate(q, find_candidates(q));
+    if (!winner) {
+      reply_result(app, q.id, winner.error(), Value());
+      return;
+    }
+    const entity::Profile* profile = profiles_.profile(*winner);
+    SCI_ASSERT(profile != nullptr);
+    if (profile->outputs.empty()) {
+      reply_result(app, q.id,
+                   make_error(ErrorCode::kUnresolvable,
+                              profile->name + " produces no events"),
+                   Value());
+      return;
+    }
+    const std::uint64_t tag = next_tag_++;
+    for (const entity::TypeSig& sig : profile->outputs) {
+      (void)mediator_.subscribe(app, *winner, sig.name, {}, one_time, tag);
+    }
+    ValueMap result;
+    result.emplace("entity", *winner);
+    result.emplace("config", static_cast<std::int64_t>(tag));
+    reply_result(app, q.id, Error(), Value(std::move(result)));
+    return;
+  }
+
+  auto tag = build_configuration(q, app, one_time);
+  if (!tag) {
+    if (tag.error().code() == ErrorCode::kUnresolvable) {
+      // Park: a source may arrive later (robustness under churn).
+      pending_.push_back(
+          DeferredQuery{q, app, network_.simulator().now()});
+      SCI_DEBUG(kTag, "%s: query %s parked (unresolvable now)",
+                config_.name.c_str(), q.id.c_str());
+      return;
+    }
+    reply_result(app, q.id, tag.error(), Value());
+    return;
+  }
+  // Bounded subscriptions: retire automatically at expiry and tell the
+  // application its stream has ended.
+  if (q.when.expires_after_seconds > 0.0) {
+    const std::uint64_t expiring_tag = *tag;
+    const std::string query_id = q.id;
+    const Guid app_copy = app;
+    network_.simulator().schedule(
+        Duration::from_seconds_f(q.when.expires_after_seconds),
+        [this, expiring_tag, query_id, app_copy] {
+          if (store_.find(expiring_tag) == nullptr) return;  // already gone
+          retire_configuration(expiring_tag);
+          reply_result(app_copy, query_id,
+                       make_error(ErrorCode::kTimeout,
+                                  "subscription expired"),
+                       Value());
+        });
+  }
+
+  const compose::ActiveConfiguration* active = store_.find(*tag);
+  SCI_ASSERT(active != nullptr);
+  ValueMap result;
+  result.emplace("config", static_cast<std::int64_t>(*tag));
+  result.emplace("sink", active->plan.sink);
+  result.emplace("type", active->plan.sink_type);
+  result.emplace("entities",
+                 static_cast<std::int64_t>(active->plan.entities.size()));
+  reply_result(app, q.id, Error(), Value(std::move(result)));
+}
+
+// ---------------------------------------------------------------------------
+// selection
+
+std::vector<Guid> ContextServer::find_candidates(const query::Query& q) const {
+  std::vector<Guid> out;
+  switch (q.what.kind) {
+    case query::WhatKind::kNamedEntity:
+      if (registrar_.contains(q.what.named)) out.push_back(q.what.named);
+      return out;
+    case query::WhatKind::kEntityType: {
+      for (const Guid id : registrar_.entities()) {
+        const entity::Profile* p = profiles_.profile(id);
+        if (p == nullptr) continue;
+        const entity::Advertisement* ad = profiles_.advertisement(id);
+        const bool service_match =
+            (ad != nullptr && ad->service == q.what.entity_type) ||
+            p->metadata.at("service").string_or("") == q.what.entity_type;
+        const bool kind_match =
+            entity::to_string(p->kind) == q.what.entity_type;
+        if (service_match || kind_match) out.push_back(id);
+      }
+      return out;
+    }
+    case query::WhatKind::kPattern: {
+      const compose::RequestedType requested{q.what.type, q.what.unit,
+                                             q.what.semantic};
+      for (const Guid id : registrar_.entities()) {
+        const entity::Profile* p = profiles_.profile(id);
+        if (p == nullptr) continue;
+        for (const entity::TypeSig& sig : p->outputs) {
+          if (semantics_->matches(requested, sig, config_.strict_syntactic)) {
+            out.push_back(id);
+            break;
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+bool ContextServer::meets_requirements(const query::Query& q,
+                                       const entity::Profile& p) const {
+  for (const query::Requirement& requirement : q.which.require) {
+    if (!(p.metadata.at(requirement.key) == requirement.equals)) return false;
+  }
+  // Quality-of-context contracts (§6 item 2).
+  if (q.which.fresh_within_seconds > 0.0) {
+    const MemberRecord* record = registrar_.find(p.entity);
+    if (record == nullptr) return false;
+    const double age =
+        (network_.simulator().now() - record->last_seen).seconds_f();
+    if (age > q.which.fresh_within_seconds) return false;
+  }
+  if (q.which.min_confidence > 0.0) {
+    // Entities may advertise a static confidence; absent means full.
+    if (p.metadata.at("confidence").number_or(1.0) < q.which.min_confidence)
+      return false;
+  }
+  if (q.which.check_access &&
+      p.metadata.at("locked").as_bool().value_or(false)) {
+    const Value& keyholders = p.metadata.at("keyholders");
+    bool is_keyholder = false;
+    if (keyholders.kind() == Value::Kind::kList) {
+      for (const Value& holder : keyholders.get_list()) {
+        if (holder == Value(q.owner)) {
+          is_keyholder = true;
+          break;
+        }
+      }
+    }
+    if (!is_keyholder) return false;
+  }
+  return true;
+}
+
+Expected<Guid> ContextServer::select_candidate(const query::Query& q,
+                                               std::vector<Guid> candidates) {
+  std::vector<Guid> acceptable;
+  for (const Guid id : candidates) {
+    const entity::Profile* p = profiles_.profile(id);
+    if (p != nullptr && meets_requirements(q, *p)) acceptable.push_back(id);
+  }
+  if (acceptable.empty())
+    return make_error(ErrorCode::kNotFound,
+                      "no candidate satisfies the which-clause");
+  std::sort(acceptable.begin(), acceptable.end());
+
+  switch (q.which.policy) {
+    case query::SelectPolicy::kAny:
+      return acceptable.front();
+    case query::SelectPolicy::kClosest: {
+      // Anchor: explicit place > named relative entity > the query owner.
+      std::optional<location::LocRef> anchor;
+      if (q.where.explicit_path) {
+        anchor = location::LocRef::from_logical(*q.where.explicit_path);
+      } else if (q.where.relative_to) {
+        anchor = locations_.locate_entity(*q.where.relative_to, profiles_);
+      } else {
+        anchor = locations_.locate_entity(q.owner, profiles_);
+      }
+      if (!anchor)
+        return make_error(ErrorCode::kUnresolvable,
+                          "closest-selection has no location anchor");
+      Guid best;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (const Guid id : acceptable) {
+        const entity::Profile* p = profiles_.profile(id);
+        if (p == nullptr || p->location.is_empty()) continue;
+        const auto d = locations_.distance(p->location, *anchor);
+        if (!d) continue;
+        if (*d < best_distance) {
+          best = id;
+          best_distance = *d;
+        }
+      }
+      if (best.is_nil())
+        return make_error(ErrorCode::kUnresolvable,
+                          "no candidate has a comparable location");
+      return best;
+    }
+    case query::SelectPolicy::kMinAttr:
+    case query::SelectPolicy::kMaxAttr: {
+      const bool minimise = q.which.policy == query::SelectPolicy::kMinAttr;
+      Guid best;
+      double best_score = minimise ? std::numeric_limits<double>::infinity()
+                                   : -std::numeric_limits<double>::infinity();
+      for (const Guid id : acceptable) {
+        const entity::Profile* p = profiles_.profile(id);
+        if (p == nullptr) continue;
+        const Value& attr = p->metadata.at(q.which.attr_key);
+        if (attr.is_null()) continue;
+        const double score = attr.number_or(0.0);
+        if ((minimise && score < best_score) ||
+            (!minimise && score > best_score)) {
+          best = id;
+          best_score = score;
+        }
+      }
+      if (best.is_nil())
+        return make_error(ErrorCode::kUnresolvable,
+                          "no candidate carries attribute '" +
+                              q.which.attr_key + "'");
+      return best;
+    }
+  }
+  SCI_UNREACHABLE();
+}
+
+// ---------------------------------------------------------------------------
+// composition
+
+event::EventFilter ContextServer::app_edge_filter(
+    const compose::ConfigurationPlan& plan,
+    const compose::ResolveRequest& request, const query::WhichClause& which,
+    std::uint64_t tag) const {
+  event::EventFilter filter;
+  if (plan.params.contains(plan.sink)) {
+    filter.fields.push_back(event::FieldConstraint{
+        "config", event::FilterOp::kEquals, static_cast<std::int64_t>(tag)});
+  } else if (request.subject) {
+    filter.fields.push_back(event::FieldConstraint{
+        "entity", event::FilterOp::kEquals, Value(*request.subject)});
+  }
+  // QoC: suppress deliveries whose payload confidence falls below contract.
+  if (which.min_confidence > 0.0) {
+    filter.fields.push_back(event::FieldConstraint{
+        "confidence", event::FilterOp::kGreaterOrEqual,
+        Value(which.min_confidence)});
+  }
+  return filter;
+}
+
+compose::ResolveRequest ContextServer::resolve_request_for(
+    const query::Query& q, std::uint64_t tag) const {
+  compose::ResolveRequest request;
+  request.requested =
+      compose::RequestedType{q.what.type, q.what.unit, q.what.semantic};
+  request.tag = tag;
+  request.subject = q.what.subject;
+  request.strict_syntactic = config_.strict_syntactic;
+  // Contract for route-semantic sinks (the Fig 3 path configuration): the
+  // sink is configured with {from, to} — `from` defaults to the query owner
+  // (or the where-clause's relative anchor), `to` is the what-subject.
+  const bool is_route = q.what.semantic == entity::types::kSemRoute ||
+                        q.what.type == entity::types::kPathUpdate;
+  if (is_route && q.what.subject) {
+    const Guid from = q.where.relative_to.value_or(q.owner);
+    ValueMap params;
+    params.emplace("from", from);
+    params.emplace("to", *q.what.subject);
+    if (const auto loc = locations_.locate_entity(from, profiles_);
+        loc && loc->place != location::kNoPlace) {
+      params.emplace("from_place", static_cast<std::int64_t>(loc->place));
+    }
+    if (const auto loc = locations_.locate_entity(*q.what.subject, profiles_);
+        loc && loc->place != location::kNoPlace) {
+      params.emplace("to_place", static_cast<std::int64_t>(loc->place));
+    }
+    request.sink_params = Value(std::move(params));
+    request.subject.reset();  // params supersede the subject filter
+  }
+  return request;
+}
+
+Expected<std::uint64_t> ContextServer::build_configuration(
+    const query::Query& q, Guid app, bool one_time) {
+  const std::uint64_t tag = next_tag_++;
+  const compose::ResolveRequest request = resolve_request_for(q, tag);
+  // Compose over non-application profiles only.
+  SCI_TRY_ASSIGN(plan,
+                 resolver_.resolve(request,
+                                   profiles_.snapshot_of(registrar_.entities())));
+
+  compose::ActiveConfiguration active;
+  active.plan = plan;
+  active.app = app;
+  active.query_id = q.id;
+  active.one_time = one_time;
+  const auto to_establish = store_.admit(std::move(active));
+
+  configure_entities(plan);
+  establish_edges(to_establish, tag);
+
+  // Application-facing edge.
+  app_edges_[tag] = mediator_.subscribe(
+      app, plan.sink, plan.sink_type,
+      app_edge_filter(plan, request, q.which, tag), one_time, tag);
+  tracked_[tag] = TrackedQuery{q, app, one_time};
+  ++stats_.configurations_built;
+  return tag;
+}
+
+void ContextServer::establish_edges(
+    const std::vector<compose::PlanEdge>& edges, std::uint64_t tag) {
+  for (const compose::PlanEdge& edge : edges) {
+    const event::SubscriptionId id = mediator_.subscribe(
+        edge.consumer, edge.producer, edge.event_type, edge.filter,
+        /*one_time=*/false, tag);
+    edge_subscriptions_[edge.share_key()] = id;
+  }
+}
+
+void ContextServer::tear_down_edges(
+    const std::vector<compose::PlanEdge>& edges) {
+  for (const compose::PlanEdge& edge : edges) {
+    const auto it = edge_subscriptions_.find(edge.share_key());
+    if (it == edge_subscriptions_.end()) continue;
+    (void)mediator_.unsubscribe(it->second);
+    edge_subscriptions_.erase(it);
+  }
+}
+
+void ContextServer::configure_entities(const compose::ConfigurationPlan& plan) {
+  for (const auto& [entity_id, params] : plan.params) {
+    entity::ConfigureBody body{plan.tag, params};
+    send_to(entity_id, entity::kConfigure, body.encode());
+  }
+}
+
+void ContextServer::retire_configuration(std::uint64_t tag) {
+  const compose::ActiveConfiguration* active = store_.find(tag);
+  if (active == nullptr) return;
+  // Unconfigure parameterised entities first.
+  for (const auto& [entity_id, params] : active->plan.params) {
+    entity::ConfigureBody body{tag, Value()};
+    send_to(entity_id, entity::kUnconfigure, body.encode());
+  }
+  tear_down_edges(store_.retire(tag));
+  if (const auto it = app_edges_.find(tag); it != app_edges_.end()) {
+    (void)mediator_.unsubscribe(it->second);
+    app_edges_.erase(it);
+  }
+  tracked_.erase(tag);
+}
+
+// ---------------------------------------------------------------------------
+// adaptation
+
+void ContextServer::departure(Guid component, bool failure) {
+  const MemberRecord* record = registrar_.find(component);
+  if (record == nullptr) return;
+  const bool is_app = record->is_app;
+  (void)registrar_.remove(component);
+  mediator_.remove_subscriber(component);
+  ++stats_.departures;
+  if (failure) ++stats_.failures_detected;
+
+  if (is_app) {
+    // Tear down every configuration this application owns.
+    std::vector<std::uint64_t> owned;
+    for (const auto& [tag, tracked] : tracked_) {
+      if (tracked.app == component) owned.push_back(tag);
+    }
+    for (const std::uint64_t tag : owned) retire_configuration(tag);
+    // Parked/deferred queries from this app die with it.
+    std::erase_if(pending_, [&](const DeferredQuery& d) {
+      return d.app == component;
+    });
+    std::erase_if(deferred_, [&](const DeferredQuery& d) {
+      return d.app == component;
+    });
+  } else {
+    mediator_.remove_producer(component);
+    recompose_after_loss(component);
+  }
+  (void)profiles_.remove(component);
+}
+
+void ContextServer::recompose_after_loss(Guid lost_entity) {
+  const auto affected = store_.tags_involving(lost_entity);
+  for (const std::uint64_t tag : affected) {
+    const auto tracked_it = tracked_.find(tag);
+    if (tracked_it == tracked_.end()) continue;
+    const TrackedQuery tracked = tracked_it->second;
+
+    const compose::ResolveRequest request =
+        resolve_request_for(tracked.query, tag);
+    // The departed entity's profile is gone already, so the resolver only
+    // sees survivors.
+    auto plan = resolver_.resolve(
+        request, profiles_.snapshot_of(registrar_.entities()));
+    if (!plan) {
+      ++stats_.recomposition_failures;
+      retire_configuration(tag);
+      reply_result(tracked.app, tracked.query.id,
+                   make_error(ErrorCode::kUnavailable,
+                              "configuration lost and not recomposable"),
+                   Value());
+      // Park for retry when new sources arrive.
+      pending_.push_back(DeferredQuery{tracked.query, tracked.app,
+                                       network_.simulator().now()});
+      continue;
+    }
+    ++stats_.recompositions;
+    const Guid old_sink = store_.find(tag)->plan.sink;
+    compose::ActiveConfiguration active;
+    active.plan = *plan;
+    active.app = tracked.app;
+    active.query_id = tracked.query.id;
+    active.one_time = tracked.one_time;
+    const auto diff = store_.replace(tag, std::move(active));
+    configure_entities(*plan);
+    establish_edges(diff.establish, tag);
+    tear_down_edges(diff.tear_down);
+    if (plan->sink != old_sink) {
+      // Rebind the application edge to the new sink.
+      if (const auto it = app_edges_.find(tag); it != app_edges_.end()) {
+        (void)mediator_.unsubscribe(it->second);
+      }
+      app_edges_[tag] = mediator_.subscribe(
+          tracked.app, plan->sink, plan->sink_type,
+          app_edge_filter(*plan, request, tracked.query.which, tag),
+          tracked.one_time, tag);
+    }
+  }
+}
+
+void ContextServer::retry_pending_queries() {
+  if (pending_.empty()) return;
+  std::vector<DeferredQuery> retry;
+  retry.swap(pending_);
+  for (DeferredQuery& parked : retry) {
+    execute_query(parked.query, parked.app);
+  }
+}
+
+void ContextServer::rebind_after_arrival() {
+  // Re-resolve active configurations so newly arrived (possibly better or
+  // redundant) sources are wired in — iQueue's "continual rebinding",
+  // generalised to the whole graph.
+  for (const std::uint64_t tag : store_.all_tags()) {
+    const auto tracked_it = tracked_.find(tag);
+    if (tracked_it == tracked_.end()) continue;
+    const TrackedQuery tracked = tracked_it->second;
+    const compose::ResolveRequest request =
+        resolve_request_for(tracked.query, tag);
+    auto plan = resolver_.resolve(
+        request, profiles_.snapshot_of(registrar_.entities()));
+    if (!plan) continue;  // keep the old wiring
+    const Guid old_sink = store_.find(tag)->plan.sink;
+    if (plan->sink != old_sink) continue;  // sink swap only on failure
+    compose::ActiveConfiguration active;
+    active.plan = *plan;
+    active.app = tracked.app;
+    active.query_id = tracked.query.id;
+    active.one_time = tracked.one_time;
+    const auto diff = store_.replace(tag, std::move(active));
+    configure_entities(*plan);
+    establish_edges(diff.establish, tag);
+    tear_down_edges(diff.tear_down);
+  }
+}
+
+void ContextServer::ping_tick() {
+  // The Range Service's liveness sweep: miss counters increment every tick
+  // and reset on any sign of life (pong, publish, profile update).
+  const auto members = registrar_.members();
+  for (const Guid member : members) {
+    const unsigned missed = registrar_.record_missed_ping(member);
+    if (missed > config_.ping_miss_limit) {
+      SCI_INFO(kTag, "%s: member %s failed (missed %u pings)",
+               config_.name.c_str(), member.short_string().c_str(), missed);
+      departure(member, /*failure=*/true);
+      continue;
+    }
+    send_to(member, entity::kPing, {});
+  }
+}
+
+}  // namespace sci::range

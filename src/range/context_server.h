@@ -1,0 +1,270 @@
+// SCI — the Context Server: hub of a Range (paper §3, Fig 2).
+//
+// "The CS is the most important component of a Range. It manages the other
+// components and provides the means of communicating with other Ranges in
+// the SCINET. It maintains a central store of entity information as well as
+// managing the context utilities operating within its range. The CS
+// provides the access point for Context Aware Applications to interact with
+// the infrastructure."
+//
+// A ContextServer owns:
+//   * a component-facing network node (Fig 5 handshake, publishes, queries);
+//   * a SCINET overlay node (inter-range query forwarding, Fig 1);
+//   * the six core Context Utilities: Range Service (arrival/departure,
+//     including ping-based failure detection), Registrar, Profile Manager,
+//     Event Mediator, Query Resolver and Location Service.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "compose/resolver.h"
+#include "compose/semantics.h"
+#include "compose/store.h"
+#include "entity/protocol.h"
+#include "event/event.h"
+#include "net/network.h"
+#include "overlay/scinet.h"
+#include "query/query.h"
+#include "range/context_store.h"
+#include "range/directory.h"
+#include "range/event_mediator.h"
+#include "range/location_service.h"
+#include "range/registrar.h"
+
+namespace sci::range {
+
+// Overlay application payload types carried over SCINET.
+enum ScinetAppType : std::uint32_t {
+  kAppForwardedQuery = 0xF001,
+};
+
+// Link-local discovery beacon (paper §3: "The SCINET can be created via
+// Range discovery, requiring little initialisation"). Broadcast from the CS
+// node; payload = this range's SCINET id.
+inline constexpr std::uint32_t kRangeBeacon = 0xBEAC;
+
+// Point-to-point forwarded query (paper §4's "hybrid communication model":
+// distributed events plus point-to-point). Used as the fallback path when
+// the overlay no longer knows the target range (e.g. after a healed
+// partition evicted it from routing state) but the range directory still
+// names its Context Server.
+inline constexpr std::uint32_t kForwardedQueryDirect = 0xF002;
+
+struct RangeConfig {
+  Guid range;           // SCINET identity of this range
+  Guid context_server;  // component-facing network node
+  std::string name;
+  location::LogicalPath logical_root;  // logical area this range governs
+  double x = 0.0;       // coordinates of the CS machine
+  double y = 0.0;
+  Duration ping_period = Duration::seconds(2);
+  unsigned ping_miss_limit = 3;
+  bool enable_reuse = true;       // Solar-style subgraph sharing (A4 ablation)
+  bool strict_syntactic = false;  // iQueue-style matching (A3 ablation)
+  bool rebind_on_arrival = true;  // recompose when better sources arrive
+  // Access-control group: queries are only forwarded between ranges of the
+  // same group (paper §3).
+  int group = 0;
+  // Range discovery beacons: when period > 0 the CS periodically broadcasts
+  // kRangeBeacon over `beacon_radius` so nearby new ranges can find the
+  // SCINET without pre-configuration.
+  Duration beacon_period = Duration::seconds(0);
+  double beacon_radius = 500.0;
+  overlay::ScinetConfig scinet;
+};
+
+struct ServerStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t failures_detected = 0;
+  std::uint64_t queries_received = 0;
+  std::uint64_t queries_forwarded = 0;
+  std::uint64_t queries_adopted = 0;  // received via SCINET forwarding
+  std::uint64_t queries_deferred = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t configurations_built = 0;
+  std::uint64_t recompositions = 0;
+  std::uint64_t recomposition_failures = 0;
+  std::uint64_t events_in = 0;
+};
+
+class ContextServer {
+ public:
+  // `directory` is the shared range-naming fabric; `semantics` the shared
+  // semantic-equivalence registry; `locations` the world's location
+  // directory. All must outlive the server.
+  ContextServer(net::Network& network, RangeConfig config,
+                RangeDirectory* directory,
+                const compose::SemanticRegistry* semantics,
+                const location::LocationDirectory* locations);
+  ~ContextServer();
+
+  ContextServer(const ContextServer&) = delete;
+  ContextServer& operator=(const ContextServer&) = delete;
+
+  // --- SCINET membership --------------------------------------------------
+  // First range bootstraps the overlay; later ranges join through any
+  // existing range.
+  void bootstrap_overlay();
+  Status join_overlay(Guid bootstrap_range);
+
+  // Zero-configuration alternative: listen for another range's discovery
+  // beacon for `listen_window`; join through the first one heard, or
+  // bootstrap a fresh overlay when the window closes silent. Requires the
+  // peers to have beaconing enabled (RangeConfig::beacon_period).
+  void join_via_discovery(Duration listen_window = Duration::seconds(3));
+  [[nodiscard]] bool overlay_ready() const { return scinet_->is_ready(); }
+
+  // --- Range Service (arrival/departure) ----------------------------------
+  // Arrival detection: the world (or a test) tells the Range Service that a
+  // component machine is now inside this range; the RS initiates the Fig 5
+  // handshake by telling the component where the Registrar is. In a real
+  // deployment this is the RS instance on the component's machine.
+  void detect_arrival(Guid component);
+
+  // Departure detection: boundary sensors (or the W-LAN edge) noticed the
+  // component leaving. Deregisters and triggers recomposition.
+  void detect_departure(Guid component);
+
+  // --- accessors -----------------------------------------------------------
+  [[nodiscard]] Guid id() const { return config_.range; }
+  [[nodiscard]] Guid server_node() const { return config_.context_server; }
+  [[nodiscard]] const RangeConfig& config() const { return config_; }
+  [[nodiscard]] const Registrar& registrar() const { return registrar_; }
+  [[nodiscard]] const ProfileManager& profiles() const { return profiles_; }
+  [[nodiscard]] const EventMediator& mediator() const { return mediator_; }
+  [[nodiscard]] const compose::ConfigurationStore& configurations() const {
+    return store_;
+  }
+  [[nodiscard]] const ContextStore& context_store() const {
+    return context_store_;
+  }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] overlay::ScinetNode& scinet() { return *scinet_; }
+  [[nodiscard]] LocationService& location_service() { return locations_; }
+  [[nodiscard]] std::size_t deferred_queries() const {
+    return deferred_.size();
+  }
+  [[nodiscard]] std::size_t pending_queries() const {
+    return pending_.size();
+  }
+
+ private:
+  // Everything the server must remember to re-resolve a configuration after
+  // the environment changes.
+  struct TrackedQuery {
+    query::Query query;
+    Guid app;
+    bool one_time = false;
+  };
+
+  // --- message plumbing ----------------------------------------------------
+  void on_component_message(const net::Message& message);
+  void on_scinet_deliver(const overlay::RoutedMessage& message);
+  void send_to(Guid to, std::uint32_t type, std::vector<std::byte> payload);
+  void reply_result(Guid app, const std::string& query_id, const Error& error,
+                    Value result);
+
+  // --- Fig 5 handshake ------------------------------------------------------
+  void handle_hello(const net::Message& message);
+  void handle_register(const net::Message& message);
+
+  // --- event pipeline --------------------------------------------------------
+  void handle_publish(const net::Message& message);
+
+  // --- query pipeline ---------------------------------------------------------
+  void handle_query_submit(const net::Message& message);
+  // Routes/forwards/defers/executes. `app` is where results go.
+  void admit_query(query::Query q, Guid app);
+  void execute_query(const query::Query& q, Guid app);
+  void execute_profile_request(const query::Query& q, Guid app);
+  // Pull stored context about a subject (profile mode with a pattern what).
+  void execute_context_pull(const query::Query& q, Guid app);
+  void execute_advertisement_request(const query::Query& q, Guid app);
+  void execute_subscription(const query::Query& q, Guid app, bool one_time);
+
+  // --- selection (which clause) ------------------------------------------------
+  [[nodiscard]] std::vector<Guid> find_candidates(const query::Query& q) const;
+  Expected<Guid> select_candidate(const query::Query& q,
+                                  std::vector<Guid> candidates);
+  [[nodiscard]] bool meets_requirements(const query::Query& q,
+                                        const entity::Profile& p) const;
+
+  // --- composition -----------------------------------------------------------
+  Expected<std::uint64_t> build_configuration(const query::Query& q, Guid app,
+                                              bool one_time);
+  [[nodiscard]] compose::ResolveRequest resolve_request_for(
+      const query::Query& q, std::uint64_t tag) const;
+  [[nodiscard]] event::EventFilter app_edge_filter(
+      const compose::ConfigurationPlan& plan,
+      const compose::ResolveRequest& request, const query::WhichClause& which,
+      std::uint64_t tag) const;
+  void establish_edges(const std::vector<compose::PlanEdge>& edges,
+                       std::uint64_t tag);
+  void tear_down_edges(const std::vector<compose::PlanEdge>& edges);
+  void configure_entities(const compose::ConfigurationPlan& plan);
+  void retire_configuration(std::uint64_t tag);
+
+  // --- adaptation (Range Service) -----------------------------------------------
+  void departure(Guid component, bool failure);
+  void recompose_after_loss(Guid lost_entity);
+  void retry_pending_queries();
+  void rebind_after_arrival();
+  void ping_tick();
+
+  // --- deferred queries -----------------------------------------------------------
+  void check_triggers(const event::Event& event,
+                      const location::LocRef& new_location);
+  void schedule_not_before(const query::Query& q, Guid app);
+
+  net::Network& network_;
+  RangeConfig config_;
+  RangeDirectory* directory_;
+  const compose::SemanticRegistry* semantics_ = nullptr;
+  const location::LocationDirectory* location_directory_;
+
+  Registrar registrar_;
+  ProfileManager profiles_;
+  EventMediator mediator_;
+  ContextStore context_store_;
+  LocationService locations_;
+  compose::Resolver resolver_;
+  compose::ConfigurationStore store_;
+  std::unique_ptr<overlay::ScinetNode> scinet_;
+
+  // Queries waiting on a when-trigger.
+  struct DeferredQuery {
+    query::Query query;
+    Guid app;
+    SimTime stored_at;
+  };
+  std::vector<DeferredQuery> deferred_;
+  // Subscription queries that could not be resolved yet (waiting for
+  // sources to arrive).
+  std::vector<DeferredQuery> pending_;
+
+  // Edge bookkeeping: share-key -> subscription id, so retired plan edges
+  // can find their subscriptions.
+  std::unordered_map<std::string, event::SubscriptionId> edge_subscriptions_;
+  // Per-configuration application-facing subscription.
+  std::unordered_map<std::uint64_t, event::SubscriptionId> app_edges_;
+  // Per-configuration originating query (for recomposition).
+  std::unordered_map<std::uint64_t, TrackedQuery> tracked_;
+
+  std::uint64_t next_tag_ = 1;
+  std::optional<sim::PeriodicTimer> ping_timer_;
+  std::optional<sim::PeriodicTimer> beacon_timer_;
+  bool discovering_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace sci::range

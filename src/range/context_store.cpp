@@ -1,0 +1,94 @@
+#include "range/context_store.h"
+
+#include <algorithm>
+
+namespace sci::range {
+
+namespace {
+
+Guid subject_of(const event::Event& event) {
+  if (const auto entity = event.payload.at("entity").as_guid(); entity) {
+    return *entity;
+  }
+  return event.source;
+}
+
+}  // namespace
+
+Guid ContextStore::record(const event::Event& event) {
+  const Guid subject = subject_of(event);
+  auto& buffer = buffers_[Key{subject, event.type}];
+  buffer.push_back(event);
+  ++stats_.recorded;
+  if (buffer.size() > capacity_) {
+    buffer.pop_front();
+    ++stats_.evicted;
+  }
+  return subject;
+}
+
+std::vector<event::Event> ContextStore::history(Guid subject,
+                                                const std::string& type,
+                                                std::size_t limit) const {
+  ++stats_.lookups;
+  std::vector<event::Event> out;
+  const auto it = buffers_.find(Key{subject, type});
+  if (it == buffers_.end()) return out;
+  const auto& buffer = it->second;
+  const std::size_t count = std::min(limit, buffer.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(buffer[buffer.size() - 1 - i]);  // newest first
+  }
+  return out;
+}
+
+const event::Event* ContextStore::latest(Guid subject,
+                                         const std::string& type) const {
+  ++stats_.lookups;
+  const auto it = buffers_.find(Key{subject, type});
+  if (it == buffers_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+Value ContextStore::snapshot(Guid subject) const {
+  ValueMap out;
+  for (const auto& [key, buffer] : buffers_) {
+    if (key.subject != subject || buffer.empty()) continue;
+    out.emplace(key.type, event_to_value(buffer.back()));
+  }
+  return Value(std::move(out));
+}
+
+std::vector<std::string> ContextStore::types_for(Guid subject) const {
+  std::vector<std::string> out;
+  for (const auto& [key, buffer] : buffers_) {
+    if (key.subject == subject && !buffer.empty()) out.push_back(key.type);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ContextStore::forget(Guid subject) {
+  std::size_t dropped = 0;
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (it->first.subject == subject) {
+      dropped += it->second.size();
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+Value ContextStore::event_to_value(const event::Event& event) {
+  ValueMap out;
+  out.emplace("sequence", static_cast<std::int64_t>(event.sequence));
+  out.emplace("source", event.source);
+  out.emplace("timestamp_us", event.timestamp.micros());
+  out.emplace("payload", event.payload);
+  return Value(std::move(out));
+}
+
+}  // namespace sci::range

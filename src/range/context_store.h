@@ -1,0 +1,81 @@
+// SCI — Context Store (paper conclusion: "an open source infrastructure
+// that supports context gathering and storage").
+//
+// The Context Server taps every published event into this store, keyed by
+// (subject, event type) — the subject being the payload's "entity" field
+// when present (the person a location event is *about*), else the producing
+// CE. Applications pull stored context through profile-mode queries with a
+// history count (§3.1: "an application that has the ability to pull or be
+// pushed contextual information"). Bounded ring buffers keep memory flat
+// under unbounded event streams.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/guid.h"
+#include "event/event.h"
+#include "serde/value.h"
+
+namespace sci::range {
+
+struct ContextStoreStats {
+  std::uint64_t recorded = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t lookups = 0;
+};
+
+class ContextStore {
+ public:
+  explicit ContextStore(std::size_t per_key_capacity = 32)
+      : capacity_(per_key_capacity == 0 ? 1 : per_key_capacity) {}
+
+  // Records an event under its subject. Returns the subject used.
+  Guid record(const event::Event& event);
+
+  // Events of `type` about `subject`, newest first, at most `limit`.
+  [[nodiscard]] std::vector<event::Event> history(
+      Guid subject, const std::string& type, std::size_t limit) const;
+
+  // The most recent event of `type` about `subject`, or nullptr.
+  [[nodiscard]] const event::Event* latest(Guid subject,
+                                           const std::string& type) const;
+
+  // Current context of a subject: the latest event per type, as a map
+  // { type -> { sequence, source, timestamp_us, payload } }.
+  [[nodiscard]] Value snapshot(Guid subject) const;
+
+  // Event types with stored context for `subject` (sorted).
+  [[nodiscard]] std::vector<std::string> types_for(Guid subject) const;
+
+  // Drops everything recorded about `subject` (departed the system).
+  std::size_t forget(Guid subject);
+
+  [[nodiscard]] std::size_t keys() const { return buffers_.size(); }
+  [[nodiscard]] const ContextStoreStats& stats() const { return stats_; }
+
+  // Renders one stored event for query replies.
+  static Value event_to_value(const event::Event& event);
+
+ private:
+  struct Key {
+    Guid subject;
+    std::string type;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<Guid>{}(k.subject) ^
+             (std::hash<std::string>{}(k.type) << 1);
+    }
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<Key, std::deque<event::Event>, KeyHash> buffers_;
+  mutable ContextStoreStats stats_;
+};
+
+}  // namespace sci::range

@@ -1,0 +1,46 @@
+#include "range/directory.h"
+
+namespace sci::range {
+
+void RangeDirectory::add(Entry entry) {
+  entries_[entry.root.to_string()] = std::move(entry);
+}
+
+void RangeDirectory::remove(Guid range) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.range == range) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<RangeDirectory::Entry> RangeDirectory::range_for_path(
+    const location::LogicalPath& path) const {
+  const Entry* best = nullptr;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.root.contains_or_equals(path)) continue;
+    if (best == nullptr || entry.root.depth() > best->root.depth()) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<RangeDirectory::Entry> RangeDirectory::find(Guid range) const {
+  for (const auto& [key, entry] : entries_) {
+    if (entry.range == range) return entry;
+  }
+  return std::nullopt;
+}
+
+std::vector<RangeDirectory::Entry> RangeDirectory::all() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace sci::range

@@ -1,0 +1,51 @@
+// SCI — range directory: logical-space → range mapping.
+//
+// The paper leaves SCINET topology management as future work (§6 item 1);
+// query forwarding, however, needs to know *which* range governs a logical
+// place ("the Context Server identifies that the query should be forwarded
+// to the Context Server for Level Ten", §5). This directory is the shared
+// naming fabric: each Context Server registers its logical root when it is
+// created, and lookups do longest-prefix matching over logical paths.
+// Queries themselves still travel over the SCINET overlay; only the
+// name-to-range binding is centralised here (see DESIGN.md §2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/guid.h"
+#include "location/models.h"
+
+namespace sci::range {
+
+class RangeDirectory {
+ public:
+  struct Entry {
+    Guid range;            // SCINET node id of the range
+    Guid context_server;   // network node CAAs/CEs talk to
+    location::LogicalPath root;
+    std::string name;
+    // Access-control group (paper §3: "group relevant Ranges together …
+    // in order to control access"). Queries do not cross groups.
+    int group = 0;
+  };
+
+  void add(Entry entry);
+  void remove(Guid range);
+
+  // Longest-prefix match: the most specific range whose logical root
+  // contains `path`.
+  [[nodiscard]] std::optional<Entry> range_for_path(
+      const location::LogicalPath& path) const;
+
+  [[nodiscard]] std::optional<Entry> find(Guid range) const;
+  [[nodiscard]] std::vector<Entry> all() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry> entries_;  // keyed by root path string
+};
+
+}  // namespace sci::range

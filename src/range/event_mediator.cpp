@@ -1,0 +1,25 @@
+#include "range/event_mediator.h"
+
+#include "entity/protocol.h"
+
+namespace sci::range {
+
+std::vector<event::Subscription> EventMediator::dispatch(
+    const event::Event& event) {
+  ++stats_.events_in;
+  std::vector<event::Subscription> matched = table_.collect_matches(event);
+  for (const event::Subscription& subscription : matched) {
+    entity::DeliverBody body{subscription.id, subscription.owner_tag, event};
+    net::Message message;
+    message.type = entity::kDeliver;
+    message.from = node_;
+    message.to = subscription.subscriber;
+    message.payload = body.encode();
+    if (network_.send(std::move(message)).is_ok()) {
+      ++stats_.deliveries_out;
+    }
+  }
+  return matched;
+}
+
+}  // namespace sci::range

@@ -1,0 +1,81 @@
+// SCI — Event Mediator (Context Utility, paper §3.1).
+//
+// "Manages the establishment, maintenance and removal of event
+// subscriptions between Context Entities and Context Aware Applications."
+// The mediator wraps the SubscriptionTable and performs the actual
+// network deliveries (kDeliver frames) from the Context Server's node.
+#pragma once
+
+#include <cstdint>
+
+#include "common/guid.h"
+#include "event/subscription.h"
+#include "net/network.h"
+
+namespace sci::range {
+
+struct MediatorStats {
+  std::uint64_t events_in = 0;
+  std::uint64_t deliveries_out = 0;
+  std::uint64_t subscriptions_created = 0;
+  std::uint64_t subscriptions_removed = 0;
+};
+
+class EventMediator {
+ public:
+  // `node` is the network identity deliveries are sent from (the CS node).
+  EventMediator(net::Network& network, Guid node)
+      : network_(network), node_(node) {}
+
+  event::SubscriptionId subscribe(Guid subscriber, std::optional<Guid> producer,
+                                  std::string event_type,
+                                  event::EventFilter filter,
+                                  bool one_time = false,
+                                  std::uint64_t owner_tag = 0) {
+    ++stats_.subscriptions_created;
+    return table_.add(subscriber, producer, std::move(event_type),
+                      std::move(filter), one_time, owner_tag);
+  }
+
+  Status unsubscribe(event::SubscriptionId id) {
+    const Status removed = table_.remove(id);
+    if (removed.is_ok()) ++stats_.subscriptions_removed;
+    return removed;
+  }
+
+  std::size_t remove_subscriber(Guid subscriber) {
+    const std::size_t n = table_.remove_subscriber(subscriber);
+    stats_.subscriptions_removed += n;
+    return n;
+  }
+
+  std::size_t remove_producer(Guid producer) {
+    const std::size_t n = table_.remove_producer(producer);
+    stats_.subscriptions_removed += n;
+    return n;
+  }
+
+  std::size_t remove_owner(std::uint64_t owner_tag) {
+    const std::size_t n = table_.remove_owner(owner_tag);
+    stats_.subscriptions_removed += n;
+    return n;
+  }
+
+  // Matches `event` against the table and delivers to every subscriber.
+  // Returns the matched subscriptions (callers inspect one_time flags and
+  // owner tags).
+  std::vector<event::Subscription> dispatch(const event::Event& event);
+
+  [[nodiscard]] const event::SubscriptionTable& table() const {
+    return table_;
+  }
+  [[nodiscard]] const MediatorStats& stats() const { return stats_; }
+
+ private:
+  net::Network& network_;
+  Guid node_;
+  event::SubscriptionTable table_;
+  MediatorStats stats_;
+};
+
+}  // namespace sci::range

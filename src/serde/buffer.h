@@ -1,0 +1,146 @@
+// SCI — binary wire format primitives.
+//
+// Every message crossing the simulated network is serialized through these
+// writers/readers, so the benches measure real encode/decode work rather
+// than pointer passing. Format: little-endian fixed ints, LEB128 varints,
+// zigzag for signed varints, length-prefixed strings and containers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.h"
+
+namespace sci::serde {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { bytes_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(std::byte{v}); }
+  void u16(std::uint16_t v) { fixed(&v, sizeof v); }
+  void u32(std::uint32_t v) { fixed(&v, sizeof v); }
+  void u64(std::uint64_t v) { fixed(&v, sizeof v); }
+  void f64(double v) { fixed(&v, sizeof v); }
+
+  // Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80U);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  // ZigZag-encoded signed varint.
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void string(std::string_view s) {
+    varint(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::byte*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void fixed(const void* v, std::size_t n) { raw(v, n); }
+
+  std::vector<std::byte> bytes_;
+};
+
+// Bounds-checked reader over a borrowed byte span. All accessors return
+// Expected so truncated/corrupt frames surface as kParseError, never UB.
+class Reader {
+ public:
+  Reader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::byte>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+
+  Expected<std::uint8_t> u8() {
+    if (remaining() < 1) return truncated("u8");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  Expected<std::uint16_t> u16() { return fixed<std::uint16_t>("u16"); }
+  Expected<std::uint32_t> u32() { return fixed<std::uint32_t>("u32"); }
+  Expected<std::uint64_t> u64() { return fixed<std::uint64_t>("u64"); }
+  Expected<double> f64() { return fixed<double>("f64"); }
+
+  Expected<std::uint64_t> varint() {
+    std::uint64_t result = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      SCI_TRY_ASSIGN(byte, u8());
+      result |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
+      if ((byte & 0x80U) == 0) return result;
+    }
+    return make_error(ErrorCode::kParseError, "varint longer than 10 bytes");
+  }
+
+  Expected<std::int64_t> svarint() {
+    SCI_TRY_ASSIGN(raw, varint());
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+  Expected<bool> boolean() {
+    SCI_TRY_ASSIGN(byte, u8());
+    if (byte > 1)
+      return make_error(ErrorCode::kParseError, "boolean byte not 0/1");
+    return byte == 1;
+  }
+
+  Expected<std::string> string() {
+    SCI_TRY_ASSIGN(len, varint());
+    if (len > remaining()) return truncated("string body");
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  Status skip(std::size_t n) {
+    if (n > remaining())
+      return make_error(ErrorCode::kParseError, "skip past end of frame");
+    pos_ += n;
+    return Status::ok();
+  }
+
+ private:
+  template <typename T>
+  Expected<T> fixed(const char* what) {
+    if (remaining() < sizeof(T)) return truncated(what);
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Error truncated(const char* what) const {
+    return make_error(ErrorCode::kParseError,
+                      std::string("frame truncated reading ") + what);
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sci::serde

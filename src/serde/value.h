@@ -1,0 +1,123 @@
+// SCI — dynamic Value tree.
+//
+// Context data is heterogeneous by nature (paper §1: "flexible and
+// extensible representation ... of contextual information"). Value is the
+// common currency: event payloads, CE profile metadata, advertisement
+// parameters and query fields are all Value trees. It is a closed variant
+// (null / bool / i64 / f64 / string / guid / list / map) with binary
+// round-tripping through serde::Writer/Reader.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "serde/buffer.h"
+
+namespace sci {
+
+class Value;
+using ValueList = std::vector<Value>;
+// std::map keeps serialized form canonical (key-sorted), which makes Value
+// equality equivalent to wire equality.
+using ValueMap = std::map<std::string, Value, std::less<>>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kString = 4,
+    kGuid = 5,
+    kList = 6,
+    kMap = 7,
+  };
+
+  Value() : data_(std::monostate{}) {}
+  Value(bool b) : data_(b) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Guid g) : data_(g) {}
+  Value(ValueList l) : data_(std::move(l)) {}
+  Value(ValueMap m) : data_(std::move(m)) {}
+
+  [[nodiscard]] Kind kind() const {
+    return static_cast<Kind>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+
+  // Typed accessors: narrow contracts, asserted. Use the as_* forms when the
+  // kind is externally controlled.
+  [[nodiscard]] bool get_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t get_int() const {
+    return std::get<std::int64_t>(data_);
+  }
+  [[nodiscard]] double get_double() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& get_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] Guid get_guid() const { return std::get<Guid>(data_); }
+  [[nodiscard]] const ValueList& get_list() const {
+    return std::get<ValueList>(data_);
+  }
+  [[nodiscard]] ValueList& get_list() { return std::get<ValueList>(data_); }
+  [[nodiscard]] const ValueMap& get_map() const {
+    return std::get<ValueMap>(data_);
+  }
+  [[nodiscard]] ValueMap& get_map() { return std::get<ValueMap>(data_); }
+
+  // Wide-contract accessors for externally sourced values.
+  [[nodiscard]] Expected<bool> as_bool() const;
+  [[nodiscard]] Expected<std::int64_t> as_int() const;
+  // as_double accepts both kInt and kDouble.
+  [[nodiscard]] Expected<double> as_double() const;
+  [[nodiscard]] Expected<std::string> as_string() const;
+  [[nodiscard]] Expected<Guid> as_guid() const;
+
+  // Map convenience: returns the value at `key`, or null Value if absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+  Value& operator[](const std::string& key);
+
+  // Numeric coercion used by selection policies: int/double → double,
+  // everything else 0.
+  [[nodiscard]] double number_or(double fallback) const;
+  [[nodiscard]] std::string string_or(std::string fallback) const;
+
+  void encode(serde::Writer& w) const;
+  static Expected<Value> decode(serde::Reader& r);
+
+  // Human-readable single-line rendering (JSON-ish) for logs and EXPERIMENTS
+  // output.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Guid,
+               ValueList, ValueMap>
+      data_;
+};
+
+// Builder helpers for terse literals in tests/examples:
+//   Value v = vmap({{"x", 1}, {"y", vlist({1, 2})}});
+inline Value vlist(std::initializer_list<Value> items) {
+  return Value(ValueList(items));
+}
+inline Value vmap(
+    std::initializer_list<std::pair<const std::string, Value>> items) {
+  return Value(ValueMap(items.begin(), items.end()));
+}
+
+}  // namespace sci

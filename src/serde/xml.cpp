@@ -1,0 +1,311 @@
+#include "serde/xml.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sci::xml {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Element> parse_document() {
+    skip_whitespace_and_misc();
+    SCI_TRY_ASSIGN(root, parse_element(0));
+    skip_whitespace_and_misc();
+    if (!at_end())
+      return fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  static constexpr unsigned kMaxDepth = 64;
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  [[nodiscard]] bool starts_with(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  Error fail(const std::string& what) const {
+    return make_error(ErrorCode::kParseError,
+                      "xml: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (!at_end() &&
+           std::isspace(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace and comments between markup.
+  void skip_whitespace_and_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        const auto end = text_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+          return;
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (starts_with("<?")) {  // XML declaration / processing instruction
+        const auto end = text_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+          return;
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Expected<std::string> parse_name() {
+    if (at_end() || !is_name_start(peek())) return fail("expected a name");
+    const std::size_t start = pos_;
+    while (!at_end() && is_name_char(peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Decodes &lt; &gt; &amp; &quot; &apos; and numeric &#NN; escapes.
+  Expected<std::string> decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos)
+        return fail("unterminated entity reference");
+      const std::string_view name = raw.substr(i + 1, semi - i - 1);
+      if (name == "lt") {
+        out.push_back('<');
+      } else if (name == "gt") {
+        out.push_back('>');
+      } else if (name == "amp") {
+        out.push_back('&');
+      } else if (name == "quot") {
+        out.push_back('"');
+      } else if (name == "apos") {
+        out.push_back('\'');
+      } else if (!name.empty() && name[0] == '#') {
+        int code = 0;
+        for (const char c : name.substr(1)) {
+          if (std::isdigit(static_cast<unsigned char>(c)) == 0 || code > 255)
+            return fail("unsupported character reference");
+          code = code * 10 + (c - '0');
+        }
+        out.push_back(static_cast<char>(code));
+      } else {
+        return fail("unknown entity &" + std::string(name) + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Expected<std::string> parse_attribute_value() {
+    if (at_end() || (peek() != '"' && peek() != '\''))
+      return fail("expected quoted attribute value");
+    const char quote = take();
+    const std::size_t start = pos_;
+    while (!at_end() && peek() != quote) ++pos_;
+    if (at_end()) return fail("unterminated attribute value");
+    const std::string_view raw = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return decode_entities(raw);
+  }
+
+  Expected<Element> parse_element(unsigned depth) {
+    if (depth >= kMaxDepth) return fail("element nesting too deep");
+    if (at_end() || peek() != '<') return fail("expected '<'");
+    ++pos_;
+    Element element;
+    {
+      SCI_TRY_ASSIGN(name, parse_name());
+      element.name = std::move(name);
+    }
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) return fail("unterminated start tag");
+      if (peek() == '/' || peek() == '>') break;
+      SCI_TRY_ASSIGN(attr_name, parse_name());
+      skip_whitespace();
+      if (at_end() || take() != '=') return fail("expected '=' after attribute");
+      skip_whitespace();
+      SCI_TRY_ASSIGN(attr_value, parse_attribute_value());
+      if (!element.attributes.emplace(std::move(attr_name),
+                                      std::move(attr_value)).second)
+        return fail("duplicate attribute");
+    }
+    if (peek() == '/') {  // self-closing
+      ++pos_;
+      if (at_end() || take() != '>') return fail("expected '>' after '/'");
+      return element;
+    }
+    ++pos_;  // '>'
+    // Content: text and child elements until the matching end tag.
+    for (;;) {
+      const std::size_t text_start = pos_;
+      while (!at_end() && peek() != '<') ++pos_;
+      if (pos_ > text_start) {
+        SCI_TRY_ASSIGN(
+            text, decode_entities(text_.substr(text_start, pos_ - text_start)));
+        element.text += text;
+      }
+      if (at_end()) return fail("unterminated element <" + element.name + ">");
+      if (starts_with("<!--")) {
+        skip_whitespace_and_misc();
+        continue;
+      }
+      if (starts_with("</")) {
+        pos_ += 2;
+        SCI_TRY_ASSIGN(end_name, parse_name());
+        if (end_name != element.name)
+          return fail("mismatched end tag </" + end_name + "> for <" +
+                      element.name + ">");
+        skip_whitespace();
+        if (at_end() || take() != '>') return fail("expected '>' in end tag");
+        trim_text(element.text);
+        return element;
+      }
+      SCI_TRY_ASSIGN(child, parse_element(depth + 1));
+      element.children.push_back(std::move(child));
+    }
+  }
+
+  static void trim_text(std::string& text) {
+    const auto not_space = [](char c) {
+      return std::isspace(static_cast<unsigned char>(c)) == 0;
+    };
+    const auto first = std::find_if(text.begin(), text.end(), not_space);
+    const auto last = std::find_if(text.rbegin(), text.rend(), not_space);
+    if (first == text.end()) {
+      text.clear();
+      return;
+    }
+    text = std::string(first, last.base());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void serialize_into(const Element& element, std::string& out, unsigned indent) {
+  out.append(indent * 2, ' ');
+  out.push_back('<');
+  out.append(element.name);
+  for (const auto& [key, value] : element.attributes) {
+    out.push_back(' ');
+    out.append(key);
+    out.append("=\"");
+    out.append(escape(value));
+    out.push_back('"');
+  }
+  if (element.text.empty() && element.children.empty()) {
+    out.append("/>\n");
+    return;
+  }
+  out.push_back('>');
+  if (!element.text.empty()) out.append(escape(element.text));
+  if (!element.children.empty()) {
+    out.push_back('\n');
+    for (const auto& child : element.children) {
+      serialize_into(child, out, indent + 1);
+    }
+    out.append(indent * 2, ' ');
+  }
+  out.append("</");
+  out.append(element.name);
+  out.append(">\n");
+}
+
+}  // namespace
+
+const Element* Element::child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::string_view Element::child_text(std::string_view child_name) const {
+  const Element* c = child(child_name);
+  return c != nullptr ? std::string_view(c->text) : std::string_view();
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view child_name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children) {
+    if (c.name == child_name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string Element::attribute_or(std::string_view key,
+                                  std::string fallback) const {
+  const auto it = attributes.find(key);
+  return it == attributes.end() ? std::move(fallback) : it->second;
+}
+
+Expected<Element> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string serialize(const Element& root) {
+  std::string out;
+  serialize_into(root, out, 0);
+  return out;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace sci::xml

@@ -1,0 +1,49 @@
+// SCI — minimal XML reader/writer for the query wire format (paper Fig 6).
+//
+// The paper specifies queries as an XML document:
+//   <query><query_id/><owner_id/><what/><where/><when/><which/><mode/></query>
+// This is a deliberately small XML subset: elements, attributes, text
+// content, entity escapes (&lt; &gt; &amp; &quot; &apos;), comments.
+// No namespaces, DTDs or processing instructions — malformed input yields
+// kParseError, never UB.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.h"
+
+namespace sci::xml {
+
+struct Element {
+  std::string name;
+  std::map<std::string, std::string, std::less<>> attributes;
+  std::string text;  // concatenated character data directly under this node
+  std::vector<Element> children;
+
+  // First child with the given element name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view child_name) const;
+  // Text of the named child, or "" when absent — matches the paper's
+  // optional query sections.
+  [[nodiscard]] std::string_view child_text(std::string_view child_name) const;
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view child_name) const;
+
+  [[nodiscard]] std::string attribute_or(std::string_view key,
+                                         std::string fallback) const;
+};
+
+// Parses a single root element.
+Expected<Element> parse(std::string_view text);
+
+// Serializes with 2-space indentation; inverse of parse for trees without
+// mixed content.
+std::string serialize(const Element& root);
+
+// Escapes character data for inclusion in XML text or attributes.
+std::string escape(std::string_view text);
+
+}  // namespace sci::xml

@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace sci::sim {
+
+bool Simulator::is_cancelled(std::uint64_t id) {
+  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  // Swap-erase: cancellation lists stay tiny because entries are removed as
+  // their events are popped.
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  return true;
+}
+
+bool Simulator::step(SimTime until) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > until) return false;
+    if (is_cancelled(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    Task task = std::move(top.task);
+    now_ = top.when;
+    queue_.pop();
+    ++executed_count_;
+    task();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t executed = 0;
+  while (step(until)) ++executed;
+  // Advance the clock to the horizon so repeated bounded runs make progress
+  // even through quiet periods.
+  if (!until.is_infinite() && until > now_) now_ = until;
+  return executed;
+}
+
+}  // namespace sci::sim

@@ -1,0 +1,161 @@
+// SCI — discrete-event simulation kernel.
+//
+// The paper evaluated SCI as a Java prototype on a live network; this
+// reproduction runs the identical middleware logic over a deterministic
+// discrete-event scheduler instead (see DESIGN.md §2). Components never
+// block: they schedule callbacks at future virtual instants, and the kernel
+// executes them in (time, sequence) order, so every run with the same seed
+// is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace sci::sim {
+
+using Task = std::function<void()>;
+
+// Handle for cancelling a scheduled event.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed)
+      : rng_(seed) {
+    Logger::instance().set_clock(&now_);
+  }
+
+  ~Simulator() { Logger::instance().set_clock(nullptr); }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // Schedules `task` to run at now() + delay (delay >= 0). Events scheduled
+  // for the same instant run in scheduling order.
+  TimerHandle schedule(Duration delay, Task task) {
+    return schedule_at(now_ + delay, std::move(task));
+  }
+
+  TimerHandle schedule_at(SimTime when, Task task) {
+    SCI_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    const std::uint64_t id = ++next_id_;
+    queue_.push(Entry{when, id, std::move(task)});
+    ++scheduled_count_;
+    return TimerHandle(id);
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or already
+  // cancelled handle is a no-op (lazy deletion).
+  void cancel(TimerHandle handle) {
+    if (handle.valid()) cancelled_.push_back(handle.id_);
+  }
+
+  // Runs until the queue is empty or `until` is reached, whichever is first.
+  // Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  // Drains the queue completely (use with care: recurring timers must have a
+  // termination condition).
+  std::uint64_t run_all() { return run_until(SimTime::infinity()); }
+
+  // Executes exactly one event, if any. Returns false when the queue is
+  // empty or the next event is after `until`.
+  bool step(SimTime until = SimTime::infinity());
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const {
+    return executed_count_;
+  }
+  [[nodiscard]] std::uint64_t scheduled_events() const {
+    return scheduled_count_;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t id;
+    mutable Task task;  // moved out when the entry is popped
+
+    // Min-heap via std::priority_queue (which is a max-heap): invert.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t id);
+
+  SimTime now_ = SimTime::zero();
+  Rng rng_;
+  std::priority_queue<Entry> queue_;
+  std::vector<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t executed_count_ = 0;
+  std::uint64_t scheduled_count_ = 0;
+};
+
+// Repeating timer helper built on Simulator::schedule. Owned by the
+// component that needs the heartbeat; stops when destroyed or stop()ped.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, Duration period, Task task)
+      : simulator_(simulator), period_(period), task_(std::move(task)) {
+    SCI_ASSERT(period.count_micros() > 0);
+  }
+
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    running_ = false;
+    simulator_.cancel(handle_);
+    handle_ = TimerHandle();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm() {
+    handle_ = simulator_.schedule(period_, [this] {
+      if (!running_) return;
+      task_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& simulator_;
+  Duration period_;
+  Task task_;
+  TimerHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace sci::sim

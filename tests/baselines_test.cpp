@@ -1,0 +1,173 @@
+// Tests for sci::baselines — the Context Toolkit / Solar / iQueue
+// comparison frameworks exercise the paper's §2 critiques under scripted
+// churn.
+#include <gtest/gtest.h>
+
+#include "baselines/frameworks.h"
+#include "entity/sensors.h"
+
+namespace sci::baselines {
+namespace {
+
+using compose::RequestedType;
+using compose::SemanticRegistry;
+using entity::Profile;
+using entity::TypeSig;
+
+Guid guid_of(std::uint64_t n) { return Guid(0, n); }
+
+Profile source(std::uint64_t id, TypeSig output) {
+  Profile p;
+  p.entity = guid_of(id);
+  p.name = "src" + std::to_string(id);
+  p.outputs.push_back(std::move(output));
+  return p;
+}
+
+const TypeSig kDoorLocation{"door.location", "", "position"};
+const TypeSig kWlanLocation{"wlan.location", "", "position"};
+const RequestedType kWantPosition{"door.location", "", "position"};
+
+TEST(SciFrameworkTest, AdaptsImmediatelyToDepartures) {
+  SemanticRegistry registry;
+  SciFramework sci(&registry);
+  sci.init({source(1, kDoorLocation), source(2, kDoorLocation)},
+           kWantPosition);
+  EXPECT_TRUE(sci.available());
+  sci.on_departure(guid_of(1));
+  EXPECT_TRUE(sci.available());  // source 2 still grounds the request
+  sci.on_departure(guid_of(2));
+  EXPECT_FALSE(sci.available());
+  sci.on_arrival(source(3, kDoorLocation));
+  EXPECT_TRUE(sci.available());  // recovers on arrival
+}
+
+TEST(SciFrameworkTest, SemanticMatchingUsesAlternateSources) {
+  SemanticRegistry registry;
+  SciFramework sci(&registry);
+  // Only a wlan source exists; the request names the door type but shares
+  // the "position" semantics.
+  sci.init({source(1, kWlanLocation)}, kWantPosition);
+  EXPECT_TRUE(sci.available());
+}
+
+TEST(ContextToolkitFrameworkTest, FixedWiringBreaksUntilFullRebuild) {
+  SemanticRegistry registry;
+  ContextToolkitFramework ct(&registry, /*notice_lag_changes=*/2);
+  ct.init({source(1, kDoorLocation), source(2, kDoorLocation)},
+          kWantPosition);
+  EXPECT_TRUE(ct.available());
+  const auto built_initially = ct.stats().components_built;
+
+  // The wired source dies: the assembly is broken even though source 2
+  // could serve (design-time wiring cannot rebind).
+  ct.on_departure(guid_of(1));
+  const bool still_up = ct.available();
+  if (!still_up) {
+    // Stays broken through the notice lag.
+    ct.on_arrival(source(3, kDoorLocation));
+    EXPECT_FALSE(ct.available());
+    ct.on_arrival(source(4, kDoorLocation));
+    EXPECT_TRUE(ct.available());  // rebuild happened
+    EXPECT_GE(ct.stats().full_rebuilds, 2u);
+    EXPECT_GT(ct.stats().components_built, built_initially);
+  } else {
+    // The resolver happened to wire source 2 only; kill it too.
+    ct.on_departure(guid_of(2));
+    EXPECT_FALSE(ct.available());
+  }
+}
+
+TEST(SolarFrameworkTest, ExplicitGraphBreaksOnNamedSourceDeath) {
+  SemanticRegistry registry;
+  SolarFramework solar(&registry, /*respecify_lag_changes=*/1);
+  solar.init({source(1, kDoorLocation)}, kWantPosition);
+  EXPECT_TRUE(solar.available());
+  // The named source dies; a replacement arrives in the same instant, but
+  // the explicit graph still names the dead one.
+  solar.on_departure(guid_of(1));
+  EXPECT_FALSE(solar.available());
+  solar.on_arrival(source(2, kDoorLocation));  // developer re-specifies now
+  EXPECT_TRUE(solar.available());
+  EXPECT_GE(solar.stats().broken_intervals, 1u);
+}
+
+TEST(IQueueFrameworkTest, RebindsInstantlyButOnlySyntactically) {
+  SemanticRegistry registry;
+  IQueueFramework iqueue(&registry);
+  iqueue.init({source(1, kDoorLocation)}, kWantPosition);
+  EXPECT_TRUE(iqueue.available());
+
+  // Instant rebinding to a same-named source: no outage.
+  iqueue.on_arrival(source(2, kDoorLocation));
+  iqueue.on_departure(guid_of(1));
+  EXPECT_TRUE(iqueue.available());
+
+  // But a semantically equivalent, differently named source is invisible.
+  iqueue.on_departure(guid_of(2));
+  EXPECT_FALSE(iqueue.available());
+  iqueue.on_arrival(source(3, kWlanLocation));
+  EXPECT_FALSE(iqueue.available());  // the paper's iQueue critique
+  EXPECT_GE(iqueue.stats().broken_intervals, 1u);
+
+  // SCI in the same situation recovers.
+  SciFramework sci(&registry);
+  sci.init({source(3, kWlanLocation)}, kWantPosition);
+  EXPECT_TRUE(sci.available());
+}
+
+TEST(FrameworksTest, AvailabilityOrderingUnderChurn) {
+  // Scripted churn: repeatedly kill the newest door source and add a wlan
+  // source, then a door source. SCI should never be worse than any
+  // baseline at any step.
+  SemanticRegistry registry;
+  SciFramework sci(&registry);
+  ContextToolkitFramework ct(&registry, 3);
+  SolarFramework solar(&registry, 2);
+  IQueueFramework iqueue(&registry);
+  std::vector<Framework*> all{&sci, &ct, &solar, &iqueue};
+
+  const std::vector<Profile> initial{source(1, kDoorLocation)};
+  for (Framework* f : all) f->init(initial, kWantPosition);
+
+  int sci_up = 0, ct_up = 0, solar_up = 0, iqueue_up = 0;
+  std::uint64_t next_id = 10;
+  std::uint64_t newest_door = 1;
+  for (int round = 0; round < 20; ++round) {
+    for (Framework* f : all) f->on_departure(guid_of(newest_door));
+    const auto wlan_id = next_id++;
+    for (Framework* f : all) f->on_arrival(source(wlan_id, kWlanLocation));
+    sci_up += sci.available();
+    ct_up += ct.available();
+    solar_up += solar.available();
+    iqueue_up += iqueue.available();
+    newest_door = next_id++;
+    for (Framework* f : all) {
+      f->on_arrival(source(newest_door, kDoorLocation));
+    }
+    sci_up += sci.available();
+    ct_up += ct.available();
+    solar_up += solar.available();
+    iqueue_up += iqueue.available();
+  }
+  // SCI is up in every step; baselines lag behind.
+  EXPECT_EQ(sci_up, 40);
+  EXPECT_LE(iqueue_up, sci_up);
+  EXPECT_LT(solar_up, sci_up);
+  EXPECT_LT(ct_up, sci_up);
+}
+
+TEST(FrameworksTest, NamesAreDistinct) {
+  SemanticRegistry registry;
+  SciFramework a(&registry);
+  ContextToolkitFramework b(&registry);
+  SolarFramework c(&registry);
+  IQueueFramework d(&registry);
+  EXPECT_EQ(a.name(), "sci");
+  EXPECT_EQ(b.name(), "context-toolkit");
+  EXPECT_EQ(c.name(), "solar");
+  EXPECT_EQ(d.name(), "iqueue");
+}
+
+}  // namespace
+}  // namespace sci::baselines

@@ -1,0 +1,298 @@
+// Unit tests for sci::common — GUIDs, Expected/Status, RNG, time, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace sci {
+namespace {
+
+// ---------------------------------------------------------------- Guid
+
+TEST(GuidTest, NilIsNil) {
+  Guid nil;
+  EXPECT_TRUE(nil.is_nil());
+  EXPECT_EQ(nil.hi(), 0u);
+  EXPECT_EQ(nil.lo(), 0u);
+}
+
+TEST(GuidTest, RandomIsNeverNilAndMostlyUnique) {
+  Rng rng(1);
+  std::set<Guid> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const Guid g = Guid::random(rng);
+    EXPECT_FALSE(g.is_nil());
+    EXPECT_TRUE(seen.insert(g).second) << "collision at " << i;
+  }
+}
+
+TEST(GuidTest, ToStringRoundTrips) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Guid g = Guid::random(rng);
+    const auto parsed = Guid::parse(g.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, g);
+  }
+}
+
+TEST(GuidTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Guid::parse("").has_value());
+  EXPECT_FALSE(Guid::parse("abc").has_value());
+  EXPECT_FALSE(Guid::parse(std::string(31, 'a')).has_value());
+  EXPECT_FALSE(Guid::parse(std::string(33, 'a')).has_value());
+  std::string bad(32, 'a');
+  bad[7] = 'g';  // not hex
+  EXPECT_FALSE(Guid::parse(bad).has_value());
+  EXPECT_TRUE(Guid::parse(std::string(32, 'A')).has_value());  // upper hex ok
+}
+
+TEST(GuidTest, FromNameIsStable) {
+  const Guid a = Guid::from_name("printer-P1");
+  const Guid b = Guid::from_name("printer-P1");
+  const Guid c = Guid::from_name("printer-P2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.is_nil());
+}
+
+TEST(GuidTest, DigitExtractsNibblesMostSignificantFirst) {
+  const Guid g(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  EXPECT_EQ(g.digit(0), 0x0u);
+  EXPECT_EQ(g.digit(1), 0x1u);
+  EXPECT_EQ(g.digit(15), 0xFu);
+  EXPECT_EQ(g.digit(16), 0xFu);
+  EXPECT_EQ(g.digit(31), 0x0u);
+}
+
+TEST(GuidTest, SharedPrefixLength) {
+  const Guid a(0xAAAA000000000000ULL, 0);
+  EXPECT_EQ(a.shared_prefix_length(a), Guid::kDigits);
+  const Guid b(0xAAAB000000000000ULL, 0);
+  EXPECT_EQ(a.shared_prefix_length(b), 3u);
+  const Guid c(0x5AAA000000000000ULL, 0);
+  EXPECT_EQ(a.shared_prefix_length(c), 0u);
+  const Guid d(0xAAAA000000000000ULL, 0x8000000000000000ULL);
+  EXPECT_EQ(a.shared_prefix_length(d), 16u);
+}
+
+TEST(GuidTest, RingDistanceIsSymmetricAndZeroOnSelf) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Guid a = Guid::random(rng);
+    const Guid b = Guid::random(rng);
+    EXPECT_EQ(a.ring_distance(b), b.ring_distance(a));
+    EXPECT_EQ(a.ring_distance(a), (std::pair<std::uint64_t, std::uint64_t>{}));
+  }
+}
+
+TEST(GuidTest, RingDistanceWrapsAroundTheRing) {
+  // 1 below zero and 1 above zero are 2 apart, not 2^128 - 2.
+  const Guid just_below(0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL);
+  const Guid just_above(0, 1);
+  const auto d = just_below.ring_distance(just_above);
+  EXPECT_EQ(d, (std::pair<std::uint64_t, std::uint64_t>{0, 2}));
+}
+
+// ------------------------------------------------------------ Expected
+
+Expected<int> parse_positive(int x) {
+  if (x <= 0) return make_error(ErrorCode::kInvalidArgument, "not positive");
+  return x;
+}
+
+TEST(ExpectedTest, ValueAndErrorPaths) {
+  const auto ok = parse_positive(5);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 5);
+  const auto err = parse_positive(-1);
+  ASSERT_FALSE(err.has_value());
+  EXPECT_EQ(err.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(42), 42);
+  EXPECT_EQ(ok.value_or(42), 5);
+}
+
+TEST(ExpectedTest, MapAndAndThen) {
+  const auto doubled = parse_positive(4).map([](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.has_value());
+  EXPECT_EQ(*doubled, 8);
+  const auto chained =
+      parse_positive(4).and_then([](int x) { return parse_positive(x - 10); });
+  ASSERT_FALSE(chained.has_value());
+  const auto err_mapped =
+      parse_positive(-1).map([](int x) { return x * 2; });
+  EXPECT_FALSE(err_mapped.has_value());
+}
+
+Status check_even(int x) {
+  if (x % 2 != 0) return make_error(ErrorCode::kInvalidArgument, "odd");
+  return Status::ok();
+}
+
+TEST(StatusTest, OkAndErrorStates) {
+  EXPECT_TRUE(check_even(2).is_ok());
+  const Status bad = check_even(3);
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  const Error e = make_error(ErrorCode::kTimeout, "query expired");
+  EXPECT_EQ(e.to_string(), "timeout: query expired");
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(Error().ok());
+}
+
+// ----------------------------------------------------------------- Rng
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyTheRequestedMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.2);
+}
+
+TEST(RngTest, NormalHasRoughlyTheRequestedMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(13);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// ---------------------------------------------------------------- time
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration d = Duration::millis(1500);
+  EXPECT_EQ(d.count_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(d.seconds_f(), 1.5);
+  EXPECT_EQ((d + Duration::millis(500)).count_micros(), 2'000'000);
+  EXPECT_EQ((d - Duration::seconds(1)).count_micros(), 500'000);
+  EXPECT_EQ((d * 2).count_micros(), 3'000'000);
+  EXPECT_EQ((d / 3).count_micros(), 500'000);
+  EXPECT_LT(Duration::millis(1), Duration::seconds(1));
+}
+
+TEST(TimeTest, SimTimeArithmeticAndInfinity) {
+  const SimTime t = SimTime::from_micros(1'000'000);
+  EXPECT_EQ((t + Duration::seconds(2)).micros(), 3'000'000);
+  EXPECT_EQ((t - SimTime::zero()).count_micros(), 1'000'000);
+  EXPECT_TRUE(SimTime::infinity().is_infinite());
+  EXPECT_LT(t, SimTime::infinity());
+  EXPECT_EQ(SimTime().micros(), 0);
+}
+
+TEST(TimeTest, ToStringFormats) {
+  EXPECT_EQ(Duration::seconds(3).to_string(), "3s");
+  EXPECT_EQ(Duration::millis(250).to_string(), "250ms");
+  EXPECT_EQ(Duration::micros(42).to_string(), "42us");
+  EXPECT_EQ(SimTime::infinity().to_string(), "t=inf");
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(StatsTest, RunningStatsMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, PercentileSampler) {
+  PercentileSampler p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_EQ(p.count(), 100u);
+  EXPECT_NEAR(p.percentile(0.0), 1.0, 0.01);
+  EXPECT_NEAR(p.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(p.percentile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(p.percentile(1.0), 100.0, 0.01);
+  EXPECT_NEAR(p.mean(), 50.5, 0.01);
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,213 @@
+// Tests for sci::mobility — the building generator and the world model.
+#include <gtest/gtest.h>
+
+#include "core/sci.h"
+#include "entity/sensors.h"
+#include "mobility/building.h"
+#include "mobility/world.h"
+
+namespace sci::mobility {
+namespace {
+
+// ---------------------------------------------------------------- Building
+
+class BuildingProperty
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(BuildingProperty, StructureInvariantsHold) {
+  const auto [floors, rooms] = GetParam();
+  Building building({.floors = floors, .rooms_per_floor = rooms});
+  const auto& dir = building.directory();
+
+  // Place count: lobby + per floor (corridor + rooms).
+  EXPECT_EQ(dir.place_count(), 1 + floors * (1 + rooms));
+  EXPECT_EQ(building.room_count(), floors * rooms);
+
+  // Every room is reachable from the lobby, and the route goes through its
+  // floor corridor.
+  for (unsigned f = 0; f < floors; ++f) {
+    for (unsigned r = 0; r < rooms; ++r) {
+      const auto route = dir.route(building.lobby(), building.room(f, r));
+      ASSERT_TRUE(route.has_value()) << "floor " << f << " room " << r;
+      EXPECT_EQ(route->back(), building.room(f, r));
+      EXPECT_NE(std::find(route->begin(), route->end(), building.corridor(f)),
+                route->end());
+    }
+  }
+
+  // Geometric containment: each room's anchor locates back to the room.
+  for (unsigned f = 0; f < floors; ++f) {
+    for (unsigned r = 0; r < rooms; ++r) {
+      const location::Place* place = dir.place(building.room(f, r));
+      ASSERT_NE(place, nullptr);
+      EXPECT_EQ(dir.locate(place->anchor), building.room(f, r));
+      EXPECT_EQ(place->path, building.room_path(f, r));
+    }
+  }
+
+  // Logical containment: rooms under floors under the building.
+  EXPECT_TRUE(building.building_path().is_ancestor_of(
+      building.room_path(floors - 1, rooms - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BuildingProperty,
+    ::testing::Values(std::pair<unsigned, unsigned>{1, 1},
+                      std::pair<unsigned, unsigned>{1, 8},
+                      std::pair<unsigned, unsigned>{3, 4},
+                      std::pair<unsigned, unsigned>{5, 10}));
+
+// -------------------------------------------------------------------- World
+
+struct WorldFixture {
+  Sci sci{123};
+  Building building{{.floors = 2, .rooms_per_floor = 3}};
+
+  WorldFixture() { sci.set_location_directory(&building.directory()); }
+};
+
+TEST(WorldTest, StepMovesOnlyBetweenAdjacentPlaces) {
+  WorldFixture f;
+  auto& world = f.sci.world();
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.room(0, 0));
+  EXPECT_EQ(world.position(badge), f.building.room(0, 0));
+
+  // room(0,0) is adjacent to corridor(0) only.
+  EXPECT_TRUE(world.step(badge, f.building.corridor(0)).is_ok());
+  EXPECT_FALSE(world.step(badge, f.building.room(1, 0)).is_ok());
+  EXPECT_EQ(world.position(badge), f.building.corridor(0));
+  EXPECT_FALSE(world.step(f.sci.new_guid(), f.building.lobby()).is_ok());
+  EXPECT_EQ(world.stats().hops, 1u);
+}
+
+TEST(WorldTest, WalkToFollowsShortestRouteOverTime) {
+  WorldFixture f;
+  auto& world = f.sci.world();
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.lobby());
+  ASSERT_TRUE(
+      world.walk_to(badge, f.building.room(1, 2), Duration::seconds(1))
+          .is_ok());
+  // Route: lobby → corridor0 → corridor1 → room(1,2) = 3 hops.
+  f.sci.run_for(Duration::millis(3500));
+  EXPECT_EQ(world.position(badge), f.building.room(1, 2));
+  EXPECT_EQ(world.stats().hops, 3u);
+}
+
+TEST(WorldTest, NewWalkSupersedesOldOne) {
+  WorldFixture f;
+  auto& world = f.sci.world();
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.lobby());
+  ASSERT_TRUE(world.walk_to(badge, f.building.room(1, 2), Duration::seconds(1))
+                  .is_ok());
+  f.sci.run_for(Duration::millis(1500));  // one hop done (corridor0)
+  ASSERT_TRUE(world.walk_to(badge, f.building.room(0, 0), Duration::seconds(1))
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(5));
+  EXPECT_EQ(world.position(badge), f.building.room(0, 0));
+}
+
+TEST(WorldTest, WanderVisitsNeighboursAndStops) {
+  WorldFixture f;
+  auto& world = f.sci.world();
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.lobby());
+  world.wander(badge, Duration::seconds(1));
+  f.sci.run_for(Duration::seconds(10));
+  const auto hops_mid = world.stats().hops;
+  EXPECT_GE(hops_mid, 8u);
+  world.stop_wandering(badge);
+  f.sci.run_for(Duration::seconds(10));
+  EXPECT_EQ(world.stats().hops, hops_mid);
+}
+
+TEST(WorldTest, DoorSensorsFireOnInstrumentedPortals) {
+  WorldFixture f;
+  auto& range = f.sci.create_range("b", f.building.building_path());
+  auto& world = f.sci.world();
+  entity::DoorSensorCE door(f.sci.network(), f.sci.new_guid(), "door00",
+                            f.building.corridor(0), f.building.room(0, 0));
+  ASSERT_TRUE(f.sci.enroll(door, range).is_ok());
+  world.attach_door_sensor(&door);
+
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.room(0, 0));
+  ASSERT_TRUE(world.step(badge, f.building.corridor(0)).is_ok());  // fires
+  ASSERT_TRUE(world.step(badge, f.building.room(0, 1)).is_ok());   // no sensor
+  ASSERT_TRUE(world.step(badge, f.building.corridor(0)).is_ok());  // no sensor
+  ASSERT_TRUE(world.step(badge, f.building.room(0, 0)).is_ok());   // fires
+  EXPECT_EQ(world.stats().door_triggers, 2u);
+}
+
+TEST(WorldTest, HandoffReregistersComponentsAcrossRanges) {
+  WorldFixture f;
+  auto& tower = f.sci.create_range("tower", f.building.building_path());
+  auto& level1 = f.sci.create_range("level1", f.building.floor_path(1));
+  auto& world = f.sci.world();
+
+  entity::ContextEntity person(f.sci.network(), f.sci.new_guid(), "P",
+                               entity::EntityKind::kPerson);
+  person.start();
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.lobby());
+  world.bind_component(badge, &person);
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_TRUE(person.is_registered());
+  EXPECT_EQ(person.registration().range, tower.id());
+  EXPECT_TRUE(tower.registrar().contains(person.id()));
+
+  // Walk upstairs: corridor0 → corridor1 triggers the handoff.
+  ASSERT_TRUE(world.step(badge, f.building.corridor(0)).is_ok());
+  ASSERT_TRUE(world.step(badge, f.building.corridor(1)).is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_TRUE(person.is_registered());
+  EXPECT_EQ(person.registration().range, level1.id());
+  EXPECT_FALSE(tower.registrar().contains(person.id()));
+  EXPECT_TRUE(level1.registrar().contains(person.id()));
+  EXPECT_EQ(world.stats().handoffs, 2u);  // initial arrival + upstairs
+  ASSERT_TRUE(world.range_of(badge).has_value());
+  EXPECT_EQ(*world.range_of(badge), level1.id());
+}
+
+TEST(WorldTest, WlanScanningSightsBadgesInRadius) {
+  WorldFixture f;
+  auto& range = f.sci.create_range("b", f.building.building_path());
+  auto& world = f.sci.world();
+
+  const location::Place* room = f.building.directory().place(
+      f.building.room(0, 0));
+  entity::WlanBaseStationCE station(f.sci.network(), f.sci.new_guid(), "bs0",
+                                    room->anchor);
+  ASSERT_TRUE(f.sci.enroll(station, range).is_ok());
+  world.attach_base_station(&station, /*radius=*/15.0);
+
+  const Guid near_badge = f.sci.new_guid();
+  world.add_badge(near_badge, f.building.room(0, 0));
+  const Guid far_badge = f.sci.new_guid();
+  world.add_badge(far_badge, f.building.room(1, 2));  // other floor, far away
+
+  world.start_wlan_scanning(Duration::seconds(1));
+  f.sci.run_for(Duration::millis(3500));
+  EXPECT_EQ(world.stats().wlan_sightings, 3u);  // near badge only, 3 scans
+  world.stop_wlan_scanning();
+  f.sci.run_for(Duration::seconds(5));
+  EXPECT_EQ(world.stats().wlan_sightings, 3u);
+}
+
+TEST(WorldTest, GeometricPositionTracksPlaceAnchor) {
+  WorldFixture f;
+  auto& world = f.sci.world();
+  const Guid badge = f.sci.new_guid();
+  world.add_badge(badge, f.building.room(0, 1));
+  const auto pos = world.geometric_position(badge);
+  ASSERT_TRUE(pos.has_value());
+  const location::Place* place =
+      f.building.directory().place(f.building.room(0, 1));
+  EXPECT_EQ(*pos, place->anchor);
+  EXPECT_FALSE(world.geometric_position(f.sci.new_guid()).has_value());
+}
+
+}  // namespace
+}  // namespace sci::mobility

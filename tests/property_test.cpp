@@ -1,0 +1,306 @@
+// Property-based suites over the core invariants:
+//  * overlay routing stays correct through arbitrary join/leave/crash churn;
+//  * serde decoders never crash (and fail cleanly) on corrupted frames;
+//  * resolver output is always a grounded, acyclic, type-correct graph;
+//  * randomized queries survive the XML round trip unchanged;
+//  * the registrar view equals ground truth under arbitrary
+//    arrival/departure interleavings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/sci.h"
+#include "entity/protocol.h"
+#include "entity/sensors.h"
+#include "overlay/scinet.h"
+
+namespace sci {
+namespace {
+
+// ------------------------------------------------- overlay churn property
+
+class OverlayChurnProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(OverlayChurnProperty, RoutingSurvivesArbitraryChurn) {
+  sim::Simulator simulator(GetParam());
+  net::Network network(simulator);
+  net::LinkModel link;
+  link.base_latency = Duration::micros(200);
+  link.jitter = Duration::micros(50);
+  network.set_link_model(link);
+  overlay::ScinetConfig config;
+  config.heartbeat_period = Duration::millis(200);
+  config.heartbeat_miss_limit = 2;
+  overlay::Scinet scinet(network, config);
+  Rng rng(GetParam() * 77 + 1);
+
+  for (int i = 0; i < 12; ++i) scinet.add_node();
+  scinet.settle(Duration::seconds(2));
+
+  // 20 churn actions: grow, clean leave, or crash (keep >= 4 members).
+  for (int action = 0; action < 20; ++action) {
+    const auto kind = rng.next_below(3);
+    if (kind == 0 || scinet.size() <= 4) {
+      scinet.add_node();
+    } else {
+      const auto& victim =
+          scinet.nodes()[rng.next_below(scinet.size())];
+      (void)scinet.remove_node(victim->id(), /*crash=*/kind == 2);
+    }
+    scinet.settle(Duration::millis(300));
+  }
+  // Let failure detection and repair finish.
+  scinet.settle(Duration::seconds(8));
+
+  int delivered = 0;
+  int misdelivered = 0;
+  for (const auto& node : scinet.nodes()) {
+    overlay::ScinetNode* raw = node.get();
+    raw->set_deliver_handler([&, raw](const overlay::RoutedMessage& m) {
+      ++delivered;
+      if (m.key != raw->id()) ++misdelivered;
+    });
+  }
+  int sent = 0;
+  for (const auto& from : scinet.nodes()) {
+    for (const auto& to : scinet.nodes()) {
+      ASSERT_TRUE(from->route(to->id(), 1, {}).is_ok());
+      ++sent;
+    }
+  }
+  scinet.settle(Duration::seconds(10));
+  EXPECT_EQ(misdelivered, 0);
+  EXPECT_EQ(delivered, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayChurnProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ------------------------------------------------------- serde fuzzing
+
+class FrameCorruptionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameCorruptionProperty, CorruptedProtocolFramesFailCleanly) {
+  Rng rng(GetParam());
+  // A valid RegisterRequest frame as the corpus seed.
+  entity::Profile profile;
+  profile.entity = Guid::random(rng);
+  profile.name = "victim";
+  profile.outputs.push_back({"t", "u", "s"});
+  profile.metadata = vmap({{"k", vlist({1, "two", 3.0})}});
+  entity::Advertisement ad;
+  ad.service = "svc";
+  ad.methods.push_back({"m", {"p1", "p2"}});
+  const entity::RegisterRequestBody body{false, profile, ad};
+  const auto pristine = body.encode();
+
+  for (int round = 0; round < 300; ++round) {
+    auto corrupted = pristine;
+    // Mutate: flip bytes, truncate, or extend.
+    const auto mutation = rng.next_below(3);
+    if (mutation == 0 && !corrupted.empty()) {
+      const auto flips = 1 + rng.next_below(8);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        corrupted[rng.next_below(corrupted.size())] =
+            std::byte{static_cast<unsigned char>(rng.next_below(256))};
+      }
+    } else if (mutation == 1) {
+      corrupted.resize(rng.next_below(corrupted.size() + 1));
+    } else {
+      const auto extra = rng.next_below(16);
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        corrupted.push_back(
+            std::byte{static_cast<unsigned char>(rng.next_below(256))});
+      }
+    }
+    // Must never crash; may succeed (benign mutation) or fail cleanly.
+    const auto decoded = entity::RegisterRequestBody::decode(corrupted);
+    if (!decoded.has_value()) {
+      EXPECT_FALSE(decoded.error().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameCorruptionProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+class XmlCorruptionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(XmlCorruptionProperty, MutatedQueryDocumentsNeverCrashTheParser) {
+  Rng rng(GetParam());
+  const std::string pristine =
+      query::QueryBuilder("q", Guid(1, 2))
+          .pattern("temperature", "celsius")
+          .in(*location::LogicalPath::parse("a/b/c"))
+          .select(query::SelectPolicy::kClosest)
+          .require("x", Value(1))
+          .mode(query::QueryMode::kEventSubscription)
+          .to_xml();
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = pristine;
+    const auto edits = 1 + rng.next_below(6);
+    for (std::uint64_t e = 0; e < edits && !mutated.empty(); ++e) {
+      const auto pos = rng.next_below(mutated.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.next_below(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1,
+                         static_cast<char>(32 + rng.next_below(95)));
+      }
+    }
+    const auto parsed = query::Query::parse(mutated);
+    if (parsed.has_value()) {
+      EXPECT_TRUE(parsed->validate().is_ok());  // parse implies valid
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlCorruptionProperty,
+                         ::testing::Values(55, 66, 77));
+
+// --------------------------------------------------- resolver properties
+
+class ResolverGraphProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ResolverGraphProperty, PlansAreGroundedAcyclicAndTypeCorrect) {
+  Rng rng(GetParam());
+  compose::SemanticRegistry registry;
+  compose::Resolver resolver(&registry);
+
+  for (int round = 0; round < 30; ++round) {
+    // Random layered population: types t0..tL, producers of t_k consume a
+    // random subset of t_{k+1} types; the bottom layer are sources. Some
+    // profiles are deliberately broken (consume a type nobody produces).
+    const unsigned layers = 2 + static_cast<unsigned>(rng.next_below(4));
+    std::vector<entity::Profile> live;
+    for (unsigned layer = 0; layer <= layers; ++layer) {
+      const auto count = 1 + rng.next_below(4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        entity::Profile p;
+        p.entity = Guid::random(rng);
+        p.name = "n";
+        p.outputs.push_back({"t" + std::to_string(layer), "", ""});
+        if (layer < layers) {
+          p.inputs.push_back({"t" + std::to_string(layer + 1), "", ""});
+          if (rng.next_bool(0.2)) {
+            p.inputs.push_back({"missing-type", "", ""});  // ungroundable
+          }
+        }
+        live.push_back(std::move(p));
+      }
+    }
+    compose::ResolveRequest request;
+    request.requested = {"t0", "", ""};
+    const auto plan = resolver.resolve(request, live);
+    if (!plan) continue;  // all candidate sinks were broken: acceptable
+
+    const auto profile_of = [&](Guid id) -> const entity::Profile* {
+      for (const auto& p : live) {
+        if (p.entity == id) return &p;
+      }
+      return nullptr;
+    };
+    // 1. Type correctness: every edge's producer really produces the type
+    //    and its consumer really consumes it.
+    for (const auto& edge : plan->edges) {
+      const entity::Profile* producer = profile_of(edge.producer);
+      ASSERT_NE(producer, nullptr);
+      EXPECT_TRUE(producer->produces(edge.event_type));
+      const entity::Profile* consumer = profile_of(edge.consumer);
+      ASSERT_NE(consumer, nullptr);
+      EXPECT_TRUE(consumer->consumes(edge.event_type));
+    }
+    // 2. Groundedness: every entity with inputs has at least one incoming
+    //    edge per input type.
+    for (const Guid id : plan->entities) {
+      const entity::Profile* p = profile_of(id);
+      ASSERT_NE(p, nullptr);
+      for (const auto& input : p->inputs) {
+        int feeders = 0;
+        for (const auto& edge : plan->edges) {
+          if (edge.consumer == id && edge.event_type == input.name) ++feeders;
+        }
+        EXPECT_GT(feeders, 0)
+            << "entity " << id.short_string() << " starves on " << input.name;
+      }
+    }
+    // 3. Acyclicity via Kahn's algorithm over plan edges.
+    std::map<Guid, int> in_degree;
+    for (const Guid id : plan->entities) in_degree[id] = 0;
+    for (const auto& edge : plan->edges) in_degree[edge.consumer] += 1;
+    std::vector<Guid> frontier;
+    for (const auto& [id, degree] : in_degree) {
+      if (degree == 0) frontier.push_back(id);
+    }
+    std::size_t visited = 0;
+    while (!frontier.empty()) {
+      const Guid current = frontier.back();
+      frontier.pop_back();
+      ++visited;
+      for (const auto& edge : plan->edges) {
+        if (edge.producer == current && --in_degree[edge.consumer] == 0) {
+          frontier.push_back(edge.consumer);
+        }
+      }
+    }
+    EXPECT_EQ(visited, plan->entities.size()) << "cycle in configuration";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResolverGraphProperty,
+                         ::testing::Values(3, 7, 21, 42, 1001));
+
+// -------------------------------------------------- registrar consistency
+
+class RegistrarChurnProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RegistrarChurnProperty, ViewMatchesGroundTruthUnderChurn) {
+  Sci sci(GetParam());
+  mobility::Building building({.floors = 1, .rooms_per_floor = 4});
+  sci.set_location_directory(&building.directory());
+  RangeOptions options;
+  options.ping_period = Duration::seconds(3600);  // no surprise evictions
+  auto& range = sci.create_range("r", building.building_path(), options);
+  Rng rng(GetParam() + 5);
+
+  std::map<Guid, std::unique_ptr<entity::ContextEntity>> alive;
+  for (int action = 0; action < 60; ++action) {
+    if (alive.empty() || rng.next_bool(0.6)) {
+      auto ce = std::make_unique<entity::ContextEntity>(
+          sci.network(), sci.new_guid(), "e" + std::to_string(action),
+          entity::EntityKind::kDevice);
+      ASSERT_TRUE(sci.enroll(*ce, range).is_ok());
+      alive.emplace(ce->id(), std::move(ce));
+    } else {
+      auto it = alive.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(alive.size())));
+      it->second->stop();
+      alive.erase(it);
+      sci.run_for(Duration::millis(50));
+    }
+    // Invariant: the registrar sees exactly the alive set.
+    ASSERT_EQ(range.registrar().size(), alive.size());
+    for (const auto& [id, ce] : alive) {
+      ASSERT_TRUE(range.registrar().contains(id));
+      ASSERT_NE(range.profiles().profile(id), nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistrarChurnProperty,
+                         ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace sci
