@@ -35,8 +35,8 @@ struct TwoFloorWorld {
   TwoFloorWorld() {
     sci.set_location_directory(&building.directory());
     // No catch-all range: the lobby belongs to floor0's range root.
-    floor0 = &sci.create_range("floor0", building.building_path());
-    floor1 = &sci.create_range("floor1", building.floor_path(1));
+    floor0 = sci.create_range("floor0", building.building_path()).value();
+    floor1 = sci.create_range("floor1", building.floor_path(1)).value();
   }
 };
 

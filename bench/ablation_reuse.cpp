@@ -41,8 +41,8 @@ void BM_ReuseScaling(benchmark::State& state) {
     mobility::Building building({.floors = 1, .rooms_per_floor = 6});
     sci.set_location_directory(&building.directory());
     RangeOptions options;
-    options.enable_reuse = reuse;
-    auto& range = sci.create_range("r", building.building_path(), options);
+    options.reuse.enable = reuse;
+    auto& range = *sci.create_range("r", building.building_path(), options).value();
     auto& world = sci.world();
 
     std::vector<std::unique_ptr<entity::DoorSensorCE>> doors;

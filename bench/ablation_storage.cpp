@@ -97,7 +97,7 @@ void BM_PullQueryEndToEnd(benchmark::State& state) {
   Sci sci(8);
   mobility::Building building({.floors = 1, .rooms_per_floor = 2});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   entity::TemperatureSensorCE sensor(sci.network(), sci.new_guid(), "s",
                                      "celsius", Duration::millis(500));
   SCI_ASSERT(sci.enroll(sensor, range).is_ok());

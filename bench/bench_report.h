@@ -1,0 +1,51 @@
+// Shared JSON report sink for the figure benches.
+//
+// Benches accumulate one serde::Value document per run (keyed e.g.
+// "overlay/64") built from MetricsSnapshot::to_json() slices, then a custom
+// main() writes the whole report once as strict JSON (BENCH_<fig>.json).
+// Keeping the data registry-sourced — not hand-rolled bench counters — means
+// the reported numbers are the same ones any deployment can introspect.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "serde/value.h"
+
+namespace sci::bench {
+
+inline ValueMap& report() {
+  static ValueMap doc;
+  return doc;
+}
+
+inline void add_run(const std::string& key, Value doc) {
+  report().insert_or_assign(key, std::move(doc));
+}
+
+inline void write_report(const char* path) {
+  const std::string text = serde::to_json(Value(ValueMap(report())));
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", path, text.size() + 1);
+  } else {
+    std::fprintf(stderr, "failed to open %s for writing\n", path);
+  }
+}
+
+}  // namespace sci::bench
+
+// Replaces BENCHMARK_MAIN(): run every registered bench, then flush the
+// accumulated report.
+#define SCI_BENCHMARK_MAIN_WITH_REPORT(path)                        \
+  int main(int argc, char** argv) {                                 \
+    benchmark::Initialize(&argc, argv);                             \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                            \
+    benchmark::Shutdown();                                          \
+    sci::bench::write_report(path);                                 \
+    return 0;                                                       \
+  }

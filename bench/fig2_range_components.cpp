@@ -36,7 +36,7 @@ struct RangeBench {
 
   explicit RangeBench(std::size_t population) {
     sci.set_location_directory(&building.directory());
-    range = &sci.create_range("r", building.building_path());
+    range = sci.create_range("r", building.building_path()).value();
     for (std::size_t i = 0; i < population; ++i) {
       auto ce = std::make_unique<entity::ContextEntity>(
           sci.network(), sci.new_guid(), "m" + std::to_string(i),

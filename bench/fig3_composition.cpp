@@ -86,7 +86,7 @@ struct Fig3World {
 
   explicit Fig3World(std::size_t sensors) {
     sci.set_location_directory(&building.directory());
-    range = &sci.create_range("r", building.building_path());
+    range = sci.create_range("r", building.building_path()).value();
     auto& world = sci.world();
     for (std::size_t i = 0; i < sensors; ++i) {
       const unsigned room = static_cast<unsigned>(i) % 12;
@@ -223,9 +223,9 @@ void BM_RecompositionAfterFailure(benchmark::State& state) {
     mobility::Building building({.floors = 1, .rooms_per_floor = 2});
     sci.set_location_directory(&building.directory());
     RangeOptions options;
-    options.ping_period = Duration::millis(500);
-    options.ping_miss_limit = 2;
-    auto& range = sci.create_range("r", building.building_path(), options);
+    options.liveness.ping_period = Duration::millis(500);
+    options.liveness.ping_miss_limit = 2;
+    auto& range = *sci.create_range("r", building.building_path(), options).value();
     entity::TemperatureSensorCE s1(sci.network(), sci.new_guid(), "s1",
                                    "celsius", Duration::millis(500));
     entity::TemperatureSensorCE s2(sci.network(), sci.new_guid(), "s2",

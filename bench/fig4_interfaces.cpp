@@ -116,7 +116,7 @@ void BM_IntegrationPipeline(benchmark::State& state) {
   Sci sci(3);
   mobility::Building building({.floors = 1, .rooms_per_floor = 4});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   RunningStats handshake_ms;
   std::uint64_t integrated = 0;
   for (auto _ : state) {

@@ -32,7 +32,7 @@ void BM_DiscoveryLatency(benchmark::State& state) {
   Sci sci(5);
   mobility::Building building({.floors = 1, .rooms_per_floor = 4});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   std::vector<std::unique_ptr<entity::ContextEntity>> members;
   for (int i = 0; i < state.range(0); ++i) {
     auto ce = std::make_unique<entity::ContextEntity>(
@@ -70,7 +70,7 @@ void BM_ArrivalBurst(benchmark::State& state) {
     Sci sci(6);
     mobility::Building building({.floors = 1, .rooms_per_floor = 4});
     sci.set_location_directory(&building.directory());
-    auto& range = sci.create_range("r", building.building_path());
+    auto& range = *sci.create_range("r", building.building_path()).value();
     std::vector<std::unique_ptr<entity::ContextEntity>> arrivals;
     for (std::size_t i = 0; i < burst; ++i) {
       auto ce = std::make_unique<entity::ContextEntity>(
@@ -110,7 +110,7 @@ void BM_ArrivalRate(benchmark::State& state) {
     Sci sci(7);
     mobility::Building building({.floors = 1, .rooms_per_floor = 4});
     sci.set_location_directory(&building.directory());
-    auto& range = sci.create_range("r", building.building_path());
+    auto& range = *sci.create_range("r", building.building_path()).value();
     std::vector<std::unique_ptr<entity::ContextEntity>> arrivals;
     Rng rng(8);
     // Poisson arrivals over a 10-second window.

@@ -84,7 +84,7 @@ struct ModeBench {
 
   ModeBench() {
     sci.set_location_directory(&building.directory());
-    range = &sci.create_range("r", building.building_path());
+    range = sci.create_range("r", building.building_path()).value();
     for (unsigned i = 0; i < 8; ++i) {
       printers.push_back(std::make_unique<entity::PrinterCE>(
           sci.network(), sci.new_guid(), "P" + std::to_string(i),

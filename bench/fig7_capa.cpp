@@ -17,8 +17,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/stats.h"
 #include "core/sci.h"
 #include "entity/printer.h"
@@ -44,13 +46,14 @@ struct SelectApp final : entity::ContextAwareApp {
 void BM_CapaEndToEnd(benchmark::State& state) {
   RunningStats door_to_selection_ms;
   RunningStats total_ms;
+  obs::MetricsSnapshot last_metrics;
   for (auto _ : state) {
     state.PauseTiming();
     Sci sci(2003);
     mobility::Building building({.floors = 2, .rooms_per_floor = 4});
     sci.set_location_directory(&building.directory());
-    auto& tower = sci.create_range("tower", building.building_path());
-    auto& level10 = sci.create_range("level10", building.floor_path(1));
+    auto& tower = *sci.create_range("tower", building.building_path()).value();
+    auto& level10 = *sci.create_range("level10", building.floor_path(1)).value();
     auto& world = sci.world();
     (void)tower;
 
@@ -114,9 +117,34 @@ void BM_CapaEndToEnd(benchmark::State& state) {
     total_ms.add((sci.now() - submit_at).millis_f());
     SCI_ASSERT(capa.last_ok);
     SCI_ASSERT(capa.last_winner == "P1");
+    last_metrics = sci.metrics().snapshot();
   }
   state.counters["door_to_selection_ms"] = door_to_selection_ms.mean();
   state.counters["submit_to_selection_ms"] = total_ms.mean();
+
+  // Registry-sourced view of one full CAPA run: the deferred query was
+  // forwarded over the SCINET (route hops) and answered after the trigger.
+  ValueMap doc;
+  doc.emplace("door_to_selection_ms", door_to_selection_ms.mean());
+  doc.emplace("submit_to_selection_ms", total_ms.mean());
+  doc.emplace("queries_forwarded",
+              static_cast<std::int64_t>(
+                  last_metrics.counter("cs.queries.forwarded")));
+  doc.emplace("queries_answered",
+              static_cast<std::int64_t>(
+                  last_metrics.counter("cs.queries.answered")));
+  doc.emplace("route_delivered",
+              static_cast<std::int64_t>(
+                  last_metrics.counter("scinet.routed.delivered")));
+  if (const auto* hops = last_metrics.histogram("scinet.route.hops");
+      hops != nullptr) {
+    doc.emplace("route_hops_mean", hops->mean);
+    doc.emplace("route_hops_max", hops->max);
+  }
+  doc.emplace("event_deliveries",
+              static_cast<std::int64_t>(last_metrics.counter("em.deliveries")));
+  doc.emplace("metrics", last_metrics.to_json());
+  bench::add_run("capa_end_to_end", Value(std::move(doc)));
 }
 
 void BM_PrinterSelection(benchmark::State& state) {
@@ -126,7 +154,7 @@ void BM_PrinterSelection(benchmark::State& state) {
   mobility::Building building(
       {.floors = 1, .rooms_per_floor = std::max(printer_count, 4u)});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
 
   std::vector<std::unique_ptr<entity::PrinterCE>> printers;
   for (unsigned i = 0; i < printer_count; ++i) {
@@ -181,6 +209,20 @@ void BM_PrinterSelection(benchmark::State& state) {
   state.counters["printers"] = static_cast<double>(printer_count);
   state.counters["constraints"] = static_cast<double>(constraint_kinds);
   state.counters["select_ms_mean"] = select_ms.mean();
+
+  const obs::MetricsSnapshot snap = sci.metrics().snapshot();
+  ValueMap doc;
+  doc.emplace("printers", static_cast<std::int64_t>(printer_count));
+  doc.emplace("constraints", static_cast<std::int64_t>(constraint_kinds));
+  doc.emplace("select_ms_mean", select_ms.mean());
+  doc.emplace("queries_received",
+              static_cast<std::int64_t>(snap.counter("cs.queries.received")));
+  doc.emplace("queries_answered",
+              static_cast<std::int64_t>(snap.counter("cs.queries.answered")));
+  doc.emplace("net_sent", static_cast<std::int64_t>(snap.counter("net.sent")));
+  bench::add_run("selection/" + std::to_string(printer_count) + "/" +
+                     std::to_string(constraint_kinds),
+                 Value(std::move(doc)));
 }
 
 }  // namespace
@@ -194,4 +236,4 @@ BENCHMARK(BM_PrinterSelection)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(50);
 
-BENCHMARK_MAIN();
+SCI_BENCHMARK_MAIN_WITH_REPORT("BENCH_fig7.json")

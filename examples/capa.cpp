@@ -134,8 +134,8 @@ int main() {
   sci.set_location_directory(&building.directory());
 
   // Two ranges: the tower at large (lobby), and Level Ten specifically.
-  auto& lobby_range = sci.create_range("tower", building.building_path());
-  auto& level10 = sci.create_range("level10", building.floor_path(1));
+  auto& lobby_range = *sci.create_range("tower", building.building_path()).value();
+  auto& level10 = *sci.create_range("level10", building.floor_path(1)).value();
   auto& world = sci.world();
 
   // Door sensors on Level Ten's office doors.

@@ -53,7 +53,7 @@ int main() {
   sci.set_location_directory(&building.directory());
 
   // One range governing the whole building.
-  auto& range = sci.create_range("building", building.building_path());
+  auto& range = *sci.create_range("building", building.building_path()).value();
 
   // A temperature sensor CE in room 0, publishing every 2 simulated seconds.
   sci::entity::TemperatureSensorCE sensor(

@@ -53,7 +53,7 @@ int main() {
   spec.rooms_per_floor = 6;
   sci::mobility::Building building(spec);
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("floor", building.building_path());
+  auto& range = *sci.create_range("floor", building.building_path()).value();
   auto& world = sci.world();
 
   // High-confidence source chain: door sensors → objLocationCE.

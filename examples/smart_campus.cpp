@@ -44,12 +44,12 @@ int main() {
   sci.set_location_directory(&building.directory());
 
   // One range per floor plus a building-wide range for the lobby.
-  auto& tower = sci.create_range("tower", building.building_path());
+  auto& tower = *sci.create_range("tower", building.building_path()).value();
   std::vector<sci::range::ContextServer*> floors;
   for (unsigned f = 0; f < kFloors; ++f) {
     floors.push_back(
-        &sci.create_range("floor" + std::to_string(f),
-                          building.floor_path(f)));
+        sci.create_range("floor" + std::to_string(f),
+                          building.floor_path(f)).value());
   }
 
   auto& world = sci.world();

@@ -32,9 +32,13 @@ mobility::World& Sci::world() {
   return *world_;
 }
 
-range::ContextServer& Sci::create_range(std::string name,
-                                        location::LogicalPath root,
-                                        RangeOptions options) {
+Expected<range::ContextServer*> Sci::create_range(std::string name,
+                                                  location::LogicalPath root,
+                                                  RangeOptions options) {
+  if (find_range(name) != nullptr) {
+    return make_error(ErrorCode::kAlreadyExists,
+                      "a range named '" + name + "' already exists");
+  }
   range::RangeConfig config;
   config.range = new_guid();
   config.context_server = new_guid();
@@ -42,35 +46,55 @@ range::ContextServer& Sci::create_range(std::string name,
   config.logical_root = std::move(root);
   config.x = options.x;
   config.y = options.y;
-  config.ping_period = options.ping_period;
-  config.ping_miss_limit = options.ping_miss_limit;
-  config.enable_reuse = options.enable_reuse;
-  config.strict_syntactic = options.strict_syntactic;
-  config.rebind_on_arrival = options.rebind_on_arrival;
+  config.ping_period = options.liveness.ping_period;
+  config.ping_miss_limit = options.liveness.ping_miss_limit;
+  config.enable_reuse = options.reuse.enable;
+  config.strict_syntactic = options.reuse.strict_syntactic;
+  config.rebind_on_arrival = options.reuse.rebind_on_arrival;
   config.group = options.group;
-  config.beacon_period = options.beacon_period;
-  config.beacon_radius = options.beacon_radius;
+  config.beacon_period = options.discovery.beacon_period;
+  config.beacon_radius = options.discovery.beacon_radius;
 
   auto server = std::make_unique<range::ContextServer>(
       network_, std::move(config), &directory_, &semantics_, locations_);
   range::ContextServer& ref = *server;
 
-  if (options.join_by_discovery) {
+  if (options.discovery.join_by_discovery) {
     ref.join_via_discovery();
     // Listen window + join handshake.
     run_for(Duration::seconds(4));
   } else if (ranges_.empty()) {
     ref.bootstrap_overlay();
   } else {
-    (void)ref.join_overlay(ranges_.front()->id());
+    SCI_TRY(ref.join_overlay(ranges_.front()->id()));
     run_for(Duration::millis(100));  // let the join settle
+  }
+  if (!ref.overlay_ready()) {
+    // The join can be slow under injected faults; give it a bounded grace
+    // window before declaring the range dead on arrival.
+    const SimTime deadline = simulator_.now() + Duration::seconds(2);
+    while (!ref.overlay_ready() && simulator_.now() < deadline) {
+      if (!simulator_.step(deadline)) break;
+    }
+    if (!ref.overlay_ready()) {
+      return make_error(ErrorCode::kTimeout,
+                        "range '" + ref.config().name +
+                            "' never joined the SCINET");
+    }
   }
   ranges_.push_back(std::move(server));
   if (world_) world_->add_range(&ref);
-  return ref;
+  return &ref;
 }
 
-range::ContextServer* Sci::range_named(std::string_view name) {
+std::vector<range::ContextServer*> Sci::ranges() const {
+  std::vector<range::ContextServer*> view;
+  view.reserve(ranges_.size());
+  for (const auto& server : ranges_) view.push_back(server.get());
+  return view;
+}
+
+range::ContextServer* Sci::find_range(std::string_view name) {
   for (const auto& server : ranges_) {
     if (server->config().name == name) return server.get();
   }

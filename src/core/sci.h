@@ -9,21 +9,26 @@
 //   sci::Sci sci(/*seed=*/42);
 //   sci::mobility::Building building({.floors = 2, .rooms_per_floor = 4});
 //   sci.set_location_directory(&building.directory());
-//   auto& level0 = sci.create_range("level0", building.floor_path(0));
+//   auto& level0 = *sci.create_range("level0", building.floor_path(0)).value();
 //   ...
 //   sci.run_for(sci::Duration::seconds(5));
+//   std::string report = sci.metrics().snapshot().to_json();
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/expected.h"
 #include "compose/semantics.h"
 #include "entity/component.h"
 #include "mobility/building.h"
 #include "mobility/world.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/scinet.h"
 #include "query/query.h"
 #include "range/context_server.h"
@@ -32,22 +37,37 @@
 
 namespace sci {
 
-struct RangeOptions {
-  bool enable_reuse = true;
-  bool strict_syntactic = false;
-  bool rebind_on_arrival = true;
+// Composition/reuse policy for a range (A3/A4 ablation knobs).
+struct ReuseOptions {
+  bool enable = true;              // Solar-style subgraph sharing
+  bool strict_syntactic = false;   // iQueue-style matching
+  bool rebind_on_arrival = true;   // recompose when better sources arrive
+};
+
+// Ping-based failure detection (Range Service liveness sweep).
+struct LivenessOptions {
   Duration ping_period = Duration::seconds(2);
   unsigned ping_miss_limit = 3;
-  double x = 0.0;
-  double y = 0.0;
-  // Access-control group (queries never cross groups).
-  int group = 0;
-  // Discovery beacons: broadcast period (0 = off) and radio radius.
+};
+
+// Link-local range discovery (paper §3 "Range discovery").
+struct DiscoveryOptions {
+  // Beacon broadcast period (0 = off) and radio radius.
   Duration beacon_period = Duration::seconds(0);
   double beacon_radius = 500.0;
   // When true the new range joins the SCINET by listening for beacons
   // instead of being handed a bootstrap range by the facade.
   bool join_by_discovery = false;
+};
+
+struct RangeOptions {
+  ReuseOptions reuse;
+  LivenessOptions liveness;
+  DiscoveryOptions discovery;
+  double x = 0.0;
+  double y = 0.0;
+  // Access-control group (queries never cross groups).
+  int group = 0;
 };
 
 class Sci {
@@ -72,19 +92,32 @@ class Sci {
   // The mobility world (requires a location directory).
   [[nodiscard]] mobility::World& world();
 
+  // --- observability --------------------------------------------------------
+  // The deployment-wide metrics registry and trace ring. Every layer
+  // (simulator, fabric, overlay, mediator, context servers) records here;
+  // `metrics().snapshot().to_json()` yields the full instrument catalogue.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return simulator_.metrics(); }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return simulator_.metrics();
+  }
+  [[nodiscard]] obs::TraceBuffer& trace() { return simulator_.trace(); }
+  [[nodiscard]] const obs::TraceBuffer& trace() const {
+    return simulator_.trace();
+  }
+
   // --- ranges -----------------------------------------------------------------
   // Creates a Range governing `root`; the first range bootstraps the
   // SCINET, later ranges join through it. Runs the simulator briefly so the
-  // join completes.
-  range::ContextServer& create_range(std::string name,
-                                     location::LogicalPath root,
-                                     RangeOptions options = {});
+  // join completes. Fails with kAlreadyExists on a duplicate range name and
+  // kTimeout when the overlay join does not settle; the returned pointer is
+  // owned by this Sci and lives until destruction.
+  Expected<range::ContextServer*> create_range(std::string name,
+                                               location::LogicalPath root,
+                                               RangeOptions options = {});
 
-  [[nodiscard]] const std::vector<std::unique_ptr<range::ContextServer>>&
-  ranges() const {
-    return ranges_;
-  }
-  [[nodiscard]] range::ContextServer* range_named(std::string_view name);
+  // Non-owning view over the ranges, in creation order.
+  [[nodiscard]] std::vector<range::ContextServer*> ranges() const;
+  [[nodiscard]] range::ContextServer* find_range(std::string_view name);
 
   // --- component lifecycle ------------------------------------------------------
   // Starts `component` at (x, y), points it at `server`'s Range Service and

@@ -77,6 +77,10 @@ Status Network::send(Message message) {
   from_it->second.stats.messages_sent += 1;
   from_it->second.stats.bytes_sent += size;
   ++total_sent_;
+  m_sent_->inc();
+  m_bytes_sent_->inc(size);
+  trace_->record(simulator_.now(), obs::TraceKind::kMessageSend, message.from,
+                 message.to, message.type);
 
   // Faults are indistinguishable from loss at the sender, as on a real
   // network: send() still succeeds.
@@ -85,10 +89,15 @@ Status Network::send(Message message) {
       (link_model_.drop_probability > 0.0 &&
        rng_.next_bool(link_model_.drop_probability))) {
     ++total_dropped_;
+    m_dropped_->inc();
+    trace_->record(simulator_.now(), obs::TraceKind::kMessageDrop,
+                   message.from, message.to,
+                   static_cast<std::uint64_t>(obs::DropCause::kFault));
     return Status::ok();
   }
 
   const Duration latency = sample_latency(from_it->second, to_it->second);
+  m_latency_ms_->observe(latency.millis_f());
   const Guid to = message.to;
   simulator_.schedule(
       latency, [this, to, size, msg = std::move(message)]() mutable {
@@ -96,11 +105,18 @@ Status Network::send(Message message) {
         // The destination may have detached or crashed in flight.
         if (it == nodes_.end() || crashed_.contains(to)) {
           ++total_dropped_;
+          m_dropped_->inc();
+          trace_->record(simulator_.now(), obs::TraceKind::kMessageDrop,
+                         msg.from, to,
+                         static_cast<std::uint64_t>(obs::DropCause::kStale));
           return;
         }
         it->second.stats.messages_received += 1;
         it->second.stats.bytes_received += size;
         ++total_delivered_;
+        m_delivered_->inc();
+        trace_->record(simulator_.now(), obs::TraceKind::kMessageDeliver,
+                       msg.from, to, msg.type);
         it->second.handler(msg);
       });
   return Status::ok();

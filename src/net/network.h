@@ -18,6 +18,8 @@
 #include "common/expected.h"
 #include "common/guid.h"
 #include "common/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/buffer.h"
 #include "sim/simulator.h"
 
@@ -59,7 +61,15 @@ using MessageHandler = std::function<void(const Message&)>;
 class Network {
  public:
   explicit Network(sim::Simulator& simulator)
-      : simulator_(simulator), rng_(simulator.rng().split()) {}
+      : simulator_(simulator), rng_(simulator.rng().split()) {
+    obs::MetricsRegistry& metrics = simulator.metrics();
+    m_sent_ = &metrics.counter("net.sent");
+    m_delivered_ = &metrics.counter("net.delivered");
+    m_dropped_ = &metrics.counter("net.dropped");
+    m_bytes_sent_ = &metrics.counter("net.bytes_sent");
+    m_latency_ms_ = &metrics.histogram("net.latency_ms");
+    trace_ = &simulator.trace();
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -137,6 +147,13 @@ class Network {
 
   sim::Simulator& simulator_;
   Rng rng_;
+  // Fabric instruments (interned once; hot-path updates are increments).
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
+  obs::Histogram* m_latency_ms_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
   LinkModel link_model_;
   std::unordered_map<Guid, NodeRecord> nodes_;
   std::unordered_set<Guid> crashed_;

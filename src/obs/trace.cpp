@@ -1,0 +1,74 @@
+#include "obs/trace.h"
+
+namespace sci::obs {
+
+std::string_view to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMessageSend:
+      return "message_send";
+    case TraceKind::kMessageDeliver:
+      return "message_deliver";
+    case TraceKind::kMessageDrop:
+      return "message_drop";
+    case TraceKind::kRouteHop:
+      return "route_hop";
+    case TraceKind::kRouteDeliver:
+      return "route_deliver";
+    case TraceKind::kRouteDropTtl:
+      return "route_drop_ttl";
+    case TraceKind::kOverlayRepair:
+      return "overlay_repair";
+    case TraceKind::kSubscribe:
+      return "subscribe";
+    case TraceKind::kUnsubscribe:
+      return "unsubscribe";
+    case TraceKind::kRecompose:
+      return "recompose";
+    case TraceKind::kQuerySubmit:
+      return "query_submit";
+    case TraceKind::kQueryForward:
+      return "query_forward";
+    case TraceKind::kQueryAnswer:
+      return "query_answer";
+    case TraceKind::kArrival:
+      return "arrival";
+    case TraceKind::kDeparture:
+      return "departure";
+  }
+  return "unknown";
+}
+
+Value TraceRecord::to_json() const {
+  ValueMap map;
+  map.emplace("at_us", at.micros());
+  map.emplace("kind", std::string(to_string(kind)));
+  map.emplace("a", a);
+  if (!b.is_nil()) map.emplace("b", b);
+  map.emplace("detail", static_cast<std::int64_t>(detail));
+  return Value(std::move(map));
+}
+
+std::vector<TraceRecord> TraceBuffer::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // When wrapped, the oldest record sits at next_; otherwise at 0.
+  const std::size_t start = total_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Value TraceBuffer::to_json(std::size_t limit) const {
+  const std::vector<TraceRecord> window = snapshot();
+  const std::size_t n = window.size() < limit ? window.size() : limit;
+  ValueList list;
+  list.reserve(n);
+  for (std::size_t i = window.size() - n; i < window.size(); ++i) {
+    list.push_back(window[i].to_json());
+  }
+  return Value(std::move(list));
+}
+
+}  // namespace sci::obs

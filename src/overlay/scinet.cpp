@@ -102,6 +102,17 @@ ScinetNode::ScinetNode(net::Network& network, Guid id, ScinetConfig config,
       id_, [this](const net::Message& m) { on_message(m); }, x, y);
   SCI_ASSERT_MSG(attached.is_ok(), "scinet node id collision on network");
   attached_ = true;
+
+  obs::MetricsRegistry& metrics = network_.simulator().metrics();
+  m_originated_ = &metrics.counter("scinet.routed.originated");
+  m_forwarded_ = &metrics.counter("scinet.routed.forwarded");
+  m_delivered_ = &metrics.counter("scinet.routed.delivered");
+  m_dropped_ttl_ = &metrics.counter("scinet.routed.dropped_ttl");
+  m_repairs_ = &metrics.counter("scinet.repairs");
+  m_node_forwarded_ = &metrics.counter("scinet.node.forwarded",
+                                       id_.short_string());
+  m_hops_ = &metrics.histogram("scinet.route.hops");
+  trace_ = &network_.simulator().trace();
 }
 
 ScinetNode::~ScinetNode() {
@@ -170,6 +181,7 @@ Status ScinetNode::route(Guid key, std::uint32_t app_type,
   if (!ready_)
     return make_error(ErrorCode::kUnavailable, "node not joined to overlay");
   ++stats_.routed_originated;
+  m_originated_->inc();
   RoutedWire wire{key, id_, app_type, 0, config_.route_ttl,
                   std::move(payload)};
   const Guid hop = next_hop(key);
@@ -232,6 +244,9 @@ void ScinetNode::on_routed(const net::Message& message) {
   ++wire.hops;
   if (wire.ttl == 0) {
     ++stats_.routed_dropped_ttl;
+    m_dropped_ttl_->inc();
+    trace_->record(network_.simulator().now(), obs::TraceKind::kRouteDropTtl,
+                   id_, wire.source);
     SCI_WARN(kTag, "%s: TTL expired for key %s", id_.short_string().c_str(),
              wire.key.short_string().c_str());
     return;
@@ -244,6 +259,10 @@ void ScinetNode::on_routed(const net::Message& message) {
     return;
   }
   ++stats_.routed_forwarded;
+  m_forwarded_->inc();
+  m_node_forwarded_->inc();
+  trace_->record(network_.simulator().now(), obs::TraceKind::kRouteHop, id_,
+                 hop, wire.hops);
   send(hop, kRouted, wire.encode());
 }
 
@@ -560,6 +579,9 @@ void ScinetNode::repair_leaf_set() {
   // Pull fresh leaf sets from the surviving extremes; their neighbours fill
   // the hole left by the failed node.
   if (leaf_.empty()) return;
+  m_repairs_->inc();
+  trace_->record(network_.simulator().now(), obs::TraceKind::kOverlayRepair,
+                 id_);
   const Guid first = leaf_.front();
   const Guid last = leaf_.back();
   send(first, kLeafSetRequest, {});
@@ -575,6 +597,10 @@ void ScinetNode::halt() {
 
 void ScinetNode::deliver_local(RoutedMessage message) {
   ++stats_.routed_delivered;
+  m_delivered_->inc();
+  m_hops_->observe(static_cast<double>(message.hops));
+  trace_->record(network_.simulator().now(), obs::TraceKind::kRouteDeliver,
+                 id_, message.source, message.hops);
   if (deliver_) deliver_(message);
 }
 

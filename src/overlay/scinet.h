@@ -31,6 +31,8 @@
 #include "common/expected.h"
 #include "common/guid.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace sci::overlay {
@@ -180,6 +182,17 @@ class ScinetNode {
   Guid join_bootstrap_;
   unsigned join_attempts_ = 0;
   sim::TimerHandle join_retry_;
+
+  // Overlay instruments: overlay-wide counters plus a per-node forwarding
+  // counter (labelled by node id) feeding the Fig 1 load distribution.
+  obs::Counter* m_originated_ = nullptr;
+  obs::Counter* m_forwarded_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ttl_ = nullptr;
+  obs::Counter* m_repairs_ = nullptr;
+  obs::Counter* m_node_forwarded_ = nullptr;
+  obs::Histogram* m_hops_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
 
   ScinetNodeStats stats_;
 };

@@ -69,6 +69,22 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   SCI_ASSERT(semantics != nullptr);
   semantics_ = semantics;
 
+  obs::MetricsRegistry& metrics = network_.simulator().metrics();
+  m_registrations_ = &metrics.counter("cs.registrations");
+  m_departures_ = &metrics.counter("cs.departures");
+  m_failures_ = &metrics.counter("cs.failures_detected");
+  m_queries_received_ = &metrics.counter("cs.queries.received");
+  m_queries_forwarded_ = &metrics.counter("cs.queries.forwarded");
+  m_queries_adopted_ = &metrics.counter("cs.queries.adopted");
+  m_queries_deferred_ = &metrics.counter("cs.queries.deferred");
+  m_queries_answered_ = &metrics.counter("cs.queries.answered");
+  m_queries_failed_ = &metrics.counter("cs.queries.failed");
+  m_configurations_ = &metrics.counter("cs.configurations_built");
+  m_recompositions_ = &metrics.counter("cs.recompositions");
+  m_recomposition_failures_ = &metrics.counter("cs.recomposition_failures");
+  m_events_in_ = &metrics.counter("cs.events_in");
+  trace_ = &network_.simulator().trace();
+
   const Status attached = network_.attach(
       config_.context_server,
       [this](const net::Message& m) { on_component_message(m); }, config_.x,
@@ -139,6 +155,8 @@ void ContextServer::join_via_discovery(Duration listen_window) {
 void ContextServer::detect_arrival(Guid component) {
   // Fig 5 step 2: the Range Service tells the component where the Registrar
   // is. (The Registrar shares the CS node in this implementation.)
+  trace_->record(network_.simulator().now(), obs::TraceKind::kArrival,
+                 component, config_.range);
   entity::RangeInfoBody info{config_.range, config_.context_server};
   send_to(component, entity::kRangeInfo, info.encode());
 }
@@ -172,9 +190,13 @@ void ContextServer::reply_result(Guid app, const std::string& query_id,
   send_to(app, entity::kQueryResult, body.encode());
   if (error.ok()) {
     ++stats_.queries_answered;
+    m_queries_answered_->inc();
   } else {
     ++stats_.queries_failed;
+    m_queries_failed_->inc();
   }
+  trace_->record(network_.simulator().now(), obs::TraceKind::kQueryAnswer,
+                 config_.range, app, error.ok() ? 1 : 0);
 }
 
 void ContextServer::on_component_message(const net::Message& message) {
@@ -210,6 +232,7 @@ void ContextServer::on_component_message(const net::Message& message) {
       auto parsed = query::Query::parse(wire->xml);
       if (!parsed) return;
       ++stats_.queries_adopted;
+      m_queries_adopted_->inc();
       admit_query(std::move(*parsed), wire->app);
       return;
     }
@@ -254,6 +277,7 @@ void ContextServer::on_scinet_deliver(const overlay::RoutedMessage& message) {
     return;
   }
   ++stats_.queries_adopted;
+  m_queries_adopted_->inc();
   admit_query(std::move(*parsed), wire->app);
 }
 
@@ -282,6 +306,7 @@ void ContextServer::handle_register(const net::Message& message) {
       return;
     }
     ++stats_.registrations;
+    m_registrations_->inc();
   } else {
     registrar_.touch(component, now);
   }
@@ -312,6 +337,7 @@ void ContextServer::handle_publish(const net::Message& message) {
   }
   registrar_.touch(message.from, network_.simulator().now());
   ++stats_.events_in;
+  m_events_in_->inc();
   const event::Event& event = body->event;
 
   // 0. Context gathering and storage (paper conclusion): every event is
@@ -364,6 +390,9 @@ void ContextServer::handle_query_submit(const net::Message& message) {
   auto body = entity::QuerySubmitBody::decode(message.payload);
   if (!body) return;
   ++stats_.queries_received;
+  m_queries_received_->inc();
+  trace_->record(network_.simulator().now(), obs::TraceKind::kQuerySubmit,
+                 message.from, config_.range);
   registrar_.touch(message.from, network_.simulator().now());
   auto parsed = query::Query::parse(body->xml);
   if (!parsed) {
@@ -410,6 +439,9 @@ void ContextServer::admit_query(query::Query q, Guid app) {
       }
     }
     ++stats_.queries_forwarded;
+    m_queries_forwarded_->inc();
+    trace_->record(network_.simulator().now(), obs::TraceKind::kQueryForward,
+                   config_.range, target_range);
     ForwardedQueryWire wire{app, q.to_xml()};
     // Hybrid communication model (§4): prefer the overlay, but when this
     // range's routing state no longer covers the target (partition healed,
@@ -435,6 +467,7 @@ void ContextServer::admit_query(query::Query q, Guid app) {
   // Temporal constraints: hold the query until they are satisfied.
   if (q.when.trigger) {
     ++stats_.queries_deferred;
+    m_queries_deferred_->inc();
     const SimTime now = network_.simulator().now();
     if (q.when.expires_after_seconds > 0.0) {
       const std::string query_id = q.id;
@@ -477,6 +510,7 @@ void ContextServer::schedule_not_before(const query::Query& q, Guid app) {
     return;
   }
   ++stats_.queries_deferred;
+  m_queries_deferred_->inc();
   network_.simulator().schedule_at(
       at, [this, ready, app] { execute_query(ready, app); });
 }
@@ -901,6 +935,7 @@ Expected<std::uint64_t> ContextServer::build_configuration(
       app_edge_filter(plan, request, q.which, tag), one_time, tag);
   tracked_[tag] = TrackedQuery{q, app, one_time};
   ++stats_.configurations_built;
+  m_configurations_->inc();
   return tag;
 }
 
@@ -957,7 +992,13 @@ void ContextServer::departure(Guid component, bool failure) {
   (void)registrar_.remove(component);
   mediator_.remove_subscriber(component);
   ++stats_.departures;
-  if (failure) ++stats_.failures_detected;
+  m_departures_->inc();
+  if (failure) {
+    ++stats_.failures_detected;
+    m_failures_->inc();
+  }
+  trace_->record(network_.simulator().now(), obs::TraceKind::kDeparture,
+                 component, config_.range, failure ? 1 : 0);
 
   if (is_app) {
     // Tear down every configuration this application owns.
@@ -995,6 +1036,7 @@ void ContextServer::recompose_after_loss(Guid lost_entity) {
         request, profiles_.snapshot_of(registrar_.entities()));
     if (!plan) {
       ++stats_.recomposition_failures;
+      m_recomposition_failures_->inc();
       retire_configuration(tag);
       reply_result(tracked.app, tracked.query.id,
                    make_error(ErrorCode::kUnavailable,
@@ -1006,6 +1048,10 @@ void ContextServer::recompose_after_loss(Guid lost_entity) {
       continue;
     }
     ++stats_.recompositions;
+    m_recompositions_->inc();
+    trace_->record(network_.simulator().now(), obs::TraceKind::kRecompose,
+                   config_.range, lost_entity,
+                   static_cast<std::uint64_t>(obs::RecomposeCause::kLoss));
     const Guid old_sink = store_.find(tag)->plan.sink;
     compose::ActiveConfiguration active;
     active.plan = *plan;
@@ -1053,6 +1099,9 @@ void ContextServer::rebind_after_arrival() {
     if (!plan) continue;  // keep the old wiring
     const Guid old_sink = store_.find(tag)->plan.sink;
     if (plan->sink != old_sink) continue;  // sink swap only on failure
+    trace_->record(network_.simulator().now(), obs::TraceKind::kRecompose,
+                   config_.range, Guid(),
+                   static_cast<std::uint64_t>(obs::RecomposeCause::kArrival));
     compose::ActiveConfiguration active;
     active.plan = *plan;
     active.app = tracked.app;

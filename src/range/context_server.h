@@ -31,6 +31,8 @@
 #include "entity/protocol.h"
 #include "event/event.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/scinet.h"
 #include "query/query.h"
 #include "range/context_store.h"
@@ -259,6 +261,23 @@ class ContextServer {
   std::unordered_map<std::uint64_t, event::SubscriptionId> app_edges_;
   // Per-configuration originating query (for recomposition).
   std::unordered_map<std::uint64_t, TrackedQuery> tracked_;
+
+  // Deployment-registry instruments mirroring ServerStats (interned once in
+  // the constructor; every increment below is pointer-chased, not looked up).
+  obs::Counter* m_registrations_ = nullptr;
+  obs::Counter* m_departures_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Counter* m_queries_received_ = nullptr;
+  obs::Counter* m_queries_forwarded_ = nullptr;
+  obs::Counter* m_queries_adopted_ = nullptr;
+  obs::Counter* m_queries_deferred_ = nullptr;
+  obs::Counter* m_queries_answered_ = nullptr;
+  obs::Counter* m_queries_failed_ = nullptr;
+  obs::Counter* m_configurations_ = nullptr;
+  obs::Counter* m_recompositions_ = nullptr;
+  obs::Counter* m_recomposition_failures_ = nullptr;
+  obs::Counter* m_events_in_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
 
   std::uint64_t next_tag_ = 1;
   std::optional<sim::PeriodicTimer> ping_timer_;

@@ -7,6 +7,7 @@ namespace sci::range {
 std::vector<event::Subscription> EventMediator::dispatch(
     const event::Event& event) {
   ++stats_.events_in;
+  m_events_in_->inc();
   std::vector<event::Subscription> matched = table_.collect_matches(event);
   for (const event::Subscription& subscription : matched) {
     entity::DeliverBody body{subscription.id, subscription.owner_tag, event};
@@ -17,6 +18,7 @@ std::vector<event::Subscription> EventMediator::dispatch(
     message.payload = body.encode();
     if (network_.send(std::move(message)).is_ok()) {
       ++stats_.deliveries_out;
+      m_deliveries_->inc();
     }
   }
   return matched;

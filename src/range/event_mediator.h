@@ -25,7 +25,14 @@ class EventMediator {
  public:
   // `node` is the network identity deliveries are sent from (the CS node).
   EventMediator(net::Network& network, Guid node)
-      : network_(network), node_(node) {}
+      : network_(network), node_(node) {
+    obs::MetricsRegistry& metrics = network.simulator().metrics();
+    m_events_in_ = &metrics.counter("em.events_in");
+    m_deliveries_ = &metrics.counter("em.deliveries");
+    m_subscribed_ = &metrics.counter("em.subscriptions.created");
+    m_unsubscribed_ = &metrics.counter("em.subscriptions.removed");
+    trace_ = &network.simulator().trace();
+  }
 
   event::SubscriptionId subscribe(Guid subscriber, std::optional<Guid> producer,
                                   std::string event_type,
@@ -33,31 +40,47 @@ class EventMediator {
                                   bool one_time = false,
                                   std::uint64_t owner_tag = 0) {
     ++stats_.subscriptions_created;
-    return table_.add(subscriber, producer, std::move(event_type),
-                      std::move(filter), one_time, owner_tag);
+    m_subscribed_->inc();
+    const event::SubscriptionId id =
+        table_.add(subscriber, producer, std::move(event_type),
+                   std::move(filter), one_time, owner_tag);
+    trace_->record(network_.simulator().now(), obs::TraceKind::kSubscribe,
+                   subscriber, producer.value_or(Guid()), id);
+    return id;
   }
 
   Status unsubscribe(event::SubscriptionId id) {
+    const event::Subscription* subscription = table_.find(id);
+    const Guid subscriber =
+        subscription != nullptr ? subscription->subscriber : Guid();
+    const Guid producer = subscription != nullptr
+                              ? subscription->producer.value_or(Guid())
+                              : Guid();
     const Status removed = table_.remove(id);
-    if (removed.is_ok()) ++stats_.subscriptions_removed;
+    if (removed.is_ok()) {
+      ++stats_.subscriptions_removed;
+      m_unsubscribed_->inc();
+      trace_->record(network_.simulator().now(), obs::TraceKind::kUnsubscribe,
+                     subscriber, producer, id);
+    }
     return removed;
   }
 
   std::size_t remove_subscriber(Guid subscriber) {
     const std::size_t n = table_.remove_subscriber(subscriber);
-    stats_.subscriptions_removed += n;
+    note_bulk_removal(n, subscriber);
     return n;
   }
 
   std::size_t remove_producer(Guid producer) {
     const std::size_t n = table_.remove_producer(producer);
-    stats_.subscriptions_removed += n;
+    note_bulk_removal(n, Guid(), producer);
     return n;
   }
 
   std::size_t remove_owner(std::uint64_t owner_tag) {
     const std::size_t n = table_.remove_owner(owner_tag);
-    stats_.subscriptions_removed += n;
+    note_bulk_removal(n, Guid(), Guid(), owner_tag);
     return n;
   }
 
@@ -72,9 +95,23 @@ class EventMediator {
   [[nodiscard]] const MediatorStats& stats() const { return stats_; }
 
  private:
+  void note_bulk_removal(std::size_t n, Guid subscriber = Guid(),
+                         Guid producer = Guid(), std::uint64_t detail = 0) {
+    if (n == 0) return;
+    stats_.subscriptions_removed += n;
+    m_unsubscribed_->inc(n);
+    trace_->record(network_.simulator().now(), obs::TraceKind::kUnsubscribe,
+                   subscriber, producer, detail);
+  }
+
   net::Network& network_;
   Guid node_;
   event::SubscriptionTable table_;
+  obs::Counter* m_events_in_ = nullptr;
+  obs::Counter* m_deliveries_ = nullptr;
+  obs::Counter* m_subscribed_ = nullptr;
+  obs::Counter* m_unsubscribed_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
   MediatorStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "serde/value.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 namespace sci {
@@ -183,6 +184,114 @@ void Value::encode(serde::Writer& w) const {
 Expected<Value> Value::decode(serde::Reader& r) {
   return decode_at_depth(r, 0);
 }
+
+namespace serde {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json(std::string& out, const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      return;
+    case Value::Kind::kBool:
+      out += value.get_bool() ? "true" : "false";
+      return;
+    case Value::Kind::kInt:
+      out += std::to_string(value.get_int());
+      return;
+    case Value::Kind::kDouble: {
+      const double d = value.get_double();
+      if (!std::isfinite(d)) {
+        out += "null";  // JSON has no Inf/NaN
+        return;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+      return;
+    }
+    case Value::Kind::kString:
+      append_json_string(out, value.get_string());
+      return;
+    case Value::Kind::kGuid:
+      append_json_string(out, value.get_guid().to_string());
+      return;
+    case Value::Kind::kList: {
+      out.push_back('[');
+      const auto& list = value.get_list();
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_json(out, list[i]);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Value::Kind::kMap: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : value.get_map()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_json_string(out, key);
+        out.push_back(':');
+        append_json(out, item);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+  SCI_UNREACHABLE();
+}
+
+}  // namespace
+
+std::string to_json(const Value& value) {
+  std::string out;
+  append_json(out, value);
+  return out;
+}
+
+}  // namespace serde
 
 std::string Value::to_string() const {
   switch (kind()) {

@@ -120,4 +120,14 @@ inline Value vmap(
   return Value(ValueMap(items.begin(), items.end()));
 }
 
+namespace serde {
+
+// Strict JSON rendering (RFC 8259): unlike Value::to_string, escapes control
+// characters, renders GUIDs as quoted hex strings and non-finite doubles as
+// null, so the output parses in any JSON consumer. Used for the
+// machine-readable BENCH_*.json metric dumps.
+[[nodiscard]] std::string to_json(const Value& value);
+
+}  // namespace serde
+
 }  // namespace sci

@@ -26,6 +26,8 @@ bool Simulator::step(SimTime until) {
     now_ = top.when;
     queue_.pop();
     ++executed_count_;
+    executed_counter_->inc();
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
     task();
     return true;
   }

@@ -18,6 +18,8 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sci::sim {
 
@@ -40,6 +42,12 @@ class Simulator {
   explicit Simulator(std::uint64_t seed)
       : rng_(seed) {
     Logger::instance().set_clock(&now_);
+    // Kernel metrics are interned once here; updates on the run loop are
+    // pointer increments only.
+    executed_counter_ = &metrics_.counter("sim.events.executed");
+    scheduled_counter_ = &metrics_.counter("sim.events.scheduled");
+    cancelled_counter_ = &metrics_.counter("sim.events.cancelled");
+    queue_depth_gauge_ = &metrics_.gauge("sim.queue.depth");
   }
 
   ~Simulator() { Logger::instance().set_clock(nullptr); }
@@ -49,6 +57,16 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  // Deployment-scoped observability: one registry and one trace ring per
+  // simulated deployment. Every layer built over this simulator (network,
+  // overlay, ranges) registers its instruments here.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] obs::TraceBuffer& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceBuffer& trace() const { return trace_; }
 
   // Schedules `task` to run at now() + delay (delay >= 0). Events scheduled
   // for the same instant run in scheduling order.
@@ -61,13 +79,17 @@ class Simulator {
     const std::uint64_t id = ++next_id_;
     queue_.push(Entry{when, id, std::move(task)});
     ++scheduled_count_;
+    scheduled_counter_->inc();
     return TimerHandle(id);
   }
 
   // Cancels a pending event. Cancelling an already-fired or already
   // cancelled handle is a no-op (lazy deletion).
   void cancel(TimerHandle handle) {
-    if (handle.valid()) cancelled_.push_back(handle.id_);
+    if (handle.valid()) {
+      cancelled_.push_back(handle.id_);
+      cancelled_counter_->inc();
+    }
   }
 
   // Runs until the queue is empty or `until` is reached, whichever is first.
@@ -107,6 +129,12 @@ class Simulator {
 
   SimTime now_ = SimTime::zero();
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceBuffer trace_;
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Counter* scheduled_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
   std::priority_queue<Entry> queue_;
   std::vector<std::uint64_t> cancelled_;
   std::uint64_t next_id_ = 0;

@@ -112,7 +112,7 @@ TEST(ContextPullTest, HistoryQueryReturnsStoredEvents) {
   Sci sci(5150);
   mobility::Building building({.floors = 1, .rooms_per_floor = 2});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   entity::TemperatureSensorCE sensor(sci.network(), sci.new_guid(), "s",
                                      "celsius", Duration::seconds(1));
   ASSERT_TRUE(sci.enroll(sensor, range).is_ok());
@@ -149,7 +149,7 @@ TEST(ContextPullTest, SnapshotQueryAboutAPerson) {
   Sci sci(5151);
   mobility::Building building({.floors = 1, .rooms_per_floor = 2});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   auto& world = sci.world();
   entity::DoorSensorCE door(sci.network(), sci.new_guid(), "door",
                             building.corridor(0), building.room(0, 0));
@@ -201,7 +201,7 @@ TEST(ContextPullTest, UnknownSubjectFailsCleanly) {
   Sci sci(5152);
   mobility::Building building({.floors = 1, .rooms_per_floor = 2});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   PullApp app(sci.network(), sci.new_guid(), "app",
               entity::EntityKind::kSoftware);
   ASSERT_TRUE(sci.enroll(app, range).is_ok());

@@ -41,7 +41,7 @@ struct Deployment {
 
 TEST(CoverageTest, MaxAttrPolicySelectsFastestPrinter) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE slow(d.sci.network(), d.sci.new_guid(), "slow",
                          d.building.room(0, 0), /*pages_per_minute=*/4.0);
   entity::PrinterCE fast(d.sci.network(), d.sci.new_guid(), "fast",
@@ -75,7 +75,7 @@ TEST(CoverageTest, MaxAttrPolicySelectsFastestPrinter) {
 
 TEST(CoverageTest, MinMaxPolicyFailsWithoutTheAttribute) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(0, 0));
   ASSERT_TRUE(d.sci.enroll(printer, range).is_ok());
@@ -97,8 +97,8 @@ TEST(CoverageTest, MinMaxPolicyFailsWithoutTheAttribute) {
 
 TEST(CoverageTest, ExplicitRangeTargetingForwardsDirectly) {
   Deployment d;
-  auto& tower = d.sci.create_range("tower", d.building.floor_path(0));
-  auto& upstairs = d.sci.create_range("upstairs", d.building.floor_path(1));
+  auto& tower = *d.sci.create_range("tower", d.building.floor_path(0)).value();
+  auto& upstairs = *d.sci.create_range("upstairs", d.building.floor_path(1)).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P-up",
                             d.building.room(1, 0));
   ASSERT_TRUE(d.sci.enroll(printer, upstairs).is_ok());
@@ -124,7 +124,7 @@ TEST(CoverageTest, ExplicitRangeTargetingForwardsDirectly) {
 
 TEST(CoverageTest, SubscriptionToEntityTypeBindsToSelectedEntity) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE p1(d.sci.network(), d.sci.new_guid(), "P1",
                        d.building.room(0, 0));
   ASSERT_TRUE(d.sci.enroll(p1, range).is_ok());
@@ -162,7 +162,7 @@ TEST(CoverageTest, WalkToDisconnectedPlaceFails) {
 
 TEST(CoverageTest, QueryIdsWithXmlSpecialsSurviveTheWire) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(0, 0));
   ASSERT_TRUE(d.sci.enroll(printer, range).is_ok());
@@ -183,7 +183,7 @@ TEST(CoverageTest, QueryIdsWithXmlSpecialsSurviveTheWire) {
 
 TEST(CoverageTest, MalformedQueryXmlIsRejectedWithParseError) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   App app(d.sci.network(), d.sci.new_guid(), "app",
           entity::EntityKind::kSoftware);
   ASSERT_TRUE(d.sci.enroll(app, range).is_ok());
@@ -196,7 +196,7 @@ TEST(CoverageTest, MalformedQueryXmlIsRejectedWithParseError) {
 
 TEST(CoverageTest, ProfileUpdatesReachTheProfileManager) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::ContextEntity ce(d.sci.network(), d.sci.new_guid(), "ce",
                            entity::EntityKind::kDevice);
   ASSERT_TRUE(d.sci.enroll(ce, range).is_ok());
@@ -213,11 +213,11 @@ TEST(CoverageTest, ThreeRangeOverlayForwardsAcrossUnrelatedRanges) {
   // Three ranges in one SCINET; a query from range a reaches range b even
   // though neither bootstrapped the other (multi-hop overlay membership).
   Deployment d;
-  auto& a = d.sci.create_range("a", d.building.floor_path(0));
-  auto& middle = d.sci.create_range(
-      "middle", *location::LogicalPath::parse("elsewhere"));
+  auto& a = *d.sci.create_range("a", d.building.floor_path(0)).value();
+  auto& middle = *d.sci.create_range(
+      "middle", *location::LogicalPath::parse("elsewhere")).value();
   (void)middle;
-  auto& b = d.sci.create_range("b", d.building.floor_path(1));
+  auto& b = *d.sci.create_range("b", d.building.floor_path(1)).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(1, 0));
   ASSERT_TRUE(d.sci.enroll(printer, b).is_ok());

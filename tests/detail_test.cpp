@@ -91,7 +91,7 @@ TEST(SemanticsDetailTest, CustomAliasBridgesQueryToSource) {
   sci.set_location_directory(&building.directory());
   sci.semantics().add_semantic_alias("whereabouts",
                                      entity::types::kSemPosition);
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   auto& world = sci.world();
   entity::DoorSensorCE door(sci.network(), sci.new_guid(), "door",
                             building.corridor(0), building.room(0, 0));
@@ -127,7 +127,7 @@ TEST(FilterDetailTest, SubjectFilterSuppressesOtherEntities) {
   Sci sci(607);
   mobility::Building building({.floors = 1, .rooms_per_floor = 2});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   auto& world = sci.world();
   entity::DoorSensorCE door(sci.network(), sci.new_guid(), "door",
                             building.corridor(0), building.room(0, 0));
@@ -178,7 +178,7 @@ TEST(WorldDetailTest, WlanRadiusBoundaryIsInclusive) {
   Sci sci(608);
   mobility::Building building({.floors = 1, .rooms_per_floor = 2});
   sci.set_location_directory(&building.directory());
-  auto& range = sci.create_range("r", building.building_path());
+  auto& range = *sci.create_range("r", building.building_path()).value();
   auto& world = sci.world();
   const location::Place* room = building.directory().place(
       building.room(0, 0));

@@ -206,7 +206,7 @@ struct CeFixture {
 
   CeFixture() {
     sci.set_location_directory(&building.directory());
-    range = &sci.create_range("r", building.building_path());
+    range = sci.create_range("r", building.building_path()).value();
   }
 };
 

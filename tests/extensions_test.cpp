@@ -68,8 +68,8 @@ TEST(QocTest, FreshnessContractExcludesStaleCandidates) {
   Deployment d;
   RangeOptions options;
   // Disable eviction so the stale entity stays registered but silent.
-  options.ping_period = Duration::seconds(3600);
-  auto& range = d.sci.create_range("r", d.building.building_path(), options);
+  options.liveness.ping_period = Duration::seconds(3600);
+  auto& range = *d.sci.create_range("r", d.building.building_path(), options).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(0, 0));
   ASSERT_TRUE(d.sci.enroll(printer, range).is_ok());
@@ -110,7 +110,7 @@ TEST(QocTest, FreshnessContractExcludesStaleCandidates) {
 
 TEST(QocTest, ConfidenceContractGatesDeliveries) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   auto& world = d.sci.world();
   entity::DoorSensorCE door(d.sci.network(), d.sci.new_guid(), "door",
                             d.building.corridor(0), d.building.room(0, 0));
@@ -164,16 +164,16 @@ TEST(QocTest, ConfidenceContractGatesDeliveries) {
 TEST(DiscoveryTest, BeaconsFormTheScinetWithoutBootstrapConfig) {
   Deployment d;
   RangeOptions beaconing;
-  beaconing.beacon_period = Duration::millis(500);
-  beaconing.beacon_radius = 1e6;  // campus-wide
-  auto& first = d.sci.create_range("first", d.building.floor_path(0),
-                                   beaconing);
+  beaconing.discovery.beacon_period = Duration::millis(500);
+  beaconing.discovery.beacon_radius = 1e6;  // campus-wide
+  auto& first = *d.sci.create_range("first", d.building.floor_path(0),
+                                   beaconing).value();
   EXPECT_TRUE(first.overlay_ready());
 
   RangeOptions discovering = beaconing;
-  discovering.join_by_discovery = true;
-  auto& second = d.sci.create_range("second", d.building.floor_path(1),
-                                    discovering);
+  discovering.discovery.join_by_discovery = true;
+  auto& second = *d.sci.create_range("second", d.building.floor_path(1),
+                                    discovering).value();
   EXPECT_TRUE(second.overlay_ready());
   // Both are members of the same overlay: routing second → first works.
   EXPECT_TRUE(second.scinet().knows(first.id()));
@@ -182,29 +182,29 @@ TEST(DiscoveryTest, BeaconsFormTheScinetWithoutBootstrapConfig) {
 TEST(DiscoveryTest, SilentWindowBootstrapsAFreshOverlay) {
   Deployment d;
   RangeOptions discovering;
-  discovering.join_by_discovery = true;  // nobody beacons
-  auto& lonely = d.sci.create_range("lonely", d.building.building_path(),
-                                    discovering);
+  discovering.discovery.join_by_discovery = true;  // nobody beacons
+  auto& lonely = *d.sci.create_range("lonely", d.building.building_path(),
+                                    discovering).value();
   EXPECT_TRUE(lonely.overlay_ready());  // bootstrapped itself
 }
 
 TEST(DiscoveryTest, BeaconsOutOfRadioRangeAreNotHeard) {
   Deployment d;
   RangeOptions beaconing;
-  beaconing.beacon_period = Duration::millis(500);
-  beaconing.beacon_radius = 10.0;  // tiny cell
+  beaconing.discovery.beacon_period = Duration::millis(500);
+  beaconing.discovery.beacon_radius = 10.0;  // tiny cell
   beaconing.x = 0.0;
   beaconing.y = 0.0;
-  auto& near = d.sci.create_range("near", d.building.floor_path(0),
-                                  beaconing);
+  auto& near = *d.sci.create_range("near", d.building.floor_path(0),
+                                  beaconing).value();
   (void)near;
 
   RangeOptions far_options;
-  far_options.join_by_discovery = true;
+  far_options.discovery.join_by_discovery = true;
   far_options.x = 10000.0;
   far_options.y = 10000.0;
-  auto& far = d.sci.create_range("far", d.building.floor_path(1),
-                                 far_options);
+  auto& far = *d.sci.create_range("far", d.building.floor_path(1),
+                                 far_options).value();
   EXPECT_TRUE(far.overlay_ready());
   EXPECT_FALSE(far.scinet().knows(near.id()));  // separate overlays
 }
@@ -215,11 +215,11 @@ TEST(GroupTest, QueriesDoNotCrossAccessGroups) {
   Deployment d;
   RangeOptions open;
   open.group = 0;
-  auto& tower = d.sci.create_range("tower", d.building.floor_path(0), open);
+  auto& tower = *d.sci.create_range("tower", d.building.floor_path(0), open).value();
   RangeOptions secure;
   secure.group = 7;
-  auto& vault = d.sci.create_range("vault", d.building.floor_path(1),
-                                   secure);
+  auto& vault = *d.sci.create_range("vault", d.building.floor_path(1),
+                                   secure).value();
 
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P-vault",
                             d.building.room(1, 0));
@@ -245,7 +245,7 @@ TEST(GroupTest, QueriesDoNotCrossAccessGroups) {
 
 TEST(RetryTest, DiscoveryRetriesThroughALossyLink) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   // 60% frame loss: the 4-message handshake rarely completes first try.
   net::LinkModel lossy = d.sci.network().link_model();
   lossy.drop_probability = 0.6;
@@ -266,7 +266,7 @@ TEST(RetryTest, DiscoveryRetriesThroughALossyLink) {
 
 TEST(RetryTest, RetriesStopAfterTheAttemptBudget) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   // Total blackout toward the CS.
   ASSERT_TRUE(d.sci.network().set_crashed(range.server_node(), true).is_ok());
   entity::ContextEntity ce(d.sci.network(), d.sci.new_guid(), "ce",

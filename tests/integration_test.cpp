@@ -60,7 +60,7 @@ struct Deployment {
 
 TEST(IntegrationTest, DiscoverySequenceRegistersComponent) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE sensor(d.sci.network(), d.sci.new_guid(),
                                      "sensor", "celsius");
   sensor.start(1, 1);
@@ -85,7 +85,7 @@ TEST(IntegrationTest, DiscoverySequenceRegistersComponent) {
 
 TEST(IntegrationTest, ReRegistrationIsIdempotent) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::ContextEntity ce(d.sci.network(), d.sci.new_guid(), "ce",
                            entity::EntityKind::kDevice);
   ASSERT_TRUE(d.sci.enroll(ce, range).is_ok());
@@ -99,7 +99,7 @@ TEST(IntegrationTest, ReRegistrationIsIdempotent) {
 
 TEST(IntegrationTest, PatternSubscriptionDeliversEvents) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE sensor(d.sci.network(), d.sci.new_guid(),
                                      "sensor", "celsius",
                                      Duration::seconds(1));
@@ -122,7 +122,7 @@ TEST(IntegrationTest, PatternSubscriptionDeliversEvents) {
 
 TEST(IntegrationTest, UnitAwareMatchingSelectsTheRightSensor) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE celsius(d.sci.network(), d.sci.new_guid(),
                                       "c-sensor", "celsius",
                                       Duration::seconds(1));
@@ -150,7 +150,7 @@ TEST(IntegrationTest, UnitAwareMatchingSelectsTheRightSensor) {
 
 TEST(IntegrationTest, OneTimeSubscriptionCancelsAfterFirstDelivery) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE sensor(d.sci.network(), d.sci.new_guid(),
                                      "sensor", "celsius",
                                      Duration::seconds(1));
@@ -172,7 +172,7 @@ TEST(IntegrationTest, OneTimeSubscriptionCancelsAfterFirstDelivery) {
 
 TEST(IntegrationTest, NamedEntitySubscriptionBindsDirectly) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE s1(d.sci.network(), d.sci.new_guid(), "s1",
                                  "celsius", Duration::seconds(1));
   entity::TemperatureSensorCE s2(d.sci.network(), d.sci.new_guid(), "s2",
@@ -199,7 +199,7 @@ TEST(IntegrationTest, NamedEntitySubscriptionBindsDirectly) {
 
 TEST(IntegrationTest, ProfileRequestReturnsMatchingProfiles) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE p1(d.sci.network(), d.sci.new_guid(), "P1",
                        d.building.room(0, 0));
   entity::PrinterCE p2(d.sci.network(), d.sci.new_guid(), "P2",
@@ -238,7 +238,7 @@ TEST(IntegrationTest, ProfileRequestReturnsMatchingProfiles) {
 
 TEST(IntegrationTest, ProfileRequestForUnknownTypeFails) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   RecordingApp app(d.sci.network(), d.sci.new_guid(), "app",
                    entity::EntityKind::kSoftware);
   ASSERT_TRUE(d.sci.enroll(app, range).is_ok());
@@ -257,7 +257,7 @@ TEST(IntegrationTest, ProfileRequestForUnknownTypeFails) {
 
 TEST(IntegrationTest, CapaSelectionHonoursRequirementsAndAccess) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   // Four printers along floor 0 (room0..room3).
   std::vector<std::unique_ptr<entity::PrinterCE>> printers;
   for (unsigned i = 0; i < 4; ++i) {
@@ -341,7 +341,7 @@ TEST(IntegrationTest, CapaSelectionHonoursRequirementsAndAccess) {
 
 TEST(IntegrationTest, MinAttrPolicySelectsShortestQueue) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE fast(d.sci.network(), d.sci.new_guid(), "fast",
                          d.building.room(0, 0));
   entity::PrinterCE busy(d.sci.network(), d.sci.new_guid(), "busy",
@@ -377,10 +377,10 @@ TEST(IntegrationTest, MinAttrPolicySelectsShortestQueue) {
 TEST(IntegrationTest, CrashedSensorIsEvictedAndConfigurationRecomposed) {
   Deployment d;
   RangeOptions options;
-  options.ping_period = Duration::millis(500);
-  options.ping_miss_limit = 2;
+  options.liveness.ping_period = Duration::millis(500);
+  options.liveness.ping_miss_limit = 2;
   auto& range =
-      d.sci.create_range("r", d.building.building_path(), options);
+      *d.sci.create_range("r", d.building.building_path(), options).value();
   // Two redundant temperature sensors.
   entity::TemperatureSensorCE s1(d.sci.network(), d.sci.new_guid(), "s1",
                                  "celsius", Duration::seconds(1));
@@ -406,6 +406,20 @@ TEST(IntegrationTest, CrashedSensorIsEvictedAndConfigurationRecomposed) {
   EXPECT_FALSE(range.registrar().contains(sink.id()));
   EXPECT_GE(range.stats().failures_detected, 1u);
   EXPECT_GE(range.stats().recompositions, 1u);
+  // The deployment-wide registry mirrors the per-range stats, and the trace
+  // ring retained the recomposition record.
+  const obs::MetricsSnapshot snap = d.sci.metrics().snapshot();
+  EXPECT_GE(snap.counter("cs.recompositions"), 1u);
+  EXPECT_GE(snap.counter("cs.failures_detected"), 1u);
+  bool saw_recompose = false;
+  for (const obs::TraceRecord& rec : d.sci.trace().snapshot()) {
+    if (rec.kind == obs::TraceKind::kRecompose &&
+        rec.detail ==
+            static_cast<std::uint64_t>(obs::RecomposeCause::kLoss)) {
+      saw_recompose = true;
+    }
+  }
+  EXPECT_TRUE(saw_recompose);
   const std::size_t after_recompose = app.events.size();
   d.sci.run_for(Duration::seconds(3));
   EXPECT_GT(app.events.size(), after_recompose)
@@ -414,7 +428,7 @@ TEST(IntegrationTest, CrashedSensorIsEvictedAndConfigurationRecomposed) {
 
 TEST(IntegrationTest, UnresolvableQueryIsParkedAndSatisfiedOnArrival) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   RecordingApp app(d.sci.network(), d.sci.new_guid(), "app",
                    entity::EntityKind::kSoftware);
   ASSERT_TRUE(d.sci.enroll(app, range).is_ok());
@@ -439,7 +453,7 @@ TEST(IntegrationTest, UnresolvableQueryIsParkedAndSatisfiedOnArrival) {
 
 TEST(IntegrationTest, AppDepartureTearsDownItsConfigurations) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE sensor(d.sci.network(), d.sci.new_guid(),
                                      "sensor", "celsius",
                                      Duration::seconds(1));
@@ -465,7 +479,7 @@ TEST(IntegrationTest, AppDepartureTearsDownItsConfigurations) {
 
 TEST(IntegrationTest, NotBeforeDefersExecution) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(0, 0));
   ASSERT_TRUE(d.sci.enroll(printer, range).is_ok());
@@ -488,7 +502,7 @@ TEST(IntegrationTest, NotBeforeDefersExecution) {
 
 TEST(IntegrationTest, TriggerDeferredQueryFiresOnDoorEvent) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   auto& world = d.sci.world();
   entity::DoorSensorCE door(d.sci.network(), d.sci.new_guid(), "door",
                             d.building.corridor(0), d.building.room(0, 0));
@@ -524,7 +538,7 @@ TEST(IntegrationTest, TriggerDeferredQueryFiresOnDoorEvent) {
 
 TEST(IntegrationTest, DeferredQueryExpires) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   RecordingApp app(d.sci.network(), d.sci.new_guid(), "app",
                    entity::EntityKind::kSoftware);
   ASSERT_TRUE(d.sci.enroll(app, range).is_ok());
@@ -545,7 +559,7 @@ TEST(IntegrationTest, DeferredQueryExpires) {
 
 TEST(IntegrationTest, BoundedSubscriptionExpiresAndRetires) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::TemperatureSensorCE sensor(d.sci.network(), d.sci.new_guid(),
                                      "sensor", "celsius",
                                      Duration::seconds(1));
@@ -581,8 +595,8 @@ TEST(IntegrationTest, BoundedSubscriptionExpiresAndRetires) {
 
 TEST(IntegrationTest, QueriesForwardToTheGoverningRange) {
   Deployment d;
-  auto& tower = d.sci.create_range("tower", d.building.building_path());
-  auto& level1 = d.sci.create_range("level1", d.building.floor_path(1));
+  auto& tower = *d.sci.create_range("tower", d.building.building_path()).value();
+  auto& level1 = *d.sci.create_range("level1", d.building.floor_path(1)).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P-upstairs",
                             d.building.room(1, 0));
   ASSERT_TRUE(d.sci.enroll(printer, level1).is_ok());
@@ -603,11 +617,22 @@ TEST(IntegrationTest, QueriesForwardToTheGoverningRange) {
   EXPECT_EQ(result->value.at("name").get_string(), "P-upstairs");
   EXPECT_EQ(tower.stats().queries_forwarded, 1u);
   EXPECT_EQ(level1.stats().queries_adopted, 1u);
+  // Registry view of the same run: the query crossed the SCINET, so the
+  // overlay recorded route hops and a delivery at the target range.
+  const obs::MetricsSnapshot snap = d.sci.metrics().snapshot();
+  EXPECT_EQ(snap.counter("cs.queries.forwarded"), 1u);
+  EXPECT_EQ(snap.counter("cs.queries.adopted"), 1u);
+  EXPECT_GE(snap.counter("scinet.routed.delivered"), 1u);
+  const auto* hops = snap.histogram("scinet.route.hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_GE(hops->count, 1u);
+  EXPECT_GE(hops->max, 1.0);
+  EXPECT_GT(snap.counter("net.sent"), 0u);
 }
 
 TEST(IntegrationTest, ForwardingToUnknownPlaceFails) {
   Deployment d;
-  auto& tower = d.sci.create_range("tower", d.building.building_path());
+  auto& tower = *d.sci.create_range("tower", d.building.building_path()).value();
   RecordingApp app(d.sci.network(), d.sci.new_guid(), "app",
                    entity::EntityKind::kSoftware);
   ASSERT_TRUE(d.sci.enroll(app, tower).is_ok());
@@ -628,7 +653,7 @@ TEST(IntegrationTest, ForwardingToUnknownPlaceFails) {
 
 TEST(IntegrationTest, ServiceInvocationRoundTrip) {
   Deployment d;
-  auto& range = d.sci.create_range("r", d.building.building_path());
+  auto& range = *d.sci.create_range("r", d.building.building_path()).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(0, 0));
   ASSERT_TRUE(d.sci.enroll(printer, range).is_ok());

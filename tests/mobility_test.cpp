@@ -125,7 +125,7 @@ TEST(WorldTest, WanderVisitsNeighboursAndStops) {
 
 TEST(WorldTest, DoorSensorsFireOnInstrumentedPortals) {
   WorldFixture f;
-  auto& range = f.sci.create_range("b", f.building.building_path());
+  auto& range = *f.sci.create_range("b", f.building.building_path()).value();
   auto& world = f.sci.world();
   entity::DoorSensorCE door(f.sci.network(), f.sci.new_guid(), "door00",
                             f.building.corridor(0), f.building.room(0, 0));
@@ -143,8 +143,8 @@ TEST(WorldTest, DoorSensorsFireOnInstrumentedPortals) {
 
 TEST(WorldTest, HandoffReregistersComponentsAcrossRanges) {
   WorldFixture f;
-  auto& tower = f.sci.create_range("tower", f.building.building_path());
-  auto& level1 = f.sci.create_range("level1", f.building.floor_path(1));
+  auto& tower = *f.sci.create_range("tower", f.building.building_path()).value();
+  auto& level1 = *f.sci.create_range("level1", f.building.floor_path(1)).value();
   auto& world = f.sci.world();
 
   entity::ContextEntity person(f.sci.network(), f.sci.new_guid(), "P",
@@ -173,7 +173,7 @@ TEST(WorldTest, HandoffReregistersComponentsAcrossRanges) {
 
 TEST(WorldTest, WlanScanningSightsBadgesInRadius) {
   WorldFixture f;
-  auto& range = f.sci.create_range("b", f.building.building_path());
+  auto& range = *f.sci.create_range("b", f.building.building_path()).value();
   auto& world = f.sci.world();
 
   const location::Place* room = f.building.directory().place(

@@ -270,8 +270,8 @@ TEST_P(RegistrarChurnProperty, ViewMatchesGroundTruthUnderChurn) {
   mobility::Building building({.floors = 1, .rooms_per_floor = 4});
   sci.set_location_directory(&building.directory());
   RangeOptions options;
-  options.ping_period = Duration::seconds(3600);  // no surprise evictions
-  auto& range = sci.create_range("r", building.building_path(), options);
+  options.liveness.ping_period = Duration::seconds(3600);  // no surprise evictions
+  auto& range = *sci.create_range("r", building.building_path(), options).value();
   Rng rng(GetParam() + 5);
 
   std::map<Guid, std::unique_ptr<entity::ContextEntity>> alive;

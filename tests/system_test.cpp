@@ -37,12 +37,12 @@ TEST(SystemSoakTest, CampusSurvivesSustainedChurn) {
   mobility::Building building({.floors = 3, .rooms_per_floor = 5});
   sci.set_location_directory(&building.directory());
   RangeOptions options;
-  options.ping_period = Duration::millis(800);
-  options.ping_miss_limit = 2;
+  options.liveness.ping_period = Duration::millis(800);
+  options.liveness.ping_miss_limit = 2;
   std::vector<range::ContextServer*> floors;
   for (unsigned f = 0; f < 3; ++f) {
-    floors.push_back(&sci.create_range("floor" + std::to_string(f),
-                                       building.floor_path(f), options));
+    floors.push_back(sci.create_range("floor" + std::to_string(f),
+                                       building.floor_path(f), options).value());
   }
   auto& world = sci.world();
 
@@ -150,8 +150,8 @@ TEST(SystemSoakTest, PartitionDegradesGracefullyAndHeals) {
   Sci sci(9);
   mobility::Building building({.floors = 2, .rooms_per_floor = 3});
   sci.set_location_directory(&building.directory());
-  auto& tower = sci.create_range("tower", building.building_path());
-  auto& upstairs = sci.create_range("upstairs", building.floor_path(1));
+  auto& tower = *sci.create_range("tower", building.building_path()).value();
+  auto& upstairs = *sci.create_range("upstairs", building.floor_path(1)).value();
 
   entity::PrinterCE printer(sci.network(), sci.new_guid(), "P",
                             building.room(1, 0));
@@ -195,7 +195,7 @@ TEST(SystemSoakTest, DeterministicReplay) {
     Sci sci(seed);
     mobility::Building building({.floors = 1, .rooms_per_floor = 4});
     sci.set_location_directory(&building.directory());
-    auto& range = sci.create_range("r", building.building_path());
+    auto& range = *sci.create_range("r", building.building_path()).value();
     auto& world = sci.world();
     std::vector<std::unique_ptr<entity::DoorSensorCE>> doors;
     for (unsigned r = 0; r < 4; ++r) {
