@@ -54,6 +54,13 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   config.group = options.group;
   config.beacon_period = options.discovery.beacon_period;
   config.beacon_radius = options.discovery.beacon_radius;
+  config.reliable.initial_rto = options.reliability.retransmit_base;
+  config.reliable.max_rto = options.reliability.retransmit_cap;
+  config.reliable.max_attempts = options.reliability.max_attempts;
+  config.scinet.reliable = config.reliable;  // overlay hops share the policy
+  config.acked_delivery = options.reliability.acked_delivery;
+  config.lease_ttl = options.reliability.lease_ttl;
+  config.lease_renew_period = options.reliability.lease_renew_period;
 
   auto server = std::make_unique<range::ContextServer>(
       network_, std::move(config), &directory_, &semantics_, locations_);
@@ -99,6 +106,58 @@ range::ContextServer* Sci::find_range(std::string_view name) {
     if (server->config().name == name) return server.get();
   }
   return nullptr;
+}
+
+void Sci::inject_faults(const sim::FaultPlan& plan) {
+  for (const sim::FaultEvent& event : plan.events()) {
+    simulator_.schedule(event.at, [this, event] {
+      obs::TraceBuffer& trace = simulator_.trace();
+      const auto detail = static_cast<std::uint64_t>(event.kind);
+      switch (event.kind) {
+        case sim::FaultKind::kCrash:
+        case sim::FaultKind::kRecover: {
+          range::ContextServer* range = find_range(event.target);
+          if (range == nullptr) {
+            SCI_WARN("sci", "fault %s targets unknown range '%s' — skipped",
+                     sim::to_string(event.kind), event.target.c_str());
+            return;
+          }
+          const bool crashed = event.kind == sim::FaultKind::kCrash;
+          (void)network_.set_crashed(range->id(), crashed);
+          (void)network_.set_crashed(range->server_node(), crashed);
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject,
+                       range->id(), Guid(), detail);
+          return;
+        }
+        case sim::FaultKind::kPartition: {
+          range::ContextServer* range = find_range(event.target);
+          if (range == nullptr) {
+            SCI_WARN("sci", "fault %s targets unknown range '%s' — skipped",
+                     sim::to_string(event.kind), event.target.c_str());
+            return;
+          }
+          network_.set_partition_group(range->id(), event.group);
+          network_.set_partition_group(range->server_node(), event.group);
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject,
+                       range->id(), Guid(), detail);
+          return;
+        }
+        case sim::FaultKind::kHeal:
+          network_.heal_partitions();
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
+                       Guid(), detail);
+          return;
+        case sim::FaultKind::kLossRate: {
+          net::LinkModel model = network_.link_model();
+          model.drop_probability = event.loss;
+          network_.set_link_model(model);
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
+                       Guid(), detail);
+          return;
+        }
+      }
+    });
+  }
 }
 
 Status Sci::enroll(entity::Component& component, range::ContextServer& server,

@@ -33,6 +33,7 @@
 #include "query/query.h"
 #include "range/context_server.h"
 #include "range/directory.h"
+#include "sim/fault_plan.h"
 #include "sim/simulator.h"
 
 namespace sci {
@@ -60,10 +61,23 @@ struct DiscoveryOptions {
   bool join_by_discovery = false;
 };
 
+// Reliable-delivery policy for a range (acked sends, retransmit schedule,
+// subscription leases). Leases default on at the facade; a zero ttl
+// disables them.
+struct ReliabilityOptions {
+  bool acked_delivery = true;
+  Duration retransmit_base = Duration::millis(200);
+  Duration retransmit_cap = Duration::seconds(5);
+  unsigned max_attempts = 8;
+  Duration lease_ttl = Duration::seconds(30);
+  Duration lease_renew_period = Duration::seconds(5);
+};
+
 struct RangeOptions {
   ReuseOptions reuse;
   LivenessOptions liveness;
   DiscoveryOptions discovery;
+  ReliabilityOptions reliability;
   double x = 0.0;
   double y = 0.0;
   // Access-control group (queries never cross groups).
@@ -124,6 +138,12 @@ class Sci {
   // runs the simulator until the Fig 5 handshake completes (bounded wait).
   Status enroll(entity::Component& component, range::ContextServer& server,
                 double x = 0.0, double y = 0.0);
+
+  // --- fault injection --------------------------------------------------------
+  // Schedules every event of `plan` relative to the current simulated time.
+  // Range names resolve when the event fires, so a plan may reference
+  // ranges created after injection. Unknown names are logged and skipped.
+  void inject_faults(const sim::FaultPlan& plan);
 
   // --- time -------------------------------------------------------------------
   void run_for(Duration duration) {

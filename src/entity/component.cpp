@@ -10,7 +10,11 @@ constexpr const char* kTag = "component";
 
 Component::Component(net::Network& network, Guid id, std::string name,
                      EntityKind kind)
-    : network_(network), id_(id), name_(std::move(name)), kind_(kind) {
+    : network_(network),
+      id_(id),
+      channel_(network, id),
+      name_(std::move(name)),
+      kind_(kind) {
   SCI_ASSERT(!id.is_nil());
 }
 
@@ -36,6 +40,8 @@ void Component::stop() {
   if (!started_) return;
   simulator().cancel(discover_retry_);
   discover_retry_ = sim::TimerHandle();
+  lease_timer_.reset();
+  channel_.halt();
   pending_rs_ = Guid();
   if (registered_) {
     send(registration_.context_server, kDeregister, {});
@@ -87,7 +93,7 @@ void Component::set_location(location::LocRef loc) {
   ++profile_version_;
   if (registered_) {
     ProfileUpdateBody body{profile()};
-    send(registration_.context_server, kProfileUpdate, body.encode());
+    send_reliable(registration_.context_server, kProfileUpdate, body.encode());
   }
 }
 
@@ -96,7 +102,7 @@ void Component::set_metadata(Value metadata) {
   ++profile_version_;
   if (registered_) {
     ProfileUpdateBody body{profile()};
-    send(registration_.context_server, kProfileUpdate, body.encode());
+    send_reliable(registration_.context_server, kProfileUpdate, body.encode());
   }
 }
 
@@ -121,7 +127,7 @@ void Component::publish(std::string type, Value payload) {
   e.payload = std::move(payload);
   ++stats_.events_published;
   PublishBody body{std::move(e)};
-  send(registration_.event_mediator, kPublish, body.encode());
+  send_reliable(registration_.event_mediator, kPublish, body.encode());
 }
 
 Status Component::submit_query(const std::string& query_id,
@@ -131,7 +137,7 @@ Status Component::submit_query(const std::string& query_id,
                       name_ + " is not registered with any range");
   QuerySubmitBody body{query_id, xml};
   ++stats_.queries_submitted;
-  send(registration_.context_server, kQuerySubmit, body.encode());
+  send_reliable(registration_.context_server, kQuerySubmit, body.encode());
   return Status::ok();
 }
 
@@ -139,7 +145,7 @@ std::uint64_t Component::invoke_service(Guid provider, std::string method,
                                         Value args) {
   const std::uint64_t invoke_id = next_invoke_id_++;
   ServiceInvokeBody body{invoke_id, std::move(method), std::move(args)};
-  send(provider, kServiceInvoke, body.encode());
+  send_reliable(provider, kServiceInvoke, body.encode());
   return invoke_id;
 }
 
@@ -157,7 +163,18 @@ void Component::send(Guid to, std::uint32_t type,
   }
 }
 
+void Component::send_reliable(Guid to, std::uint32_t type,
+                              std::vector<std::byte> payload) {
+  channel_.send(to, type, std::move(payload));
+}
+
 void Component::handle_message(const net::Message& message) {
+  // Reliable envelopes first: data frames recurse with the inner message.
+  if (channel_.on_message(message, [this](const net::Message& inner) {
+        handle_message(inner);
+      })) {
+    return;
+  }
   switch (message.type) {
     case kRangeInfo: {
       auto body = RangeInfoBody::decode(message.payload);
@@ -179,11 +196,26 @@ void Component::handle_message(const net::Message& message) {
           RegistrationInfo{body->range, body->context_server,
                            body->event_mediator};
       registered_ = true;
+      lease_timer_.reset();
+      if (body->lease_renew_micros > 0) {
+        // The range runs subscription leases: keep ours alive. A plain
+        // periodic send suffices — renewals are idempotent and the lease
+        // ttl tolerates several lost ones.
+        const Duration period = Duration::micros(
+            static_cast<std::int64_t>(body->lease_renew_micros));
+        lease_timer_.emplace(simulator(), period, [this] {
+          if (registered_) {
+            send(registration_.context_server, kLeaseRenew, {});
+          }
+        });
+        lease_timer_->start();
+      }
       on_registered();
       return;
     }
     case kDeregister: {
       // The Range Service evicted us (departure detected remotely).
+      lease_timer_.reset();
       if (registered_) {
         registered_ = false;
         on_deregistered();
@@ -231,7 +263,7 @@ void Component::handle_message(const net::Message& message) {
         reply.status = static_cast<std::uint8_t>(result.error().code());
         reply.message = result.error().message();
       }
-      send(message.from, kServiceReply, reply.encode());
+      send_reliable(message.from, kServiceReply, reply.encode());
       return;
     }
     case kServiceReply: {

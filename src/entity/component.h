@@ -26,6 +26,7 @@
 #include "entity/protocol.h"
 #include "event/event.h"
 #include "net/network.h"
+#include "reliable/reliable.h"
 #include "sim/simulator.h"
 
 namespace sci::entity {
@@ -155,6 +156,13 @@ class Component {
 
   void send(Guid to, std::uint32_t type, std::vector<std::byte> payload);
 
+  // Sends over the reliable channel: retransmitted with backoff until the
+  // receiver acks, deduplicated there. Used for the frames that must not
+  // vanish on a lossy segment (publishes, queries, service traffic).
+  void send_reliable(Guid to, std::uint32_t type,
+                     std::vector<std::byte> payload);
+
+  [[nodiscard]] reliable::ReliableChannel& channel() { return channel_; }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
   [[nodiscard]] SimTime now() const { return network_.simulator().now(); }
@@ -168,6 +176,7 @@ class Component {
 
   net::Network& network_;
   Guid id_;
+  reliable::ReliableChannel channel_;
   std::string name_;
   EntityKind kind_;
   Value metadata_;
@@ -186,6 +195,9 @@ class Component {
   Duration discover_retry_interval_ = Duration::seconds(1);
   unsigned discover_max_attempts_ = 5;
   sim::TimerHandle discover_retry_;
+  // Subscription-lease keep-alive, armed when the RegisterAck carries a
+  // non-zero renew cadence.
+  std::optional<sim::PeriodicTimer> lease_timer_;
   ComponentStats stats_;
 };
 

@@ -78,6 +78,7 @@ std::vector<std::byte> RegisterAckBody::encode() const {
   write_guid(w, range);
   write_guid(w, context_server);
   write_guid(w, event_mediator);
+  w.varint(lease_renew_micros);
   return w.take();
 }
 
@@ -95,6 +96,8 @@ Expected<RegisterAckBody> RegisterAckBody::decode(
   b.context_server = cs;
   SCI_TRY_ASSIGN(em, read_guid(r));
   b.event_mediator = em;
+  SCI_TRY_ASSIGN(lease_renew, r.varint());
+  b.lease_renew_micros = lease_renew;
   return b;
 }
 

@@ -44,6 +44,7 @@ enum ComponentMsg : std::uint32_t {
   kProfileUpdate,
   kPing,   // liveness probe from the Range Service
   kPong,
+  kLeaseRenew,  // keep-alive for subscription leases (empty body)
 };
 
 inline void write_guid(serde::Writer& w, Guid g) {
@@ -89,6 +90,9 @@ struct RegisterAckBody {
   Guid range;
   Guid context_server;
   Guid event_mediator;
+  // When non-zero the range runs subscription leases: the component must
+  // send kLeaseRenew at this cadence or its subscriptions are reaped.
+  std::uint64_t lease_renew_micros = 0;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   static Expected<RegisterAckBody> decode(const std::vector<std::byte>& bytes);

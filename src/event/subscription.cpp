@@ -69,6 +69,39 @@ std::size_t SubscriptionTable::remove_owner(std::uint64_t owner_tag) {
   return to_remove.size();
 }
 
+Status SubscriptionTable::set_expiry(SubscriptionId id, SimTime expires_at) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end())
+    return make_error(ErrorCode::kNotFound,
+                      "no subscription " + std::to_string(id));
+  it->second.expires_at = expires_at;
+  return Status::ok();
+}
+
+std::size_t SubscriptionTable::renew_subscriber(Guid subscriber,
+                                                SimTime new_expiry) {
+  std::size_t renewed = 0;
+  for (auto& [id, subscription] : subscriptions_) {
+    if (subscription.subscriber != subscriber) continue;
+    if (subscription.expires_at.is_infinite()) continue;  // not leased
+    subscription.expires_at = new_expiry;
+    ++renewed;
+  }
+  return renewed;
+}
+
+std::vector<Subscription> SubscriptionTable::expire_before(SimTime now) {
+  std::vector<Subscription> expired;
+  for (const auto& [id, subscription] : subscriptions_) {
+    if (subscription.expires_at.is_infinite()) continue;
+    if (!(now < subscription.expires_at)) expired.push_back(subscription);
+  }
+  for (const Subscription& subscription : expired) {
+    (void)remove(subscription.id);
+  }
+  return expired;
+}
+
 std::vector<Subscription> SubscriptionTable::collect_matches(
     const Event& event) {
   std::vector<Subscription> matched;

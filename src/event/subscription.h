@@ -17,6 +17,7 @@
 
 #include "common/expected.h"
 #include "common/guid.h"
+#include "common/time.h"
 #include "event/event.h"
 
 namespace sci::event {
@@ -34,6 +35,10 @@ struct Subscription {
 
   // Configurations tag their subscriptions so teardown can find them.
   std::uint64_t owner_tag = 0;
+
+  // Lease expiry: the subscription is reaped once simulated time passes
+  // this point unless the subscriber renews. Infinity = no lease.
+  SimTime expires_at = SimTime::infinity();
 };
 
 class SubscriptionTable {
@@ -55,6 +60,14 @@ class SubscriptionTable {
   // Removes every subscription tagged with `owner_tag` (configuration
   // teardown).
   std::size_t remove_owner(std::uint64_t owner_tag);
+
+  // Lease maintenance. set_expiry stamps one subscription; renew_subscriber
+  // pushes every lease held by `subscriber` to `new_expiry` (a renewal
+  // covers all of an entity's subscriptions); expire_before removes and
+  // returns every subscription whose lease lapsed at or before `now`.
+  Status set_expiry(SubscriptionId id, SimTime expires_at);
+  std::size_t renew_subscriber(Guid subscriber, SimTime new_expiry);
+  std::vector<Subscription> expire_before(SimTime now);
 
   // Returns the subscriptions matching `event`, bumping their delivery
   // counters and dropping the one-time ones. The returned snapshot is safe

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <cmath>
+#include <optional>
 
 namespace sci::net {
 
@@ -64,6 +65,12 @@ Duration Network::sample_latency(const NodeRecord& a, const NodeRecord& b) {
 }
 
 Status Network::send(Message message) {
+  auto scheduled = offer(std::move(message));
+  if (!scheduled) return scheduled.error();
+  return Status::ok();
+}
+
+Expected<bool> Network::offer(Message message) {
   const auto from_it = nodes_.find(message.from);
   if (from_it == nodes_.end())
     return make_error(ErrorCode::kNotFound,
@@ -83,17 +90,35 @@ Status Network::send(Message message) {
                  message.to, message.type);
 
   // Faults are indistinguishable from loss at the sender, as on a real
-  // network: send() still succeeds.
-  if (crashed_.contains(message.from) || crashed_.contains(message.to) ||
-      partition_group(message.from) != partition_group(message.to) ||
-      (link_model_.drop_probability > 0.0 &&
-       rng_.next_bool(link_model_.drop_probability))) {
+  // network: send() still succeeds. The trace attributes the concrete
+  // cause so chaos runs can tell injected faults apart.
+  std::optional<obs::DropCause> cause;
+  if (crashed_.contains(message.from) || crashed_.contains(message.to)) {
+    cause = obs::DropCause::kCrash;
+  } else if (partition_group(message.from) != partition_group(message.to)) {
+    cause = obs::DropCause::kPartition;
+  } else if (link_model_.drop_probability > 0.0 &&
+             rng_.next_bool(link_model_.drop_probability)) {
+    cause = obs::DropCause::kLoss;
+  }
+  if (cause) {
     ++total_dropped_;
     m_dropped_->inc();
+    switch (*cause) {
+      case obs::DropCause::kCrash:
+        m_dropped_crash_->inc();
+        break;
+      case obs::DropCause::kPartition:
+        m_dropped_partition_->inc();
+        break;
+      default:
+        m_dropped_loss_->inc();
+        break;
+    }
     trace_->record(simulator_.now(), obs::TraceKind::kMessageDrop,
                    message.from, message.to,
-                   static_cast<std::uint64_t>(obs::DropCause::kFault));
-    return Status::ok();
+                   static_cast<std::uint64_t>(*cause));
+    return false;
   }
 
   const Duration latency = sample_latency(from_it->second, to_it->second);
@@ -106,6 +131,7 @@ Status Network::send(Message message) {
         if (it == nodes_.end() || crashed_.contains(to)) {
           ++total_dropped_;
           m_dropped_->inc();
+          m_dropped_stale_->inc();
           trace_->record(simulator_.now(), obs::TraceKind::kMessageDrop,
                          msg.from, to,
                          static_cast<std::uint64_t>(obs::DropCause::kStale));
@@ -119,7 +145,7 @@ Status Network::send(Message message) {
                        msg.from, to, msg.type);
         it->second.handler(msg);
       });
-  return Status::ok();
+  return true;
 }
 
 std::size_t Network::broadcast(Message message, double radius) {
@@ -139,7 +165,8 @@ std::size_t Network::broadcast(Message message, double radius) {
   for (const Guid to : recipients) {
     Message copy = message;
     copy.to = to;
-    if (send(std::move(copy)).is_ok()) ++scheduled;
+    const auto result = offer(std::move(copy));
+    if (result && *result) ++scheduled;
   }
   return scheduled;
 }

@@ -66,6 +66,10 @@ class Network {
     m_sent_ = &metrics.counter("net.sent");
     m_delivered_ = &metrics.counter("net.delivered");
     m_dropped_ = &metrics.counter("net.dropped");
+    m_dropped_crash_ = &metrics.counter("net.dropped.cause", "crash");
+    m_dropped_partition_ = &metrics.counter("net.dropped.cause", "partition");
+    m_dropped_loss_ = &metrics.counter("net.dropped.cause", "loss");
+    m_dropped_stale_ = &metrics.counter("net.dropped.cause", "stale");
     m_bytes_sent_ = &metrics.counter("net.bytes_sent");
     m_latency_ms_ = &metrics.histogram("net.latency_ms");
     trace_ = &simulator.trace();
@@ -114,7 +118,7 @@ class Network {
   // `radius` of the sender's coordinates (the sender excluded). Models the
   // link-local discovery beacons of a wireless segment. Crash/partition/
   // loss rules apply per recipient. Returns the number of deliveries
-  // scheduled.
+  // actually scheduled — recipients dropped by a fault do not count.
   std::size_t broadcast(Message message, double radius);
 
   [[nodiscard]] const NodeStats& stats(Guid id) const;
@@ -145,12 +149,21 @@ class Network {
                                         const NodeRecord& b);
   [[nodiscard]] int partition_group(Guid id) const;
 
+  // send()/broadcast() workhorse: validates endpoints and either schedules
+  // delivery (true) or drops the frame to a fault (false). Errors are
+  // reserved for never-attached endpoints.
+  Expected<bool> offer(Message message);
+
   sim::Simulator& simulator_;
   Rng rng_;
   // Fabric instruments (interned once; hot-path updates are increments).
   obs::Counter* m_sent_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_dropped_crash_ = nullptr;
+  obs::Counter* m_dropped_partition_ = nullptr;
+  obs::Counter* m_dropped_loss_ = nullptr;
+  obs::Counter* m_dropped_stale_ = nullptr;
   obs::Counter* m_bytes_sent_ = nullptr;
   obs::Histogram* m_latency_ms_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;

@@ -34,6 +34,10 @@ std::string_view to_string(TraceKind kind) {
       return "arrival";
     case TraceKind::kDeparture:
       return "departure";
+    case TraceKind::kLeaseExpire:
+      return "lease_expire";
+    case TraceKind::kFaultInject:
+      return "fault_inject";
   }
   return "unknown";
 }

@@ -35,14 +35,20 @@ enum class TraceKind : std::uint8_t {
   kQueryAnswer,       // a=range, b=app, detail=1 ok / 0 failed
   kArrival,           // a=range, b=component
   kDeparture,         // a=range, b=component, detail=1 when failure-detected
+  kLeaseExpire,       // a=subscriber, b=producer (nil=any), detail=sub id
+  kFaultInject,       // a=target node (nil for fabric-wide), detail=FaultKind
 };
 
 std::string_view to_string(TraceKind kind);
 
-// detail codes for kMessageDrop.
+// detail codes for kMessageDrop. Send-time faults are attributed to their
+// concrete cause so chaos runs can tell injected crashes from partitions
+// from plain link loss.
 enum class DropCause : std::uint64_t {
-  kFault = 0,      // crash / partition / random loss at send time
-  kStale = 1,      // destination departed or crashed in flight
+  kCrash = 0,      // sender or destination crashed at send time
+  kPartition = 1,  // endpoints sit in different partition groups
+  kLoss = 2,       // iid link loss roll
+  kStale = 3,      // destination departed or crashed in flight
 };
 
 // detail codes for kRecompose.

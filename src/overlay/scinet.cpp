@@ -54,6 +54,7 @@ struct RoutedWire {
   std::uint32_t app_type = 0;
   std::uint32_t hops = 0;
   std::uint32_t ttl = 0;
+  std::uint64_t ticket = 0;  // non-zero: the source wants an e2e receipt
   std::vector<std::byte> payload;
 
   [[nodiscard]] std::vector<std::byte> encode() const {
@@ -63,6 +64,7 @@ struct RoutedWire {
     w.u32(app_type);
     w.u32(hops);
     w.u32(ttl);
+    w.varint(ticket);
     w.varint(payload.size());
     w.raw(payload.data(), payload.size());
     return w.take();
@@ -81,6 +83,8 @@ struct RoutedWire {
     out.hops = hops;
     SCI_TRY_ASSIGN(ttl, r.u32());
     out.ttl = ttl;
+    SCI_TRY_ASSIGN(ticket, r.varint());
+    out.ticket = ticket;
     SCI_TRY_ASSIGN(len, r.varint());
     if (len > r.remaining())
       return make_error(ErrorCode::kParseError, "routed payload truncated");
@@ -92,11 +96,24 @@ struct RoutedWire {
   }
 };
 
+// End-to-end re-origination delay: receipt_rto doubled per attempt, capped.
+Duration receipt_delay(const ScinetConfig& config, unsigned attempts) {
+  double rto_us = static_cast<double>(config.receipt_rto.count_micros());
+  for (unsigned i = 1; i < attempts; ++i) rto_us *= config.receipt_backoff;
+  rto_us = std::min(
+      rto_us, static_cast<double>(config.receipt_max_rto.count_micros()));
+  return Duration::micros(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(rto_us)));
+}
+
 }  // namespace
 
 ScinetNode::ScinetNode(net::Network& network, Guid id, ScinetConfig config,
                        double x, double y)
-    : network_(network), id_(id), config_(config) {
+    : network_(network),
+      id_(id),
+      config_(config),
+      channel_(network, id, config.reliable) {
   SCI_ASSERT(!id.is_nil());
   const Status attached = network_.attach(
       id_, [this](const net::Message& m) { on_message(m); }, x, y);
@@ -111,13 +128,29 @@ ScinetNode::ScinetNode(net::Network& network, Guid id, ScinetConfig config,
   m_repairs_ = &metrics.counter("scinet.repairs");
   m_node_forwarded_ = &metrics.counter("scinet.node.forwarded",
                                        id_.short_string());
+  m_hop_failovers_ = &metrics.counter("scinet.hop.failovers");
+  m_e2e_originated_ = &metrics.counter("scinet.e2e.originated");
+  m_e2e_receipts_ = &metrics.counter("scinet.e2e.receipts");
+  m_e2e_retries_ = &metrics.counter("scinet.e2e.retries");
+  m_e2e_dead_letters_ = &metrics.counter("scinet.e2e.dead_letters");
+  m_probes_ = &metrics.counter("scinet.probes");
   m_hops_ = &metrics.histogram("scinet.route.hops");
+  m_e2e_latency_ = &metrics.histogram("scinet.e2e.latency_ms");
   trace_ = &network_.simulator().trace();
+
+  channel_.set_give_up_handler(
+      [this](const net::Message& message, unsigned attempts) {
+        on_hop_give_up(message, attempts);
+      });
 }
 
 ScinetNode::~ScinetNode() {
   network_.simulator().cancel(join_retry_);
   heartbeat_timer_.reset();
+  for (auto& [ticket, pending] : pending_routes_) {
+    network_.simulator().cancel(pending.retry);
+  }
+  pending_routes_.clear();
   if (attached_ && network_.is_attached(id_)) {
     (void)network_.detach(id_);
   }
@@ -171,6 +204,11 @@ void ScinetNode::leave() {
     send(neighbour, kLeave, w.bytes());
   }
   heartbeat_timer_.reset();
+  for (auto& [ticket, pending] : pending_routes_) {
+    network_.simulator().cancel(pending.retry);
+  }
+  pending_routes_.clear();
+  channel_.halt();
   ready_ = false;
   attached_ = false;
   (void)network_.detach(id_);
@@ -182,22 +220,121 @@ Status ScinetNode::route(Guid key, std::uint32_t app_type,
     return make_error(ErrorCode::kUnavailable, "node not joined to overlay");
   ++stats_.routed_originated;
   m_originated_->inc();
-  RoutedWire wire{key, id_, app_type, 0, config_.route_ttl,
+  RoutedWire wire{key, id_, app_type, 0, config_.route_ttl, 0,
                   std::move(payload)};
   const Guid hop = next_hop(key);
   if (hop.is_nil()) {
     deliver_local(RoutedMessage{wire.key, wire.source, wire.app_type,
-                                wire.hops, std::move(wire.payload)});
+                                wire.hops, wire.ticket,
+                                std::move(wire.payload)});
     return Status::ok();
   }
-  send(hop, kRouted, wire.encode());
+  send_reliable(hop, kRouted, wire.encode());
   return Status::ok();
 }
 
+Expected<RouteTicket> ScinetNode::route_acked(Guid key, std::uint32_t app_type,
+                                              std::vector<std::byte> payload,
+                                              ReceiptHandler on_receipt) {
+  if (!ready_)
+    return make_error(ErrorCode::kUnavailable, "node not joined to overlay");
+  const std::uint64_t ticket = ++next_ticket_;
+  PendingRoute& pending = pending_routes_[ticket];
+  pending.key = key;
+  pending.app_type = app_type;
+  pending.payload = std::move(payload);
+  pending.first_sent = network_.simulator().now();
+  pending.on_receipt = std::move(on_receipt);
+  ++stats_.e2e_originated;
+  m_e2e_originated_->inc();
+  originate_acked(ticket);
+  return RouteTicket{ticket, key};
+}
+
+void ScinetNode::originate_acked(std::uint64_t ticket) {
+  const auto it = pending_routes_.find(ticket);
+  if (it == pending_routes_.end()) return;
+  PendingRoute& pending = it->second;
+  ++pending.attempts;
+  if (pending.attempts > 1) {
+    ++stats_.e2e_retries;
+    m_e2e_retries_->inc();
+  }
+  ++stats_.routed_originated;
+  m_originated_->inc();
+  RoutedWire wire{pending.key, id_,      pending.app_type, 0,
+                  config_.route_ttl,     ticket,           pending.payload};
+  const Guid hop = next_hop(pending.key);
+  if (hop.is_nil()) {
+    // This node is the root: complete in place (finish_acked fires from
+    // deliver_local because source == id_).
+    deliver_local(RoutedMessage{wire.key, wire.source, wire.app_type,
+                                wire.hops, wire.ticket,
+                                std::move(wire.payload)});
+    return;
+  }
+  send_reliable(hop, kRouted, wire.encode());
+  arm_receipt_timer(ticket);
+}
+
+void ScinetNode::arm_receipt_timer(std::uint64_t ticket) {
+  const auto it = pending_routes_.find(ticket);
+  if (it == pending_routes_.end()) return;
+  PendingRoute& pending = it->second;
+  const unsigned attempts = pending.attempts;
+  const Duration delay = receipt_delay(config_, attempts);
+  if (attempts >= config_.receipt_max_attempts) {
+    // Last origination: leave one more interval for the receipt to arrive.
+    pending.retry = network_.simulator().schedule(
+        delay, [this, ticket, attempts] {
+          const auto p = pending_routes_.find(ticket);
+          if (p == pending_routes_.end() || p->second.attempts != attempts)
+            return;
+          finish_acked(ticket, /*delivered=*/false, 0);
+        });
+    return;
+  }
+  pending.retry = network_.simulator().schedule(
+      delay, [this, ticket] { originate_acked(ticket); });
+}
+
+void ScinetNode::finish_acked(std::uint64_t ticket, bool delivered,
+                              std::uint32_t hops) {
+  const auto it = pending_routes_.find(ticket);
+  if (it == pending_routes_.end()) return;  // duplicate/late receipt
+  PendingRoute pending = std::move(it->second);
+  pending_routes_.erase(it);
+  network_.simulator().cancel(pending.retry);
+  if (delivered) {
+    ++stats_.e2e_receipts;
+    m_e2e_receipts_->inc();
+    m_e2e_latency_->observe(
+        (network_.simulator().now() - pending.first_sent).millis_f());
+  } else {
+    ++stats_.e2e_dead_letters;
+    m_e2e_dead_letters_->inc();
+    SCI_WARN(kTag, "%s: gave up on acked route to key %s",
+             id_.short_string().c_str(), pending.key.short_string().c_str());
+  }
+  if (pending.on_receipt) {
+    pending.on_receipt(RouteTicket{ticket, pending.key}, delivered, hops);
+  }
+}
+
 void ScinetNode::on_message(const net::Message& message) {
+  // Reliable-channel envelopes (data + acks) are consumed first; a data
+  // frame's inner message recurses through this dispatcher exactly once.
+  if (channel_.on_message(message, [this](const net::Message& inner) {
+        on_message(inner);
+      })) {
+    return;
+  }
   switch (message.type) {
     case kRouted:
       on_routed(message);
+      return;
+    case kRouteReceipt:
+      on_route_receipt(message);
       return;
     case kJoin:
       on_join(message);
@@ -255,7 +392,8 @@ void ScinetNode::on_routed(const net::Message& message) {
   const Guid hop = next_hop(wire.key);
   if (hop.is_nil()) {
     deliver_local(RoutedMessage{wire.key, wire.source, wire.app_type,
-                                wire.hops, std::move(wire.payload)});
+                                wire.hops, wire.ticket,
+                                std::move(wire.payload)});
     return;
   }
   ++stats_.routed_forwarded;
@@ -263,7 +401,15 @@ void ScinetNode::on_routed(const net::Message& message) {
   m_node_forwarded_->inc();
   trace_->record(network_.simulator().now(), obs::TraceKind::kRouteHop, id_,
                  hop, wire.hops);
-  send(hop, kRouted, wire.encode());
+  send_reliable(hop, kRouted, wire.encode());
+}
+
+void ScinetNode::on_route_receipt(const net::Message& message) {
+  serde::Reader r(message.payload);
+  auto ticket = r.varint();
+  auto hops = r.u32();
+  if (!ticket || !hops) return;
+  finish_acked(*ticket, /*delivered=*/true, *hops);
 }
 
 void ScinetNode::on_join(const net::Message& message) {
@@ -368,13 +514,20 @@ void ScinetNode::on_heartbeat(const net::Message& message) {
 }
 
 void ScinetNode::on_heartbeat_ack(const net::Message& message) {
+  if (!known_.contains(message.from)) {
+    // A probed (previously failure-evicted) peer answered: the crash or
+    // partition was transient. Reinstall it and resynchronise both sides.
+    learn(message.from);
+    send(message.from, kAnnounce, {});
+    send(message.from, kLeafSetRequest, {});
+  }
   missed_heartbeats_[message.from] = 0;
 }
 
 void ScinetNode::on_leave(const net::Message& message) {
   serde::Reader r(message.payload);
   auto leaves = read_guid_list(r);
-  forget(message.from);
+  forget(message.from, /*probe=*/false);  // clean departure, nothing to probe
   if (leaves) {
     for (const Guid g : *leaves) learn(g);
   }
@@ -478,6 +631,8 @@ bool ScinetNode::is_root_for(Guid key) const {
 
 void ScinetNode::learn(Guid node) {
   if (node.is_nil() || node == id_) return;
+  forgotten_.erase(std::remove(forgotten_.begin(), forgotten_.end(), node),
+                   forgotten_.end());
   if (!known_.insert(node).second) return;
   const unsigned level = std::min(id_.shared_prefix_length(node), kRows - 1);
   Guid& slot = table_[level][node.digit(level)];
@@ -485,8 +640,14 @@ void ScinetNode::learn(Guid node) {
   rebuild_leaf_set();
 }
 
-void ScinetNode::forget(Guid node) {
+void ScinetNode::forget(Guid node, bool probe) {
+  if (!probe) {
+    forgotten_.erase(std::remove(forgotten_.begin(), forgotten_.end(), node),
+                     forgotten_.end());
+  }
   if (known_.erase(node) == 0) return;
+  // learn() keeps known_ and forgotten_ disjoint, so this cannot duplicate.
+  if (probe) forgotten_.push_back(node);
   missed_heartbeats_.erase(node);
   for (auto& row : table_) {
     for (Guid& slot : row) {
@@ -494,6 +655,9 @@ void ScinetNode::forget(Guid node) {
     }
   }
   rebuild_leaf_set();
+  // Hand any frames still retransmitting toward the dead hop back to the
+  // give-up handler so they re-route now that the tables exclude it.
+  channel_.fail_all(node);
 }
 
 void ScinetNode::rebuild_leaf_set() {
@@ -537,11 +701,51 @@ void ScinetNode::send(Guid to, std::uint32_t type,
   message.payload = std::move(payload);
   const Status sent = network_.send(std::move(message));
   if (!sent.is_ok()) {
-    // Destination no longer attached: treat like a detected failure.
+    // Destination no longer attached: it left for good (crashed nodes stay
+    // attached), so evict it without queueing a liveness probe.
     SCI_DEBUG(kTag, "%s: send to departed node %s",
               id_.short_string().c_str(), to.short_string().c_str());
-    forget(to);
+    forget(to, /*probe=*/false);
   }
+}
+
+void ScinetNode::send_reliable(Guid to, std::uint32_t type,
+                               std::vector<std::byte> payload) {
+  // ROUTED and receipt frames go over the reliable channel: retransmitted
+  // with backoff on loss; a dead-lettered hop lands in on_hop_give_up.
+  channel_.send(to, type, std::move(payload));
+}
+
+void ScinetNode::on_hop_give_up(const net::Message& message,
+                                unsigned attempts) {
+  (void)attempts;
+  // The hop stayed unresponsive through the whole retransmission budget:
+  // evict it (keep probing — it may be a partition that later heals) and
+  // push the payload along a fresh path.
+  const bool was_leaf =
+      std::find(leaf_.begin(), leaf_.end(), message.to) != leaf_.end();
+  forget(message.to);
+  if (was_leaf) repair_leaf_set();
+  if (message.type == kRouted) {
+    auto decoded = RoutedWire::decode(message.payload);
+    if (!decoded) return;
+    RoutedWire wire = std::move(*decoded);
+    ++stats_.hop_failovers;
+    m_hop_failovers_->inc();
+    const Guid hop = next_hop(wire.key);
+    if (hop.is_nil()) {
+      deliver_local(RoutedMessage{wire.key, wire.source, wire.app_type,
+                                  wire.hops, wire.ticket,
+                                  std::move(wire.payload)});
+      return;
+    }
+    trace_->record(network_.simulator().now(), obs::TraceKind::kRouteHop, id_,
+                   hop, wire.hops);
+    send_reliable(hop, kRouted, wire.encode());
+    return;
+  }
+  // kRouteReceipt toward an unreachable source: drop it — the source's own
+  // re-origination fetches a fresh receipt once connectivity returns.
 }
 
 void ScinetNode::heartbeat_tick() {
@@ -573,6 +777,15 @@ void ScinetNode::heartbeat_tick() {
   for (const Guid neighbour : neighbours) {
     send(neighbour, kHeartbeat, {});
   }
+  // Probe one failure-evicted peer per tick: if its crash or partition was
+  // transient, the ack reinstalls it (on_heartbeat_ack) and the two sides
+  // re-converge instead of staying split.
+  if (!forgotten_.empty()) {
+    probe_cursor_ %= forgotten_.size();
+    const Guid target = forgotten_[probe_cursor_++];
+    m_probes_->inc();
+    send(target, kHeartbeat, {});
+  }
 }
 
 void ScinetNode::repair_leaf_set() {
@@ -592,16 +805,40 @@ void ScinetNode::halt() {
   network_.simulator().cancel(join_retry_);
   join_retry_ = sim::TimerHandle();
   heartbeat_timer_.reset();
+  for (auto& [ticket, pending] : pending_routes_) {
+    network_.simulator().cancel(pending.retry);
+  }
+  pending_routes_.clear();
+  channel_.halt();
   ready_ = false;
 }
 
 void ScinetNode::deliver_local(RoutedMessage message) {
+  if (message.ticket != 0 && message.source != id_) {
+    // Acked route from a remote source: always (re-)send the receipt, but
+    // deliver a re-originated duplicate to the application only once.
+    const bool fresh =
+        seen_tickets_[message.source].insert(message.ticket).second;
+    send_receipt(message);
+    if (!fresh) return;
+  }
   ++stats_.routed_delivered;
   m_delivered_->inc();
   m_hops_->observe(static_cast<double>(message.hops));
   trace_->record(network_.simulator().now(), obs::TraceKind::kRouteDeliver,
                  id_, message.source, message.hops);
   if (deliver_) deliver_(message);
+  if (message.ticket != 0 && message.source == id_) {
+    // Zero-hop acked route (this node is the key's root): complete locally.
+    finish_acked(message.ticket, /*delivered=*/true, message.hops);
+  }
+}
+
+void ScinetNode::send_receipt(const RoutedMessage& message) {
+  serde::Writer w;
+  w.varint(message.ticket);
+  w.u32(message.hops);
+  send_reliable(message.source, kRouteReceipt, w.take());
 }
 
 std::vector<Guid> ScinetNode::leaf_set() const { return leaf_; }

@@ -13,10 +13,17 @@
 //    with the accumulated rows plus its leaf set; the joiner then announces
 //    itself to everyone in its new tables.
 //  * ROUTED — application payload, greedily forwarded (leaf set first, then
-//    routing table, then closest-known fallback) with a TTL backstop.
+//    routing table, then closest-known fallback) with a TTL backstop. Each
+//    hop is carried over a ReliableChannel: lost frames retransmit with
+//    backoff, and a hop that dead-letters is forgotten and the payload
+//    re-routed around it. route_acked() additionally requests an
+//    end-to-end delivery receipt from the root and re-originates until it
+//    arrives (see docs/ROBUSTNESS.md).
 //  * HEARTBEAT/ACK — leaf-set liveness; a node missing too many acks is
 //    evicted from all state and the leaf set is repaired by pulling a
-//    neighbour's leaf set.
+//    neighbour's leaf set. Failure-evicted peers are remembered and probed
+//    round-robin so a healed partition re-converges instead of staying
+//    split forever.
 #pragma once
 
 #include <array>
@@ -33,6 +40,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "reliable/reliable.h"
 #include "sim/simulator.h"
 
 namespace sci::overlay {
@@ -43,6 +51,7 @@ struct RoutedMessage {
   Guid source;     // originating node
   std::uint32_t app_type = 0;
   std::uint32_t hops = 0;
+  std::uint64_t ticket = 0;  // non-zero when the source asked for a receipt
   std::vector<std::byte> payload;
 };
 
@@ -53,6 +62,14 @@ struct ScinetConfig {
   Duration heartbeat_period = Duration::millis(500);
   unsigned heartbeat_miss_limit = 3;
   std::uint32_t route_ttl = 64;
+  // Hop-by-hop retransmission policy for ROUTED/receipt traffic.
+  reliable::ReliableConfig reliable;
+  // End-to-end receipt retries (route_acked): a route is re-originated on
+  // this backoff schedule until the root's receipt arrives.
+  Duration receipt_rto = Duration::millis(800);
+  double receipt_backoff = 2.0;
+  Duration receipt_max_rto = Duration::seconds(5);
+  unsigned receipt_max_attempts = 8;
 };
 
 struct ScinetNodeStats {
@@ -60,6 +77,17 @@ struct ScinetNodeStats {
   std::uint64_t routed_forwarded = 0;
   std::uint64_t routed_delivered = 0;
   std::uint64_t routed_dropped_ttl = 0;
+  std::uint64_t hop_failovers = 0;      // re-routed around a dead hop
+  std::uint64_t e2e_originated = 0;     // route_acked() calls
+  std::uint64_t e2e_receipts = 0;       // receipts received
+  std::uint64_t e2e_retries = 0;        // re-originations
+  std::uint64_t e2e_dead_letters = 0;   // gave up waiting for a receipt
+};
+
+// Handle for an acked route: `id` is unique per originating node.
+struct RouteTicket {
+  std::uint64_t id = 0;
+  Guid key;
 };
 
 class ScinetNode {
@@ -100,6 +128,24 @@ class ScinetNode {
   Status route(Guid key, std::uint32_t app_type,
                std::vector<std::byte> payload);
 
+  // Called when the root's delivery receipt arrives (delivered=true) or
+  // every re-origination attempt has been exhausted (delivered=false).
+  using ReceiptHandler = std::function<void(const RouteTicket&, bool delivered,
+                                            std::uint32_t hops)>;
+
+  // Like route(), but the root sends an end-to-end receipt back to this
+  // node; until it arrives the payload is re-originated with backoff. The
+  // root deduplicates re-originations by (source, ticket), so the payload
+  // is delivered to the application at most once.
+  Expected<RouteTicket> route_acked(Guid key, std::uint32_t app_type,
+                                    std::vector<std::byte> payload,
+                                    ReceiptHandler on_receipt = nullptr);
+
+  // End-to-end routes still awaiting a receipt.
+  [[nodiscard]] std::size_t pending_receipts() const {
+    return pending_routes_.size();
+  }
+
   [[nodiscard]] Guid id() const { return id_; }
   [[nodiscard]] bool is_ready() const { return ready_; }
   [[nodiscard]] const ScinetNodeStats& stats() const { return stats_; }
@@ -129,10 +175,12 @@ class ScinetNode {
     kLeafSetRequest,
     kLeafSetReply,
     kFailureNotice,
+    kRouteReceipt,
   };
 
   void on_message(const net::Message& message);
   void on_routed(const net::Message& message);
+  void on_route_receipt(const net::Message& message);
   void on_join(const net::Message& message);
   void on_join_reply(const net::Message& message);
   void on_announce(const net::Message& message);
@@ -148,11 +196,24 @@ class ScinetNode {
 
   void send_join();
   void learn(Guid node);
-  void forget(Guid node);
+  // Evicts `node` from all state. When `probe` is set the node is also
+  // remembered for round-robin liveness probing (heartbeat failures and
+  // partitions may be transient); clean departures pass probe = false.
+  void forget(Guid node, bool probe = true);
   void send(Guid to, std::uint32_t type, std::vector<std::byte> payload);
+  // Sends ROUTED/receipt traffic over the reliable channel (retransmits on
+  // loss, dead-letters into on_hop_give_up).
+  void send_reliable(Guid to, std::uint32_t type,
+                     std::vector<std::byte> payload);
+  void on_hop_give_up(const net::Message& message, unsigned attempts);
   void heartbeat_tick();
   void repair_leaf_set();
   void deliver_local(RoutedMessage message);
+  void send_receipt(const RoutedMessage& message);
+  // (Re-)transmits pending acked route `ticket` toward its key.
+  void originate_acked(std::uint64_t ticket);
+  void arm_receipt_timer(std::uint64_t ticket);
+  void finish_acked(std::uint64_t ticket, bool delivered, std::uint32_t hops);
 
   // Leaf-set helpers over the sorted ring neighbours.
   void rebuild_leaf_set();
@@ -161,6 +222,7 @@ class ScinetNode {
   net::Network& network_;
   Guid id_;
   ScinetConfig config_;
+  reliable::ReliableChannel channel_;
   DeliverHandler deliver_;
   bool ready_ = false;
   bool attached_ = false;
@@ -177,6 +239,29 @@ class ScinetNode {
   std::unordered_map<Guid, unsigned> missed_heartbeats_;
   std::optional<sim::PeriodicTimer> heartbeat_timer_;
 
+  // Failure-evicted peers, probed one per heartbeat tick so that a healed
+  // partition (where both sides evicted each other) re-converges.
+  std::vector<Guid> forgotten_;
+  std::size_t probe_cursor_ = 0;
+
+  // Source-side state for route_acked(): payload kept until the root's
+  // receipt arrives or the re-origination budget is exhausted.
+  struct PendingRoute {
+    Guid key;
+    std::uint32_t app_type = 0;
+    std::vector<std::byte> payload;
+    unsigned attempts = 0;
+    SimTime first_sent;
+    sim::TimerHandle retry;
+    ReceiptHandler on_receipt;
+  };
+  std::unordered_map<std::uint64_t, PendingRoute> pending_routes_;
+  std::uint64_t next_ticket_ = 0;
+
+  // Root-side dedup for re-originated acked routes: (source, ticket) pairs
+  // already delivered to the application (re-acked but not re-delivered).
+  std::unordered_map<Guid, std::unordered_set<std::uint64_t>> seen_tickets_;
+
   // Join retransmission: a JOIN can black-hole through a crashed hop that
   // nobody has detected yet, so it is retried until the reply arrives.
   Guid join_bootstrap_;
@@ -191,7 +276,14 @@ class ScinetNode {
   obs::Counter* m_dropped_ttl_ = nullptr;
   obs::Counter* m_repairs_ = nullptr;
   obs::Counter* m_node_forwarded_ = nullptr;
+  obs::Counter* m_hop_failovers_ = nullptr;
+  obs::Counter* m_e2e_originated_ = nullptr;
+  obs::Counter* m_e2e_receipts_ = nullptr;
+  obs::Counter* m_e2e_retries_ = nullptr;
+  obs::Counter* m_e2e_dead_letters_ = nullptr;
+  obs::Counter* m_probes_ = nullptr;
   obs::Histogram* m_hops_ = nullptr;
+  obs::Histogram* m_e2e_latency_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
 
   ScinetNodeStats stats_;

@@ -60,6 +60,7 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
       config_(std::move(config)),
       directory_(directory),
       location_directory_(locations),
+      channel_(network, config_.context_server, config_.reliable),
       mediator_(network, config_.context_server),
       locations_(locations),
       resolver_(semantics),
@@ -83,7 +84,23 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_recompositions_ = &metrics.counter("cs.recompositions");
   m_recomposition_failures_ = &metrics.counter("cs.recomposition_failures");
   m_events_in_ = &metrics.counter("cs.events_in");
+  m_delivery_dead_letters_ = &metrics.counter("em.deliveries.dead_letter");
+  m_dead_letters_ = &metrics.counter("cs.dead_letters");
   trace_ = &network_.simulator().trace();
+
+  channel_.set_give_up_handler(
+      [this](const net::Message& message, unsigned attempts) {
+        on_channel_give_up(message, attempts);
+      });
+  if (config_.acked_delivery) {
+    mediator_.set_channel(&channel_);
+  }
+  if (config_.lease_ttl.count_micros() > 0) {
+    mediator_.set_lease_options(
+        LeaseOptions{config_.lease_ttl, config_.lease_renew_period});
+    mediator_.set_lease_expired_handler(
+        [this](const event::Subscription& s) { on_lease_expired(s); });
+  }
 
   const Status attached = network_.attach(
       config_.context_server,
@@ -180,6 +197,50 @@ void ContextServer::send_to(Guid to, std::uint32_t type,
   (void)network_.send(std::move(message));
 }
 
+void ContextServer::send_component(Guid to, std::uint32_t type,
+                                   std::vector<std::byte> payload) {
+  if (config_.acked_delivery) {
+    channel_.send(to, type, std::move(payload));
+    return;
+  }
+  send_to(to, type, std::move(payload));
+}
+
+void ContextServer::on_channel_give_up(const net::Message& message,
+                                       unsigned attempts) {
+  // The component stayed unreachable through the whole retransmission
+  // budget. Its ping-based failure detection will evict it; here we only
+  // account for the payload that could not be delivered.
+  SCI_DEBUG(kTag, "%s: gave up on 0x%x to %s after %u attempts",
+            config_.name.c_str(), message.type,
+            message.to.short_string().c_str(), attempts);
+  if (message.type == entity::kDeliver) {
+    m_delivery_dead_letters_->inc();
+  } else {
+    m_dead_letters_->inc();
+  }
+}
+
+void ContextServer::on_lease_expired(const event::Subscription& subscription) {
+  // Drop CS bookkeeping that referenced the reaped subscription so later
+  // teardown does not double-unsubscribe.
+  for (auto it = edge_subscriptions_.begin();
+       it != edge_subscriptions_.end();) {
+    if (it->second == subscription.id) {
+      it = edge_subscriptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = app_edges_.begin(); it != app_edges_.end();) {
+    if (it->second == subscription.id) {
+      it = app_edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ContextServer::reply_result(Guid app, const std::string& query_id,
                                  const Error& error, Value result) {
   entity::QueryResultBody body;
@@ -187,7 +248,7 @@ void ContextServer::reply_result(Guid app, const std::string& query_id,
   body.status = static_cast<std::uint8_t>(error.code());
   body.message = error.message();
   body.result = std::move(result);
-  send_to(app, entity::kQueryResult, body.encode());
+  send_component(app, entity::kQueryResult, body.encode());
   if (error.ok()) {
     ++stats_.queries_answered;
     m_queries_answered_->inc();
@@ -200,6 +261,12 @@ void ContextServer::reply_result(Guid app, const std::string& query_id,
 }
 
 void ContextServer::on_component_message(const net::Message& message) {
+  // Reliable envelopes first: data frames recurse with the inner message.
+  if (channel_.on_message(message, [this](const net::Message& inner) {
+        on_component_message(inner);
+      })) {
+    return;
+  }
   switch (message.type) {
     case entity::kHello:
       handle_hello(message);
@@ -225,6 +292,12 @@ void ContextServer::on_component_message(const net::Message& message) {
       return;
     case entity::kPong:
       registrar_.touch(message.from, network_.simulator().now());
+      return;
+    case entity::kLeaseRenew:
+      // Keep-alive for subscription leases; doubles as a sign of life for
+      // the Range Service's failure detector.
+      registrar_.touch(message.from, network_.simulator().now());
+      mediator_.renew(message.from);
       return;
     case kForwardedQueryDirect: {
       auto wire = ForwardedQueryWire::decode(message.payload);
@@ -317,6 +390,10 @@ void ContextServer::handle_register(const net::Message& message) {
   ack.range = config_.range;
   ack.context_server = config_.context_server;
   ack.event_mediator = config_.context_server;
+  if (config_.lease_ttl.count_micros() > 0) {
+    ack.lease_renew_micros =
+        static_cast<std::uint64_t>(config_.lease_renew_period.count_micros());
+  }
   send_to(component, entity::kRegisterAck, ack.encode());
 
   // A new arrival may unblock parked queries or offer better sources.
@@ -448,9 +525,36 @@ void ContextServer::admit_query(query::Query q, Guid app) {
     // membership lost), fall back to point-to-point via the directory.
     if (!scinet_->knows(target_range) && directory_ != nullptr) {
       if (const auto entry = directory_->find(target_range); entry) {
-        send_to(entry->context_server, kForwardedQueryDirect, wire.encode());
+        send_component(entry->context_server, kForwardedQueryDirect,
+                       wire.encode());
         return;
       }
+    }
+    if (config_.acked_delivery) {
+      // End-to-end receipt: the forward is re-originated until the target
+      // range confirms delivery; on give-up the application hears about it
+      // instead of waiting forever.
+      const std::string query_id = q.id;
+      const Guid app_copy = app;
+      auto ticket = scinet_->route_acked(
+          target_range, kAppForwardedQuery, wire.encode(),
+          [this, query_id, app_copy](const overlay::RouteTicket&,
+                                     bool delivered, std::uint32_t) {
+            if (!delivered) {
+              reply_result(app_copy, query_id,
+                           make_error(ErrorCode::kUnavailable,
+                                      "inter-range forward undeliverable"),
+                           Value());
+            }
+          });
+      if (!ticket) {
+        reply_result(app, q.id,
+                     make_error(ErrorCode::kUnavailable,
+                                "SCINET forwarding failed: " +
+                                    ticket.error().message()),
+                     Value());
+      }
+      return;
     }
     const Status routed =
         scinet_->route(target_range, kAppForwardedQuery, wire.encode());
@@ -962,7 +1066,7 @@ void ContextServer::tear_down_edges(
 void ContextServer::configure_entities(const compose::ConfigurationPlan& plan) {
   for (const auto& [entity_id, params] : plan.params) {
     entity::ConfigureBody body{plan.tag, params};
-    send_to(entity_id, entity::kConfigure, body.encode());
+    send_component(entity_id, entity::kConfigure, body.encode());
   }
 }
 
@@ -972,7 +1076,7 @@ void ContextServer::retire_configuration(std::uint64_t tag) {
   // Unconfigure parameterised entities first.
   for (const auto& [entity_id, params] : active->plan.params) {
     entity::ConfigureBody body{tag, Value()};
-    send_to(entity_id, entity::kUnconfigure, body.encode());
+    send_component(entity_id, entity::kUnconfigure, body.encode());
   }
   tear_down_edges(store_.retire(tag));
   if (const auto it = app_edges_.find(tag); it != app_edges_.end()) {
@@ -991,6 +1095,9 @@ void ContextServer::departure(Guid component, bool failure) {
   const bool is_app = record->is_app;
   (void)registrar_.remove(component);
   mediator_.remove_subscriber(component);
+  // Stop retransmitting toward the departed component; anything in flight
+  // is handed to the give-up handler for accounting.
+  channel_.fail_all(component);
   ++stats_.departures;
   m_departures_->inc();
   if (failure) {

@@ -35,6 +35,7 @@
 #include "obs/trace.h"
 #include "overlay/scinet.h"
 #include "query/query.h"
+#include "reliable/reliable.h"
 #include "range/context_store.h"
 #include "range/directory.h"
 #include "range/event_mediator.h"
@@ -81,6 +82,16 @@ struct RangeConfig {
   Duration beacon_period = Duration::seconds(0);
   double beacon_radius = 500.0;
   overlay::ScinetConfig scinet;
+  // Reliability (docs/ROBUSTNESS.md). `reliable` is the retransmission
+  // policy for the CS node's channel; acked_delivery routes event
+  // deliveries, query replies and configure frames over it and forwards
+  // inter-range queries with end-to-end receipts (route_acked).
+  reliable::ReliableConfig reliable;
+  bool acked_delivery = true;
+  // Subscription leases: ttl == 0 (default) disables them; the facade
+  // enables them per range. Components renew every lease_renew_period.
+  Duration lease_ttl = Duration::seconds(0);
+  Duration lease_renew_period = Duration::seconds(5);
 };
 
 struct ServerStats {
@@ -173,6 +184,11 @@ class ContextServer {
   void on_component_message(const net::Message& message);
   void on_scinet_deliver(const overlay::RoutedMessage& message);
   void send_to(Guid to, std::uint32_t type, std::vector<std::byte> payload);
+  // Reliable variant when acked_delivery is on; falls back to send_to.
+  void send_component(Guid to, std::uint32_t type,
+                      std::vector<std::byte> payload);
+  void on_channel_give_up(const net::Message& message, unsigned attempts);
+  void on_lease_expired(const event::Subscription& subscription);
   void reply_result(Guid app, const std::string& query_id, const Error& error,
                     Value result);
 
@@ -233,6 +249,7 @@ class ContextServer {
   RangeDirectory* directory_;
   const compose::SemanticRegistry* semantics_ = nullptr;
   const location::LocationDirectory* location_directory_;
+  reliable::ReliableChannel channel_;
 
   Registrar registrar_;
   ProfileManager profiles_;
@@ -277,6 +294,8 @@ class ContextServer {
   obs::Counter* m_recompositions_ = nullptr;
   obs::Counter* m_recomposition_failures_ = nullptr;
   obs::Counter* m_events_in_ = nullptr;
+  obs::Counter* m_delivery_dead_letters_ = nullptr;
+  obs::Counter* m_dead_letters_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
 
   std::uint64_t next_tag_ = 1;

@@ -11,6 +11,12 @@ std::vector<event::Subscription> EventMediator::dispatch(
   std::vector<event::Subscription> matched = table_.collect_matches(event);
   for (const event::Subscription& subscription : matched) {
     entity::DeliverBody body{subscription.id, subscription.owner_tag, event};
+    if (channel_ != nullptr) {
+      channel_->send(subscription.subscriber, entity::kDeliver, body.encode());
+      ++stats_.deliveries_out;
+      m_deliveries_->inc();
+      continue;
+    }
     net::Message message;
     message.type = entity::kDeliver;
     message.from = node_;
@@ -22,6 +28,40 @@ std::vector<event::Subscription> EventMediator::dispatch(
     }
   }
   return matched;
+}
+
+void EventMediator::set_lease_options(LeaseOptions options) {
+  lease_options_ = options;
+  reaper_.reset();
+  if (lease_options_.ttl.count_micros() <= 0) return;
+  reaper_.emplace(network_.simulator(), lease_options_.renew_period,
+                  [this] { reap_expired(); });
+  reaper_->start();
+}
+
+void EventMediator::renew(Guid subscriber) {
+  if (lease_options_.ttl.count_micros() <= 0) return;
+  const std::size_t renewed = table_.renew_subscriber(
+      subscriber, network_.simulator().now() + lease_options_.ttl);
+  if (renewed > 0) {
+    stats_.leases_renewed += renewed;
+    m_leases_renewed_->inc(renewed);
+  }
+}
+
+void EventMediator::reap_expired() {
+  const std::vector<event::Subscription> expired =
+      table_.expire_before(network_.simulator().now());
+  for (const event::Subscription& subscription : expired) {
+    ++stats_.leases_expired;
+    ++stats_.subscriptions_removed;
+    m_leases_expired_->inc();
+    m_unsubscribed_->inc();
+    trace_->record(network_.simulator().now(), obs::TraceKind::kLeaseExpire,
+                   subscription.subscriber,
+                   subscription.producer.value_or(Guid()), subscription.id);
+    if (on_lease_expired_) on_lease_expired_(subscription);
+  }
 }
 
 }  // namespace sci::range

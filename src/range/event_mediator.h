@@ -4,13 +4,22 @@
 // subscriptions between Context Entities and Context Aware Applications."
 // The mediator wraps the SubscriptionTable and performs the actual
 // network deliveries (kDeliver frames) from the Context Server's node.
+// Deliveries optionally ride a ReliableChannel (set_channel) so lost
+// kDeliver frames retransmit, and subscriptions optionally carry leases
+// (set_lease_options): a subscriber that stops renewing — typically
+// because it crashed — has its subscriptions reaped instead of black-
+// holing deliveries forever.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 
 #include "common/guid.h"
 #include "event/subscription.h"
 #include "net/network.h"
+#include "reliable/reliable.h"
+#include "sim/simulator.h"
 
 namespace sci::range {
 
@@ -19,6 +28,15 @@ struct MediatorStats {
   std::uint64_t deliveries_out = 0;
   std::uint64_t subscriptions_created = 0;
   std::uint64_t subscriptions_removed = 0;
+  std::uint64_t leases_renewed = 0;
+  std::uint64_t leases_expired = 0;
+};
+
+// Subscription lease policy. ttl == 0 disables leases (the default for a
+// bare mediator; the facade turns them on per range).
+struct LeaseOptions {
+  Duration ttl = Duration::seconds(0);
+  Duration renew_period = Duration::seconds(5);
 };
 
 class EventMediator {
@@ -31,8 +49,30 @@ class EventMediator {
     m_deliveries_ = &metrics.counter("em.deliveries");
     m_subscribed_ = &metrics.counter("em.subscriptions.created");
     m_unsubscribed_ = &metrics.counter("em.subscriptions.removed");
+    m_leases_renewed_ = &metrics.counter("em.leases.renewed");
+    m_leases_expired_ = &metrics.counter("em.leases.expired");
     trace_ = &network.simulator().trace();
   }
+
+  // Routes kDeliver frames over `channel` (retransmit on loss) instead of
+  // raw sends. The channel must outlive the mediator and belong to the
+  // same node identity.
+  void set_channel(reliable::ReliableChannel* channel) { channel_ = channel; }
+
+  // Enables subscription leases and starts the reaper (period =
+  // renew_period). Pass ttl == 0 to disable again.
+  void set_lease_options(LeaseOptions options);
+
+  // Invoked for each reaped subscription so the owner (the Context Server)
+  // can drop dependent state.
+  using LeaseExpiredHandler = std::function<void(const event::Subscription&)>;
+  void set_lease_expired_handler(LeaseExpiredHandler handler) {
+    on_lease_expired_ = std::move(handler);
+  }
+
+  // Pushes every lease held by `subscriber` forward by one ttl. Called on
+  // kLeaseRenew and on any other sign of life from the subscriber.
+  void renew(Guid subscriber);
 
   event::SubscriptionId subscribe(Guid subscriber, std::optional<Guid> producer,
                                   std::string event_type,
@@ -44,6 +84,10 @@ class EventMediator {
     const event::SubscriptionId id =
         table_.add(subscriber, producer, std::move(event_type),
                    std::move(filter), one_time, owner_tag);
+    if (lease_options_.ttl.count_micros() > 0) {
+      (void)table_.set_expiry(id, network_.simulator().now() +
+                                      lease_options_.ttl);
+    }
     trace_->record(network_.simulator().now(), obs::TraceKind::kSubscribe,
                    subscriber, producer.value_or(Guid()), id);
     return id;
@@ -104,13 +148,21 @@ class EventMediator {
                    subscriber, producer, detail);
   }
 
+  void reap_expired();
+
   net::Network& network_;
   Guid node_;
   event::SubscriptionTable table_;
+  reliable::ReliableChannel* channel_ = nullptr;  // nullptr = raw sends
+  LeaseOptions lease_options_;
+  std::optional<sim::PeriodicTimer> reaper_;
+  LeaseExpiredHandler on_lease_expired_;
   obs::Counter* m_events_in_ = nullptr;
   obs::Counter* m_deliveries_ = nullptr;
   obs::Counter* m_subscribed_ = nullptr;
   obs::Counter* m_unsubscribed_ = nullptr;
+  obs::Counter* m_leases_renewed_ = nullptr;
+  obs::Counter* m_leases_expired_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   MediatorStats stats_;
 };

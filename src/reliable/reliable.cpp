@@ -1,0 +1,288 @@
+#include "reliable/reliable.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "serde/buffer.h"
+
+namespace sci::reliable {
+
+namespace {
+
+constexpr const char* kTag = "reliable";
+
+// kRelData payload: varint seq, u32 inner type, varint length, raw body.
+std::vector<std::byte> encode_data(std::uint64_t seq, std::uint32_t inner_type,
+                                   const std::vector<std::byte>& payload) {
+  serde::Writer w(payload.size() + 16);
+  w.varint(seq);
+  w.u32(inner_type);
+  w.varint(payload.size());
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+struct DataWire {
+  std::uint64_t seq = 0;
+  std::uint32_t inner_type = 0;
+  std::vector<std::byte> payload;
+};
+
+Expected<DataWire> decode_data(const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  DataWire out;
+  SCI_TRY_ASSIGN(seq, r.varint());
+  out.seq = seq;
+  SCI_TRY_ASSIGN(inner_type, r.u32());
+  out.inner_type = inner_type;
+  SCI_TRY_ASSIGN(len, r.varint());
+  if (len > r.remaining())
+    return make_error(ErrorCode::kParseError, "reliable payload truncated");
+  out.payload.resize(static_cast<std::size_t>(len));
+  const std::size_t offset = bytes.size() - r.remaining();
+  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+              static_cast<std::size_t>(len), out.payload.begin());
+  return out;
+}
+
+std::vector<std::byte> encode_ack(std::uint64_t seq) {
+  serde::Writer w(10);
+  w.varint(seq);
+  return w.take();
+}
+
+}  // namespace
+
+bool ReliableChannel::Dedup::accept(std::uint64_t seq) {
+  if (seq <= floor || above.contains(seq)) return false;
+  above.insert(seq);
+  // Compact: slide the floor over any now-contiguous prefix.
+  while (above.erase(floor + 1) != 0) ++floor;
+  return true;
+}
+
+ReliableChannel::ReliableChannel(net::Network& network, Guid self,
+                                 ReliableConfig config)
+    : network_(network),
+      self_(self),
+      config_(config),
+      rng_(network.simulator().rng().split()) {
+  SCI_ASSERT(!self.is_nil());
+  SCI_ASSERT(config_.max_attempts > 0);
+  obs::MetricsRegistry& metrics = network_.simulator().metrics();
+  m_accepted_ = &metrics.counter("rel.accepted");
+  m_data_sent_ = &metrics.counter("rel.data_sent");
+  m_retransmits_ = &metrics.counter("rel.retransmits");
+  m_acked_ = &metrics.counter("rel.acked");
+  m_delivered_ = &metrics.counter("rel.delivered");
+  m_dup_suppressed_ = &metrics.counter("rel.dup_suppressed");
+  m_dead_letters_ = &metrics.counter("rel.dead_letters");
+  m_failovers_ = &metrics.counter("rel.failovers");
+  m_ack_rtt_ms_ = &metrics.histogram("rel.ack_rtt_ms");
+  m_recovery_ms_ = &metrics.histogram("rel.recovery_ms");
+}
+
+ReliableChannel::~ReliableChannel() { halt(); }
+
+std::uint64_t ReliableChannel::send(Guid to, std::uint32_t inner_type,
+                                    std::vector<std::byte> payload) {
+  ++stats_.accepted;
+  m_accepted_->inc();
+  Peer& peer = peers_[to];
+  const std::uint64_t seq = ++peer.next_seq;
+  Pending& pending = peer.pending[seq];
+  pending.inner_type = inner_type;
+  pending.payload = std::move(payload);
+  pending.first_sent = network_.simulator().now();
+  transmit(to, seq);
+  return seq;
+}
+
+void ReliableChannel::transmit(Guid to, std::uint64_t seq) {
+  const auto peer_it = peers_.find(to);
+  if (peer_it == peers_.end()) return;
+  const auto it = peer_it->second.pending.find(seq);
+  if (it == peer_it->second.pending.end()) return;  // acked or abandoned
+  Pending& pending = it->second;
+  ++pending.attempts;
+  ++stats_.data_sent;
+  m_data_sent_->inc();
+  if (pending.attempts > 1) {
+    ++stats_.retransmits;
+    m_retransmits_->inc();
+  }
+
+  net::Message envelope;
+  envelope.type = kRelData;
+  envelope.from = self_;
+  envelope.to = to;
+  envelope.payload = encode_data(seq, pending.inner_type, pending.payload);
+  const Status sent = network_.send(std::move(envelope));
+  if (!sent.is_ok()) {
+    // Destination never attached / detached for good: retrying is futile.
+    SCI_DEBUG(kTag, "%s: seq %llu to detached %s — giving up",
+              self_.short_string().c_str(),
+              static_cast<unsigned long long>(seq), to.short_string().c_str());
+    give_up(to, seq, /*dead_letter=*/true);
+    return;
+  }
+  if (pending.attempts >= config_.max_attempts) {
+    // Last transmission: leave one rto for the ack, then dead-letter.
+    const Duration grace = retry_delay(pending.attempts);
+    const unsigned attempts = pending.attempts;
+    pending.retry = network_.simulator().schedule(grace, [this, to, seq,
+                                                          attempts] {
+      const auto p = peers_.find(to);
+      if (p == peers_.end()) return;
+      const auto f = p->second.pending.find(seq);
+      if (f == p->second.pending.end() || f->second.attempts != attempts)
+        return;
+      give_up(to, seq, /*dead_letter=*/true);
+    });
+    return;
+  }
+  arm_retry(to, seq, pending.attempts);
+}
+
+void ReliableChannel::arm_retry(Guid to, std::uint64_t seq,
+                                unsigned attempts) {
+  const auto peer_it = peers_.find(to);
+  if (peer_it == peers_.end()) return;
+  const auto it = peer_it->second.pending.find(seq);
+  if (it == peer_it->second.pending.end()) return;
+  it->second.retry = network_.simulator().schedule(
+      retry_delay(attempts), [this, to, seq] { transmit(to, seq); });
+}
+
+Duration ReliableChannel::retry_delay(unsigned attempts) {
+  // attempts is 1-based: the delay after the n-th transmission.
+  double rto_us = static_cast<double>(config_.initial_rto.count_micros());
+  for (unsigned i = 1; i < attempts; ++i) rto_us *= config_.backoff;
+  rto_us = std::min(rto_us,
+                    static_cast<double>(config_.max_rto.count_micros()));
+  std::int64_t delay = static_cast<std::int64_t>(rto_us);
+  if (config_.jitter > 0.0) {
+    const auto span = static_cast<std::uint64_t>(rto_us * config_.jitter);
+    if (span > 0) delay += static_cast<std::int64_t>(rng_.next_below(span));
+  }
+  return Duration::micros(std::max<std::int64_t>(delay, 1));
+}
+
+net::Message ReliableChannel::inner_message(Guid to, const Pending& p) const {
+  net::Message inner;
+  inner.type = p.inner_type;
+  inner.from = self_;
+  inner.to = to;
+  inner.payload = p.payload;
+  return inner;
+}
+
+void ReliableChannel::give_up(Guid to, std::uint64_t seq, bool dead_letter) {
+  const auto peer_it = peers_.find(to);
+  if (peer_it == peers_.end()) return;
+  const auto it = peer_it->second.pending.find(seq);
+  if (it == peer_it->second.pending.end()) return;
+  // Move the frame out before the callback: the handler may re-enter the
+  // channel (the overlay re-routes abandoned frames through other peers).
+  Pending pending = std::move(it->second);
+  network_.simulator().cancel(pending.retry);
+  peer_it->second.pending.erase(it);
+  if (dead_letter) {
+    ++stats_.dead_letters;
+    m_dead_letters_->inc();
+  } else {
+    ++stats_.failovers;
+    m_failovers_->inc();
+  }
+  if (give_up_) give_up_(inner_message(to, pending), pending.attempts);
+}
+
+std::size_t ReliableChannel::fail_all(Guid to) {
+  const auto peer_it = peers_.find(to);
+  if (peer_it == peers_.end() || peer_it->second.pending.empty()) return 0;
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(peer_it->second.pending.size());
+  for (const auto& [seq, pending] : peer_it->second.pending)
+    seqs.push_back(seq);
+  for (const std::uint64_t seq : seqs)
+    give_up(to, seq, /*dead_letter=*/false);
+  return seqs.size();
+}
+
+bool ReliableChannel::on_message(const net::Message& message,
+                                 const DeliverHandler& deliver) {
+  if (message.type == kRelData) {
+    auto wire = decode_data(message.payload);
+    if (!wire) {
+      SCI_WARN(kTag, "%s: malformed reliable data frame: %s",
+               self_.short_string().c_str(), wire.error().message().c_str());
+      return true;
+    }
+    // Always ack, even duplicates — the earlier ack may have been lost.
+    net::Message ack;
+    ack.type = kRelAck;
+    ack.from = self_;
+    ack.to = message.from;
+    ack.payload = encode_ack(wire->seq);
+    (void)network_.send(std::move(ack));
+
+    if (!dedup_[message.from].accept(wire->seq)) {
+      ++stats_.dup_suppressed;
+      m_dup_suppressed_->inc();
+      return true;
+    }
+    ++stats_.delivered;
+    m_delivered_->inc();
+    if (deliver) {
+      net::Message inner;
+      inner.type = wire->inner_type;
+      inner.from = message.from;
+      inner.to = self_;
+      inner.payload = std::move(wire->payload);
+      deliver(inner);
+    }
+    return true;
+  }
+
+  if (message.type == kRelAck) {
+    serde::Reader r(message.payload);
+    const auto seq = r.varint();
+    if (!seq) return true;
+    const auto peer_it = peers_.find(message.from);
+    if (peer_it == peers_.end()) return true;
+    const auto it = peer_it->second.pending.find(*seq);
+    if (it == peer_it->second.pending.end()) return true;  // late dup ack
+    network_.simulator().cancel(it->second.retry);
+    const Duration rtt =
+        network_.simulator().now() - it->second.first_sent;
+    m_ack_rtt_ms_->observe(rtt.millis_f());
+    if (it->second.attempts > 1) m_recovery_ms_->observe(rtt.millis_f());
+    ++stats_.acked;
+    m_acked_->inc();
+    peer_it->second.pending.erase(it);
+    return true;
+  }
+
+  return false;
+}
+
+void ReliableChannel::halt() {
+  for (auto& [to, peer] : peers_) {
+    for (auto& [seq, pending] : peer.pending)
+      network_.simulator().cancel(pending.retry);
+    peer.pending.clear();
+  }
+}
+
+std::size_t ReliableChannel::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [to, peer] : peers_) n += peer.pending.size();
+  return n;
+}
+
+std::size_t ReliableChannel::in_flight_to(Guid to) const {
+  const auto it = peers_.find(to);
+  return it == peers_.end() ? 0 : it->second.pending.size();
+}
+
+}  // namespace sci::reliable

@@ -1,0 +1,167 @@
+// SCI — reliable delivery channel over the simulated fabric.
+//
+// The paper claims "adaptivity to environmental changes (e.g. component
+// failure)" (§2), but a raw net::Network send is fire-and-forget: crashes,
+// partitions and link loss silently eat frames. ReliableChannel upgrades
+// point-to-point sends to at-least-once delivery with exactly-once
+// processing:
+//
+//  * every frame to a destination carries a per-destination sequence
+//    number and is wrapped in a kRelData envelope;
+//  * the receiver immediately acks (kRelAck) and deduplicates, so the
+//    application handler sees each (sender, seq) exactly once even when
+//    retransmissions race a slow ack;
+//  * unacked frames are retransmitted on a timer with exponential backoff
+//    plus deterministic jitter; after `max_attempts` the frame becomes a
+//    dead letter and the optional give-up handler gets it back (the overlay
+//    uses this to re-route around dead hops).
+//
+// The channel does not own a network node: its owner stays attached and
+// funnels every incoming frame through on_message(), which consumes channel
+// envelopes and hands unwrapped inner frames to the supplied handler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace sci::reliable {
+
+// Channel envelope frame types on net::Message::type. Chosen outside the
+// 0xCE01 (component), 0x5C10 (overlay) and 0xF0xx/0xBEAC (range) spaces.
+inline constexpr std::uint32_t kRelData = 0xAC01;
+inline constexpr std::uint32_t kRelAck = 0xAC02;
+
+struct ReliableConfig {
+  Duration initial_rto = Duration::millis(200);  // first retransmit timeout
+  Duration max_rto = Duration::seconds(5);       // backoff cap
+  double backoff = 2.0;                          // rto multiplier per attempt
+  double jitter = 0.1;   // uniform extra delay in [0, jitter * rto)
+  unsigned max_attempts = 8;  // transmissions before the frame dead-letters
+};
+
+struct ChannelStats {
+  std::uint64_t accepted = 0;        // send() calls
+  std::uint64_t data_sent = 0;       // envelope transmissions (incl. rexmit)
+  std::uint64_t retransmits = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t delivered = 0;       // inner frames handed to the handler
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t dead_letters = 0;    // gave up after max_attempts
+  std::uint64_t failovers = 0;       // handed back early via fail_all()
+};
+
+class ReliableChannel {
+ public:
+  // Receives the unwrapped inner frame, exactly once per (sender, seq).
+  using DeliverHandler = std::function<void(const net::Message&)>;
+  // Receives the reconstructed inner frame of an abandoned send plus the
+  // number of transmissions attempted.
+  using GiveUpHandler = std::function<void(const net::Message&, unsigned)>;
+
+  // `self` is the network identity the owner is attached as; envelopes are
+  // sent from (and acked to) that node.
+  ReliableChannel(net::Network& network, Guid self, ReliableConfig config = {});
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  void set_give_up_handler(GiveUpHandler handler) {
+    give_up_ = std::move(handler);
+  }
+
+  // Queues `payload` for reliable delivery of `inner_type` to `to` and
+  // returns the assigned sequence number. Retransmits until acked, the
+  // attempt cap is reached (dead letter + give-up callback), or the
+  // destination turns out to be detached (immediate give-up).
+  std::uint64_t send(Guid to, std::uint32_t inner_type,
+                     std::vector<std::byte> payload);
+
+  // Funnel for the owner's network handler. Returns true when the frame was
+  // a channel envelope (consumed): data frames are acked, deduplicated and
+  // delivered through `deliver`; ack frames settle pending sends.
+  bool on_message(const net::Message& message, const DeliverHandler& deliver);
+
+  // Declares `to` failed: every pending frame to it is handed to the
+  // give-up handler immediately (counted as failovers, not dead letters).
+  // Returns the number of frames handed back.
+  std::size_t fail_all(Guid to);
+
+  // Cancels all retransmission state without callbacks (models a local
+  // crash/halt of the owner).
+  void halt();
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::size_t in_flight_to(Guid to) const;
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const ReliableConfig& config() const { return config_; }
+  [[nodiscard]] Guid self() const { return self_; }
+
+ private:
+  struct Pending {
+    std::uint32_t inner_type = 0;
+    std::vector<std::byte> payload;
+    unsigned attempts = 0;
+    SimTime first_sent;
+    sim::TimerHandle retry;
+  };
+
+  struct Peer {
+    std::uint64_t next_seq = 0;
+    // Ordered so fail_all() hands frames back oldest-first.
+    std::map<std::uint64_t, Pending> pending;
+  };
+
+  // Receiver-side dedup window: `floor` is the highest seq below which
+  // everything has been delivered; `above` holds delivered seqs past a gap.
+  // The window self-compacts as gaps fill, so memory tracks the sender's
+  // outstanding frames, not history.
+  struct Dedup {
+    std::uint64_t floor = 0;
+    std::unordered_set<std::uint64_t> above;
+
+    // Returns true the first time `seq` is seen.
+    bool accept(std::uint64_t seq);
+  };
+
+  void transmit(Guid to, std::uint64_t seq);
+  void arm_retry(Guid to, std::uint64_t seq, unsigned attempts);
+  void give_up(Guid to, std::uint64_t seq, bool dead_letter);
+  [[nodiscard]] Duration retry_delay(unsigned attempts);
+  [[nodiscard]] net::Message inner_message(Guid to, const Pending& p) const;
+
+  net::Network& network_;
+  Guid self_;
+  ReliableConfig config_;
+  Rng rng_;
+  GiveUpHandler give_up_;
+  std::unordered_map<Guid, Peer> peers_;
+  std::unordered_map<Guid, Dedup> dedup_;
+
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_data_sent_ = nullptr;
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_acked_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dup_suppressed_ = nullptr;
+  obs::Counter* m_dead_letters_ = nullptr;
+  obs::Counter* m_failovers_ = nullptr;
+  obs::Histogram* m_ack_rtt_ms_ = nullptr;
+  obs::Histogram* m_recovery_ms_ = nullptr;
+
+  ChannelStats stats_;
+};
+
+}  // namespace sci::reliable

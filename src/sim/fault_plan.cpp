@@ -1,0 +1,74 @@
+#include "sim/fault_plan.h"
+
+#include <cstdio>
+
+namespace sci::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kLossRate:
+      return "loss_rate";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::crash(Duration at, std::string range) {
+  events_.push_back({at, FaultKind::kCrash, std::move(range), 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover(Duration at, std::string range) {
+  events_.push_back({at, FaultKind::kRecover, std::move(range), 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Duration at, std::string range, int group) {
+  events_.push_back({at, FaultKind::kPartition, std::move(range), group, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(Duration at) {
+  events_.push_back({at, FaultKind::kHeal, {}, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_rate(Duration at, double probability) {
+  events_.push_back({at, FaultKind::kLossRate, {}, 0, probability});
+  return *this;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  char line[128];
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kPartition:
+        std::snprintf(line, sizeof line, "+%.3fs partition %s -> group %d\n",
+                      e.at.seconds_f(), e.target.c_str(), e.group);
+        break;
+      case FaultKind::kLossRate:
+        std::snprintf(line, sizeof line, "+%.3fs loss_rate %.3f\n",
+                      e.at.seconds_f(), e.loss);
+        break;
+      case FaultKind::kHeal:
+        std::snprintf(line, sizeof line, "+%.3fs heal\n", e.at.seconds_f());
+        break;
+      default:
+        std::snprintf(line, sizeof line, "+%.3fs %s %s\n", e.at.seconds_f(),
+                      sim::to_string(e.kind), e.target.c_str());
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sci::sim

@@ -1,0 +1,64 @@
+// SCI — declarative fault-injection schedule.
+//
+// A FaultPlan is a list of timed fault events — crash/recover a named
+// range's machine, partition it away, heal every partition, or change the
+// fabric-wide loss rate — that the facade (Sci::inject_faults) turns into
+// simulator events. Keeping the schedule declarative makes chaos runs
+// reproducible and lets benches/CI state their fault model in one place:
+//
+//   sim::FaultPlan plan;
+//   plan.loss_rate(Duration::seconds(0), 0.05)
+//       .crash(Duration::seconds(3), "levelB")
+//       .recover(Duration::seconds(6), "levelB")
+//       .partition(Duration::seconds(8), "levelB", 1)
+//       .heal(Duration::seconds(10));
+//   sci.inject_faults(plan);
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sci::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,     // target machine silently drops all traffic
+  kRecover,       // undo a crash
+  kPartition,     // move target into a partition group (0 = connected core)
+  kHeal,          // dissolve all partitions
+  kLossRate,      // set the fabric-wide iid drop probability
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  Duration at = Duration::micros(0);  // relative to injection time
+  FaultKind kind = FaultKind::kCrash;
+  std::string target;  // range name (crash/recover/partition); empty otherwise
+  int group = 0;       // partition group (kPartition)
+  double loss = 0.0;   // drop probability (kLossRate)
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& crash(Duration at, std::string range);
+  FaultPlan& recover(Duration at, std::string range);
+  FaultPlan& partition(Duration at, std::string range, int group);
+  FaultPlan& heal(Duration at);
+  FaultPlan& loss_rate(Duration at, double probability);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  // One event per line, e.g. "+3.000s crash levelB" — for logs and docs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace sci::sim

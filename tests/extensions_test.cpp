@@ -67,8 +67,11 @@ TEST(QocTest, ContractValidation) {
 TEST(QocTest, FreshnessContractExcludesStaleCandidates) {
   Deployment d;
   RangeOptions options;
-  // Disable eviction so the stale entity stays registered but silent.
+  // Disable eviction so the stale entity stays registered but silent, and
+  // subscription leases so the periodic kLeaseRenew keep-alive (also a
+  // sign of life) cannot mask staleness.
   options.liveness.ping_period = Duration::seconds(3600);
+  options.reliability.lease_ttl = Duration::seconds(0);
   auto& range = *d.sci.create_range("r", d.building.building_path(), options).value();
   entity::PrinterCE printer(d.sci.network(), d.sci.new_guid(), "P",
                             d.building.room(0, 0));

@@ -231,9 +231,9 @@ TEST(NetworkTest, BroadcastRespectsCrashesAndUnknownSender) {
   Message beacon;
   beacon.type = 9;
   beacon.from = sender;
-  // Crashed recipients are counted as scheduled (the sender cannot tell)
-  // but never delivered.
-  EXPECT_EQ(f.network.broadcast(std::move(beacon), 1e9), 1u);
+  // Crashed recipients are dropped at send time and no longer counted in
+  // the scheduled total.
+  EXPECT_EQ(f.network.broadcast(std::move(beacon), 1e9), 0u);
   f.simulator.run_all();
   EXPECT_EQ(received, 0);
 

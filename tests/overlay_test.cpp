@@ -194,6 +194,109 @@ TEST(ScinetTest, CrashIsDetectedByHeartbeatsAndRoutedAround) {
   EXPECT_EQ(delivered, 11 * 11);
 }
 
+TEST(ScinetTest, PartitionHealReconverges) {
+  ScinetConfig config;
+  config.heartbeat_period = Duration::millis(200);
+  config.heartbeat_miss_limit = 2;
+  Deployment d(12, config);
+  d.grow(10);
+  const Guid victim = d.scinet.nodes()[4]->id();
+
+  d.network.set_partition_group(victim, 1);
+  d.scinet.settle(Duration::seconds(5));
+  // Heartbeat misses evicted the partitioned node from the connected side.
+  for (const auto& node : d.scinet.nodes()) {
+    if (node->id() == victim) continue;
+    EXPECT_FALSE(node->knows(victim))
+        << node->id().short_string() << " still references the partitioned node";
+  }
+
+  d.network.heal_partitions();
+  // Forgotten-peer probing reinstalls the victim (and vice versa) without
+  // any explicit re-join.
+  d.scinet.settle(Duration::seconds(10));
+
+  std::unordered_map<Guid, int> delivered_at;
+  for (const auto& node : d.scinet.nodes()) {
+    ScinetNode* raw = node.get();
+    raw->set_deliver_handler(
+        [&, raw](const RoutedMessage&) { ++delivered_at[raw->id()]; });
+  }
+  for (const auto& from : d.scinet.nodes()) {
+    for (const auto& to : d.scinet.nodes()) {
+      ASSERT_TRUE(from->route(to->id(), 1, {}).is_ok());
+    }
+  }
+  d.scinet.settle(Duration::seconds(10));
+  for (const auto& node : d.scinet.nodes()) {
+    EXPECT_EQ(delivered_at[node->id()], 10)
+        << "node " << node->id().short_string();
+  }
+}
+
+TEST(ScinetTest, RouteAckedSurvivesLossExactlyOnce) {
+  Deployment d(13);
+  d.grow(8);
+  net::LinkModel lossy;
+  lossy.base_latency = Duration::micros(200);
+  lossy.jitter = Duration::micros(50);
+  lossy.drop_probability = 0.3;
+  d.network.set_link_model(lossy);
+
+  auto& nodes = d.scinet.nodes();
+  ScinetNode& source = *nodes.front();
+  ScinetNode& target = *nodes.back();
+  int delivered = 0;
+  target.set_deliver_handler([&](const RoutedMessage&) { ++delivered; });
+  int receipts = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto ticket = source.route_acked(
+        target.id(), 0x55, {},
+        [&](const RouteTicket&, bool ok, std::uint32_t) {
+          EXPECT_TRUE(ok);
+          ++receipts;
+        });
+    ASSERT_TRUE(bool(ticket));
+  }
+  d.scinet.settle(Duration::seconds(30));
+
+  // Hop retransmission plus end-to-end re-origination got everything
+  // through; receiver-side ticket dedup kept each payload exactly-once.
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(receipts, 5);
+  EXPECT_EQ(source.pending_receipts(), 0u);
+  EXPECT_EQ(source.stats().e2e_dead_letters, 0u);
+}
+
+TEST(ScinetTest, RouteAckedDeliversDespiteMidFlightCrash) {
+  ScinetConfig config;
+  config.heartbeat_period = Duration::millis(200);
+  config.heartbeat_miss_limit = 2;
+  Deployment d(14, config);
+  d.grow(12);
+  auto& nodes = d.scinet.nodes();
+  const Guid victim = nodes[6]->id();
+  ScinetNode& source = *nodes.front();
+  ASSERT_NE(source.id(), victim);
+
+  ASSERT_TRUE(d.scinet.remove_node(victim, /*crash=*/true).is_ok());
+  // Route to the crashed node's id before anyone has detected the crash:
+  // hop give-ups and receipt-driven re-origination must steer the message
+  // to the numerically-closest survivor.
+  bool acked = false;
+  auto ticket = source.route_acked(
+      victim, 1, {},
+      [&](const RouteTicket&, bool ok, std::uint32_t) {
+        acked = ok;
+      });
+  ASSERT_TRUE(bool(ticket));
+  d.scinet.settle(Duration::seconds(15));
+
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(source.pending_receipts(), 0u);
+  EXPECT_EQ(source.stats().e2e_dead_letters, 0u);
+}
+
 TEST(ScinetTest, KeyRoutingDeliversAtNumericallyClosestNode) {
   Deployment d(10);
   d.grow(16);
