@@ -1,0 +1,238 @@
+// Experiment F9 — Context Server failover: delivery gap across a
+// kill/promote cycle.
+//
+// BM_Failover/seed — the Fig 8 deployment (three ranges, publisher and
+// subscribed monitor in levelB, steady acked inter-range routes) but levelB
+// now runs with one replicated standby. The FaultPlan crashes levelB's
+// primary outright — no recovery — under 5% link loss:
+//
+//   t=0s  loss 5%          t=3s  crash levelB (never recovers)
+//   t=16s loss 0
+//
+// The standby's heartbeat watchdog detects the silence, the facade fences
+// the dead primary and promotes the standby under the same range and CS
+// GUIDs. Claim under test (docs/REPLICATION.md): the takeover is invisible
+// to components — every published event still reaches the monitor exactly
+// once, nobody re-registers, and the only symptom is a bounded delivery gap
+// while the watchdog counts down. The report carries the gap, the
+// registration counts and the repl.* counters; CI fails the chaos job when
+// any seed loses an event, re-registers a component, or skips the failover.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "bench_report.h"
+#include "core/sci.h"
+
+namespace {
+
+using namespace sci;
+
+// Advertises the "pulse" output so the monitor's pattern subscription can
+// compose onto it.
+class PulseCE final : public entity::ContextEntity {
+ public:
+  using ContextEntity::ContextEntity;
+  int registered_calls = 0;
+
+ protected:
+  [[nodiscard]] std::vector<entity::TypeSig> profile_outputs() const override {
+    return {{"pulse", "", "pulse"}};
+  }
+  void on_registered() override { ++registered_calls; }
+};
+
+// Counts (source, sequence) pairs so duplicates are distinguishable from
+// fresh deliveries, stamps each unique arrival to measure the largest
+// inter-arrival gap (the failover window), and counts registration
+// handshakes so re-registration would show.
+class PulseMonitor final : public entity::ContextAwareApp {
+ public:
+  using ContextAwareApp::ContextAwareApp;
+  int unique_events = 0;
+  int duplicate_events = 0;
+  int registered_calls = 0;
+  Duration max_gap = Duration::micros(0);
+
+ protected:
+  void on_event(const event::Event& event, std::uint64_t) override {
+    if (seen_.insert({event.source, event.sequence}).second) {
+      ++unique_events;
+      const SimTime arrival = now();
+      if (have_last_) {
+        const Duration gap = arrival - last_arrival_;
+        if (gap > max_gap) max_gap = gap;
+      }
+      last_arrival_ = arrival;
+      have_last_ = true;
+    } else {
+      ++duplicate_events;
+    }
+  }
+  void on_registered() override { ++registered_calls; }
+
+ private:
+  std::set<std::pair<Guid, std::uint64_t>> seen_;
+  SimTime last_arrival_;
+  bool have_last_ = false;
+};
+
+void BM_Failover(benchmark::State& state) {
+  const auto seed = static_cast<std::uint64_t>(state.range(0));
+  ValueMap doc;
+  for (auto _ : state) {
+    Sci sci(seed);
+    mobility::Building building({.floors = 3, .rooms_per_floor = 4});
+    sci.set_location_directory(&building.directory());
+    auto& level_a = *sci.create_range("levelA", building.floor_path(0)).value();
+    RangeOptions replicated;
+    replicated.replication.standby_count = 1;
+    replicated.replication.heartbeat_period = Duration::millis(250);
+    replicated.replication.promote_timeout = Duration::seconds(1);
+    auto& level_b =
+        *sci.create_range("levelB", building.floor_path(1), replicated).value();
+    auto& level_c = *sci.create_range("levelC", building.floor_path(2)).value();
+    (void)level_c;
+
+    PulseCE pulse(sci.network(), sci.new_guid(), "pulse",
+                  entity::EntityKind::kDevice);
+    SCI_ASSERT(sci.enroll(pulse, level_b).is_ok());
+    PulseMonitor monitor(sci.network(), sci.new_guid(), "monitor",
+                         entity::EntityKind::kSoftware);
+    SCI_ASSERT(sci.enroll(monitor, level_b).is_ok());
+    SCI_ASSERT(monitor
+                   .submit_query("sub", query::QueryBuilder("sub", monitor.id())
+                                            .pattern("pulse")
+                                            .mode(query::QueryMode::kEventSubscription)
+                                            .to_xml())
+                   .is_ok());
+    sci.run_for(Duration::seconds(1));  // subscription + standby in place
+
+    // One terminal crash: the primary never comes back, the standby must
+    // carry the range for the rest of the run.
+    sim::FaultPlan plan;
+    plan.loss_rate(Duration::seconds(0), 0.05)
+        .crash(Duration::seconds(3), "levelB")
+        .loss_rate(Duration::seconds(16), 0.0);
+    sci.inject_faults(plan);
+
+    // Workload: one pulse every 250ms; one acked inter-range route every
+    // 200ms aimed at the faulted range's overlay key. Routes launched into
+    // the dead window may legitimately fail, so the acked ratio is reported
+    // but not gated.
+    int published = 0;
+    std::optional<sim::PeriodicTimer> publisher;
+    publisher.emplace(sci.simulator(), Duration::millis(250), [&] {
+      pulse.publish("pulse", Value(static_cast<std::int64_t>(published)));
+      ++published;
+    });
+    publisher->start();
+
+    int acked_originated = 0;
+    int acked_delivered = 0;
+    int acked_failed = 0;
+    std::optional<sim::PeriodicTimer> router;
+    router.emplace(sci.simulator(), Duration::millis(200), [&] {
+      auto ticket = level_a.scinet().route_acked(
+          level_b.id(), 0x7F77, {},
+          [&](const overlay::RouteTicket&, bool delivered, std::uint32_t) {
+            if (delivered) {
+              ++acked_delivered;
+            } else {
+              ++acked_failed;
+            }
+          });
+      if (bool(ticket)) ++acked_originated;
+    });
+    router->start();
+
+    sci.run_for(Duration::seconds(16));
+    publisher.reset();
+    router.reset();
+    // Drain: retransmit budgets flush every in-flight frame against the
+    // promoted server.
+    sci.run_for(Duration::seconds(30));
+
+    const range::ContextServer* survivor = sci.find_range("levelB");
+    SCI_ASSERT(survivor != nullptr);
+
+    const obs::MetricsSnapshot snap = sci.metrics().snapshot();
+    const double event_ratio =
+        published == 0 ? 0.0
+                       : static_cast<double>(monitor.unique_events) /
+                             static_cast<double>(published);
+    const double acked_ratio =
+        acked_originated == 0
+            ? 0.0
+            : static_cast<double>(acked_delivered) /
+                  static_cast<double>(acked_originated);
+
+    state.counters["event_delivery_ratio"] = event_ratio;
+    state.counters["duplicates"] = monitor.duplicate_events;
+    state.counters["delivery_gap_ms"] = monitor.max_gap.millis_f();
+    state.counters["failovers"] =
+        static_cast<double>(snap.counter("repl.failovers"));
+
+    doc.clear();
+    doc.emplace("seed", static_cast<std::int64_t>(seed));
+    doc.emplace("published", static_cast<std::int64_t>(published));
+    doc.emplace("delivered_unique",
+                static_cast<std::int64_t>(monitor.unique_events));
+    doc.emplace("duplicates",
+                static_cast<std::int64_t>(monitor.duplicate_events));
+    doc.emplace("event_delivery_ratio", event_ratio);
+    doc.emplace("delivery_gap_ms", monitor.max_gap.millis_f());
+    doc.emplace("publisher_registered_calls",
+                static_cast<std::int64_t>(pulse.registered_calls));
+    doc.emplace("monitor_registered_calls",
+                static_cast<std::int64_t>(monitor.registered_calls));
+    doc.emplace("survivor_promotions",
+                static_cast<std::int64_t>(survivor->stats().promotions));
+    doc.emplace("survivor_replication_lag",
+                static_cast<std::int64_t>(survivor->replication_lag()));
+    doc.emplace("duplicate_publishes_absorbed",
+                static_cast<std::int64_t>(survivor->stats().duplicate_publishes));
+    doc.emplace("acked_originated", static_cast<std::int64_t>(acked_originated));
+    doc.emplace("acked_delivered", static_cast<std::int64_t>(acked_delivered));
+    doc.emplace("acked_failed", static_cast<std::int64_t>(acked_failed));
+    doc.emplace("acked_delivery_ratio", acked_ratio);
+    doc.emplace("repl_failovers",
+                static_cast<std::int64_t>(snap.counter("repl.failovers")));
+    doc.emplace("repl_records_shipped",
+                static_cast<std::int64_t>(snap.counter("repl.records_shipped")));
+    doc.emplace("repl_records_applied",
+                static_cast<std::int64_t>(snap.counter("repl.records_applied")));
+    doc.emplace("repl_snapshots",
+                static_cast<std::int64_t>(snap.counter("repl.snapshots")));
+    doc.emplace("repl_state_divergence",
+                static_cast<std::int64_t>(snap.counter("repl.state_divergence")));
+    doc.emplace("repl_lag_gauge", snap.gauge("repl.lag"));
+    doc.emplace("retransmits",
+                static_cast<std::int64_t>(snap.counter("rel.retransmits")));
+    doc.emplace("dead_letters",
+                static_cast<std::int64_t>(snap.counter("rel.dead_letters")));
+    doc.emplace("stale_epoch_frames",
+                static_cast<std::int64_t>(snap.counter("rel.stale_epoch")));
+    doc.emplace("drops_crash", static_cast<std::int64_t>(
+                                   snap.counter("net.dropped.cause", "crash")));
+    doc.emplace("drops_loss", static_cast<std::int64_t>(
+                                  snap.counter("net.dropped.cause", "loss")));
+    doc.emplace("metrics", snap.to_json());
+  }
+  bench::add_run("failover/" + std::to_string(seed), Value(ValueMap(doc)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Failover)
+    ->Arg(42)
+    ->Arg(1337)
+    ->Arg(20260806)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+SCI_BENCHMARK_MAIN_WITH_REPORT("BENCH_fig9.json")

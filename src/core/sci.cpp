@@ -1,8 +1,22 @@
 #include "core/sci.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace sci {
+
+const char* to_string(RangeRole role) {
+  switch (role) {
+    case RangeRole::kPrimary:
+      return "primary";
+    case RangeRole::kStandby:
+      return "standby";
+    case RangeRole::kFenced:
+      return "fenced";
+  }
+  return "unknown";
+}
 
 Sci::Sci(std::uint64_t seed)
     : simulator_(seed),
@@ -10,9 +24,12 @@ Sci::Sci(std::uint64_t seed)
       rng_(simulator_.rng().split()) {}
 
 Sci::~Sci() {
-  // Ranges reference the network and directory; drop them first, in reverse
-  // creation order.
+  // Ranges reference the network and directory; drop them first (standbys
+  // before the primaries they follow), in reverse creation order. Fenced
+  // ex-primaries go last — live instances never reference them.
+  standbys_.clear();
   while (!ranges_.empty()) ranges_.pop_back();
+  while (!graveyard_.empty()) graveyard_.pop_back();
 }
 
 void Sci::set_location_directory(
@@ -57,10 +74,18 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   config.reliable.initial_rto = options.reliability.retransmit_base;
   config.reliable.max_rto = options.reliability.retransmit_cap;
   config.reliable.max_attempts = options.reliability.max_attempts;
+  config.reliable.dead_letter_capacity = options.reliability.dead_letter_capacity;
   config.scinet.reliable = config.reliable;  // overlay hops share the policy
+  // …except parking: overlay give-ups re-route around the dead hop, so a
+  // parked copy would double-report the frame. The range channel parks.
+  config.scinet.reliable.dead_letter_capacity = 0;
   config.acked_delivery = options.reliability.acked_delivery;
   config.lease_ttl = options.reliability.lease_ttl;
   config.lease_renew_period = options.reliability.lease_renew_period;
+  config.replication.snapshot_interval = options.replication.snapshot_interval;
+  config.replication.heartbeat_period = options.replication.heartbeat_period;
+  config.replication.promote_timeout = options.replication.promote_timeout;
+  config.recent_event_window = options.replication.recent_event_window;
 
   auto server = std::make_unique<range::ContextServer>(
       network_, std::move(config), &directory_, &semantics_, locations_);
@@ -89,8 +114,13 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
                             "' never joined the SCINET");
     }
   }
+  const Guid range_id = ref.id();
   ranges_.push_back(std::move(server));
   if (world_) world_->add_range(&ref);
+  auto_promote_[range_id] = options.replication.auto_promote;
+  for (unsigned i = 0; i < options.replication.standby_count; ++i) {
+    SCI_TRY(add_standby(ref.config().name));
+  }
   return &ref;
 }
 
@@ -106,6 +136,204 @@ range::ContextServer* Sci::find_range(std::string_view name) {
     if (server->config().name == name) return server.get();
   }
   return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// replication & failover (docs/REPLICATION.md)
+
+Expected<range::ContextServer*> Sci::add_standby(std::string_view range) {
+  range::ContextServer* primary = find_range(range);
+  if (primary == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  range::RangeConfig config = primary->config();
+  config.role = range::RangeConfig::Role::kStandby;
+  config.standby_node = new_guid();
+  config.epoch = primary->epoch();
+  auto standby = std::make_unique<range::ContextServer>(
+      network_, std::move(config), &directory_, &semantics_, locations_);
+  range::ContextServer& ref = *standby;
+  const Guid range_id = primary->id();
+  const Guid standby_node = ref.attached_node();
+  ref.set_promote_request_handler([this, range_id, standby_node] {
+    // Defer: promote() destroys the follower whose watchdog timer frame is
+    // still on the stack when this fires.
+    simulator_.schedule(Duration::micros(0), [this, range_id, standby_node] {
+      auto_promote(range_id, standby_node);
+    });
+  });
+  standbys_[range_id].push_back(std::move(standby));
+  primary->attach_standby(standby_node);
+  run_for(Duration::millis(50));  // snapshot + tail catch-up delivery
+  return &ref;
+}
+
+std::vector<range::ContextServer*> Sci::standbys(
+    std::string_view range) const {
+  std::vector<range::ContextServer*> out;
+  for (const auto& server : ranges_) {
+    if (server->config().name != range) continue;
+    const auto it = standbys_.find(server->id());
+    if (it == standbys_.end()) break;
+    out.reserve(it->second.size());
+    for (const auto& standby : it->second) out.push_back(standby.get());
+    break;
+  }
+  return out;
+}
+
+Expected<RangeRole> Sci::range_role(Guid node) const {
+  for (const auto& server : ranges_) {
+    if (server->attached_node() == node || server->id() == node) {
+      return server->is_fenced() ? RangeRole::kFenced : RangeRole::kPrimary;
+    }
+  }
+  for (const auto& [range_id, list] : standbys_) {
+    for (const auto& standby : list) {
+      if (standby->attached_node() == node) return RangeRole::kStandby;
+    }
+  }
+  for (const auto& server : graveyard_) {
+    if (server->attached_node() == node) return RangeRole::kFenced;
+  }
+  return make_error(ErrorCode::kNotFound,
+                    "no context-server instance attached as " +
+                        node.short_string());
+}
+
+Status Sci::promote(Guid standby_node) {
+  for (auto& [range_id, list] : standbys_) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i]->attached_node() == standby_node) {
+        return promote_instance(range_id, list, i);
+      }
+    }
+  }
+  return make_error(ErrorCode::kNotFound,
+                    "no standby attached as " + standby_node.short_string());
+}
+
+Status Sci::promote_range(std::string_view range) {
+  range::ContextServer* primary = find_range(range);
+  if (primary == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  const auto it = standbys_.find(primary->id());
+  if (it == standbys_.end() || it->second.empty()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "range '" + std::string(range) + "' has no standby");
+  }
+  return promote_instance(primary->id(), it->second, 0);
+}
+
+Status Sci::promote_instance(
+    Guid range_id, std::vector<std::unique_ptr<range::ContextServer>>& list,
+    std::size_t index) {
+  std::size_t slot = ranges_.size();
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i]->id() == range_id) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == ranges_.size()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no primary serving the standby's range");
+  }
+  // Re-join through any other live range so the overlay stays connected; a
+  // single-range deployment re-bootstraps instead.
+  Guid join_via;
+  for (const auto& server : ranges_) {
+    if (server->id() != range_id && !server->is_fenced() &&
+        server->overlay_ready()) {
+      join_via = server->id();
+      break;
+    }
+  }
+  std::unique_ptr<range::ContextServer> successor = std::move(list[index]);
+  list.erase(list.begin() + static_cast<std::ptrdiff_t>(index));
+  ranges_[slot]->fence();
+  graveyard_.push_back(std::move(ranges_[slot]));
+  successor->promote(join_via);
+  range::ContextServer* fresh = successor.get();
+  ranges_[slot] = std::move(successor);
+  // Surviving standbys follow the new primary: same CS node identity, new
+  // epoch — the fresh snapshot resynchronises them against its log.
+  for (const auto& standby : list) {
+    fresh->attach_standby(standby->attached_node());
+  }
+  simulator_.trace().record(simulator_.now(), obs::TraceKind::kFaultInject,
+                            range_id, fresh->attached_node(),
+                            static_cast<std::uint64_t>(sim::FaultKind::kPromote));
+  return Status::ok();
+}
+
+void Sci::auto_promote(Guid range_id, Guid standby_node) {
+  const auto flag = auto_promote_.find(range_id);
+  if (flag == auto_promote_.end() || !flag->second) return;
+  range::ContextServer* primary = nullptr;
+  for (const auto& server : ranges_) {
+    if (server->id() == range_id) {
+      primary = server.get();
+      break;
+    }
+  }
+  if (primary == nullptr) return;
+  // Only take over from a primary that actually looks dead — a sibling
+  // standby may have completed the failover while this request was queued,
+  // in which case the acting primary is the freshly promoted one.
+  if (!primary->is_fenced() && !network_.is_crashed(primary->server_node())) {
+    SCI_INFO("sci",
+             "standby %s promote request ignored — primary of '%s' is alive",
+             standby_node.short_string().c_str(),
+             primary->config().name.c_str());
+    return;
+  }
+  auto& list = standbys_[range_id];
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i]->attached_node() == standby_node) {
+      const Status promoted = promote_instance(range_id, list, i);
+      if (!promoted.is_ok()) {
+        SCI_WARN("sci", "auto-promote failed: %s",
+                 promoted.error().message().c_str());
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dead letters
+
+Expected<const reliable::DeadLetterQueue*> Sci::dead_letters(
+    std::string_view range) {
+  range::ContextServer* server = find_range(range);
+  if (server == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  return &server->channel().dead_letters();
+}
+
+Expected<std::size_t> Sci::replay_dead_letters(std::string_view range) {
+  range::ContextServer* server = find_range(range);
+  if (server == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  return server->channel().replay_dead_letters();
+}
+
+Expected<std::vector<reliable::DeadLetter>> Sci::drain_dead_letters(
+    std::string_view range) {
+  range::ContextServer* server = find_range(range);
+  if (server == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  return server->channel().drain_dead_letters();
 }
 
 void Sci::inject_faults(const sim::FaultPlan& plan) {
@@ -153,6 +381,15 @@ void Sci::inject_faults(const sim::FaultPlan& plan) {
           network_.set_link_model(model);
           trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
                        Guid(), detail);
+          return;
+        }
+        case sim::FaultKind::kPromote: {
+          const Status promoted = promote_range(event.target);
+          if (!promoted.is_ok()) {
+            SCI_WARN("sci", "fault promote '%s' failed: %s",
+                     event.target.c_str(),
+                     promoted.error().message().c_str());
+          }
           return;
         }
       }

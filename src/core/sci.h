@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/expected.h"
@@ -71,6 +72,29 @@ struct ReliabilityOptions {
   unsigned max_attempts = 8;
   Duration lease_ttl = Duration::seconds(30);
   Duration lease_renew_period = Duration::seconds(5);
+  // Frames the retransmit budget abandons are parked in the range's
+  // dead-letter queue up to this many entries (0 disables parking). Inspect
+  // with Sci::dead_letters(), re-inject with Sci::replay_dead_letters().
+  std::size_t dead_letter_capacity = 64;
+};
+
+// Primary/backup replication of Context Server state (docs/REPLICATION.md).
+struct ReplicationOptions {
+  // Standby Context Servers created alongside the primary. 0 = replication
+  // off (no log, no snapshots, no failover).
+  unsigned standby_count = 0;
+  Duration snapshot_interval = Duration::seconds(10);
+  Duration heartbeat_period = Duration::millis(500);
+  // Heartbeat silence after which a standby asks to be promoted.
+  Duration promote_timeout = Duration::seconds(2);
+  // When true the facade honours that request (fence dead primary, promote
+  // the standby); when false the watchdog only fires and the operator
+  // promotes by hand (Sci::promote).
+  bool auto_promote = true;
+  // Recent events the promoted server re-dispatches to close the dead
+  // primary's in-flight delivery hole (component-side dedup absorbs the
+  // overlap). 0 disables redelivery.
+  std::size_t recent_event_window = 64;
 };
 
 struct RangeOptions {
@@ -78,11 +102,20 @@ struct RangeOptions {
   LivenessOptions liveness;
   DiscoveryOptions discovery;
   ReliabilityOptions reliability;
+  ReplicationOptions replication;
   double x = 0.0;
   double y = 0.0;
   // Access-control group (queries never cross groups).
   int group = 0;
 };
+
+// What a Context Server instance currently is (Sci::range_role).
+enum class RangeRole : std::uint8_t {
+  kPrimary,  // serving the range
+  kStandby,  // replicating, ready to promote
+  kFenced,   // superseded ex-primary, permanently silent
+};
+const char* to_string(RangeRole role);
 
 class Sci {
  public:
@@ -133,6 +166,40 @@ class Sci {
   [[nodiscard]] std::vector<range::ContextServer*> ranges() const;
   [[nodiscard]] range::ContextServer* find_range(std::string_view name);
 
+  // --- replication & failover (docs/REPLICATION.md) ---------------------------
+  // Creates one more standby for an existing range and brings it up to date
+  // (snapshot + tail catch-up). create_range calls this standby_count
+  // times; later calls add cold standbys to a live deployment.
+  Expected<range::ContextServer*> add_standby(std::string_view range);
+
+  // Standbys currently attached to `range` (empty when none / unknown).
+  [[nodiscard]] std::vector<range::ContextServer*> standbys(
+      std::string_view range) const;
+
+  // Role of the instance attached to the network as `node` — a primary's
+  // server node, a standby's node, or a fenced ex-primary's last identity.
+  // Live instances win the lookup when a fenced one shares the GUID.
+  [[nodiscard]] Expected<RangeRole> range_role(Guid node) const;
+
+  // Operator-fiat failover: fences the range's current primary (it stays
+  // alive but permanently silent) and promotes the standby attached as
+  // `standby_node` under the primary's range/CS identities. Components keep
+  // their registrations; subscriptions and configurations keep firing.
+  Status promote(Guid standby_node);
+  // Same, picking the range by name and its first standby.
+  Status promote_range(std::string_view range);
+
+  // --- dead letters -----------------------------------------------------------
+  // The bounded parking lot of frames `range`'s retransmit budget gave up
+  // on (dest, seq, cause, age — see reliable::DeadLetter).
+  Expected<const reliable::DeadLetterQueue*> dead_letters(
+      std::string_view range);
+  // Re-sends every parked frame through the reliable path; returns how many.
+  Expected<std::size_t> replay_dead_letters(std::string_view range);
+  // Discards the parked frames, returning them for inspection.
+  Expected<std::vector<reliable::DeadLetter>> drain_dead_letters(
+      std::string_view range);
+
   // --- component lifecycle ------------------------------------------------------
   // Starts `component` at (x, y), points it at `server`'s Range Service and
   // runs the simulator until the Fig 5 handshake completes (bounded wait).
@@ -156,6 +223,15 @@ class Sci {
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
+  // Fences the acting primary of the range and promotes the standby at
+  // `it` within `list`. The fenced primary moves to the graveyard.
+  Status promote_instance(
+      Guid range_id,
+      std::vector<std::unique_ptr<range::ContextServer>>& list,
+      std::size_t index);
+  // Heartbeat-watchdog path: promote only if the primary looks dead.
+  void auto_promote(Guid range_id, Guid standby_node);
+
   sim::Simulator simulator_;
   net::Network network_;
   Rng rng_;
@@ -164,6 +240,14 @@ class Sci {
   const location::LocationDirectory* locations_ = nullptr;
   std::optional<mobility::World> world_;
   std::vector<std::unique_ptr<range::ContextServer>> ranges_;
+  // Standbys per range id, promotion order = attach order.
+  std::unordered_map<Guid, std::vector<std::unique_ptr<range::ContextServer>>>
+      standbys_;
+  // Whether the facade honours a standby's promote request (per range).
+  std::unordered_map<Guid, bool> auto_promote_;
+  // Fenced ex-primaries. Kept alive until teardown: their still-pending
+  // simulator closures (deferred-query expiries…) capture `this`.
+  std::vector<std::unique_ptr<range::ContextServer>> graveyard_;
 };
 
 }  // namespace sci

@@ -225,6 +225,15 @@ void Component::handle_message(const net::Message& message) {
     case kDeliver: {
       auto body = DeliverBody::decode(message.payload);
       if (!body) return;
+      // A promoted Context Server replays its recent-event window, so the
+      // same (subscription, source, sequence) delivery can arrive from both
+      // incarnations. Events without a sequence bypass the window.
+      if (body->event.sequence != 0 &&
+          !delivery_seen_[{body->subscription, body->event.source}].accept(
+              body->event.sequence)) {
+        ++stats_.duplicate_deliveries;
+        return;
+      }
       ++stats_.events_received;
       on_event(body->event, body->owner_tag);
       return;

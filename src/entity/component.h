@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/expected.h"
 #include "common/guid.h"
@@ -41,6 +43,7 @@ struct RegistrationInfo {
 struct ComponentStats {
   std::uint64_t events_published = 0;
   std::uint64_t events_received = 0;
+  std::uint64_t duplicate_deliveries = 0;  // suppressed failover replays
   std::uint64_t queries_submitted = 0;
   std::uint64_t results_received = 0;
   std::uint64_t invokes_handled = 0;
@@ -198,6 +201,11 @@ class Component {
   // Subscription-lease keep-alive, armed when the RegisterAck carries a
   // non-zero renew cadence.
   std::optional<sim::PeriodicTimer> lease_timer_;
+  // Delivery dedup keyed (subscription, producing source) over the event
+  // sequence: a promoted standby Context Server replays its recent-event
+  // window after failover, so a delivery may legitimately arrive twice
+  // (docs/REPLICATION.md). Subscription ids survive failover verbatim.
+  std::map<std::pair<std::uint64_t, Guid>, reliable::SeqDedup> delivery_seen_;
   ComponentStats stats_;
 };
 

@@ -141,4 +141,29 @@ std::vector<SubscriptionId> SubscriptionTable::ids_for_subscriber(
   return out;
 }
 
+std::vector<Subscription> SubscriptionTable::all() const {
+  std::vector<Subscription> out;
+  out.reserve(subscriptions_.size());
+  for (const auto& [id, subscription] : subscriptions_)
+    out.push_back(subscription);
+  std::sort(out.begin(), out.end(),
+            [](const Subscription& a, const Subscription& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void SubscriptionTable::restore(Subscription subscription) {
+  const SubscriptionId id = subscription.id;
+  if (subscriptions_.contains(id)) (void)remove(id);
+  by_type_[subscription.event_type].push_back(id);
+  subscriptions_.emplace(id, std::move(subscription));
+  if (id >= next_id_) next_id_ = id + 1;
+}
+
+void SubscriptionTable::clear() {
+  subscriptions_.clear();
+  by_type_.clear();
+}
+
 }  // namespace sci::event

@@ -81,6 +81,16 @@ class SubscriptionTable {
   [[nodiscard]] std::vector<SubscriptionId> ids_for_subscriber(
       Guid subscriber) const;
 
+  // Replication support (docs/REPLICATION.md): a standby restores the
+  // table verbatim from a snapshot so its subscription ids — which
+  // components and configurations hold references to — match the
+  // primary's exactly.
+  [[nodiscard]] std::vector<Subscription> all() const;  // sorted by id
+  void restore(Subscription subscription);  // keeps the id, rebuilds index
+  void clear();
+  [[nodiscard]] SubscriptionId next_id() const { return next_id_; }
+  void set_next_id(SubscriptionId id) { next_id_ = id; }
+
   [[nodiscard]] std::uint64_t total_delivered() const {
     return total_delivered_;
   }

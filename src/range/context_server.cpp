@@ -60,7 +60,11 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
       config_(std::move(config)),
       directory_(directory),
       location_directory_(locations),
-      channel_(network, config_.context_server, config_.reliable),
+      channel_(network,
+               config_.role == RangeConfig::Role::kStandby
+                   ? config_.standby_node
+                   : config_.context_server,
+               config_.reliable),
       mediator_(network, config_.context_server),
       locations_(locations),
       resolver_(semantics),
@@ -68,6 +72,10 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   SCI_ASSERT(!config_.range.is_nil());
   SCI_ASSERT(!config_.context_server.is_nil());
   SCI_ASSERT(semantics != nullptr);
+  if (config_.role == RangeConfig::Role::kStandby) {
+    SCI_ASSERT_MSG(!config_.standby_node.is_nil(),
+                   "standby role requires a standby_node identity");
+  }
   semantics_ = semantics;
 
   obs::MetricsRegistry& metrics = network_.simulator().metrics();
@@ -86,8 +94,10 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_events_in_ = &metrics.counter("cs.events_in");
   m_delivery_dead_letters_ = &metrics.counter("em.deliveries.dead_letter");
   m_dead_letters_ = &metrics.counter("cs.dead_letters");
+  m_promotions_ = &metrics.counter("repl.failovers");
   trace_ = &network_.simulator().trace();
 
+  channel_.set_epoch(config_.epoch);
   channel_.set_give_up_handler(
       [this](const net::Message& message, unsigned attempts) {
         on_channel_give_up(message, attempts);
@@ -102,11 +112,31 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
         [this](const event::Subscription& s) { on_lease_expired(s); });
   }
 
+  attached_as_ = config_.role == RangeConfig::Role::kStandby
+                     ? config_.standby_node
+                     : config_.context_server;
   const Status attached = network_.attach(
-      config_.context_server,
-      [this](const net::Message& m) { on_component_message(m); }, config_.x,
-      config_.y);
+      attached_as_, [this](const net::Message& m) { on_component_message(m); },
+      config_.x, config_.y);
   SCI_ASSERT_MSG(attached.is_ok(), "context server node id collision");
+
+  if (config_.role == RangeConfig::Role::kStandby) {
+    // Follower mode (docs/REPLICATION.md): mirror the primary's state, emit
+    // nothing. No overlay node, no directory entry, no liveness timers — the
+    // primary owns those duties until promote().
+    mediator_.set_silent(true);
+    follower_ = std::make_unique<replicate::ReplicationFollower>(
+        network_, attached_as_, config_.context_server, config_.replication,
+        [this](const replicate::LogRecord& record) { apply_record(record); },
+        [this](const std::vector<std::byte>& blob, std::uint64_t base) {
+          apply_snapshot_state(blob, base);
+        },
+        [this] {
+          if (on_promote_requested_) on_promote_requested_();
+        },
+        [this] { return state_fingerprint(); });
+    return;
+  }
 
   scinet_ = std::make_unique<overlay::ScinetNode>(
       network_, config_.range, config_.scinet, config_.x, config_.y);
@@ -120,6 +150,25 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
                                           config_.group});
   }
 
+  start_primary_duties();
+}
+
+ContextServer::~ContextServer() {
+  beacon_timer_.reset();
+  ping_timer_.reset();
+  follower_.reset();
+  repl_log_.reset();
+  scinet_.reset();
+  if (fenced_) return;  // the successor owns the identities already
+  if (config_.role == RangeConfig::Role::kPrimary && directory_ != nullptr) {
+    directory_->remove(config_.range);
+  }
+  if (network_.is_attached(attached_as_)) {
+    (void)network_.detach(attached_as_);
+  }
+}
+
+void ContextServer::start_primary_duties() {
   ping_timer_.emplace(network_.simulator(), config_.ping_period,
                       [this] { ping_tick(); });
   ping_timer_->start();
@@ -127,7 +176,8 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   if (config_.beacon_period > Duration::seconds(0)) {
     beacon_timer_.emplace(network_.simulator(), config_.beacon_period,
                           [this] {
-                            if (!scinet_->is_ready()) return;
+                            if (scinet_ == nullptr || !scinet_->is_ready())
+                              return;
                             serde::Writer w;
                             entity::write_guid(w, config_.range);
                             net::Message beacon;
@@ -141,24 +191,20 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   }
 }
 
-ContextServer::~ContextServer() {
-  beacon_timer_.reset();
-  ping_timer_.reset();
-  scinet_.reset();
-  if (directory_ != nullptr) directory_->remove(config_.range);
-  if (network_.is_attached(config_.context_server)) {
-    (void)network_.detach(config_.context_server);
-  }
+void ContextServer::bootstrap_overlay() {
+  if (scinet_ != nullptr) scinet_->bootstrap();
 }
 
-void ContextServer::bootstrap_overlay() { scinet_->bootstrap(); }
-
 Status ContextServer::join_overlay(Guid bootstrap_range) {
+  if (scinet_ == nullptr) {
+    return make_error(ErrorCode::kUnavailable,
+                      "standby has no overlay presence until promoted");
+  }
   return scinet_->join(bootstrap_range);
 }
 
 void ContextServer::join_via_discovery(Duration listen_window) {
-  if (scinet_->is_ready()) return;
+  if (scinet_ == nullptr || scinet_->is_ready()) return;
   discovering_ = true;
   network_.simulator().schedule(listen_window, [this] {
     if (!discovering_) return;  // a beacon already triggered the join
@@ -189,6 +235,7 @@ void ContextServer::detect_departure(Guid component) {
 
 void ContextServer::send_to(Guid to, std::uint32_t type,
                             std::vector<std::byte> payload) {
+  if (passive()) return;  // standbys and fenced instances stay silent
   net::Message message;
   message.type = type;
   message.from = config_.context_server;
@@ -199,6 +246,7 @@ void ContextServer::send_to(Guid to, std::uint32_t type,
 
 void ContextServer::send_component(Guid to, std::uint32_t type,
                                    std::vector<std::byte> payload) {
+  if (passive()) return;
   if (config_.acked_delivery) {
     channel_.send(to, type, std::move(payload));
     return;
@@ -285,6 +333,8 @@ void ContextServer::on_component_message(const net::Message& message) {
       if (!body) return;
       registrar_.touch(message.from, network_.simulator().now());
       (void)profiles_.update(body->profile);
+      log_record(replicate::RecordKind::kProfileUpdate, message.from, 0,
+                 message.payload);
       return;
     }
     case entity::kQuerySubmit:
@@ -298,6 +348,7 @@ void ContextServer::on_component_message(const net::Message& message) {
       // the Range Service's failure detector.
       registrar_.touch(message.from, network_.simulator().now());
       mediator_.renew(message.from);
+      log_record(replicate::RecordKind::kLeaseRenew, message.from, 0, {});
       return;
     case kForwardedQueryDirect: {
       auto wire = ForwardedQueryWire::decode(message.payload);
@@ -306,7 +357,25 @@ void ContextServer::on_component_message(const net::Message& message) {
       if (!parsed) return;
       ++stats_.queries_adopted;
       m_queries_adopted_->inc();
+      log_record(replicate::RecordKind::kQuery, wire->app, 0, message.payload);
       admit_query(std::move(*parsed), wire->app);
+      return;
+    }
+    case replicate::kReplRecord:
+      if (follower_ != nullptr) follower_->on_record(message.payload);
+      return;
+    case replicate::kReplSnapshot:
+      if (follower_ != nullptr) follower_->on_snapshot(message.payload);
+      return;
+    case replicate::kReplHeartbeat:
+      if (follower_ != nullptr) follower_->on_heartbeat(message.payload);
+      return;
+    case replicate::kReplApplied: {
+      if (repl_log_ == nullptr) return;
+      serde::Reader r(message.payload);
+      if (const auto index = r.varint(); index) {
+        repl_log_->on_applied(message.from, *index);
+      }
       return;
     }
     case kRangeBeacon: {
@@ -317,7 +386,7 @@ void ContextServer::on_component_message(const net::Message& message) {
       discovering_ = false;
       SCI_INFO(kTag, "%s: discovered range %s via beacon — joining",
                config_.name.c_str(), peer_range->short_string().c_str());
-      (void)scinet_->join(*peer_range);
+      if (scinet_ != nullptr) (void)scinet_->join(*peer_range);
       return;
     }
     default:
@@ -351,6 +420,7 @@ void ContextServer::on_scinet_deliver(const overlay::RoutedMessage& message) {
   }
   ++stats_.queries_adopted;
   m_queries_adopted_->inc();
+  log_record(replicate::RecordKind::kQuery, wire->app, 0, message.payload);
   admit_query(std::move(*parsed), wire->app);
 }
 
@@ -363,27 +433,35 @@ void ContextServer::handle_hello(const net::Message& message) {
   detect_arrival(message.from);
 }
 
-void ContextServer::handle_register(const net::Message& message) {
-  auto body = entity::RegisterRequestBody::decode(message.payload);
-  if (!body) return;
+Status ContextServer::admit_registration(
+    Guid component, const entity::RegisterRequestBody& body) {
   const SimTime now = network_.simulator().now();
-  const Guid component = message.from;
-
   if (!registrar_.contains(component)) {
-    const Status added = registrar_.add(component, body->is_app, now);
-    if (!added.is_ok()) {
-      entity::RegisterAckBody nack;
-      nack.accepted = false;
-      nack.reason = added.error().message();
-      send_to(component, entity::kRegisterAck, nack.encode());
-      return;
-    }
+    SCI_TRY(registrar_.add(component, body.is_app, now));
     ++stats_.registrations;
     m_registrations_->inc();
   } else {
     registrar_.touch(component, now);
   }
-  profiles_.put(body->profile, std::move(body->advertisement));
+  profiles_.put(body.profile, body.advertisement);
+  return Status::ok();
+}
+
+void ContextServer::handle_register(const net::Message& message) {
+  auto body = entity::RegisterRequestBody::decode(message.payload);
+  if (!body) return;
+  const Guid component = message.from;
+
+  const Status admitted = admit_registration(component, *body);
+  if (!admitted.is_ok()) {
+    entity::RegisterAckBody nack;
+    nack.accepted = false;
+    nack.reason = admitted.error().message();
+    send_to(component, entity::kRegisterAck, nack.encode());
+    return;
+  }
+  log_record(replicate::RecordKind::kRegister, component,
+             body->is_app ? 1 : 0, message.payload);
 
   entity::RegisterAckBody ack;
   ack.accepted = true;
@@ -413,9 +491,23 @@ void ContextServer::handle_publish(const net::Message& message) {
     return;
   }
   registrar_.touch(message.from, network_.simulator().now());
+  // Cross-incarnation dedup (docs/REPLICATION.md): a publish the dead
+  // primary acked was already replicated here, so the component's
+  // retransmission to the promoted standby must not dispatch it twice.
+  if (body->event.sequence != 0 &&
+      !publish_seen_[body->event.source].accept(body->event.sequence)) {
+    ++stats_.duplicate_publishes;
+    return;
+  }
+  log_record(replicate::RecordKind::kPublish, message.from, 0,
+             message.payload);
+  ingest_publish(*body);
+}
+
+void ContextServer::ingest_publish(const entity::PublishBody& body) {
   ++stats_.events_in;
   m_events_in_->inc();
-  const event::Event& event = body->event;
+  const event::Event& event = body.event;
 
   // 0. Context gathering and storage (paper conclusion): every event is
   // recorded under its subject for later pull queries.
@@ -429,6 +521,7 @@ void ContextServer::handle_publish(const net::Message& message) {
       retire_configuration(subscription.owner_tag);
     }
   }
+  remember_recent(event);
 
   // 2. Location Service keeps profiles current from location-bearing events.
   const auto new_location = locations_.observe(event, profiles_);
@@ -476,6 +569,10 @@ void ContextServer::handle_query_submit(const net::Message& message) {
     reply_result(message.from, body->query_id, parsed.error(), Value());
     return;
   }
+  if (repl_log_ != nullptr) {
+    const ForwardedQueryWire wire{message.from, body->xml};
+    log_record(replicate::RecordKind::kQuery, message.from, 0, wire.encode());
+  }
   admit_query(std::move(*parsed), message.from);
 }
 
@@ -519,6 +616,9 @@ void ContextServer::admit_query(query::Query q, Guid app) {
     m_queries_forwarded_->inc();
     trace_->record(network_.simulator().now(), obs::TraceKind::kQueryForward,
                    config_.range, target_range);
+    // Standby replay: the primary performed the actual forward; a replica
+    // only mirrors the accounting.
+    if (scinet_ == nullptr) return;
     ForwardedQueryWire wire{app, q.to_xml()};
     // Hybrid communication model (§4): prefer the overlay, but when this
     // range's routing state no longer covers the target (partition healed,
@@ -1073,6 +1173,7 @@ void ContextServer::configure_entities(const compose::ConfigurationPlan& plan) {
 void ContextServer::retire_configuration(std::uint64_t tag) {
   const compose::ActiveConfiguration* active = store_.find(tag);
   if (active == nullptr) return;
+  log_record(replicate::RecordKind::kConfigRetire, active->app, tag, {});
   // Unconfigure parameterised entities first.
   for (const auto& [entity_id, params] : active->plan.params) {
     entity::ConfigureBody body{tag, Value()};
@@ -1092,6 +1193,8 @@ void ContextServer::retire_configuration(std::uint64_t tag) {
 void ContextServer::departure(Guid component, bool failure) {
   const MemberRecord* record = registrar_.find(component);
   if (record == nullptr) return;
+  log_record(replicate::RecordKind::kDeparture, component, failure ? 1 : 0,
+             {});
   const bool is_app = record->is_app;
   (void)registrar_.remove(component);
   mediator_.remove_subscriber(component);
@@ -1234,6 +1337,554 @@ void ContextServer::ping_tick() {
       continue;
     }
     send_to(member, entity::kPing, {});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// replication & failover (docs/REPLICATION.md)
+
+void ContextServer::log_record(replicate::RecordKind kind, Guid subject,
+                               std::uint64_t flag,
+                               std::vector<std::byte> payload) {
+  if (repl_log_ == nullptr) return;
+  replicate::LogRecord record;
+  record.kind = kind;
+  record.subject = subject;
+  record.flag = flag;
+  record.payload = std::move(payload);
+  (void)repl_log_->append(std::move(record));
+}
+
+void ContextServer::apply_record(const replicate::LogRecord& record) {
+  ++stats_.records_applied;
+  const SimTime now = network_.simulator().now();
+  switch (record.kind) {
+    case replicate::RecordKind::kRegister: {
+      auto body = entity::RegisterRequestBody::decode(record.payload);
+      if (!body) return;
+      (void)admit_registration(record.subject, *body);
+      // Same follow-on work as handle_register, so tag allocation stays in
+      // lockstep with the primary; the ack itself is suppressed (passive()).
+      retry_pending_queries();
+      if (config_.rebind_on_arrival && !body->is_app) rebind_after_arrival();
+      return;
+    }
+    case replicate::RecordKind::kDeparture:
+      departure(record.subject, record.flag != 0);
+      return;
+    case replicate::RecordKind::kPublish: {
+      auto body = entity::PublishBody::decode(record.payload);
+      if (!body) return;
+      registrar_.touch(record.subject, now);
+      if (body->event.sequence != 0) {
+        (void)publish_seen_[body->event.source].accept(body->event.sequence);
+      }
+      ingest_publish(*body);
+      return;
+    }
+    case replicate::RecordKind::kProfileUpdate: {
+      auto body = entity::ProfileUpdateBody::decode(record.payload);
+      if (!body) return;
+      registrar_.touch(record.subject, now);
+      (void)profiles_.update(body->profile);
+      return;
+    }
+    case replicate::RecordKind::kLeaseRenew:
+      registrar_.touch(record.subject, now);
+      mediator_.renew(record.subject);
+      return;
+    case replicate::RecordKind::kQuery: {
+      auto wire = ForwardedQueryWire::decode(record.payload);
+      if (!wire) return;
+      auto parsed = query::Query::parse(wire->xml);
+      if (!parsed) return;
+      admit_query(std::move(*parsed), wire->app);
+      return;
+    }
+    case replicate::RecordKind::kConfigRetire:
+      retire_configuration(record.flag);
+      return;
+  }
+  SCI_DEBUG(kTag, "%s: unknown replication record kind %u",
+            config_.name.c_str(), static_cast<unsigned>(record.kind));
+}
+
+std::vector<std::byte> ContextServer::snapshot_state() const {
+  serde::Writer w(1024);
+  w.varint(config_.epoch);
+  w.varint(next_tag_);
+
+  // Registrar membership (GUID order — deterministic).
+  const auto members = registrar_.members();
+  w.varint(members.size());
+  for (const Guid id : members) {
+    const MemberRecord* record = registrar_.find(id);
+    entity::write_guid(w, id);
+    w.boolean(record->is_app);
+    w.svarint(record->registered_at.micros());
+    w.svarint(record->last_seen.micros());
+    w.varint(record->missed_pings);
+  }
+
+  // Profiles + advertisements. Hash-map order is fine: restore goes through
+  // put(), which is order-independent.
+  const auto profiles = profiles_.snapshot();
+  w.varint(profiles.size());
+  for (const entity::Profile& profile : profiles) {
+    profile.encode(w);
+    const entity::Advertisement* ad = profiles_.advertisement(profile.entity);
+    w.boolean(ad != nullptr);
+    if (ad != nullptr) ad->encode(w);
+  }
+
+  // Subscription table, verbatim: components and configurations hold the
+  // ids, so they must survive failover unchanged.
+  const auto& table = mediator_.table();
+  w.varint(table.next_id());
+  const auto subscriptions = table.all();
+  w.varint(subscriptions.size());
+  for (const event::Subscription& s : subscriptions) {
+    w.varint(s.id);
+    entity::write_guid(w, s.subscriber);
+    w.boolean(s.producer.has_value());
+    if (s.producer) entity::write_guid(w, *s.producer);
+    w.string(s.event_type);
+    s.filter.encode(w);
+    w.boolean(s.one_time);
+    w.varint(s.delivered);
+    w.varint(s.owner_tag);
+    w.svarint(s.expires_at.micros());
+  }
+
+  // Context store contents, re-ingested through record() on restore.
+  const auto events = context_store_.export_all();
+  w.varint(events.size());
+  for (const event::Event& e : events) e.encode(w);
+
+  // Active configurations.
+  auto tags = store_.all_tags();
+  std::sort(tags.begin(), tags.end());
+  w.varint(tags.size());
+  for (const std::uint64_t tag : tags) {
+    const compose::ActiveConfiguration* active = store_.find(tag);
+    const compose::ConfigurationPlan& plan = active->plan;
+    w.varint(plan.tag);
+    entity::write_guid(w, plan.sink);
+    w.string(plan.sink_type);
+    w.varint(plan.entities.size());
+    for (const Guid e : plan.entities) entity::write_guid(w, e);
+    w.varint(plan.edges.size());
+    for (const compose::PlanEdge& edge : plan.edges) {
+      entity::write_guid(w, edge.producer);
+      entity::write_guid(w, edge.consumer);
+      w.string(edge.event_type);
+      edge.filter.encode(w);
+    }
+    w.varint(plan.params.size());
+    for (const auto& [entity_id, params] : plan.params) {
+      entity::write_guid(w, entity_id);
+      params.encode(w);
+    }
+    w.varint(plan.depth_);
+    entity::write_guid(w, active->app);
+    w.string(active->query_id);
+    w.boolean(active->one_time);
+  }
+
+  // Tracked queries (recomposition inputs), as XML round-trips.
+  std::vector<std::uint64_t> tracked_tags;
+  tracked_tags.reserve(tracked_.size());
+  for (const auto& [tag, tracked] : tracked_) tracked_tags.push_back(tag);
+  std::sort(tracked_tags.begin(), tracked_tags.end());
+  w.varint(tracked_tags.size());
+  for (const std::uint64_t tag : tracked_tags) {
+    const TrackedQuery& tracked = tracked_.at(tag);
+    w.varint(tag);
+    w.string(tracked.query.to_xml());
+    entity::write_guid(w, tracked.app);
+    w.boolean(tracked.one_time);
+  }
+
+  // Edge bookkeeping.
+  std::vector<std::uint64_t> edge_tags;
+  edge_tags.reserve(app_edges_.size());
+  for (const auto& [tag, id] : app_edges_) edge_tags.push_back(tag);
+  std::sort(edge_tags.begin(), edge_tags.end());
+  w.varint(edge_tags.size());
+  for (const std::uint64_t tag : edge_tags) {
+    w.varint(tag);
+    w.varint(app_edges_.at(tag));
+  }
+  std::vector<std::string> edge_keys;
+  edge_keys.reserve(edge_subscriptions_.size());
+  for (const auto& [key, id] : edge_subscriptions_) edge_keys.push_back(key);
+  std::sort(edge_keys.begin(), edge_keys.end());
+  w.varint(edge_keys.size());
+  for (const std::string& key : edge_keys) {
+    w.string(key);
+    w.varint(edge_subscriptions_.at(key));
+  }
+
+  // Parked queries (trigger-deferred, then unresolvable-pending).
+  for (const std::vector<DeferredQuery>* list : {&deferred_, &pending_}) {
+    w.varint(list->size());
+    for (const DeferredQuery& d : *list) {
+      w.string(d.query.to_xml());
+      entity::write_guid(w, d.app);
+      w.svarint(d.stored_at.micros());
+    }
+  }
+
+  // Publish dedup windows.
+  std::vector<Guid> sources;
+  sources.reserve(publish_seen_.size());
+  for (const auto& [source, dedup] : publish_seen_) sources.push_back(source);
+  std::sort(sources.begin(), sources.end());
+  w.varint(sources.size());
+  for (const Guid source : sources) {
+    const reliable::SeqDedup& dedup = publish_seen_.at(source);
+    entity::write_guid(w, source);
+    w.varint(dedup.floor);
+    std::vector<std::uint64_t> above(dedup.above.begin(), dedup.above.end());
+    std::sort(above.begin(), above.end());
+    w.varint(above.size());
+    for (const std::uint64_t seq : above) w.varint(seq);
+  }
+
+  // Recent-event redelivery window.
+  w.varint(recent_events_.size());
+  for (const event::Event& e : recent_events_) e.encode(w);
+
+  return w.take();
+}
+
+void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
+                                         std::uint64_t base_index) {
+  // Replace local state wholesale. A decode failure abandons the apply with
+  // a warning — the next periodic snapshot retries from scratch.
+  registrar_.clear();
+  profiles_.clear();
+  mediator_.mutable_table().clear();
+  context_store_.clear();
+  store_ = compose::ConfigurationStore(config_.enable_reuse);
+  tracked_.clear();
+  app_edges_.clear();
+  edge_subscriptions_.clear();
+  deferred_.clear();
+  pending_.clear();
+  publish_seen_.clear();
+  recent_events_.clear();
+
+  const Status applied = [&]() -> Status {
+    serde::Reader r(blob);
+    SCI_TRY_ASSIGN(epoch, r.varint());
+    config_.epoch = static_cast<std::uint32_t>(epoch);
+    SCI_TRY_ASSIGN(next_tag, r.varint());
+    next_tag_ = next_tag;
+
+    SCI_TRY_ASSIGN(n_members, r.varint());
+    for (std::uint64_t i = 0; i < n_members; ++i) {
+      MemberRecord record;
+      SCI_TRY_ASSIGN(id, entity::read_guid(r));
+      record.entity = id;
+      SCI_TRY_ASSIGN(is_app, r.boolean());
+      record.is_app = is_app;
+      SCI_TRY_ASSIGN(registered_at, r.svarint());
+      record.registered_at = SimTime::from_micros(registered_at);
+      SCI_TRY_ASSIGN(last_seen, r.svarint());
+      record.last_seen = SimTime::from_micros(last_seen);
+      SCI_TRY_ASSIGN(missed, r.varint());
+      record.missed_pings = static_cast<unsigned>(missed);
+      registrar_.restore(record);
+    }
+
+    SCI_TRY_ASSIGN(n_profiles, r.varint());
+    for (std::uint64_t i = 0; i < n_profiles; ++i) {
+      SCI_TRY_ASSIGN(profile, entity::Profile::decode(r));
+      SCI_TRY_ASSIGN(has_ad, r.boolean());
+      std::optional<entity::Advertisement> ad;
+      if (has_ad) {
+        SCI_TRY_ASSIGN(decoded, entity::Advertisement::decode(r));
+        ad = std::move(decoded);
+      }
+      profiles_.put(profile, std::move(ad));
+    }
+
+    SCI_TRY_ASSIGN(next_sub_id, r.varint());
+    SCI_TRY_ASSIGN(n_subs, r.varint());
+    for (std::uint64_t i = 0; i < n_subs; ++i) {
+      event::Subscription s;
+      SCI_TRY_ASSIGN(id, r.varint());
+      s.id = id;
+      SCI_TRY_ASSIGN(subscriber, entity::read_guid(r));
+      s.subscriber = subscriber;
+      SCI_TRY_ASSIGN(has_producer, r.boolean());
+      if (has_producer) {
+        SCI_TRY_ASSIGN(producer, entity::read_guid(r));
+        s.producer = producer;
+      }
+      SCI_TRY_ASSIGN(event_type, r.string());
+      s.event_type = std::move(event_type);
+      SCI_TRY_ASSIGN(filter, event::EventFilter::decode(r));
+      s.filter = std::move(filter);
+      SCI_TRY_ASSIGN(one_time, r.boolean());
+      s.one_time = one_time;
+      SCI_TRY_ASSIGN(delivered, r.varint());
+      s.delivered = delivered;
+      SCI_TRY_ASSIGN(owner_tag, r.varint());
+      s.owner_tag = owner_tag;
+      SCI_TRY_ASSIGN(expires_at, r.svarint());
+      s.expires_at = SimTime::from_micros(expires_at);
+      mediator_.mutable_table().restore(std::move(s));
+    }
+    mediator_.mutable_table().set_next_id(next_sub_id);
+
+    SCI_TRY_ASSIGN(n_events, r.varint());
+    for (std::uint64_t i = 0; i < n_events; ++i) {
+      SCI_TRY_ASSIGN(e, event::Event::decode(r));
+      (void)context_store_.record(e);
+    }
+
+    SCI_TRY_ASSIGN(n_configs, r.varint());
+    for (std::uint64_t i = 0; i < n_configs; ++i) {
+      compose::ConfigurationPlan plan;
+      SCI_TRY_ASSIGN(tag, r.varint());
+      plan.tag = tag;
+      SCI_TRY_ASSIGN(sink, entity::read_guid(r));
+      plan.sink = sink;
+      SCI_TRY_ASSIGN(sink_type, r.string());
+      plan.sink_type = std::move(sink_type);
+      SCI_TRY_ASSIGN(n_entities, r.varint());
+      for (std::uint64_t j = 0; j < n_entities; ++j) {
+        SCI_TRY_ASSIGN(e, entity::read_guid(r));
+        plan.entities.push_back(e);
+      }
+      SCI_TRY_ASSIGN(n_edges, r.varint());
+      for (std::uint64_t j = 0; j < n_edges; ++j) {
+        compose::PlanEdge edge;
+        SCI_TRY_ASSIGN(producer, entity::read_guid(r));
+        edge.producer = producer;
+        SCI_TRY_ASSIGN(consumer, entity::read_guid(r));
+        edge.consumer = consumer;
+        SCI_TRY_ASSIGN(edge_type, r.string());
+        edge.event_type = std::move(edge_type);
+        SCI_TRY_ASSIGN(filter, event::EventFilter::decode(r));
+        edge.filter = std::move(filter);
+        plan.edges.push_back(std::move(edge));
+      }
+      SCI_TRY_ASSIGN(n_params, r.varint());
+      for (std::uint64_t j = 0; j < n_params; ++j) {
+        SCI_TRY_ASSIGN(entity_id, entity::read_guid(r));
+        SCI_TRY_ASSIGN(v, Value::decode(r));
+        plan.params.emplace(entity_id, std::move(v));
+      }
+      SCI_TRY_ASSIGN(depth, r.varint());
+      plan.depth_ = static_cast<std::size_t>(depth);
+      compose::ActiveConfiguration active;
+      active.plan = std::move(plan);
+      SCI_TRY_ASSIGN(app, entity::read_guid(r));
+      active.app = app;
+      SCI_TRY_ASSIGN(query_id, r.string());
+      active.query_id = std::move(query_id);
+      SCI_TRY_ASSIGN(one_time, r.boolean());
+      active.one_time = one_time;
+      // Edges returned by admit() are ignored: the subscription table was
+      // restored verbatim above.
+      (void)store_.admit(std::move(active));
+    }
+
+    SCI_TRY_ASSIGN(n_tracked, r.varint());
+    for (std::uint64_t i = 0; i < n_tracked; ++i) {
+      SCI_TRY_ASSIGN(tag, r.varint());
+      SCI_TRY_ASSIGN(xml, r.string());
+      SCI_TRY_ASSIGN(app, entity::read_guid(r));
+      SCI_TRY_ASSIGN(one_time, r.boolean());
+      auto parsed = query::Query::parse(xml);
+      if (!parsed) return parsed.error();
+      tracked_[tag] = TrackedQuery{std::move(*parsed), app, one_time};
+    }
+
+    SCI_TRY_ASSIGN(n_app_edges, r.varint());
+    for (std::uint64_t i = 0; i < n_app_edges; ++i) {
+      SCI_TRY_ASSIGN(tag, r.varint());
+      SCI_TRY_ASSIGN(id, r.varint());
+      app_edges_[tag] = id;
+    }
+    SCI_TRY_ASSIGN(n_edge_subs, r.varint());
+    for (std::uint64_t i = 0; i < n_edge_subs; ++i) {
+      SCI_TRY_ASSIGN(key, r.string());
+      SCI_TRY_ASSIGN(id, r.varint());
+      edge_subscriptions_[std::move(key)] = id;
+    }
+
+    for (std::vector<DeferredQuery>* list : {&deferred_, &pending_}) {
+      SCI_TRY_ASSIGN(n, r.varint());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        SCI_TRY_ASSIGN(xml, r.string());
+        SCI_TRY_ASSIGN(app, entity::read_guid(r));
+        SCI_TRY_ASSIGN(stored_at, r.svarint());
+        auto parsed = query::Query::parse(xml);
+        if (!parsed) return parsed.error();
+        list->push_back(DeferredQuery{std::move(*parsed), app,
+                                      SimTime::from_micros(stored_at)});
+      }
+    }
+
+    SCI_TRY_ASSIGN(n_sources, r.varint());
+    for (std::uint64_t i = 0; i < n_sources; ++i) {
+      SCI_TRY_ASSIGN(source, entity::read_guid(r));
+      reliable::SeqDedup dedup;
+      SCI_TRY_ASSIGN(floor, r.varint());
+      dedup.floor = floor;
+      SCI_TRY_ASSIGN(n_above, r.varint());
+      for (std::uint64_t j = 0; j < n_above; ++j) {
+        SCI_TRY_ASSIGN(seq, r.varint());
+        dedup.above.insert(seq);
+      }
+      publish_seen_[source] = std::move(dedup);
+    }
+
+    SCI_TRY_ASSIGN(n_recent, r.varint());
+    for (std::uint64_t i = 0; i < n_recent; ++i) {
+      SCI_TRY_ASSIGN(e, event::Event::decode(r));
+      recent_events_.push_back(std::move(e));
+    }
+    return Status::ok();
+  }();
+
+  if (!applied.is_ok()) {
+    SCI_WARN(kTag, "%s: snapshot apply (base %llu) failed: %s",
+             config_.name.c_str(),
+             static_cast<unsigned long long>(base_index),
+             applied.error().message().c_str());
+    return;
+  }
+  SCI_DEBUG(kTag, "%s: applied snapshot at base %llu (%zu members, %zu subs)",
+            config_.name.c_str(), static_cast<unsigned long long>(base_index),
+            registrar_.size(), mediator_.table().size());
+}
+
+std::uint64_t ContextServer::state_fingerprint() const {
+  // Cheap structural digest, not a full state hash: enough to catch the
+  // known divergence mode (timer-driven query executions racing log records
+  // inside the ship latency) without hashing every profile and event.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(next_tag_);
+  mix(registrar_.size());
+  mix(profiles_.size());
+  mix(mediator_.table().size());
+  mix(mediator_.table().next_id());
+  mix(store_.size());
+  mix(tracked_.size());
+  mix(app_edges_.size());
+  return h;
+}
+
+void ContextServer::attach_standby(Guid standby_node) {
+  SCI_ASSERT_MSG(config_.role == RangeConfig::Role::kPrimary && !fenced_,
+                 "only an active primary replicates");
+  if (repl_log_ == nullptr) {
+    repl_log_ = std::make_unique<replicate::ReplicationLog>(
+        network_, channel_, config_.replication,
+        [this] { return snapshot_state(); },
+        [this] { return state_fingerprint(); });
+  }
+  repl_log_->attach_standby(standby_node);
+}
+
+void ContextServer::detach_standby(Guid standby_node) {
+  if (repl_log_ != nullptr) repl_log_->detach_standby(standby_node);
+}
+
+void ContextServer::promote(Guid join_via) {
+  SCI_ASSERT_MSG(config_.role == RangeConfig::Role::kStandby && !fenced_,
+                 "promote() is a standby-only transition");
+  SCI_INFO(kTag, "%s: promoting standby %s to primary (epoch %u)",
+           config_.name.c_str(), attached_as_.short_string().c_str(),
+           config_.epoch + 1);
+  follower_.reset();
+  config_.role = RangeConfig::Role::kPrimary;
+  config_.epoch += 1;
+
+  // Identity takeover: shed the standby node, adopt the CS node and stamp
+  // the new epoch on every outgoing frame, so receivers reset their dedup
+  // windows and drop stale frames from the dead incarnation.
+  if (network_.is_attached(attached_as_)) (void)network_.detach(attached_as_);
+  channel_.rebind(config_.context_server, config_.epoch);
+  attached_as_ = config_.context_server;
+  const Status attached = network_.attach(
+      attached_as_, [this](const net::Message& m) { on_component_message(m); },
+      config_.x, config_.y);
+  SCI_ASSERT_MSG(attached.is_ok(),
+                 "promotion with the old primary unfenced — fence() it first");
+
+  // Overlay presence under the (unchanged) range id.
+  scinet_ = std::make_unique<overlay::ScinetNode>(
+      network_, config_.range, config_.scinet, config_.x, config_.y);
+  scinet_->set_deliver_handler(
+      [this](const overlay::RoutedMessage& m) { on_scinet_deliver(m); });
+  if (!join_via.is_nil()) {
+    (void)scinet_->join(join_via);
+  } else {
+    scinet_->bootstrap();
+  }
+  if (directory_ != nullptr) {
+    // Refresh rather than duplicate: the fenced primary left its entry in
+    // place (same range, same CS node).
+    directory_->remove(config_.range);
+    directory_->add(RangeDirectory::Entry{config_.range,
+                                          config_.context_server,
+                                          config_.logical_root, config_.name,
+                                          config_.group});
+  }
+
+  mediator_.set_silent(false);
+  start_primary_duties();
+  ++stats_.promotions;
+  m_promotions_->inc();
+  // Close the delivery hole the dead primary left: anything it had sent but
+  // not finished retransmitting died with its channel. Components dedup the
+  // overlap by (subscription, source, sequence).
+  redispatch_recent();
+}
+
+void ContextServer::fence() {
+  if (fenced_) return;
+  SCI_INFO(kTag, "%s: fencing %s (epoch %u)", config_.name.c_str(),
+           attached_as_.short_string().c_str(), config_.epoch);
+  fenced_ = true;
+  beacon_timer_.reset();
+  ping_timer_.reset();
+  discovering_ = false;
+  repl_log_.reset();
+  follower_.reset();
+  mediator_.set_silent(true);
+  channel_.halt();
+  scinet_.reset();  // releases the range overlay id for the successor
+  if (network_.is_attached(attached_as_)) (void)network_.detach(attached_as_);
+  // The directory entry stays: the successor serves the same range and
+  // context-server GUIDs.
+}
+
+void ContextServer::remember_recent(const event::Event& event) {
+  if (config_.recent_event_window == 0) return;
+  recent_events_.push_back(event);
+  while (recent_events_.size() > config_.recent_event_window) {
+    recent_events_.pop_front();
+  }
+}
+
+void ContextServer::redispatch_recent() {
+  for (const event::Event& event : recent_events_) {
+    const auto matched = mediator_.dispatch(event);
+    for (const event::Subscription& subscription : matched) {
+      if (subscription.one_time && subscription.owner_tag != 0) {
+        retire_configuration(subscription.owner_tag);
+      }
+    }
   }
 }
 

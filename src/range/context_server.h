@@ -36,6 +36,7 @@
 #include "overlay/scinet.h"
 #include "query/query.h"
 #include "reliable/reliable.h"
+#include "replicate/replication.h"
 #include "range/context_store.h"
 #include "range/directory.h"
 #include "range/event_mediator.h"
@@ -92,6 +93,19 @@ struct RangeConfig {
   // enables them per range. Components renew every lease_renew_period.
   Duration lease_ttl = Duration::seconds(0);
   Duration lease_renew_period = Duration::seconds(5);
+  // Replication & failover (docs/REPLICATION.md). A standby server carries
+  // the same `range`/`context_server` GUIDs as its primary but attaches to
+  // the network as `standby_node`, holds no overlay presence and suppresses
+  // all component-facing traffic until promote() swaps it into the primary
+  // identity.
+  enum class Role : std::uint8_t { kPrimary, kStandby };
+  Role role = Role::kPrimary;
+  Guid standby_node;        // required when role == kStandby
+  std::uint32_t epoch = 0;  // incarnation number stamped on channel frames
+  replicate::ReplicationConfig replication;
+  // Dispatched events retained for post-failover redelivery; components
+  // dedup the overlap. 0 disables the window.
+  std::size_t recent_event_window = 64;
 };
 
 struct ServerStats {
@@ -108,6 +122,9 @@ struct ServerStats {
   std::uint64_t recompositions = 0;
   std::uint64_t recomposition_failures = 0;
   std::uint64_t events_in = 0;
+  std::uint64_t promotions = 0;           // standby → primary takeovers
+  std::uint64_t records_applied = 0;      // replication records applied here
+  std::uint64_t duplicate_publishes = 0;  // suppressed cross-incarnation dups
 };
 
 class ContextServer {
@@ -135,7 +152,54 @@ class ContextServer {
   // bootstrap a fresh overlay when the window closes silent. Requires the
   // peers to have beaconing enabled (RangeConfig::beacon_period).
   void join_via_discovery(Duration listen_window = Duration::seconds(3));
-  [[nodiscard]] bool overlay_ready() const { return scinet_->is_ready(); }
+  [[nodiscard]] bool overlay_ready() const {
+    return scinet_ != nullptr && scinet_->is_ready();
+  }
+
+  // --- replication & failover (docs/REPLICATION.md) -----------------------
+  // Primary: enrol `standby_node` as a replica and bring it up to date
+  // (snapshot + retained log tail). Creates the replication log on first
+  // use.
+  void attach_standby(Guid standby_node);
+  void detach_standby(Guid standby_node);
+
+  // Standby: take over the range identity. The old primary must be fenced
+  // (or dead and fence()d by the operator) first — its network node and
+  // overlay id are reused verbatim. `join_via` is any live range to join
+  // the overlay through (nil = bootstrap a fresh overlay).
+  void promote(Guid join_via);
+
+  // Superseded primary: halt every duty, detach from the network and free
+  // the range/CS identities for the successor. Irreversible; the fenced
+  // instance only remains valid as a stats witness.
+  void fence();
+
+  // Standby: invoked (once) when primary heartbeats stay silent past
+  // ReplicationConfig::promote_timeout. The facade wires this to a
+  // full fence-and-promote; tests may promote by hand instead.
+  using PromoteRequestHandler = std::function<void()>;
+  void set_promote_request_handler(PromoteRequestHandler handler) {
+    on_promote_requested_ = std::move(handler);
+  }
+
+  [[nodiscard]] RangeConfig::Role role() const { return config_.role; }
+  [[nodiscard]] bool is_fenced() const { return fenced_; }
+  [[nodiscard]] std::uint32_t epoch() const { return config_.epoch; }
+  // The node this server is currently attached to the network as: the CS
+  // node for a primary, standby_node for a standby.
+  [[nodiscard]] Guid attached_node() const { return attached_as_; }
+  // head − min(applied) over standbys; 0 when not replicating.
+  [[nodiscard]] std::uint64_t replication_lag() const {
+    return repl_log_ != nullptr ? repl_log_->lag() : 0;
+  }
+  [[nodiscard]] const replicate::ReplicationLog* replication_log() const {
+    return repl_log_.get();
+  }
+  [[nodiscard]] const replicate::ReplicationFollower* replication_follower()
+      const {
+    return follower_.get();
+  }
+  [[nodiscard]] reliable::ReliableChannel& channel() { return channel_; }
 
   // --- Range Service (arrival/departure) ----------------------------------
   // Arrival detection: the world (or a test) tells the Range Service that a
@@ -244,6 +308,31 @@ class ContextServer {
                       const location::LocRef& new_location);
   void schedule_not_before(const query::Query& q, Guid app);
 
+  // --- replication ---------------------------------------------------------
+  // Appends a record to the replication log when one exists (primary with
+  // standbys); no-op otherwise, so the hot path costs one branch.
+  void log_record(replicate::RecordKind kind, Guid subject, std::uint64_t flag,
+                  std::vector<std::byte> payload);
+  // Follower apply callback: replays one primary operation locally.
+  void apply_record(const replicate::LogRecord& record);
+  [[nodiscard]] std::vector<std::byte> snapshot_state() const;
+  void apply_snapshot_state(const std::vector<std::byte>& blob,
+                            std::uint64_t base_index);
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+  // Registrar + profile admission shared by handle_register (primary) and
+  // apply_record (standby) so both sides mutate state identically.
+  Status admit_registration(Guid component,
+                            const entity::RegisterRequestBody& body);
+  // Store + dispatch + trigger stage of handle_publish, shared with
+  // apply_record.
+  void ingest_publish(const entity::PublishBody& body);
+  void remember_recent(const event::Event& event);
+  void redispatch_recent();
+  void start_primary_duties();
+  [[nodiscard]] bool passive() const {
+    return config_.role == RangeConfig::Role::kStandby || fenced_;
+  }
+
   net::Network& network_;
   RangeConfig config_;
   RangeDirectory* directory_;
@@ -302,6 +391,23 @@ class ContextServer {
   std::optional<sim::PeriodicTimer> ping_timer_;
   std::optional<sim::PeriodicTimer> beacon_timer_;
   bool discovering_ = false;
+
+  // --- replication state ---------------------------------------------------
+  std::unique_ptr<replicate::ReplicationLog> repl_log_;      // primary side
+  std::unique_ptr<replicate::ReplicationFollower> follower_;  // standby side
+  PromoteRequestHandler on_promote_requested_;
+  Guid attached_as_;     // current network identity (CS node or standby node)
+  bool fenced_ = false;
+  // Cross-incarnation publish dedup: (source → sequence window), maintained
+  // identically on primary and standby, so a publish the dead primary acked
+  // and replicated is not re-dispatched when the component retransmits it to
+  // the promoted standby.
+  std::unordered_map<Guid, reliable::SeqDedup> publish_seen_;
+  // Recently dispatched events, redelivered after promotion to close the
+  // primary's in-flight delivery hole (components dedup the overlap).
+  std::deque<event::Event> recent_events_;
+  obs::Counter* m_promotions_ = nullptr;
+
   ServerStats stats_;
 };
 

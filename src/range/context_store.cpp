@@ -91,4 +91,20 @@ Value ContextStore::event_to_value(const event::Event& event) {
   return Value(std::move(out));
 }
 
+std::vector<event::Event> ContextStore::export_all() const {
+  std::vector<const Key*> keys;
+  keys.reserve(buffers_.size());
+  for (const auto& [key, buffer] : buffers_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(), [](const Key* a, const Key* b) {
+    if (a->subject != b->subject) return a->subject < b->subject;
+    return a->type < b->type;
+  });
+  std::vector<event::Event> out;
+  for (const Key* key : keys) {
+    const auto& buffer = buffers_.at(*key);
+    out.insert(out.end(), buffer.begin(), buffer.end());
+  }
+  return out;
+}
+
 }  // namespace sci::range

@@ -54,6 +54,12 @@ class ContextStore {
   // Drops everything recorded about `subject` (departed the system).
   std::size_t forget(Guid subject);
 
+  // Replication support (docs/REPLICATION.md): every stored event in
+  // deterministic (subject, type, insertion) order. A standby re-ingests
+  // the list through record() to rebuild identical buffers.
+  [[nodiscard]] std::vector<event::Event> export_all() const;
+  void clear() { buffers_.clear(); }
+
   [[nodiscard]] std::size_t keys() const { return buffers_.size(); }
   [[nodiscard]] const ContextStoreStats& stats() const { return stats_; }
 

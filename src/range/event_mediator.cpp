@@ -9,6 +9,7 @@ std::vector<event::Subscription> EventMediator::dispatch(
   ++stats_.events_in;
   m_events_in_->inc();
   std::vector<event::Subscription> matched = table_.collect_matches(event);
+  if (silent_) return matched;  // standby replica: bookkeeping only
   for (const event::Subscription& subscription : matched) {
     entity::DeliverBody body{subscription.id, subscription.owner_tag, event};
     if (channel_ != nullptr) {

@@ -63,6 +63,13 @@ class EventMediator {
   // renew_period). Pass ttl == 0 to disable again.
   void set_lease_options(LeaseOptions options);
 
+  // Standby mode (docs/REPLICATION.md): dispatch() performs all table
+  // bookkeeping — match counters, one-time removal — but sends no kDeliver
+  // frames, so a replica converges on subscription state without emitting
+  // duplicate traffic.
+  void set_silent(bool silent) { silent_ = silent; }
+  [[nodiscard]] bool silent() const { return silent_; }
+
   // Invoked for each reaped subscription so the owner (the Context Server)
   // can drop dependent state.
   using LeaseExpiredHandler = std::function<void(const event::Subscription&)>;
@@ -136,6 +143,8 @@ class EventMediator {
   [[nodiscard]] const event::SubscriptionTable& table() const {
     return table_;
   }
+  // Replication snapshots restore the table verbatim (ids preserved).
+  [[nodiscard]] event::SubscriptionTable& mutable_table() { return table_; }
   [[nodiscard]] const MediatorStats& stats() const { return stats_; }
 
  private:
@@ -153,6 +162,7 @@ class EventMediator {
   net::Network& network_;
   Guid node_;
   event::SubscriptionTable table_;
+  bool silent_ = false;
   reliable::ReliableChannel* channel_ = nullptr;  // nullptr = raw sends
   LeaseOptions lease_options_;
   std::optional<sim::PeriodicTimer> reaper_;

@@ -51,6 +51,11 @@ class Registrar {
   [[nodiscard]] std::vector<Guid> entities() const;  // non-apps only
   [[nodiscard]] std::vector<Guid> applications() const;
 
+  // Replication support: reinstate a membership record verbatim from a
+  // snapshot (docs/REPLICATION.md).
+  void restore(const MemberRecord& record) { members_[record.entity] = record; }
+  void clear() { members_.clear(); }
+
  private:
   std::unordered_map<Guid, MemberRecord> members_;
 };
@@ -74,6 +79,7 @@ class ProfileManager {
 
   [[nodiscard]] std::size_t size() const { return profiles_.size(); }
   [[nodiscard]] std::uint64_t updates() const { return updates_; }
+  void clear() { profiles_.clear(); }
 
  private:
   struct Entry {

@@ -1,6 +1,7 @@
 #include "reliable/reliable.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.h"
 #include "serde/buffer.h"
@@ -11,10 +12,13 @@ namespace {
 
 constexpr const char* kTag = "reliable";
 
-// kRelData payload: varint seq, u32 inner type, varint length, raw body.
-std::vector<std::byte> encode_data(std::uint64_t seq, std::uint32_t inner_type,
+// kRelData payload: varint epoch, varint seq, u32 inner type, varint length,
+// raw body.
+std::vector<std::byte> encode_data(std::uint32_t epoch, std::uint64_t seq,
+                                   std::uint32_t inner_type,
                                    const std::vector<std::byte>& payload) {
-  serde::Writer w(payload.size() + 16);
+  serde::Writer w(payload.size() + 20);
+  w.varint(epoch);
   w.varint(seq);
   w.u32(inner_type);
   w.varint(payload.size());
@@ -23,6 +27,7 @@ std::vector<std::byte> encode_data(std::uint64_t seq, std::uint32_t inner_type,
 }
 
 struct DataWire {
+  std::uint32_t epoch = 0;
   std::uint64_t seq = 0;
   std::uint32_t inner_type = 0;
   std::vector<std::byte> payload;
@@ -31,6 +36,8 @@ struct DataWire {
 Expected<DataWire> decode_data(const std::vector<std::byte>& bytes) {
   serde::Reader r(bytes);
   DataWire out;
+  SCI_TRY_ASSIGN(epoch, r.varint());
+  out.epoch = static_cast<std::uint32_t>(epoch);
   SCI_TRY_ASSIGN(seq, r.varint());
   out.seq = seq;
   SCI_TRY_ASSIGN(inner_type, r.u32());
@@ -45,15 +52,29 @@ Expected<DataWire> decode_data(const std::vector<std::byte>& bytes) {
   return out;
 }
 
-std::vector<std::byte> encode_ack(std::uint64_t seq) {
-  serde::Writer w(10);
+// kRelAck payload: varint epoch (echoed from the data frame), varint seq.
+std::vector<std::byte> encode_ack(std::uint32_t epoch, std::uint64_t seq) {
+  serde::Writer w(16);
+  w.varint(epoch);
   w.varint(seq);
   return w.take();
 }
 
 }  // namespace
 
-bool ReliableChannel::Dedup::accept(std::uint64_t seq) {
+const char* to_string(DeadLetterCause cause) {
+  switch (cause) {
+    case DeadLetterCause::kExhausted:
+      return "exhausted";
+    case DeadLetterCause::kDetached:
+      return "detached";
+    case DeadLetterCause::kFailedOver:
+      return "failed_over";
+  }
+  return "unknown";
+}
+
+bool SeqDedup::accept(std::uint64_t seq) {
   if (seq <= floor || above.contains(seq)) return false;
   above.insert(seq);
   // Compact: slide the floor over any now-contiguous prefix.
@@ -61,12 +82,34 @@ bool ReliableChannel::Dedup::accept(std::uint64_t seq) {
   return true;
 }
 
+void DeadLetterQueue::park(DeadLetter letter) {
+  if (capacity_ == 0) return;
+  while (letters_.size() >= capacity_) {
+    letters_.pop_front();
+    ++evicted_;
+  }
+  letters_.push_back(std::move(letter));
+  if (depth_ != nullptr) depth_->set(static_cast<double>(letters_.size()));
+}
+
+std::vector<DeadLetter> DeadLetterQueue::drain() {
+  std::vector<DeadLetter> out(std::make_move_iterator(letters_.begin()),
+                              std::make_move_iterator(letters_.end()));
+  letters_.clear();
+  if (depth_ != nullptr) depth_->set(0.0);
+  return out;
+}
+
 ReliableChannel::ReliableChannel(net::Network& network, Guid self,
                                  ReliableConfig config)
     : network_(network),
       self_(self),
       config_(config),
-      rng_(network.simulator().rng().split()) {
+      rng_(network.simulator().rng().split()),
+      dlq_(config.dead_letter_capacity,
+           config.dead_letter_capacity > 0
+               ? &network.simulator().metrics().gauge("rel.dlq.depth")
+               : nullptr) {
   SCI_ASSERT(!self.is_nil());
   SCI_ASSERT(config_.max_attempts > 0);
   obs::MetricsRegistry& metrics = network_.simulator().metrics();
@@ -76,8 +119,12 @@ ReliableChannel::ReliableChannel(net::Network& network, Guid self,
   m_acked_ = &metrics.counter("rel.acked");
   m_delivered_ = &metrics.counter("rel.delivered");
   m_dup_suppressed_ = &metrics.counter("rel.dup_suppressed");
+  m_stale_epoch_ = &metrics.counter("rel.stale_epoch");
   m_dead_letters_ = &metrics.counter("rel.dead_letters");
   m_failovers_ = &metrics.counter("rel.failovers");
+  m_dlq_parked_ = &metrics.counter("rel.dlq.parked");
+  m_dlq_replayed_ = &metrics.counter("rel.dlq.replayed");
+  m_dlq_depth_ = &metrics.gauge("rel.dlq.depth");
   m_ack_rtt_ms_ = &metrics.histogram("rel.ack_rtt_ms");
   m_recovery_ms_ = &metrics.histogram("rel.recovery_ms");
 }
@@ -116,14 +163,15 @@ void ReliableChannel::transmit(Guid to, std::uint64_t seq) {
   envelope.type = kRelData;
   envelope.from = self_;
   envelope.to = to;
-  envelope.payload = encode_data(seq, pending.inner_type, pending.payload);
+  envelope.payload =
+      encode_data(epoch_, seq, pending.inner_type, pending.payload);
   const Status sent = network_.send(std::move(envelope));
   if (!sent.is_ok()) {
     // Destination never attached / detached for good: retrying is futile.
     SCI_DEBUG(kTag, "%s: seq %llu to detached %s — giving up",
               self_.short_string().c_str(),
               static_cast<unsigned long long>(seq), to.short_string().c_str());
-    give_up(to, seq, /*dead_letter=*/true);
+    give_up(to, seq, DeadLetterCause::kDetached);
     return;
   }
   if (pending.attempts >= config_.max_attempts) {
@@ -137,7 +185,7 @@ void ReliableChannel::transmit(Guid to, std::uint64_t seq) {
       const auto f = p->second.pending.find(seq);
       if (f == p->second.pending.end() || f->second.attempts != attempts)
         return;
-      give_up(to, seq, /*dead_letter=*/true);
+      give_up(to, seq, DeadLetterCause::kExhausted);
     });
     return;
   }
@@ -177,7 +225,25 @@ net::Message ReliableChannel::inner_message(Guid to, const Pending& p) const {
   return inner;
 }
 
-void ReliableChannel::give_up(Guid to, std::uint64_t seq, bool dead_letter) {
+void ReliableChannel::park(Guid to, std::uint64_t seq, const Pending& pending,
+                           DeadLetterCause cause) {
+  if (dlq_.capacity() == 0) return;
+  DeadLetter letter;
+  letter.dest = to;
+  letter.seq = seq;
+  letter.inner_type = pending.inner_type;
+  letter.payload = pending.payload;
+  letter.attempts = pending.attempts;
+  letter.first_sent = pending.first_sent;
+  letter.parked_at = network_.simulator().now();
+  letter.cause = cause;
+  dlq_.park(std::move(letter));
+  ++stats_.dlq_parked;
+  m_dlq_parked_->inc();
+}
+
+void ReliableChannel::give_up(Guid to, std::uint64_t seq,
+                              DeadLetterCause cause) {
   const auto peer_it = peers_.find(to);
   if (peer_it == peers_.end()) return;
   const auto it = peer_it->second.pending.find(seq);
@@ -187,25 +253,37 @@ void ReliableChannel::give_up(Guid to, std::uint64_t seq, bool dead_letter) {
   Pending pending = std::move(it->second);
   network_.simulator().cancel(pending.retry);
   peer_it->second.pending.erase(it);
-  if (dead_letter) {
-    ++stats_.dead_letters;
-    m_dead_letters_->inc();
-  } else {
+  if (cause == DeadLetterCause::kFailedOver) {
     ++stats_.failovers;
     m_failovers_->inc();
+  } else {
+    ++stats_.dead_letters;
+    m_dead_letters_->inc();
   }
+  // Park before the callback: a handler that replays or re-routes must see
+  // the queue already holding the frame.
+  park(to, seq, pending, cause);
   if (give_up_) give_up_(inner_message(to, pending), pending.attempts);
 }
 
 std::size_t ReliableChannel::fail_all(Guid to) {
+  // Drop receive-side state for the failed identity even when nothing is
+  // in flight: the GUID's next incarnation (a promoted standby) starts a
+  // fresh sequence space that an old dedup window would suppress.
+  inbound_.erase(to);
   const auto peer_it = peers_.find(to);
   if (peer_it == peers_.end() || peer_it->second.pending.empty()) return 0;
+  // Cancel every retransmit timer up front — give_up() may trigger handlers
+  // that re-enter the channel, and a stale timer surviving that would
+  // retransmit to the GUID's new incarnation.
+  for (auto& [seq, pending] : peer_it->second.pending)
+    network_.simulator().cancel(pending.retry);
   std::vector<std::uint64_t> seqs;
   seqs.reserve(peer_it->second.pending.size());
   for (const auto& [seq, pending] : peer_it->second.pending)
     seqs.push_back(seq);
   for (const std::uint64_t seq : seqs)
-    give_up(to, seq, /*dead_letter=*/false);
+    give_up(to, seq, DeadLetterCause::kFailedOver);
   return seqs.size();
 }
 
@@ -218,15 +296,29 @@ bool ReliableChannel::on_message(const net::Message& message,
                self_.short_string().c_str(), wire.error().message().c_str());
       return true;
     }
+    Inbound& in = inbound_[message.from];
+    if (wire->epoch < in.epoch) {
+      // Stale incarnation of this sender (e.g. the dead primary's last
+      // retransmissions racing its replacement). No ack: settling its
+      // pendings would be meaningless and the sender is gone anyway.
+      ++stats_.stale_epoch;
+      m_stale_epoch_->inc();
+      return true;
+    }
+    if (wire->epoch > in.epoch) {
+      // New incarnation: its sequence space starts over.
+      in.epoch = wire->epoch;
+      in.dedup.reset();
+    }
     // Always ack, even duplicates — the earlier ack may have been lost.
     net::Message ack;
     ack.type = kRelAck;
     ack.from = self_;
     ack.to = message.from;
-    ack.payload = encode_ack(wire->seq);
+    ack.payload = encode_ack(wire->epoch, wire->seq);
     (void)network_.send(std::move(ack));
 
-    if (!dedup_[message.from].accept(wire->seq)) {
+    if (!in.dedup.accept(wire->seq)) {
       ++stats_.dup_suppressed;
       m_dup_suppressed_->inc();
       return true;
@@ -246,8 +338,14 @@ bool ReliableChannel::on_message(const net::Message& message,
 
   if (message.type == kRelAck) {
     serde::Reader r(message.payload);
+    const auto ack_epoch = r.varint();
+    if (!ack_epoch) return true;
     const auto seq = r.varint();
     if (!seq) return true;
+    if (static_cast<std::uint32_t>(*ack_epoch) != epoch_) {
+      // Ack for a frame sent by a previous incarnation of this identity.
+      return true;
+    }
     const auto peer_it = peers_.find(message.from);
     if (peer_it == peers_.end()) return true;
     const auto it = peer_it->second.pending.find(*seq);
@@ -272,6 +370,30 @@ void ReliableChannel::halt() {
       network_.simulator().cancel(pending.retry);
     peer.pending.clear();
   }
+}
+
+void ReliableChannel::rebind(Guid new_self, std::uint32_t epoch) {
+  SCI_ASSERT(!new_self.is_nil());
+  halt();
+  peers_.clear();  // sequence spaces restart under the new epoch
+  self_ = new_self;
+  epoch_ = epoch;
+  // Receive-side dedup survives: senders keep their own identity and epoch,
+  // so frames already accepted from them must stay suppressed.
+}
+
+std::size_t ReliableChannel::replay_dead_letters() {
+  std::vector<DeadLetter> letters = dlq_.drain();
+  for (DeadLetter& letter : letters) {
+    ++stats_.dlq_replayed;
+    m_dlq_replayed_->inc();
+    send(letter.dest, letter.inner_type, std::move(letter.payload));
+  }
+  return letters.size();
+}
+
+std::vector<DeadLetter> ReliableChannel::drain_dead_letters() {
+  return dlq_.drain();
 }
 
 std::size_t ReliableChannel::in_flight() const {

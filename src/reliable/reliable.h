@@ -13,8 +13,17 @@
 //    retransmissions race a slow ack;
 //  * unacked frames are retransmitted on a timer with exponential backoff
 //    plus deterministic jitter; after `max_attempts` the frame becomes a
-//    dead letter and the optional give-up handler gets it back (the overlay
-//    uses this to re-route around dead hops).
+//    dead letter: it is parked in the channel's bounded DeadLetterQueue
+//    (when enabled) and handed to the optional give-up handler (the overlay
+//    uses the handler to re-route around dead hops).
+//
+// Incarnation epochs (docs/REPLICATION.md): every envelope additionally
+// carries the sender's epoch. A node identity that is taken over by a new
+// incarnation — a standby Context Server promoted under the dead primary's
+// GUID — bumps its epoch; receivers reset their dedup window when a sender's
+// epoch advances and silently drop frames from older epochs, so the fresh
+// sequence space of the new incarnation is neither suppressed as duplicate
+// nor confused with the old one's stale retransmissions.
 //
 // The channel does not own a network node: its owner stays attached and
 // funnels every incoming frame through on_message(), which consumes channel
@@ -22,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -49,6 +59,9 @@ struct ReliableConfig {
   double backoff = 2.0;                          // rto multiplier per attempt
   double jitter = 0.1;   // uniform extra delay in [0, jitter * rto)
   unsigned max_attempts = 8;  // transmissions before the frame dead-letters
+  // Abandoned frames are parked in the channel's DeadLetterQueue up to this
+  // many entries (oldest evicted beyond it); 0 disables parking entirely.
+  std::size_t dead_letter_capacity = 0;
 };
 
 struct ChannelStats {
@@ -58,8 +71,83 @@ struct ChannelStats {
   std::uint64_t acked = 0;
   std::uint64_t delivered = 0;       // inner frames handed to the handler
   std::uint64_t dup_suppressed = 0;
+  std::uint64_t stale_epoch = 0;     // frames from a superseded incarnation
   std::uint64_t dead_letters = 0;    // gave up after max_attempts
   std::uint64_t failovers = 0;       // handed back early via fail_all()
+  std::uint64_t dlq_parked = 0;      // abandoned frames parked in the DLQ
+  std::uint64_t dlq_replayed = 0;    // parked frames re-sent via replay
+};
+
+// Receiver-side dedup window: `floor` is the highest seq below which
+// everything has been accepted; `above` holds accepted seqs past a gap.
+// The window self-compacts as gaps fill, so memory tracks the sender's
+// outstanding frames, not history. Public because the same sliding-window
+// shape deduplicates at other layers too (the Context Server keys it by
+// publisher over event sequence numbers, components by subscription over
+// delivered events — see docs/REPLICATION.md).
+struct SeqDedup {
+  std::uint64_t floor = 0;
+  std::unordered_set<std::uint64_t> above;
+
+  // Returns true the first time `seq` is seen.
+  bool accept(std::uint64_t seq);
+  void reset() {
+    floor = 0;
+    above.clear();
+  }
+};
+
+// Why a frame ended up in the dead-letter queue.
+enum class DeadLetterCause : std::uint8_t {
+  kExhausted = 0,  // retransmit budget spent without an ack
+  kDetached,       // destination was never attached / left for good
+  kFailedOver,     // destination declared failed via fail_all()
+};
+const char* to_string(DeadLetterCause cause);
+
+// One abandoned frame, kept intact so an operator (or a recovered
+// destination) can replay what the retransmit budget could not deliver.
+struct DeadLetter {
+  Guid dest;
+  std::uint64_t seq = 0;
+  std::uint32_t inner_type = 0;
+  std::vector<std::byte> payload;
+  unsigned attempts = 0;
+  SimTime first_sent;
+  SimTime parked_at;
+  DeadLetterCause cause = DeadLetterCause::kExhausted;
+
+  [[nodiscard]] Duration age(SimTime now) const { return now - parked_at; }
+};
+
+// Bounded parking lot for abandoned frames (ROADMAP: "persistent dead-letter
+// queue"). Oldest entries are evicted once `capacity` is reached, so memory
+// stays flat under a dead destination firehose. Introspectable via
+// entries(); Sci::dead_letters() surfaces it per range.
+class DeadLetterQueue {
+ public:
+  DeadLetterQueue(std::size_t capacity, obs::Gauge* depth)
+      : capacity_(capacity), depth_(depth) {}
+
+  void park(DeadLetter letter);
+
+  // Removes and returns every parked entry (operator inspected and
+  // discarded them, or wants to re-inject through another path).
+  std::vector<DeadLetter> drain();
+
+  [[nodiscard]] const std::deque<DeadLetter>& entries() const {
+    return letters_;
+  }
+  [[nodiscard]] std::size_t size() const { return letters_.size(); }
+  [[nodiscard]] bool empty() const { return letters_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<DeadLetter> letters_;
+  obs::Gauge* depth_ = nullptr;
+  std::uint64_t evicted_ = 0;
 };
 
 class ReliableChannel {
@@ -95,13 +183,38 @@ class ReliableChannel {
   bool on_message(const net::Message& message, const DeliverHandler& deliver);
 
   // Declares `to` failed: every pending frame to it is handed to the
-  // give-up handler immediately (counted as failovers, not dead letters).
-  // Returns the number of frames handed back.
+  // give-up handler immediately (counted as failovers, not dead letters)
+  // and parked in the dead-letter queue. Also cancels the retransmit timers
+  // and drops receive-side dedup state for `to`, so frames from its next
+  // incarnation (a promoted standby reusing the GUID) are not suppressed as
+  // stale duplicates. Returns the number of frames handed back.
   std::size_t fail_all(Guid to);
 
   // Cancels all retransmission state without callbacks (models a local
   // crash/halt of the owner).
   void halt();
+
+  // Identity takeover: this channel now speaks for `new_self` at `epoch`.
+  // Pending frames are dropped without callbacks and per-destination
+  // sequence counters restart; receivers reset their dedup window when they
+  // see the higher epoch. Used when a standby Context Server adopts the
+  // failed primary's node identity.
+  void rebind(Guid new_self, std::uint32_t epoch);
+
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  // The channel's bounded dead-letter queue (empty when
+  // config.dead_letter_capacity == 0 — nothing is ever parked).
+  [[nodiscard]] const DeadLetterQueue& dead_letters() const { return dlq_; }
+
+  // Re-sends every parked dead letter through the normal reliable path
+  // (fresh sequence numbers) and empties the queue. Returns the number of
+  // frames replayed.
+  std::size_t replay_dead_letters();
+
+  // Empties the queue without resending; returns the removed entries.
+  std::vector<DeadLetter> drain_dead_letters();
 
   [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t in_flight_to(Guid to) const;
@@ -124,21 +237,18 @@ class ReliableChannel {
     std::map<std::uint64_t, Pending> pending;
   };
 
-  // Receiver-side dedup window: `floor` is the highest seq below which
-  // everything has been delivered; `above` holds delivered seqs past a gap.
-  // The window self-compacts as gaps fill, so memory tracks the sender's
-  // outstanding frames, not history.
-  struct Dedup {
-    std::uint64_t floor = 0;
-    std::unordered_set<std::uint64_t> above;
-
-    // Returns true the first time `seq` is seen.
-    bool accept(std::uint64_t seq);
+  // Receive-side state per sender: last seen incarnation plus the dedup
+  // window scoped to it.
+  struct Inbound {
+    std::uint32_t epoch = 0;
+    SeqDedup dedup;
   };
 
   void transmit(Guid to, std::uint64_t seq);
   void arm_retry(Guid to, std::uint64_t seq, unsigned attempts);
-  void give_up(Guid to, std::uint64_t seq, bool dead_letter);
+  void give_up(Guid to, std::uint64_t seq, DeadLetterCause cause);
+  void park(Guid to, std::uint64_t seq, const Pending& pending,
+            DeadLetterCause cause);
   [[nodiscard]] Duration retry_delay(unsigned attempts);
   [[nodiscard]] net::Message inner_message(Guid to, const Pending& p) const;
 
@@ -147,8 +257,10 @@ class ReliableChannel {
   ReliableConfig config_;
   Rng rng_;
   GiveUpHandler give_up_;
+  std::uint32_t epoch_ = 0;
   std::unordered_map<Guid, Peer> peers_;
-  std::unordered_map<Guid, Dedup> dedup_;
+  std::unordered_map<Guid, Inbound> inbound_;
+  DeadLetterQueue dlq_;
 
   obs::Counter* m_accepted_ = nullptr;
   obs::Counter* m_data_sent_ = nullptr;
@@ -156,8 +268,12 @@ class ReliableChannel {
   obs::Counter* m_acked_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::Counter* m_dup_suppressed_ = nullptr;
+  obs::Counter* m_stale_epoch_ = nullptr;
   obs::Counter* m_dead_letters_ = nullptr;
   obs::Counter* m_failovers_ = nullptr;
+  obs::Counter* m_dlq_parked_ = nullptr;
+  obs::Counter* m_dlq_replayed_ = nullptr;
+  obs::Gauge* m_dlq_depth_ = nullptr;
   obs::Histogram* m_ack_rtt_ms_ = nullptr;
   obs::Histogram* m_recovery_ms_ = nullptr;
 

@@ -1,0 +1,393 @@
+#include "replicate/replication.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+#include "serde/buffer.h"
+
+namespace sci::replicate {
+
+namespace {
+
+constexpr const char* kTag = "replicate";
+
+void write_guid(serde::Writer& w, Guid g) {
+  w.u64(g.hi());
+  w.u64(g.lo());
+}
+
+Expected<Guid> read_guid(serde::Reader& r) {
+  SCI_TRY_ASSIGN(hi, r.u64());
+  SCI_TRY_ASSIGN(lo, r.u64());
+  return Guid(hi, lo);
+}
+
+}  // namespace
+
+const char* to_string(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kRegister:
+      return "register";
+    case RecordKind::kDeparture:
+      return "departure";
+    case RecordKind::kPublish:
+      return "publish";
+    case RecordKind::kProfileUpdate:
+      return "profile_update";
+    case RecordKind::kLeaseRenew:
+      return "lease_renew";
+    case RecordKind::kQuery:
+      return "query";
+    case RecordKind::kConfigRetire:
+      return "config_retire";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> LogRecord::encode() const {
+  serde::Writer w(payload.size() + 48);
+  w.varint(index);
+  w.u8(static_cast<std::uint8_t>(kind));
+  write_guid(w, subject);
+  w.varint(flag);
+  w.varint(payload.size());
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+Expected<LogRecord> LogRecord::decode(const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  LogRecord out;
+  SCI_TRY_ASSIGN(index, r.varint());
+  out.index = index;
+  SCI_TRY_ASSIGN(kind, r.u8());
+  out.kind = static_cast<RecordKind>(kind);
+  SCI_TRY_ASSIGN(subject, read_guid(r));
+  out.subject = subject;
+  SCI_TRY_ASSIGN(flag, r.varint());
+  out.flag = flag;
+  SCI_TRY_ASSIGN(len, r.varint());
+  if (len > r.remaining())
+    return make_error(ErrorCode::kParseError, "log record truncated");
+  out.payload.resize(static_cast<std::size_t>(len));
+  const std::size_t offset = bytes.size() - r.remaining();
+  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+              static_cast<std::size_t>(len), out.payload.begin());
+  return out;
+}
+
+std::vector<std::byte> frame_record(std::uint32_t epoch,
+                                    const LogRecord& record) {
+  const std::vector<std::byte> inner = record.encode();
+  serde::Writer w(inner.size() + 8);
+  w.varint(epoch);
+  w.raw(inner.data(), inner.size());
+  return w.take();
+}
+
+std::vector<std::byte> encode_snapshot(std::uint32_t epoch,
+                                       std::uint64_t base_index,
+                                       const std::vector<std::byte>& blob) {
+  serde::Writer w(blob.size() + 24);
+  w.varint(epoch);
+  w.varint(base_index);
+  w.varint(blob.size());
+  w.raw(blob.data(), blob.size());
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationLog (primary)
+
+ReplicationLog::ReplicationLog(net::Network& network,
+                               reliable::ReliableChannel& channel,
+                               ReplicationConfig config,
+                               SnapshotProvider snapshot,
+                               FingerprintProvider fingerprint)
+    : network_(network),
+      channel_(channel),
+      config_(config),
+      snapshot_(std::move(snapshot)),
+      fingerprint_(std::move(fingerprint)) {
+  SCI_ASSERT(snapshot_ != nullptr);
+  obs::MetricsRegistry& metrics = network_.simulator().metrics();
+  m_records_shipped_ = &metrics.counter("repl.records_shipped");
+  m_snapshots_ = &metrics.counter("repl.snapshots");
+  m_heartbeats_ = &metrics.counter("repl.heartbeats");
+  m_lag_ = &metrics.gauge("repl.lag");
+  snapshot_timer_.emplace(network_.simulator(), config_.snapshot_interval,
+                          [this] { take_snapshot(); });
+  snapshot_timer_->start();
+  heartbeat_timer_.emplace(network_.simulator(), config_.heartbeat_period,
+                           [this] { heartbeat_tick(); });
+  heartbeat_timer_->start();
+}
+
+ReplicationLog::~ReplicationLog() {
+  snapshot_timer_.reset();
+  heartbeat_timer_.reset();
+}
+
+void ReplicationLog::attach_standby(Guid node) {
+  SCI_ASSERT(!node.is_nil());
+  if (applied_.contains(node)) return;
+  ship_snapshot(node);
+  for (const LogRecord& record : tail_) {
+    ++stats_.records_shipped;
+    m_records_shipped_->inc();
+    channel_.send(node, kReplRecord, frame_record(channel_.epoch(), record));
+  }
+  applied_[node] = snapshot_base_;
+  update_lag();
+}
+
+void ReplicationLog::detach_standby(Guid node) {
+  applied_.erase(node);
+  update_lag();
+}
+
+std::uint64_t ReplicationLog::append(LogRecord record) {
+  record.index = ++head_;
+  ++stats_.records_appended;
+  const std::vector<std::byte> wire = frame_record(channel_.epoch(), record);
+  for (const auto& [standby, applied] : applied_) {
+    ++stats_.records_shipped;
+    m_records_shipped_->inc();
+    channel_.send(standby, kReplRecord, wire);
+  }
+  tail_.push_back(std::move(record));
+  update_lag();
+  return head_;
+}
+
+void ReplicationLog::on_applied(Guid standby, std::uint64_t index) {
+  const auto it = applied_.find(standby);
+  if (it == applied_.end()) return;
+  it->second = std::max(it->second, index);
+  update_lag();
+}
+
+std::uint64_t ReplicationLog::lag() const {
+  if (applied_.empty()) return 0;
+  std::uint64_t min_applied = head_;
+  for (const auto& [standby, applied] : applied_)
+    min_applied = std::min(min_applied, applied);
+  return head_ - min_applied;
+}
+
+std::vector<Guid> ReplicationLog::standbys() const {
+  std::vector<Guid> out;
+  out.reserve(applied_.size());
+  for (const auto& [standby, applied] : applied_) out.push_back(standby);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ReplicationLog::take_snapshot() {
+  snapshot_blob_ = snapshot_();
+  snapshot_base_ = head_;
+  have_snapshot_ = true;
+  tail_.clear();
+  ++stats_.snapshots_taken;
+  m_snapshots_->inc();
+  SCI_DEBUG(kTag, "snapshot at index %llu (%zu bytes)",
+            static_cast<unsigned long long>(snapshot_base_),
+            snapshot_blob_.size());
+}
+
+void ReplicationLog::ship_snapshot(Guid standby) {
+  if (!have_snapshot_) take_snapshot();
+  ++stats_.snapshots_shipped;
+  channel_.send(standby, kReplSnapshot,
+                encode_snapshot(channel_.epoch(), snapshot_base_,
+                                snapshot_blob_));
+}
+
+void ReplicationLog::heartbeat_tick() {
+  serde::Writer w(24);
+  w.varint(channel_.epoch());
+  w.varint(head_);
+  w.varint(fingerprint_ ? fingerprint_() : 0);
+  const std::vector<std::byte> payload = w.take();
+  for (const auto& [standby, applied] : applied_) {
+    net::Message beat;
+    beat.type = kReplHeartbeat;
+    beat.from = channel_.self();
+    beat.to = standby;
+    beat.payload = payload;
+    (void)network_.send(std::move(beat));
+    ++stats_.heartbeats_sent;
+    m_heartbeats_->inc();
+  }
+}
+
+void ReplicationLog::update_lag() {
+  m_lag_->set(static_cast<double>(lag()));
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationFollower (standby)
+
+ReplicationFollower::ReplicationFollower(net::Network& network, Guid self,
+                                         Guid primary,
+                                         ReplicationConfig config,
+                                         ApplyRecord apply_record,
+                                         ApplySnapshot apply_snapshot,
+                                         PromoteCallback promote,
+                                         FingerprintProvider local_fingerprint)
+    : network_(network),
+      self_(self),
+      primary_(primary),
+      config_(config),
+      apply_record_(std::move(apply_record)),
+      apply_snapshot_(std::move(apply_snapshot)),
+      promote_(std::move(promote)),
+      fingerprint_(std::move(local_fingerprint)),
+      last_heard_(network.simulator().now()) {
+  SCI_ASSERT(apply_record_ != nullptr);
+  SCI_ASSERT(apply_snapshot_ != nullptr);
+  obs::MetricsRegistry& metrics = network_.simulator().metrics();
+  m_records_applied_ = &metrics.counter("repl.records_applied");
+  m_divergence_ = &metrics.counter("repl.state_divergence");
+  watchdog_.emplace(network_.simulator(), config_.heartbeat_period,
+                    [this] { watchdog_tick(); });
+  watchdog_->start();
+}
+
+ReplicationFollower::~ReplicationFollower() { watchdog_.reset(); }
+
+bool ReplicationFollower::advance_epoch(std::uint32_t epoch) {
+  if (epoch < stream_epoch_) return false;
+  if (epoch > stream_epoch_) {
+    // New incarnation: leftovers from the dead one must never satisfy a gap
+    // in the new log (indices restart), and nothing applies until the new
+    // primary's snapshot resyncs us.
+    stream_epoch_ = epoch;
+    gap_.clear();
+    await_snapshot_ = true;
+    primary_head_ = 0;
+  }
+  return true;
+}
+
+void ReplicationFollower::drain_gap() {
+  while (!gap_.empty() && gap_.begin()->first <= applied_)
+    gap_.erase(gap_.begin());
+  while (!gap_.empty() && gap_.begin()->first == applied_ + 1) {
+    const LogRecord head = std::move(gap_.begin()->second);
+    gap_.erase(gap_.begin());
+    applied_ = head.index;
+    m_records_applied_->inc();
+    apply_record_(head);
+  }
+}
+
+void ReplicationFollower::on_record(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  const auto epoch = r.varint();
+  if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
+  const std::size_t offset = payload.size() - r.remaining();
+  std::vector<std::byte> inner(payload.begin() +
+                                   static_cast<std::ptrdiff_t>(offset),
+                               payload.end());
+  auto record = LogRecord::decode(inner);
+  if (!record) {
+    SCI_WARN(kTag, "malformed log record: %s",
+             record.error().message().c_str());
+    return;
+  }
+  if (await_snapshot_) {
+    // Jitter let this record overtake the epoch's snapshot — hold it.
+    gap_.emplace(record->index, std::move(*record));
+    ack();
+    return;
+  }
+  if (record->index <= applied_) {
+    ack();  // duplicate — re-ack so the primary's lag view converges
+    return;
+  }
+  gap_.emplace(record->index, std::move(*record));
+  drain_gap();  // applies the contiguous run at applied_ + 1, if formed
+  ack();
+}
+
+void ReplicationFollower::on_snapshot(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  const auto epoch = r.varint();
+  if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
+  const auto base = r.varint();
+  if (!base) return;
+  const auto len = r.varint();
+  if (!len || *len > r.remaining()) return;
+  std::vector<std::byte> blob(static_cast<std::size_t>(*len));
+  const std::size_t offset = payload.size() - r.remaining();
+  std::copy_n(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+              static_cast<std::size_t>(*len), blob.begin());
+  apply_snapshot_(blob, *base);
+  // The snapshot *replaces* local state, so the applied index resets to its
+  // base even when we were further along (a promoted primary's log restarts
+  // below where this follower had reached under the old incarnation).
+  applied_ = *base;
+  await_snapshot_ = false;
+  drain_gap();
+  ack();
+}
+
+void ReplicationFollower::on_heartbeat(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  const auto epoch = r.varint();
+  // Stale incarnations must not refresh liveness: their heartbeats would
+  // suppress the watchdog against a dead current primary.
+  if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
+  const auto head = r.varint();
+  if (head) primary_head_ = std::max(primary_head_, *head);
+  last_heard_ = network_.simulator().now();
+  heard_once_ = true;
+  // Divergence check: only meaningful when fully caught up — a mid-stream
+  // comparison would flag ordinary lag as corruption. The flag is sticky per
+  // episode so one divergence bumps the counter once, not once per beat.
+  const auto remote_fp = r.varint();
+  if (!fingerprint_ || !head || !remote_fp || *remote_fp == 0) return;
+  if (await_snapshot_ || applied_ != *head || !gap_.empty()) return;
+  const std::uint64_t local_fp = fingerprint_();
+  if (local_fp != *remote_fp) {
+    if (!diverged_) {
+      diverged_ = true;
+      m_divergence_->inc();
+      SCI_WARN(kTag, "%s: state fingerprint diverged from primary %s at %llu",
+               self_.short_string().c_str(), primary_.short_string().c_str(),
+               static_cast<unsigned long long>(applied_));
+    }
+  } else {
+    diverged_ = false;
+  }
+}
+
+void ReplicationFollower::ack() {
+  last_heard_ = network_.simulator().now();  // records count as liveness too
+  heard_once_ = true;
+  serde::Writer w(10);
+  w.varint(applied_);
+  net::Message msg;
+  msg.type = kReplApplied;
+  msg.from = self_;
+  msg.to = primary_;
+  msg.payload = w.take();
+  (void)network_.send(std::move(msg));
+}
+
+void ReplicationFollower::watchdog_tick() {
+  if (promoted_ || !heard_once_) return;
+  const Duration silence = network_.simulator().now() - last_heard_;
+  if (silence.count_micros() <=
+      config_.promote_timeout.count_micros())
+    return;
+  promoted_ = true;
+  SCI_INFO(kTag, "%s: primary %s silent for %lldms — promoting",
+           self_.short_string().c_str(), primary_.short_string().c_str(),
+           static_cast<long long>(silence.count_micros() / 1000));
+  if (promote_) promote_();
+}
+
+}  // namespace sci::replicate

@@ -1,0 +1,261 @@
+// SCI — primary/backup replication of Context Server state.
+//
+// The paper's Range layer assumes "a single always-on Context Server" per
+// range. PR 2's reliable channel makes a CS crash survivable for in-flight
+// traffic, but the CS's *state* — registrar membership, profiles,
+// subscriptions, active configurations, the context store — still dies with
+// the node. This module ships that state to standbys so one can take over
+// the range without components re-registering (docs/REPLICATION.md).
+//
+// Split of responsibilities:
+//
+//  * ReplicationLog (primary side) — assigns a monotonically increasing
+//    index to every state-mutating operation the CS admits, retains the
+//    tail since the last snapshot, and ships each record to every attached
+//    standby over the CS's ReliableChannel (kReplRecord). A periodic
+//    snapshot (kReplSnapshot, bytes produced by a provider callback the CS
+//    supplies) truncates the tail and lets a cold standby catch up without
+//    replaying history. Standbys ack their applied index (kReplApplied,
+//    raw); the `repl.lag` gauge tracks head − min(applied).
+//
+//  * ReplicationFollower (standby side) — applies records strictly in index
+//    order (out-of-order arrivals wait in a gap buffer), hands snapshots
+//    and records to CS-supplied callbacks, and watches primary heartbeats
+//    (kReplHeartbeat, raw): after `promote_timeout` of silence it fires the
+//    promote callback exactly once.
+//
+// Every shipped frame is prefixed with the primary channel's incarnation
+// epoch. A follower drops frames from superseded epochs, clears its gap
+// buffer when the epoch advances (leftover records from the dead
+// incarnation must never satisfy a new-incarnation gap), and buffers
+// records until it has a snapshot of the current epoch — so a standby that
+// survives a failover resynchronises cleanly against the promoted primary's
+// fresh log, whose indices restart from its own snapshot base.
+//
+// The module deliberately knows nothing about the Context Server: state
+// semantics enter only through std::function callbacks, so sci_replicate
+// sits below sci_range in the dependency graph.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/guid.h"
+#include "common/time.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "reliable/reliable.h"
+#include "sim/simulator.h"
+
+namespace sci::replicate {
+
+// Replication frame types on net::Message::type. kReplRecord/kReplSnapshot
+// travel as inner types inside the primary's reliable channel envelopes;
+// kReplHeartbeat/kReplApplied are raw fire-and-forget (they are periodic /
+// cumulative, so losing one is harmless).
+inline constexpr std::uint32_t kReplRecord = 0xAE01;
+inline constexpr std::uint32_t kReplSnapshot = 0xAE02;
+inline constexpr std::uint32_t kReplHeartbeat = 0xAE03;
+inline constexpr std::uint32_t kReplApplied = 0xAE04;
+
+// What kind of state mutation a log record carries. The payload encoding is
+// owned by the Context Server; the log ships it opaquely.
+enum class RecordKind : std::uint8_t {
+  kRegister = 1,      // component admission (registrar + profile)
+  kDeparture = 2,     // deregistration or failure eviction
+  kPublish = 3,       // context event (store write + mediator dispatch)
+  kProfileUpdate = 4, // profile/advertisement change
+  kLeaseRenew = 5,    // subscription lease keep-alive
+  kQuery = 6,         // externally admitted query (subscription wiring)
+  kConfigRetire = 7,  // configuration teardown
+};
+const char* to_string(RecordKind kind);
+
+struct LogRecord {
+  std::uint64_t index = 0;  // assigned by ReplicationLog::append
+  RecordKind kind = RecordKind::kRegister;
+  Guid subject;             // the component/entity the record is about
+  std::uint64_t flag = 0;   // kind-specific scalar (e.g. failure bit)
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<LogRecord> decode(const std::vector<std::byte>& bytes);
+};
+
+struct ReplicationConfig {
+  Duration snapshot_interval = Duration::seconds(10);
+  Duration heartbeat_period = Duration::millis(500);
+  // Standby declares the primary dead after this much heartbeat silence.
+  Duration promote_timeout = Duration::seconds(2);
+};
+
+// Cheap structural digest of the replicated state (next tag, table sizes…)
+// supplied by the Context Server. The primary stamps it on heartbeats; a
+// fully caught-up follower compares against its own and bumps
+// `repl.state_divergence` on mismatch (docs/REPLICATION.md).
+using FingerprintProvider = std::function<std::uint64_t()>;
+
+struct ReplicationStats {
+  std::uint64_t records_appended = 0;
+  std::uint64_t records_shipped = 0;  // record × standby sends
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t snapshots_shipped = 0;
+  std::uint64_t heartbeats_sent = 0;
+};
+
+// Primary-side log. Owned by a Context Server in the primary role with at
+// least one standby attached.
+class ReplicationLog {
+ public:
+  // Produces the full-state blob a cold standby needs; called for periodic
+  // snapshots and when a standby attaches.
+  using SnapshotProvider = std::function<std::vector<std::byte>()>;
+
+  // `channel` is the primary CS's reliable channel (envelopes carry the CS
+  // node identity and epoch).
+  ReplicationLog(net::Network& network, reliable::ReliableChannel& channel,
+                 ReplicationConfig config, SnapshotProvider snapshot,
+                 FingerprintProvider fingerprint = {});
+  ~ReplicationLog();
+
+  ReplicationLog(const ReplicationLog&) = delete;
+  ReplicationLog& operator=(const ReplicationLog&) = delete;
+
+  // Registers `node` as a standby and brings it up to date: ships the most
+  // recent snapshot (taking a fresh one if none exists yet) followed by the
+  // retained tail.
+  void attach_standby(Guid node);
+  void detach_standby(Guid node);
+
+  // Assigns the next index to `record`, retains it and ships it to every
+  // standby. Returns the assigned index.
+  std::uint64_t append(LogRecord record);
+
+  // kReplApplied from `standby`: it has applied everything through `index`.
+  void on_applied(Guid standby, std::uint64_t index);
+
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+  // head − min(applied) over attached standbys; 0 with none attached.
+  [[nodiscard]] std::uint64_t lag() const;
+  [[nodiscard]] std::vector<Guid> standbys() const;
+  [[nodiscard]] std::size_t tail_size() const { return tail_.size(); }
+  [[nodiscard]] const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  void take_snapshot();
+  void ship_snapshot(Guid standby);
+  void heartbeat_tick();
+  void update_lag();
+
+  net::Network& network_;
+  reliable::ReliableChannel& channel_;
+  ReplicationConfig config_;
+  SnapshotProvider snapshot_;
+  FingerprintProvider fingerprint_;
+
+  std::uint64_t head_ = 0;
+  std::deque<LogRecord> tail_;  // records since the last snapshot
+  std::uint64_t snapshot_base_ = 0;
+  std::vector<std::byte> snapshot_blob_;
+  bool have_snapshot_ = false;
+  std::unordered_map<Guid, std::uint64_t> applied_;
+
+  std::optional<sim::PeriodicTimer> snapshot_timer_;
+  std::optional<sim::PeriodicTimer> heartbeat_timer_;
+
+  obs::Counter* m_records_shipped_ = nullptr;
+  obs::Counter* m_snapshots_ = nullptr;
+  obs::Counter* m_heartbeats_ = nullptr;
+  obs::Gauge* m_lag_ = nullptr;
+
+  ReplicationStats stats_;
+};
+
+// Standby-side apply loop + failure detector. Owned by a Context Server in
+// the standby role.
+class ReplicationFollower {
+ public:
+  using ApplyRecord = std::function<void(const LogRecord&)>;
+  // (blob, base_index): replace local state with the snapshot.
+  using ApplySnapshot =
+      std::function<void(const std::vector<std::byte>&, std::uint64_t)>;
+  using PromoteCallback = std::function<void()>;
+
+  // `self` is the standby's own network node (acks originate there);
+  // `primary` is the primary CS node heartbeats come from and acks go to.
+  ReplicationFollower(net::Network& network, Guid self, Guid primary,
+                      ReplicationConfig config, ApplyRecord apply_record,
+                      ApplySnapshot apply_snapshot, PromoteCallback promote,
+                      FingerprintProvider local_fingerprint = {});
+  ~ReplicationFollower();
+
+  ReplicationFollower(const ReplicationFollower&) = delete;
+  ReplicationFollower& operator=(const ReplicationFollower&) = delete;
+
+  // Inner kReplRecord frame (already unwrapped by the reliable channel).
+  void on_record(const std::vector<std::byte>& payload);
+  // Inner kReplSnapshot frame.
+  void on_snapshot(const std::vector<std::byte>& payload);
+  // Raw kReplHeartbeat frame.
+  void on_heartbeat(const std::vector<std::byte>& payload);
+
+  [[nodiscard]] std::uint64_t applied() const { return applied_; }
+  [[nodiscard]] std::uint64_t primary_head() const { return primary_head_; }
+  [[nodiscard]] std::size_t gap_size() const { return gap_.size(); }
+  [[nodiscard]] bool promote_fired() const { return promoted_; }
+  // Currently observing a fingerprint mismatch while fully caught up.
+  [[nodiscard]] bool diverged() const { return diverged_; }
+  // Highest incarnation epoch seen on the replication stream.
+  [[nodiscard]] std::uint32_t stream_epoch() const { return stream_epoch_; }
+  // Still waiting for the current epoch's snapshot before applying records.
+  [[nodiscard]] bool awaiting_snapshot() const { return await_snapshot_; }
+
+ private:
+  // Returns false when `epoch` belongs to a superseded incarnation; on an
+  // advance, discards gap leftovers and re-enters the await-snapshot state.
+  bool advance_epoch(std::uint32_t epoch);
+  void drain_gap();
+  void ack();
+  void watchdog_tick();
+
+  net::Network& network_;
+  Guid self_;
+  Guid primary_;
+  ReplicationConfig config_;
+  ApplyRecord apply_record_;
+  ApplySnapshot apply_snapshot_;
+  PromoteCallback promote_;
+  FingerprintProvider fingerprint_;
+
+  std::uint64_t applied_ = 0;
+  std::uint64_t primary_head_ = 0;
+  std::map<std::uint64_t, LogRecord> gap_;  // out-of-order arrivals
+  std::uint32_t stream_epoch_ = 0;
+  bool await_snapshot_ = true;  // records buffer until the epoch's snapshot
+  SimTime last_heard_;
+  bool heard_once_ = false;
+  bool promoted_ = false;
+  bool diverged_ = false;
+
+  std::optional<sim::PeriodicTimer> watchdog_;
+
+  obs::Counter* m_records_applied_ = nullptr;
+  obs::Counter* m_divergence_ = nullptr;
+};
+
+// Wire envelopes shared by log and follower. Records: varint epoch, then
+// the LogRecord encoding. Snapshots: varint epoch, varint base_index,
+// varint blob length, raw blob.
+std::vector<std::byte> frame_record(std::uint32_t epoch,
+                                    const LogRecord& record);
+std::vector<std::byte> encode_snapshot(std::uint32_t epoch,
+                                       std::uint64_t base_index,
+                                       const std::vector<std::byte>& blob);
+
+}  // namespace sci::replicate

@@ -16,6 +16,8 @@ const char* to_string(FaultKind kind) {
       return "heal";
     case FaultKind::kLossRate:
       return "loss_rate";
+    case FaultKind::kPromote:
+      return "promote";
   }
   return "unknown";
 }
@@ -42,6 +44,11 @@ FaultPlan& FaultPlan::heal(Duration at) {
 
 FaultPlan& FaultPlan::loss_rate(Duration at, double probability) {
   events_.push_back({at, FaultKind::kLossRate, {}, 0, probability});
+  return *this;
+}
+
+FaultPlan& FaultPlan::promote(Duration at, std::string range) {
+  events_.push_back({at, FaultKind::kPromote, std::move(range), 0, 0.0});
   return *this;
 }
 

@@ -29,6 +29,7 @@ enum class FaultKind : std::uint8_t {
   kPartition,     // move target into a partition group (0 = connected core)
   kHeal,          // dissolve all partitions
   kLossRate,      // set the fabric-wide iid drop probability
+  kPromote,       // fence target range's primary, promote a standby
 };
 
 const char* to_string(FaultKind kind);
@@ -48,6 +49,10 @@ class FaultPlan {
   FaultPlan& partition(Duration at, std::string range, int group);
   FaultPlan& heal(Duration at);
   FaultPlan& loss_rate(Duration at, double probability);
+  // Operator-fiat failover: promote a standby of `range` (the crashed
+  // primary is fenced first). Complements the standby's own heartbeat
+  // watchdog, which needs promote_timeout of silence before firing.
+  FaultPlan& promote(Duration at, std::string range);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

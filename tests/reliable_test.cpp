@@ -1,6 +1,7 @@
 // Unit tests for sci::reliable — the acked retransmission channel.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
 #include "reliable/reliable.h"
@@ -188,6 +189,184 @@ TEST(ReliableTest, UnknownDestinationDeadLettersImmediately) {
   EXPECT_EQ(give_ups, 1u);
   EXPECT_EQ(a.channel.stats().dead_letters, 1u);
   EXPECT_EQ(a.channel.in_flight(), 0u);
+}
+
+TEST(ReliableTest, DeadLetterQueueParksAbandonedFrames) {
+  Fixture f;
+  ReliableConfig config;
+  config.initial_rto = Duration::millis(100);
+  config.jitter = 0.0;
+  config.max_attempts = 2;
+  config.dead_letter_capacity = 8;
+  Endpoint a(f.network, Guid::random(f.rng), config);
+  Endpoint b(f.network, Guid::random(f.rng));
+  ASSERT_TRUE(f.network.set_crashed(b.id, true).is_ok());
+
+  a.channel.send(b.id, 0x42, bytes({5}));
+  f.simulator.run_all();
+
+  const DeadLetterQueue& dlq = a.channel.dead_letters();
+  ASSERT_EQ(dlq.size(), 1u);
+  const DeadLetter& letter = dlq.entries().front();
+  EXPECT_EQ(letter.dest, b.id);
+  EXPECT_EQ(letter.inner_type, 0x42u);
+  EXPECT_EQ(letter.payload, bytes({5}));
+  EXPECT_EQ(letter.cause, DeadLetterCause::kExhausted);
+  EXPECT_EQ(letter.attempts, 2u);
+  EXPECT_GE(letter.age(f.simulator.now()).count_micros(), 0);
+  EXPECT_EQ(a.channel.stats().dlq_parked, 1u);
+}
+
+TEST(ReliableTest, DeadLetterReplayRoundTrip) {
+  Fixture f;
+  ReliableConfig config;
+  config.initial_rto = Duration::millis(100);
+  config.jitter = 0.0;
+  config.max_attempts = 2;
+  config.dead_letter_capacity = 8;
+  Endpoint a(f.network, Guid::random(f.rng), config);
+  Endpoint b(f.network, Guid::random(f.rng));
+  ASSERT_TRUE(f.network.set_crashed(b.id, true).is_ok());
+
+  for (int i = 0; i < 3; ++i) a.channel.send(b.id, 0x42, bytes({i}));
+  f.simulator.run_all();
+  ASSERT_EQ(a.channel.dead_letters().size(), 3u);
+  EXPECT_TRUE(b.delivered.empty());
+
+  // Destination comes back; replay pushes every parked frame through the
+  // normal reliable path with fresh sequence numbers.
+  ASSERT_TRUE(f.network.set_crashed(b.id, false).is_ok());
+  EXPECT_EQ(a.channel.replay_dead_letters(), 3u);
+  EXPECT_TRUE(a.channel.dead_letters().empty());
+  f.simulator.run_all();
+
+  // All three frames arrive exactly once. Link jitter may reorder the
+  // simultaneous replays, so compare as a multiset.
+  ASSERT_EQ(b.delivered.size(), 3u);
+  std::multiset<int> payloads;
+  for (const auto& d : b.delivered) {
+    ASSERT_EQ(d.payload.size(), 1u);
+    payloads.insert(static_cast<int>(d.payload[0]));
+  }
+  EXPECT_EQ(payloads, (std::multiset<int>{0, 1, 2}));
+  EXPECT_EQ(a.channel.stats().dlq_replayed, 3u);
+  EXPECT_EQ(a.channel.in_flight(), 0u);
+}
+
+TEST(ReliableTest, DeadLetterQueueEvictsOldestBeyondCapacity) {
+  Fixture f;
+  ReliableConfig config;
+  config.initial_rto = Duration::millis(100);
+  config.jitter = 0.0;
+  config.max_attempts = 1;
+  config.dead_letter_capacity = 2;
+  Endpoint a(f.network, Guid::random(f.rng), config);
+  Endpoint b(f.network, Guid::random(f.rng));
+  ASSERT_TRUE(f.network.set_crashed(b.id, true).is_ok());
+
+  for (int i = 0; i < 5; ++i) a.channel.send(b.id, 0x42, bytes({i}));
+  f.simulator.run_all();
+
+  const DeadLetterQueue& dlq = a.channel.dead_letters();
+  ASSERT_EQ(dlq.size(), 2u);
+  EXPECT_EQ(dlq.evicted(), 3u);
+  // The two newest survive.
+  EXPECT_EQ(dlq.entries()[0].payload, bytes({3}));
+  EXPECT_EQ(dlq.entries()[1].payload, bytes({4}));
+}
+
+TEST(ReliableTest, DrainEmptiesWithoutResending) {
+  Fixture f;
+  ReliableConfig config;
+  config.initial_rto = Duration::millis(100);
+  config.jitter = 0.0;
+  config.max_attempts = 1;
+  config.dead_letter_capacity = 4;
+  Endpoint a(f.network, Guid::random(f.rng), config);
+  Endpoint b(f.network, Guid::random(f.rng));
+  ASSERT_TRUE(f.network.set_crashed(b.id, true).is_ok());
+  a.channel.send(b.id, 0x42, bytes({1}));
+  f.simulator.run_all();
+
+  auto drained = a.channel.drain_dead_letters();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].cause, DeadLetterCause::kExhausted);
+  EXPECT_TRUE(a.channel.dead_letters().empty());
+  ASSERT_TRUE(f.network.set_crashed(b.id, false).is_ok());
+  f.simulator.run_all();
+  EXPECT_TRUE(b.delivered.empty());  // drained frames are discarded
+}
+
+TEST(ReliableTest, FailAllFlushesRetransmitTimersAndParks) {
+  Fixture f;
+  ReliableConfig config;
+  config.initial_rto = Duration::millis(100);
+  config.jitter = 0.0;
+  config.max_attempts = 8;
+  config.dead_letter_capacity = 8;
+  Endpoint a(f.network, Guid::random(f.rng), config);
+  Endpoint b(f.network, Guid::random(f.rng));
+  ASSERT_TRUE(f.network.set_crashed(b.id, true).is_ok());
+
+  for (int i = 0; i < 2; ++i) a.channel.send(b.id, 0x42, bytes({i}));
+  // Let at least one retransmit fire so backoff timers are armed.
+  f.simulator.run_until(f.simulator.now() + Duration::millis(150));
+  EXPECT_EQ(a.channel.fail_all(b.id), 2u);
+
+  // Parked as failovers, and no armed timer fires a stale retransmission.
+  ASSERT_EQ(a.channel.dead_letters().size(), 2u);
+  EXPECT_EQ(a.channel.dead_letters().entries()[0].cause,
+            DeadLetterCause::kFailedOver);
+  const std::uint64_t sent_before = a.channel.stats().data_sent;
+  f.simulator.run_all();
+  EXPECT_EQ(a.channel.stats().data_sent, sent_before);
+  EXPECT_EQ(a.channel.in_flight(), 0u);
+}
+
+TEST(ReliableTest, RebindResetsReceiverDedupForNewIncarnation) {
+  Fixture f;
+  Endpoint a(f.network, Guid::random(f.rng));
+  Endpoint b(f.network, Guid::random(f.rng));
+
+  // Old incarnation of b sends seq 1 to a.
+  b.channel.send(a.id, 0x42, bytes({1}));
+  f.simulator.run_all();
+  ASSERT_EQ(a.delivered.size(), 1u);
+
+  // b's identity is taken over at a higher epoch; the sequence space
+  // restarts at 1, which a must NOT suppress as a duplicate.
+  b.channel.rebind(b.id, 1);
+  b.channel.send(a.id, 0x42, bytes({2}));
+  f.simulator.run_all();
+  ASSERT_EQ(a.delivered.size(), 2u);
+  EXPECT_EQ(a.delivered[1].payload, bytes({2}));
+  EXPECT_EQ(a.channel.stats().dup_suppressed, 0u);
+}
+
+TEST(ReliableTest, StaleEpochFramesDroppedWithoutAck) {
+  Fixture f;
+  Endpoint a(f.network, Guid::random(f.rng));
+  Endpoint b(f.network, Guid::random(f.rng));
+
+  b.channel.send(a.id, 0x42, bytes({1}));
+  f.simulator.run_all();
+  ASSERT_EQ(a.raw_count(kRelData), 1u);
+  const net::Message old_frame = a.raw.front();
+  const std::size_t acks_before = b.raw_count(kRelAck);
+
+  // The new incarnation announces itself first…
+  b.channel.rebind(b.id, 1);
+  b.channel.send(a.id, 0x42, bytes({2}));
+  f.simulator.run_all();
+  ASSERT_EQ(a.delivered.size(), 2u);
+
+  // …then a stale epoch-0 retransmission limps in: dropped, no ack.
+  net::Message replay = old_frame;
+  EXPECT_TRUE(f.network.send(std::move(replay)).is_ok());
+  f.simulator.run_all();
+  EXPECT_EQ(a.delivered.size(), 2u);
+  EXPECT_EQ(a.channel.stats().stale_epoch, 1u);
+  EXPECT_EQ(b.raw_count(kRelAck), acks_before + 1u);  // only the epoch-1 ack
 }
 
 TEST(ReliableTest, HaltCancelsWithoutCallbacks) {

@@ -1,0 +1,270 @@
+// Unit + integration tests for sci::replicate — primary/backup replication
+// of Context Server state and the facade's failover workflow.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/sci.h"
+#include "replicate/replication.h"
+
+namespace sci {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(ReplicateTest, LogRecordRoundTrip) {
+  Rng rng{7};
+  replicate::LogRecord record;
+  record.index = 41;
+  record.kind = replicate::RecordKind::kProfileUpdate;
+  record.subject = Guid::random(rng);
+  record.flag = 9;
+  record.payload = bytes({1, 2, 3, 4});
+
+  const auto decoded = replicate::LogRecord::decode(record.encode());
+  ASSERT_TRUE(bool(decoded));
+  EXPECT_EQ(decoded->index, record.index);
+  EXPECT_EQ(decoded->kind, record.kind);
+  EXPECT_EQ(decoded->subject, record.subject);
+  EXPECT_EQ(decoded->flag, record.flag);
+  EXPECT_EQ(decoded->payload, record.payload);
+}
+
+TEST(ReplicateTest, FollowerAppliesInOrderAcrossGapsAndEpochs) {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  Rng rng{7};
+  std::vector<std::uint64_t> applied;
+  std::vector<std::uint64_t> snapshot_bases;
+  replicate::ReplicationFollower follower(
+      network, Guid::random(rng), Guid::random(rng),
+      replicate::ReplicationConfig{},
+      [&](const replicate::LogRecord& r) { applied.push_back(r.index); },
+      [&](const std::vector<std::byte>&, std::uint64_t base) {
+        snapshot_bases.push_back(base);
+      },
+      {});
+
+  const auto record = [](std::uint64_t index) {
+    replicate::LogRecord r;
+    r.index = index;
+    r.kind = replicate::RecordKind::kLeaseRenew;
+    return r;
+  };
+
+  // Records before the epoch's snapshot only buffer.
+  follower.on_record(replicate::frame_record(0, record(2)));
+  EXPECT_TRUE(follower.awaiting_snapshot());
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(follower.gap_size(), 1u);
+
+  follower.on_snapshot(replicate::encode_snapshot(0, 0, {}));
+  ASSERT_EQ(snapshot_bases.size(), 1u);
+  EXPECT_FALSE(follower.awaiting_snapshot());
+  EXPECT_TRUE(applied.empty());  // 2 still gapped behind the missing 1
+
+  follower.on_record(replicate::frame_record(0, record(1)));
+  EXPECT_EQ(applied, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(follower.applied(), 2u);
+  EXPECT_EQ(follower.gap_size(), 0u);
+
+  // Duplicate is ignored.
+  follower.on_record(replicate::frame_record(0, record(2)));
+  EXPECT_EQ(applied.size(), 2u);
+
+  // A higher epoch (promoted primary) resets the stream: buffered leftovers
+  // vanish and nothing applies until its snapshot arrives — even records
+  // whose indices replay below what this follower had reached.
+  follower.on_record(replicate::frame_record(1, record(1)));
+  EXPECT_TRUE(follower.awaiting_snapshot());
+  EXPECT_EQ(applied.size(), 2u);
+  follower.on_snapshot(replicate::encode_snapshot(1, 0, {}));
+  EXPECT_EQ(follower.applied(), 1u);  // reset to base, then drained record 1
+  EXPECT_EQ(applied, (std::vector<std::uint64_t>{1, 2, 1}));
+
+  // Stale epoch-0 stragglers are dropped.
+  follower.on_record(replicate::frame_record(0, record(3)));
+  EXPECT_EQ(applied.size(), 3u);
+  EXPECT_EQ(follower.gap_size(), 0u);
+}
+
+// Advertises the "pulse" output so a pattern subscription composes onto it.
+class PulseCE final : public entity::ContextEntity {
+ public:
+  using ContextEntity::ContextEntity;
+
+ protected:
+  [[nodiscard]] std::vector<entity::TypeSig> profile_outputs() const override {
+    return {{"pulse", "", "pulse"}};
+  }
+};
+
+// Counts (source, sequence) pairs so duplicates are distinguishable from
+// fresh deliveries, and registration handshakes so re-registration shows.
+class PulseMonitor final : public entity::ContextAwareApp {
+ public:
+  using ContextAwareApp::ContextAwareApp;
+  int unique_events = 0;
+  int duplicate_events = 0;
+  int registered_calls = 0;
+
+ protected:
+  void on_event(const event::Event& event, std::uint64_t) override {
+    if (seen_.insert({event.source, event.sequence}).second) {
+      ++unique_events;
+    } else {
+      ++duplicate_events;
+    }
+  }
+  void on_registered() override { ++registered_calls; }
+
+ private:
+  std::set<std::pair<Guid, std::uint64_t>> seen_;
+};
+
+struct FailoverFixture {
+  Sci sci{42};
+  mobility::Building building{{.floors = 2, .rooms_per_floor = 4}};
+  range::ContextServer* level_a = nullptr;
+  range::ContextServer* level_b = nullptr;
+
+  explicit FailoverFixture(unsigned standby_count) {
+    sci.set_location_directory(&building.directory());
+    level_a = sci.create_range("levelA", building.floor_path(0)).value();
+    RangeOptions options;
+    options.replication.standby_count = standby_count;
+    options.replication.heartbeat_period = Duration::millis(200);
+    options.replication.promote_timeout = Duration::millis(800);
+    level_b = sci.create_range("levelB", building.floor_path(1), options)
+                  .value();
+  }
+};
+
+TEST(ReplicateTest, FailoverPreservesSubscriptionsWithoutReRegistration) {
+  FailoverFixture f(1);
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  const auto standby_list = f.sci.standbys("levelB");
+  ASSERT_EQ(standby_list.size(), 1u);
+  EXPECT_EQ(f.sci.range_role(standby_list[0]->attached_node()).value(),
+            RangeRole::kStandby);
+  EXPECT_EQ(f.sci.range_role(f.level_b->attached_node()).value(),
+            RangeRole::kPrimary);
+
+  for (int i = 0; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_EQ(monitor.unique_events, 5);
+  EXPECT_EQ(f.level_b->replication_lag(), 0u);
+
+  // Kill the primary. The standby's heartbeat watchdog detects the silence
+  // and the facade fences + promotes it automatically.
+  range::ContextServer* old_primary = f.level_b;
+  ASSERT_TRUE(f.sci.network().set_crashed(old_primary->id(), true).is_ok());
+  ASSERT_TRUE(
+      f.sci.network().set_crashed(old_primary->server_node(), true).is_ok());
+  f.sci.run_for(Duration::seconds(3));
+
+  range::ContextServer* fresh = f.sci.find_range("levelB");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, old_primary);
+  EXPECT_TRUE(old_primary->is_fenced());
+  EXPECT_EQ(fresh->role(), range::RangeConfig::Role::kPrimary);
+  EXPECT_EQ(fresh->stats().promotions, 1u);
+  EXPECT_EQ(fresh->epoch(), old_primary->epoch() + 1);  // incarnation advanced
+  EXPECT_EQ(f.sci.range_role(fresh->attached_node()).value(),
+            RangeRole::kPrimary);
+  EXPECT_TRUE(f.sci.standbys("levelB").empty());
+
+  // No re-registration: the components never re-ran the Fig 5 handshake.
+  EXPECT_TRUE(pulse.is_registered());
+  EXPECT_TRUE(monitor.is_registered());
+  EXPECT_EQ(monitor.registered_calls, 1);
+  const std::uint64_t registrations_at_promotion =
+      fresh->stats().registrations;
+
+  // The replicated subscription keeps firing on the survivor.
+  for (int i = 5; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(5));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(fresh->stats().registrations, registrations_at_promotion);
+}
+
+TEST(ReplicateTest, ColdStandbyCatchesUpAndPromotesByFiat) {
+  FailoverFixture f(0);
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  for (int i = 0; i < 3; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 3);
+
+  // A standby added to an already-running range catches up via snapshot.
+  auto added = f.sci.add_standby("levelB");
+  ASSERT_TRUE(bool(added));
+  range::ContextServer* standby = *added;
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_NE(standby->replication_follower(), nullptr);
+  EXPECT_FALSE(standby->replication_follower()->awaiting_snapshot());
+  EXPECT_EQ(f.level_b->replication_lag(), 0u);
+
+  // Operator-fiat promotion over a live (now fenced) primary.
+  range::ContextServer* old_primary = f.level_b;
+  ASSERT_TRUE(f.sci.promote(standby->attached_node()).is_ok());
+  EXPECT_EQ(f.sci.find_range("levelB"), standby);
+  EXPECT_TRUE(old_primary->is_fenced());
+  EXPECT_EQ(f.sci.range_role(standby->attached_node()).value(),
+            RangeRole::kPrimary);
+
+  for (int i = 3; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(5));
+  EXPECT_EQ(monitor.unique_events, 5);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_TRUE(monitor.is_registered());
+  EXPECT_EQ(monitor.registered_calls, 1);
+}
+
+}  // namespace
+}  // namespace sci
