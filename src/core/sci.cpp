@@ -165,7 +165,26 @@ Expected<range::ContextServer*> Sci::add_standby(std::string_view range) {
   });
   standbys_[range_id].push_back(std::move(standby));
   primary->attach_standby(standby_node);
-  run_for(Duration::millis(50));  // snapshot + tail catch-up delivery
+  // Catch-up completion is state-based, not time-based: run until the
+  // standby holds the epoch's snapshot and has applied everything the
+  // primary has logged, bounded in case loss keeps eating the tail. Under
+  // normal conditions this converges in a couple of RTTs, so a live
+  // deployment's pending timers shift far less than a fixed wait would.
+  const replicate::ReplicationLog* log = primary->replication_log();
+  const auto caught_up = [&] {
+    const replicate::ReplicationFollower* follower =
+        ref.replication_follower();
+    return follower != nullptr && log != nullptr &&
+           !follower->awaiting_snapshot() && follower->applied() >= log->head();
+  };
+  const SimTime deadline = simulator_.now() + Duration::seconds(2);
+  while (!caught_up() && simulator_.now() < deadline) {
+    if (!simulator_.step(deadline)) break;
+  }
+  if (!caught_up()) {
+    SCI_WARN("sci", "standby for '%s' still catching up after bounded wait",
+             primary->config().name.c_str());
+  }
   return &ref;
 }
 

@@ -373,8 +373,11 @@ void ContextServer::on_component_message(const net::Message& message) {
     case replicate::kReplApplied: {
       if (repl_log_ == nullptr) return;
       serde::Reader r(message.payload);
+      const auto epoch = r.varint();
+      if (!epoch) return;
       if (const auto index = r.varint(); index) {
-        repl_log_->on_applied(message.from, *index);
+        repl_log_->on_applied(message.from,
+                              static_cast<std::uint32_t>(*epoch), *index);
       }
       return;
     }

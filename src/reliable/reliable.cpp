@@ -267,10 +267,11 @@ void ReliableChannel::give_up(Guid to, std::uint64_t seq,
 }
 
 std::size_t ReliableChannel::fail_all(Guid to) {
-  // Drop receive-side state for the failed identity even when nothing is
-  // in flight: the GUID's next incarnation (a promoted standby) starts a
-  // fresh sequence space that an old dedup window would suppress.
-  inbound_.erase(to);
+  // Receive-side state for `to` is deliberately kept: failure suspicion can
+  // be wrong (missed pings under loss), and a live peer's same-epoch
+  // retransmits of already-delivered frames must stay suppressed. A genuine
+  // new incarnation (promoted standby) announces itself with a higher
+  // epoch, which on_message() answers by resetting the dedup window.
   const auto peer_it = peers_.find(to);
   if (peer_it == peers_.end() || peer_it->second.pending.empty()) return 0;
   // Cancel every retransmit timer up front — give_up() may trigger handlers

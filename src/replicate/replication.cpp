@@ -161,7 +161,12 @@ std::uint64_t ReplicationLog::append(LogRecord record) {
   return head_;
 }
 
-void ReplicationLog::on_applied(Guid standby, std::uint64_t index) {
+void ReplicationLog::on_applied(Guid standby, std::uint32_t epoch,
+                                std::uint64_t index) {
+  // Acks measure progress against one incarnation's index space; after a
+  // failover the promoted log restarts near 0, so a straggler ack from the
+  // old epoch would inflate the watermark past the new head.
+  if (epoch != channel_.epoch()) return;
   const auto it = applied_.find(standby);
   if (it == applied_.end()) return;
   it->second = std::max(it->second, index);
@@ -267,6 +272,10 @@ bool ReplicationFollower::advance_epoch(std::uint32_t epoch) {
     gap_.clear();
     await_snapshot_ = true;
     primary_head_ = 0;
+    // Seeing the new incarnation's stream proves a live primary took over —
+    // re-arm the watchdog so a standby that lost the promotion race can
+    // still fail over if the *new* primary later dies.
+    promoted_ = false;
   }
   return true;
 }
@@ -344,6 +353,10 @@ void ReplicationFollower::on_heartbeat(const std::vector<std::byte>& payload) {
   if (head) primary_head_ = std::max(primary_head_, *head);
   last_heard_ = network_.simulator().now();
   heard_once_ = true;
+  // A current-epoch heartbeat means the primary is alive: any earlier
+  // promote request was a false alarm (and the facade declined it), so
+  // re-arm the watchdog for the next silence episode.
+  promoted_ = false;
   // Divergence check: only meaningful when fully caught up — a mid-stream
   // comparison would flag ordinary lag as corruption. The flag is sticky per
   // episode so one divergence bumps the counter once, not once per beat.
@@ -367,7 +380,11 @@ void ReplicationFollower::on_heartbeat(const std::vector<std::byte>& payload) {
 void ReplicationFollower::ack() {
   last_heard_ = network_.simulator().now();  // records count as liveness too
   heard_once_ = true;
-  serde::Writer w(10);
+  // The epoch pins the ack to the index space it was measured against: a
+  // late ack generated under a dead incarnation (whose indices ran much
+  // higher) must not inflate the new primary's applied watermark.
+  serde::Writer w(12);
+  w.varint(stream_epoch_);
   w.varint(applied_);
   net::Message msg;
   msg.type = kReplApplied;
@@ -378,12 +395,26 @@ void ReplicationFollower::ack() {
 }
 
 void ReplicationFollower::watchdog_tick() {
-  if (promoted_ || !heard_once_) return;
+  // Never promote while still awaiting the epoch's snapshot: records
+  // buffered ahead of it satisfy heard_once_, but the local state is empty
+  // or stale — taking over would silently lose the range's registrar,
+  // subscription and configuration state.
+  if (!heard_once_ || await_snapshot_) return;
   const Duration silence = network_.simulator().now() - last_heard_;
   if (silence.count_micros() <=
       config_.promote_timeout.count_micros())
     return;
+  if (promoted_) {
+    // A request is already outstanding. If silence persists a full further
+    // timeout (e.g. the facade declined during a partition that then became
+    // a real crash), ask again rather than latch forever.
+    const Duration since_request = network_.simulator().now() - last_request_;
+    if (since_request.count_micros() <=
+        config_.promote_timeout.count_micros())
+      return;
+  }
   promoted_ = true;
+  last_request_ = network_.simulator().now();
   SCI_INFO(kTag, "%s: primary %s silent for %lldms — promoting",
            self_.short_string().c_str(), primary_.short_string().c_str(),
            static_cast<long long>(silence.count_micros() / 1000));

@@ -16,13 +16,18 @@
 //    snapshot (kReplSnapshot, bytes produced by a provider callback the CS
 //    supplies) truncates the tail and lets a cold standby catch up without
 //    replaying history. Standbys ack their applied index (kReplApplied,
-//    raw); the `repl.lag` gauge tracks head − min(applied).
+//    raw, epoch-stamped — acks from superseded incarnations are ignored);
+//    the `repl.lag` gauge tracks head − min(applied).
 //
 //  * ReplicationFollower (standby side) — applies records strictly in index
 //    order (out-of-order arrivals wait in a gap buffer), hands snapshots
 //    and records to CS-supplied callbacks, and watches primary heartbeats
 //    (kReplHeartbeat, raw): after `promote_timeout` of silence it fires the
-//    promote callback exactly once.
+//    promote callback — once per silence episode, re-armed when liveness
+//    resumes (a fresh current-epoch heartbeat, or a new incarnation's
+//    stream) and re-fired if silence persists a full further timeout after
+//    an ignored request. A follower still awaiting the epoch's snapshot
+//    never requests promotion: it has nothing safe to take over with.
 //
 // Every shipped frame is prefixed with the primary channel's incarnation
 // epoch. A follower drops frames from superseded epochs, clears its gap
@@ -137,8 +142,10 @@ class ReplicationLog {
   // standby. Returns the assigned index.
   std::uint64_t append(LogRecord record);
 
-  // kReplApplied from `standby`: it has applied everything through `index`.
-  void on_applied(Guid standby, std::uint64_t index);
+  // kReplApplied from `standby`: it has applied everything through `index`
+  // of incarnation `epoch`. Acks against other epochs are ignored — their
+  // index space does not line up with this log's.
+  void on_applied(Guid standby, std::uint32_t epoch, std::uint64_t index);
 
   [[nodiscard]] std::uint64_t head() const { return head_; }
   // head − min(applied) over attached standbys; 0 with none attached.
@@ -208,6 +215,8 @@ class ReplicationFollower {
   [[nodiscard]] std::uint64_t applied() const { return applied_; }
   [[nodiscard]] std::uint64_t primary_head() const { return primary_head_; }
   [[nodiscard]] std::size_t gap_size() const { return gap_.size(); }
+  // A promote request is outstanding for the current silence episode
+  // (cleared when primary liveness resumes).
   [[nodiscard]] bool promote_fired() const { return promoted_; }
   // Currently observing a fingerprint mismatch while fully caught up.
   [[nodiscard]] bool diverged() const { return diverged_; }
@@ -239,6 +248,7 @@ class ReplicationFollower {
   std::uint32_t stream_epoch_ = 0;
   bool await_snapshot_ = true;  // records buffer until the epoch's snapshot
   SimTime last_heard_;
+  SimTime last_request_;  // when the outstanding promote request fired
   bool heard_once_ = false;
   bool promoted_ = false;
   bool diverged_ = false;

@@ -323,6 +323,35 @@ TEST(ReliableTest, FailAllFlushesRetransmitTimersAndParks) {
   EXPECT_EQ(a.channel.in_flight(), 0u);
 }
 
+TEST(ReliableTest, FailAllKeepsSameEpochDedupWindow) {
+  Fixture f;
+  Endpoint a(f.network, Guid::random(f.rng));
+  Endpoint b(f.network, Guid::random(f.rng));
+
+  a.channel.send(b.id, 0x42, bytes({1}));
+  f.simulator.run_all();
+  ASSERT_EQ(b.delivered.size(), 1u);
+
+  // b wrongly suspects a failed (missed pings under loss). The suspicion
+  // must not forget what b already accepted from a...
+  b.channel.fail_all(a.id);
+
+  // ...so a same-epoch resend of seq 1 (a retransmit whose ack was lost)
+  // stays suppressed instead of double-delivering.
+  a.channel.rebind(a.id, 0);  // same identity + epoch: seq space restarts
+  a.channel.send(b.id, 0x42, bytes({1}));
+  f.simulator.run_all();
+  EXPECT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.channel.stats().dup_suppressed, 1u);
+
+  // A genuinely new incarnation announces a higher epoch and is accepted.
+  a.channel.rebind(a.id, 1);
+  a.channel.send(b.id, 0x42, bytes({2}));
+  f.simulator.run_all();
+  ASSERT_EQ(b.delivered.size(), 2u);
+  EXPECT_EQ(b.delivered[1].payload, bytes({2}));
+}
+
 TEST(ReliableTest, RebindResetsReceiverDedupForNewIncarnation) {
   Fixture f;
   Endpoint a(f.network, Guid::random(f.rng));

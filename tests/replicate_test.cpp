@@ -8,6 +8,7 @@
 
 #include "core/sci.h"
 #include "replicate/replication.h"
+#include "serde/buffer.h"
 
 namespace sci {
 namespace {
@@ -92,6 +93,95 @@ TEST(ReplicateTest, FollowerAppliesInOrderAcrossGapsAndEpochs) {
   follower.on_record(replicate::frame_record(0, record(3)));
   EXPECT_EQ(applied.size(), 3u);
   EXPECT_EQ(follower.gap_size(), 0u);
+}
+
+TEST(ReplicateTest, WatchdogGatesOnSnapshotAndRearmsAfterFalseAlarm) {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  Rng rng{7};
+  int promote_requests = 0;
+  replicate::ReplicationConfig config;
+  config.heartbeat_period = Duration::millis(100);
+  config.promote_timeout = Duration::millis(300);
+  replicate::ReplicationFollower follower(
+      network, Guid::random(rng), Guid::random(rng), config,
+      [](const replicate::LogRecord&) {},
+      [](const std::vector<std::byte>&, std::uint64_t) {},
+      [&] { ++promote_requests; });
+
+  const auto record = [](std::uint64_t index) {
+    replicate::LogRecord r;
+    r.index = index;
+    r.kind = replicate::RecordKind::kLeaseRenew;
+    return r;
+  };
+  const auto heartbeat = [](std::uint32_t epoch, std::uint64_t head) {
+    serde::Writer w(24);
+    w.varint(epoch);
+    w.varint(head);
+    w.varint(0);  // no fingerprint
+    return w.take();
+  };
+
+  // A record buffered ahead of the epoch's snapshot counts as liveness, but
+  // a follower that never got the snapshot must not promote with empty
+  // state, no matter how long the primary stays silent.
+  follower.on_record(replicate::frame_record(0, record(1)));
+  ASSERT_TRUE(follower.awaiting_snapshot());
+  simulator.run_until(simulator.now() + Duration::seconds(2));
+  EXPECT_EQ(promote_requests, 0);
+  EXPECT_FALSE(follower.promote_fired());
+
+  // With the snapshot in hand, heartbeat silence fires a promote request.
+  follower.on_snapshot(replicate::encode_snapshot(0, 1, {}));
+  simulator.run_until(simulator.now() + Duration::millis(500));
+  EXPECT_GE(promote_requests, 1);
+  EXPECT_TRUE(follower.promote_fired());
+  const int after_first = promote_requests;
+
+  // The primary was alive after all (false alarm; the facade declined the
+  // request). A fresh current-epoch heartbeat re-arms the watchdog...
+  follower.on_heartbeat(heartbeat(0, 1));
+  EXPECT_FALSE(follower.promote_fired());
+
+  // ...so a later *real* silence episode still gets a failover request.
+  simulator.run_until(simulator.now() + Duration::millis(500));
+  EXPECT_GT(promote_requests, after_first);
+  EXPECT_TRUE(follower.promote_fired());
+
+  // Losing a promotion race re-arms too: the sibling's new-epoch stream
+  // clears the outstanding request along with the stale log state.
+  follower.on_record(replicate::frame_record(1, record(1)));
+  EXPECT_FALSE(follower.promote_fired());
+  EXPECT_TRUE(follower.awaiting_snapshot());
+}
+
+TEST(ReplicateTest, LogIgnoresAppliedAcksFromOtherEpochs) {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  Rng rng{7};
+  reliable::ReliableChannel channel(network, Guid::random(rng), {});
+  channel.set_epoch(1);  // this log belongs to a promoted incarnation
+  replicate::ReplicationLog log(network, channel,
+                                replicate::ReplicationConfig{},
+                                [] { return std::vector<std::byte>{}; });
+  const Guid standby = Guid::random(rng);
+  log.attach_standby(standby);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    replicate::LogRecord r;
+    r.kind = replicate::RecordKind::kLeaseRenew;
+    log.append(std::move(r));
+  }
+  EXPECT_EQ(log.lag(), 3u);
+
+  // A straggler ack generated against the dead incarnation's (much higher)
+  // index space must not inflate the watermark past the new head.
+  log.on_applied(standby, 0, 999);
+  EXPECT_EQ(log.lag(), 3u);
+
+  // Current-epoch acks advance it normally.
+  log.on_applied(standby, 1, 3);
+  EXPECT_EQ(log.lag(), 0u);
 }
 
 // Advertises the "pulse" output so a pattern subscription composes onto it.
