@@ -3,20 +3,26 @@
 //
 // BM_Failover/seed — the Fig 8 deployment (three ranges, publisher and
 // subscribed monitor in levelB, steady acked inter-range routes) but levelB
-// now runs with one replicated standby. The FaultPlan crashes levelB's
-// primary outright — no recovery — under 5% link loss:
+// now runs with two replicated standbys in synchronous mode (sync_acks=1:
+// the client-visible admit ack is withheld until a standby applied the
+// record). The FaultPlan crashes levelB's primary outright — no recovery —
+// under 5% link loss:
 //
 //   t=0s  loss 5%          t=3s  crash levelB (never recovers)
 //   t=16s loss 0
 //
-// The standby's heartbeat watchdog detects the silence, the facade fences
-// the dead primary and promotes the standby under the same range and CS
-// GUIDs. Claim under test (docs/REPLICATION.md): the takeover is invisible
-// to components — every published event still reaches the monitor exactly
-// once, nobody re-registers, and the only symptom is a bounded delivery gap
-// while the watchdog counts down. The report carries the gap, the
-// registration counts and the repl.* counters; CI fails the chaos job when
-// any seed loses an event, re-registers a component, or skips the failover.
+// The standbys' heartbeat watchdogs detect the silence and run a
+// majority-vote election; the winner promotes under the same range and CS
+// GUIDs at a superseding epoch while the loser re-attaches as its standby.
+// Claim under test (docs/REPLICATION.md): the takeover is invisible to
+// components — every published event still reaches the monitor exactly
+// once, nobody re-registers, no client-acked op is lost, and the only
+// symptom is a bounded delivery gap while the watchdog counts down. The
+// report carries the gap, the election latency, the acked-loss and
+// lease-overlap invariants, the registration counts and the repl.*
+// counters; CI fails the chaos job when any seed loses an event or an
+// acked op, re-registers a component, overlaps fencing leases, or skips
+// the failover.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -38,6 +44,16 @@ class PulseCE final : public entity::ContextEntity {
  public:
   using ContextEntity::ContextEntity;
   int registered_calls = 0;
+
+  // Publish frames this client gave up on without ever seeing an ack —
+  // the only ops the sync-mode loss accounting may legitimately exclude.
+  [[nodiscard]] std::int64_t publishes_parked() {
+    std::int64_t n = 0;
+    for (const auto& dl : channel().dead_letters().entries()) {
+      if (dl.inner_type == entity::kPublish) ++n;
+    }
+    return n;
+  }
 
  protected:
   [[nodiscard]] std::vector<entity::TypeSig> profile_outputs() const override {
@@ -90,9 +106,10 @@ void BM_Failover(benchmark::State& state) {
     sci.set_location_directory(&building.directory());
     auto& level_a = *sci.create_range("levelA", building.floor_path(0)).value();
     RangeOptions replicated;
-    replicated.replication.standby_count = 1;
+    replicated.replication.standby_count = 2;
     replicated.replication.heartbeat_period = Duration::millis(250);
     replicated.replication.promote_timeout = Duration::seconds(1);
+    replicated.replication.sync_acks = 1;
     auto& level_b =
         *sci.create_range("levelB", building.floor_path(1), replicated).value();
     auto& level_c = *sci.create_range("levelC", building.floor_path(2)).value();
@@ -112,8 +129,11 @@ void BM_Failover(benchmark::State& state) {
                    .is_ok());
     sci.run_for(Duration::seconds(1));  // subscription + standby in place
 
-    // One terminal crash: the primary never comes back, the standby must
-    // carry the range for the rest of the run.
+    // One terminal crash: the primary never comes back, the elected standby
+    // must carry the range for the rest of the run.
+    const range::ContextServer* old_primary = &level_b;
+    const double crash_at_ms =
+        static_cast<double>(sci.simulator().now().micros()) / 1000.0 + 3000.0;
     sim::FaultPlan plan;
     plan.loss_rate(Duration::seconds(0), 0.05)
         .crash(Duration::seconds(3), "levelB")
@@ -160,6 +180,27 @@ void BM_Failover(benchmark::State& state) {
     const range::ContextServer* survivor = sci.find_range("levelB");
     SCI_ASSERT(survivor != nullptr);
 
+    // Election latency: crash instant to the winner's promotion instant.
+    const double election_latency_ms =
+        survivor->stats().promoted_at_us >= 0
+            ? static_cast<double>(survivor->stats().promoted_at_us) / 1000.0 -
+                  crash_at_ms
+            : -1.0;
+    // Acked-op loss: every published op must surface at the monitor unless
+    // its frame was never client-acked (parked in the publisher's DLQ).
+    const std::int64_t publishes_parked = pulse.publishes_parked();
+    const std::int64_t acked_op_loss = static_cast<std::int64_t>(published) -
+                                       publishes_parked -
+                                       monitor.unique_events;
+    // Fencing invariant: the deposed primary and the elected successor must
+    // never have held the lease under the same epoch.
+    std::int64_t lease_epoch_overlap = 0;
+    if (survivor != old_primary) {
+      for (const std::uint32_t e : survivor->lease_epochs()) {
+        if (old_primary->lease_epochs().count(e) != 0) ++lease_epoch_overlap;
+      }
+    }
+
     const obs::MetricsSnapshot snap = sci.metrics().snapshot();
     const double event_ratio =
         published == 0 ? 0.0
@@ -176,6 +217,8 @@ void BM_Failover(benchmark::State& state) {
     state.counters["delivery_gap_ms"] = monitor.max_gap.millis_f();
     state.counters["failovers"] =
         static_cast<double>(snap.counter("repl.failovers"));
+    state.counters["election_latency_ms"] = election_latency_ms;
+    state.counters["acked_op_loss"] = static_cast<double>(acked_op_loss);
 
     doc.clear();
     doc.emplace("seed", static_cast<std::int64_t>(seed));
@@ -200,6 +243,22 @@ void BM_Failover(benchmark::State& state) {
     doc.emplace("acked_delivered", static_cast<std::int64_t>(acked_delivered));
     doc.emplace("acked_failed", static_cast<std::int64_t>(acked_failed));
     doc.emplace("acked_delivery_ratio", acked_ratio);
+    doc.emplace("election_latency_ms", election_latency_ms);
+    doc.emplace("acked_op_loss", acked_op_loss);
+    doc.emplace("publishes_parked", publishes_parked);
+    doc.emplace("lease_epoch_overlap", lease_epoch_overlap);
+    doc.emplace("elections_won",
+                static_cast<std::int64_t>(snap.counter("repl.election.won")));
+    doc.emplace("election_candidacies",
+                static_cast<std::int64_t>(
+                    snap.counter("repl.election.candidacies")));
+    doc.emplace("lease_acquisitions",
+                static_cast<std::int64_t>(
+                    snap.counter("repl.lease.acquisitions")));
+    doc.emplace("lease_lapses",
+                static_cast<std::int64_t>(snap.counter("repl.lease.lapses")));
+    doc.emplace("ops_rejected_unleased",
+                static_cast<std::int64_t>(snap.counter("repl.lease.rejected")));
     doc.emplace("repl_failovers",
                 static_cast<std::int64_t>(snap.counter("repl.failovers")));
     doc.emplace("repl_records_shipped",

@@ -85,6 +85,10 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   config.replication.snapshot_interval = options.replication.snapshot_interval;
   config.replication.heartbeat_period = options.replication.heartbeat_period;
   config.replication.promote_timeout = options.replication.promote_timeout;
+  config.election.enable = options.replication.election.enable;
+  config.election.lease_duration = options.replication.election.lease_duration;
+  config.election.renew_period = options.replication.election.renew_period;
+  config.sync_acks = options.replication.sync_acks;
   config.recent_event_window = options.replication.recent_event_window;
 
   auto server = std::make_unique<range::ContextServer>(
@@ -300,27 +304,58 @@ void Sci::auto_promote(Guid range_id, Guid standby_node) {
     }
   }
   if (primary == nullptr) return;
-  // Only take over from a primary that actually looks dead — a sibling
-  // standby may have completed the failover while this request was queued,
-  // in which case the acting primary is the freshly promoted one.
-  if (!primary->is_fenced() && !network_.is_crashed(primary->server_node())) {
-    SCI_INFO("sci",
-             "standby %s promote request ignored — primary of '%s' is alive",
-             standby_node.short_string().c_str(),
-             primary->config().name.c_str());
-    return;
-  }
   auto& list = standbys_[range_id];
+  std::size_t index = list.size();
   for (std::size_t i = 0; i < list.size(); ++i) {
     if (list[i]->attached_node() == standby_node) {
-      const Status promoted = promote_instance(range_id, list, i);
-      if (!promoted.is_ok()) {
-        SCI_WARN("sci", "auto-promote failed: %s",
-                 promoted.error().message().c_str());
-      }
+      index = i;
+      break;
+    }
+  }
+  if (index == list.size()) return;
+  // An election winner carries its own authority: a majority of the replica
+  // group pledged to an epoch above the acting primary's, which also
+  // guarantees the loser's fencing lease has lapsed (voters refuse lease
+  // acks below their pledge). No oracle liveness check needed — this is the
+  // supersession rule that replaces PR 3's facade adjudication.
+  const bool superseded = list[index]->promoted_by_election() &&
+                          list[index]->elected_epoch() > primary->epoch();
+  if (!superseded) {
+    // Fiat path (no election, or the group was too small to hold one): only
+    // take over from a primary that actually looks dead — a sibling standby
+    // may have completed the failover while this request was queued, in
+    // which case the acting primary is the freshly promoted one.
+    if (!primary->is_fenced() && !network_.is_crashed(primary->server_node())) {
+      SCI_INFO("sci",
+               "standby %s promote request ignored — primary of '%s' is alive",
+               standby_node.short_string().c_str(),
+               primary->config().name.c_str());
       return;
     }
   }
+  const Status promoted = promote_instance(range_id, list, index);
+  if (!promoted.is_ok()) {
+    SCI_WARN("sci", "auto-promote failed: %s",
+             promoted.error().message().c_str());
+  }
+}
+
+Status Sci::request_election(std::string_view range) {
+  range::ContextServer* primary = find_range(range);
+  if (primary == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  const auto it = standbys_.find(primary->id());
+  if (it == standbys_.end() || it->second.empty()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "range '" + std::string(range) + "' has no standby");
+  }
+  // Every standby runs; candidacies are staggered by GUID rank and voters
+  // gate on primary silence, so against a live primary this is a no-op and
+  // against a dead one exactly one majority forms.
+  for (const auto& standby : it->second) standby->request_promotion();
+  return Status::ok();
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +438,18 @@ void Sci::inject_faults(const sim::FaultPlan& plan) {
           return;
         }
         case sim::FaultKind::kPromote: {
+          if (!event.force) {
+            // Default path goes through the election: the winner (if any)
+            // promotes itself, and a live primary simply retains its lease
+            // (voters refuse candidacies against a talking primary).
+            const Status requested = request_election(event.target);
+            if (!requested.is_ok()) {
+              SCI_WARN("sci", "fault promote '%s' election failed: %s",
+                       event.target.c_str(),
+                       requested.error().message().c_str());
+            }
+            return;
+          }
           const Status promoted = promote_range(event.target);
           if (!promoted.is_ok()) {
             SCI_WARN("sci", "fault promote '%s' failed: %s",

@@ -78,6 +78,18 @@ struct ReliabilityOptions {
   std::size_t dead_letter_capacity = 64;
 };
 
+// Quorum failover (docs/REPLICATION.md): fencing leases on the primary and
+// majority-vote standby elections. Effective with >= 2 standbys; smaller
+// groups fall back to the watchdog + facade-adjudication path.
+struct ElectionOptions {
+  bool enable = true;
+  // Fencing lease lifetime per majority ack; 0 = promote_timeout, so the
+  // primary self-fences on roughly the schedule standbys declare it dead.
+  Duration lease_duration = Duration::micros(0);
+  // Lease renewal cadence; 0 = heartbeat_period.
+  Duration renew_period = Duration::micros(0);
+};
+
 // Primary/backup replication of Context Server state (docs/REPLICATION.md).
 struct ReplicationOptions {
   // Standby Context Servers created alongside the primary. 0 = replication
@@ -89,8 +101,16 @@ struct ReplicationOptions {
   Duration promote_timeout = Duration::seconds(2);
   // When true the facade honours that request (fence dead primary, promote
   // the standby); when false the watchdog only fires and the operator
-  // promotes by hand (Sci::promote).
+  // promotes by hand (Sci::promote). With elections enabled the request
+  // only arrives after the standby WON a majority vote, and the facade
+  // honours it even when it cannot tell whether the old primary is dead —
+  // the quorum already adjudicated, and the loser's lease has lapsed.
   bool auto_promote = true;
+  ElectionOptions election;
+  // Synchronous replication: > 0 withholds client-visible admit acks until
+  // that many standbys applied the record, so no client-acked op can be
+  // lost in a failover. Degrades to asynchronous below that many standbys.
+  unsigned sync_acks = 0;
   // Recent events the promoted server re-dispatches to close the dead
   // primary's in-flight delivery hole (component-side dedup absorbs the
   // overlap). 0 disables redelivery.
@@ -181,13 +201,23 @@ class Sci {
   // Live instances win the lookup when a fenced one shares the GUID.
   [[nodiscard]] Expected<RangeRole> range_role(Guid node) const;
 
-  // Operator-fiat failover: fences the range's current primary (it stays
-  // alive but permanently silent) and promotes the standby attached as
-  // `standby_node` under the primary's range/CS identities. Components keep
-  // their registrations; subscriptions and configurations keep firing.
+  // Operator-fiat failover (DEBUG HOOK — docs/REPLICATION.md): fences the
+  // range's current primary (it stays alive but permanently silent) and
+  // promotes the standby attached as `standby_node` under the primary's
+  // range/CS identities. Components keep their registrations; subscriptions
+  // and configurations keep firing. Production failover goes through
+  // request_election(); this bypasses the vote and is kept for tests,
+  // 1-standby deployments, and operator last resort.
   Status promote(Guid standby_node);
   // Same, picking the range by name and its first standby.
   Status promote_range(std::string_view range);
+
+  // Asks every standby of `range` to run for election now (the same path
+  // the watchdog takes on primary silence). The winner promotes itself
+  // through the facade; groups too small to form a majority fall back to
+  // the watchdog/fiat path. kNotFound for unknown ranges, kUnavailable when
+  // the range has no standbys.
+  Status request_election(std::string_view range);
 
   // --- dead letters -----------------------------------------------------------
   // The bounded parking lot of frames `range`'s retransmit budget gave up

@@ -50,6 +50,25 @@ struct ForwardedQueryWire {
   }
 };
 
+// State-mutating component ops: the ones a primary whose fencing lease has
+// lapsed must refuse rather than ack (docs/REPLICATION.md). Read-only
+// liveness traffic (hello, pong, beacons) and replication/election frames
+// stay admitted.
+bool mutates_range_state(std::uint32_t type) {
+  switch (type) {
+    case entity::kRegisterRequest:
+    case entity::kDeregister:
+    case entity::kPublish:
+    case entity::kProfileUpdate:
+    case entity::kQuerySubmit:
+    case entity::kLeaseRenew:
+    case kForwardedQueryDirect:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 ContextServer::ContextServer(net::Network& network, RangeConfig config,
@@ -95,6 +114,7 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_delivery_dead_letters_ = &metrics.counter("em.deliveries.dead_letter");
   m_dead_letters_ = &metrics.counter("cs.dead_letters");
   m_promotions_ = &metrics.counter("repl.failovers");
+  m_lease_rejected_ = &metrics.counter("repl.lease.rejected");
   trace_ = &network_.simulator().trace();
 
   channel_.set_epoch(config_.epoch);
@@ -102,6 +122,15 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
       [this](const net::Message& message, unsigned attempts) {
         on_channel_give_up(message, attempts);
       });
+  // Self-fencing (docs/REPLICATION.md): a primary whose quorum lease lapsed
+  // refuses mutating frames outright — no ack, no dedup entry — so the
+  // sender's retransmit loop carries the op to the elected successor.
+  channel_.set_receive_gate([this](std::uint32_t inner_type) {
+    if (!mutates_range_state(inner_type) || admission_open()) return true;
+    ++stats_.ops_rejected_unleased;
+    m_lease_rejected_->inc();
+    return false;
+  });
   if (config_.acked_delivery) {
     mediator_.set_channel(&channel_);
   }
@@ -131,10 +160,9 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
         [this](const std::vector<std::byte>& blob, std::uint64_t base) {
           apply_snapshot_state(blob, base);
         },
-        [this] {
-          if (on_promote_requested_) on_promote_requested_();
-        },
+        [this] { request_promotion(); },
         [this] { return state_fingerprint(); });
+    if (config_.election.enable) init_election_agent();
     return;
   }
 
@@ -287,6 +315,21 @@ void ContextServer::on_lease_expired(const event::Subscription& subscription) {
       ++it;
     }
   }
+  // Mediator-level delivery failure: the reaper just dropped this
+  // subscriber's last subscription while deliveries to it were still in
+  // flight. Those frames can never be consumed under a live subscription,
+  // so park them now as mediator dead letters — same bounded replayable DLQ
+  // as channel give-ups, distinguished by cause (Sci::dead_letters).
+  if (mediator_.table().ids_for_subscriber(subscription.subscriber).empty() &&
+      channel_.in_flight_to(subscription.subscriber) > 0) {
+    const std::size_t parked = channel_.fail_all(
+        subscription.subscriber, reliable::DeadLetterCause::kMediator);
+    SCI_INFO(kTag,
+             "%s: lease expiry parked %zu undeliverable frame(s) to %s as "
+             "mediator dead letters",
+             config_.name.c_str(), parked,
+             subscription.subscriber.short_string().c_str());
+  }
 }
 
 void ContextServer::reply_result(Guid app, const std::string& query_id,
@@ -315,6 +358,14 @@ void ContextServer::on_component_message(const net::Message& message) {
       })) {
     return;
   }
+  // Raw-path twin of the channel receive gate: refuse mutating ops while
+  // the fencing lease is lapsed (frames that came via the channel were
+  // already gated before delivery, so this only fires on raw sends).
+  if (mutates_range_state(message.type) && !admission_open()) {
+    ++stats_.ops_rejected_unleased;
+    m_lease_rejected_->inc();
+    return;
+  }
   switch (message.type) {
     case entity::kHello:
       handle_hello(message);
@@ -333,8 +384,10 @@ void ContextServer::on_component_message(const net::Message& message) {
       if (!body) return;
       registrar_.touch(message.from, network_.simulator().now());
       (void)profiles_.update(body->profile);
-      log_record(replicate::RecordKind::kProfileUpdate, message.from, 0,
-                 message.payload);
+      hold_admit_until_committed(
+          log_record(replicate::RecordKind::kProfileUpdate, message.from, 0,
+                     message.payload),
+          {});
       return;
     }
     case entity::kQuerySubmit:
@@ -348,7 +401,9 @@ void ContextServer::on_component_message(const net::Message& message) {
       // the Range Service's failure detector.
       registrar_.touch(message.from, network_.simulator().now());
       mediator_.renew(message.from);
-      log_record(replicate::RecordKind::kLeaseRenew, message.from, 0, {});
+      hold_admit_until_committed(
+          log_record(replicate::RecordKind::kLeaseRenew, message.from, 0, {}),
+          {});
       return;
     case kForwardedQueryDirect: {
       auto wire = ForwardedQueryWire::decode(message.payload);
@@ -362,13 +417,35 @@ void ContextServer::on_component_message(const net::Message& message) {
       return;
     }
     case replicate::kReplRecord:
+      // The channel drops stale-epoch envelopes before delivery, so any
+      // record reaching here is from the current (or newer) primary: proof
+      // of life for the election agent as much as a heartbeat is.
+      if (election_ != nullptr) election_->note_primary_alive();
       if (follower_ != nullptr) follower_->on_record(message.payload);
       return;
     case replicate::kReplSnapshot:
+      if (election_ != nullptr) election_->note_primary_alive();
       if (follower_ != nullptr) follower_->on_snapshot(message.payload);
       return;
     case replicate::kReplHeartbeat:
+      if (election_ != nullptr) election_->on_heartbeat(message.payload);
       if (follower_ != nullptr) follower_->on_heartbeat(message.payload);
+      return;
+    case replicate::kReplLeaseReq:
+      if (election_ != nullptr)
+        election_->on_lease_request(message.payload, message.from);
+      return;
+    case replicate::kReplLeaseAck:
+      if (lease_keeper_ != nullptr)
+        lease_keeper_->on_lease_ack(message.payload, message.from);
+      return;
+    case replicate::kReplVoteRequest:
+      if (election_ != nullptr)
+        election_->on_vote_request(message.payload, message.from);
+      return;
+    case replicate::kReplVoteGrant:
+      if (election_ != nullptr)
+        election_->on_vote_grant(message.payload, message.from);
       return;
     case replicate::kReplApplied: {
       if (repl_log_ == nullptr) return;
@@ -463,8 +540,9 @@ void ContextServer::handle_register(const net::Message& message) {
     send_to(component, entity::kRegisterAck, nack.encode());
     return;
   }
-  log_record(replicate::RecordKind::kRegister, component,
-             body->is_app ? 1 : 0, message.payload);
+  const std::uint64_t index =
+      log_record(replicate::RecordKind::kRegister, component,
+                 body->is_app ? 1 : 0, message.payload);
 
   entity::RegisterAckBody ack;
   ack.accepted = true;
@@ -475,7 +553,11 @@ void ContextServer::handle_register(const net::Message& message) {
     ack.lease_renew_micros =
         static_cast<std::uint64_t>(config_.lease_renew_period.count_micros());
   }
-  send_to(component, entity::kRegisterAck, ack.encode());
+  // Synchronous mode withholds the RegisterAck (the client-visible admit)
+  // until enough standbys applied the record; asynchronous mode sends now.
+  hold_admit_until_committed(index, [this, component, ack] {
+    send_to(component, entity::kRegisterAck, ack.encode());
+  });
 
   // A new arrival may unblock parked queries or offer better sources.
   retry_pending_queries();
@@ -502,8 +584,9 @@ void ContextServer::handle_publish(const net::Message& message) {
     ++stats_.duplicate_publishes;
     return;
   }
-  log_record(replicate::RecordKind::kPublish, message.from, 0,
-             message.payload);
+  hold_admit_until_committed(log_record(replicate::RecordKind::kPublish,
+                                        message.from, 0, message.payload),
+                             {});
   ingest_publish(*body);
 }
 
@@ -574,7 +657,10 @@ void ContextServer::handle_query_submit(const net::Message& message) {
   }
   if (repl_log_ != nullptr) {
     const ForwardedQueryWire wire{message.from, body->xml};
-    log_record(replicate::RecordKind::kQuery, message.from, 0, wire.encode());
+    hold_admit_until_committed(
+        log_record(replicate::RecordKind::kQuery, message.from, 0,
+                   wire.encode()),
+        {});
   }
   admit_query(std::move(*parsed), message.from);
 }
@@ -1346,16 +1432,91 @@ void ContextServer::ping_tick() {
 // ---------------------------------------------------------------------------
 // replication & failover (docs/REPLICATION.md)
 
-void ContextServer::log_record(replicate::RecordKind kind, Guid subject,
-                               std::uint64_t flag,
-                               std::vector<std::byte> payload) {
-  if (repl_log_ == nullptr) return;
+std::uint64_t ContextServer::log_record(replicate::RecordKind kind,
+                                        Guid subject, std::uint64_t flag,
+                                        std::vector<std::byte> payload) {
+  if (repl_log_ == nullptr) return 0;
   replicate::LogRecord record;
   record.kind = kind;
   record.subject = subject;
   record.flag = flag;
   record.payload = std::move(payload);
-  (void)repl_log_->append(std::move(record));
+  return repl_log_->append(std::move(record));
+}
+
+void ContextServer::hold_admit_until_committed(
+    std::uint64_t index, std::function<void()> completion) {
+  if (index == 0 || config_.sync_acks == 0 || repl_log_ == nullptr ||
+      repl_log_->committed() >= index) {
+    // Asynchronous mode, no log, or already durable (degraded sync commits
+    // at append): complete immediately, exactly as before.
+    if (completion) completion();
+    return;
+  }
+  auto& waiters = sync_waiting_[index];
+  // The channel-level ack is the admit signal for ops whose only reply is
+  // the ack itself (publish, renew); hold it until the commit watermark
+  // passes this record. Raw-path ops have no ack to hold (invalid ticket).
+  if (const reliable::AckTicket ticket = channel_.hold_current_ack();
+      ticket.valid) {
+    waiters.push_back([this, ticket] { channel_.release_ack(ticket); });
+  }
+  if (completion) waiters.push_back(std::move(completion));
+}
+
+void ContextServer::on_commit_advanced(std::uint64_t committed) {
+  while (!sync_waiting_.empty() &&
+         sync_waiting_.begin()->first <= committed) {
+    std::vector<std::function<void()>> waiters =
+        std::move(sync_waiting_.begin()->second);
+    sync_waiting_.erase(sync_waiting_.begin());
+    for (const auto& waiter : waiters) waiter();
+  }
+}
+
+void ContextServer::init_lease_keeper() {
+  if (lease_keeper_ != nullptr || !config_.election.enable) return;
+  lease_keeper_ = std::make_unique<replicate::LeaseKeeper>(
+      network_, attached_as_,
+      replicate::resolve_election(config_.election, config_.replication),
+      [this] {
+        return repl_log_ != nullptr ? repl_log_->standbys()
+                                    : std::vector<Guid>{};
+      },
+      [this] { return config_.epoch; },
+      [this] {
+        ++stats_.lease_lapses;
+        SCI_WARN(kTag, "%s: fencing lease lapsed — admission closed",
+                 config_.name.c_str());
+      },
+      [this](std::uint32_t epoch) {
+        ++stats_.lease_acquisitions;
+        lease_epochs_.insert(epoch);
+      });
+}
+
+void ContextServer::init_election_agent() {
+  if (election_ != nullptr) return;
+  election_ = std::make_unique<replicate::ElectionAgent>(
+      network_, attached_as_, config_.replication, config_.election,
+      [this] { return follower_ != nullptr ? follower_->applied() : 0; },
+      [this] {
+        const std::uint32_t stream =
+            follower_ != nullptr ? follower_->stream_epoch() : 0;
+        return std::max(config_.epoch, stream);
+      },
+      [this](std::uint32_t epoch) {
+        elected_epoch_ = epoch;
+        if (on_promote_requested_) on_promote_requested_();
+      });
+}
+
+void ContextServer::request_promotion() {
+  // Elections first: only a majority winner (or a group too small to hold
+  // one) may promote. start_candidacy() is idempotent while a candidacy or
+  // a win is pending.
+  if (election_ != nullptr && election_->start_candidacy()) return;
+  if (on_promote_requested_) on_promote_requested_();
 }
 
 void ContextServer::apply_record(const replicate::LogRecord& record) {
@@ -1794,8 +1955,16 @@ void ContextServer::attach_standby(Guid standby_node) {
         network_, channel_, config_.replication,
         [this] { return snapshot_state(); },
         [this] { return state_fingerprint(); });
+    if (config_.sync_acks > 0) {
+      repl_log_->set_sync_acks(config_.sync_acks, [this](std::uint64_t c) {
+        on_commit_advanced(c);
+      });
+    }
   }
   repl_log_->attach_standby(standby_node);
+  // Replicating under elections means the right to admit is leased from the
+  // group, not assumed: start maintaining the fencing lease.
+  init_lease_keeper();
 }
 
 void ContextServer::detach_standby(Guid standby_node) {
@@ -1805,12 +1974,20 @@ void ContextServer::detach_standby(Guid standby_node) {
 void ContextServer::promote(Guid join_via) {
   SCI_ASSERT_MSG(config_.role == RangeConfig::Role::kStandby && !fenced_,
                  "promote() is a standby-only transition");
-  SCI_INFO(kTag, "%s: promoting standby %s to primary (epoch %u)",
-           config_.name.c_str(), attached_as_.short_string().c_str(),
-           config_.epoch + 1);
   follower_.reset();
+  // The voting agent's job is done: the win (if any) is recorded in
+  // elected_epoch_, and a primary must not keep answering vote traffic
+  // with standby-side logic.
+  election_.reset();
   config_.role = RangeConfig::Role::kPrimary;
-  config_.epoch += 1;
+  // An elected standby adopts the epoch its voters pledged to — it is
+  // always above anything the dead primary stamped. Fiat promotion keeps
+  // the plain increment.
+  config_.epoch = std::max(config_.epoch + 1, elected_epoch_);
+  stats_.promoted_at_us = network_.simulator().now().micros();
+  SCI_INFO(kTag, "%s: promoting standby %s to primary (epoch %u%s)",
+           config_.name.c_str(), attached_as_.short_string().c_str(),
+           config_.epoch, elected_epoch_ != 0 ? ", elected" : ", fiat");
 
   // Identity takeover: shed the standby node, adopt the CS node and stamp
   // the new epoch on every outgoing frame, so receivers reset their dedup
@@ -1864,6 +2041,12 @@ void ContextServer::fence() {
   discovering_ = false;
   repl_log_.reset();
   follower_.reset();
+  lease_keeper_.reset();
+  election_.reset();
+  // Held admit acks die unsent: the ops were never acknowledged, so clients
+  // retransmit them to the successor. channel_.halt() below drops the
+  // deferred-ack bookkeeping to match.
+  sync_waiting_.clear();
   mediator_.set_silent(true);
   channel_.halt();
   scinet_.reset();  // releases the range overlay id for the successor

@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +38,7 @@
 #include "overlay/scinet.h"
 #include "query/query.h"
 #include "reliable/reliable.h"
+#include "replicate/election.h"
 #include "replicate/replication.h"
 #include "range/context_store.h"
 #include "range/directory.h"
@@ -103,6 +106,15 @@ struct RangeConfig {
   Guid standby_node;        // required when role == kStandby
   std::uint32_t epoch = 0;  // incarnation number stamped on channel frames
   replicate::ReplicationConfig replication;
+  // Quorum failover (docs/REPLICATION.md): fencing lease on the primary,
+  // majority-vote elections among standbys. Effective only with >= 2
+  // standbys (a 2-node group has no usable majority); smaller deployments
+  // keep the oracle promote path.
+  replicate::ElectionConfig election;
+  // Synchronous replication: when > 0 the primary withholds client-visible
+  // admit acks until the mutating record is applied by this many standbys.
+  // Degrades to asynchronous when fewer standbys are attached.
+  unsigned sync_acks = 0;
   // Dispatched events retained for post-failover redelivery; components
   // dedup the overlap. 0 disables the window.
   std::size_t recent_event_window = 64;
@@ -125,6 +137,10 @@ struct ServerStats {
   std::uint64_t promotions = 0;           // standby → primary takeovers
   std::uint64_t records_applied = 0;      // replication records applied here
   std::uint64_t duplicate_publishes = 0;  // suppressed cross-incarnation dups
+  std::uint64_t lease_acquisitions = 0;   // fencing lease (re)gained
+  std::uint64_t lease_lapses = 0;         // fencing lease lost (self-fenced)
+  std::uint64_t ops_rejected_unleased = 0;  // mutations refused while lapsed
+  std::int64_t promoted_at_us = -1;  // sim time of promote(); -1 = never
 };
 
 class ContextServer {
@@ -176,10 +192,43 @@ class ContextServer {
 
   // Standby: invoked (once) when primary heartbeats stay silent past
   // ReplicationConfig::promote_timeout. The facade wires this to a
-  // full fence-and-promote; tests may promote by hand instead.
+  // full fence-and-promote; tests may promote by hand instead. With
+  // elections enabled the handler only fires after this standby WINS a
+  // majority vote (or when the group is too small to elect).
   using PromoteRequestHandler = std::function<void()>;
   void set_promote_request_handler(PromoteRequestHandler handler) {
     on_promote_requested_ = std::move(handler);
+  }
+
+  // Standby: run for election now (watchdog fired, or an operator asked via
+  // FaultPlan::promote without force). Falls back to the plain promote
+  // request when the group cannot form a majority.
+  void request_promotion();
+
+  // --- quorum state (docs/REPLICATION.md) ----------------------------------
+  // True when this instance's last promotion was won by majority vote
+  // rather than operator fiat; elected_epoch() is the vote's epoch.
+  [[nodiscard]] bool promoted_by_election() const {
+    return elected_epoch_ != 0;
+  }
+  [[nodiscard]] std::uint32_t elected_epoch() const { return elected_epoch_; }
+  // Every epoch in which this instance held the fencing lease at some
+  // point. The split-brain invariant: across instances of one range, these
+  // sets are disjoint per epoch.
+  [[nodiscard]] const std::set<std::uint32_t>& lease_epochs() const {
+    return lease_epochs_;
+  }
+  // Primary admission gate: false once the fencing lease lapsed (or the
+  // instance is fenced) — mutating ops are refused, not acked.
+  [[nodiscard]] bool admission_open() const {
+    if (fenced_) return false;
+    return lease_keeper_ == nullptr || lease_keeper_->holds_lease();
+  }
+  [[nodiscard]] const replicate::LeaseKeeper* lease_keeper() const {
+    return lease_keeper_.get();
+  }
+  [[nodiscard]] const replicate::ElectionAgent* election_agent() const {
+    return election_.get();
   }
 
   [[nodiscard]] RangeConfig::Role role() const { return config_.role; }
@@ -310,9 +359,10 @@ class ContextServer {
 
   // --- replication ---------------------------------------------------------
   // Appends a record to the replication log when one exists (primary with
-  // standbys); no-op otherwise, so the hot path costs one branch.
-  void log_record(replicate::RecordKind kind, Guid subject, std::uint64_t flag,
-                  std::vector<std::byte> payload);
+  // standbys) and returns its log index; returns 0 (no sync wait possible)
+  // otherwise, so the hot path costs one branch.
+  std::uint64_t log_record(replicate::RecordKind kind, Guid subject,
+                           std::uint64_t flag, std::vector<std::byte> payload);
   // Follower apply callback: replays one primary operation locally.
   void apply_record(const replicate::LogRecord& record);
   [[nodiscard]] std::vector<std::byte> snapshot_state() const;
@@ -323,6 +373,14 @@ class ContextServer {
   // apply_record (standby) so both sides mutate state identically.
   Status admit_registration(Guid component,
                             const entity::RegisterRequestBody& body);
+  // Synchronous replication (RangeConfig::sync_acks): defer the admit ack
+  // of the record at `index` until enough standbys applied it. `ack` is the
+  // client-visible completion (held channel ack and/or a reply thunk).
+  void hold_admit_until_committed(std::uint64_t index,
+                                  std::function<void()> completion);
+  void on_commit_advanced(std::uint64_t committed);
+  void init_lease_keeper();
+  void init_election_agent();
   // Store + dispatch + trigger stage of handle_publish, shared with
   // apply_record.
   void ingest_publish(const entity::PublishBody& body);
@@ -395,6 +453,14 @@ class ContextServer {
   // --- replication state ---------------------------------------------------
   std::unique_ptr<replicate::ReplicationLog> repl_log_;      // primary side
   std::unique_ptr<replicate::ReplicationFollower> follower_;  // standby side
+  // Quorum failover: the primary's fencing lease and the standby's election
+  // agent (each nullptr on the other role, or when elections are disabled).
+  std::unique_ptr<replicate::LeaseKeeper> lease_keeper_;
+  std::unique_ptr<replicate::ElectionAgent> election_;
+  std::uint32_t elected_epoch_ = 0;  // epoch of the vote that promoted us
+  std::set<std::uint32_t> lease_epochs_;
+  // Admit acks held for synchronous replication, keyed by log index.
+  std::map<std::uint64_t, std::vector<std::function<void()>>> sync_waiting_;
   PromoteRequestHandler on_promote_requested_;
   Guid attached_as_;     // current network identity (CS node or standby node)
   bool fenced_ = false;
@@ -407,6 +473,7 @@ class ContextServer {
   // primary's in-flight delivery hole (components dedup the overlap).
   std::deque<event::Event> recent_events_;
   obs::Counter* m_promotions_ = nullptr;
+  obs::Counter* m_lease_rejected_ = nullptr;
 
   ServerStats stats_;
 };

@@ -70,6 +70,8 @@ const char* to_string(DeadLetterCause cause) {
       return "detached";
     case DeadLetterCause::kFailedOver:
       return "failed_over";
+    case DeadLetterCause::kMediator:
+      return "mediator";
   }
   return "unknown";
 }
@@ -253,7 +255,8 @@ void ReliableChannel::give_up(Guid to, std::uint64_t seq,
   Pending pending = std::move(it->second);
   network_.simulator().cancel(pending.retry);
   peer_it->second.pending.erase(it);
-  if (cause == DeadLetterCause::kFailedOver) {
+  if (cause == DeadLetterCause::kFailedOver ||
+      cause == DeadLetterCause::kMediator) {
     ++stats_.failovers;
     m_failovers_->inc();
   } else {
@@ -266,7 +269,7 @@ void ReliableChannel::give_up(Guid to, std::uint64_t seq,
   if (give_up_) give_up_(inner_message(to, pending), pending.attempts);
 }
 
-std::size_t ReliableChannel::fail_all(Guid to) {
+std::size_t ReliableChannel::fail_all(Guid to, DeadLetterCause cause) {
   // Receive-side state for `to` is deliberately kept: failure suspicion can
   // be wrong (missed pings under loss), and a live peer's same-epoch
   // retransmits of already-delivered frames must stay suppressed. A genuine
@@ -283,9 +286,28 @@ std::size_t ReliableChannel::fail_all(Guid to) {
   seqs.reserve(peer_it->second.pending.size());
   for (const auto& [seq, pending] : peer_it->second.pending)
     seqs.push_back(seq);
-  for (const std::uint64_t seq : seqs)
-    give_up(to, seq, DeadLetterCause::kFailedOver);
+  for (const std::uint64_t seq : seqs) give_up(to, seq, cause);
   return seqs.size();
+}
+
+AckTicket ReliableChannel::hold_current_ack() {
+  if (!rx_current_.has_value()) return {};
+  rx_held_ = true;
+  deferred_.insert({rx_current_->from, rx_current_->seq});
+  ++stats_.acks_held;
+  return *rx_current_;
+}
+
+void ReliableChannel::release_ack(const AckTicket& ticket) {
+  if (!ticket.valid) return;
+  if (deferred_.erase({ticket.from, ticket.seq}) == 0) return;  // orphaned
+  net::Message ack;
+  ack.type = kRelAck;
+  ack.from = self_;
+  ack.to = ticket.from;
+  ack.payload = encode_ack(ticket.epoch, ticket.seq);
+  (void)network_.send(std::move(ack));
+  ++stats_.acks_released;
 }
 
 bool ReliableChannel::on_message(const net::Message& message,
@@ -307,25 +329,46 @@ bool ReliableChannel::on_message(const net::Message& message,
       return true;
     }
     if (wire->epoch > in.epoch) {
-      // New incarnation: its sequence space starts over.
+      // New incarnation: its sequence space starts over, and acks owed to
+      // the old incarnation are moot.
       in.epoch = wire->epoch;
       in.dedup.reset();
+      std::erase_if(deferred_, [&](const auto& key) {
+        return key.first == message.from;
+      });
     }
-    // Always ack, even duplicates — the earlier ack may have been lost.
-    net::Message ack;
-    ack.type = kRelAck;
-    ack.from = self_;
-    ack.to = message.from;
-    ack.payload = encode_ack(wire->epoch, wire->seq);
-    (void)network_.send(std::move(ack));
-
-    if (!in.dedup.accept(wire->seq)) {
+    if (gate_ && !gate_(wire->inner_type)) {
+      // Refused outright: no ack and no dedup entry, so the sender keeps
+      // retransmitting and the frame lands wherever admission reopens (or
+      // at this identity's successor).
+      ++stats_.gated;
+      return true;
+    }
+    const bool fresh = in.dedup.accept(wire->seq);
+    if (!fresh) {
       ++stats_.dup_suppressed;
       m_dup_suppressed_->inc();
+      // Re-ack the duplicate (the earlier ack may have been lost) — unless
+      // the original's ack is deliberately held, in which case duplicates
+      // must stay silent too.
+      if (!deferred_.contains({message.from, wire->seq})) {
+        net::Message ack;
+        ack.type = kRelAck;
+        ack.from = self_;
+        ack.to = message.from;
+        ack.payload = encode_ack(wire->epoch, wire->seq);
+        (void)network_.send(std::move(ack));
+      }
       return true;
     }
     ++stats_.delivered;
     m_delivered_->inc();
+    // Expose the frame's ack for hold_current_ack() during delivery
+    // (save/restore in case delivery re-enters on_message).
+    const std::optional<AckTicket> prev_current = rx_current_;
+    const bool prev_held = rx_held_;
+    rx_current_ = AckTicket{message.from, wire->epoch, wire->seq, true};
+    rx_held_ = false;
     if (deliver) {
       net::Message inner;
       inner.type = wire->inner_type;
@@ -334,6 +377,16 @@ bool ReliableChannel::on_message(const net::Message& message,
       inner.payload = std::move(wire->payload);
       deliver(inner);
     }
+    if (!rx_held_) {
+      net::Message ack;
+      ack.type = kRelAck;
+      ack.from = self_;
+      ack.to = message.from;
+      ack.payload = encode_ack(wire->epoch, wire->seq);
+      (void)network_.send(std::move(ack));
+    }
+    rx_current_ = prev_current;
+    rx_held_ = prev_held;
     return true;
   }
 
@@ -371,6 +424,9 @@ void ReliableChannel::halt() {
       network_.simulator().cancel(pending.retry);
     peer.pending.clear();
   }
+  // Held acks die with the halt: the corresponding frames were never
+  // acknowledged, so senders retransmit them to whoever takes over.
+  deferred_.clear();
 }
 
 void ReliableChannel::rebind(Guid new_self, std::uint32_t epoch) {

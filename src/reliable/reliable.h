@@ -34,8 +34,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/expected.h"
@@ -76,6 +79,9 @@ struct ChannelStats {
   std::uint64_t failovers = 0;       // handed back early via fail_all()
   std::uint64_t dlq_parked = 0;      // abandoned frames parked in the DLQ
   std::uint64_t dlq_replayed = 0;    // parked frames re-sent via replay
+  std::uint64_t gated = 0;           // inbound frames refused by the gate
+  std::uint64_t acks_held = 0;       // acks deferred via hold_current_ack()
+  std::uint64_t acks_released = 0;   // deferred acks later released
 };
 
 // Receiver-side dedup window: `floor` is the highest seq below which
@@ -102,6 +108,8 @@ enum class DeadLetterCause : std::uint8_t {
   kExhausted = 0,  // retransmit budget spent without an ack
   kDetached,       // destination was never attached / left for good
   kFailedOver,     // destination declared failed via fail_all()
+  kMediator,       // mediator-level delivery failure (subscription lease
+                   // expired with the subscriber unreachable)
 };
 const char* to_string(DeadLetterCause cause);
 
@@ -150,6 +158,15 @@ class DeadLetterQueue {
   std::uint64_t evicted_ = 0;
 };
 
+// Handle to an ack the receiver deferred via hold_current_ack(). Opaque to
+// the holder; release_ack() sends the ack (once) if it is still owed.
+struct AckTicket {
+  Guid from;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+  bool valid = false;
+};
+
 class ReliableChannel {
  public:
   // Receives the unwrapped inner frame, exactly once per (sender, seq).
@@ -157,6 +174,12 @@ class ReliableChannel {
   // Receives the reconstructed inner frame of an abandoned send plus the
   // number of transmissions attempted.
   using GiveUpHandler = std::function<void(const net::Message&, unsigned)>;
+  // Admission gate over inbound data frames: return false to refuse the
+  // frame — no ack, no dedup entry, no delivery — so the sender keeps
+  // retransmitting and eventually reaches whoever admits again (a fenced or
+  // lease-lapsed Context Server uses this to stay byzantine-silent instead
+  // of acking ops it will not apply).
+  using ReceiveGate = std::function<bool(std::uint32_t inner_type)>;
 
   // `self` is the network identity the owner is attached as; envelopes are
   // sent from (and acked to) that node.
@@ -169,6 +192,18 @@ class ReliableChannel {
   void set_give_up_handler(GiveUpHandler handler) {
     give_up_ = std::move(handler);
   }
+  void set_receive_gate(ReceiveGate gate) { gate_ = std::move(gate); }
+
+  // --- deferred acks (synchronous replication, docs/REPLICATION.md) -------
+  // Valid only inside the deliver callback: claims the in-flight frame's
+  // ack, which then is NOT sent when delivery returns. Duplicate arrivals
+  // of the same frame stay silent while the ack is held, so the sender's
+  // retransmit loop keeps running until release_ack(). Returns an invalid
+  // ticket outside a delivery (the caller treats that as nothing to hold).
+  AckTicket hold_current_ack();
+  // Sends the held ack. Idempotent; a ticket orphaned by halt()/rebind() or
+  // a sender epoch advance releases as a no-op.
+  void release_ack(const AckTicket& ticket);
 
   // Queues `payload` for reliable delivery of `inner_type` to `to` and
   // returns the assigned sequence number. Retransmits until acked, the
@@ -187,8 +222,11 @@ class ReliableChannel {
   // and parked in the dead-letter queue. Also cancels the retransmit timers
   // and drops receive-side dedup state for `to`, so frames from its next
   // incarnation (a promoted standby reusing the GUID) are not suppressed as
-  // stale duplicates. Returns the number of frames handed back.
-  std::size_t fail_all(Guid to);
+  // stale duplicates. Returns the number of frames handed back. `cause`
+  // tags the parked entries (kMediator when a subscription-lease reaper,
+  // not a failover, abandoned the destination).
+  std::size_t fail_all(Guid to,
+                       DeadLetterCause cause = DeadLetterCause::kFailedOver);
 
   // Cancels all retransmission state without callbacks (models a local
   // crash/halt of the owner).
@@ -257,9 +295,16 @@ class ReliableChannel {
   ReliableConfig config_;
   Rng rng_;
   GiveUpHandler give_up_;
+  ReceiveGate gate_;
   std::uint32_t epoch_ = 0;
   std::unordered_map<Guid, Peer> peers_;
   std::unordered_map<Guid, Inbound> inbound_;
+  // Frames whose acks are held via hold_current_ack(), keyed by
+  // (sender, seq); duplicates of these stay unacked until release.
+  std::set<std::pair<Guid, std::uint64_t>> deferred_;
+  // The frame currently inside the deliver callback (claimable ack).
+  std::optional<AckTicket> rx_current_;
+  bool rx_held_ = false;
   DeadLetterQueue dlq_;
 
   obs::Counter* m_accepted_ = nullptr;

@@ -140,11 +140,15 @@ void ReplicationLog::attach_standby(Guid node) {
   }
   applied_[node] = snapshot_base_;
   update_lag();
+  update_committed();
 }
 
 void ReplicationLog::detach_standby(Guid node) {
   applied_.erase(node);
   update_lag();
+  // Shrinking below sync_acks degrades to asynchronous: everything commits,
+  // releasing whatever admit acks were waiting on the departed standby.
+  update_committed();
 }
 
 std::uint64_t ReplicationLog::append(LogRecord record) {
@@ -158,6 +162,7 @@ std::uint64_t ReplicationLog::append(LogRecord record) {
   }
   tail_.push_back(std::move(record));
   update_lag();
+  update_committed();  // degraded/sync-off mode commits at append
   return head_;
 }
 
@@ -171,6 +176,32 @@ void ReplicationLog::on_applied(Guid standby, std::uint32_t epoch,
   if (it == applied_.end()) return;
   it->second = std::max(it->second, index);
   update_lag();
+  update_committed();
+}
+
+void ReplicationLog::set_sync_acks(unsigned n,
+                                   std::function<void(std::uint64_t)>
+                                       on_commit) {
+  sync_acks_ = n;
+  on_commit_ = std::move(on_commit);
+  committed_seen_ = committed();
+}
+
+std::uint64_t ReplicationLog::committed() const {
+  if (sync_acks_ == 0 || applied_.size() < sync_acks_) return head_;
+  std::vector<std::uint64_t> marks;
+  marks.reserve(applied_.size());
+  for (const auto& [standby, applied] : applied_) marks.push_back(applied);
+  std::sort(marks.begin(), marks.end(), std::greater<>());
+  return marks[sync_acks_ - 1];  // nth-highest: n standbys hold this index
+}
+
+void ReplicationLog::update_committed() {
+  if (sync_acks_ == 0) return;
+  const std::uint64_t now_committed = committed();
+  if (now_committed <= committed_seen_) return;
+  committed_seen_ = now_committed;
+  if (on_commit_) on_commit_(committed_seen_);
 }
 
 std::uint64_t ReplicationLog::lag() const {
@@ -210,10 +241,20 @@ void ReplicationLog::ship_snapshot(Guid standby) {
 }
 
 void ReplicationLog::heartbeat_tick() {
-  serde::Writer w(24);
+  serde::Writer w(24 + 17 * applied_.size());
   w.varint(channel_.epoch());
   w.varint(head_);
   w.varint(fingerprint_ ? fingerprint_() : 0);
+  // Trailing replica-group view (standby nodes, sorted): election agents
+  // learn who their siblings are from here. Followers parse the leading
+  // three varints only and ignore the tail, so the extension is compatible
+  // both ways.
+  const std::vector<Guid> members = standbys();
+  w.varint(members.size());
+  for (const Guid member : members) {
+    w.u64(member.hi());
+    w.u64(member.lo());
+  }
   const std::vector<std::byte> payload = w.take();
   for (const auto& [standby, applied] : applied_) {
     net::Message beat;

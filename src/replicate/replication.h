@@ -147,6 +147,18 @@ class ReplicationLog {
   // index space does not line up with this log's.
   void on_applied(Guid standby, std::uint32_t epoch, std::uint64_t index);
 
+  // Synchronous replication mode (docs/REPLICATION.md): with n >= 1 the
+  // owner withholds client-visible admit acks until a record has been
+  // applied by n standbys; `on_commit` fires with the new watermark every
+  // time it rises, releasing whatever the owner was holding. Fewer standbys
+  // attached than `n` degrades to asynchronous (everything commits at
+  // append), so a lone primary keeps serving.
+  void set_sync_acks(unsigned n, std::function<void(std::uint64_t)> on_commit);
+  // Highest index applied by at least sync_acks standbys (== head when sync
+  // is off or the group is degraded below it).
+  [[nodiscard]] std::uint64_t committed() const;
+  [[nodiscard]] unsigned sync_acks() const { return sync_acks_; }
+
   [[nodiscard]] std::uint64_t head() const { return head_; }
   // head − min(applied) over attached standbys; 0 with none attached.
   [[nodiscard]] std::uint64_t lag() const;
@@ -159,6 +171,7 @@ class ReplicationLog {
   void ship_snapshot(Guid standby);
   void heartbeat_tick();
   void update_lag();
+  void update_committed();
 
   net::Network& network_;
   reliable::ReliableChannel& channel_;
@@ -172,6 +185,11 @@ class ReplicationLog {
   std::vector<std::byte> snapshot_blob_;
   bool have_snapshot_ = false;
   std::unordered_map<Guid, std::uint64_t> applied_;
+
+  // Synchronous mode (0 = off): commit watermark + rise notification.
+  unsigned sync_acks_ = 0;
+  std::function<void(std::uint64_t)> on_commit_;
+  std::uint64_t committed_seen_ = 0;
 
   std::optional<sim::PeriodicTimer> snapshot_timer_;
   std::optional<sim::PeriodicTimer> heartbeat_timer_;

@@ -47,8 +47,9 @@ FaultPlan& FaultPlan::loss_rate(Duration at, double probability) {
   return *this;
 }
 
-FaultPlan& FaultPlan::promote(Duration at, std::string range) {
-  events_.push_back({at, FaultKind::kPromote, std::move(range), 0, 0.0});
+FaultPlan& FaultPlan::promote(Duration at, std::string range, bool force) {
+  events_.push_back(
+      {at, FaultKind::kPromote, std::move(range), 0, 0.0, force});
   return *this;
 }
 
@@ -67,6 +68,11 @@ std::string FaultPlan::to_string() const {
         break;
       case FaultKind::kHeal:
         std::snprintf(line, sizeof line, "+%.3fs heal\n", e.at.seconds_f());
+        break;
+      case FaultKind::kPromote:
+        std::snprintf(line, sizeof line, "+%.3fs promote %s%s\n",
+                      e.at.seconds_f(), e.target.c_str(),
+                      e.force ? " (forced)" : "");
         break;
       default:
         std::snprintf(line, sizeof line, "+%.3fs %s %s\n", e.at.seconds_f(),

@@ -40,6 +40,9 @@ struct FaultEvent {
   std::string target;  // range name (crash/recover/partition); empty otherwise
   int group = 0;       // partition group (kPartition)
   double loss = 0.0;   // drop probability (kLossRate)
+  // kPromote only: bypass the standby election and promote by fiat (the old
+  // pre-quorum behaviour). Default goes through the election path.
+  bool force = false;
 };
 
 class FaultPlan {
@@ -49,10 +52,12 @@ class FaultPlan {
   FaultPlan& partition(Duration at, std::string range, int group);
   FaultPlan& heal(Duration at);
   FaultPlan& loss_rate(Duration at, double probability);
-  // Operator-fiat failover: promote a standby of `range` (the crashed
-  // primary is fenced first). Complements the standby's own heartbeat
-  // watchdog, which needs promote_timeout of silence before firing.
-  FaultPlan& promote(Duration at, std::string range);
+  // Failover request: ask `range`'s standbys to elect a successor (the
+  // winner fences the old primary and takes over). Complements the
+  // standbys' own heartbeat watchdog, which needs promote_timeout of
+  // silence before firing. `force` bypasses the vote and promotes the first
+  // standby by operator fiat — the only option for 1-standby deployments.
+  FaultPlan& promote(Duration at, std::string range, bool force = false);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

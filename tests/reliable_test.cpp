@@ -416,5 +416,98 @@ TEST(ReliableTest, HaltCancelsWithoutCallbacks) {
   EXPECT_TRUE(b.delivered.empty());
 }
 
+TEST(ReliableTest, ReceiveGateRefusesWithoutAckOrDedupEntry) {
+  Fixture f;
+  Endpoint a(f.network, Guid::random(f.rng));
+  Endpoint b(f.network, Guid::random(f.rng));
+
+  // Gate closed for 0x42: no ack, no dedup entry, no delivery — the sender
+  // keeps retransmitting (a lease-lapsed CS refusing mutating ops).
+  bool open = false;
+  b.channel.set_receive_gate(
+      [&open](std::uint32_t inner_type) { return inner_type != 0x42 || open; });
+  a.channel.send(b.id, 0x42, bytes({1}));
+  f.simulator.run_until(f.simulator.now() + Duration::seconds(1));
+  EXPECT_TRUE(b.delivered.empty());
+  EXPECT_GT(b.channel.stats().gated, 0u);
+  EXPECT_GT(a.channel.stats().retransmits, 0u);
+  EXPECT_EQ(a.channel.stats().acked, 0u);
+  EXPECT_EQ(a.channel.in_flight(), 1u);
+
+  // Admission reopens: the next retransmission is delivered fresh (it never
+  // entered the dedup window) and finally acked.
+  open = true;
+  f.simulator.run_all();
+  ASSERT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.delivered[0].payload, bytes({1}));
+  EXPECT_EQ(a.channel.stats().acked, 1u);
+  EXPECT_EQ(a.channel.in_flight(), 0u);
+}
+
+TEST(ReliableTest, HeldAckDefersSettlementUntilRelease) {
+  Fixture f;
+  Endpoint a(f.network, Guid::random(f.rng));
+
+  // The receiver claims the ack during delivery (a primary waiting for
+  // standby acks before admitting), so a keeps the frame in flight and
+  // retransmits — but duplicates of the held frame stay silent.
+  AckTicket held;
+  std::size_t deliveries = 0;
+  ReliableChannel holder(f.network, Guid::random(f.rng), {});
+  const Guid holder_id = holder.self();
+  ASSERT_TRUE(f.network
+                  .attach(holder_id,
+                          [&](const net::Message& m) {
+                            (void)holder.on_message(
+                                m, [&](const net::Message&) {
+                                  ++deliveries;
+                                  held = holder.hold_current_ack();
+                                });
+                          })
+                  .is_ok());
+
+  a.channel.send(holder_id, 0x42, bytes({9}));
+  f.simulator.run_until(f.simulator.now() + Duration::seconds(1));
+  EXPECT_EQ(deliveries, 1u);  // duplicates stay suppressed AND silent
+  EXPECT_TRUE(held.valid);
+  EXPECT_GT(a.channel.stats().retransmits, 0u);
+  EXPECT_EQ(a.channel.stats().acked, 0u);
+  EXPECT_EQ(a.channel.in_flight(), 1u);
+  EXPECT_EQ(holder.stats().acks_held, 1u);
+
+  // Release sends the (single) deferred ack; the sender settles.
+  holder.release_ack(held);
+  holder.release_ack(held);  // idempotent
+  f.simulator.run_all();
+  EXPECT_EQ(a.channel.stats().acked, 1u);
+  EXPECT_EQ(a.channel.in_flight(), 0u);
+  EXPECT_EQ(holder.stats().acks_released, 1u);
+  EXPECT_EQ(deliveries, 1u);
+}
+
+TEST(ReliableTest, MediatorFailAllParksWithMediatorCause) {
+  Fixture f;
+  ReliableConfig config;
+  config.dead_letter_capacity = 8;
+  Endpoint a(f.network, Guid::random(f.rng), config);
+  Endpoint b(f.network, Guid::random(f.rng));
+  ASSERT_TRUE(f.network.set_crashed(b.id, true).is_ok());
+
+  a.channel.send(b.id, 0x42, bytes({1}));
+  a.channel.send(b.id, 0x43, bytes({2}));
+  f.simulator.run_until(f.simulator.now() + Duration::millis(50));
+  EXPECT_EQ(a.channel.fail_all(b.id, DeadLetterCause::kMediator), 2u);
+
+  ASSERT_EQ(a.channel.dead_letters().size(), 2u);
+  for (const DeadLetter& letter : a.channel.dead_letters().entries()) {
+    EXPECT_EQ(letter.cause, DeadLetterCause::kMediator);
+  }
+  EXPECT_STREQ(to_string(DeadLetterCause::kMediator), "mediator");
+  // Mediator parks count as failovers (handed back early), not exhausted
+  // dead letters.
+  EXPECT_EQ(a.channel.stats().failovers, 2u);
+  EXPECT_EQ(a.channel.stats().dead_letters, 0u);
+}
+
 }  // namespace
 }  // namespace sci::reliable

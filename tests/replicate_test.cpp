@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/sci.h"
+#include "replicate/election.h"
 #include "replicate/replication.h"
 #include "serde/buffer.h"
 
@@ -184,6 +185,157 @@ TEST(ReplicateTest, LogIgnoresAppliedAcksFromOtherEpochs) {
   EXPECT_EQ(log.lag(), 0u);
 }
 
+TEST(ReplicateTest, VoterGatesOnLivenessWatermarkAndPledgedEpoch) {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  Rng rng{7};
+  const Guid voter = Guid::random(rng);
+  const Guid candidate = Guid::random(rng);
+  std::vector<net::Message> at_candidate;
+  ASSERT_TRUE(network
+                  .attach(candidate,
+                          [&](const net::Message& m) {
+                            at_candidate.push_back(m);
+                          })
+                  .is_ok());
+  ASSERT_TRUE(network.attach(voter, [](const net::Message&) {}).is_ok());
+
+  replicate::ReplicationConfig repl;
+  repl.heartbeat_period = Duration::millis(100);
+  repl.promote_timeout = Duration::millis(300);
+  replicate::ElectionAgent agent(
+      network, voter, repl, replicate::resolve_election({}, repl),
+      [] { return std::uint64_t{5}; },  // this voter's applied watermark
+      [] { return std::uint32_t{0}; }, [](std::uint32_t) {});
+
+  const auto vote_req = [](std::uint32_t epoch, std::uint64_t watermark) {
+    serde::Writer w(16);
+    w.varint(epoch);
+    w.varint(watermark);
+    return w.take();
+  };
+  const auto lease_req = [](std::uint32_t epoch, std::uint64_t seq) {
+    serde::Writer w(16);
+    w.varint(epoch);
+    w.varint(seq);
+    return w.take();
+  };
+  const auto count = [&](std::uint32_t type) {
+    std::size_t n = 0;
+    for (const auto& m : at_candidate)
+      if (m.type == type) ++n;
+    return n;
+  };
+
+  // Construction counts as hearing the primary: candidacies against a
+  // recently-live primary are refused.
+  agent.on_vote_request(vote_req(1, 9), candidate);
+  simulator.run_until(simulator.now() + Duration::millis(50));
+  EXPECT_EQ(count(replicate::kReplVoteGrant), 0u);
+
+  // After promote_timeout of silence, a stale candidate (watermark below
+  // this voter's) is still refused — the Raft freshness restriction.
+  simulator.run_until(simulator.now() + Duration::millis(400));
+  agent.on_vote_request(vote_req(1, 4), candidate);
+  simulator.run_until(simulator.now() + Duration::millis(50));
+  EXPECT_EQ(count(replicate::kReplVoteGrant), 0u);
+
+  // A fresh-enough candidate is granted, and the pledge is recorded.
+  agent.on_vote_request(vote_req(1, 5), candidate);
+  simulator.run_until(simulator.now() + Duration::millis(50));
+  EXPECT_EQ(count(replicate::kReplVoteGrant), 1u);
+  EXPECT_EQ(agent.max_voted_epoch(), 1u);
+
+  // One vote per epoch: a different same-epoch candidate is refused.
+  const Guid rival = Guid::random(rng);
+  ASSERT_TRUE(network.attach(rival, [](const net::Message&) {}).is_ok());
+  agent.on_vote_request(vote_req(1, 99), rival);
+  simulator.run_until(simulator.now() + Duration::millis(50));
+  EXPECT_EQ(count(replicate::kReplVoteGrant), 1u);
+  EXPECT_EQ(agent.stats().votes_granted, 1u);
+
+  // The fencing half of the pledge: lease acks below the pledged epoch are
+  // refused, so the deposed primary can never reassemble a lease majority.
+  agent.on_lease_request(lease_req(0, 7), candidate);
+  simulator.run_until(simulator.now() + Duration::millis(50));
+  EXPECT_EQ(count(replicate::kReplLeaseAck), 0u);
+  EXPECT_EQ(agent.stats().lease_acks_refused, 1u);
+  agent.on_lease_request(lease_req(1, 8), candidate);
+  simulator.run_until(simulator.now() + Duration::millis(50));
+  EXPECT_EQ(count(replicate::kReplLeaseAck), 1u);
+  EXPECT_EQ(agent.stats().lease_acks_sent, 1u);
+}
+
+TEST(ReplicateTest, LeaseKeeperAcquiresOnMajorityAndLapsesWithoutIt) {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  Rng rng{7};
+  const Guid primary = Guid::random(rng);
+  const Guid s1 = Guid::random(rng);
+  const Guid s2 = Guid::random(rng);
+  // Primary-side ack routing: the CS normally funnels these frames; here
+  // the test stands in for it (keeper is constructed below).
+  replicate::LeaseKeeper* keeper_ptr = nullptr;
+  ASSERT_TRUE(network
+                  .attach(primary,
+                          [&](const net::Message& m) {
+                            if (m.type == replicate::kReplLeaseAck &&
+                                keeper_ptr != nullptr)
+                              keeper_ptr->on_lease_ack(m.payload, m.from);
+                          })
+                  .is_ok());
+
+  // Standby 1 acks every lease request; standby 2 stays silent, so the
+  // majority (2 of group 3, primary implicit) hinges on s1 alone.
+  bool s1_acks = true;
+  ASSERT_TRUE(network
+                  .attach(s1,
+                          [&](const net::Message& m) {
+                            if (m.type != replicate::kReplLeaseReq ||
+                                !s1_acks)
+                              return;
+                            net::Message ack;
+                            ack.type = replicate::kReplLeaseAck;
+                            ack.from = s1;
+                            ack.to = primary;
+                            ack.payload = m.payload;  // echo epoch + seq
+                            (void)network.send(std::move(ack));
+                          })
+                  .is_ok());
+  ASSERT_TRUE(network.attach(s2, [](const net::Message&) {}).is_ok());
+
+  replicate::ReplicationConfig repl;
+  repl.heartbeat_period = Duration::millis(100);
+  repl.promote_timeout = Duration::millis(400);
+  int lapses = 0;
+  int acquisitions = 0;
+  replicate::LeaseKeeper keeper(
+      network, primary, replicate::resolve_election({}, repl),
+      [&] { return std::vector<Guid>{s1, s2}; },
+      [] { return std::uint32_t{0}; }, [&] { ++lapses; },
+      [&](std::uint32_t) { ++acquisitions; });
+  keeper_ptr = &keeper;
+
+  // Majority acks keep the lease alive well past the initial grace.
+  simulator.run_until(simulator.now() + Duration::seconds(2));
+  EXPECT_TRUE(keeper.holds_lease());
+  EXPECT_EQ(lapses, 0);
+  EXPECT_GT(keeper.stats().acks_received, 0u);
+
+  // Lose the majority: the lease runs out from the last acked send and the
+  // keeper reports the lapse exactly once per episode.
+  s1_acks = false;
+  simulator.run_until(simulator.now() + Duration::seconds(2));
+  EXPECT_FALSE(keeper.holds_lease());
+  EXPECT_EQ(lapses, 1);
+
+  // The majority returns: the keeper re-acquires.
+  s1_acks = true;
+  simulator.run_until(simulator.now() + Duration::seconds(1));
+  EXPECT_TRUE(keeper.holds_lease());
+  EXPECT_GE(acquisitions, 2);
+}
+
 // Advertises the "pulse" output so a pattern subscription composes onto it.
 class PulseCE final : public entity::ContextEntity {
  public:
@@ -224,13 +376,14 @@ struct FailoverFixture {
   range::ContextServer* level_a = nullptr;
   range::ContextServer* level_b = nullptr;
 
-  explicit FailoverFixture(unsigned standby_count) {
+  explicit FailoverFixture(unsigned standby_count, unsigned sync_acks = 0) {
     sci.set_location_directory(&building.directory());
     level_a = sci.create_range("levelA", building.floor_path(0)).value();
     RangeOptions options;
     options.replication.standby_count = standby_count;
     options.replication.heartbeat_period = Duration::millis(200);
     options.replication.promote_timeout = Duration::millis(800);
+    options.replication.sync_acks = sync_acks;
     level_b = sci.create_range("levelB", building.floor_path(1), options)
                   .value();
   }
@@ -354,6 +507,144 @@ TEST(ReplicateTest, ColdStandbyCatchesUpAndPromotesByFiat) {
   EXPECT_EQ(monitor.duplicate_events, 0);
   EXPECT_TRUE(monitor.is_registered());
   EXPECT_EQ(monitor.registered_calls, 1);
+}
+
+// ISSUE split-brain scenario: symmetric partition isolates the live primary
+// (plus a publisher) from both standbys and the monitor. The minority
+// primary's fencing lease lapses and it self-fences admission; the majority
+// side elects a successor whose epoch supersedes the (still-alive) primary
+// at the facade. After heal, every published op surfaces exactly once.
+TEST(ReplicateTest, SplitBrainSingleLeaseHolderPerEpochAndNoLossAfterHeal) {
+  FailoverFixture f(2, /*sync_acks=*/1);
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(2));
+
+  for (int i = 0; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 5);
+
+  range::ContextServer* old_primary = f.level_b;
+  const std::uint32_t old_epoch = old_primary->epoch();
+  ASSERT_TRUE(old_primary->admission_open());
+  ASSERT_EQ(old_primary->lease_epochs().count(old_epoch), 1u);
+
+  // Partition the primary's machine, its CS identity, and the publisher into
+  // group 1; both standby machines and the monitor stay in the connected
+  // core. The primary is alive throughout — only its packets die.
+  f.sci.network().set_partition_group(old_primary->id(), 1);
+  f.sci.network().set_partition_group(old_primary->server_node(), 1);
+  f.sci.network().set_partition_group(pulse.id(), 1);
+
+  // Keep publishing into the minority side. Early ops are admitted but can
+  // never commit (sync_acks=1 and no standby is reachable), so the client
+  // ack is withheld; once the lease lapses the rest are refused outright.
+  for (int i = 5; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(400));
+  }
+  f.sci.run_for(Duration::seconds(3));
+
+  range::ContextServer* fresh = f.sci.find_range("levelB");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, old_primary);
+  EXPECT_TRUE(fresh->promoted_by_election());
+  EXPECT_GT(fresh->elected_epoch(), old_epoch);
+  EXPECT_TRUE(old_primary->is_fenced());
+  EXPECT_GE(old_primary->stats().lease_lapses, 1u);
+  EXPECT_GT(old_primary->stats().ops_rejected_unleased, 0u);
+  EXPECT_FALSE(old_primary->admission_open());
+
+  // Heal. The publisher's reliable channel retransmits the unacked ops to
+  // the successor (same CS identity, fresh dedup, replicated publish-seen
+  // filter), and deliveries resume toward the monitor.
+  f.sci.network().heal_partitions();
+  f.sci.run_for(Duration::seconds(25));
+
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+
+  // At most one lease holder per epoch: the deposed primary's lease epochs
+  // and the successor's never intersect, and the successor re-acquired
+  // under its elected epoch once the majority became reachable again.
+  EXPECT_EQ(fresh->lease_epochs().count(fresh->epoch()), 1u);
+  for (const std::uint32_t e : fresh->lease_epochs()) {
+    EXPECT_EQ(old_primary->lease_epochs().count(e), 0u);
+  }
+}
+
+// Sync-mode kill/elect cycle: with sync_acks=1 the primary withholds the
+// client-visible ack until a standby applied the record, and the election's
+// watermark gate makes the ack set intersect the vote majority — so no
+// client-acked op can be lost across the failover.
+TEST(ReplicateTest, SyncModeKillElectCycleLosesNoClientAckedOps) {
+  FailoverFixture f(2, /*sync_acks=*/1);
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(2));
+
+  for (int i = 0; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 10);
+
+  range::ContextServer* old_primary = f.level_b;
+  ASSERT_TRUE(f.sci.network().set_crashed(old_primary->id(), true).is_ok());
+  ASSERT_TRUE(
+      f.sci.network().set_crashed(old_primary->server_node(), true).is_ok());
+  f.sci.run_for(Duration::seconds(4));
+
+  // With two standbys the group (3 incl. the dead primary) can elect: the
+  // winner carries a majority at a superseding epoch instead of relying on
+  // the facade's is-it-really-dead oracle.
+  range::ContextServer* fresh = f.sci.find_range("levelB");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, old_primary);
+  EXPECT_TRUE(fresh->promoted_by_election());
+  EXPECT_GT(fresh->elected_epoch(), 0u);
+  EXPECT_EQ(fresh->epoch(), fresh->elected_epoch());
+  EXPECT_EQ(f.sci.standbys("levelB").size(), 1u);  // sibling re-attached
+
+  for (int i = 10; i < 20; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(10));
+
+  // Zero acked-op loss and zero duplicates across the cycle.
+  EXPECT_EQ(monitor.unique_events, 20);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+  EXPECT_TRUE(pulse.is_registered());
+  EXPECT_TRUE(monitor.is_registered());
 }
 
 }  // namespace
