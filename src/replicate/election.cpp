@@ -25,6 +25,19 @@ ElectionConfig resolve_election(ElectionConfig config,
     config.lease_duration = repl.promote_timeout;
   if (config.renew_period.count_micros() == 0)
     config.renew_period = repl.heartbeat_period;
+  // Safety bound: a voter's lease ack promises [sent_at, sent_at +
+  // lease_duration), but its vote-grant gate only requires promote_timeout
+  // of primary silence. A lease outliving that gate could overlap a rival
+  // majority election — two simultaneous lease holders. Clamp rather than
+  // trust the caller.
+  if (config.lease_duration > repl.promote_timeout) {
+    SCI_WARN(kTag,
+             "lease_duration %lld us exceeds promote_timeout %lld us — "
+             "clamping to keep leases inside the vote-grant silence gate",
+             static_cast<long long>(config.lease_duration.count_micros()),
+             static_cast<long long>(repl.promote_timeout.count_micros()));
+    config.lease_duration = repl.promote_timeout;
+  }
   return config;
 }
 
@@ -86,7 +99,8 @@ void LeaseKeeper::renew_tick() {
     return;
   }
   ++lease_seq_;
-  outstanding_[lease_seq_] = Outstanding{now, {}};
+  outstanding_[lease_seq_] =
+      Outstanding{now, std::set<Guid>(members.begin(), members.end()), {}};
   while (outstanding_.size() > kOutstandingWindow)
     outstanding_.erase(outstanding_.begin());
   serde::Writer w(16);
@@ -122,10 +136,15 @@ void LeaseKeeper::on_lease_ack(const std::vector<std::byte>& payload,
   if (!seq) return;
   const auto it = outstanding_.find(*seq);
   if (it == outstanding_.end()) return;  // outside the correlation window
+  // Quorum is judged against the member snapshot taken at send time, not
+  // the live group: an ack from a standby detached since the request must
+  // not count, and a group shrink between send and ack must not let stale
+  // acks satisfy a smaller majority.
+  if (it->second.members.find(from) == it->second.members.end()) return;
   ++stats_.acks_received;
   m_acks_->inc();
   it->second.acks.insert(from);
-  const std::size_t group = members_().size() + 1;
+  const std::size_t group = it->second.members.size() + 1;
   // +1: the primary implicitly acks its own request.
   if (it->second.acks.size() + 1 < quorum(group)) return;
   // Majority. Extend from the *send* time: however long the acks took, the
@@ -159,7 +178,12 @@ ElectionAgent::ElectionAgent(net::Network& network, Guid self,
   m_won_ = &metrics.counter("repl.election.won");
 }
 
-ElectionAgent::~ElectionAgent() = default;
+ElectionAgent::~ElectionAgent() {
+  // The CS destroys the agent on promote/fence while the staggered launch
+  // or a candidacy retry is typically still scheduled; both capture `this`.
+  network_.simulator().cancel(stagger_timer_);
+  network_.simulator().cancel(retry_timer_);
+}
 
 bool ElectionAgent::primary_recently_alive() const {
   if (!heard_primary_) return false;
@@ -335,7 +359,8 @@ bool ElectionAgent::start_candidacy() {
   const Duration delay =
       Duration::micros(static_cast<std::int64_t>(rank) *
                        repl_.heartbeat_period.count_micros());
-  network_.simulator().schedule(delay, [this] {
+  stagger_timer_ = network_.simulator().schedule(delay, [this] {
+    stagger_timer_ = sim::TimerHandle();  // fired: later cancel is a no-op
     launch_pending_ = false;
     if (elected_ || active_) return;
     // Abort when the alarm went stale during the stagger: the primary came
@@ -388,11 +413,15 @@ void ElectionAgent::launch() {
   const Duration jitter =
       Duration::micros(static_cast<std::int64_t>(period == 0 ? 0 : h % period));
   const std::uint32_t launched = cand_epoch_;
-  network_.simulator().schedule(repl_.promote_timeout + jitter,
-                                [this, launched] { retry_check(launched); });
+  // Cancel the previous epoch's retry before arming the new one so at most
+  // one retry_check is ever pending — the destructor cancels exactly that.
+  network_.simulator().cancel(retry_timer_);
+  retry_timer_ = network_.simulator().schedule(
+      repl_.promote_timeout + jitter, [this, launched] { retry_check(launched); });
 }
 
 void ElectionAgent::retry_check(std::uint32_t launched_epoch) {
+  retry_timer_ = sim::TimerHandle();  // fired: later cancel is a no-op
   // Split vote or loss ate the grants: if the silence persists, go again at
   // a higher epoch rather than latch forever.
   if (!active_ || elected_ || cand_epoch_ != launched_epoch) return;

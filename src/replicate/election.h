@@ -72,7 +72,10 @@ struct ElectionConfig {
   bool enable = true;
   // How long one majority ack keeps the primary's lease alive. 0 resolves
   // to ReplicationConfig::promote_timeout — the primary then self-fences on
-  // roughly the same schedule the standbys use to declare it dead.
+  // roughly the same schedule the standbys use to declare it dead. Values
+  // above promote_timeout are clamped by resolve_election(): a lease promise
+  // that outlives the silence a voter requires before granting a rival's
+  // candidacy would let a still-held lease overlap a majority election.
   Duration lease_duration = Duration::micros(0);
   // Lease renewal cadence. 0 resolves to ReplicationConfig::heartbeat_period.
   Duration renew_period = Duration::micros(0);
@@ -127,6 +130,7 @@ class LeaseKeeper {
 
   struct Outstanding {
     SimTime sent_at;
+    std::set<Guid> members;  // group snapshot the request was sent to
     std::set<Guid> acks;
   };
 
@@ -244,6 +248,12 @@ class ElectionAgent {
   bool elected_ = false;
   std::uint32_t elected_epoch_ = 0;
 
+  // Pending simulator callbacks (staggered launch, candidacy retry), owned
+  // so ~ElectionAgent can cancel them: the CS destroys the agent on promote
+  // and fence while a retry_check is typically still scheduled.
+  sim::TimerHandle stagger_timer_;
+  sim::TimerHandle retry_timer_;
+
   obs::Counter* m_candidacies_ = nullptr;
   obs::Counter* m_votes_granted_ = nullptr;
   obs::Counter* m_won_ = nullptr;
@@ -253,7 +263,8 @@ class ElectionAgent {
 
 // Resolves the 0-defaults of `config` against the replication timing it
 // rides on (lease_duration -> promote_timeout, renew_period ->
-// heartbeat_period).
+// heartbeat_period) and clamps lease_duration to promote_timeout (see the
+// ElectionConfig field comment for why that bound is load-bearing).
 [[nodiscard]] ElectionConfig resolve_election(ElectionConfig config,
                                               const ReplicationConfig& repl);
 

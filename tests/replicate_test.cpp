@@ -336,6 +336,87 @@ TEST(ReplicateTest, LeaseKeeperAcquiresOnMajorityAndLapsesWithoutIt) {
   EXPECT_GE(acquisitions, 2);
 }
 
+TEST(ReplicateTest, ResolveElectionClampsLeaseDurationToPromoteTimeout) {
+  replicate::ReplicationConfig repl;
+  repl.heartbeat_period = Duration::millis(100);
+  repl.promote_timeout = Duration::millis(300);
+
+  // The 0-defaults resolve against the replication timing.
+  const auto defaults = replicate::resolve_election({}, repl);
+  EXPECT_EQ(defaults.lease_duration, repl.promote_timeout);
+  EXPECT_EQ(defaults.renew_period, repl.heartbeat_period);
+
+  // A lease outliving the vote-grant silence gate could overlap a rival
+  // majority election (two lease holders), so oversized configs clamp.
+  replicate::ElectionConfig oversized;
+  oversized.lease_duration = Duration::millis(900);
+  EXPECT_EQ(replicate::resolve_election(oversized, repl).lease_duration,
+            repl.promote_timeout);
+
+  // In-bound values pass through untouched.
+  replicate::ElectionConfig snug;
+  snug.lease_duration = Duration::millis(200);
+  EXPECT_EQ(replicate::resolve_election(snug, repl).lease_duration,
+            Duration::millis(200));
+}
+
+TEST(ReplicateTest, LeaseQuorumJudgedAgainstSendTimeMemberSnapshot) {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  Rng rng{7};
+  const Guid primary = Guid::random(rng);
+  const Guid s1 = Guid::random(rng);
+  const Guid s2 = Guid::random(rng);
+  const Guid s3 = Guid::random(rng);
+  const Guid s4 = Guid::random(rng);
+  ASSERT_TRUE(network.attach(primary, [](const net::Message&) {}).is_ok());
+  for (const Guid g : {s1, s2, s3, s4})
+    ASSERT_TRUE(network.attach(g, [](const net::Message&) {}).is_ok());
+
+  replicate::ReplicationConfig repl;
+  repl.heartbeat_period = Duration::millis(100);
+  repl.promote_timeout = Duration::millis(400);
+  int lapses = 0;
+  std::vector<Guid> members{s1, s2, s3, s4};
+  replicate::LeaseKeeper keeper(
+      network, primary, replicate::resolve_election({}, repl),
+      [&] { return members; }, [] { return std::uint32_t{0}; },
+      [&] { ++lapses; }, {});
+
+  const auto ack = [](std::uint64_t seq) {
+    serde::Writer w(16);
+    w.varint(0);  // epoch
+    w.varint(seq);
+    return w.take();
+  };
+
+  // First renew tick (t=100ms) goes to the 4-standby group: quorum of 5 is
+  // 3, so extending needs 2 standby acks on top of the primary's implicit
+  // one. Then the group shrinks to a single standby before any ack lands.
+  simulator.run_until(simulator.now() + Duration::millis(150));
+  members = {s2};
+
+  // A lone ack for the pre-shrink request must be judged against the
+  // 5-member snapshot it was sent to (no majority), not the live 2-member
+  // group it would now dominate.
+  keeper.on_lease_ack(ack(1), s1);
+  EXPECT_EQ(keeper.stats().acks_received, 1u);
+  EXPECT_TRUE(keeper.holds_lease());  // initial grace runs to t=400ms
+
+  // Had the stale ack extended the lease (send time 100ms + 400ms), it
+  // would still be held at t=450ms. It lapses instead: the post-shrink
+  // ticks never got their quorum of 2 (s2 stays silent).
+  simulator.run_until(simulator.now() + Duration::millis(300));
+  EXPECT_FALSE(keeper.holds_lease());
+  EXPECT_EQ(lapses, 1);
+
+  // An ack from a node outside the request's snapshot is ignored outright.
+  const Guid stranger = Guid::random(rng);
+  keeper.on_lease_ack(ack(1), stranger);
+  EXPECT_EQ(keeper.stats().acks_received, 1u);
+  EXPECT_FALSE(keeper.holds_lease());
+}
+
 // Advertises the "pulse" output so a pattern subscription composes onto it.
 class PulseCE final : public entity::ContextEntity {
  public:
