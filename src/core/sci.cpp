@@ -1,6 +1,7 @@
 #include "core/sci.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/log.h"
 
@@ -56,6 +57,11 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
     return make_error(ErrorCode::kAlreadyExists,
                       "a range named '" + name + "' already exists");
   }
+  if (name.find('#') != std::string::npos) {
+    return make_error(ErrorCode::kAlreadyExists,
+                      "'#' is reserved for shard names ('" + name + "')");
+  }
+  const unsigned shard_count = std::max(1u, options.sharding.shard_count);
   range::RangeConfig config;
   config.range = new_guid();
   config.context_server = new_guid();
@@ -91,6 +97,24 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   config.sync_acks = options.replication.sync_acks;
   config.recent_event_window = options.replication.recent_event_window;
 
+  // Partitioned range (docs/SHARDING.md): mint every shard's CS node up
+  // front so the shared consistent-hash map names them all before any
+  // server exists — the map is immutable from then on (shard CS GUIDs
+  // survive failovers, so it never needs updating).
+  std::vector<Guid> shard_nodes;
+  if (shard_count > 1) {
+    auto map = std::make_shared<range::ShardMap>(shard_count);
+    shard_nodes.push_back(config.context_server);
+    map->set_node(0, config.context_server);
+    for (unsigned i = 1; i < shard_count; ++i) {
+      shard_nodes.push_back(new_guid());
+      map->set_node(i, shard_nodes[i]);
+    }
+    config.shard_map = std::move(map);
+    config.shard_index = 0;
+    config.reliable.metrics_label = "shard=0";
+  }
+
   auto server = std::make_unique<range::ContextServer>(
       network_, std::move(config), &directory_, &semantics_, locations_);
   range::ContextServer& ref = *server;
@@ -125,7 +149,54 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   for (unsigned i = 0; i < options.replication.standby_count; ++i) {
     SCI_TRY(add_standby(ref.config().name));
   }
+
+  // Sibling shards: full Context Servers over the same logical root, each
+  // with its own replication log, standby set and elections — but no
+  // overlay node or directory entry (the lead's entry names the Range).
+  for (unsigned i = 1; i < shard_count; ++i) {
+    range::RangeConfig shard_config = ref.config();
+    shard_config.range = new_guid();  // distinct fault-injection identity
+    shard_config.context_server = shard_nodes[i];
+    shard_config.name = ref.config().name + "#" + std::to_string(i);
+    shard_config.shard_index = i;
+    shard_config.overlay_member = false;
+    shard_config.epoch = 0;
+    shard_config.reliable.metrics_label = "shard=" + std::to_string(i);
+    auto shard = std::make_unique<range::ContextServer>(
+        network_, std::move(shard_config), &directory_, &semantics_,
+        locations_);
+    range::ContextServer& shard_ref = *shard;
+    ranges_.push_back(std::move(shard));
+    auto_promote_[shard_ref.id()] = options.replication.auto_promote;
+    for (unsigned s = 0; s < options.replication.standby_count; ++s) {
+      SCI_TRY(add_standby(shard_ref.config().name));
+    }
+  }
   return &ref;
+}
+
+std::vector<range::ContextServer*> Sci::shards(std::string_view range) {
+  std::vector<range::ContextServer*> out;
+  range::ContextServer* lead = find_range(range);
+  if (lead == nullptr) return out;
+  out.push_back(lead);
+  if (!lead->sharded() || lead->shard_index() != 0) return out;
+  const unsigned count = lead->config().shard_map->size();
+  for (unsigned i = 1; i < count; ++i) {
+    range::ContextServer* shard =
+        find_range(std::string(range) + "#" + std::to_string(i));
+    if (shard != nullptr) out.push_back(shard);
+  }
+  return out;
+}
+
+Expected<unsigned> Sci::shard_of(std::string_view range, Guid entity) {
+  range::ContextServer* lead = find_range(range);
+  if (lead == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  return lead->shard_of(entity);
 }
 
 std::vector<range::ContextServer*> Sci::ranges() const {
@@ -377,7 +448,13 @@ Expected<std::size_t> Sci::replay_dead_letters(std::string_view range) {
     return make_error(ErrorCode::kNotFound,
                       "no range named '" + std::string(range) + "'");
   }
-  return server->channel().replay_dead_letters();
+  // Base name of a partitioned range covers every shard's queue, so fig8/
+  // fig9-style replay flows stay one call regardless of shard_count.
+  std::size_t replayed = 0;
+  for (range::ContextServer* shard : shards(range)) {
+    replayed += shard->channel().replay_dead_letters();
+  }
+  return replayed;
 }
 
 Expected<std::vector<reliable::DeadLetter>> Sci::drain_dead_letters(
@@ -387,7 +464,13 @@ Expected<std::vector<reliable::DeadLetter>> Sci::drain_dead_letters(
     return make_error(ErrorCode::kNotFound,
                       "no range named '" + std::string(range) + "'");
   }
-  return server->channel().drain_dead_letters();
+  std::vector<reliable::DeadLetter> drained;
+  for (range::ContextServer* shard : shards(range)) {
+    auto letters = shard->channel().drain_dead_letters();
+    drained.insert(drained.end(), std::make_move_iterator(letters.begin()),
+                   std::make_move_iterator(letters.end()));
+  }
+  return drained;
 }
 
 void Sci::inject_faults(const sim::FaultPlan& plan) {

@@ -117,12 +117,24 @@ struct ReplicationOptions {
   std::size_t recent_event_window = 64;
 };
 
+// Partitioned Range (docs/SHARDING.md): one Range served by N shard Context
+// Servers, each owning the entity GUIDs a shared consistent-hash map assigns
+// to it. Registrar/mediator/context-store state splits by owning shard;
+// profiles mirror everywhere so composition stays local; each shard runs its
+// own replication log, standby set and elections.
+struct ShardingOptions {
+  // 1 = classic monolithic Context Server. N > 1 creates the lead shard
+  // under the range name plus N-1 siblings named "<name>#<i>".
+  unsigned shard_count = 1;
+};
+
 struct RangeOptions {
   ReuseOptions reuse;
   LivenessOptions liveness;
   DiscoveryOptions discovery;
   ReliabilityOptions reliability;
   ReplicationOptions replication;
+  ShardingOptions sharding;
   double x = 0.0;
   double y = 0.0;
   // Access-control group (queries never cross groups).
@@ -186,6 +198,15 @@ class Sci {
   [[nodiscard]] std::vector<range::ContextServer*> ranges() const;
   [[nodiscard]] range::ContextServer* find_range(std::string_view name);
 
+  // --- sharding (docs/SHARDING.md) -----------------------------------------
+  // Every shard of the named Range, lead first ("name", "name#1", …). A
+  // monolithic range returns just its one server; unknown names return {}.
+  [[nodiscard]] std::vector<range::ContextServer*> shards(
+      std::string_view range);
+  // Index of the shard that owns `entity` under the named Range's map (0
+  // for a monolithic range). kNotFound for unknown names.
+  Expected<unsigned> shard_of(std::string_view range, Guid entity);
+
   // --- replication & failover (docs/REPLICATION.md) ---------------------------
   // Creates one more standby for an existing range and brings it up to date
   // (snapshot + tail catch-up). create_range calls this standby_count
@@ -221,12 +242,15 @@ class Sci {
 
   // --- dead letters -----------------------------------------------------------
   // The bounded parking lot of frames `range`'s retransmit budget gave up
-  // on (dest, seq, cause, age — see reliable::DeadLetter).
+  // on (dest, seq, cause, age — see reliable::DeadLetter). Addresses one
+  // instance: shard queues are reachable by their own names ("name#1"…).
   Expected<const reliable::DeadLetterQueue*> dead_letters(
       std::string_view range);
   // Re-sends every parked frame through the reliable path; returns how many.
+  // On a partitioned range the base name covers every shard's queue.
   Expected<std::size_t> replay_dead_letters(std::string_view range);
-  // Discards the parked frames, returning them for inspection.
+  // Discards the parked frames, returning them for inspection. On a
+  // partitioned range the base name drains every shard's queue.
   Expected<std::vector<reliable::DeadLetter>> drain_dead_letters(
       std::string_view range);
 

@@ -43,6 +43,7 @@ void Component::stop() {
   lease_timer_.reset();
   channel_.halt();
   pending_rs_ = Guid();
+  pending_registrar_ = Guid();
   if (registered_) {
     send(registration_.context_server, kDeregister, {});
     registered_ = false;
@@ -58,6 +59,7 @@ void Component::discover(Guid range_service) {
     return;
   }
   pending_rs_ = range_service;
+  pending_registrar_ = Guid();
   discover_attempts_ = 0;
   simulator().cancel(discover_retry_);
   send_hello();
@@ -179,7 +181,9 @@ void Component::handle_message(const net::Message& message) {
     case kRangeInfo: {
       auto body = RangeInfoBody::decode(message.payload);
       if (!body) return;
-      // Figure 5 step 3: contact the Registrar.
+      // Figure 5 step 3: contact the Registrar (on a partitioned Range this
+      // may be a different shard's node than the one we helloed).
+      pending_registrar_ = body->registrar;
       RegisterRequestBody request{is_app(), profile(), advertisement()};
       send(body->registrar, kRegisterRequest, request.encode());
       return;

@@ -174,7 +174,13 @@ class Component {
   void handle_message(const net::Message& message);
   void send_hello();
   [[nodiscard]] bool discovery_satisfied() const {
-    return registered_ && registration_.context_server == pending_rs_;
+    // A partitioned Range may answer the hello with a different shard's
+    // Registrar (docs/SHARDING.md); registering with the named redirect
+    // satisfies discovery as much as the node we first helloed.
+    return registered_ && (registration_.context_server == pending_rs_ ||
+                           (!pending_registrar_.is_nil() &&
+                            registration_.context_server ==
+                                pending_registrar_));
   }
 
   net::Network& network_;
@@ -194,6 +200,9 @@ class Component {
   double y_ = 0.0;
   // Discovery retransmission state.
   Guid pending_rs_;
+  // Registrar the last kRangeInfo pointed at (the owner shard's CS on a
+  // partitioned Range; pending_rs_ itself otherwise).
+  Guid pending_registrar_;
   unsigned discover_attempts_ = 0;
   Duration discover_retry_interval_ = Duration::seconds(1);
   unsigned discover_max_attempts_ = 5;

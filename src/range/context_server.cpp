@@ -63,6 +63,10 @@ bool mutates_range_state(std::uint32_t type) {
     case entity::kQuerySubmit:
     case entity::kLeaseRenew:
     case kForwardedQueryDirect:
+    case kShardProfile:
+    case kShardProfileRemove:
+    case kShardSubscribe:
+    case kShardUnsubscribe:
       return true;
     default:
       return false;
@@ -115,6 +119,10 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_dead_letters_ = &metrics.counter("cs.dead_letters");
   m_promotions_ = &metrics.counter("repl.failovers");
   m_lease_rejected_ = &metrics.counter("repl.lease.rejected");
+  m_shard_redirects_ = &metrics.counter("cs.shard.redirects");
+  m_shard_profile_mirrors_ = &metrics.counter("cs.shard.profile_mirrors");
+  m_shard_sub_mirrors_ = &metrics.counter("cs.shard.sub_mirrors");
+  m_shard_forwarded_ = &metrics.counter("cs.shard.forwarded_queries");
   trace_ = &network_.simulator().trace();
 
   channel_.set_epoch(config_.epoch);
@@ -139,6 +147,12 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
         LeaseOptions{config_.lease_ttl, config_.lease_renew_period});
     mediator_.set_lease_expired_handler(
         [this](const event::Subscription& s) { on_lease_expired(s); });
+  }
+  if (sharded()) {
+    // Disjoint per-shard subscription-id spaces: ids minted here can never
+    // collide with ids mirrored in (verbatim) from sibling shards.
+    mediator_.mutable_table().set_next_id(
+        1 + (static_cast<std::uint64_t>(config_.shard_index) << 48));
   }
 
   attached_as_ = config_.role == RangeConfig::Role::kStandby
@@ -166,16 +180,21 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
     return;
   }
 
-  scinet_ = std::make_unique<overlay::ScinetNode>(
-      network_, config_.range, config_.scinet, config_.x, config_.y);
-  scinet_->set_deliver_handler(
-      [this](const overlay::RoutedMessage& m) { on_scinet_deliver(m); });
+  // Sibling shards (overlay_member == false) have no SCINET presence and no
+  // directory entry of their own: inter-range traffic flows through the lead
+  // shard, whose entry names the whole Range.
+  if (config_.overlay_member) {
+    scinet_ = std::make_unique<overlay::ScinetNode>(
+        network_, config_.range, config_.scinet, config_.x, config_.y);
+    scinet_->set_deliver_handler(
+        [this](const overlay::RoutedMessage& m) { on_scinet_deliver(m); });
 
-  if (directory_ != nullptr) {
-    directory_->add(RangeDirectory::Entry{config_.range,
-                                          config_.context_server,
-                                          config_.logical_root, config_.name,
-                                          config_.group});
+    if (directory_ != nullptr) {
+      directory_->add(RangeDirectory::Entry{config_.range,
+                                            config_.context_server,
+                                            config_.logical_root, config_.name,
+                                            config_.group});
+    }
   }
 
   start_primary_duties();
@@ -188,7 +207,8 @@ ContextServer::~ContextServer() {
   repl_log_.reset();
   scinet_.reset();
   if (fenced_) return;  // the successor owns the identities already
-  if (config_.role == RangeConfig::Role::kPrimary && directory_ != nullptr) {
+  if (config_.role == RangeConfig::Role::kPrimary && config_.overlay_member &&
+      directory_ != nullptr) {
     directory_->remove(config_.range);
   }
   if (network_.is_attached(attached_as_)) {
@@ -245,10 +265,20 @@ void ContextServer::join_via_discovery(Duration listen_window) {
 
 void ContextServer::detect_arrival(Guid component) {
   // Fig 5 step 2: the Range Service tells the component where the Registrar
-  // is. (The Registrar shares the CS node in this implementation.)
+  // is. (The Registrar shares the CS node in this implementation.) On a
+  // partitioned Range the named Registrar is the component's owner shard,
+  // whichever shard noticed the arrival — one handshake hop routes every
+  // subsequent register/publish/query to the right partition.
   trace_->record(network_.simulator().now(), obs::TraceKind::kArrival,
                  component, config_.range);
-  entity::RangeInfoBody info{config_.range, config_.context_server};
+  Guid registrar_node = config_.context_server;
+  if (const unsigned owner = shard_of(component);
+      sharded() && owner != config_.shard_index) {
+    registrar_node = shard_node(owner);
+    ++stats_.shard_redirects;
+    m_shard_redirects_->inc();
+  }
+  entity::RangeInfoBody info{config_.range, registrar_node};
   send_to(component, entity::kRangeInfo, info.encode());
 }
 
@@ -388,6 +418,7 @@ void ContextServer::on_component_message(const net::Message& message) {
           log_record(replicate::RecordKind::kProfileUpdate, message.from, 0,
                      message.payload),
           {});
+      broadcast_profile_mirror(body->profile.entity);
       return;
     }
     case entity::kQuerySubmit:
@@ -416,12 +447,28 @@ void ContextServer::on_component_message(const net::Message& message) {
       admit_query(std::move(*parsed), wire->app);
       return;
     }
+    case kShardProfile:
+      handle_shard_profile(message);
+      return;
+    case kShardProfileRemove:
+      handle_shard_profile_remove(message);
+      return;
+    case kShardSubscribe:
+      handle_shard_subscribe(message);
+      return;
+    case kShardUnsubscribe:
+      handle_shard_unsubscribe(message);
+      return;
     case replicate::kReplRecord:
       // The channel drops stale-epoch envelopes before delivery, so any
       // record reaching here is from the current (or newer) primary: proof
       // of life for the election agent as much as a heartbeat is.
       if (election_ != nullptr) election_->note_primary_alive();
       if (follower_ != nullptr) follower_->on_record(message.payload);
+      return;
+    case replicate::kReplBatch:
+      if (election_ != nullptr) election_->note_primary_alive();
+      if (follower_ != nullptr) follower_->on_batch(message.payload);
       return;
     case replicate::kReplSnapshot:
       if (election_ != nullptr) election_->note_primary_alive();
@@ -558,6 +605,9 @@ void ContextServer::handle_register(const net::Message& message) {
   hold_admit_until_committed(index, [this, component, ack] {
     send_to(component, entity::kRegisterAck, ack.encode());
   });
+
+  // Sibling shards resolve and select locally over mirrored profiles.
+  broadcast_profile_mirror(component);
 
   // A new arrival may unblock parked queries or offer better sources.
   retry_pending_queries();
@@ -706,8 +756,25 @@ void ContextServer::admit_query(query::Query q, Guid app) {
     trace_->record(network_.simulator().now(), obs::TraceKind::kQueryForward,
                    config_.range, target_range);
     // Standby replay: the primary performed the actual forward; a replica
-    // only mirrors the accounting.
-    if (scinet_ == nullptr) return;
+    // only mirrors the accounting. Sibling shards (primaries without an
+    // overlay node) forward point-to-point through the directory instead.
+    if (scinet_ == nullptr) {
+      if (!passive() && directory_ != nullptr) {
+        if (const auto entry = directory_->find(target_range); entry) {
+          const ForwardedQueryWire direct{app, q.to_xml()};
+          send_component(entry->context_server, kForwardedQueryDirect,
+                         direct.encode());
+          return;
+        }
+      }
+      if (!passive()) {
+        reply_result(app, q.id,
+                     make_error(ErrorCode::kUnavailable,
+                                "target range unreachable without an overlay"),
+                     Value());
+      }
+      return;
+    }
     ForwardedQueryWire wire{app, q.to_xml()};
     // Hybrid communication model (§4): prefer the overlay, but when this
     // range's routing state no longer covers the target (partition healed,
@@ -754,6 +821,13 @@ void ContextServer::admit_query(query::Query q, Guid app) {
                                   routed.error().message()),
                    Value());
     }
+    return;
+  }
+
+  // Sharded trigger watches live where the trigger entity's events land:
+  // only its owner shard sees the location stream that can fire them.
+  if (q.when.trigger && sharded() && !owns_entity(q.when.trigger->entity)) {
+    forward_to_shard(q, app, shard_of(q.when.trigger->entity));
     return;
   }
 
@@ -861,6 +935,12 @@ void ContextServer::execute_profile_request(const query::Query& q, Guid app) {
 
 void ContextServer::execute_context_pull(const query::Query& q, Guid app) {
   const Guid subject = *q.what.subject;
+  // The context store splits by owning shard: the subject's history lives
+  // where its publishes land. One forwarding hop, answered from there.
+  if (sharded() && !owns_entity(subject)) {
+    forward_to_shard(q, app, shard_of(subject));
+    return;
+  }
   ValueMap result;
   result.emplace("subject", subject);
   if (!q.what.type.empty()) {
@@ -946,7 +1026,9 @@ void ContextServer::execute_subscription(const query::Query& q, Guid app,
     }
     const std::uint64_t tag = next_tag_++;
     for (const entity::TypeSig& sig : profile->outputs) {
-      (void)mediator_.subscribe(app, *winner, sig.name, {}, one_time, tag);
+      const event::SubscriptionId sub =
+          mediator_.subscribe(app, *winner, sig.name, {}, one_time, tag);
+      mirror_subscription_if_remote(sub);
     }
     ValueMap result;
     result.emplace("entity", *winner);
@@ -1000,14 +1082,38 @@ void ContextServer::execute_subscription(const query::Query& q, Guid app,
 // ---------------------------------------------------------------------------
 // selection
 
+std::vector<Guid> ContextServer::composable_entities() const {
+  if (!sharded()) return registrar_.entities();
+  // Sharded: every non-app profile known here, local or mirrored in from a
+  // sibling shard. Sorted so selection ties break identically on every
+  // shard (and on a shard's standby replaying the same queries).
+  std::vector<Guid> ids;
+  for (const entity::Profile& p : profiles_.snapshot()) {
+    const MemberRecord* record = registrar_.find(p.entity);
+    if (record != nullptr && record->is_app) continue;
+    ids.push_back(p.entity);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<entity::Profile> ContextServer::composable_profiles() const {
+  if (!sharded()) return profiles_.snapshot_of(registrar_.entities());
+  return profiles_.snapshot_of(composable_entities());
+}
+
 std::vector<Guid> ContextServer::find_candidates(const query::Query& q) const {
   std::vector<Guid> out;
   switch (q.what.kind) {
     case query::WhatKind::kNamedEntity:
-      if (registrar_.contains(q.what.named)) out.push_back(q.what.named);
+      // Mirrored profiles stand in for membership on sibling shards.
+      if (registrar_.contains(q.what.named) ||
+          (sharded() && profiles_.profile(q.what.named) != nullptr)) {
+        out.push_back(q.what.named);
+      }
       return out;
     case query::WhatKind::kEntityType: {
-      for (const Guid id : registrar_.entities()) {
+      for (const Guid id : composable_entities()) {
         const entity::Profile* p = profiles_.profile(id);
         if (p == nullptr) continue;
         const entity::Advertisement* ad = profiles_.advertisement(id);
@@ -1023,7 +1129,7 @@ std::vector<Guid> ContextServer::find_candidates(const query::Query& q) const {
     case query::WhatKind::kPattern: {
       const compose::RequestedType requested{q.what.type, q.what.unit,
                                              q.what.semantic};
-      for (const Guid id : registrar_.entities()) {
+      for (const Guid id : composable_entities()) {
         const entity::Profile* p = profiles_.profile(id);
         if (p == nullptr) continue;
         for (const entity::TypeSig& sig : p->outputs) {
@@ -1207,10 +1313,9 @@ Expected<std::uint64_t> ContextServer::build_configuration(
     const query::Query& q, Guid app, bool one_time) {
   const std::uint64_t tag = next_tag_++;
   const compose::ResolveRequest request = resolve_request_for(q, tag);
-  // Compose over non-application profiles only.
-  SCI_TRY_ASSIGN(plan,
-                 resolver_.resolve(request,
-                                   profiles_.snapshot_of(registrar_.entities())));
+  // Compose over non-application profiles only (including, on a shard, the
+  // profiles mirrored in from sibling shards).
+  SCI_TRY_ASSIGN(plan, resolver_.resolve(request, composable_profiles()));
 
   compose::ActiveConfiguration active;
   active.plan = plan;
@@ -1226,6 +1331,7 @@ Expected<std::uint64_t> ContextServer::build_configuration(
   app_edges_[tag] = mediator_.subscribe(
       app, plan.sink, plan.sink_type,
       app_edge_filter(plan, request, q.which, tag), one_time, tag);
+  mirror_subscription_if_remote(app_edges_[tag]);
   tracked_[tag] = TrackedQuery{q, app, one_time};
   ++stats_.configurations_built;
   m_configurations_->inc();
@@ -1239,6 +1345,7 @@ void ContextServer::establish_edges(
         edge.consumer, edge.producer, edge.event_type, edge.filter,
         /*one_time=*/false, tag);
     edge_subscriptions_[edge.share_key()] = id;
+    mirror_subscription_if_remote(id);
   }
 }
 
@@ -1247,6 +1354,7 @@ void ContextServer::tear_down_edges(
   for (const compose::PlanEdge& edge : edges) {
     const auto it = edge_subscriptions_.find(edge.share_key());
     if (it == edge_subscriptions_.end()) continue;
+    drop_mirror(it->second);
     (void)mediator_.unsubscribe(it->second);
     edge_subscriptions_.erase(it);
   }
@@ -1270,6 +1378,7 @@ void ContextServer::retire_configuration(std::uint64_t tag) {
   }
   tear_down_edges(store_.retire(tag));
   if (const auto it = app_edges_.find(tag); it != app_edges_.end()) {
+    drop_mirror(it->second);
     (void)mediator_.unsubscribe(it->second);
     app_edges_.erase(it);
   }
@@ -1285,6 +1394,10 @@ void ContextServer::departure(Guid component, bool failure) {
   log_record(replicate::RecordKind::kDeparture, component, failure ? 1 : 0,
              {});
   const bool is_app = record->is_app;
+  // Sibling shards drop the mirrored profile and any subscriptions this
+  // component parked in their tables before local state unwinds.
+  broadcast_profile_remove(component);
+  drop_mirrors_for_subscriber(component);
   (void)registrar_.remove(component);
   mediator_.remove_subscriber(component);
   // Stop retransmitting toward the departed component; anything in flight
@@ -1331,8 +1444,7 @@ void ContextServer::recompose_after_loss(Guid lost_entity) {
         resolve_request_for(tracked.query, tag);
     // The departed entity's profile is gone already, so the resolver only
     // sees survivors.
-    auto plan = resolver_.resolve(
-        request, profiles_.snapshot_of(registrar_.entities()));
+    auto plan = resolver_.resolve(request, composable_profiles());
     if (!plan) {
       ++stats_.recomposition_failures;
       m_recomposition_failures_->inc();
@@ -1364,12 +1476,14 @@ void ContextServer::recompose_after_loss(Guid lost_entity) {
     if (plan->sink != old_sink) {
       // Rebind the application edge to the new sink.
       if (const auto it = app_edges_.find(tag); it != app_edges_.end()) {
+        drop_mirror(it->second);
         (void)mediator_.unsubscribe(it->second);
       }
       app_edges_[tag] = mediator_.subscribe(
           tracked.app, plan->sink, plan->sink_type,
           app_edge_filter(*plan, request, tracked.query.which, tag),
           tracked.one_time, tag);
+      mirror_subscription_if_remote(app_edges_[tag]);
     }
   }
 }
@@ -1393,8 +1507,7 @@ void ContextServer::rebind_after_arrival() {
     const TrackedQuery tracked = tracked_it->second;
     const compose::ResolveRequest request =
         resolve_request_for(tracked.query, tag);
-    auto plan = resolver_.resolve(
-        request, profiles_.snapshot_of(registrar_.entities()));
+    auto plan = resolver_.resolve(request, composable_profiles());
     if (!plan) continue;  // keep the old wiring
     const Guid old_sink = store_.find(tag)->plan.sink;
     if (plan->sink != old_sink) continue;  // sink swap only on failure
@@ -1427,6 +1540,192 @@ void ContextServer::ping_tick() {
     }
     send_to(member, entity::kPing, {});
   }
+}
+
+// ---------------------------------------------------------------------------
+// sharding (docs/SHARDING.md)
+
+void ContextServer::broadcast_profile_mirror(Guid subject) {
+  if (!sharded() || passive()) return;
+  const MemberRecord* record = registrar_.find(subject);
+  if (record == nullptr || record->is_app) return;  // apps stay shard-local
+  const entity::Profile* profile = profiles_.profile(subject);
+  if (profile == nullptr) return;
+  serde::Writer w;
+  profile->encode(w);
+  const entity::Advertisement* ad = profiles_.advertisement(subject);
+  w.boolean(ad != nullptr);
+  if (ad != nullptr) ad->encode(w);
+  const std::vector<std::byte> wire = w.take();
+  for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
+    if (i == config_.shard_index) continue;
+    channel_.send(shard_node(i), kShardProfile, wire);
+    ++stats_.shard_profile_mirrors;
+    m_shard_profile_mirrors_->inc();
+  }
+}
+
+void ContextServer::broadcast_profile_remove(Guid subject) {
+  if (!sharded() || passive()) return;
+  const MemberRecord* record = registrar_.find(subject);
+  if (record == nullptr || record->is_app) return;
+  serde::Writer w;
+  entity::write_guid(w, subject);
+  const std::vector<std::byte> wire = w.take();
+  for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
+    if (i == config_.shard_index) continue;
+    channel_.send(shard_node(i), kShardProfileRemove, wire);
+  }
+}
+
+void ContextServer::ingest_shard_profile(
+    const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  auto profile = entity::Profile::decode(r);
+  if (!profile) return;
+  auto has_ad = r.boolean();
+  if (!has_ad) return;
+  std::optional<entity::Advertisement> ad;
+  if (*has_ad) {
+    auto decoded = entity::Advertisement::decode(r);
+    if (!decoded) return;
+    ad = std::move(*decoded);
+  }
+  profiles_.put(*profile, std::move(ad));
+}
+
+void ContextServer::handle_shard_profile(const net::Message& message) {
+  log_record(replicate::RecordKind::kShardProfile, message.from, 0,
+             message.payload);
+  ingest_shard_profile(message.payload);
+  // A mirrored profile is a new composition source: queries parked for want
+  // of one may resolve now, exactly as after a local arrival.
+  retry_pending_queries();
+  if (config_.rebind_on_arrival) rebind_after_arrival();
+}
+
+void ContextServer::handle_shard_profile_remove(const net::Message& message) {
+  serde::Reader r(message.payload);
+  auto subject = entity::read_guid(r);
+  if (!subject) return;
+  log_record(replicate::RecordKind::kShardDrop, *subject, 0, {});
+  mediator_.remove_producer(*subject);
+  (void)profiles_.remove(*subject);
+  recompose_after_loss(*subject);
+}
+
+void ContextServer::ingest_shard_subscribe(
+    const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  event::Subscription s;
+  auto id = r.varint();
+  if (!id) return;
+  s.id = *id;
+  auto subscriber = entity::read_guid(r);
+  if (!subscriber) return;
+  s.subscriber = *subscriber;
+  auto has_producer = r.boolean();
+  if (!has_producer) return;
+  if (*has_producer) {
+    auto producer = entity::read_guid(r);
+    if (!producer) return;
+    s.producer = *producer;
+  }
+  auto event_type = r.string();
+  if (!event_type) return;
+  s.event_type = std::move(*event_type);
+  auto filter = event::EventFilter::decode(r);
+  if (!filter) return;
+  s.filter = std::move(*filter);
+  auto one_time = r.boolean();
+  if (!one_time) return;
+  s.one_time = *one_time;
+  auto owner_tag = r.varint();
+  if (!owner_tag) return;
+  s.owner_tag = *owner_tag;
+  // Mirrors are torn down explicitly by their home shard (unsubscribe or
+  // subscriber departure), never by the local lease reaper.
+  s.expires_at = SimTime::infinity();
+  // The mirrored id lives in its home shard's id space. restore() bumps the
+  // mint counter past any id it sees; letting a sibling's (higher) id space
+  // leak into this shard's counter would make later local mints collide
+  // with that sibling's genuine ids at a common destination, where restore
+  // would silently replace the earlier live subscription.
+  auto& table = mediator_.mutable_table();
+  const event::SubscriptionId next = table.next_id();
+  table.restore(std::move(s));
+  table.set_next_id(next);
+}
+
+void ContextServer::handle_shard_subscribe(const net::Message& message) {
+  log_record(replicate::RecordKind::kShardSubscribe, message.from, 0,
+             message.payload);
+  ingest_shard_subscribe(message.payload);
+}
+
+void ContextServer::handle_shard_unsubscribe(const net::Message& message) {
+  serde::Reader r(message.payload);
+  auto id = r.varint();
+  if (!id) return;
+  log_record(replicate::RecordKind::kShardUnsubscribe, message.from, *id, {});
+  (void)mediator_.unsubscribe(*id);
+}
+
+void ContextServer::mirror_subscription_if_remote(event::SubscriptionId id) {
+  if (!sharded() || id == 0) return;
+  const event::Subscription* s = mediator_.table().find(id);
+  if (s == nullptr || !s->producer) return;  // wildcard subs stay local
+  const unsigned owner = shard_of(*s->producer);
+  if (owner == config_.shard_index) return;
+  serde::Writer w;
+  w.varint(s->id);
+  entity::write_guid(w, s->subscriber);
+  w.boolean(true);
+  entity::write_guid(w, *s->producer);
+  w.string(s->event_type);
+  s->filter.encode(w);
+  w.boolean(s->one_time);
+  w.varint(s->owner_tag);
+  const Guid remote = shard_node(owner);
+  // Move, not copy: the producer's publishes land on its owner shard, so a
+  // local table entry could never match and would only slow dispatch down.
+  mirrored_subs_[id] = MirroredSub{remote, s->subscriber};
+  (void)mediator_.unsubscribe(id);
+  // Standby replay keeps the same bookkeeping but stays silent; a promoted
+  // standby inherits mirrored_subs_ and can still tear the copies down.
+  if (!passive()) {
+    channel_.send(remote, kShardSubscribe, w.take());
+    ++stats_.shard_sub_mirrors;
+    m_shard_sub_mirrors_->inc();
+  }
+}
+
+void ContextServer::drop_mirror(event::SubscriptionId id) {
+  const auto it = mirrored_subs_.find(id);
+  if (it == mirrored_subs_.end()) return;
+  if (!passive()) {
+    serde::Writer w;
+    w.varint(id);
+    channel_.send(it->second.remote_node, kShardUnsubscribe, w.take());
+  }
+  mirrored_subs_.erase(it);
+}
+
+void ContextServer::drop_mirrors_for_subscriber(Guid subscriber) {
+  std::vector<event::SubscriptionId> owned;
+  for (const auto& [id, mirror] : mirrored_subs_) {
+    if (mirror.subscriber == subscriber) owned.push_back(id);
+  }
+  for (const event::SubscriptionId id : owned) drop_mirror(id);
+}
+
+void ContextServer::forward_to_shard(const query::Query& q, Guid app,
+                                     unsigned shard) {
+  ++stats_.shard_forwarded_queries;
+  m_shard_forwarded_->inc();
+  if (passive()) return;  // the owner shard's primary heard it directly
+  const ForwardedQueryWire wire{app, q.to_xml()};
+  send_component(shard_node(shard), kForwardedQueryDirect, wire.encode());
 }
 
 // ---------------------------------------------------------------------------
@@ -1567,6 +1866,28 @@ void ContextServer::apply_record(const replicate::LogRecord& record) {
     }
     case replicate::RecordKind::kConfigRetire:
       retire_configuration(record.flag);
+      return;
+    case replicate::RecordKind::kNoop:
+      // Compaction tombstone (docs/REPLICATION.md): superseded in-tail
+      // record, kept only so log indices stay contiguous.
+      return;
+    case replicate::RecordKind::kShardProfile:
+      // Same follow-on work as handle_shard_profile so tag allocation stays
+      // in lockstep with the primary.
+      ingest_shard_profile(record.payload);
+      retry_pending_queries();
+      if (config_.rebind_on_arrival) rebind_after_arrival();
+      return;
+    case replicate::RecordKind::kShardDrop:
+      mediator_.remove_producer(record.subject);
+      (void)profiles_.remove(record.subject);
+      recompose_after_loss(record.subject);
+      return;
+    case replicate::RecordKind::kShardSubscribe:
+      ingest_shard_subscribe(record.payload);
+      return;
+    case replicate::RecordKind::kShardUnsubscribe:
+      (void)mediator_.unsubscribe(record.flag);
       return;
   }
   SCI_DEBUG(kTag, "%s: unknown replication record kind %u",
@@ -1719,6 +2040,14 @@ std::vector<std::byte> ContextServer::snapshot_state() const {
   w.varint(recent_events_.size());
   for (const event::Event& e : recent_events_) e.encode(w);
 
+  // Subscriptions mirrored out to sibling shards (std::map — id order).
+  w.varint(mirrored_subs_.size());
+  for (const auto& [id, mirror] : mirrored_subs_) {
+    w.varint(id);
+    entity::write_guid(w, mirror.remote_node);
+    entity::write_guid(w, mirror.subscriber);
+  }
+
   return w.take();
 }
 
@@ -1738,6 +2067,7 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
   pending_.clear();
   publish_seen_.clear();
   recent_events_.clear();
+  mirrored_subs_.clear();
 
   const Status applied = [&]() -> Status {
     serde::Reader r(blob);
@@ -1913,6 +2243,14 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
       SCI_TRY_ASSIGN(e, event::Event::decode(r));
       recent_events_.push_back(std::move(e));
     }
+
+    SCI_TRY_ASSIGN(n_mirrored, r.varint());
+    for (std::uint64_t i = 0; i < n_mirrored; ++i) {
+      SCI_TRY_ASSIGN(id, r.varint());
+      SCI_TRY_ASSIGN(remote, entity::read_guid(r));
+      SCI_TRY_ASSIGN(subscriber, entity::read_guid(r));
+      mirrored_subs_[id] = MirroredSub{remote, subscriber};
+    }
     return Status::ok();
   }();
 
@@ -1944,6 +2282,7 @@ std::uint64_t ContextServer::state_fingerprint() const {
   mix(store_.size());
   mix(tracked_.size());
   mix(app_edges_.size());
+  mix(mirrored_subs_.size());
   return h;
 }
 
@@ -2001,24 +2340,27 @@ void ContextServer::promote(Guid join_via) {
   SCI_ASSERT_MSG(attached.is_ok(),
                  "promotion with the old primary unfenced — fence() it first");
 
-  // Overlay presence under the (unchanged) range id.
-  scinet_ = std::make_unique<overlay::ScinetNode>(
-      network_, config_.range, config_.scinet, config_.x, config_.y);
-  scinet_->set_deliver_handler(
-      [this](const overlay::RoutedMessage& m) { on_scinet_deliver(m); });
-  if (!join_via.is_nil()) {
-    (void)scinet_->join(join_via);
-  } else {
-    scinet_->bootstrap();
-  }
-  if (directory_ != nullptr) {
-    // Refresh rather than duplicate: the fenced primary left its entry in
-    // place (same range, same CS node).
-    directory_->remove(config_.range);
-    directory_->add(RangeDirectory::Entry{config_.range,
-                                          config_.context_server,
-                                          config_.logical_root, config_.name,
-                                          config_.group});
+  // Overlay presence under the (unchanged) range id. Sibling shards never
+  // held one — the lead shard's entry keeps naming the whole Range.
+  if (config_.overlay_member) {
+    scinet_ = std::make_unique<overlay::ScinetNode>(
+        network_, config_.range, config_.scinet, config_.x, config_.y);
+    scinet_->set_deliver_handler(
+        [this](const overlay::RoutedMessage& m) { on_scinet_deliver(m); });
+    if (!join_via.is_nil()) {
+      (void)scinet_->join(join_via);
+    } else {
+      scinet_->bootstrap();
+    }
+    if (directory_ != nullptr) {
+      // Refresh rather than duplicate: the fenced primary left its entry in
+      // place (same range, same CS node).
+      directory_->remove(config_.range);
+      directory_->add(RangeDirectory::Entry{config_.range,
+                                            config_.context_server,
+                                            config_.logical_root, config_.name,
+                                            config_.group});
+    }
   }
 
   mediator_.set_silent(false);

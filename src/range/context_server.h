@@ -45,6 +45,7 @@
 #include "range/event_mediator.h"
 #include "range/location_service.h"
 #include "range/registrar.h"
+#include "range/shard_map.h"
 
 namespace sci::range {
 
@@ -64,6 +65,14 @@ inline constexpr std::uint32_t kRangeBeacon = 0xBEAC;
 // partition evicted it from routing state) but the range directory still
 // names its Context Server.
 inline constexpr std::uint32_t kForwardedQueryDirect = 0xF002;
+
+// Shard-to-shard mirror frames (docs/SHARDING.md). All travel as inner
+// types inside the sending shard's reliable channel envelopes, so mirrors
+// retransmit across a shard failover and land exactly once.
+inline constexpr std::uint32_t kShardProfile = 0xF101;        // profile put
+inline constexpr std::uint32_t kShardProfileRemove = 0xF102;  // departure
+inline constexpr std::uint32_t kShardSubscribe = 0xF103;      // sub install
+inline constexpr std::uint32_t kShardUnsubscribe = 0xF104;    // sub teardown
 
 struct RangeConfig {
   Guid range;           // SCINET identity of this range
@@ -118,6 +127,18 @@ struct RangeConfig {
   // Dispatched events retained for post-failover redelivery; components
   // dedup the overlap. 0 disables the window.
   std::size_t recent_event_window = 64;
+  // Sharding (docs/SHARDING.md): when set with size > 1, this Range is
+  // served by that many partner shard Context Servers, each owning the
+  // slice of entity GUIDs the shared ShardMap hashes to it. Registrar,
+  // mediator and context-store state split by owning shard; profiles mirror
+  // everywhere so composition stays local. Null or size-1 map = classic
+  // monolithic CS. Standbys inherit the map from their primary.
+  std::shared_ptr<const ShardMap> shard_map;
+  unsigned shard_index = 0;
+  // Only the lead shard (index 0) joins the SCINET overlay and appears in
+  // the range directory; sibling shards serve components directly and
+  // reach other ranges through the lead's directory entry.
+  bool overlay_member = true;
 };
 
 struct ServerStats {
@@ -141,6 +162,10 @@ struct ServerStats {
   std::uint64_t lease_lapses = 0;         // fencing lease lost (self-fenced)
   std::uint64_t ops_rejected_unleased = 0;  // mutations refused while lapsed
   std::int64_t promoted_at_us = -1;  // sim time of promote(); -1 = never
+  std::uint64_t shard_redirects = 0;     // arrivals redirected to owner shard
+  std::uint64_t shard_profile_mirrors = 0;  // profile frames sent to siblings
+  std::uint64_t shard_sub_mirrors = 0;      // subscriptions installed remotely
+  std::uint64_t shard_forwarded_queries = 0;  // queries sent to owner shard
 };
 
 class ContextServer {
@@ -284,6 +309,21 @@ class ContextServer {
     return pending_.size();
   }
 
+  // --- sharding (docs/SHARDING.md) ----------------------------------------
+  // Serving a slice of a partitioned Range (shard_map with size > 1).
+  [[nodiscard]] bool sharded() const {
+    return config_.shard_map != nullptr && config_.shard_map->size() > 1;
+  }
+  [[nodiscard]] unsigned shard_index() const { return config_.shard_index; }
+  // The shard index owning `entity` per the shared map (0 when unsharded).
+  [[nodiscard]] unsigned shard_of(Guid entity) const {
+    return sharded() ? config_.shard_map->owner_of(entity) : 0;
+  }
+  // This shard owns `entity`'s registrar/store/mediator slice.
+  [[nodiscard]] bool owns_entity(Guid entity) const {
+    return !sharded() || shard_of(entity) == config_.shard_index;
+  }
+
  private:
   // Everything the server must remember to re-resolve a configuration after
   // the environment changes.
@@ -356,6 +396,40 @@ class ContextServer {
   void check_triggers(const event::Event& event,
                       const location::LocRef& new_location);
   void schedule_not_before(const query::Query& q, Guid app);
+
+  // --- sharding internals (docs/SHARDING.md) -------------------------------
+  [[nodiscard]] Guid shard_node(unsigned index) const {
+    return config_.shard_map != nullptr ? config_.shard_map->node_of(index)
+                                        : config_.context_server;
+  }
+  // Sends the subject's current profile (+ advertisement) to every sibling
+  // shard so find_candidates/resolve run locally on each of them.
+  void broadcast_profile_mirror(Guid subject);
+  void broadcast_profile_remove(Guid subject);
+  void handle_shard_profile(const net::Message& message);
+  void handle_shard_profile_remove(const net::Message& message);
+  void handle_shard_subscribe(const net::Message& message);
+  void handle_shard_unsubscribe(const net::Message& message);
+  // A freshly created subscription whose named producer lives on another
+  // shard moves out of the local table (it could never match here — the
+  // producer's publishes land on its owner shard) and installs over the
+  // reliable channel on that shard, keeping its id.
+  void mirror_subscription_if_remote(event::SubscriptionId id);
+  // Tears down the remote copy of a mirrored subscription, if any.
+  void drop_mirror(event::SubscriptionId id);
+  void drop_mirrors_for_subscriber(Guid subscriber);
+  // Forwards a query to the shard owning `subject` (context pulls, trigger
+  // watches); results go straight back to `app`.
+  void forward_to_shard(const query::Query& q, Guid app, unsigned shard);
+  // Decode-and-apply halves of the mirror handlers, shared with
+  // apply_record so a shard's standby mutates state identically.
+  void ingest_shard_profile(const std::vector<std::byte>& payload);
+  void ingest_shard_subscribe(const std::vector<std::byte>& payload);
+  // Entity ids / profiles the selection and composition stages scan. On a
+  // monolithic CS these are the registrar's non-apps; on a shard they also
+  // cover profiles mirrored in from sibling shards.
+  [[nodiscard]] std::vector<Guid> composable_entities() const;
+  [[nodiscard]] std::vector<entity::Profile> composable_profiles() const;
 
   // --- replication ---------------------------------------------------------
   // Appends a record to the replication log when one exists (primary with
@@ -474,6 +548,20 @@ class ContextServer {
   std::deque<event::Event> recent_events_;
   obs::Counter* m_promotions_ = nullptr;
   obs::Counter* m_lease_rejected_ = nullptr;
+
+  // --- sharding state ------------------------------------------------------
+  // Subscriptions this shard created but installed on the producer's owner
+  // shard (id -> where + whose). Replicated via the snapshot so a promoted
+  // standby can still tear the remote copies down.
+  struct MirroredSub {
+    Guid remote_node;  // owner shard's CS node
+    Guid subscriber;
+  };
+  std::map<event::SubscriptionId, MirroredSub> mirrored_subs_;
+  obs::Counter* m_shard_redirects_ = nullptr;
+  obs::Counter* m_shard_profile_mirrors_ = nullptr;
+  obs::Counter* m_shard_sub_mirrors_ = nullptr;
+  obs::Counter* m_shard_forwarded_ = nullptr;
 
   ServerStats stats_;
 };

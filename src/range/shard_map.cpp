@@ -1,0 +1,57 @@
+#include "range/shard_map.h"
+
+#include <algorithm>
+
+namespace sci::range {
+namespace {
+
+// splitmix64 — cheap, well-mixed, and stable across platforms, which
+// matters because every shard must agree on ownership byte-for-byte.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Virtual points per shard. Enough that a 4-shard split lands within a few
+// percent of 25% per shard; small enough that owner_of stays a binary
+// search over a few hundred entries.
+constexpr unsigned kPointsPerShard = 64;
+
+}  // namespace
+
+ShardMap::ShardMap(unsigned shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  nodes_.resize(shard_count);
+  ring_.reserve(static_cast<std::size_t>(shard_count) * kPointsPerShard);
+  for (unsigned shard = 0; shard < shard_count; ++shard) {
+    for (unsigned point = 0; point < kPointsPerShard; ++point) {
+      const std::uint64_t h =
+          mix((static_cast<std::uint64_t>(shard) << 32) | point);
+      ring_.push_back({h, shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+void ShardMap::set_node(unsigned index, Guid cs_node) {
+  if (index < nodes_.size()) nodes_[index] = cs_node;
+}
+
+unsigned ShardMap::owner_of(const Guid& entity) const {
+  if (ring_.empty()) return 0;
+  const std::uint64_t h = mix(entity.hi() ^ mix(entity.lo()));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.hash < key; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->shard;
+}
+
+Guid ShardMap::node_of(unsigned index) const {
+  return index < nodes_.size() ? nodes_[index] : Guid();
+}
+
+}  // namespace sci::range

@@ -1,0 +1,53 @@
+// SCI — consistent GUID-hash shard map for partitioned Ranges.
+//
+// One Range can be served by N shard Context Servers instead of a single
+// monolithic CS (docs/SHARDING.md). The ShardMap is the routing table for
+// that split: an immutable consistent-hash ring that maps any entity GUID
+// to the shard index that owns it, plus the stable CS-node GUID each shard
+// answers on. Every shard (and every shard standby) holds the same shared
+// map, so any node can compute ownership locally without coordination.
+//
+// The ring is consistent-hash shaped (virtual points per shard) so a future
+// shard-count change moves only ~1/N of the key space; today the map is
+// fixed for the lifetime of the Range and failover keeps CS-node GUIDs
+// stable, so the map never needs to be republished.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/guid.h"
+
+namespace sci::range {
+
+class ShardMap {
+ public:
+  // `shard_count` >= 1. Nodes start nil; Sci fills them in with set_node
+  // before handing the map to the shard Context Servers.
+  explicit ShardMap(unsigned shard_count);
+
+  // Records the (stable) CS-node GUID shard `index` answers on.
+  void set_node(unsigned index, Guid cs_node);
+
+  // The shard index owning `entity` — deterministic, uniform-ish across
+  // shards, identical on every node holding the same map.
+  [[nodiscard]] unsigned owner_of(const Guid& entity) const;
+
+  // The CS-node GUID for shard `index` (nil if unset / out of range).
+  [[nodiscard]] Guid node_of(unsigned index) const;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(nodes_.size());
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    unsigned shard;
+  };
+
+  std::vector<Point> ring_;  // sorted by hash
+  std::vector<Guid> nodes_;  // shard index -> CS node
+};
+
+}  // namespace sci::range

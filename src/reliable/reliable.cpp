@@ -110,23 +110,29 @@ ReliableChannel::ReliableChannel(net::Network& network, Guid self,
       rng_(network.simulator().rng().split()),
       dlq_(config.dead_letter_capacity,
            config.dead_letter_capacity > 0
-               ? &network.simulator().metrics().gauge("rel.dlq.depth")
+               ? &network.simulator().metrics().gauge("rel.dlq.depth",
+                                                      config.metrics_label)
                : nullptr) {
   SCI_ASSERT(!self.is_nil());
   SCI_ASSERT(config_.max_attempts > 0);
   obs::MetricsRegistry& metrics = network_.simulator().metrics();
-  m_accepted_ = &metrics.counter("rel.accepted");
-  m_data_sent_ = &metrics.counter("rel.data_sent");
-  m_retransmits_ = &metrics.counter("rel.retransmits");
-  m_acked_ = &metrics.counter("rel.acked");
-  m_delivered_ = &metrics.counter("rel.delivered");
-  m_dup_suppressed_ = &metrics.counter("rel.dup_suppressed");
-  m_stale_epoch_ = &metrics.counter("rel.stale_epoch");
-  m_dead_letters_ = &metrics.counter("rel.dead_letters");
-  m_failovers_ = &metrics.counter("rel.failovers");
-  m_dlq_parked_ = &metrics.counter("rel.dlq.parked");
-  m_dlq_replayed_ = &metrics.counter("rel.dlq.replayed");
-  m_dlq_depth_ = &metrics.gauge("rel.dlq.depth");
+  const std::string& label = config_.metrics_label;
+  const auto twin = [&](const char* name) {
+    return TwinCounter{&metrics.counter(name),
+                       label.empty() ? nullptr : &metrics.counter(name, label)};
+  };
+  m_accepted_ = twin("rel.accepted");
+  m_data_sent_ = twin("rel.data_sent");
+  m_retransmits_ = twin("rel.retransmits");
+  m_acked_ = twin("rel.acked");
+  m_delivered_ = twin("rel.delivered");
+  m_dup_suppressed_ = twin("rel.dup_suppressed");
+  m_stale_epoch_ = twin("rel.stale_epoch");
+  m_dead_letters_ = twin("rel.dead_letters");
+  m_failovers_ = twin("rel.failovers");
+  m_dlq_parked_ = twin("rel.dlq.parked");
+  m_dlq_replayed_ = twin("rel.dlq.replayed");
+  m_dlq_depth_ = &metrics.gauge("rel.dlq.depth", label);
   m_ack_rtt_ms_ = &metrics.histogram("rel.ack_rtt_ms");
   m_recovery_ms_ = &metrics.histogram("rel.recovery_ms");
 }
@@ -136,7 +142,7 @@ ReliableChannel::~ReliableChannel() { halt(); }
 std::uint64_t ReliableChannel::send(Guid to, std::uint32_t inner_type,
                                     std::vector<std::byte> payload) {
   ++stats_.accepted;
-  m_accepted_->inc();
+  m_accepted_.inc();
   Peer& peer = peers_[to];
   const std::uint64_t seq = ++peer.next_seq;
   Pending& pending = peer.pending[seq];
@@ -155,10 +161,10 @@ void ReliableChannel::transmit(Guid to, std::uint64_t seq) {
   Pending& pending = it->second;
   ++pending.attempts;
   ++stats_.data_sent;
-  m_data_sent_->inc();
+  m_data_sent_.inc();
   if (pending.attempts > 1) {
     ++stats_.retransmits;
-    m_retransmits_->inc();
+    m_retransmits_.inc();
   }
 
   net::Message envelope;
@@ -241,7 +247,7 @@ void ReliableChannel::park(Guid to, std::uint64_t seq, const Pending& pending,
   letter.cause = cause;
   dlq_.park(std::move(letter));
   ++stats_.dlq_parked;
-  m_dlq_parked_->inc();
+  m_dlq_parked_.inc();
 }
 
 void ReliableChannel::give_up(Guid to, std::uint64_t seq,
@@ -258,10 +264,10 @@ void ReliableChannel::give_up(Guid to, std::uint64_t seq,
   if (cause == DeadLetterCause::kFailedOver ||
       cause == DeadLetterCause::kMediator) {
     ++stats_.failovers;
-    m_failovers_->inc();
+    m_failovers_.inc();
   } else {
     ++stats_.dead_letters;
-    m_dead_letters_->inc();
+    m_dead_letters_.inc();
   }
   // Park before the callback: a handler that replays or re-routes must see
   // the queue already holding the frame.
@@ -325,7 +331,7 @@ bool ReliableChannel::on_message(const net::Message& message,
       // retransmissions racing its replacement). No ack: settling its
       // pendings would be meaningless and the sender is gone anyway.
       ++stats_.stale_epoch;
-      m_stale_epoch_->inc();
+      m_stale_epoch_.inc();
       return true;
     }
     if (wire->epoch > in.epoch) {
@@ -347,7 +353,7 @@ bool ReliableChannel::on_message(const net::Message& message,
     const bool fresh = in.dedup.accept(wire->seq);
     if (!fresh) {
       ++stats_.dup_suppressed;
-      m_dup_suppressed_->inc();
+      m_dup_suppressed_.inc();
       // Re-ack the duplicate (the earlier ack may have been lost) — unless
       // the original's ack is deliberately held, in which case duplicates
       // must stay silent too.
@@ -362,7 +368,7 @@ bool ReliableChannel::on_message(const net::Message& message,
       return true;
     }
     ++stats_.delivered;
-    m_delivered_->inc();
+    m_delivered_.inc();
     // Expose the frame's ack for hold_current_ack() during delivery
     // (save/restore in case delivery re-enters on_message).
     const std::optional<AckTicket> prev_current = rx_current_;
@@ -410,7 +416,7 @@ bool ReliableChannel::on_message(const net::Message& message,
     m_ack_rtt_ms_->observe(rtt.millis_f());
     if (it->second.attempts > 1) m_recovery_ms_->observe(rtt.millis_f());
     ++stats_.acked;
-    m_acked_->inc();
+    m_acked_.inc();
     peer_it->second.pending.erase(it);
     return true;
   }
@@ -443,7 +449,7 @@ std::size_t ReliableChannel::replay_dead_letters() {
   std::vector<DeadLetter> letters = dlq_.drain();
   for (DeadLetter& letter : letters) {
     ++stats_.dlq_replayed;
-    m_dlq_replayed_->inc();
+    m_dlq_replayed_.inc();
     send(letter.dest, letter.inner_type, std::move(letter.payload));
   }
   return letters.size();

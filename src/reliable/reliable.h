@@ -65,6 +65,26 @@ struct ReliableConfig {
   // Abandoned frames are parked in the channel's DeadLetterQueue up to this
   // many entries (oldest evicted beyond it); 0 disables parking entirely.
   std::size_t dead_letter_capacity = 0;
+  // When non-empty, every channel counter also increments a twin interned
+  // under this label (a sharded range uses "shard=<i>", docs/SHARDING.md),
+  // so per-channel families stay distinguishable in MetricsSnapshot while
+  // the unlabelled totals fig8/fig9 read keep aggregating every channel.
+  // The DLQ depth gauge moves to the labelled slot outright — depth is a
+  // per-channel level, and distinct channels sharing one gauge would
+  // overwrite each other.
+  std::string metrics_label;
+};
+
+// A registry counter plus its optional labelled twin (ReliableConfig::
+// metrics_label): inc() bumps both, so global aggregates and per-channel
+// families advance in lockstep.
+struct TwinCounter {
+  obs::Counter* global = nullptr;
+  obs::Counter* labeled = nullptr;
+  void inc(std::uint64_t n = 1) {
+    global->inc(n);
+    if (labeled != nullptr) labeled->inc(n);
+  }
 };
 
 struct ChannelStats {
@@ -307,17 +327,17 @@ class ReliableChannel {
   bool rx_held_ = false;
   DeadLetterQueue dlq_;
 
-  obs::Counter* m_accepted_ = nullptr;
-  obs::Counter* m_data_sent_ = nullptr;
-  obs::Counter* m_retransmits_ = nullptr;
-  obs::Counter* m_acked_ = nullptr;
-  obs::Counter* m_delivered_ = nullptr;
-  obs::Counter* m_dup_suppressed_ = nullptr;
-  obs::Counter* m_stale_epoch_ = nullptr;
-  obs::Counter* m_dead_letters_ = nullptr;
-  obs::Counter* m_failovers_ = nullptr;
-  obs::Counter* m_dlq_parked_ = nullptr;
-  obs::Counter* m_dlq_replayed_ = nullptr;
+  TwinCounter m_accepted_;
+  TwinCounter m_data_sent_;
+  TwinCounter m_retransmits_;
+  TwinCounter m_acked_;
+  TwinCounter m_delivered_;
+  TwinCounter m_dup_suppressed_;
+  TwinCounter m_stale_epoch_;
+  TwinCounter m_dead_letters_;
+  TwinCounter m_failovers_;
+  TwinCounter m_dlq_parked_;
+  TwinCounter m_dlq_replayed_;
   obs::Gauge* m_dlq_depth_ = nullptr;
   obs::Histogram* m_ack_rtt_ms_ = nullptr;
   obs::Histogram* m_recovery_ms_ = nullptr;

@@ -12,6 +12,10 @@ namespace {
 
 constexpr const char* kTag = "replicate";
 
+// Batch shipping flushes early once this many records are pending, so a
+// publish burst between heartbeats cannot grow one frame without bound.
+constexpr std::size_t kMaxBatch = 64;
+
 void write_guid(serde::Writer& w, Guid g) {
   w.u64(g.hi());
   w.u64(g.lo());
@@ -41,6 +45,16 @@ const char* to_string(RecordKind kind) {
       return "query";
     case RecordKind::kConfigRetire:
       return "config_retire";
+    case RecordKind::kNoop:
+      return "noop";
+    case RecordKind::kShardProfile:
+      return "shard_profile";
+    case RecordKind::kShardSubscribe:
+      return "shard_subscribe";
+    case RecordKind::kShardUnsubscribe:
+      return "shard_unsubscribe";
+    case RecordKind::kShardDrop:
+      return "shard_drop";
   }
   return "unknown";
 }
@@ -115,6 +129,8 @@ ReplicationLog::ReplicationLog(net::Network& network,
   m_records_shipped_ = &metrics.counter("repl.records_shipped");
   m_snapshots_ = &metrics.counter("repl.snapshots");
   m_heartbeats_ = &metrics.counter("repl.heartbeats");
+  m_batches_ = &metrics.counter("repl.batches");
+  m_compacted_ = &metrics.counter("repl.compacted");
   m_lag_ = &metrics.gauge("repl.lag");
   snapshot_timer_.emplace(network_.simulator(), config_.snapshot_interval,
                           [this] { take_snapshot(); });
@@ -132,6 +148,12 @@ ReplicationLog::~ReplicationLog() {
 void ReplicationLog::attach_standby(Guid node) {
   SCI_ASSERT(!node.is_nil());
   if (applied_.contains(node)) return;
+  // Flush the coalescing window first so the tail re-ship below covers
+  // everything and existing standbys don't later receive duplicates of what
+  // this standby already got; compact so catch-up ships tombstones instead
+  // of superseded payloads.
+  flush_pending();
+  compact_tail();
   ship_snapshot(node);
   for (const LogRecord& record : tail_) {
     ++stats_.records_shipped;
@@ -154,16 +176,82 @@ void ReplicationLog::detach_standby(Guid node) {
 std::uint64_t ReplicationLog::append(LogRecord record) {
   record.index = ++head_;
   ++stats_.records_appended;
-  const std::vector<std::byte> wire = frame_record(channel_.epoch(), record);
-  for (const auto& [standby, applied] : applied_) {
-    ++stats_.records_shipped;
-    m_records_shipped_->inc();
-    channel_.send(standby, kReplRecord, wire);
-  }
   tail_.push_back(std::move(record));
+  ++unflushed_;
+  // Synchronous mode ships immediately — the client admit ack is waiting on
+  // the standby's apply, so adding up to a heartbeat of coalescing latency
+  // would show up directly in component-visible admit time.
+  if (!config_.batch_shipping || sync_acks_ > 0 || unflushed_ >= kMaxBatch)
+    flush_pending();
   update_lag();
   update_committed();  // degraded/sync-off mode commits at append
   return head_;
+}
+
+void ReplicationLog::flush_pending() {
+  if (unflushed_ == 0) return;
+  const std::size_t count = std::min(unflushed_, tail_.size());
+  unflushed_ = 0;
+  if (applied_.empty()) return;  // nobody attached: the tail alone suffices
+  if (count == 1) {
+    const std::vector<std::byte> wire =
+        frame_record(channel_.epoch(), tail_.back());
+    for (const auto& [standby, applied] : applied_) {
+      ++stats_.records_shipped;
+      m_records_shipped_->inc();
+      channel_.send(standby, kReplRecord, wire);
+    }
+    return;
+  }
+  serde::Writer w(64 * count);
+  w.varint(channel_.epoch());
+  w.varint(count);
+  for (std::size_t i = tail_.size() - count; i < tail_.size(); ++i) {
+    const std::vector<std::byte> inner = tail_[i].encode();
+    w.varint(inner.size());
+    w.raw(inner.data(), inner.size());
+  }
+  const std::vector<std::byte> wire = w.take();
+  for (const auto& [standby, applied] : applied_) {
+    stats_.records_shipped += count;
+    m_records_shipped_->inc(count);
+    ++stats_.batch_frames;
+    m_batches_->inc();
+    channel_.send(standby, kReplBatch, wire);
+  }
+}
+
+void ReplicationLog::compact_tail() {
+  if (tail_.size() < 2) return;
+  // Newest-to-oldest sweep: the first (latest) lease renew / profile update
+  // per subject survives, earlier ones become kNoop tombstones. Indices
+  // stay contiguous so follower gap buffers are undisturbed; only the
+  // retained-tail bytes a future attach_standby re-ships shrink.
+  std::unordered_map<Guid, bool> seen_lease;
+  std::unordered_map<Guid, bool> seen_profile;
+  std::uint64_t compacted = 0;
+  for (auto it = tail_.rbegin(); it != tail_.rend(); ++it) {
+    // The unflushed suffix is skipped: those records have not shipped yet,
+    // and their payloads must go out as appended.
+    if (it - tail_.rbegin() < static_cast<std::ptrdiff_t>(unflushed_))
+      continue;
+    std::unordered_map<Guid, bool>* seen = nullptr;
+    if (it->kind == RecordKind::kLeaseRenew) seen = &seen_lease;
+    else if (it->kind == RecordKind::kProfileUpdate) seen = &seen_profile;
+    else continue;
+    auto [slot, fresh] = seen->try_emplace(it->subject, true);
+    if (fresh) continue;  // latest record for this subject — keep
+    it->kind = RecordKind::kNoop;
+    it->flag = 0;
+    it->payload.clear();
+    ++compacted;
+  }
+  if (compacted > 0) {
+    stats_.records_compacted += compacted;
+    m_compacted_->inc(compacted);
+    SCI_DEBUG(kTag, "compacted %llu tail records (%zu retained)",
+              static_cast<unsigned long long>(compacted), tail_.size());
+  }
 }
 
 void ReplicationLog::on_applied(Guid standby, std::uint32_t epoch,
@@ -221,6 +309,9 @@ std::vector<Guid> ReplicationLog::standbys() const {
 }
 
 void ReplicationLog::take_snapshot() {
+  // The tail is about to be discarded — anything still coalescing must ship
+  // first or attached standbys would never see it.
+  flush_pending();
   snapshot_blob_ = snapshot_();
   snapshot_base_ = head_;
   have_snapshot_ = true;
@@ -241,6 +332,10 @@ void ReplicationLog::ship_snapshot(Guid standby) {
 }
 
 void ReplicationLog::heartbeat_tick() {
+  // The heartbeat interval is the batching window: ship the coalesced
+  // records, then tombstone whatever the shipped tail no longer needs.
+  flush_pending();
+  compact_tail();
   serde::Writer w(24 + 17 * applied_.size());
   w.varint(channel_.epoch());
   w.varint(head_);
@@ -322,6 +417,10 @@ bool ReplicationFollower::advance_epoch(std::uint32_t epoch) {
 }
 
 void ReplicationFollower::drain_gap() {
+  // While the epoch's snapshot is outstanding, applied_ still describes the
+  // previous incarnation: trimming against it would eat buffered records of
+  // the new log (whose indices restart below the old head).
+  if (await_snapshot_) return;
   while (!gap_.empty() && gap_.begin()->first <= applied_)
     gap_.erase(gap_.begin());
   while (!gap_.empty() && gap_.begin()->first == applied_ + 1) {
@@ -329,7 +428,8 @@ void ReplicationFollower::drain_gap() {
     gap_.erase(gap_.begin());
     applied_ = head.index;
     m_records_applied_->inc();
-    apply_record_(head);
+    // Compaction tombstones advance the index without touching state.
+    if (head.kind != RecordKind::kNoop) apply_record_(head);
   }
 }
 
@@ -347,19 +447,50 @@ void ReplicationFollower::on_record(const std::vector<std::byte>& payload) {
              record.error().message().c_str());
     return;
   }
-  if (await_snapshot_) {
-    // Jitter let this record overtake the epoch's snapshot — hold it.
-    gap_.emplace(record->index, std::move(*record));
-    ack();
-    return;
-  }
-  if (record->index <= applied_) {
-    ack();  // duplicate — re-ack so the primary's lag view converges
-    return;
-  }
-  gap_.emplace(record->index, std::move(*record));
+  buffer_record(std::move(*record));
   drain_gap();  // applies the contiguous run at applied_ + 1, if formed
   ack();
+}
+
+void ReplicationFollower::buffer_record(LogRecord record) {
+  if (await_snapshot_) {
+    // Jitter let this record overtake the epoch's snapshot — hold it.
+    gap_.emplace(record.index, std::move(record));
+    return;
+  }
+  if (record.index <= applied_) return;  // duplicate
+  gap_.emplace(record.index, std::move(record));
+}
+
+void ReplicationFollower::on_batch(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  const auto epoch = r.varint();
+  if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
+  const auto count = r.varint();
+  if (!count) return;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto len = r.varint();
+    if (!len || *len > r.remaining()) {
+      SCI_WARN(kTag, "truncated replication batch (%llu of %llu records)",
+               static_cast<unsigned long long>(i),
+               static_cast<unsigned long long>(*count));
+      break;
+    }
+    const std::size_t offset = payload.size() - r.remaining();
+    std::vector<std::byte> inner(
+        payload.begin() + static_cast<std::ptrdiff_t>(offset),
+        payload.begin() + static_cast<std::ptrdiff_t>(offset + *len));
+    (void)r.skip(static_cast<std::size_t>(*len));
+    auto record = LogRecord::decode(inner);
+    if (!record) {
+      SCI_WARN(kTag, "malformed log record in batch: %s",
+               record.error().message().c_str());
+      continue;
+    }
+    buffer_record(std::move(*record));
+  }
+  drain_gap();
+  ack();  // one cumulative ack per batch
 }
 
 void ReplicationFollower::on_snapshot(const std::vector<std::byte>& payload) {

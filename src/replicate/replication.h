@@ -68,6 +68,10 @@ inline constexpr std::uint32_t kReplRecord = 0xAE01;
 inline constexpr std::uint32_t kReplSnapshot = 0xAE02;
 inline constexpr std::uint32_t kReplHeartbeat = 0xAE03;
 inline constexpr std::uint32_t kReplApplied = 0xAE04;
+// Several log records coalesced into one reliable frame (batched shipping:
+// varint epoch, varint count, then count × length-prefixed LogRecord).
+// 0xAE05–0xAE08 belong to the election (election.h).
+inline constexpr std::uint32_t kReplBatch = 0xAE09;
 
 // What kind of state mutation a log record carries. The payload encoding is
 // owned by the Context Server; the log ships it opaquely.
@@ -79,6 +83,11 @@ enum class RecordKind : std::uint8_t {
   kLeaseRenew = 5,    // subscription lease keep-alive
   kQuery = 6,         // externally admitted query (subscription wiring)
   kConfigRetire = 7,  // configuration teardown
+  kNoop = 8,          // compaction tombstone: index retained, no state change
+  kShardProfile = 9,      // sibling shard's profile mirror (put/update)
+  kShardSubscribe = 10,   // cross-shard subscription installed here
+  kShardUnsubscribe = 11, // cross-shard subscription torn down
+  kShardDrop = 12,        // sibling shard's departure mirror (profile + subs)
 };
 const char* to_string(RecordKind kind);
 
@@ -98,6 +107,12 @@ struct ReplicationConfig {
   Duration heartbeat_period = Duration::millis(500);
   // Standby declares the primary dead after this much heartbeat silence.
   Duration promote_timeout = Duration::seconds(2);
+  // Coalesce appended records and ship one kReplBatch frame per heartbeat
+  // interval instead of one kReplRecord frame each (amortises channel
+  // overhead under high publish rates). Synchronous mode (sync_acks >= 1)
+  // bypasses the coalescing window — commit latency must not wait on the
+  // heartbeat — as does a batch growing past an internal size cap.
+  bool batch_shipping = true;
 };
 
 // Cheap structural digest of the replicated state (next tag, table sizes…)
@@ -112,6 +127,8 @@ struct ReplicationStats {
   std::uint64_t snapshots_taken = 0;
   std::uint64_t snapshots_shipped = 0;
   std::uint64_t heartbeats_sent = 0;
+  std::uint64_t batch_frames = 0;      // kReplBatch frames sent
+  std::uint64_t records_compacted = 0; // tail records tombstoned to kNoop
 };
 
 // Primary-side log. Owned by a Context Server in the primary role with at
@@ -172,6 +189,14 @@ class ReplicationLog {
   void heartbeat_tick();
   void update_lag();
   void update_committed();
+  // Ships the coalesced suffix of the tail (everything appended since the
+  // last ship) to every standby — one kReplBatch frame each, or a plain
+  // kReplRecord when only one record is pending.
+  void flush_pending();
+  // Tombstones superseded records in the retained tail (older same-subject
+  // lease renews and profile updates) to kNoop, preserving index
+  // contiguity for follower gap buffers while cutting catch-up bytes.
+  void compact_tail();
 
   net::Network& network_;
   reliable::ReliableChannel& channel_;
@@ -181,6 +206,7 @@ class ReplicationLog {
 
   std::uint64_t head_ = 0;
   std::deque<LogRecord> tail_;  // records since the last snapshot
+  std::size_t unflushed_ = 0;   // tail suffix not yet shipped to standbys
   std::uint64_t snapshot_base_ = 0;
   std::vector<std::byte> snapshot_blob_;
   bool have_snapshot_ = false;
@@ -197,6 +223,8 @@ class ReplicationLog {
   obs::Counter* m_records_shipped_ = nullptr;
   obs::Counter* m_snapshots_ = nullptr;
   obs::Counter* m_heartbeats_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_compacted_ = nullptr;
   obs::Gauge* m_lag_ = nullptr;
 
   ReplicationStats stats_;
@@ -225,6 +253,9 @@ class ReplicationFollower {
 
   // Inner kReplRecord frame (already unwrapped by the reliable channel).
   void on_record(const std::vector<std::byte>& payload);
+  // Inner kReplBatch frame: several records under one epoch prefix, applied
+  // through the same gap buffer, acked once.
+  void on_batch(const std::vector<std::byte>& payload);
   // Inner kReplSnapshot frame.
   void on_snapshot(const std::vector<std::byte>& payload);
   // Raw kReplHeartbeat frame.
@@ -247,6 +278,9 @@ class ReplicationFollower {
   // Returns false when `epoch` belongs to a superseded incarnation; on an
   // advance, discards gap leftovers and re-enters the await-snapshot state.
   bool advance_epoch(std::uint32_t epoch);
+  // Parks a decoded record in the gap buffer (or drops a duplicate);
+  // callers follow up with drain_gap + ack.
+  void buffer_record(LogRecord record);
   void drain_gap();
   void ack();
   void watchdog_tick();

@@ -1,0 +1,449 @@
+// Tests for partitioned Ranges (docs/SHARDING.md): the consistent GUID-hash
+// ShardMap, handshake-redirect registration, cross-shard subscription and
+// query forwarding, per-shard replication/failover, and the sharded facade
+// surface (DLQ + metric aggregation under shard labels).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sci.h"
+#include "range/shard_map.h"
+#include "serde/buffer.h"
+
+namespace sci {
+namespace {
+
+TEST(ShardTest, ShardMapDeterministicOwnershipAndCoverage) {
+  Rng rng{7};
+  range::ShardMap map(4);
+  std::vector<Guid> nodes;
+  for (unsigned i = 0; i < 4; ++i) {
+    nodes.push_back(Guid::random(rng));
+    map.set_node(i, nodes.back());
+  }
+  EXPECT_EQ(map.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(map.node_of(i), nodes[i]);
+  EXPECT_TRUE(map.node_of(99).is_nil());
+
+  // Ownership is deterministic (same guid, same owner, any number of asks)
+  // and spreads: with 1000 random guids every shard owns a healthy slice.
+  std::map<unsigned, int> histogram;
+  for (int i = 0; i < 1000; ++i) {
+    const Guid g = Guid::random(rng);
+    const unsigned owner = map.owner_of(g);
+    ASSERT_LT(owner, 4u);
+    EXPECT_EQ(map.owner_of(g), owner);
+    ++histogram[owner];
+  }
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [shard, count] : histogram) {
+    EXPECT_GT(count, 100) << "shard " << shard << " starved";
+  }
+
+  // An identically-built map agrees — any node holding the map computes the
+  // same routing without coordination.
+  range::ShardMap twin(4);
+  for (unsigned i = 0; i < 4; ++i) twin.set_node(i, nodes[i]);
+  Rng rng2{99};
+  for (int i = 0; i < 100; ++i) {
+    const Guid g = Guid::random(rng2);
+    EXPECT_EQ(map.owner_of(g), twin.owner_of(g));
+  }
+}
+
+struct ShardFixture {
+  Sci sci{42};
+  mobility::Building building{{.floors = 2, .rooms_per_floor = 4}};
+  range::ContextServer* lead = nullptr;
+
+  explicit ShardFixture(unsigned shard_count, unsigned standby_count = 0,
+                        unsigned sync_acks = 0) {
+    sci.set_location_directory(&building.directory());
+    RangeOptions options;
+    options.sharding.shard_count = shard_count;
+    options.replication.standby_count = standby_count;
+    options.replication.heartbeat_period = Duration::millis(200);
+    options.replication.promote_timeout = Duration::millis(800);
+    options.replication.sync_acks = sync_acks;
+    lead = sci.create_range("mall", building.floor_path(0), options).value();
+  }
+
+  // Deterministically minted GUID owned by the given shard.
+  Guid guid_owned_by(unsigned shard) {
+    for (int i = 0; i < 4096; ++i) {
+      const Guid g = sci.new_guid();
+      if (lead->shard_of(g) == shard) return g;
+    }
+    ADD_FAILURE() << "no guid hashed to shard " << shard;
+    return Guid();
+  }
+};
+
+// Advertises the "pulse" output so named/pattern subscriptions bind to it.
+class PulseCE final : public entity::ContextEntity {
+ public:
+  using ContextEntity::ContextEntity;
+
+ protected:
+  [[nodiscard]] std::vector<entity::TypeSig> profile_outputs() const override {
+    return {{"pulse", "", "pulse"}};
+  }
+};
+
+// Distinguishes fresh deliveries from failover replays and records query
+// results, so loss, duplication and forwarding outcomes are all observable.
+class ShardMonitor final : public entity::ContextAwareApp {
+ public:
+  using ContextAwareApp::ContextAwareApp;
+  int unique_events = 0;
+  int duplicate_events = 0;
+  int registered_calls = 0;
+  std::map<std::string, Error> results;
+  std::map<std::string, Value> result_values;
+
+ protected:
+  void on_event(const event::Event& event, std::uint64_t) override {
+    if (seen_.insert({event.source, event.sequence}).second) {
+      ++unique_events;
+    } else {
+      ++duplicate_events;
+    }
+  }
+  void on_registered() override { ++registered_calls; }
+  void on_query_result(const std::string& query_id, const Error& error,
+                       const Value& result) override {
+    results[query_id] = error;
+    result_values[query_id] = result;
+  }
+
+ private:
+  std::set<std::pair<Guid, std::uint64_t>> seen_;
+};
+
+TEST(ShardTest, ShardedRangeCreatesSiblingsAndFacadeAccessors) {
+  ShardFixture f(4);
+  const auto shards = f.sci.shards("mall");
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], f.lead);
+  std::set<Guid> nodes;
+  for (unsigned i = 0; i < 4; ++i) {
+    ASSERT_NE(shards[i], nullptr);
+    EXPECT_TRUE(shards[i]->sharded());
+    EXPECT_EQ(shards[i]->shard_index(), i);
+    EXPECT_EQ(shards[i]->role(), range::RangeConfig::Role::kPrimary);
+    nodes.insert(shards[i]->server_node());
+  }
+  EXPECT_EQ(nodes.size(), 4u);  // distinct CS nodes
+  EXPECT_EQ(f.sci.find_range("mall#1"), shards[1]);
+  EXPECT_EQ(f.sci.find_range("mall"), f.lead);
+
+  // Every instance holds the same map: facade shard_of matches each shard's
+  // local answer.
+  for (int i = 0; i < 50; ++i) {
+    const Guid g = f.sci.new_guid();
+    const unsigned owner = f.sci.shard_of("mall", g).value();
+    for (const auto* shard : shards) EXPECT_EQ(shard->shard_of(g), owner);
+  }
+
+  // '#' is reserved for sibling naming.
+  EXPECT_FALSE(
+      bool(f.sci.create_range("bad#name", f.building.floor_path(1))));
+
+  // Unsharded ranges answer shard 0 for everything.
+  auto* plain = f.sci.create_range("flat", f.building.floor_path(1)).value();
+  EXPECT_FALSE(plain->sharded());
+  EXPECT_EQ(f.sci.shard_of("flat", f.sci.new_guid()).value(), 0u);
+  EXPECT_EQ(f.sci.shards("flat").size(), 1u);
+}
+
+TEST(ShardTest, ArrivalRedirectsRegistrationToOwnerShard) {
+  ShardFixture f(4);
+  const auto shards = f.sci.shards("mall");
+  // One entity per shard, every hello aimed at the lead's Range Service.
+  for (unsigned owner = 0; owner < 4; ++owner) {
+    PulseCE ce(f.sci.network(), f.guid_owned_by(owner),
+               "ce" + std::to_string(owner), entity::EntityKind::kDevice);
+    ASSERT_TRUE(f.sci.enroll(ce, *f.lead).is_ok());
+    // Fig 5 step 2 named the owner shard's Registrar; the component
+    // registered there, not where it helloed.
+    EXPECT_EQ(ce.registration().context_server, shards[owner]->server_node());
+    EXPECT_EQ(shards[owner]->registrar().find(ce.id()) != nullptr, true);
+    ce.stop();
+    f.sci.run_for(Duration::millis(50));
+  }
+  EXPECT_EQ(f.lead->stats().shard_redirects, 3u);  // all but the lead's own
+}
+
+TEST(ShardTest, CrossShardNamedSubscriptionDeliversExactlyOnce) {
+  ShardFixture f(4);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(2), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(500));
+
+  // Named subscription submitted at the monitor's shard (1); the producer
+  // lives at shard 2, so the subscription migrates to ride the producer's
+  // local mediator.
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  const auto shards = f.sci.shards("mall");
+  EXPECT_GE(shards[1]->stats().shard_sub_mirrors, 1u);
+  EXPECT_TRUE(shards[1]->mediator().table().all().empty());
+  EXPECT_FALSE(shards[2]->mediator().table().all().empty());
+
+  for (int i = 0; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+
+  // Unsubscription tears the remote copy down (the monitor leaving drops
+  // its mirrored subscriptions at the producer's shard).
+  monitor.stop();
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_TRUE(shards[2]->mediator().table().all().empty());
+}
+
+TEST(ShardTest, ForwardedContextPullAnswersFromOwnerShard) {
+  ShardFixture f(4);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(3), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(0), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(500));
+  for (int i = 0; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(50));
+  }
+  f.sci.run_for(Duration::millis(500));
+
+  // The pulse history lives in shard 3's context store; the monitor asks
+  // its own shard (0), which forwards one hop and shard 3 answers.
+  ASSERT_TRUE(monitor
+                  .submit_query("pull",
+                                query::QueryBuilder("pull", monitor.id())
+                                    .pattern("pulse")
+                                    .about(pulse.id())
+                                    .with_history(3)
+                                    .mode(query::QueryMode::kProfileRequest)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_TRUE(monitor.results.contains("pull"));
+  EXPECT_TRUE(monitor.results["pull"].ok())
+      << monitor.results["pull"].message();
+  const auto shards = f.sci.shards("mall");
+  EXPECT_GE(shards[0]->stats().shard_forwarded_queries, 1u);
+
+  // A named profile request resolves locally everywhere — profiles mirror
+  // to every shard, so no forwarding hop is spent.
+  const std::uint64_t forwarded_before =
+      shards[0]->stats().shard_forwarded_queries;
+  ASSERT_TRUE(monitor
+                  .submit_query("prof",
+                                query::QueryBuilder("prof", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kProfileRequest)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_TRUE(monitor.results.contains("prof"));
+  EXPECT_TRUE(monitor.results["prof"].ok())
+      << monitor.results["prof"].message();
+  EXPECT_EQ(shards[0]->stats().shard_forwarded_queries, forwarded_before);
+}
+
+// ISSUE satellite: a cross-shard subscription must survive a kill/elect
+// cycle of the shard hosting it (the producer's), with no duplicate and no
+// lost delivery, in synchronous-ack replication mode. Other shards keep
+// serving throughout — failover domains are independent.
+TEST(ShardTest, CrossShardDeliverySurvivesShardKillElectCycle) {
+  ShardFixture f(4, /*standby_count=*/2, /*sync_acks=*/1);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(2), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(2));
+
+  for (int i = 0; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 5);
+
+  // Kill shard 2's primary machine outright. Its two standbys hold an
+  // election among themselves; shards 0, 1 and 3 never notice.
+  range::ContextServer* doomed = f.sci.shards("mall")[2];
+  ASSERT_TRUE(f.sci.network().set_crashed(doomed->server_node(), true).is_ok());
+  f.sci.run_for(Duration::seconds(4));
+
+  range::ContextServer* fresh = f.sci.find_range("mall#2");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, doomed);
+  EXPECT_TRUE(fresh->promoted_by_election());
+  EXPECT_EQ(fresh->role(), range::RangeConfig::Role::kPrimary);
+  EXPECT_EQ(f.sci.shards("mall")[2], fresh);
+  // The replicated mirrored subscription survived the promotion.
+  EXPECT_FALSE(fresh->mediator().table().all().empty());
+  // Untouched shards kept their primaries.
+  EXPECT_EQ(f.sci.find_range("mall"), f.lead);
+  EXPECT_EQ(f.lead->stats().promotions, 0u);
+
+  for (int i = 5; i < 15; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(10));
+
+  // Exactly-once across the cycle: sync_acks withheld the client ack until
+  // a standby applied, and delivery dedup absorbs the promotion replay.
+  EXPECT_EQ(monitor.unique_events, 15);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+  EXPECT_TRUE(pulse.is_registered());
+  EXPECT_TRUE(monitor.is_registered());
+}
+
+// Regression: a mirrored-in subscription id lives in its home shard's id
+// space. If ingesting it bumped the local mint counter into that space,
+// a later locally-minted id would collide with the sibling's next genuine
+// id at a common destination shard, where restore() replaces the earlier
+// live subscription — silently killing deliveries.
+TEST(ShardTest, MirroredIdsDoNotPoisonLocalIdSpace) {
+  ShardFixture f(4);
+  PulseCE p0(f.sci.network(), f.guid_owned_by(0), "p0",
+             entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(p0, *f.lead).is_ok());
+  PulseCE p1(f.sci.network(), f.guid_owned_by(1), "p1",
+             entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(p1, *f.lead).is_ok());
+  ShardMonitor m3(f.sci.network(), f.guid_owned_by(3), "m3",
+                  entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(m3, *f.lead).is_ok());
+  ShardMonitor m0(f.sci.network(), f.guid_owned_by(0), "m0",
+                  entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(m0, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(500));
+
+  const auto sub = [&](ShardMonitor& m, const std::string& id, const Guid& p) {
+    ASSERT_TRUE(m.submit_query(id, query::QueryBuilder(id, m.id())
+                                       .named(p)
+                                       .mode(query::QueryMode::kEventSubscription)
+                                       .to_xml())
+                    .is_ok());
+    f.sci.run_for(Duration::millis(500));
+  };
+  // Shard 3 mirrors a 3-space id into shard 0; shard 0 then mints for m0
+  // (must stay in 0-space) and mirrors to shard 1; shard 3 mints again and
+  // mirrors to shard 1 too. With a poisoned counter the last two collide.
+  sub(m3, "a", p0.id());
+  sub(m0, "b", p1.id());
+  sub(m3, "c", p1.id());
+
+  const auto shards = f.sci.shards("mall");
+  EXPECT_EQ(shards[1]->mediator().table().all().size(), 2u);
+  for (int i = 0; i < 3; ++i) {
+    p1.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_EQ(m0.unique_events, 3);
+  EXPECT_EQ(m3.unique_events, 3);
+}
+
+TEST(ShardTest, BatchedShippingAndCompactionCountersAdvance) {
+  ShardFixture f(2, /*standby_count=*/1);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(1), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  // A burst of profile updates between heartbeats: batched shipping
+  // coalesces the records into per-heartbeat frames, and compaction
+  // tombstones the superseded same-subject updates.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pulse.set_metadata(Value(static_cast<std::int64_t>(round * 8 + i)));
+    }
+    f.sci.run_for(Duration::millis(250));
+  }
+  f.sci.run_for(Duration::seconds(1));
+
+  range::ContextServer* owner = f.sci.shards("mall")[1];
+  ASSERT_NE(owner->replication_log(), nullptr);
+  const auto& repl = owner->replication_log()->stats();
+  EXPECT_GT(repl.batch_frames, 0u);
+  EXPECT_GT(repl.records_compacted, 0u);
+  // Batching compresses frames: strictly fewer frames than records.
+  EXPECT_LT(repl.batch_frames, repl.records_appended);
+  EXPECT_EQ(owner->replication_lag(), 0u);
+  ASSERT_EQ(f.sci.standbys("mall#1").size(), 1u);
+
+  const auto snapshot = f.sci.metrics().snapshot();
+  EXPECT_GT(snapshot.counter("repl.batches"), 0u);
+  EXPECT_GT(snapshot.counter("repl.compacted"), 0u);
+  // Heartbeat fingerprints would flag any primary/standby divergence the
+  // tombstones introduced.
+  EXPECT_EQ(snapshot.counter("repl.state_divergence"), 0u);
+}
+
+TEST(ShardTest, DlqAndChannelMetricsAggregatePerShard) {
+  ShardFixture f(4);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(2), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  // Every shard's channel reports under its own stable label while the
+  // unlabelled totals (what fig8/fig9 read) keep aggregating everything.
+  const auto snapshot = f.sci.metrics().snapshot();
+  const std::uint64_t total = snapshot.counter("rel.delivered");
+  std::uint64_t labelled_sum = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    labelled_sum +=
+        snapshot.counter("rel.delivered", "shard=" + std::to_string(i));
+  }
+  EXPECT_GT(labelled_sum, 0u);
+  // Component channels are unlabelled, so the global counter dominates the
+  // per-shard slice (every labelled increment also bumped the global).
+  EXPECT_GE(total, labelled_sum);
+  EXPECT_GE(snapshot.counter_family_size("rel.delivered"), 3u);
+
+  // DLQ facade aggregation: the base name covers every shard's queue.
+  ASSERT_TRUE(bool(f.sci.dead_letters("mall")));
+  EXPECT_EQ(f.sci.replay_dead_letters("mall").value(), 0u);
+  EXPECT_TRUE(f.sci.drain_dead_letters("mall").value().empty());
+}
+
+}  // namespace
+}  // namespace sci
