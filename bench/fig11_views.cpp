@@ -1,0 +1,283 @@
+// Experiment F11 — materialized context views (docs/VIEWS.md).
+//
+// BM_RepeatedQueries/V — a zipfian repeated-query workload (48 users asking
+//                        "closest printer with paper" over 160 printers),
+//                        V=0 recompute-every-time baseline vs V=1
+//                        materialized views. Three phases per run:
+//                          warmup — every user primes its query once,
+//                          steady — repeated queries, no churn (the regime
+//                                   views exist for; headline p99 compares
+//                                   this phase across variants),
+//                          churn  — users move and printers run out of
+//                                   paper while queries continue (measures
+//                                   invalidation cost and correctness).
+//
+// Reported: steady-state resolve-latency p99/mean per variant, churn-phase
+// p99/mean, overall view hit ratio, invalidations per churn event, and a
+// stale-read count (a reply naming a printer the current ground truth
+// rejects — must be zero: views may only ever be faster, never wrong). The
+// CI chaos job gates on hit_ratio >= 0.9, steady-state p99_speedup >= 5 and
+// stale_reads == 0.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/sci.h"
+#include "entity/printer.h"
+
+namespace {
+
+using namespace sci;
+
+struct SelectApp final : entity::ContextAwareApp {
+  using ContextAwareApp::ContextAwareApp;
+  int replies = 0;
+  bool last_ok = false;
+  std::string last_winner;
+  void on_query_result(const std::string&, const Error& error,
+                       const Value& result) override {
+    ++replies;
+    last_ok = error.ok();
+    last_winner = error.ok() ? result.at("name").string_or("?") : "";
+  }
+};
+
+constexpr unsigned kFloors = 4;
+constexpr unsigned kRoomsPerFloor = 40;  // one printer per room = 160
+constexpr unsigned kUsers = 48;
+constexpr unsigned kSteadyQueries = 1500;  // post-warmup, no churn
+constexpr unsigned kChurnQueries = 1000;   // with background churn
+constexpr unsigned kMovePeriod = 25;    // user relocation every N queries
+constexpr unsigned kPaperPeriod = 400;  // paper-out rotation every N queries
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1));
+  return samples[index];
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+struct RunResult {
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+std::optional<RunResult> g_baseline;  // Arg(0) runs first, Arg(1) reads it
+
+void BM_RepeatedQueries(benchmark::State& state) {
+  const bool views_on = state.range(0) != 0;
+  for (auto _ : state) {
+    Sci sci(1101);
+    mobility::Building building(
+        {.floors = kFloors, .rooms_per_floor = kRoomsPerFloor});
+    sci.set_location_directory(&building.directory());
+    RangeOptions options;
+    options.views.enable = views_on;
+    options.views.capacity = 2 * kUsers;
+    auto& range =
+        *sci.create_range("campus", building.building_path(), options).value();
+
+    // Ground truth mirrored locally: room of every user, paper state of
+    // every printer ("P<room>" lives in global room index <room>).
+    std::vector<std::unique_ptr<entity::PrinterCE>> printers;
+    std::vector<bool> has_paper(kFloors * kRoomsPerFloor, true);
+    for (unsigned f = 0; f < kFloors; ++f) {
+      for (unsigned r = 0; r < kRoomsPerFloor; ++r) {
+        const unsigned room = f * kRoomsPerFloor + r;
+        printers.push_back(std::make_unique<entity::PrinterCE>(
+            sci.network(), sci.new_guid(), "P" + std::to_string(room),
+            building.room(f, r)));
+        SCI_ASSERT(sci.enroll(*printers.back(), range).is_ok());
+      }
+    }
+    std::vector<std::unique_ptr<entity::ContextEntity>> users;
+    std::vector<unsigned> user_room(kUsers);
+    Rng rng(7);
+    for (unsigned u = 0; u < kUsers; ++u) {
+      const unsigned room =
+          static_cast<unsigned>(rng.next_below(kFloors * kRoomsPerFloor));
+      user_room[u] = room;
+      users.push_back(std::make_unique<entity::ContextEntity>(
+          sci.network(), sci.new_guid(), "U" + std::to_string(u),
+          entity::EntityKind::kPerson));
+      users[u]->set_location(location::LocRef::from_place(
+          building.room(room / kRoomsPerFloor, room % kRoomsPerFloor)));
+      SCI_ASSERT(sci.enroll(*users[u], range).is_ok());
+    }
+    SelectApp app(sci.network(), sci.new_guid(), "app",
+                  entity::EntityKind::kSoftware);
+    SCI_ASSERT(sci.enroll(app, range).is_ok());
+    sci.run_for(Duration::seconds(1));
+
+    // Zipf(1) over users: a handful of hot askers, a long tail.
+    std::vector<double> cumulative(kUsers);
+    double total = 0.0;
+    for (unsigned u = 0; u < kUsers; ++u) {
+      total += 1.0 / static_cast<double>(u + 1);
+      cumulative[u] = total;
+    }
+    auto pick_user = [&] {
+      const double pick = rng.next_double() * total;
+      return static_cast<unsigned>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
+          cumulative.begin());
+    };
+
+    std::uint64_t stale_reads = 0;
+    unsigned next_query = 0;
+    auto run_query = [&](unsigned u) {
+      const std::string qid = "q" + std::to_string(next_query++);
+      const query::Query q = query::Builder(qid, app.id())
+                                 .what_entity_type("printing")
+                                 .closest_to(users[u]->id())
+                                 .select(query::SelectPolicy::kClosest)
+                                 .require("has_paper", Value(true))
+                                 .advertisement();
+      const int before = app.replies;
+      SCI_ASSERT(sci.submit_query(app, q).has_value());
+      while (app.replies == before) {
+        if (!sci.simulator().step()) break;
+      }
+      SCI_ASSERT(app.last_ok);
+
+      // Correctness oracle: the co-room printer when it has paper; never a
+      // printer that is currently out of paper.
+      const unsigned winner_room = static_cast<unsigned>(
+          std::stoul(app.last_winner.substr(1)));
+      if (!has_paper[winner_room] ||
+          (has_paper[user_room[u]] && winner_room != user_room[u])) {
+        ++stale_reads;
+      }
+
+      const auto outcome = range.query_outcome(app.id(), qid);
+      SCI_ASSERT(outcome.has_value());
+      return outcome->resolve_micros;
+    };
+
+    // Warmup: every user primes its view once (cold installs, unmeasured).
+    for (unsigned u = 0; u < kUsers; ++u) run_query(u);
+
+    // Steady phase: repeated queries against a quiet infrastructure.
+    std::vector<double> steady_us;
+    steady_us.reserve(kSteadyQueries);
+    for (unsigned i = 0; i < kSteadyQueries; ++i) {
+      steady_us.push_back(run_query(pick_user()));
+    }
+
+    // Churn phase: background updates, quiesced before the next query so
+    // ground truth and infrastructure state agree (a stale read then means
+    // a stale VIEW, not propagation lag).
+    std::vector<double> churn_us;
+    churn_us.reserve(kChurnQueries);
+    std::uint64_t churn_events = 0;
+    std::optional<unsigned> paperless;
+    for (unsigned i = 0; i < kChurnQueries; ++i) {
+      if (i > 0 && i % kMovePeriod == 0) {
+        const unsigned u = static_cast<unsigned>(rng.next_below(kUsers));
+        const unsigned room =
+            static_cast<unsigned>(rng.next_below(kFloors * kRoomsPerFloor));
+        user_room[u] = room;
+        users[u]->set_location(location::LocRef::from_place(
+            building.room(room / kRoomsPerFloor, room % kRoomsPerFloor)));
+        ++churn_events;
+      }
+      if (i > 0 && i % kPaperPeriod == 0) {
+        if (paperless) {
+          printers[*paperless]->set_paper(true);
+          has_paper[*paperless] = true;
+        }
+        const unsigned victim = static_cast<unsigned>(
+            rng.next_below(kFloors * kRoomsPerFloor));
+        printers[victim]->set_paper(false);
+        has_paper[victim] = false;
+        paperless = victim;
+        ++churn_events;
+      }
+      if (i > 0 && (i % kMovePeriod == 0 || i % kPaperPeriod == 0)) {
+        sci.run_for(Duration::millis(100));
+      }
+      churn_us.push_back(run_query(pick_user()));
+    }
+
+    const obs::MetricsSnapshot snap = sci.metrics().snapshot();
+    const double hits = static_cast<double>(snap.counter("view.hits"));
+    const double misses = static_cast<double>(snap.counter("view.misses"));
+    const double lookups = hits + misses;
+    RunResult result{percentile(steady_us, 0.99), mean(steady_us)};
+
+    state.counters["resolve_p99_us"] = result.p99_us;
+    state.counters["resolve_mean_us"] = result.mean_us;
+    state.counters["churn_p99_us"] = percentile(churn_us, 0.99);
+    state.counters["stale_reads"] = static_cast<double>(stale_reads);
+
+    ValueMap doc;
+    doc.emplace("queries",
+                static_cast<std::int64_t>(kUsers + kSteadyQueries +
+                                          kChurnQueries));
+    doc.emplace("printers",
+                static_cast<std::int64_t>(kFloors * kRoomsPerFloor));
+    doc.emplace("users", static_cast<std::int64_t>(kUsers));
+    doc.emplace("resolve_p99_us", result.p99_us);
+    doc.emplace("resolve_mean_us", result.mean_us);
+    doc.emplace("churn_p99_us", percentile(churn_us, 0.99));
+    doc.emplace("churn_mean_us", mean(churn_us));
+    doc.emplace("stale_reads", static_cast<std::int64_t>(stale_reads));
+    doc.emplace("churn_events", static_cast<std::int64_t>(churn_events));
+    if (views_on) {
+      const double hit_ratio = lookups > 0.0 ? hits / lookups : 0.0;
+      state.counters["hit_ratio"] = hit_ratio;
+      doc.emplace("hit_ratio", hit_ratio);
+      doc.emplace("view_hits", static_cast<std::int64_t>(hits));
+      doc.emplace("view_misses", static_cast<std::int64_t>(misses));
+      doc.emplace(
+          "invalidations",
+          static_cast<std::int64_t>(snap.counter("view.invalidations")));
+      doc.emplace("invalidations_per_update",
+                  churn_events > 0
+                      ? static_cast<double>(snap.counter("view.invalidations")) /
+                            static_cast<double>(churn_events)
+                      : 0.0);
+      doc.emplace("installs",
+                  static_cast<std::int64_t>(snap.counter("view.installs")));
+      bench::add_run("views", Value(std::move(doc)));
+      if (g_baseline) {
+        ValueMap summary;
+        const double speedup =
+            result.p99_us > 0.0 ? g_baseline->p99_us / result.p99_us : 0.0;
+        summary.emplace("p99_speedup", speedup);
+        summary.emplace("mean_speedup",
+                        result.mean_us > 0.0
+                            ? g_baseline->mean_us / result.mean_us
+                            : 0.0);
+        state.counters["p99_speedup"] = speedup;
+        bench::add_run("summary", Value(std::move(summary)));
+      }
+    } else {
+      g_baseline = result;
+      bench::add_run("baseline", Value(std::move(doc)));
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RepeatedQueries)
+    ->Arg(0)  // recompute baseline — must run before Arg(1)
+    ->Arg(1)  // materialized views
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+SCI_BENCHMARK_MAIN_WITH_REPORT("BENCH_fig11.json")

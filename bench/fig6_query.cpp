@@ -27,8 +27,8 @@ using namespace sci;
 
 query::Query full_query() {
   const auto office = *location::LogicalPath::parse("campus/tower/l10/room1");
-  return query::QueryBuilder("q-print", Guid(1, 2))
-      .entity_type("printing")
+  return query::Builder("q-print", Guid(1, 2))
+      .what_entity_type("printing")
       .in(office)
       .when_enters(Guid(3, 4), office)
       .expires_after(120.0)
@@ -36,8 +36,7 @@ query::Query full_query() {
       .require("has_paper", Value(true))
       .require("queue_length", Value(std::int64_t{0}))
       .check_access()
-      .mode(query::QueryMode::kAdvertisementRequest)
-      .build();
+      .advertisement();
 }
 
 void BM_QuerySerialize(benchmark::State& state) {
@@ -118,14 +117,14 @@ void BM_ResolvePerMode(benchmark::State& state) {
   int round = 0;
   for (auto _ : state) {
     const std::string qid = "q" + std::to_string(round++);
-    query::QueryBuilder builder(qid, app.id());
+    query::Builder builder(qid, app.id());
     if (mode == query::QueryMode::kAdvertisementRequest ||
         mode == query::QueryMode::kProfileRequest) {
-      builder.entity_type("printing");
+      builder.what_entity_type("printing");
     } else {
-      builder.pattern(entity::types::kTemperature);
+      builder.what_pattern(entity::types::kTemperature);
     }
-    builder.mode(mode);
+    builder.mode(mode);  // the mode is this bench's sweep variable
     const int replies_before = app.replies;
     const SimTime before = bench.sci.now();
     SCI_ASSERT(app.submit_query(qid, builder.to_xml()).is_ok());

@@ -86,17 +86,16 @@ void BM_CapaEndToEnd(benchmark::State& state) {
     SCI_ASSERT(capa.is_registered());
 
     const auto office = building.room_path(1, 0);
-    const std::string xml =
-        query::QueryBuilder("q", capa.id())
-            .entity_type("printing")
+    const query::Query q =
+        query::Builder("q", capa.id())
+            .what_entity_type("printing")
             .in(office)
             .when_enters(bob.id(), office)
             .select(query::SelectPolicy::kClosest)
             .require("has_paper", Value(true))
-            .mode(query::QueryMode::kAdvertisementRequest)
-            .to_xml();
+            .advertisement();
     const SimTime submit_at = sci.now();
-    SCI_ASSERT(capa.submit_query("q", xml).is_ok());
+    SCI_ASSERT(sci.submit_query(capa, q).has_value());
     sci.run_for(Duration::seconds(1));  // forward + defer
     SCI_ASSERT(level10.deferred_queries() == 1);
 
@@ -189,16 +188,15 @@ void BM_PrinterSelection(benchmark::State& state) {
   int round = 0;
   for (auto _ : state) {
     const std::string qid = "q" + std::to_string(round++);
-    query::QueryBuilder builder(qid, app.id());
-    builder.entity_type("printing")
+    query::Builder builder(qid, app.id());
+    builder.what_entity_type("printing")
         .closest_to(user.id())
-        .select(query::SelectPolicy::kClosest)
-        .mode(query::QueryMode::kAdvertisementRequest);
+        .select(query::SelectPolicy::kClosest);
     if (constraint_kinds >= 1) builder.require("has_paper", Value(true));
     if (constraint_kinds >= 2) builder.check_access();
     const int replies_before = app.replies;
     const SimTime before = sci.now();
-    SCI_ASSERT(app.submit_query(qid, builder.to_xml()).is_ok());
+    SCI_ASSERT(sci.submit_query(app, builder.advertisement()).has_value());
     while (app.replies == replies_before) {
       if (!sci.simulator().step()) break;
     }

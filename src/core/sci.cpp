@@ -96,6 +96,8 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   config.election.renew_period = options.replication.election.renew_period;
   config.sync_acks = options.replication.sync_acks;
   config.recent_event_window = options.replication.recent_event_window;
+  config.enable_views = options.views.enable;
+  config.view_capacity = options.views.capacity;
 
   // Partitioned range (docs/SHARDING.md): mint every shard's CS node up
   // front so the shared consistent-hash map names them all before any
@@ -544,6 +546,45 @@ void Sci::inject_faults(const sim::FaultPlan& plan) {
       }
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// queries (docs/VIEWS.md)
+
+Expected<Sci::QueryHandle> Sci::submit_query(entity::ContextAwareApp& app,
+                                             query::Query q) {
+  SCI_TRY(q.validate());
+  SCI_TRY(app.submit_query(q.id, q.to_xml()));
+  return QueryHandle(this, &app, std::move(q));
+}
+
+bool Sci::QueryHandle::cancel() {
+  bool cancelled = false;
+  // A query can leave state on any shard (triggers follow the moving
+  // entity); sweep every live server.
+  for (const auto& server : sci_->ranges_) {
+    cancelled = server->cancel_query(app_->id(), query_.id) || cancelled;
+  }
+  return cancelled;
+}
+
+Status Sci::QueryHandle::refresh() {
+  return app_->submit_query(query_.id, query_.to_xml());
+}
+
+std::optional<range::ContextServer::QueryOutcome>
+Sci::QueryHandle::last_outcome() const {
+  std::optional<range::ContextServer::QueryOutcome> latest;
+  for (const auto& server : sci_->ranges_) {
+    const auto outcome = server->query_outcome(app_->id(), query_.id);
+    if (outcome && (!latest || latest->at < outcome->at)) latest = outcome;
+  }
+  return latest;
+}
+
+bool Sci::QueryHandle::is_view_backed() const {
+  const auto outcome = last_outcome();
+  return outcome.has_value() && outcome->view_hit;
 }
 
 Status Sci::enroll(entity::Component& component, range::ContextServer& server,

@@ -128,6 +128,15 @@ struct ShardingOptions {
   unsigned shard_count = 1;
 };
 
+// Materialized context views (docs/VIEWS.md): each Context Server caches the
+// resolved selection/plan of repeated Fig-6 queries and maintains the cache
+// incrementally from profile/advertisement/location deltas instead of
+// re-running the resolver.
+struct ViewOptions {
+  bool enable = true;
+  std::size_t capacity = 256;  // LRU-bounded views per server
+};
+
 struct RangeOptions {
   ReuseOptions reuse;
   LivenessOptions liveness;
@@ -135,6 +144,7 @@ struct RangeOptions {
   ReliabilityOptions reliability;
   ReplicationOptions replication;
   ShardingOptions sharding;
+  ViewOptions views;
   double x = 0.0;
   double y = 0.0;
   // Access-control group (queries never cross groups).
@@ -254,6 +264,48 @@ class Sci {
   Expected<std::vector<reliable::DeadLetter>> drain_dead_letters(
       std::string_view range);
 
+  // --- queries (docs/VIEWS.md) ----------------------------------------------
+  // Value handle over a submitted Fig-6 query: cancel it wherever it left
+  // state, resubmit it, and inspect how its last resolve went (answered
+  // from a materialized view or recomputed). Copyable; every copy refers to
+  // the same deployment-side query. Valid while the Sci and app live.
+  class QueryHandle {
+   public:
+    [[nodiscard]] const query::Query& query() const { return query_; }
+    [[nodiscard]] const std::string& id() const { return query_.id; }
+
+    // Tears down everything the query left behind on any server —
+    // composed configurations, direct subscriptions, deferred trigger
+    // watches (and their expiry timers), parked retries. Returns whether
+    // anything was actually cancelled.
+    bool cancel();
+    // Re-submits the same query document through the owning app.
+    Status refresh();
+    // Whether the most recent resolve was answered from a materialized
+    // view (false when views are off or the query never resolved).
+    [[nodiscard]] bool is_view_backed() const;
+    // The most recent resolve outcome across all servers, if any.
+    [[nodiscard]] std::optional<range::ContextServer::QueryOutcome>
+    last_outcome() const;
+
+   private:
+    friend class Sci;
+    QueryHandle(Sci* sci, entity::ContextAwareApp* app, query::Query q)
+        : sci_(sci), app_(app), query_(std::move(q)) {}
+
+    Sci* sci_;
+    entity::ContextAwareApp* app_;
+    query::Query query_;
+  };
+
+  // Validates `q` and submits it through `app` (which must be enrolled),
+  // returning the handle. Pairs with query::Builder:
+  //   auto handle = sci.submit_query(app,
+  //       query::Builder("q1", app.id())
+  //           .what_entity_type("printing").closest_to_me().advertisement());
+  Expected<QueryHandle> submit_query(entity::ContextAwareApp& app,
+                                     query::Query q);
+
   // --- component lifecycle ------------------------------------------------------
   // Starts `component` at (x, y), points it at `server`'s Range Service and
   // runs the simulator until the Fig 5 handshake completes (bounded wait).
@@ -299,8 +351,9 @@ class Sci {
       standbys_;
   // Whether the facade honours a standby's promote request (per range).
   std::unordered_map<Guid, bool> auto_promote_;
-  // Fenced ex-primaries. Kept alive until teardown: their still-pending
-  // simulator closures (deferred-query expiries…) capture `this`.
+  // Fenced ex-primaries. Kept alive until teardown as witnesses (tests and
+  // operators still read their metrics/epoch); fence() cancels their
+  // pending simulator timers, so nothing here runs again.
   std::vector<std::unique_ptr<range::ContextServer>> graveyard_;
 };
 

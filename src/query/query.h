@@ -155,110 +155,247 @@ struct Query {
   [[nodiscard]] Status validate() const;
 };
 
-// Fluent builder so examples and tests read like the scenarios:
-//   auto q = QueryBuilder("q1", bob)
-//       .pattern("path.update", /*semantic=*/"route")
-//       .subject_pair(bob, john)  …
-class QueryBuilder {
+// Fluent builder — the documented entry point for constructing queries.
+// Reads like the paper's scenarios and ends in a mode-stamping terminal:
+//   auto q = Builder("q1", bob)
+//       .what_pattern("temperature").unit("celsius")
+//       .closest_to(bob)
+//       .subscribe();
+// Each what_* setter picks the what-kind; unit()/semantic() refine a
+// pattern. The terminals (subscribe / once / profile / advertisement)
+// return the finished Query, so a Builder expression is a complete
+// sentence: what, where, when, which, and finally how it executes.
+class Builder {
  public:
-  QueryBuilder(std::string id, Guid owner) {
+  Builder(std::string id, Guid owner) {
     query_.id = std::move(id);
     query_.owner = owner;
   }
 
-  QueryBuilder& entity_type(std::string type) {
+  // --- what ---
+  Builder& what_entity_type(std::string type) {
     query_.what.kind = WhatKind::kEntityType;
     query_.what.entity_type = std::move(type);
     return *this;
   }
-  QueryBuilder& named(Guid entity) {
+  Builder& what_named(Guid entity) {
     query_.what.kind = WhatKind::kNamedEntity;
     query_.what.named = entity;
     return *this;
   }
-  QueryBuilder& pattern(std::string type, std::string unit = "",
-                        std::string semantic = "") {
+  Builder& what_pattern(std::string type) {
     query_.what.kind = WhatKind::kPattern;
     query_.what.type = std::move(type);
-    query_.what.unit = std::move(unit);
-    query_.what.semantic = std::move(semantic);
     return *this;
   }
-  QueryBuilder& about(Guid subject) {
+  // Pattern refinements (meaningful after what_pattern).
+  Builder& unit(std::string u) {
+    query_.what.unit = std::move(u);
+    return *this;
+  }
+  Builder& semantic(std::string s) {
+    query_.what.kind = WhatKind::kPattern;
+    query_.what.semantic = std::move(s);
+    return *this;
+  }
+  Builder& about(Guid subject) {
     query_.what.subject = subject;
     return *this;
   }
   // Pull `count` stored events from the Context Store (profile mode).
-  QueryBuilder& with_history(unsigned count) {
+  Builder& with_history(unsigned count) {
     query_.what.history = count;
     return *this;
   }
-  QueryBuilder& in(location::LogicalPath path) {
+
+  // --- where ---
+  Builder& in(location::LogicalPath path) {
     query_.where.explicit_path = std::move(path);
     return *this;
   }
-  QueryBuilder& in_range(Guid range) {
+  Builder& in_range(Guid range) {
     query_.where.range = range;
     return *this;
   }
-  QueryBuilder& closest_to_me() {
+  Builder& closest_to_me() {
     query_.where.closest = true;
     return *this;
   }
-  QueryBuilder& closest_to(Guid entity) {
+  Builder& closest_to(Guid entity) {
     query_.where.closest = true;
     query_.where.relative_to = entity;
     return *this;
   }
   // Anchors the query to an entity without requesting closest-selection
   // (e.g. the 'from' end of a path request).
-  QueryBuilder& relative_to(Guid entity) {
+  Builder& relative_to(Guid entity) {
     query_.where.relative_to = entity;
     return *this;
   }
-  QueryBuilder& when_enters(Guid entity, location::LogicalPath place) {
+
+  // --- when ---
+  Builder& when_enters(Guid entity, location::LogicalPath place) {
     query_.when.trigger = WhenTrigger{entity, std::move(place)};
     return *this;
   }
-  QueryBuilder& not_before(double seconds) {
+  Builder& not_before(double seconds) {
     query_.when.not_before_seconds = seconds;
     return *this;
   }
-  QueryBuilder& expires_after(double seconds) {
+  Builder& expires_after(double seconds) {
     query_.when.expires_after_seconds = seconds;
     return *this;
   }
-  QueryBuilder& select(SelectPolicy policy, std::string attr_key = "") {
+
+  // --- which ---
+  Builder& select(SelectPolicy policy, std::string attr_key = "") {
     query_.which.policy = policy;
     query_.which.attr_key = std::move(attr_key);
     return *this;
   }
-  QueryBuilder& require(std::string key, Value equals) {
-    query_.which.require.push_back(Requirement{std::move(key), std::move(equals)});
+  Builder& require(std::string key, Value equals) {
+    query_.which.require.push_back(
+        Requirement{std::move(key), std::move(equals)});
     return *this;
   }
-  QueryBuilder& check_access() {
+  Builder& check_access() {
     query_.which.check_access = true;
     return *this;
   }
-  QueryBuilder& fresh_within(double seconds) {
+  Builder& fresh_within(double seconds) {
     query_.which.fresh_within_seconds = seconds;
     return *this;
   }
-  QueryBuilder& min_confidence(double confidence) {
+  Builder& min_confidence(double confidence) {
     query_.which.min_confidence = confidence;
     return *this;
   }
-  QueryBuilder& mode(QueryMode m) {
+
+  // --- terminals: stamp the mode and return the finished query ---
+  [[nodiscard]] Query subscribe() const {
+    return finish(QueryMode::kEventSubscription);
+  }
+  [[nodiscard]] Query once() const {
+    return finish(QueryMode::kOneTimeSubscription);
+  }
+  [[nodiscard]] Query profile() const {
+    return finish(QueryMode::kProfileRequest);
+  }
+  [[nodiscard]] Query advertisement() const {
+    return finish(QueryMode::kAdvertisementRequest);
+  }
+
+  // Escape hatches for generic code that carries the mode as a value.
+  Builder& mode(QueryMode m) {
     query_.mode = m;
     return *this;
   }
-
   [[nodiscard]] Query build() const { return query_; }
   [[nodiscard]] std::string to_xml() const { return query_.to_xml(); }
 
  private:
+  [[nodiscard]] Query finish(QueryMode m) const {
+    Query q = query_;
+    q.mode = m;
+    return q;
+  }
+
   Query query_;
+};
+
+// Compatibility shim over Builder (kept for one release; prefer Builder).
+// The only differences are the overloaded what-setters (`pattern(type,
+// unit, semantic)` vs. Builder's granular `what_pattern().unit()`) and the
+// explicit `mode().build()` finish.
+class QueryBuilder {
+ public:
+  QueryBuilder(std::string id, Guid owner) : b_(std::move(id), owner) {}
+
+  QueryBuilder& entity_type(std::string type) {
+    b_.what_entity_type(std::move(type));
+    return *this;
+  }
+  QueryBuilder& named(Guid entity) {
+    b_.what_named(entity);
+    return *this;
+  }
+  QueryBuilder& pattern(std::string type, std::string unit = "",
+                        std::string semantic = "") {
+    b_.what_pattern(std::move(type));
+    if (!unit.empty()) b_.unit(std::move(unit));
+    if (!semantic.empty()) b_.semantic(std::move(semantic));
+    return *this;
+  }
+  QueryBuilder& about(Guid subject) {
+    b_.about(subject);
+    return *this;
+  }
+  QueryBuilder& with_history(unsigned count) {
+    b_.with_history(count);
+    return *this;
+  }
+  QueryBuilder& in(location::LogicalPath path) {
+    b_.in(std::move(path));
+    return *this;
+  }
+  QueryBuilder& in_range(Guid range) {
+    b_.in_range(range);
+    return *this;
+  }
+  QueryBuilder& closest_to_me() {
+    b_.closest_to_me();
+    return *this;
+  }
+  QueryBuilder& closest_to(Guid entity) {
+    b_.closest_to(entity);
+    return *this;
+  }
+  QueryBuilder& relative_to(Guid entity) {
+    b_.relative_to(entity);
+    return *this;
+  }
+  QueryBuilder& when_enters(Guid entity, location::LogicalPath place) {
+    b_.when_enters(entity, std::move(place));
+    return *this;
+  }
+  QueryBuilder& not_before(double seconds) {
+    b_.not_before(seconds);
+    return *this;
+  }
+  QueryBuilder& expires_after(double seconds) {
+    b_.expires_after(seconds);
+    return *this;
+  }
+  QueryBuilder& select(SelectPolicy policy, std::string attr_key = "") {
+    b_.select(policy, std::move(attr_key));
+    return *this;
+  }
+  QueryBuilder& require(std::string key, Value equals) {
+    b_.require(std::move(key), std::move(equals));
+    return *this;
+  }
+  QueryBuilder& check_access() {
+    b_.check_access();
+    return *this;
+  }
+  QueryBuilder& fresh_within(double seconds) {
+    b_.fresh_within(seconds);
+    return *this;
+  }
+  QueryBuilder& min_confidence(double confidence) {
+    b_.min_confidence(confidence);
+    return *this;
+  }
+  QueryBuilder& mode(QueryMode m) {
+    b_.mode(m);
+    return *this;
+  }
+
+  [[nodiscard]] Query build() const { return b_.build(); }
+  [[nodiscard]] std::string to_xml() const { return b_.to_xml(); }
+
+ private:
+  Builder b_;
 };
 
 }  // namespace sci::query

@@ -1,6 +1,7 @@
 #include "range/context_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/log.h"
@@ -11,6 +12,14 @@ namespace sci::range {
 namespace {
 
 constexpr const char* kTag = "cs";
+
+// Wall-clock (not simulated) cost of a resolve stage, for view.* stats and
+// QueryHandle introspection.
+double elapsed_micros(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 Value profile_to_value(const entity::Profile& profile) {
   ValueMap map;
@@ -123,7 +132,20 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_shard_profile_mirrors_ = &metrics.counter("cs.shard.profile_mirrors");
   m_shard_sub_mirrors_ = &metrics.counter("cs.shard.sub_mirrors");
   m_shard_forwarded_ = &metrics.counter("cs.shard.forwarded_queries");
+  m_view_hits_ = &metrics.counter("view.hits");
+  m_view_misses_ = &metrics.counter("view.misses");
+  m_view_installs_ = &metrics.counter("view.installs");
+  m_view_invalidations_ = &metrics.counter("view.invalidations");
+  m_view_evictions_ = &metrics.counter("view.evictions");
+  m_view_size_ = &metrics.gauge("view.size");
+  m_view_staleness_ = &metrics.histogram("view.staleness_seconds");
   trace_ = &network_.simulator().trace();
+
+  if (config_.enable_views && config_.view_capacity > 0) {
+    views_ = std::make_unique<compose::ViewCache>(config_.view_capacity);
+    views_->set_staleness_observer(
+        [this](double age_seconds) { m_view_staleness_->observe(age_seconds); });
+  }
 
   channel_.set_epoch(config_.epoch);
   channel_.set_give_up_handler(
@@ -201,6 +223,8 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
 }
 
 ContextServer::~ContextServer() {
+  *alive_ = false;
+  for (DeferredQuery& d : deferred_) network_.simulator().cancel(d.expiry);
   beacon_timer_.reset();
   ping_timer_.reset();
   follower_.reset();
@@ -414,6 +438,7 @@ void ContextServer::on_component_message(const net::Message& message) {
       if (!body) return;
       registrar_.touch(message.from, network_.simulator().now());
       (void)profiles_.update(body->profile);
+      invalidate_views_matching(body->profile);
       hold_admit_until_committed(
           log_record(replicate::RecordKind::kProfileUpdate, message.from, 0,
                      message.payload),
@@ -571,6 +596,9 @@ Status ContextServer::admit_registration(
     registrar_.touch(component, now);
   }
   profiles_.put(body.profile, body.advertisement);
+  // A new (or re-registered) entity may belong to cached dependency ranges:
+  // views it would have joined as a candidate are stale now.
+  invalidate_views_matching(body.profile);
   return Status::ok();
 }
 
@@ -662,6 +690,16 @@ void ContextServer::ingest_publish(const entity::PublishBody& body) {
   // 2. Location Service keeps profiles current from location-bearing events.
   const auto new_location = locations_.observe(event, profiles_);
 
+  // 2b. A moved entity shifts distances: views that consulted it (as a
+  // candidate or a closest-anchor) are stale. Subject-keyed, so the update
+  // cost scales with the views depending on this entity, not with the
+  // candidate population.
+  if (new_location) {
+    if (const auto moved = event.payload.at("entity").as_guid()) {
+      invalidate_views_for_subject(*moved);
+    }
+  }
+
   // 3. Deferred-query triggers ("when Bob enters L10.01").
   if (new_location) check_triggers(event, *new_location);
 }
@@ -679,6 +717,7 @@ void ContextServer::check_triggers(const event::Event& event,
                deferred.query.id.c_str());
       query::Query ready = std::move(deferred.query);
       const Guid app = deferred.app;
+      network_.simulator().cancel(deferred.expiry);
       deferred_.erase(deferred_.begin() +
                       static_cast<std::ptrdiff_t>(i));
       ready.when = query::WhenClause{};  // constraints satisfied
@@ -836,12 +875,18 @@ void ContextServer::admit_query(query::Query q, Guid app) {
     ++stats_.queries_deferred;
     m_queries_deferred_->inc();
     const SimTime now = network_.simulator().now();
-    if (q.when.expires_after_seconds > 0.0) {
-      const std::string query_id = q.id;
+    const double expires_after = q.when.expires_after_seconds;
+    deferred_.push_back(DeferredQuery{std::move(q), app, now, {}});
+    if (expires_after > 0.0) {
+      const std::string query_id = deferred_.back().query.id;
       const Guid app_copy = app;
-      network_.simulator().schedule(
-          Duration::from_seconds_f(q.when.expires_after_seconds),
-          [this, query_id, app_copy] {
+      // The closure may outlive a fenced/destroyed server (the simulator
+      // owns it): the alive flag makes it a no-op in that case, and the
+      // handle lets cancel_query/fence/departure retire it eagerly.
+      deferred_.back().expiry = network_.simulator().schedule(
+          Duration::from_seconds_f(expires_after),
+          [this, alive = alive_, query_id, app_copy] {
+            if (!*alive) return;
             const auto it = std::find_if(
                 deferred_.begin(), deferred_.end(),
                 [&](const DeferredQuery& d) {
@@ -855,7 +900,6 @@ void ContextServer::admit_query(query::Query q, Guid app) {
                          Value());
           });
     }
-    deferred_.push_back(DeferredQuery{std::move(q), app, now});
     return;
   }
   if (q.when.not_before_seconds) {
@@ -878,8 +922,10 @@ void ContextServer::schedule_not_before(const query::Query& q, Guid app) {
   }
   ++stats_.queries_deferred;
   m_queries_deferred_->inc();
-  network_.simulator().schedule_at(
-      at, [this, ready, app] { execute_query(ready, app); });
+  network_.simulator().schedule_at(at, [this, alive = alive_, ready, app] {
+    if (!*alive) return;
+    execute_query(ready, app);
+  });
 }
 
 void ContextServer::execute_query(const query::Query& q, Guid app) {
@@ -907,29 +953,68 @@ void ContextServer::execute_profile_request(const query::Query& q, Guid app) {
     execute_context_pull(q, app);
     return;
   }
-  std::vector<Guid> candidates = find_candidates(q);
-  if (candidates.empty()) {
-    reply_result(app, q.id,
-                 make_error(ErrorCode::kNotFound, "no matching entities"),
-                 Value());
-    return;
+  const auto started = std::chrono::steady_clock::now();
+  const SimTime now = network_.simulator().now();
+  const std::string key = view_key(q);
+  std::vector<Guid> chosen;
+  bool view_hit = false;
+  if (!key.empty()) {
+    if (const compose::ViewEntry* view = views_->lookup(key)) {
+      chosen = view->selection;
+      view_hit = true;
+      m_view_hits_->inc();
+    } else {
+      m_view_misses_->inc();
+    }
   }
-  const bool selective = q.which.policy != query::SelectPolicy::kAny ||
-                         !q.which.require.empty() || q.which.check_access;
-  if (selective) {
-    auto winner = select_candidate(q, std::move(candidates));
-    if (!winner) {
-      reply_result(app, q.id, winner.error(), Value());
+  if (!view_hit) {
+    std::vector<Guid> candidates = find_candidates(q);
+    if (candidates.empty()) {
+      record_outcome(app, q.id,
+                     QueryOutcome{false, false, 0, elapsed_micros(started),
+                                  now});
+      reply_result(app, q.id,
+                   make_error(ErrorCode::kNotFound, "no matching entities"),
+                   Value());
       return;
     }
-    candidates = {*winner};
+    const bool selective = q.which.policy != query::SelectPolicy::kAny ||
+                           !q.which.require.empty() || q.which.check_access;
+    // Everything consulted during selection is a view dependency.
+    const std::vector<Guid> consulted = candidates;
+    if (selective) {
+      auto winner = select_candidate(q, std::move(candidates));
+      if (!winner) {
+        record_outcome(app, q.id,
+                       QueryOutcome{false, false, 0, elapsed_micros(started),
+                                    now});
+        reply_result(app, q.id, winner.error(), Value());
+        return;
+      }
+      chosen = {*winner};
+    } else {
+      chosen = std::move(candidates);
+    }
+    if (!key.empty()) {
+      compose::ViewEntry entry;
+      entry.key = key;
+      entry.selection = chosen;
+      entry.deps = view_deps_for(q, consulted);
+      entry.built_at = now;
+      install_view(std::move(entry));
+    }
   }
+  // Render from *current* profiles — views cache the selection, never the
+  // rendered payload, so a hit can never serve stale attribute values.
   ValueList profiles;
-  for (const Guid id : candidates) {
+  for (const Guid id : chosen) {
     if (const entity::Profile* p = profiles_.profile(id); p != nullptr) {
       profiles.push_back(profile_to_value(*p));
     }
   }
+  record_outcome(app, q.id,
+                 QueryOutcome{view_hit, true, 0, elapsed_micros(started),
+                              now});
   reply_result(app, q.id, Error(), Value(std::move(profiles)));
 }
 
@@ -978,19 +1063,55 @@ void ContextServer::execute_context_pull(const query::Query& q, Guid app) {
 
 void ContextServer::execute_advertisement_request(const query::Query& q,
                                                   Guid app) {
-  auto winner = select_candidate(q, find_candidates(q));
+  const auto started = std::chrono::steady_clock::now();
+  const SimTime now = network_.simulator().now();
+  const std::string key = view_key(q);
+  std::optional<Guid> winner;
+  bool view_hit = false;
+  if (!key.empty()) {
+    if (const compose::ViewEntry* view = views_->lookup(key);
+        view != nullptr && !view->selection.empty()) {
+      winner = view->selection.front();
+      view_hit = true;
+      m_view_hits_->inc();
+    } else {
+      m_view_misses_->inc();
+    }
+  }
   if (!winner) {
-    reply_result(app, q.id, winner.error(), Value());
-    return;
+    std::vector<Guid> candidates = find_candidates(q);
+    const std::vector<Guid> consulted = candidates;
+    auto selected = select_candidate(q, std::move(candidates));
+    if (!selected) {
+      record_outcome(app, q.id,
+                     QueryOutcome{false, false, 0, elapsed_micros(started),
+                                  now});
+      reply_result(app, q.id, selected.error(), Value());
+      return;
+    }
+    winner = *selected;
+    if (!key.empty()) {
+      compose::ViewEntry entry;
+      entry.key = key;
+      entry.selection = {*winner};
+      entry.deps = view_deps_for(q, consulted);
+      entry.built_at = now;
+      install_view(std::move(entry));
+    }
   }
   const entity::Advertisement* ad = profiles_.advertisement(*winner);
   if (ad == nullptr) {
+    record_outcome(app, q.id,
+                   QueryOutcome{view_hit, false, 0, elapsed_micros(started),
+                                now});
     reply_result(app, q.id,
                  make_error(ErrorCode::kNotFound,
                             "selected entity has no advertisement"),
                  Value());
     return;
   }
+  // Attributes, name and location render from live profile state: the view
+  // pins only *which* entity answers.
   ValueMap result;
   result.emplace("entity", *winner);
   result.emplace("service", ad->service);
@@ -1002,34 +1123,76 @@ void ContextServer::execute_advertisement_request(const query::Query& q,
     result.emplace("name", p->name);
     result.emplace("location", p->location.to_value());
   }
+  record_outcome(app, q.id,
+                 QueryOutcome{view_hit, true, 0, elapsed_micros(started),
+                              now});
   reply_result(app, q.id, Error(), Value(std::move(result)));
 }
 
 void ContextServer::execute_subscription(const query::Query& q, Guid app,
                                          bool one_time) {
+  const auto started = std::chrono::steady_clock::now();
+  const SimTime sim_now = network_.simulator().now();
   // Named-entity and entity-type subscriptions bind directly to the chosen
   // entity's output events; pattern subscriptions go through composition.
   if (q.what.kind != query::WhatKind::kPattern) {
-    auto winner = select_candidate(q, find_candidates(q));
+    const std::string key = view_key(q);
+    std::optional<Guid> winner;
+    bool view_hit = false;
+    if (!key.empty()) {
+      if (const compose::ViewEntry* view = views_->lookup(key);
+          view != nullptr && !view->selection.empty()) {
+        winner = view->selection.front();
+        view_hit = true;
+        m_view_hits_->inc();
+      } else {
+        m_view_misses_->inc();
+      }
+    }
     if (!winner) {
-      reply_result(app, q.id, winner.error(), Value());
-      return;
+      std::vector<Guid> candidates = find_candidates(q);
+      const std::vector<Guid> consulted = candidates;
+      auto selected = select_candidate(q, std::move(candidates));
+      if (!selected) {
+        record_outcome(app, q.id,
+                       QueryOutcome{false, false, 0, elapsed_micros(started),
+                                    sim_now});
+        reply_result(app, q.id, selected.error(), Value());
+        return;
+      }
+      winner = *selected;
+      if (!key.empty()) {
+        compose::ViewEntry entry;
+        entry.key = key;
+        entry.selection = {*winner};
+        entry.deps = view_deps_for(q, consulted);
+        entry.built_at = sim_now;
+        install_view(std::move(entry));
+      }
     }
     const entity::Profile* profile = profiles_.profile(*winner);
     SCI_ASSERT(profile != nullptr);
     if (profile->outputs.empty()) {
+      record_outcome(app, q.id,
+                     QueryOutcome{view_hit, false, 0, elapsed_micros(started),
+                                  sim_now});
       reply_result(app, q.id,
                    make_error(ErrorCode::kUnresolvable,
                               profile->name + " produces no events"),
                    Value());
       return;
     }
+    // A view hit still mints a fresh tag and wires live subscriptions: the
+    // view pins the selection, not the delivery plumbing.
     const std::uint64_t tag = next_tag_++;
     for (const entity::TypeSig& sig : profile->outputs) {
       const event::SubscriptionId sub =
           mediator_.subscribe(app, *winner, sig.name, {}, one_time, tag);
       mirror_subscription_if_remote(sub);
     }
+    record_outcome(app, q.id,
+                   QueryOutcome{view_hit, true, tag, elapsed_micros(started),
+                                sim_now});
     ValueMap result;
     result.emplace("entity", *winner);
     result.emplace("config", static_cast<std::int64_t>(tag));
@@ -1037,16 +1200,23 @@ void ContextServer::execute_subscription(const query::Query& q, Guid app,
     return;
   }
 
+  const std::uint64_t view_hits_before =
+      views_ != nullptr ? views_->stats().hits : 0;
   auto tag = build_configuration(q, app, one_time);
+  const bool view_hit =
+      views_ != nullptr && views_->stats().hits > view_hits_before;
   if (!tag) {
     if (tag.error().code() == ErrorCode::kUnresolvable) {
       // Park: a source may arrive later (robustness under churn).
       pending_.push_back(
-          DeferredQuery{q, app, network_.simulator().now()});
+          DeferredQuery{q, app, network_.simulator().now(), {}});
       SCI_DEBUG(kTag, "%s: query %s parked (unresolvable now)",
                 config_.name.c_str(), q.id.c_str());
       return;
     }
+    record_outcome(app, q.id,
+                   QueryOutcome{view_hit, false, 0, elapsed_micros(started),
+                                sim_now});
     reply_result(app, q.id, tag.error(), Value());
     return;
   }
@@ -1058,7 +1228,8 @@ void ContextServer::execute_subscription(const query::Query& q, Guid app,
     const Guid app_copy = app;
     network_.simulator().schedule(
         Duration::from_seconds_f(q.when.expires_after_seconds),
-        [this, expiring_tag, query_id, app_copy] {
+        [this, alive = alive_, expiring_tag, query_id, app_copy] {
+          if (!*alive) return;
           if (store_.find(expiring_tag) == nullptr) return;  // already gone
           retire_configuration(expiring_tag);
           reply_result(app_copy, query_id,
@@ -1070,6 +1241,9 @@ void ContextServer::execute_subscription(const query::Query& q, Guid app,
 
   const compose::ActiveConfiguration* active = store_.find(*tag);
   SCI_ASSERT(active != nullptr);
+  record_outcome(app, q.id,
+                 QueryOutcome{view_hit, true, *tag, elapsed_micros(started),
+                              sim_now});
   ValueMap result;
   result.emplace("config", static_cast<std::int64_t>(*tag));
   result.emplace("sink", active->plan.sink);
@@ -1313,9 +1487,49 @@ Expected<std::uint64_t> ContextServer::build_configuration(
     const query::Query& q, Guid app, bool one_time) {
   const std::uint64_t tag = next_tag_++;
   const compose::ResolveRequest request = resolve_request_for(q, tag);
-  // Compose over non-application profiles only (including, on a shard, the
-  // profiles mirrored in from sibling shards).
-  SCI_TRY_ASSIGN(plan, resolver_.resolve(request, composable_profiles()));
+  const std::string key = view_key(q);
+  compose::ConfigurationPlan plan;
+  bool view_hit = false;
+  if (!key.empty()) {
+    if (const compose::ViewEntry* view = views_->lookup(key);
+        view != nullptr && view->plan.has_value()) {
+      // Reuse the materialized composition graph under a fresh tag: the
+      // wiring below (admit, configure, subscriptions) still runs live.
+      plan = *view->plan;
+      plan.tag = tag;
+      view_hit = true;
+      m_view_hits_->inc();
+    } else {
+      m_view_misses_->inc();
+    }
+  }
+  if (!view_hit) {
+    // Compose over non-application profiles only (including, on a shard,
+    // the profiles mirrored in from sibling shards).
+    SCI_TRY_ASSIGN(resolved,
+                   resolver_.resolve(request, composable_profiles()));
+    plan = std::move(resolved);
+    if (!key.empty()) {
+      compose::ViewEntry entry;
+      entry.key = key;
+      entry.plan = plan;  // cached tag is re-stamped on every reuse
+      // The plan depends on every entity in its graph, on the requested
+      // type, and on the input signatures its entities consume — a new
+      // producer of any of those could re-shape the composition.
+      entry.deps.subjects = plan.entities;
+      entry.deps.types.push_back(request.requested);
+      for (const Guid id : plan.entities) {
+        if (const entity::Profile* p = profiles_.profile(id); p != nullptr) {
+          for (const entity::TypeSig& input : p->inputs) {
+            entry.deps.types.push_back(
+                compose::RequestedType::from_sig(input));
+          }
+        }
+      }
+      entry.built_at = network_.simulator().now();
+      install_view(std::move(entry));
+    }
+  }
 
   compose::ActiveConfiguration active;
   active.plan = plan;
@@ -1369,7 +1583,22 @@ void ContextServer::configure_entities(const compose::ConfigurationPlan& plan) {
 
 void ContextServer::retire_configuration(std::uint64_t tag) {
   const compose::ActiveConfiguration* active = store_.find(tag);
-  if (active == nullptr) return;
+  if (active == nullptr) {
+    // Direct (non-pattern) subscriptions own a tag but no stored plan:
+    // retiring one means dropping its mediator entries. Logged so a
+    // standby's table unwinds identically; double-retire is a no-op.
+    std::vector<event::SubscriptionId> direct;
+    for (const event::Subscription& s : mediator_.table().all()) {
+      if (s.owner_tag == tag) direct.push_back(s.id);
+    }
+    if (direct.empty()) return;
+    log_record(replicate::RecordKind::kConfigRetire, Guid(), tag, {});
+    for (const event::SubscriptionId id : direct) {
+      drop_mirror(id);
+      (void)mediator_.unsubscribe(id);
+    }
+    return;
+  }
   log_record(replicate::RecordKind::kConfigRetire, active->app, tag, {});
   // Unconfigure parameterised entities first.
   for (const auto& [entity_id, params] : active->plan.params) {
@@ -1419,16 +1648,25 @@ void ContextServer::departure(Guid component, bool failure) {
       if (tracked.app == component) owned.push_back(tag);
     }
     for (const std::uint64_t tag : owned) retire_configuration(tag);
-    // Parked/deferred queries from this app die with it.
+    // Parked/deferred queries from this app die with it (expiry timers
+    // included — their closures must not fire for a gone app).
     std::erase_if(pending_, [&](const DeferredQuery& d) {
       return d.app == component;
     });
     std::erase_if(deferred_, [&](const DeferredQuery& d) {
-      return d.app == component;
+      if (d.app != component) return false;
+      network_.simulator().cancel(d.expiry);
+      return true;
     });
   } else {
     mediator_.remove_producer(component);
     recompose_after_loss(component);
+  }
+  // Views that consulted the departed entity must re-select; match against
+  // the profile before it is dropped.
+  if (const entity::Profile* old = profiles_.profile(component);
+      old != nullptr) {
+    invalidate_views_matching(*old);
   }
   (void)profiles_.remove(component);
 }
@@ -1455,7 +1693,7 @@ void ContextServer::recompose_after_loss(Guid lost_entity) {
                    Value());
       // Park for retry when new sources arrive.
       pending_.push_back(DeferredQuery{tracked.query, tracked.app,
-                                       network_.simulator().now()});
+                                       network_.simulator().now(), {}});
       continue;
     }
     ++stats_.recompositions;
@@ -1543,6 +1781,168 @@ void ContextServer::ping_tick() {
 }
 
 // ---------------------------------------------------------------------------
+// materialized views (docs/VIEWS.md)
+
+std::string ContextServer::view_key(const query::Query& q) const {
+  if (views_ == nullptr) return {};
+  // Time-dependent acceptance: registrar freshness decays without any
+  // invalidating delta, so freshness-contract queries always recompute.
+  if (q.which.fresh_within_seconds > 0.0) return {};
+  // Context pulls read the store (not a selection); subject-parameterised
+  // patterns take sink params from live locations at resolve time.
+  if (q.what.kind == query::WhatKind::kPattern && q.what.subject) return {};
+  if (q.what.history > 0) return {};
+
+  // Binary key over the normalized what/where/which (+ mode). The owner is
+  // folded in only where it matters: as the resolved closest-anchor, and
+  // under check_access (keyholder semantics are per-owner).
+  serde::Writer w(64);
+  w.u8(static_cast<std::uint8_t>(q.mode));
+  w.u8(static_cast<std::uint8_t>(q.what.kind));
+  w.string(q.what.entity_type);
+  entity::write_guid(w, q.what.named);
+  w.string(q.what.type);
+  w.string(q.what.unit);
+  w.string(q.what.semantic);
+  w.string(q.where.explicit_path ? q.where.explicit_path->to_string() : "");
+  w.boolean(q.where.closest);
+  const bool anchored = q.where.closest || q.where.relative_to.has_value();
+  entity::write_guid(
+      w, anchored ? q.where.relative_to.value_or(q.owner) : Guid());
+  w.u8(static_cast<std::uint8_t>(q.which.policy));
+  w.string(q.which.attr_key);
+  w.varint(q.which.require.size());
+  for (const query::Requirement& require : q.which.require) {
+    w.string(require.key);
+    require.equals.encode(w);
+  }
+  w.boolean(q.which.check_access);
+  entity::write_guid(w, q.which.check_access ? q.owner : Guid());
+  w.f64(q.which.min_confidence);
+  const auto& bytes = w.bytes();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+compose::ViewDeps ContextServer::view_deps_for(
+    const query::Query& q, const std::vector<Guid>& consulted) const {
+  compose::ViewDeps deps;
+  deps.subjects = consulted;
+  if (q.what.kind == query::WhatKind::kNamedEntity) {
+    deps.subjects.push_back(q.what.named);
+  }
+  if (q.where.closest || q.where.relative_to) {
+    // The anchor's movement changes distances even when no candidate moved.
+    deps.subjects.push_back(q.where.relative_to.value_or(q.owner));
+  }
+  switch (q.what.kind) {
+    case query::WhatKind::kEntityType:
+      deps.entity_types.push_back(q.what.entity_type);
+      break;
+    case query::WhatKind::kPattern:
+      deps.types.push_back(
+          compose::RequestedType{q.what.type, q.what.unit, q.what.semantic});
+      break;
+    case query::WhatKind::kNamedEntity:
+      break;
+  }
+  return deps;
+}
+
+void ContextServer::install_view(compose::ViewEntry entry) {
+  if (views_ == nullptr) return;
+  const std::uint64_t evictions_before = views_->stats().evictions;
+  views_->install(std::move(entry));
+  m_view_installs_->inc();
+  if (views_->stats().evictions > evictions_before) {
+    m_view_evictions_->inc(views_->stats().evictions - evictions_before);
+  }
+  m_view_size_->set(static_cast<double>(views_->size()));
+}
+
+void ContextServer::invalidate_views_for_subject(Guid subject) {
+  if (views_ == nullptr) return;
+  const std::size_t dropped =
+      views_->invalidate_subject(subject, network_.simulator().now());
+  if (dropped == 0) return;
+  note_view_drops(dropped);
+  // Subject-keyed drops ride the replication log so view maintenance is
+  // explicit on the wire (docs/VIEWS.md); a log-following standby applies
+  // it idempotently on top of its own shared-path invalidation.
+  log_record(replicate::RecordKind::kViewInvalidate, subject, dropped, {});
+}
+
+void ContextServer::invalidate_views_matching(const entity::Profile& profile) {
+  if (views_ == nullptr) return;
+  note_view_drops(views_->invalidate_matching(
+      profile, profiles_.advertisement(profile.entity), *semantics_,
+      config_.strict_syntactic, network_.simulator().now()));
+}
+
+void ContextServer::note_view_drops(std::size_t dropped) {
+  if (dropped == 0 || views_ == nullptr) return;
+  m_view_invalidations_->inc(dropped);
+  m_view_size_->set(static_cast<double>(views_->size()));
+}
+
+void ContextServer::record_outcome(Guid app, const std::string& query_id,
+                                   QueryOutcome outcome) {
+  // FIFO-bounded: introspection covers recent queries, not all history.
+  constexpr std::size_t kMaxOutcomes = 512;
+  const auto key = std::make_pair(app, query_id);
+  if (query_outcomes_.insert_or_assign(key, outcome).second) {
+    outcome_order_.push_back(key);
+    while (outcome_order_.size() > kMaxOutcomes) {
+      query_outcomes_.erase(outcome_order_.front());
+      outcome_order_.pop_front();
+    }
+  }
+}
+
+std::optional<ContextServer::QueryOutcome> ContextServer::query_outcome(
+    Guid app, const std::string& query_id) const {
+  const auto it = query_outcomes_.find(std::make_pair(app, query_id));
+  if (it == query_outcomes_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ContextServer::cancel_query(Guid app, const std::string& query_id) {
+  bool cancelled = false;
+  // Composed configurations owned by this query.
+  std::vector<std::uint64_t> owned;
+  for (const auto& [tag, tracked] : tracked_) {
+    if (tracked.app == app && tracked.query.id == query_id) {
+      owned.push_back(tag);
+    }
+  }
+  for (const std::uint64_t tag : owned) {
+    retire_configuration(tag);
+    cancelled = true;
+  }
+  // Direct (non-pattern) subscriptions: the recorded outcome names the tag.
+  if (const auto outcome = query_outcome(app, query_id);
+      outcome && outcome->config_tag != 0 &&
+      tracked_.find(outcome->config_tag) == tracked_.end()) {
+    const std::size_t before = mediator_.table().size();
+    retire_configuration(outcome->config_tag);
+    cancelled = cancelled || mediator_.table().size() != before;
+  }
+  // Deferred trigger watches (and their expiry timers) and parked retries.
+  std::erase_if(deferred_, [&](DeferredQuery& d) {
+    if (d.app != app || d.query.id != query_id) return false;
+    network_.simulator().cancel(d.expiry);
+    cancelled = true;
+    return true;
+  });
+  std::erase_if(pending_, [&](const DeferredQuery& d) {
+    if (d.app != app || d.query.id != query_id) return false;
+    cancelled = true;
+    return true;
+  });
+  return cancelled;
+}
+
+// ---------------------------------------------------------------------------
 // sharding (docs/SHARDING.md)
 
 void ContextServer::broadcast_profile_mirror(Guid subject) {
@@ -1592,6 +1992,9 @@ void ContextServer::ingest_shard_profile(
     ad = std::move(*decoded);
   }
   profiles_.put(*profile, std::move(ad));
+  // Mirror-record ingestion feeds the same invalidation path as a local
+  // profile change: a sibling shard's entity is a composition source here.
+  invalidate_views_matching(*profile);
 }
 
 void ContextServer::handle_shard_profile(const net::Message& message) {
@@ -1609,9 +2012,17 @@ void ContextServer::handle_shard_profile_remove(const net::Message& message) {
   auto subject = entity::read_guid(r);
   if (!subject) return;
   log_record(replicate::RecordKind::kShardDrop, *subject, 0, {});
-  mediator_.remove_producer(*subject);
-  (void)profiles_.remove(*subject);
-  recompose_after_loss(*subject);
+  ingest_shard_drop(*subject);
+}
+
+void ContextServer::ingest_shard_drop(Guid subject) {
+  mediator_.remove_producer(subject);
+  if (const entity::Profile* old = profiles_.profile(subject);
+      old != nullptr) {
+    invalidate_views_matching(*old);
+  }
+  (void)profiles_.remove(subject);
+  recompose_after_loss(subject);
 }
 
 void ContextServer::ingest_shard_subscribe(
@@ -1850,6 +2261,7 @@ void ContextServer::apply_record(const replicate::LogRecord& record) {
       if (!body) return;
       registrar_.touch(record.subject, now);
       (void)profiles_.update(body->profile);
+      invalidate_views_matching(body->profile);
       return;
     }
     case replicate::RecordKind::kLeaseRenew:
@@ -1879,15 +2291,22 @@ void ContextServer::apply_record(const replicate::LogRecord& record) {
       if (config_.rebind_on_arrival) rebind_after_arrival();
       return;
     case replicate::RecordKind::kShardDrop:
-      mediator_.remove_producer(record.subject);
-      (void)profiles_.remove(record.subject);
-      recompose_after_loss(record.subject);
+      ingest_shard_drop(record.subject);
       return;
     case replicate::RecordKind::kShardSubscribe:
       ingest_shard_subscribe(record.payload);
       return;
     case replicate::RecordKind::kShardUnsubscribe:
       (void)mediator_.unsubscribe(record.flag);
+      return;
+    case replicate::RecordKind::kViewInvalidate:
+      // Belt-and-braces: the shared ingest/admit paths above already drop
+      // the same views while replaying their records, so this second drop
+      // is an idempotent no-op on a log-following standby. It exists so
+      // view-table maintenance is explicit on the wire (docs/VIEWS.md).
+      if (views_ != nullptr) {
+        note_view_drops(views_->invalidate_subject(record.subject, now));
+      }
       return;
   }
   SCI_DEBUG(kTag, "%s: unknown replication record kind %u",
@@ -2048,6 +2467,11 @@ std::vector<std::byte> ContextServer::snapshot_state() const {
     entity::write_guid(w, mirror.subscriber);
   }
 
+  // Materialized view table (docs/VIEWS.md), at the very end: a promoted
+  // standby starts with warm views instead of a cold re-resolve storm.
+  w.boolean(views_ != nullptr);
+  if (views_ != nullptr) views_->encode(w);
+
   return w.take();
 }
 
@@ -2068,6 +2492,7 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
   publish_seen_.clear();
   recent_events_.clear();
   mirrored_subs_.clear();
+  if (views_ != nullptr) views_->clear();
 
   const Status applied = [&]() -> Status {
     serde::Reader r(blob);
@@ -2220,7 +2645,7 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
         auto parsed = query::Query::parse(xml);
         if (!parsed) return parsed.error();
         list->push_back(DeferredQuery{std::move(*parsed), app,
-                                      SimTime::from_micros(stored_at)});
+                                      SimTime::from_micros(stored_at), {}});
       }
     }
 
@@ -2250,6 +2675,12 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
       SCI_TRY_ASSIGN(remote, entity::read_guid(r));
       SCI_TRY_ASSIGN(subscriber, entity::read_guid(r));
       mirrored_subs_[id] = MirroredSub{remote, subscriber};
+    }
+
+    SCI_TRY_ASSIGN(has_views, r.boolean());
+    if (has_views && views_ != nullptr) {
+      SCI_TRY(views_->decode(r));
+      m_view_size_->set(static_cast<double>(views_->size()));
     }
     return Status::ok();
   }();
@@ -2378,6 +2809,11 @@ void ContextServer::fence() {
   SCI_INFO(kTag, "%s: fencing %s (epoch %u)", config_.name.c_str(),
            attached_as_.short_string().c_str(), config_.epoch);
   fenced_ = true;
+  // Deferred-execution closures (expiry timers, not-before schedules) must
+  // never run against a fenced instance: cancel what we can reach and flip
+  // the liveness flag for the rest.
+  *alive_ = false;
+  for (DeferredQuery& d : deferred_) network_.simulator().cancel(d.expiry);
   beacon_timer_.reset();
   ping_timer_.reset();
   discovering_ = false;

@@ -30,6 +30,7 @@
 #include "compose/resolver.h"
 #include "compose/semantics.h"
 #include "compose/store.h"
+#include "compose/views.h"
 #include "entity/protocol.h"
 #include "event/event.h"
 #include "net/network.h"
@@ -86,6 +87,11 @@ struct RangeConfig {
   bool enable_reuse = true;       // Solar-style subgraph sharing (A4 ablation)
   bool strict_syntactic = false;  // iQueue-style matching (A3 ablation)
   bool rebind_on_arrival = true;  // recompose when better sources arrive
+  // Materialized context views (docs/VIEWS.md): repeated queries are served
+  // from per-shard view tables maintained incrementally by environment
+  // deltas instead of re-running selection/resolution.
+  bool enable_views = true;
+  std::size_t view_capacity = 256;
   // Access-control group: queries are only forwarded between ranges of the
   // same group (paper §3).
   int group = 0;
@@ -308,6 +314,27 @@ class ContextServer {
   [[nodiscard]] std::size_t pending_queries() const {
     return pending_.size();
   }
+  // Materialized view table (nullptr when RangeConfig::enable_views is off).
+  [[nodiscard]] const compose::ViewCache* views() const {
+    return views_.get();
+  }
+
+  // --- query lifecycle (QueryHandle support) -------------------------------
+  // How the most recent admission of (app, query_id) was answered. Retained
+  // for a bounded number of recent queries.
+  struct QueryOutcome {
+    bool view_hit = false;   // served from a materialized view
+    bool answered = false;   // a result/subscription was produced
+    std::uint64_t config_tag = 0;  // owning configuration (0 = none)
+    double resolve_micros = 0.0;   // wall-clock cost of the resolve stage
+    SimTime at = SimTime::zero();  // when the outcome was recorded
+  };
+  [[nodiscard]] std::optional<QueryOutcome> query_outcome(
+      Guid app, const std::string& query_id) const;
+  // Tears down whatever (app, query_id) left behind: tracked configurations
+  // and their subscriptions, deferred trigger watches, parked pending
+  // retries. Returns true when anything was cancelled.
+  bool cancel_query(Guid app, const std::string& query_id);
 
   // --- sharding (docs/SHARDING.md) ----------------------------------------
   // Serving a slice of a partitioned Range (shard_map with size > 1).
@@ -430,6 +457,29 @@ class ContextServer {
   // cover profiles mirrored in from sibling shards.
   [[nodiscard]] std::vector<Guid> composable_entities() const;
   [[nodiscard]] std::vector<entity::Profile> composable_profiles() const;
+  // Decode-and-apply half of handle_shard_profile_remove, shared with
+  // apply_record kShardDrop.
+  void ingest_shard_drop(Guid subject);
+
+  // --- materialized views (docs/VIEWS.md) ----------------------------------
+  // Normalized cache key for a query after owner-relative anchoring, or ""
+  // when the query is not view-cacheable (freshness contracts, context
+  // pulls, subject-parameterised patterns).
+  [[nodiscard]] std::string view_key(const query::Query& q) const;
+  // Dependency set shared by every view of `q`: the requested type /
+  // service name, plus the concrete anchor entity.
+  [[nodiscard]] compose::ViewDeps view_deps_for(
+      const query::Query& q, const std::vector<Guid>& consulted) const;
+  void install_view(compose::ViewEntry entry);
+  // Invalidation fan-in: every environment delta lands on one of these two.
+  // Both run identically on primary and standby (hooks live in the shared
+  // ingest/admit paths); the primary additionally logs kViewInvalidate for
+  // subject-keyed drops so log-following standbys track warm-view state.
+  void invalidate_views_for_subject(Guid subject);
+  void invalidate_views_matching(const entity::Profile& profile);
+  void note_view_drops(std::size_t dropped);
+  void record_outcome(Guid app, const std::string& query_id,
+                      QueryOutcome outcome);
 
   // --- replication ---------------------------------------------------------
   // Appends a record to the replication log when one exists (primary with
@@ -486,6 +536,9 @@ class ContextServer {
     query::Query query;
     Guid app;
     SimTime stored_at;
+    // Expiry timer, cancelled when the query fires, is cancelled, or the
+    // server is fenced/destroyed (the closure would otherwise outlive us).
+    sim::TimerHandle expiry;
   };
   std::vector<DeferredQuery> deferred_;
   // Subscription queries that could not be resolved yet (waiting for
@@ -499,6 +552,17 @@ class ContextServer {
   std::unordered_map<std::uint64_t, event::SubscriptionId> app_edges_;
   // Per-configuration originating query (for recomposition).
   std::unordered_map<std::uint64_t, TrackedQuery> tracked_;
+
+  // Materialized view table (docs/VIEWS.md); nullptr when disabled.
+  std::unique_ptr<compose::ViewCache> views_;
+  // Recent query outcomes for QueryHandle introspection, FIFO-bounded.
+  std::map<std::pair<Guid, std::string>, QueryOutcome> query_outcomes_;
+  std::deque<std::pair<Guid, std::string>> outcome_order_;
+  // Shared liveness flag captured by deferred-execution closures (expiry
+  // timers, not-before schedules): set false on fence()/destruction so a
+  // closure that outlives this server returns instead of touching freed
+  // state (same bug class as the PR 4 ElectionAgent use-after-free).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   // Deployment-registry instruments mirroring ServerStats (interned once in
   // the constructor; every increment below is pointer-chased, not looked up).
@@ -517,6 +581,13 @@ class ContextServer {
   obs::Counter* m_events_in_ = nullptr;
   obs::Counter* m_delivery_dead_letters_ = nullptr;
   obs::Counter* m_dead_letters_ = nullptr;
+  obs::Counter* m_view_hits_ = nullptr;
+  obs::Counter* m_view_misses_ = nullptr;
+  obs::Counter* m_view_installs_ = nullptr;
+  obs::Counter* m_view_invalidations_ = nullptr;
+  obs::Counter* m_view_evictions_ = nullptr;
+  obs::Gauge* m_view_size_ = nullptr;
+  obs::Histogram* m_view_staleness_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
 
   std::uint64_t next_tag_ = 1;

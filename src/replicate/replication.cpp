@@ -55,6 +55,8 @@ const char* to_string(RecordKind kind) {
       return "shard_unsubscribe";
     case RecordKind::kShardDrop:
       return "shard_drop";
+    case RecordKind::kViewInvalidate:
+      return "view_invalidate";
   }
   return "unknown";
 }

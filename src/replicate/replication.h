@@ -88,6 +88,7 @@ enum class RecordKind : std::uint8_t {
   kShardSubscribe = 10,   // cross-shard subscription installed here
   kShardUnsubscribe = 11, // cross-shard subscription torn down
   kShardDrop = 12,        // sibling shard's departure mirror (profile + subs)
+  kViewInvalidate = 13,   // materialized-view invalidation (subject-keyed)
 };
 const char* to_string(RecordKind kind);
 

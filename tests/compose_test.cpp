@@ -7,6 +7,7 @@
 #include "compose/resolver.h"
 #include "compose/semantics.h"
 #include "compose/store.h"
+#include "compose/views.h"
 #include "entity/sensors.h"
 
 namespace sci::compose {
@@ -357,6 +358,152 @@ TEST(ConfigurationStoreTest, OneTimeFlagAndFindRoundTrip) {
   EXPECT_EQ(active->query_id, "q7");
   EXPECT_EQ(active->app, guid_of(90));
   EXPECT_EQ(store.find(8), nullptr);
+}
+
+// ------------------------------------------------------------- views
+
+ViewEntry make_view(std::string key, std::vector<Guid> subjects,
+                    SimTime built_at = SimTime::zero()) {
+  ViewEntry entry;
+  entry.key = std::move(key);
+  entry.selection = subjects;
+  entry.deps.subjects = std::move(subjects);
+  entry.built_at = built_at;
+  return entry;
+}
+
+TEST(ViewCacheTest, InstallLookupAndStats) {
+  ViewCache cache(4);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  cache.install(make_view("a", {guid_of(1)}));
+  const ViewEntry* view = cache.lookup("a");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->key, "a");
+  ASSERT_EQ(view->selection.size(), 1u);
+  EXPECT_EQ(view->selection[0], guid_of(1));
+  EXPECT_EQ(view->hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().installs, 1u);
+}
+
+TEST(ViewCacheTest, EvictsLeastRecentlyUsed) {
+  ViewCache cache(2);
+  cache.install(make_view("a", {guid_of(1)}));
+  cache.install(make_view("b", {guid_of(2)}));
+  ASSERT_NE(cache.lookup("a"), nullptr);  // "b" is now the LRU entry
+  cache.install(make_view("c", {guid_of(3)}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Re-installing an existing key replaces in place, no eviction.
+  cache.install(make_view("a", {guid_of(9)}));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ViewCacheTest, InvalidateSubjectDropsDependentViewsOnly) {
+  ViewCache cache(8);
+  cache.install(make_view("a", {guid_of(1), guid_of(2)}));
+  cache.install(make_view("b", {guid_of(3)}));
+  EXPECT_EQ(cache.invalidate_subject(guid_of(2), SimTime::zero()), 1u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("b"), nullptr);
+  EXPECT_EQ(cache.invalidate_subject(guid_of(2), SimTime::zero()), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ViewCacheTest, InvalidateMatchingByTypeAndServiceName) {
+  SemanticRegistry registry;
+  ViewCache cache(8);
+  ViewEntry by_type = make_view("t", {});
+  by_type.deps.types.push_back(RequestedType{"temperature", "celsius", ""});
+  cache.install(std::move(by_type));
+  ViewEntry by_service = make_view("s", {});
+  by_service.deps.entity_types.push_back("printing");
+  cache.install(std::move(by_service));
+
+  // A new fahrenheit thermometer matches the celsius request semantically.
+  Profile thermo = make_profile(7, {}, {{"temperature", "fahrenheit", ""}});
+  EXPECT_EQ(cache.invalidate_matching(thermo, nullptr, registry,
+                                      /*strict_syntactic=*/false,
+                                      SimTime::zero()),
+            1u);
+  EXPECT_EQ(cache.lookup("t"), nullptr);
+  EXPECT_NE(cache.lookup("s"), nullptr);
+
+  // A new printer (by advertised service) matches the entity-type view.
+  Profile printer = make_profile(8, {}, {});
+  entity::Advertisement ad;
+  ad.service = "printing";
+  EXPECT_EQ(cache.invalidate_matching(printer, &ad, registry, false,
+                                      SimTime::zero()),
+            1u);
+  EXPECT_EQ(cache.lookup("s"), nullptr);
+
+  // An unrelated profile invalidates nothing.
+  Profile humidity = make_profile(9, {}, {{"humidity", "", ""}});
+  cache.install(make_view("u", {guid_of(1)}));
+  EXPECT_EQ(cache.invalidate_matching(humidity, nullptr, registry, false,
+                                      SimTime::zero()),
+            0u);
+}
+
+TEST(ViewCacheTest, StalenessObserverSeesViewAge) {
+  ViewCache cache(4);
+  std::vector<double> ages;
+  cache.set_staleness_observer([&](double age) { ages.push_back(age); });
+  cache.install(make_view("a", {guid_of(1)}, SimTime::from_micros(1'000'000)));
+  cache.invalidate_subject(guid_of(1), SimTime::from_micros(3'500'000));
+  ASSERT_EQ(ages.size(), 1u);
+  EXPECT_DOUBLE_EQ(ages[0], 2.5);
+}
+
+TEST(ViewCacheTest, EncodeDecodeRoundTripsEntries) {
+  ViewCache cache(8);
+  ViewEntry entry = make_view("k1", {guid_of(1), guid_of(2)},
+                              SimTime::from_micros(42));
+  entry.deps.types.push_back(RequestedType{"temperature", "celsius", "amb"});
+  entry.deps.entity_types.push_back("printing");
+  cache.install(std::move(entry));
+  ConfigurationPlan plan = tiny_plan(5, 3, {});
+  ViewEntry with_plan = make_view("k2", {guid_of(3)});
+  with_plan.plan = plan;
+  cache.install(std::move(with_plan));
+
+  serde::Writer w(64);
+  cache.encode(w);
+  serde::Reader r(w.bytes());
+  ViewCache copy(8);
+  ASSERT_TRUE(copy.decode(r).is_ok());
+  EXPECT_EQ(copy.size(), 2u);
+  const ViewEntry* k1 = copy.lookup("k1");
+  ASSERT_NE(k1, nullptr);
+  EXPECT_EQ(k1->selection, (std::vector<Guid>{guid_of(1), guid_of(2)}));
+  EXPECT_EQ(k1->built_at, SimTime::from_micros(42));
+  ASSERT_EQ(k1->deps.types.size(), 1u);
+  EXPECT_EQ(k1->deps.types[0].unit, "celsius");
+  EXPECT_EQ(k1->deps.entity_types,
+            (std::vector<std::string>{"printing"}));
+  const ViewEntry* k2 = copy.lookup("k2");
+  ASSERT_NE(k2, nullptr);
+  ASSERT_TRUE(k2->plan.has_value());
+  EXPECT_EQ(k2->plan->sink, plan.sink);
+  EXPECT_EQ(k2->plan->entities, plan.entities);
+}
+
+TEST(ViewCacheTest, DecodeRespectsSmallerCapacity) {
+  ViewCache cache(8);
+  for (int i = 0; i < 6; ++i) {
+    cache.install(make_view("k" + std::to_string(i), {guid_of(1)}));
+  }
+  serde::Writer w(64);
+  cache.encode(w);
+  serde::Reader r(w.bytes());
+  ViewCache small(2);
+  ASSERT_TRUE(small.decode(r).is_ok());
+  EXPECT_LE(small.size(), 2u);
 }
 
 }  // namespace

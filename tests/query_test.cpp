@@ -10,10 +10,10 @@ namespace {
 Guid guid_of(std::uint64_t n) { return Guid(0, n); }
 
 TEST(QueryXmlTest, MinimalSubscriptionRoundTrips) {
-  const Query original = QueryBuilder("q1", guid_of(1))
-                             .pattern("temperature", "celsius")
-                             .mode(QueryMode::kEventSubscription)
-                             .build();
+  const Query original = Builder("q1", guid_of(1))
+                             .what_pattern("temperature")
+                             .unit("celsius")
+                             .subscribe();
   const auto reparsed = Query::parse(original.to_xml());
   ASSERT_TRUE(reparsed.has_value()) << reparsed.error().to_string();
   EXPECT_EQ(reparsed->id, "q1");
@@ -28,8 +28,8 @@ TEST(QueryXmlTest, MinimalSubscriptionRoundTrips) {
 
 TEST(QueryXmlTest, FullCapaQueryRoundTrips) {
   const auto office = *location::LogicalPath::parse("campus/tower/l10/room1");
-  const Query original = QueryBuilder("q-print", guid_of(2))
-                             .entity_type("printing")
+  const Query original = Builder("q-print", guid_of(2))
+                             .what_entity_type("printing")
                              .in(office)
                              .when_enters(guid_of(3), office)
                              .expires_after(120.0)
@@ -37,8 +37,7 @@ TEST(QueryXmlTest, FullCapaQueryRoundTrips) {
                              .require("has_paper", Value(true))
                              .require("queue_length", Value(std::int64_t{0}))
                              .check_access()
-                             .mode(QueryMode::kAdvertisementRequest)
-                             .build();
+                             .advertisement();
   const auto reparsed = Query::parse(original.to_xml());
   ASSERT_TRUE(reparsed.has_value()) << reparsed.error().to_string();
   EXPECT_EQ(reparsed->what.kind, WhatKind::kEntityType);
@@ -61,21 +60,19 @@ TEST(QueryXmlTest, FullCapaQueryRoundTrips) {
 }
 
 TEST(QueryXmlTest, NamedEntityAndSubjectRoundTrip) {
-  const Query original = QueryBuilder("q2", guid_of(4))
-                             .named(guid_of(5))
-                             .mode(QueryMode::kProfileRequest)
-                             .build();
+  const Query original =
+      Builder("q2", guid_of(4)).what_named(guid_of(5)).profile();
   const auto reparsed = Query::parse(original.to_xml());
   ASSERT_TRUE(reparsed.has_value());
   EXPECT_EQ(reparsed->what.kind, WhatKind::kNamedEntity);
   EXPECT_EQ(reparsed->what.named, guid_of(5));
 
-  const Query pattern = QueryBuilder("q3", guid_of(4))
-                            .pattern("path.update", "", "route")
+  const Query pattern = Builder("q3", guid_of(4))
+                            .what_pattern("path.update")
+                            .semantic("route")
                             .about(guid_of(6))
                             .relative_to(guid_of(7))
-                            .mode(QueryMode::kEventSubscription)
-                            .build();
+                            .subscribe();
   const auto reparsed2 = Query::parse(pattern.to_xml());
   ASSERT_TRUE(reparsed2.has_value());
   EXPECT_EQ(reparsed2->what.semantic, "route");
@@ -90,8 +87,9 @@ TEST(QueryXmlTest, AllModesRoundTrip) {
   for (const QueryMode mode :
        {QueryMode::kProfileRequest, QueryMode::kEventSubscription,
         QueryMode::kOneTimeSubscription, QueryMode::kAdvertisementRequest}) {
+    // The escape hatch for code that carries the mode as a value.
     const Query q =
-        QueryBuilder("q", guid_of(1)).pattern("t").mode(mode).build();
+        Builder("q", guid_of(1)).what_pattern("t").mode(mode).build();
     const auto reparsed = Query::parse(q.to_xml());
     ASSERT_TRUE(reparsed.has_value());
     EXPECT_EQ(reparsed->mode, mode);
@@ -99,11 +97,11 @@ TEST(QueryXmlTest, AllModesRoundTrip) {
 }
 
 TEST(QueryXmlTest, NotBeforeAndRangeTargetRoundTrip) {
-  const Query q = QueryBuilder("q", guid_of(1))
-                      .pattern("t")
+  const Query q = Builder("q", guid_of(1))
+                      .what_pattern("t")
                       .not_before(12.5)
                       .in_range(guid_of(9))
-                      .build();
+                      .subscribe();
   const auto reparsed = Query::parse(q.to_xml());
   ASSERT_TRUE(reparsed.has_value());
   ASSERT_TRUE(reparsed->when.not_before_seconds.has_value());
@@ -187,21 +185,21 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(QueryValidateTest, RejectsSemanticGaps) {
-  Query q = QueryBuilder("q", guid_of(1)).pattern("t").build();
+  Query q = Builder("q", guid_of(1)).what_pattern("t").subscribe();
   EXPECT_TRUE(q.validate().is_ok());
   q.which.policy = SelectPolicy::kMinAttr;  // needs attr_key
   EXPECT_FALSE(q.validate().is_ok());
   q.which.attr_key = "queue_length";
   EXPECT_TRUE(q.validate().is_ok());
 
-  Query empty_owner = QueryBuilder("q", Guid()).pattern("t").build();
+  Query empty_owner = Builder("q", Guid()).what_pattern("t").subscribe();
   EXPECT_FALSE(empty_owner.validate().is_ok());
 
-  Query named_nil = QueryBuilder("q", guid_of(1)).named(Guid()).build();
+  Query named_nil = Builder("q", guid_of(1)).what_named(Guid()).profile();
   EXPECT_FALSE(named_nil.validate().is_ok());
 
   Query negative_expiry =
-      QueryBuilder("q", guid_of(1)).pattern("t").expires_after(-1).build();
+      Builder("q", guid_of(1)).what_pattern("t").expires_after(-1).subscribe();
   EXPECT_FALSE(negative_expiry.validate().is_ok());
 }
 
@@ -221,6 +219,57 @@ TEST(QueryXmlTest, RequirementValueTypesInferredFromAttr) {
   EXPECT_EQ(q->which.require[1].equals, Value(std::int64_t{42}));
   EXPECT_EQ(q->which.require[2].equals, Value(2.5));
   EXPECT_EQ(q->which.require[3].equals, Value("text"));
+}
+
+TEST(QueryBuilderTest, TerminalsStampTheMode) {
+  const Builder b = Builder("q", guid_of(1)).what_pattern("t");
+  EXPECT_EQ(b.subscribe().mode, QueryMode::kEventSubscription);
+  EXPECT_EQ(b.once().mode, QueryMode::kOneTimeSubscription);
+  EXPECT_EQ(b.profile().mode, QueryMode::kProfileRequest);
+  EXPECT_EQ(b.advertisement().mode, QueryMode::kAdvertisementRequest);
+  // Terminals don't consume the builder: each call re-stamps a copy.
+  EXPECT_EQ(b.build().what.type, "t");
+}
+
+TEST(QueryBuilderTest, SemanticAloneSelectsPatternKind) {
+  const Query q = Builder("q", guid_of(1)).semantic("route").subscribe();
+  EXPECT_EQ(q.what.kind, WhatKind::kPattern);
+  EXPECT_EQ(q.what.semantic, "route");
+  EXPECT_TRUE(q.what.type.empty());
+  EXPECT_TRUE(q.validate().is_ok());
+}
+
+TEST(QueryBuilderTest, ClosestToSetsAnchorAndFlag) {
+  const Query q = Builder("q", guid_of(1))
+                      .what_entity_type("printing")
+                      .closest_to(guid_of(8))
+                      .fresh_within(30.0)
+                      .min_confidence(0.5)
+                      .advertisement();
+  EXPECT_TRUE(q.where.closest);
+  ASSERT_TRUE(q.where.relative_to.has_value());
+  EXPECT_EQ(*q.where.relative_to, guid_of(8));
+  EXPECT_DOUBLE_EQ(q.which.fresh_within_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(q.which.min_confidence, 0.5);
+}
+
+// The compatibility shim must keep producing the same documents as the
+// Builder it delegates to (it is scheduled for removal; see query.h).
+TEST(QueryBuilderTest, ShimMatchesBuilder) {
+  const Query via_shim = QueryBuilder("q", guid_of(2))
+                             .pattern("temperature", "celsius", "ambient")
+                             .closest_to_me()
+                             .expires_after(60.0)
+                             .mode(QueryMode::kOneTimeSubscription)
+                             .build();
+  const Query via_builder = Builder("q", guid_of(2))
+                                .what_pattern("temperature")
+                                .unit("celsius")
+                                .semantic("ambient")
+                                .closest_to_me()
+                                .expires_after(60.0)
+                                .once();
+  EXPECT_EQ(via_shim.to_xml(), via_builder.to_xml());
 }
 
 }  // namespace

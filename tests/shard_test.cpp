@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/sci.h"
+#include "entity/printer.h"
 #include "range/shard_map.h"
 #include "serde/buffer.h"
 
@@ -443,6 +444,99 @@ TEST(ShardTest, DlqAndChannelMetricsAggregatePerShard) {
   ASSERT_TRUE(bool(f.sci.dead_letters("mall")));
   EXPECT_EQ(f.sci.replay_dead_letters("mall").value(), 0u);
   EXPECT_TRUE(f.sci.drain_dead_letters("mall").value().empty());
+}
+
+// A profile change on the owner shard must invalidate the materialized
+// views every sibling built over the mirrored copy (docs/VIEWS.md): the
+// kShardProfile ingest runs the same invalidation predicate as a local
+// profile update.
+TEST(ShardTest, MirroredProfileChangeInvalidatesSiblingViews) {
+  ShardFixture f(4);
+  entity::PrinterCE printer(f.sci.network(), f.guid_owned_by(2), "P1",
+                            f.building.room(0, 0));
+  ASSERT_TRUE(f.sci.enroll(printer, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(300));  // mirrors settle
+
+  const auto ask = [&](const std::string& id) {
+    ASSERT_TRUE(f.sci.submit_query(monitor,
+                                   query::Builder(id, monitor.id())
+                                       .what_entity_type("printing")
+                                       .require("has_paper", Value(true))
+                                       .advertisement())
+                    .has_value());
+    f.sci.run_for(Duration::millis(300));
+  };
+
+  // The monitor's queries run on its owner shard (1) over the mirror.
+  ask("q1");
+  ASSERT_TRUE(monitor.results.at("q1").ok());
+  range::ContextServer* shard1 = f.sci.shards("mall")[1];
+  ASSERT_NE(shard1->views(), nullptr);
+  EXPECT_GE(shard1->views()->size(), 1u);
+
+  // Paper-out on the owner shard: the mirror record must drop shard 1's
+  // view, so the re-query re-selects (and now finds nothing acceptable).
+  printer.set_paper(false);
+  f.sci.run_for(Duration::millis(300));
+  EXPECT_GE(shard1->views()->stats().invalidations, 1u);
+  ask("q2");
+  ASSERT_TRUE(monitor.results.count("q2"));
+  EXPECT_FALSE(monitor.results.at("q2").ok());
+}
+
+// A promoted standby inherits warm views: kQuery records replay the same
+// lookup/install sequence on every follower, so the elected successor
+// starts with the view table its predecessor built.
+TEST(ShardTest, WarmViewsSurviveShardKillElectCycle) {
+  ShardFixture f(4, /*standby_count=*/2, /*sync_acks=*/1);
+  entity::PrinterCE printer(f.sci.network(), f.guid_owned_by(0), "P1",
+                            f.building.room(0, 0));
+  ASSERT_TRUE(f.sci.enroll(printer, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(2), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(300));
+
+  const auto ask = [&](const std::string& id) {
+    ASSERT_TRUE(f.sci.submit_query(monitor,
+                                   query::Builder(id, monitor.id())
+                                       .what_entity_type("printing")
+                                       .advertisement())
+                    .has_value());
+    f.sci.run_for(Duration::millis(300));
+  };
+  ask("q1");
+  ask("q2");  // second resolve hits the installed view
+  ASSERT_TRUE(monitor.results.at("q2").ok());
+  range::ContextServer* shard2 = f.sci.shards("mall")[2];
+  ASSERT_NE(shard2->views(), nullptr);
+  EXPECT_GE(shard2->views()->stats().hits, 1u);
+  f.sci.run_for(Duration::seconds(2));  // replication batches ship
+
+  const auto standbys = f.sci.standbys("mall#2");
+  ASSERT_FALSE(standbys.empty());
+  EXPECT_GE(standbys[0]->views()->size(), 1u);
+
+  // Kill the shard primary; the standbys elect a successor.
+  ASSERT_TRUE(
+      f.sci.network().set_crashed(shard2->server_node(), true).is_ok());
+  f.sci.run_for(Duration::seconds(4));
+  range::ContextServer* fresh = f.sci.find_range("mall#2");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, shard2);
+  EXPECT_TRUE(fresh->promoted_by_election());
+  ASSERT_NE(fresh->views(), nullptr);
+  EXPECT_GE(fresh->views()->size(), 1u);  // warm from replay/snapshot
+
+  // And the inherited view actually answers: the re-query is a hit.
+  const std::uint64_t hits_before = fresh->views()->stats().hits;
+  ask("q3");
+  ASSERT_TRUE(monitor.results.count("q3"));
+  EXPECT_TRUE(monitor.results.at("q3").ok());
+  EXPECT_GT(fresh->views()->stats().hits, hits_before);
 }
 
 }  // namespace
