@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <iterator>
+#include <set>
 
 #include "common/log.h"
 
 namespace sci {
+namespace {
+
+persist::DurabilityConfig durability_config(const DurabilityOptions& options) {
+  persist::DurabilityConfig config;
+  config.enabled = options.enable;
+  config.flush_interval = options.flush_interval;
+  config.flush_threshold = options.flush_threshold;
+  config.checkpoint_interval = options.checkpoint_interval;
+  config.checkpoint_min_records = options.checkpoint_min_records;
+  config.ack_after_fsync = options.ack_after_fsync;
+  return config;
+}
+
+}  // namespace
 
 const char* to_string(RangeRole role) {
   switch (role) {
@@ -98,6 +113,12 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
   config.recent_event_window = options.replication.recent_event_window;
   config.enable_views = options.views.enable;
   config.view_capacity = options.views.capacity;
+  if (options.durability.enable) {
+    config.storage = &storage_;
+    config.durability = durability_config(options.durability);
+    // store_name stays empty: each instance defaults to its own config name,
+    // which keeps per-shard stores distinct.
+  }
 
   // Partitioned range (docs/SHARDING.md): mint every shard's CS node up
   // front so the shared consistent-hash map names them all before any
@@ -164,6 +185,7 @@ Expected<range::ContextServer*> Sci::create_range(std::string name,
     shard_config.overlay_member = false;
     shard_config.epoch = 0;
     shard_config.reliable.metrics_label = "shard=" + std::to_string(i);
+    shard_config.store_name.clear();  // persist under the shard's own name
     auto shard = std::make_unique<range::ContextServer>(
         network_, std::move(shard_config), &directory_, &semantics_,
         locations_);
@@ -224,14 +246,33 @@ Expected<range::ContextServer*> Sci::add_standby(std::string_view range) {
     return make_error(ErrorCode::kNotFound,
                       "no range named '" + std::string(range) + "'");
   }
+  const Guid range_id = primary->id();
   range::RangeConfig config = primary->config();
   config.role = range::RangeConfig::Role::kStandby;
   config.standby_node = new_guid();
   config.epoch = primary->epoch();
+  if (config.storage != nullptr && config.durability.enabled) {
+    // Standbys persist under the lowest store no live instance holds: the
+    // bare range name first (free once a failed-over primary's incarnation
+    // is fenced), then "<range>~sb<k>". Reusing a dead instance's store is
+    // deliberate: the new standby recovers that WAL and rejoins by delta —
+    // or, when the recovered lineage is a fenced epoch, by a replacing
+    // snapshot that discards it (docs/DURABILITY.md).
+    std::set<std::string> used;
+    used.insert(primary->config().store_name);
+    for (const auto& peer : standbys_[range_id]) {
+      used.insert(peer->config().store_name);
+    }
+    config.store_name = primary->config().name;
+    unsigned slot = 0;
+    while (used.count(config.store_name) != 0) {
+      config.store_name =
+          primary->config().name + "~sb" + std::to_string(slot++);
+    }
+  }
   auto standby = std::make_unique<range::ContextServer>(
       network_, std::move(config), &directory_, &semantics_, locations_);
   range::ContextServer& ref = *standby;
-  const Guid range_id = primary->id();
   const Guid standby_node = ref.attached_node();
   ref.set_promote_request_handler([this, range_id, standby_node] {
     // Defer: promote() destroys the follower whose watchdog timer frame is
@@ -241,7 +282,15 @@ Expected<range::ContextServer*> Sci::add_standby(std::string_view range) {
     });
   });
   standbys_[range_id].push_back(std::move(standby));
-  primary->attach_standby(standby_node);
+  if (ref.recovered_from_disk()) {
+    // WAL-recovered standby: present the disk's (epoch, watermark) so the
+    // primary ships only the tail above it — or a replacing snapshot when
+    // the recovered lineage is stale.
+    primary->attach_standby(standby_node, ref.recovered_epoch(),
+                            ref.recovered_watermark());
+  } else {
+    primary->attach_standby(standby_node);
+  }
   // Catch-up completion is state-based, not time-based: run until the
   // standby holds the epoch's snapshot and has applied everything the
   // primary has logged, bounded in case loss keeps eating the tail. Under
@@ -452,11 +501,28 @@ Expected<std::size_t> Sci::replay_dead_letters(std::string_view range) {
   }
   // Base name of a partitioned range covers every shard's queue, so fig8/
   // fig9-style replay flows stay one call regardless of shard_count.
-  std::size_t replayed = 0;
+  // Replay in original park order ACROSS the shard queues: draining them
+  // one after another would interleave by shard position instead, so two
+  // causally ordered frames parked on different shards could swap. The
+  // stable sort keeps each queue's own FIFO order for equal park times.
+  struct Parked {
+    reliable::ReliableChannel* channel;
+    reliable::DeadLetter letter;
+  };
+  std::vector<Parked> parked;
   for (range::ContextServer* shard : shards(range)) {
-    replayed += shard->channel().replay_dead_letters();
+    for (reliable::DeadLetter& letter : shard->channel().drain_dead_letters()) {
+      parked.push_back(Parked{&shard->channel(), std::move(letter)});
+    }
   }
-  return replayed;
+  std::stable_sort(parked.begin(), parked.end(),
+                   [](const Parked& a, const Parked& b) {
+                     return a.letter.parked_at < b.letter.parked_at;
+                   });
+  for (Parked& entry : parked) {
+    entry.channel->replay_dead_letter(std::move(entry.letter));
+  }
+  return parked.size();
 }
 
 Expected<std::vector<reliable::DeadLetter>> Sci::drain_dead_letters(
@@ -473,6 +539,113 @@ Expected<std::vector<reliable::DeadLetter>> Sci::drain_dead_letters(
                    std::make_move_iterator(letters.end()));
   }
   return drained;
+}
+
+// ---------------------------------------------------------------------------
+// durability (docs/DURABILITY.md)
+
+Status Sci::shutdown_range(std::string_view range) {
+  range::ContextServer* lead = find_range(range);
+  if (lead == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  if (lead->durable_store() == nullptr) {
+    return make_error(ErrorCode::kUnavailable,
+                      "range '" + std::string(range) +
+                          "' has no durable store to recover from");
+  }
+  const std::vector<range::ContextServer*> members = shards(range);
+  std::vector<range::RangeConfig> configs;
+  configs.reserve(members.size());
+  for (range::ContextServer* member : members) {
+    configs.push_back(member->config());
+  }
+  // No flush: this is a power cut. Buffered (unsynced, hence unacked) tails
+  // die with the objects; everything acked is already in storage_.
+  // Standbys go first — their stores stay on disk, and a later add_standby
+  // reuses the slots, recovering those WALs.
+  for (range::ContextServer* member : members) {
+    standbys_.erase(member->id());
+  }
+  for (range::ContextServer* member : members) {
+    const auto owned =
+        std::find_if(ranges_.begin(), ranges_.end(),
+                     [member](const std::unique_ptr<range::ContextServer>& r) {
+                       return r.get() == member;
+                     });
+    SCI_ASSERT(owned != ranges_.end());
+    ranges_.erase(owned);
+  }
+  dormant_[std::string(range)] = std::move(configs);
+  return Status::ok();
+}
+
+Status Sci::shutdown_standby(Guid standby_node) {
+  for (auto& [range_id, list] : standbys_) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i]->attached_node() != standby_node) continue;
+      for (const auto& server : ranges_) {
+        if (server->id() == range_id) {
+          server->detach_standby(standby_node);
+          break;
+        }
+      }
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      return Status::ok();
+    }
+  }
+  return make_error(ErrorCode::kNotFound,
+                    "no standby attached as " + standby_node.short_string());
+}
+
+Expected<range::ContextServer*> Sci::recover_range(std::string_view range) {
+  const auto it = dormant_.find(std::string(range));
+  if (it == dormant_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no shut-down range named '" + std::string(range) + "'");
+  }
+  std::vector<range::RangeConfig> configs = std::move(it->second);
+  dormant_.erase(it);
+
+  // Any other live range re-anchors the overlay join; none → re-bootstrap.
+  Guid join_via;
+  for (const auto& server : ranges_) {
+    if (!server->is_fenced() && server->overlay_ready()) {
+      join_via = server->id();
+      break;
+    }
+  }
+
+  range::ContextServer* lead = nullptr;
+  for (range::RangeConfig& config : configs) {
+    // Same GUIDs, fresh objects: the constructor's recovery path replays
+    // checkpoint + WAL tail from storage_ before any duty starts.
+    auto server = std::make_unique<range::ContextServer>(
+        network_, std::move(config), &directory_, &semantics_, locations_);
+    range::ContextServer& ref = *server;
+    ranges_.push_back(std::move(server));
+    if (lead == nullptr) lead = &ref;
+    if (ref.config().overlay_member) {
+      if (!join_via.is_nil()) {
+        SCI_TRY(ref.join_overlay(join_via));
+      } else {
+        ref.bootstrap_overlay();
+      }
+    }
+  }
+  run_for(Duration::millis(100));  // let joins settle, pings restart
+  if (lead != nullptr && !lead->overlay_ready()) {
+    const SimTime deadline = simulator_.now() + Duration::seconds(2);
+    while (!lead->overlay_ready() && simulator_.now() < deadline) {
+      if (!simulator_.step(deadline)) break;
+    }
+    if (!lead->overlay_ready()) {
+      SCI_WARN("sci", "recovered range '%s' still joining the SCINET",
+               lead->config().name.c_str());
+    }
+  }
+  return lead;
 }
 
 void Sci::inject_faults(const sim::FaultPlan& plan) {
@@ -541,6 +714,57 @@ void Sci::inject_faults(const sim::FaultPlan& plan) {
                      event.target.c_str(),
                      promoted.error().message().c_str());
           }
+          return;
+        }
+        case sim::FaultKind::kWalTorn:
+        case sim::FaultKind::kWalCorrupt:
+        case sim::FaultKind::kWalSyncFail:
+        case sim::FaultKind::kWalShortRead: {
+          // Damage every per-shard WAL of the target — live instances
+          // first, else a shut-down range's remembered stores.
+          std::vector<std::string> stores;
+          for (range::ContextServer* shard : shards(event.target)) {
+            if (!shard->config().store_name.empty()) {
+              stores.push_back(shard->config().store_name);
+            }
+          }
+          if (stores.empty()) {
+            const auto dormant = dormant_.find(event.target);
+            if (dormant != dormant_.end()) {
+              for (const range::RangeConfig& config : dormant->second) {
+                if (!config.store_name.empty()) {
+                  stores.push_back(config.store_name);
+                }
+              }
+            }
+          }
+          if (stores.empty()) {
+            SCI_WARN("sci", "fault %s: no durable store for '%s' — skipped",
+                     sim::to_string(event.kind), event.target.c_str());
+            return;
+          }
+          for (const std::string& store : stores) {
+            const std::string wal = store + ".wal";
+            switch (event.kind) {
+              case sim::FaultKind::kWalTorn:
+                storage_.tear_tail(wal, static_cast<std::size_t>(event.group));
+                break;
+              case sim::FaultKind::kWalCorrupt:
+                storage_.corrupt_tail(wal);
+                break;
+              case sim::FaultKind::kWalSyncFail:
+                storage_.fail_syncs(wal, static_cast<unsigned>(event.group));
+                break;
+              case sim::FaultKind::kWalShortRead:
+                storage_.short_reads(wal,
+                                     static_cast<std::size_t>(event.group));
+                break;
+              default:
+                break;
+            }
+          }
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
+                       Guid(), detail);
           return;
         }
       }

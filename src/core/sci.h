@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "overlay/scinet.h"
+#include "persist/storage.h"
 #include "query/query.h"
 #include "range/context_server.h"
 #include "range/directory.h"
@@ -128,6 +129,27 @@ struct ShardingOptions {
   unsigned shard_count = 1;
 };
 
+// Durable per-shard store (docs/DURABILITY.md): each Context Server instance
+// (primary, sibling shard, standby) keeps a CRC-framed write-ahead log plus
+// periodic checkpoints in the facade-owned StorageEnv, which outlives the
+// server objects. A destroyed instance can then be rebuilt from disk
+// (Sci::recover_range) or rejoin its primary shipping only the delta above
+// its recovered watermark.
+struct DurabilityOptions {
+  bool enable = false;
+  // Group-commit window / buffered-record threshold (whichever first).
+  Duration flush_interval = Duration::millis(20);
+  std::size_t flush_threshold = 32;
+  // Checkpoint cadence; a checkpoint supersedes and restarts the WAL.
+  Duration checkpoint_interval = Duration::seconds(5);
+  // Skip timed checkpoints while the WAL holds fewer records than this.
+  std::uint64_t checkpoint_min_records = 16;
+  // Withhold client admit acks until the op's WAL record is fsynced (in
+  // addition to any sync_acks replication requirement): no client-acked op
+  // can be lost even when every replica cold-restarts.
+  bool ack_after_fsync = true;
+};
+
 // Materialized context views (docs/VIEWS.md): each Context Server caches the
 // resolved selection/plan of repeated Fig-6 queries and maintains the cache
 // incrementally from profile/advertisement/location deltas instead of
@@ -145,6 +167,7 @@ struct RangeOptions {
   ReplicationOptions replication;
   ShardingOptions sharding;
   ViewOptions views;
+  DurabilityOptions durability;
   double x = 0.0;
   double y = 0.0;
   // Access-control group (queries never cross groups).
@@ -312,6 +335,31 @@ class Sci {
   Status enroll(entity::Component& component, range::ContextServer& server,
                 double x = 0.0, double y = 0.0);
 
+  // --- durability (docs/DURABILITY.md) --------------------------------------
+  // The deployment's simulated disk. Owned here so it outlives every
+  // Context Server object — the precondition for honest cold restarts.
+  [[nodiscard]] persist::StorageEnv& storage() { return storage_; }
+
+  // Cold-stops the named range: destroys its primary, sibling shards and
+  // attached standbys (remembering their identities), leaving only what
+  // their ShardStores made durable. Deliberately no flush first — this
+  // models a power cut, and with ack_after_fsync on every *acked* op is
+  // durable anyway. Not compatible with world() mobility tracking of this
+  // range.
+  Status shutdown_range(std::string_view range);
+
+  // Rebuilds a shut-down range from the durable store: same GUIDs, state
+  // recovered from checkpoint + WAL tail, overlay re-joined. Enrolled
+  // components keep their registrations and subscriptions. Standbys are not
+  // resurrected automatically — add_standby() brings them back, recovering
+  // their own WALs and rejoining via delta catch-up.
+  Expected<range::ContextServer*> recover_range(std::string_view range);
+
+  // Cold-stops one standby (its primary keeps serving). The standby's WAL
+  // stays in storage; the next add_standby on the range reuses the slot,
+  // recovers it, and rejoins shipping only the delta above its watermark.
+  Status shutdown_standby(Guid standby_node);
+
   // --- fault injection --------------------------------------------------------
   // Schedules every event of `plan` relative to the current simulated time.
   // Range names resolve when the event fires, so a plan may reference
@@ -340,6 +388,7 @@ class Sci {
 
   sim::Simulator simulator_;
   net::Network network_;
+  persist::StorageEnv storage_;
   Rng rng_;
   compose::SemanticRegistry semantics_;
   range::RangeDirectory directory_;
@@ -355,6 +404,9 @@ class Sci {
   // operators still read their metrics/epoch); fence() cancels their
   // pending simulator timers, so nothing here runs again.
   std::vector<std::unique_ptr<range::ContextServer>> graveyard_;
+  // Shut-down ranges awaiting recover_range: the configs (lead shard first)
+  // their successors are rebuilt from. State itself lives in storage_.
+  std::unordered_map<std::string, std::vector<range::RangeConfig>> dormant_;
 };
 
 }  // namespace sci

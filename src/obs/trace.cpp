@@ -38,6 +38,8 @@ std::string_view to_string(TraceKind kind) {
       return "lease_expire";
     case TraceKind::kFaultInject:
       return "fault_inject";
+    case TraceKind::kViewDecodeFail:
+      return "view_decode_fail";
   }
   return "unknown";
 }

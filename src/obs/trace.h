@@ -37,6 +37,7 @@ enum class TraceKind : std::uint8_t {
   kDeparture,         // a=range, b=component, detail=1 when failure-detected
   kLeaseExpire,       // a=subscriber, b=producer (nil=any), detail=sub id
   kFaultInject,       // a=target node (nil for fabric-wide), detail=FaultKind
+  kViewDecodeFail,    // a=context server, b=range: view snapshot tail lost
 };
 
 std::string_view to_string(TraceKind kind);

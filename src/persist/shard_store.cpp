@@ -1,0 +1,236 @@
+#include "persist/shard_store.h"
+
+#include <utility>
+
+#include "serde/buffer.h"
+
+namespace sci::persist {
+namespace {
+
+// WAL frame payload: [varint epoch][varint index][record bytes to end].
+std::vector<std::byte> encode_wal_payload(std::uint32_t epoch,
+                                          std::uint64_t index,
+                                          const std::vector<std::byte>& rec) {
+  serde::Writer w(rec.size() + 12);
+  w.varint(epoch);
+  w.varint(index);
+  w.raw(rec.data(), rec.size());
+  return w.take();
+}
+
+// Checkpoint frame payload: [varint epoch][varint base][snapshot to end].
+std::vector<std::byte> encode_ckpt_payload(std::uint32_t epoch,
+                                           std::uint64_t base,
+                                           const std::vector<std::byte>& snap) {
+  serde::Writer w(snap.size() + 12);
+  w.varint(epoch);
+  w.varint(base);
+  w.raw(snap.data(), snap.size());
+  return w.take();
+}
+
+}  // namespace
+
+ShardStore::ShardStore(sim::Simulator& sim, StorageEnv& env, std::string name,
+                       DurabilityConfig config)
+    : sim_(sim), env_(env), name_(std::move(name)), config_(config) {
+  obs::MetricsRegistry& m = sim_.metrics();
+  m_appends_ = &m.counter("persist.appends");
+  m_flushes_ = &m.counter("persist.flushes");
+  m_bytes_ = &m.counter("persist.wal_bytes");
+  m_syncs_ = &m.counter("persist.syncs");
+  m_sync_failures_ = &m.counter("persist.sync_failures");
+  m_checkpoints_ = &m.counter("persist.checkpoints");
+  m_checkpoint_bytes_ = &m.counter("persist.checkpoint_bytes");
+  m_checkpoint_failures_ = &m.counter("persist.checkpoint_failures");
+  m_recoveries_ = &m.counter("persist.recoveries");
+  m_recovered_records_ = &m.counter("persist.recovered_records");
+  m_truncated_tails_ = &m.counter("persist.truncated_tails");
+}
+
+ShardStore::~ShardStore() {
+  sim_.cancel(flush_timer_);
+  sim_.cancel(checkpoint_timer_);
+}
+
+void ShardStore::append(std::uint32_t epoch, std::uint64_t index,
+                        const std::vector<std::byte>& record_bytes) {
+  buffer_.push_back({epoch, index, record_bytes});
+  if (index > appended_index_) appended_index_ = index;
+  m_appends_->inc();
+  if (buffer_.size() >= config_.flush_threshold) {
+    flush();
+    return;
+  }
+  arm_flush_timer();
+}
+
+bool ShardStore::flush() {
+  sim_.cancel(flush_timer_);
+  flush_timer_ = sim::TimerHandle{};
+  if (buffer_.empty() && !sync_owed_) {
+    return durable_index_ >= appended_index_;
+  }
+  if (!buffer_.empty()) {
+    std::vector<std::byte> batch;
+    std::uint64_t last = synced_index_;
+    for (const Buffered& b : buffer_) {
+      serde::append_frame(batch, encode_wal_payload(b.epoch, b.index, b.bytes));
+      if (b.index > last) last = b.index;
+    }
+    env_.append(wal_file(), batch);
+    m_bytes_->inc(batch.size());
+    wal_records_ += buffer_.size();
+    buffer_.clear();
+    synced_index_ = last;  // written; durable only after the sync below
+  }
+  m_flushes_->inc();
+  m_syncs_->inc();
+  if (!env_.sync(wal_file())) {
+    // Disk refused the fsync: the watermark (and every held ack behind it)
+    // stays put. Re-arm the group-commit timer to retry.
+    m_sync_failures_->inc();
+    sync_owed_ = true;
+    arm_flush_timer();
+    return false;
+  }
+  sync_owed_ = false;
+  if (synced_index_ > durable_index_) {
+    durable_index_ = synced_index_;
+    if (durable_) durable_(durable_index_);
+  }
+  return durable_index_ >= appended_index_;
+}
+
+bool ShardStore::checkpoint(std::uint32_t epoch) {
+  if (!snapshot_provider_) return false;
+  // Fold any buffered tail into the WAL first so a failed checkpoint write
+  // still leaves the log complete.
+  flush();
+  return checkpoint_with(epoch, appended_index_, snapshot_provider_());
+}
+
+bool ShardStore::checkpoint_with(std::uint32_t epoch, std::uint64_t base,
+                                 const std::vector<std::byte>& snapshot) {
+  std::vector<std::byte> file;
+  serde::append_frame(file, encode_ckpt_payload(epoch, base, snapshot));
+  const std::size_t file_size = file.size();
+  if (!env_.write_atomic(checkpoint_file(), std::move(file))) {
+    m_checkpoint_failures_->inc();
+    return false;
+  }
+  m_checkpoints_->inc();
+  m_checkpoint_bytes_->inc(file_size);
+  // The checkpoint supersedes the log: restart it empty. The snapshot also
+  // *defines* the index space from here on (a standby adopting another
+  // incarnation's snapshot may move to a lower base), so the write-side
+  // watermarks re-seat on it rather than merely ratchet.
+  env_.remove(wal_file());
+  buffer_.clear();
+  sync_owed_ = false;
+  wal_records_ = 0;
+  const bool rose = base > durable_index_;
+  appended_index_ = base;
+  synced_index_ = base;
+  durable_index_ = base;
+  if (rose && durable_) durable_(durable_index_);
+  return true;
+}
+
+RecoveredState ShardStore::recover() {
+  RecoveredState out;
+  m_recoveries_->inc();
+
+  // Checkpoint first: one frame, or nothing usable.
+  const std::vector<std::byte> ckpt = env_.read(checkpoint_file());
+  if (!ckpt.empty()) {
+    serde::FrameCursor cursor(ckpt);
+    std::vector<std::byte> payload;
+    if (cursor.next(payload)) {
+      serde::Reader r(payload);
+      auto epoch = r.varint();
+      auto base = r.varint();
+      if (epoch && base) {
+        out.epoch = static_cast<std::uint32_t>(epoch.value());
+        out.base_index = base.value();
+        out.snapshot.assign(payload.begin() +
+                                static_cast<std::ptrdiff_t>(payload.size() -
+                                                            r.remaining()),
+                            payload.end());
+        out.any = true;
+      }
+    }
+    // A damaged checkpoint is treated as absent: the WAL alone (or a peer
+    // snapshot) must carry recovery.
+  }
+
+  // WAL tail: ordered frames above the checkpoint base, stop at first damage.
+  const std::vector<std::byte> wal = env_.read(wal_file());
+  serde::FrameCursor cursor(wal);
+  std::vector<std::byte> payload;
+  while (cursor.next(payload)) {
+    serde::Reader r(payload);
+    auto epoch = r.varint();
+    auto index = r.varint();
+    if (!epoch || !index) break;  // framed but malformed — treat as damage
+    RecoveredState::TailRecord rec;
+    rec.epoch = static_cast<std::uint32_t>(epoch.value());
+    rec.index = index.value();
+    rec.bytes.assign(
+        payload.begin() +
+            static_cast<std::ptrdiff_t>(payload.size() - r.remaining()),
+        payload.end());
+    if (rec.index <= out.base_index) continue;  // superseded by checkpoint
+    if (rec.epoch > out.epoch) out.epoch = rec.epoch;
+    out.records.push_back(std::move(rec));
+    out.any = true;
+  }
+  if (cursor.stop() != serde::FrameStop::kClean) {
+    out.tail_truncated = true;
+    out.stop = cursor.stop();
+    m_truncated_tails_->inc();
+  }
+  // Cut the file back to its intact, durable prefix: the damaged tail (and
+  // any unsynced suffix a crash discarded) must not pollute future appends.
+  env_.truncate(wal_file(), cursor.stop_offset());
+  env_.clear_read_faults(wal_file());
+
+  out.watermark = out.base_index;
+  for (const auto& rec : out.records) {
+    if (rec.index > out.watermark) out.watermark = rec.index;
+  }
+  m_recovered_records_->inc(out.records.size());
+
+  // Re-seat the write side on the recovered image.
+  appended_index_ = out.watermark;
+  durable_index_ = out.watermark;
+  synced_index_ = out.watermark;
+  wal_records_ = out.records.size();
+  buffer_.clear();
+  sync_owed_ = false;
+  return out;
+}
+
+void ShardStore::start_checkpoint_timer(
+    std::function<std::uint32_t()> epoch_source) {
+  if (epoch_source) epoch_source_ = std::move(epoch_source);
+  sim_.cancel(checkpoint_timer_);
+  checkpoint_timer_ = sim_.schedule(config_.checkpoint_interval, [this] {
+    if (wal_records_ + buffer_.size() >= config_.checkpoint_min_records) {
+      checkpoint(epoch_source_ ? epoch_source_() : 0);
+    }
+    start_checkpoint_timer({});
+  });
+}
+
+void ShardStore::arm_flush_timer() {
+  if (flush_timer_.valid()) return;
+  flush_timer_ = sim_.schedule(config_.flush_interval, [this] {
+    flush_timer_ = sim::TimerHandle{};
+    on_flush_timer();
+  });
+}
+
+void ShardStore::on_flush_timer() { flush(); }
+
+}  // namespace sci::persist

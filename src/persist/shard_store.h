@@ -1,0 +1,185 @@
+// SCI — per-shard write-behind durable store (docs/DURABILITY.md).
+//
+// One ShardStore backs one Context Server node (a shard primary or a
+// standby). It persists the node's applied replication records into an
+// append-only, CRC-framed write-ahead log (serde/frame.h) plus a periodic
+// checkpoint, both living in the facade-owned StorageEnv that survives the
+// node object itself:
+//
+//   <name>.ckpt   one atomic frame: [epoch][base_index][snapshot blob]
+//   <name>.wal    frames of [epoch][index][record bytes], indices > base
+//
+// Writes are write-behind: append() only buffers; a short group-commit timer
+// (or a buffered-record threshold) flushes the batch as one file append plus
+// one sync, so the publish hot path never waits on the "disk". The durable
+// watermark — the highest index known to have survived a crash — advances
+// only on successful sync or checkpoint, and the owner's durable callback
+// fires then: under DurabilityOptions::ack_after_fsync the Context Server
+// keeps client admit-acks held (the same held-ack tickets sync_acks uses)
+// until the op is both replicated and durable, which is what makes the
+// zero-acked-op-loss claim of fig12 true rather than probabilistic.
+//
+// A failed sync (fault injection: dying disk) leaves the watermark — and
+// therefore the held acks — exactly where they were; the store retries on
+// the next group-commit tick. A checkpoint supersedes the whole log tail:
+// once the atomic checkpoint write succeeds, everything up to its base index
+// is durable by definition and the WAL is restarted empty.
+//
+// recover() is the read side: parse checkpoint, then walk the WAL with a
+// FrameCursor, stopping at the first torn/corrupt frame and truncating the
+// file there (truncate-at-first-bad-frame). Recovery never fails — a damaged
+// tail just yields a lower watermark, and the replication tier fetches the
+// missing delta from a peer (ReplicationLog::attach_standby watermark
+// negotiation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+#include "persist/storage.h"
+#include "serde/frame.h"
+#include "sim/simulator.h"
+
+namespace sci::persist {
+
+struct DurabilityConfig {
+  bool enabled = false;
+  // Group-commit window: buffered records are flushed (one append + one
+  // sync) this long after the first buffered record...
+  Duration flush_interval = Duration::millis(20);
+  // ...or immediately once this many records are buffered.
+  std::size_t flush_threshold = 32;
+  // Checkpoint cadence. A checkpoint also fires on promote() so each
+  // incarnation's WAL holds only its own epoch's records.
+  Duration checkpoint_interval = Duration::seconds(5);
+  // Skip a timed checkpoint when the WAL tail is shorter than this many
+  // records — rewriting the full snapshot to save a tiny tail is wasted IO.
+  std::uint64_t checkpoint_min_records = 16;
+  // Hold client admit-acks until the op's index is durable (in addition to
+  // any sync_acks replication requirement). Off = acks follow replication
+  // only and a torn tail may lose acked ops on a whole-range restart.
+  bool ack_after_fsync = true;
+};
+
+// Everything recover() could reconstruct from the durable files.
+struct RecoveredState {
+  std::uint32_t epoch = 0;       // highest epoch seen on disk
+  std::uint64_t base_index = 0;  // checkpoint coverage
+  std::vector<std::byte> snapshot;  // empty when no checkpoint existed
+  // WAL tail in append order: (epoch, index, record bytes), index > base.
+  struct TailRecord {
+    std::uint32_t epoch = 0;
+    std::uint64_t index = 0;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<TailRecord> records;
+  std::uint64_t watermark = 0;  // highest recovered index (== base if none)
+  bool tail_truncated = false;  // hit a damaged frame and cut the file there
+  serde::FrameStop stop = serde::FrameStop::kClean;
+  bool any = false;  // false when neither file held a single usable byte
+};
+
+class ShardStore {
+ public:
+  // Fires when the durable watermark advances (argument = new watermark).
+  using DurableCallback = std::function<void(std::uint64_t)>;
+  // Supplies the full-state snapshot blob for checkpoints (the same encoding
+  // ReplicationLog ships to standbys).
+  using SnapshotProvider = std::function<std::vector<std::byte>()>;
+
+  ShardStore(sim::Simulator& sim, StorageEnv& env, std::string name,
+             DurabilityConfig config);
+  ~ShardStore();
+
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  void set_durable_callback(DurableCallback cb) { durable_ = std::move(cb); }
+  void set_snapshot_provider(SnapshotProvider p) {
+    snapshot_provider_ = std::move(p);
+  }
+
+  // Buffers one applied record for group commit. Indices must be handed in
+  // ascending order (the apply order of the owning node).
+  void append(std::uint32_t epoch, std::uint64_t index,
+              const std::vector<std::byte>& record_bytes);
+
+  // Forces the buffered batch (and any unsynced file tail) to disk now.
+  // Returns true when the durable watermark caught up to every append.
+  bool flush();
+
+  // Takes a snapshot via the provider, writes it atomically and restarts the
+  // WAL. No-op without a provider; returns false on injected sync failure.
+  bool checkpoint(std::uint32_t epoch);
+
+  // Checkpoint from an externally supplied snapshot covering everything
+  // through `base` (a standby persisting the blob the primary just shipped
+  // it). Same atomic-write + WAL-restart semantics.
+  bool checkpoint_with(std::uint32_t epoch, std::uint64_t base,
+                       const std::vector<std::byte>& snapshot);
+
+  // Reads checkpoint + WAL back from the environment, truncating a damaged
+  // tail. Safe to call on a missing store (returns any=false).
+  RecoveredState recover();
+
+  [[nodiscard]] std::uint64_t durable_index() const { return durable_index_; }
+  [[nodiscard]] std::uint64_t appended_index() const {
+    return appended_index_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const DurabilityConfig& config() const { return config_; }
+  [[nodiscard]] std::string wal_file() const { return name_ + ".wal"; }
+  [[nodiscard]] std::string checkpoint_file() const { return name_ + ".ckpt"; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  // Arms the periodic checkpoint timer (caller supplies the epoch source via
+  // the provider's closure; the timer re-reads it each tick).
+  void start_checkpoint_timer(std::function<std::uint32_t()> epoch_source);
+
+ private:
+  void arm_flush_timer();
+  void on_flush_timer();
+
+  sim::Simulator& sim_;
+  StorageEnv& env_;
+  std::string name_;
+  DurabilityConfig config_;
+
+  DurableCallback durable_;
+  SnapshotProvider snapshot_provider_;
+  std::function<std::uint32_t()> epoch_source_;
+
+  struct Buffered {
+    std::uint32_t epoch = 0;
+    std::uint64_t index = 0;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Buffered> buffer_;
+  std::uint64_t appended_index_ = 0;  // highest index handed to append()
+  std::uint64_t durable_index_ = 0;   // highest index known durable
+  std::uint64_t synced_index_ = 0;    // highest index written+synced to WAL
+  std::uint64_t wal_records_ = 0;     // records in the current WAL file
+  bool sync_owed_ = false;  // file tail written but a sync() failed
+
+  sim::TimerHandle flush_timer_;
+  sim::TimerHandle checkpoint_timer_;
+
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_flushes_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_syncs_ = nullptr;
+  obs::Counter* m_sync_failures_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_checkpoint_bytes_ = nullptr;
+  obs::Counter* m_checkpoint_failures_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_recovered_records_ = nullptr;
+  obs::Counter* m_truncated_tails_ = nullptr;
+};
+
+}  // namespace sci::persist

@@ -1,0 +1,123 @@
+#include "persist/storage.h"
+
+#include <algorithm>
+
+namespace sci::persist {
+
+void StorageEnv::append(const std::string& name,
+                        const std::vector<std::byte>& data) {
+  File& f = files_[name];
+  f.bytes.insert(f.bytes.end(), data.begin(), data.end());
+  ++stats_.appends;
+  stats_.bytes_appended += data.size();
+}
+
+bool StorageEnv::sync(const std::string& name) {
+  File& f = files_[name];
+  ++stats_.syncs;
+  if (f.fail_syncs > 0) {
+    --f.fail_syncs;
+    ++stats_.sync_failures;
+    return false;
+  }
+  f.durable = f.bytes.size();
+  return true;
+}
+
+bool StorageEnv::write_atomic(const std::string& name,
+                              std::vector<std::byte> data) {
+  File& f = files_[name];
+  ++stats_.atomic_writes;
+  ++stats_.syncs;
+  if (f.fail_syncs > 0) {
+    --f.fail_syncs;
+    ++stats_.sync_failures;
+    return false;
+  }
+  f.bytes = std::move(data);
+  f.durable = f.bytes.size();
+  return true;
+}
+
+std::vector<std::byte> StorageEnv::read(const std::string& name) const {
+  ++stats_.reads;
+  auto it = files_.find(name);
+  if (it == files_.end()) return {};
+  const File& f = it->second;
+  std::size_t n = f.durable;
+  if (f.short_read_limit > 0) n = std::min(n, f.short_read_limit);
+  return {f.bytes.begin(),
+          f.bytes.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+void StorageEnv::truncate(const std::string& name, std::size_t size) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  File& f = it->second;
+  if (f.bytes.size() > size) f.bytes.resize(size);
+  f.durable = std::min(f.durable, size);
+}
+
+void StorageEnv::remove(const std::string& name) { files_.erase(name); }
+
+bool StorageEnv::exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+std::size_t StorageEnv::size(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.bytes.size();
+}
+
+std::size_t StorageEnv::durable_size(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.durable;
+}
+
+std::vector<std::string> StorageEnv::list(const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    names.push_back(it->first);
+  }
+  return names;
+}
+
+void StorageEnv::tear_tail(const std::string& name, std::size_t bytes) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  File& f = it->second;
+  const std::size_t cut = std::min(bytes, f.durable);
+  f.durable -= cut;
+  // The torn sectors are gone for good — the volatile image agrees.
+  f.bytes.resize(f.durable);
+  ++stats_.faults_injected;
+}
+
+void StorageEnv::corrupt_tail(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end() || it->second.durable == 0) return;
+  File& f = it->second;
+  // Flip a byte a little way back from the end so the damage lands inside
+  // the last frame's payload (not merely past it).
+  const std::size_t at = f.durable > 8 ? f.durable - 8 : f.durable - 1;
+  f.bytes[at] ^= std::byte{0x5A};
+  ++stats_.faults_injected;
+}
+
+void StorageEnv::fail_syncs(const std::string& name, unsigned count) {
+  files_[name].fail_syncs = count;
+  ++stats_.faults_injected;
+}
+
+void StorageEnv::short_reads(const std::string& name, std::size_t limit) {
+  files_[name].short_read_limit = limit;
+  ++stats_.faults_injected;
+}
+
+void StorageEnv::clear_read_faults(const std::string& name) {
+  auto it = files_.find(name);
+  if (it != files_.end()) it->second.short_read_limit = 0;
+}
+
+}  // namespace sci::persist

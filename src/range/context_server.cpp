@@ -137,6 +137,7 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_view_installs_ = &metrics.counter("view.installs");
   m_view_invalidations_ = &metrics.counter("view.invalidations");
   m_view_evictions_ = &metrics.counter("view.evictions");
+  m_view_decode_failures_ = &metrics.counter("view.snapshot_decode_failures");
   m_view_size_ = &metrics.gauge("view.size");
   m_view_staleness_ = &metrics.histogram("view.staleness_seconds");
   trace_ = &network_.simulator().trace();
@@ -185,6 +186,10 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
       config_.x, config_.y);
   SCI_ASSERT_MSG(attached.is_ok(), "context server node id collision");
 
+  // Durable store (docs/DURABILITY.md): recover whatever a previous
+  // incarnation of this node left on disk before taking on any role.
+  init_durable_store();
+
   if (config_.role == RangeConfig::Role::kStandby) {
     // Follower mode (docs/REPLICATION.md): mirror the primary's state, emit
     // nothing. No overlay node, no directory entry, no liveness timers — the
@@ -192,12 +197,33 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
     mediator_.set_silent(true);
     follower_ = std::make_unique<replicate::ReplicationFollower>(
         network_, attached_as_, config_.context_server, config_.replication,
-        [this](const replicate::LogRecord& record) { apply_record(record); },
+        [this](const replicate::LogRecord& record) {
+          // WAL before apply: once applied() claims this index, it must
+          // survive a crash of this node.
+          if (pstore_ != nullptr) {
+            pstore_->append(follower_->stream_epoch(), record.index,
+                            record.encode());
+          }
+          if (record.index > local_head_) local_head_ = record.index;
+          apply_record(record);
+        },
         [this](const std::vector<std::byte>& blob, std::uint64_t base) {
           apply_snapshot_state(blob, base);
+          // Persist the shipped snapshot as a checkpoint: it supersedes any
+          // WAL this node recovered (possibly from an older incarnation).
+          if (pstore_ != nullptr) {
+            (void)pstore_->checkpoint_with(follower_->stream_epoch(), base,
+                                           blob);
+          }
         },
         [this] { request_promotion(); },
         [this] { return state_fingerprint(); });
+    if (recovered_any_) {
+      // Rejoin with the recovered watermark: the primary ships only the
+      // delta above it while the epoch still matches (attach_standby),
+      // else a full snapshot replaces the recovered state.
+      follower_->seed(recovered_epoch_, recovered_watermark_);
+    }
     if (config_.election.enable) init_election_agent();
     return;
   }
@@ -744,7 +770,7 @@ void ContextServer::handle_query_submit(const net::Message& message) {
     reply_result(message.from, body->query_id, parsed.error(), Value());
     return;
   }
-  if (repl_log_ != nullptr) {
+  if (repl_log_ != nullptr || pstore_ != nullptr) {
     const ForwardedQueryWire wire{message.from, body->xml};
     hold_admit_until_committed(
         log_record(replicate::RecordKind::kQuery, message.from, 0,
@@ -2145,19 +2171,49 @@ void ContextServer::forward_to_shard(const query::Query& q, Guid app,
 std::uint64_t ContextServer::log_record(replicate::RecordKind kind,
                                         Guid subject, std::uint64_t flag,
                                         std::vector<std::byte> payload) {
-  if (repl_log_ == nullptr) return 0;
+  if (config_.role != RangeConfig::Role::kPrimary || fenced_ || recovering_) {
+    return 0;
+  }
+  if (repl_log_ == nullptr && pstore_ == nullptr) return 0;
   replicate::LogRecord record;
   record.kind = kind;
   record.subject = subject;
   record.flag = flag;
   record.payload = std::move(payload);
-  return repl_log_->append(std::move(record));
+  if (repl_log_ != nullptr) {
+    record.index = repl_log_->head() + 1;
+    persist_record(record);
+    const std::uint64_t index = repl_log_->append(std::move(record));
+    local_head_ = index;
+    return index;
+  }
+  // No standbys yet: the WAL alone carries the op. Indices continue the
+  // same per-node sequence so a repl log created later (attach_standby)
+  // seeds its head from local_head_ and stays contiguous.
+  record.index = ++local_head_;
+  persist_record(record);
+  return record.index;
+}
+
+void ContextServer::persist_record(const replicate::LogRecord& record) {
+  if (pstore_ == nullptr) return;
+  pstore_->append(channel_.epoch(), record.index, record.encode());
+}
+
+bool ContextServer::admit_complete(std::uint64_t index) const {
+  // Replication leg: enough standbys applied it (or sync mode is off).
+  const bool repl_ok = config_.sync_acks == 0 || repl_log_ == nullptr ||
+                       repl_log_->committed() >= index;
+  // Durability leg: the local WAL fsynced past it (or ack_after_fsync off).
+  const bool durable_ok = pstore_ == nullptr ||
+                          !pstore_->config().ack_after_fsync ||
+                          pstore_->durable_index() >= index;
+  return repl_ok && durable_ok;
 }
 
 void ContextServer::hold_admit_until_committed(
     std::uint64_t index, std::function<void()> completion) {
-  if (index == 0 || config_.sync_acks == 0 || repl_log_ == nullptr ||
-      repl_log_->committed() >= index) {
+  if (index == 0 || admit_complete(index)) {
     // Asynchronous mode, no log, or already durable (degraded sync commits
     // at append): complete immediately, exactly as before.
     if (completion) completion();
@@ -2174,14 +2230,89 @@ void ContextServer::hold_admit_until_committed(
   if (completion) waiters.push_back(std::move(completion));
 }
 
-void ContextServer::on_commit_advanced(std::uint64_t committed) {
+void ContextServer::release_completed_admits() {
   while (!sync_waiting_.empty() &&
-         sync_waiting_.begin()->first <= committed) {
+         admit_complete(sync_waiting_.begin()->first)) {
     std::vector<std::function<void()>> waiters =
         std::move(sync_waiting_.begin()->second);
     sync_waiting_.erase(sync_waiting_.begin());
     for (const auto& waiter : waiters) waiter();
   }
+}
+
+void ContextServer::on_commit_advanced(std::uint64_t committed) {
+  (void)committed;
+  release_completed_admits();
+}
+
+void ContextServer::on_durable_advanced(std::uint64_t watermark) {
+  (void)watermark;
+  release_completed_admits();
+}
+
+void ContextServer::init_durable_store() {
+  if (config_.storage == nullptr || !config_.durability.enabled) return;
+  if (config_.store_name.empty()) config_.store_name = config_.name;
+  pstore_ = std::make_unique<persist::ShardStore>(
+      network_.simulator(), *config_.storage, config_.store_name,
+      config_.durability);
+  pstore_->set_snapshot_provider([this] { return snapshot_state(); });
+  pstore_->set_durable_callback(
+      [this](std::uint64_t watermark) { on_durable_advanced(watermark); });
+  recover_from_store();
+  pstore_->start_checkpoint_timer([this] { return channel_.epoch(); });
+}
+
+void ContextServer::recover_from_store() {
+  persist::RecoveredState rec = pstore_->recover();
+  if (!rec.any) return;
+
+  // Replay silently: the apply paths otherwise emit frames (acks, mirror
+  // broadcasts, deliveries) that already went out in the previous life.
+  recovering_ = true;
+  const bool was_silent = config_.role == RangeConfig::Role::kStandby;
+  mediator_.set_silent(true);
+  if (!rec.snapshot.empty()) {
+    (void)apply_snapshot_state(rec.snapshot, rec.base_index);
+  }
+  for (const auto& tail : rec.records) {
+    auto record = replicate::LogRecord::decode(tail.bytes);
+    if (!record) continue;  // framed-but-malformed record: skip, keep going
+    record->index = tail.index;
+    apply_record(*record);
+  }
+  recovering_ = false;
+  if (!was_silent) mediator_.set_silent(false);
+
+  recovered_any_ = true;
+  // The DISK's epoch, never lifted to config_.epoch: rejoin negotiation
+  // must present the epoch the WAL was written under, so a stale lineage
+  // gets a replacing snapshot instead of a delta over divergent indices.
+  recovered_epoch_ = rec.epoch;
+  recovered_watermark_ = rec.watermark;
+  local_head_ = rec.watermark;
+  if (rec.tail_truncated) {
+    SCI_WARN(kTag, "%s: WAL tail damaged (%s) — truncated at watermark %llu",
+             config_.name.c_str(), serde::to_string(rec.stop),
+             static_cast<unsigned long long>(rec.watermark));
+  }
+
+  if (config_.role == RangeConfig::Role::kPrimary) {
+    // A restarted primary is a new incarnation: bump the epoch so receivers
+    // reset their per-epoch dedup state for this sender.
+    config_.epoch = std::max(config_.epoch, recovered_epoch_) + 1;
+    channel_.set_epoch(config_.epoch);
+  } else {
+    // A standby adopts the recovered epoch (promote() still advances past
+    // it if this node is later elected).
+    config_.epoch = recovered_epoch_;
+    channel_.set_epoch(config_.epoch);
+  }
+  SCI_INFO(kTag,
+           "%s: recovered from disk — epoch %u, watermark %llu, %zu tail "
+           "records",
+           config_.name.c_str(), recovered_epoch_,
+           static_cast<unsigned long long>(rec.watermark), rec.records.size());
 }
 
 void ContextServer::init_lease_keeper() {
@@ -2679,7 +2810,21 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
 
     SCI_TRY_ASSIGN(has_views, r.boolean());
     if (has_views && views_ != nullptr) {
-      SCI_TRY(views_->decode(r));
+      if (const Status decoded = views_->decode(r); !decoded.is_ok()) {
+        // The view table is a cache: losing it costs recomputation, not
+        // correctness, so a damaged view tail must not fail the whole
+        // snapshot. But the loss is no longer silent — count and trace it.
+        views_->clear();
+        m_view_size_->set(0.0);
+        m_view_decode_failures_->inc();
+        trace_->record(network_.simulator().now(),
+                       obs::TraceKind::kViewDecodeFail, config_.context_server,
+                       config_.range);
+        SCI_WARN(kTag, "%s: view snapshot tail undecodable (%s) — views "
+                 "cleared, will recompute",
+                 config_.name.c_str(), decoded.error().message().c_str());
+        return Status::ok();  // views are the final snapshot field
+      }
       m_view_size_->set(static_cast<double>(views_->size()));
     }
     return Status::ok();
@@ -2692,6 +2837,9 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
              applied.error().message().c_str());
     return;
   }
+  // The snapshot defines the index space from its base: re-seat the local
+  // head (recovery tail replay or follower records move it forward again).
+  local_head_ = base_index;
   SCI_DEBUG(kTag, "%s: applied snapshot at base %llu (%zu members, %zu subs)",
             config_.name.c_str(), static_cast<unsigned long long>(base_index),
             registrar_.size(), mediator_.table().size());
@@ -2717,7 +2865,8 @@ std::uint64_t ContextServer::state_fingerprint() const {
   return h;
 }
 
-void ContextServer::attach_standby(Guid standby_node) {
+void ContextServer::attach_standby(Guid standby_node, std::uint32_t from_epoch,
+                                   std::uint64_t from_index) {
   SCI_ASSERT_MSG(config_.role == RangeConfig::Role::kPrimary && !fenced_,
                  "only an active primary replicates");
   if (repl_log_ == nullptr) {
@@ -2725,13 +2874,16 @@ void ContextServer::attach_standby(Guid standby_node) {
         network_, channel_, config_.replication,
         [this] { return snapshot_state(); },
         [this] { return state_fingerprint(); });
+    // Ops minted while no standby was attached (WAL-only mode) used the same
+    // per-node index sequence: continue it rather than restarting at zero.
+    if (local_head_ > 0) repl_log_->seed_head(local_head_);
     if (config_.sync_acks > 0) {
       repl_log_->set_sync_acks(config_.sync_acks, [this](std::uint64_t c) {
         on_commit_advanced(c);
       });
     }
   }
-  repl_log_->attach_standby(standby_node);
+  repl_log_->attach_standby(standby_node, from_epoch, from_index);
   // Replicating under elections means the right to admit is leased from the
   // group, not assumed: start maintaining the fencing lease.
   init_lease_keeper();
@@ -2744,6 +2896,9 @@ void ContextServer::detach_standby(Guid standby_node) {
 void ContextServer::promote(Guid join_via) {
   SCI_ASSERT_MSG(config_.role == RangeConfig::Role::kStandby && !fenced_,
                  "promote() is a standby-only transition");
+  if (follower_ != nullptr) {
+    local_head_ = std::max(local_head_, follower_->applied());
+  }
   follower_.reset();
   // The voting agent's job is done: the win (if any) is recorded in
   // elected_epoch_, and a primary must not keep answering vote traffic
@@ -2798,6 +2953,10 @@ void ContextServer::promote(Guid join_via) {
   start_primary_duties();
   ++stats_.promotions;
   m_promotions_->inc();
+  // New incarnation, new WAL: a checkpoint under the promoted epoch seals
+  // the adopted state, so a later cold restart recovers this incarnation
+  // rather than replaying records the old primary's epoch stamped.
+  if (pstore_ != nullptr) (void)pstore_->checkpoint(config_.epoch);
   // Close the delivery hole the dead primary left: anything it had sent but
   // not finished retransmitting died with its channel. Components dedup the
   // overlap by (subscription, source, sequence).
@@ -2821,6 +2980,14 @@ void ContextServer::fence() {
   follower_.reset();
   lease_keeper_.reset();
   election_.reset();
+  // Flush and drop the durable store. The files stay in the StorageEnv, so
+  // a later cold restart of this node can recover its WAL and rejoin; the
+  // epoch negotiation in attach_standby keeps fenced-epoch records from
+  // resurrecting into the successor's lineage.
+  if (pstore_ != nullptr) {
+    (void)pstore_->flush();
+    pstore_.reset();
+  }
   // Held admit acks die unsent: the ops were never acknowledged, so clients
   // retransmit them to the successor. channel_.halt() below drops the
   // deferred-ack bookkeeping to match.

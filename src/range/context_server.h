@@ -37,6 +37,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "overlay/scinet.h"
+#include "persist/shard_store.h"
+#include "persist/storage.h"
 #include "query/query.h"
 #include "reliable/reliable.h"
 #include "replicate/election.h"
@@ -145,6 +147,14 @@ struct RangeConfig {
   // the range directory; sibling shards serve components directly and
   // reach other ranges through the lead's directory entry.
   bool overlay_member = true;
+  // Durability (docs/DURABILITY.md): when `storage` is set and
+  // durability.enabled, every applied replication record is appended to a
+  // per-node write-ahead log under `store_name` in the facade-owned
+  // StorageEnv (which outlives this server), checkpointed periodically, and
+  // replayed by the constructor of the next incarnation.
+  persist::DurabilityConfig durability;
+  persist::StorageEnv* storage = nullptr;
+  std::string store_name;
 };
 
 struct ServerStats {
@@ -204,10 +214,14 @@ class ContextServer {
   }
 
   // --- replication & failover (docs/REPLICATION.md) -----------------------
-  // Primary: enrol `standby_node` as a replica and bring it up to date
-  // (snapshot + retained log tail). Creates the replication log on first
-  // use.
-  void attach_standby(Guid standby_node);
+  // Primary: enrol `standby_node` as a replica and bring it up to date.
+  // A rejoining node that recovered state from its WAL announces the
+  // incarnation and index it reached as (from_epoch, from_index); when they
+  // match this log's index space only the delta above the watermark ships
+  // (docs/DURABILITY.md), otherwise the full snapshot + retained tail.
+  // Creates the replication log on first use.
+  void attach_standby(Guid standby_node, std::uint32_t from_epoch = 0,
+                      std::uint64_t from_index = 0);
   void detach_standby(Guid standby_node);
 
   // Standby: take over the range identity. The old primary must be fenced
@@ -280,6 +294,25 @@ class ContextServer {
     return follower_.get();
   }
   [[nodiscard]] reliable::ReliableChannel& channel() { return channel_; }
+
+  // --- durability (docs/DURABILITY.md) ------------------------------------
+  // The write-behind durable store (nullptr when durability is off).
+  [[nodiscard]] const persist::ShardStore* durable_store() const {
+    return pstore_.get();
+  }
+  // True when the constructor replayed any state from the WAL/checkpoint.
+  [[nodiscard]] bool recovered_from_disk() const { return recovered_any_; }
+  // Incarnation and watermark the replay reached — the rejoin negotiation
+  // announces these to the current primary (attach_standby).
+  [[nodiscard]] std::uint32_t recovered_epoch() const {
+    return recovered_epoch_;
+  }
+  [[nodiscard]] std::uint64_t recovered_watermark() const {
+    return recovered_watermark_;
+  }
+  // Forces the buffered WAL tail durable now (orderly-shutdown path; crash
+  // paths skip it deliberately). Returns false if a sync failed.
+  bool flush_durable() { return pstore_ == nullptr || pstore_->flush(); }
 
   // --- Range Service (arrival/departure) ----------------------------------
   // Arrival detection: the world (or a test) tells the Range Service that a
@@ -503,6 +536,16 @@ class ContextServer {
   void hold_admit_until_committed(std::uint64_t index,
                                   std::function<void()> completion);
   void on_commit_advanced(std::uint64_t committed);
+  // --- durability internals (docs/DURABILITY.md) ---------------------------
+  // An admitted op completes (acks release) only when BOTH its replication
+  // commit requirement (sync_acks) and its durability requirement
+  // (ack_after_fsync) are met.
+  [[nodiscard]] bool admit_complete(std::uint64_t index) const;
+  void release_completed_admits();
+  void init_durable_store();
+  void recover_from_store();
+  void persist_record(const replicate::LogRecord& record);
+  void on_durable_advanced(std::uint64_t watermark);
   void init_lease_keeper();
   void init_election_agent();
   // Store + dispatch + trigger stage of handle_publish, shared with
@@ -511,8 +554,11 @@ class ContextServer {
   void remember_recent(const event::Event& event);
   void redispatch_recent();
   void start_primary_duties();
+  // Standbys, fenced instances and a server mid-WAL-replay stay silent: the
+  // replayed operations already produced their sends in a past life.
   [[nodiscard]] bool passive() const {
-    return config_.role == RangeConfig::Role::kStandby || fenced_;
+    return config_.role == RangeConfig::Role::kStandby || fenced_ ||
+           recovering_;
   }
 
   net::Network& network_;
@@ -586,6 +632,7 @@ class ContextServer {
   obs::Counter* m_view_installs_ = nullptr;
   obs::Counter* m_view_invalidations_ = nullptr;
   obs::Counter* m_view_evictions_ = nullptr;
+  obs::Counter* m_view_decode_failures_ = nullptr;
   obs::Gauge* m_view_size_ = nullptr;
   obs::Histogram* m_view_staleness_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
@@ -594,6 +641,16 @@ class ContextServer {
   std::optional<sim::PeriodicTimer> ping_timer_;
   std::optional<sim::PeriodicTimer> beacon_timer_;
   bool discovering_ = false;
+
+  // --- durability state (docs/DURABILITY.md) -------------------------------
+  std::unique_ptr<persist::ShardStore> pstore_;  // nullptr = durability off
+  // Indices minted for durable records before any replication log exists (a
+  // lone durable primary); a later repl log continues above it (seed_head).
+  std::uint64_t local_head_ = 0;
+  bool recovering_ = false;      // constructor replaying WAL — stay silent
+  bool recovered_any_ = false;
+  std::uint32_t recovered_epoch_ = 0;
+  std::uint64_t recovered_watermark_ = 0;
 
   // --- replication state ---------------------------------------------------
   std::unique_ptr<replicate::ReplicationLog> repl_log_;      // primary side

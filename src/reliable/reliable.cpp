@@ -448,11 +448,15 @@ void ReliableChannel::rebind(Guid new_self, std::uint32_t epoch) {
 std::size_t ReliableChannel::replay_dead_letters() {
   std::vector<DeadLetter> letters = dlq_.drain();
   for (DeadLetter& letter : letters) {
-    ++stats_.dlq_replayed;
-    m_dlq_replayed_.inc();
-    send(letter.dest, letter.inner_type, std::move(letter.payload));
+    replay_dead_letter(std::move(letter));
   }
   return letters.size();
+}
+
+void ReliableChannel::replay_dead_letter(DeadLetter letter) {
+  ++stats_.dlq_replayed;
+  m_dlq_replayed_.inc();
+  send(letter.dest, letter.inner_type, std::move(letter.payload));
 }
 
 std::vector<DeadLetter> ReliableChannel::drain_dead_letters() {

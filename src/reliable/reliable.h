@@ -271,6 +271,11 @@ class ReliableChannel {
   // frames replayed.
   std::size_t replay_dead_letters();
 
+  // Re-sends one already-drained letter through the reliable path. Lets the
+  // facade merge several channels' queues and replay in global park order
+  // (Sci::replay_dead_letters on a partitioned range).
+  void replay_dead_letter(DeadLetter letter);
+
   // Empties the queue without resending; returns the removed entries.
   std::vector<DeadLetter> drain_dead_letters();
 

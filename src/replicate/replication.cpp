@@ -133,6 +133,10 @@ ReplicationLog::ReplicationLog(net::Network& network,
   m_heartbeats_ = &metrics.counter("repl.heartbeats");
   m_batches_ = &metrics.counter("repl.batches");
   m_compacted_ = &metrics.counter("repl.compacted");
+  m_delta_catchups_ = &metrics.counter("repl.catchup.delta");
+  m_delta_bytes_ = &metrics.counter("repl.catchup.delta_bytes");
+  m_full_catchups_ = &metrics.counter("repl.catchup.full");
+  m_snapshot_bytes_ = &metrics.counter("repl.catchup.snapshot_bytes");
   m_lag_ = &metrics.gauge("repl.lag");
   snapshot_timer_.emplace(network_.simulator(), config_.snapshot_interval,
                           [this] { take_snapshot(); });
@@ -147,7 +151,8 @@ ReplicationLog::~ReplicationLog() {
   heartbeat_timer_.reset();
 }
 
-void ReplicationLog::attach_standby(Guid node) {
+void ReplicationLog::attach_standby(Guid node, std::uint32_t from_epoch,
+                                    std::uint64_t from_index) {
   SCI_ASSERT(!node.is_nil());
   if (applied_.contains(node)) return;
   // Flush the coalescing window first so the tail re-ship below covers
@@ -156,15 +161,46 @@ void ReplicationLog::attach_standby(Guid node) {
   // of superseded payloads.
   flush_pending();
   compact_tail();
-  ship_snapshot(node);
+  // Delta catch-up: the rejoiner's recovered watermark names a prefix of
+  // *this* log (same incarnation, at or above the snapshot base), so only
+  // the records above it need to travel. A watermark from another epoch is
+  // meaningless here — and possibly a fenced incarnation's — so anything
+  // else takes the full snapshot path, which replaces the rejoiner's state.
+  const bool delta = from_index > 0 && from_epoch == channel_.epoch() &&
+                     from_index >= snapshot_base_ && from_index <= head_;
+  std::uint64_t floor = snapshot_base_;
+  if (delta) {
+    floor = from_index;
+    ++stats_.delta_catchups;
+    m_delta_catchups_->inc();
+  } else {
+    ++stats_.full_catchups;
+    m_full_catchups_->inc();
+    ship_snapshot(node);
+  }
   for (const LogRecord& record : tail_) {
+    if (record.index <= floor) continue;
     ++stats_.records_shipped;
     m_records_shipped_->inc();
-    channel_.send(node, kReplRecord, frame_record(channel_.epoch(), record));
+    const std::vector<std::byte> wire =
+        frame_record(channel_.epoch(), record);
+    if (delta) {
+      stats_.delta_bytes += wire.size();
+      m_delta_bytes_->inc(wire.size());
+    }
+    channel_.send(node, kReplRecord, wire);
   }
-  applied_[node] = snapshot_base_;
+  applied_[node] = floor;
   update_lag();
   update_committed();
+}
+
+void ReplicationLog::seed_head(std::uint64_t head) {
+  if (head <= head_) return;
+  SCI_ASSERT_MSG(tail_.empty() && !have_snapshot_,
+                 "seed_head on a log that already appended");
+  head_ = head;
+  snapshot_base_ = head;
 }
 
 void ReplicationLog::detach_standby(Guid node) {
@@ -328,9 +364,10 @@ void ReplicationLog::take_snapshot() {
 void ReplicationLog::ship_snapshot(Guid standby) {
   if (!have_snapshot_) take_snapshot();
   ++stats_.snapshots_shipped;
-  channel_.send(standby, kReplSnapshot,
-                encode_snapshot(channel_.epoch(), snapshot_base_,
-                                snapshot_blob_));
+  const std::vector<std::byte> wire =
+      encode_snapshot(channel_.epoch(), snapshot_base_, snapshot_blob_);
+  m_snapshot_bytes_->inc(wire.size());
+  channel_.send(standby, kReplSnapshot, wire);
 }
 
 void ReplicationLog::heartbeat_tick() {
@@ -549,6 +586,13 @@ void ReplicationFollower::on_heartbeat(const std::vector<std::byte>& payload) {
   } else {
     diverged_ = false;
   }
+}
+
+void ReplicationFollower::seed(std::uint32_t epoch, std::uint64_t applied) {
+  stream_epoch_ = epoch;
+  applied_ = applied;
+  await_snapshot_ = false;
+  gap_.clear();
 }
 
 void ReplicationFollower::ack() {

@@ -130,6 +130,9 @@ struct ReplicationStats {
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t batch_frames = 0;      // kReplBatch frames sent
   std::uint64_t records_compacted = 0; // tail records tombstoned to kNoop
+  std::uint64_t delta_catchups = 0;    // rejoins served from the tail alone
+  std::uint64_t delta_bytes = 0;       // record bytes shipped on those
+  std::uint64_t full_catchups = 0;     // attaches that needed a snapshot
 };
 
 // Primary-side log. Owned by a Context Server in the primary role with at
@@ -150,10 +153,20 @@ class ReplicationLog {
   ReplicationLog(const ReplicationLog&) = delete;
   ReplicationLog& operator=(const ReplicationLog&) = delete;
 
-  // Registers `node` as a standby and brings it up to date: ships the most
-  // recent snapshot (taking a fresh one if none exists yet) followed by the
-  // retained tail.
-  void attach_standby(Guid node);
+  // Registers `node` as a standby and brings it up to date. A node that
+  // recovered state from its local WAL (docs/DURABILITY.md) announces the
+  // incarnation and index it reached as (from_epoch, from_index); when that
+  // watermark lies inside this log's own index space — same epoch, at or
+  // above the snapshot base — only the tail records *above* it are shipped
+  // (delta catch-up, `repl.catchup.delta`). Any mismatch (different epoch,
+  // watermark below the snapshot base, or the default 0/0 of a cold standby)
+  // falls back to the full transfer: the most recent snapshot (taking a
+  // fresh one if none exists yet) followed by the retained tail. The epoch
+  // check is also a safety rail — a fenced ex-primary's WAL watermark names
+  // a dead index space, and the snapshot fallback *replaces* whatever it
+  // recovered, so fenced-epoch ops cannot resurrect.
+  void attach_standby(Guid node, std::uint32_t from_epoch = 0,
+                      std::uint64_t from_index = 0);
   void detach_standby(Guid node);
 
   // Assigns the next index to `record`, retains it and ships it to every
@@ -176,6 +189,12 @@ class ReplicationLog {
   // is off or the group is degraded below it).
   [[nodiscard]] std::uint64_t committed() const;
   [[nodiscard]] unsigned sync_acks() const { return sync_acks_; }
+
+  // Seeds the index space of a log created on a node that recovered state
+  // from disk: indices continue above the recovered watermark instead of
+  // restarting at 1 (which would collide with what peers and the WAL
+  // already hold under this epoch).
+  void seed_head(std::uint64_t head);
 
   [[nodiscard]] std::uint64_t head() const { return head_; }
   // head − min(applied) over attached standbys; 0 with none attached.
@@ -226,6 +245,10 @@ class ReplicationLog {
   obs::Counter* m_heartbeats_ = nullptr;
   obs::Counter* m_batches_ = nullptr;
   obs::Counter* m_compacted_ = nullptr;
+  obs::Counter* m_delta_catchups_ = nullptr;
+  obs::Counter* m_delta_bytes_ = nullptr;
+  obs::Counter* m_full_catchups_ = nullptr;
+  obs::Counter* m_snapshot_bytes_ = nullptr;
   obs::Gauge* m_lag_ = nullptr;
 
   ReplicationStats stats_;
@@ -261,6 +284,14 @@ class ReplicationFollower {
   void on_snapshot(const std::vector<std::byte>& payload);
   // Raw kReplHeartbeat frame.
   void on_heartbeat(const std::vector<std::byte>& payload);
+
+  // Adopts locally recovered state (docs/DURABILITY.md): the follower
+  // already holds everything through `applied` of incarnation `epoch`, so it
+  // does not await a snapshot and expects records above that watermark. If
+  // the primary's stream turns out to carry a higher epoch, advance_epoch
+  // falls back to the normal await-snapshot resync and the recovered state
+  // is replaced wholesale.
+  void seed(std::uint32_t epoch, std::uint64_t applied);
 
   [[nodiscard]] std::uint64_t applied() const { return applied_; }
   [[nodiscard]] std::uint64_t primary_head() const { return primary_head_; }

@@ -18,6 +18,14 @@ const char* to_string(FaultKind kind) {
       return "loss_rate";
     case FaultKind::kPromote:
       return "promote";
+    case FaultKind::kWalTorn:
+      return "wal_torn";
+    case FaultKind::kWalCorrupt:
+      return "wal_corrupt";
+    case FaultKind::kWalSyncFail:
+      return "wal_sync_fail";
+    case FaultKind::kWalShortRead:
+      return "wal_short_read";
   }
   return "unknown";
 }
@@ -53,6 +61,30 @@ FaultPlan& FaultPlan::promote(Duration at, std::string range, bool force) {
   return *this;
 }
 
+FaultPlan& FaultPlan::wal_torn(Duration at, std::string range, int bytes) {
+  events_.push_back({at, FaultKind::kWalTorn, std::move(range), bytes, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::wal_corrupt(Duration at, std::string range) {
+  events_.push_back({at, FaultKind::kWalCorrupt, std::move(range), 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::wal_sync_fail(Duration at, std::string range,
+                                    int count) {
+  events_.push_back(
+      {at, FaultKind::kWalSyncFail, std::move(range), count, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::wal_short_read(Duration at, std::string range,
+                                     int limit) {
+  events_.push_back(
+      {at, FaultKind::kWalShortRead, std::move(range), limit, 0.0});
+  return *this;
+}
+
 std::string FaultPlan::to_string() const {
   std::string out;
   char line[128];
@@ -73,6 +105,13 @@ std::string FaultPlan::to_string() const {
         std::snprintf(line, sizeof line, "+%.3fs promote %s%s\n",
                       e.at.seconds_f(), e.target.c_str(),
                       e.force ? " (forced)" : "");
+        break;
+      case FaultKind::kWalTorn:
+      case FaultKind::kWalSyncFail:
+      case FaultKind::kWalShortRead:
+        std::snprintf(line, sizeof line, "+%.3fs %s %s (%d)\n",
+                      e.at.seconds_f(), sim::to_string(e.kind),
+                      e.target.c_str(), e.group);
         break;
       default:
         std::snprintf(line, sizeof line, "+%.3fs %s %s\n", e.at.seconds_f(),

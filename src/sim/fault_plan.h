@@ -30,6 +30,12 @@ enum class FaultKind : std::uint8_t {
   kHeal,          // dissolve all partitions
   kLossRate,      // set the fabric-wide iid drop probability
   kPromote,       // fence target range's primary, promote a standby
+  // Durable-store faults (docs/DURABILITY.md) against the target range's
+  // per-shard WALs. `group` carries the numeric argument.
+  kWalTorn,       // chop `group` bytes off each WAL's durable tail
+  kWalCorrupt,    // flip a byte near each WAL's durable tail (CRC damage)
+  kWalSyncFail,   // fail the next `group` fsyncs on each WAL
+  kWalShortRead,  // cap recovery reads at `group` bytes per WAL
 };
 
 const char* to_string(FaultKind kind);
@@ -58,6 +64,12 @@ class FaultPlan {
   // silence before firing. `force` bypasses the vote and promotes the first
   // standby by operator fiat — the only option for 1-standby deployments.
   FaultPlan& promote(Duration at, std::string range, bool force = false);
+  // Durable-store damage, applied to every shard store of `range`. Torn
+  // writes model a crash mid-sector: the chopped bytes are gone for good.
+  FaultPlan& wal_torn(Duration at, std::string range, int bytes);
+  FaultPlan& wal_corrupt(Duration at, std::string range);
+  FaultPlan& wal_sync_fail(Duration at, std::string range, int count);
+  FaultPlan& wal_short_read(Duration at, std::string range, int limit);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

@@ -1,0 +1,630 @@
+// Tests for the durable per-shard store (docs/DURABILITY.md): CRC frame
+// codec, the simulated storage environment's durable-vs-volatile contract,
+// ShardStore group commit / checkpoint / recovery, and the facade-level
+// crash-recovery flows — cold range restart, WAL-delta standby rejoin, and
+// torn/corrupt-tail fault injection.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sci.h"
+#include "persist/shard_store.h"
+#include "persist/storage.h"
+#include "serde/frame.h"
+#include "sim/fault_plan.h"
+
+namespace sci {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// serde/frame.h — CRC-framed WAL records
+
+TEST(PersistTest, FrameRoundTripWalksCleanly) {
+  std::vector<std::byte> buf;
+  serde::append_frame(buf, bytes({1, 2, 3}));
+  serde::append_frame(buf, bytes({}));  // empty payloads are legal
+  serde::append_frame(buf, bytes({9, 8, 7, 6, 5}));
+
+  serde::FrameCursor cursor(buf);
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(cursor.next(payload));
+  EXPECT_EQ(payload, bytes({1, 2, 3}));
+  ASSERT_TRUE(cursor.next(payload));
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(cursor.next(payload));
+  EXPECT_EQ(payload, bytes({9, 8, 7, 6, 5}));
+  EXPECT_FALSE(cursor.next(payload));
+  EXPECT_EQ(cursor.stop(), serde::FrameStop::kClean);
+  EXPECT_EQ(cursor.stop_offset(), buf.size());
+  EXPECT_EQ(cursor.frames_read(), 3u);
+}
+
+TEST(PersistTest, FrameCursorStopsAtTornTail) {
+  std::vector<std::byte> buf;
+  serde::append_frame(buf, bytes({1, 2, 3}));
+  const std::size_t intact = buf.size();
+  serde::append_frame(buf, bytes({4, 5, 6, 7}));
+  buf.resize(buf.size() - 2);  // torn write: last sectors never landed
+
+  serde::FrameCursor cursor(buf);
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(cursor.next(payload));
+  EXPECT_EQ(payload, bytes({1, 2, 3}));
+  EXPECT_FALSE(cursor.next(payload));
+  EXPECT_EQ(cursor.stop(), serde::FrameStop::kTruncated);
+  // The truncate point is the start of the damaged frame, not of the file.
+  EXPECT_EQ(cursor.stop_offset(), intact);
+}
+
+TEST(PersistTest, FrameCursorStopsOnCorruptPayload) {
+  std::vector<std::byte> buf;
+  serde::append_frame(buf, bytes({1, 2, 3}));
+  const std::size_t intact = buf.size();
+  serde::append_frame(buf, bytes({4, 5, 6, 7}));
+  buf.back() ^= std::byte{0x40};  // bit rot inside the last payload
+
+  serde::FrameCursor cursor(buf);
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(cursor.next(payload));
+  EXPECT_FALSE(cursor.next(payload));
+  EXPECT_EQ(cursor.stop(), serde::FrameStop::kBadCrc);
+  EXPECT_EQ(cursor.stop_offset(), intact);
+}
+
+// ---------------------------------------------------------------------------
+// persist::StorageEnv — written != durable
+
+TEST(PersistTest, StorageAppendsAreVolatileUntilSync) {
+  persist::StorageEnv env;
+  env.append("f", bytes({1, 2, 3}));
+  EXPECT_EQ(env.size("f"), 3u);
+  EXPECT_EQ(env.durable_size("f"), 0u);
+  EXPECT_TRUE(env.read("f").empty());  // a crash now loses everything
+
+  ASSERT_TRUE(env.sync("f"));
+  EXPECT_EQ(env.durable_size("f"), 3u);
+  EXPECT_EQ(env.read("f"), bytes({1, 2, 3}));
+
+  // New appends extend the volatile size only; reads stay at the watermark.
+  env.append("f", bytes({4}));
+  EXPECT_EQ(env.size("f"), 4u);
+  EXPECT_EQ(env.read("f"), bytes({1, 2, 3}));
+}
+
+TEST(PersistTest, StorageFailedSyncHoldsWatermark) {
+  persist::StorageEnv env;
+  env.append("f", bytes({1, 2}));
+  env.fail_syncs("f", 1);
+  EXPECT_FALSE(env.sync("f"));
+  EXPECT_EQ(env.durable_size("f"), 0u);
+  EXPECT_TRUE(env.sync("f"));  // injection consumed; retry succeeds
+  EXPECT_EQ(env.durable_size("f"), 2u);
+  EXPECT_EQ(env.stats().sync_failures, 1u);
+}
+
+TEST(PersistTest, StorageWriteAtomicIsAllOrNothing) {
+  persist::StorageEnv env;
+  ASSERT_TRUE(env.write_atomic("c", bytes({1, 1, 1})));
+  EXPECT_EQ(env.read("c"), bytes({1, 1, 1}));
+
+  env.fail_syncs("c", 1);
+  EXPECT_FALSE(env.write_atomic("c", bytes({2, 2})));
+  // Never a half-written file: the old content survives untouched.
+  EXPECT_EQ(env.read("c"), bytes({1, 1, 1}));
+  ASSERT_TRUE(env.write_atomic("c", bytes({2, 2})));
+  EXPECT_EQ(env.read("c"), bytes({2, 2}));
+}
+
+TEST(PersistTest, StorageFaultHooksTearCapAndClear) {
+  persist::StorageEnv env;
+  env.append("f", bytes({1, 2, 3, 4, 5}));
+  ASSERT_TRUE(env.sync("f"));
+
+  env.tear_tail("f", 2);  // fsync acked, sectors gone anyway
+  EXPECT_EQ(env.durable_size("f"), 3u);
+  EXPECT_EQ(env.read("f"), bytes({1, 2, 3}));
+
+  env.short_reads("f", 1);
+  EXPECT_EQ(env.read("f"), bytes({1}));
+  env.clear_read_faults("f");
+  EXPECT_EQ(env.read("f"), bytes({1, 2, 3}));
+  EXPECT_GE(env.stats().faults_injected, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// persist::ShardStore — group commit, checkpoint, recovery
+
+struct StoreFixture {
+  sim::Simulator simulator{42};
+  persist::StorageEnv env;
+  std::vector<std::uint64_t> durable_marks;
+
+  persist::DurabilityConfig config() {
+    persist::DurabilityConfig c;
+    c.enabled = true;
+    c.flush_interval = Duration::millis(20);
+    c.flush_threshold = 100;  // timer-driven unless a test lowers it
+    return c;
+  }
+
+  std::unique_ptr<persist::ShardStore> make(const std::string& name,
+                                            persist::DurabilityConfig c) {
+    auto store = std::make_unique<persist::ShardStore>(simulator, env, name, c);
+    store->set_durable_callback(
+        [this](std::uint64_t mark) { durable_marks.push_back(mark); });
+    return store;
+  }
+};
+
+TEST(PersistTest, StoreGroupCommitsOnFlushTimer) {
+  StoreFixture f;
+  auto store = f.make("s", f.config());
+  store->append(1, 1, bytes({10}));
+  store->append(1, 2, bytes({11}));
+  EXPECT_EQ(store->buffered(), 2u);
+  EXPECT_EQ(store->durable_index(), 0u);  // write-behind: nothing synced yet
+
+  f.simulator.run_until(f.simulator.now() + Duration::millis(25));
+  EXPECT_EQ(store->buffered(), 0u);
+  EXPECT_EQ(store->durable_index(), 2u);
+  // One group commit: a single batch append + sync covered both records.
+  EXPECT_EQ(f.env.stats().syncs, 1u);
+  EXPECT_EQ(f.durable_marks, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(PersistTest, StoreFlushThresholdShortCircuitsTimer) {
+  StoreFixture f;
+  persist::DurabilityConfig c = f.config();
+  c.flush_threshold = 3;
+  auto store = f.make("s", c);
+  store->append(1, 1, bytes({1}));
+  store->append(1, 2, bytes({2}));
+  EXPECT_EQ(store->durable_index(), 0u);
+  store->append(1, 3, bytes({3}));  // threshold reached: flush inline
+  EXPECT_EQ(store->durable_index(), 3u);
+  EXPECT_EQ(store->buffered(), 0u);
+}
+
+TEST(PersistTest, StoreFailedSyncHoldsAcksAndRetries) {
+  StoreFixture f;
+  auto store = f.make("s", f.config());
+  f.env.fail_syncs(store->wal_file(), 1);
+  store->append(1, 1, bytes({1}));
+
+  f.simulator.run_until(f.simulator.now() + Duration::millis(25));
+  // The fsync failed: watermark (and the acks behind it) must not move.
+  EXPECT_EQ(store->durable_index(), 0u);
+  EXPECT_TRUE(f.durable_marks.empty());
+
+  // The re-armed group-commit timer retries and catches up.
+  f.simulator.run_until(f.simulator.now() + Duration::millis(25));
+  EXPECT_EQ(store->durable_index(), 1u);
+  EXPECT_EQ(f.durable_marks, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(PersistTest, StoreCheckpointSupersedesWalAndRecoverReplays) {
+  StoreFixture f;
+  {
+    auto store = f.make("s", f.config());
+    store->set_snapshot_provider([] { return bytes({9, 9, 9}); });
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      store->append(3, i, bytes({int(i)}));
+    }
+    ASSERT_TRUE(store->checkpoint(3));
+    EXPECT_FALSE(f.env.exists(store->wal_file()));  // log restarted empty
+    store->append(3, 6, bytes({6}));
+    store->append(3, 7, bytes({7}));
+    ASSERT_TRUE(store->flush());
+  }  // node object dies; only the durable files survive
+
+  auto revived = f.make("s", f.config());
+  const persist::RecoveredState rec = revived->recover();
+  ASSERT_TRUE(rec.any);
+  EXPECT_EQ(rec.epoch, 3u);
+  EXPECT_EQ(rec.base_index, 5u);
+  EXPECT_EQ(rec.snapshot, bytes({9, 9, 9}));
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_EQ(rec.records[0].index, 6u);
+  EXPECT_EQ(rec.records[1].index, 7u);
+  EXPECT_EQ(rec.records[1].bytes, bytes({7}));
+  EXPECT_EQ(rec.watermark, 7u);
+  EXPECT_FALSE(rec.tail_truncated);
+  EXPECT_EQ(revived->durable_index(), 7u);
+}
+
+TEST(PersistTest, StoreRecoverTruncatesTornTail) {
+  StoreFixture f;
+  {
+    auto store = f.make("s", f.config());
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      store->append(1, i, bytes({int(i)}));
+    }
+    ASSERT_TRUE(store->flush());
+  }
+  f.env.tear_tail("s.wal", 3);  // last frame loses its tail
+
+  auto revived = f.make("s", f.config());
+  const persist::RecoveredState rec = revived->recover();
+  ASSERT_TRUE(rec.any);
+  EXPECT_TRUE(rec.tail_truncated);
+  EXPECT_NE(rec.stop, serde::FrameStop::kClean);
+  ASSERT_EQ(rec.records.size(), 3u);
+  EXPECT_EQ(rec.watermark, 3u);
+
+  // The damaged tail was cut, so appending and re-recovering is clean.
+  revived->append(1, 4, bytes({4}));
+  ASSERT_TRUE(revived->flush());
+  auto third = f.make("s", f.config());
+  const persist::RecoveredState again = third->recover();
+  EXPECT_FALSE(again.tail_truncated);
+  EXPECT_EQ(again.watermark, 4u);
+}
+
+TEST(PersistTest, StoreRecoverSurvivesCorruptionAndShortReads) {
+  StoreFixture f;
+  {
+    auto store = f.make("s", f.config());
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      store->append(1, i, bytes({int(i), 0, 0, 0, 0, 0, 0, 0}));
+    }
+    ASSERT_TRUE(store->flush());
+  }
+  f.env.corrupt_tail("s.wal");  // bit rot inside the last frame
+
+  auto revived = f.make("s", f.config());
+  const persist::RecoveredState rec = revived->recover();
+  EXPECT_TRUE(rec.tail_truncated);
+  EXPECT_EQ(rec.stop, serde::FrameStop::kBadCrc);
+  EXPECT_EQ(rec.watermark, 2u);
+
+  // A capped read is indistinguishable from a shorter file: recovery still
+  // succeeds (lower watermark) and clears the fault for the write side.
+  persist::StorageEnv env2;
+  sim::Simulator sim2{7};
+  {
+    persist::ShardStore store(sim2, env2, "t", f.config());
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      store.append(1, i, bytes({int(i)}));
+    }
+    ASSERT_TRUE(store.flush());
+  }
+  env2.short_reads("t.wal", 16);
+  persist::ShardStore partial(sim2, env2, "t", f.config());
+  const persist::RecoveredState short_rec = partial.recover();
+  ASSERT_TRUE(short_rec.any);
+  EXPECT_LT(short_rec.watermark, 3u);
+  EXPECT_GE(short_rec.watermark, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Facade-level durability: cold restart, delta rejoin, fault plans
+
+// Advertises the "pulse" output so a pattern subscription composes onto it.
+class PulseCE final : public entity::ContextEntity {
+ public:
+  using ContextEntity::ContextEntity;
+
+ protected:
+  [[nodiscard]] std::vector<entity::TypeSig> profile_outputs() const override {
+    return {{"pulse", "", "pulse"}};
+  }
+};
+
+// Counts (source, sequence) pairs so duplicates are distinguishable from
+// fresh deliveries, and registration handshakes so re-registration shows.
+class PulseMonitor final : public entity::ContextAwareApp {
+ public:
+  using ContextAwareApp::ContextAwareApp;
+  int unique_events = 0;
+  int duplicate_events = 0;
+  int registered_calls = 0;
+
+ protected:
+  void on_event(const event::Event& event, std::uint64_t) override {
+    if (seen_.insert({event.source, event.sequence}).second) {
+      ++unique_events;
+    } else {
+      ++duplicate_events;
+    }
+  }
+  void on_registered() override { ++registered_calls; }
+
+ private:
+  std::set<std::pair<Guid, std::uint64_t>> seen_;
+};
+
+struct DurableFixture {
+  Sci sci{42};
+  mobility::Building building{{.floors = 2, .rooms_per_floor = 4}};
+  range::ContextServer* level_a = nullptr;
+  range::ContextServer* level_b = nullptr;
+
+  explicit DurableFixture(unsigned standby_count = 0, unsigned sync_acks = 0,
+                          unsigned shard_count = 1) {
+    sci.set_location_directory(&building.directory());
+    level_a = sci.create_range("levelA", building.floor_path(0)).value();
+    RangeOptions options;
+    options.durability.enable = true;
+    options.sharding.shard_count = shard_count;
+    options.replication.standby_count = standby_count;
+    options.replication.heartbeat_period = Duration::millis(200);
+    options.replication.promote_timeout = Duration::millis(800);
+    options.replication.sync_acks = sync_acks;
+    level_b =
+        sci.create_range("levelB", building.floor_path(1), options).value();
+  }
+};
+
+TEST(PersistTest, ColdRestartRecoversAckedOpsAndSubscriptions) {
+  DurableFixture f;
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  for (int i = 0; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));  // every op acked + group-committed
+  ASSERT_EQ(monitor.unique_events, 10);
+
+  // Power cut: the Context Server objects die without any flush; the only
+  // survivor is what the write-behind store already made durable.
+  ASSERT_TRUE(f.sci.shutdown_range("levelB").is_ok());
+  EXPECT_EQ(f.sci.find_range("levelB"), nullptr);
+  EXPECT_TRUE(f.sci.storage().exists("levelB.ckpt") ||
+              f.sci.storage().exists("levelB.wal"));
+
+  auto revived = f.sci.recover_range("levelB");
+  ASSERT_TRUE(bool(revived));
+  f.sci.run_for(Duration::seconds(1));
+
+  const auto snapshot = f.sci.metrics().snapshot();
+  EXPECT_GE(snapshot.counter("persist.recoveries"), 1u);
+  EXPECT_EQ(snapshot.counter("view.snapshot_decode_failures"), 0u);
+
+  // Registrations and the subscription came back from disk: new publishes
+  // flow to the monitor without any re-registration handshake.
+  for (int i = 10; i < 15; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 15);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+}
+
+TEST(PersistTest, ShardedColdRestartRecoversEveryShardStore) {
+  DurableFixture f(0, 0, /*shard_count=*/2);
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  for (int i = 0; i < 6; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 6);
+
+  // Each shard persists under its own store: lead "levelB", sibling
+  // "levelB#1".
+  EXPECT_TRUE(f.sci.storage().exists("levelB.wal") ||
+              f.sci.storage().exists("levelB.ckpt"));
+  EXPECT_TRUE(f.sci.storage().exists("levelB#1.wal") ||
+              f.sci.storage().exists("levelB#1.ckpt"));
+
+  ASSERT_TRUE(f.sci.shutdown_range("levelB").is_ok());
+  auto revived = f.sci.recover_range("levelB");
+  ASSERT_TRUE(bool(revived));
+  ASSERT_EQ(f.sci.shards("levelB").size(), 2u);
+  f.sci.run_for(Duration::seconds(1));
+
+  for (int i = 6; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+}
+
+TEST(PersistTest, StandbyRejoinsViaDeltaSmallerThanSnapshot) {
+  DurableFixture f;
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  // Build real state first so the initial full snapshot has weight.
+  for (int i = 0; i < 20; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(50));
+  }
+  f.sci.run_for(Duration::seconds(1));
+
+  auto first = f.sci.add_standby("levelB");
+  ASSERT_TRUE(bool(first));
+  f.sci.run_for(Duration::seconds(1));
+  {
+    const auto snap = f.sci.metrics().snapshot();
+    ASSERT_GE(snap.counter("repl.catchup.full"), 1u);
+    ASSERT_GT(snap.counter("repl.catchup.snapshot_bytes"), 0u);
+    ASSERT_EQ(snap.counter("repl.catchup.delta"), 0u);
+  }
+
+  // Cold-stop the standby; its WAL stays behind in the storage env.
+  const Guid standby_node = (*first)->attached_node();
+  ASSERT_TRUE(f.sci.shutdown_standby(standby_node).is_ok());
+  ASSERT_TRUE(f.sci.standbys("levelB").empty());
+
+  // A little more traffic: the delta the rejoin must fetch.
+  for (int i = 20; i < 25; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(50));
+  }
+  f.sci.run_for(Duration::seconds(1));
+
+  // The replacement takes the dead standby's slot, recovers its WAL, and
+  // presents the recovered (epoch, watermark): the primary ships only the
+  // tail above it instead of a second full snapshot.
+  auto second = f.sci.add_standby("levelB");
+  ASSERT_TRUE(bool(second));
+  EXPECT_TRUE((*second)->recovered_from_disk());
+  f.sci.run_for(Duration::seconds(1));
+
+  const auto snap = f.sci.metrics().snapshot();
+  EXPECT_EQ(snap.counter("repl.catchup.delta"), 1u);
+  EXPECT_EQ(snap.counter("repl.catchup.full"), 1u);  // no second snapshot
+  EXPECT_GT(snap.counter("repl.catchup.delta_bytes"), 0u);
+  EXPECT_LT(snap.counter("repl.catchup.delta_bytes"),
+            snap.counter("repl.catchup.snapshot_bytes"));
+  ASSERT_NE((*second)->replication_follower(), nullptr);
+  EXPECT_FALSE((*second)->replication_follower()->awaiting_snapshot());
+  EXPECT_EQ(f.level_b->replication_lag(), 0u);
+}
+
+TEST(PersistTest, TornAndCorruptWalRecoveryNeverPanics) {
+  DurableFixture f;
+  PulseCE pulse(f.sci.network(), f.sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), f.sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  for (int i = 0; i < 8; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 8);
+
+  ASSERT_TRUE(f.sci.shutdown_range("levelB").is_ok());
+
+  // Damage the dormant WAL through the declarative fault plan: tear the
+  // durable tail AND flip a byte further in. Recovery must truncate at the
+  // first bad frame and carry on — never panic, never refuse.
+  sim::FaultPlan plan;
+  plan.wal_torn(Duration::millis(0), "levelB", 5)
+      .wal_corrupt(Duration::millis(1), "levelB");
+  f.sci.inject_faults(plan);
+  f.sci.run_for(Duration::millis(10));
+
+  auto revived = f.sci.recover_range("levelB");
+  ASSERT_TRUE(bool(revived));
+  f.sci.run_for(Duration::seconds(1));
+  const auto snap = f.sci.metrics().snapshot();
+  EXPECT_GE(snap.counter("persist.truncated_tails"), 1u);
+  EXPECT_GE(snap.counter("persist.recoveries"), 1u);
+
+  // Ops inside the damaged tail may be gone (the fault chopped durable
+  // bytes), but the recovered server keeps serving: new publishes still
+  // reach the monitor's recovered subscription.
+  const int before = monitor.unique_events + monitor.duplicate_events;
+  for (int i = 8; i < 12; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_GE(monitor.unique_events + monitor.duplicate_events, before + 4);
+  EXPECT_EQ(monitor.registered_calls, 1);
+}
+
+// Facade DLQ replay must preserve the original park order ACROSS shard
+// queues (docs/RELIABLE.md): draining queue-by-queue would reorder two
+// causally ordered frames that parked on different shards.
+TEST(PersistTest, DeadLetterReplayPreservesCrossShardParkOrder) {
+  Sci sci{42};
+  mobility::Building building{{.floors = 2, .rooms_per_floor = 4}};
+  sci.set_location_directory(&building.directory());
+  RangeOptions options;
+  options.sharding.shard_count = 4;
+  range::ContextServer* lead =
+      sci.create_range("mall", building.floor_path(0), options).value();
+  ASSERT_NE(lead, nullptr);
+  sci.run_for(Duration::millis(300));
+
+  const auto shards = sci.shards("mall");
+  ASSERT_EQ(shards.size(), 4u);
+
+  // Sends to a never-attached node park immediately, stamping parked_at
+  // with the current sim time — so this interleaving is the ground truth.
+  Rng rng{99};
+  const Guid ghost = Guid::random(rng);
+  const std::vector<unsigned> park_order = {2, 0, 3, 1};
+  for (unsigned shard : park_order) {
+    shards[shard]->channel().send(ghost, 0x42, bytes({int(shard)}));
+    sci.run_for(Duration::millis(5));
+  }
+  ASSERT_EQ(sci.dead_letters("mall").value()->size() +
+                shards[1]->channel().dead_letters().size() +
+                shards[2]->channel().dead_letters().size() +
+                shards[3]->channel().dead_letters().size(),
+            4u);
+
+  // Replaying to the still-unknown ghost gives up synchronously, so the
+  // give-up hooks observe the facade's replay order directly.
+  std::vector<unsigned> replayed;
+  for (unsigned i = 0; i < shards.size(); ++i) {
+    shards[i]->channel().set_give_up_handler(
+        [&replayed, i](const net::Message&, unsigned) {
+          replayed.push_back(i);
+        });
+  }
+  EXPECT_EQ(sci.replay_dead_letters("mall").value(), 4u);
+  EXPECT_EQ(replayed, park_order);
+}
+
+}  // namespace
+}  // namespace sci

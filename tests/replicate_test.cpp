@@ -728,5 +728,95 @@ TEST(ReplicateTest, SyncModeKillElectCycleLosesNoClientAckedOps) {
   EXPECT_TRUE(monitor.is_registered());
 }
 
+// ISSUE durability scenario: kill-and-elect under sync_acks=1, then cold
+// restart the fenced old primary from its own WAL. The restarted instance
+// rejoins as a standby of the election winner; because its disk carries a
+// fenced epoch, the winner must REPLACE its recovered state with a fresh
+// snapshot — never merge the old lineage's tail — so no op the dead
+// incarnation applied but failed to replicate can resurrect, and nothing is
+// delivered twice.
+TEST(ReplicateTest, ColdRestartedFencedPrimaryRejoinsWithoutResurrection) {
+  Sci sci{42};
+  mobility::Building building{{.floors = 2, .rooms_per_floor = 4}};
+  sci.set_location_directory(&building.directory());
+  range::ContextServer* level_a =
+      sci.create_range("levelA", building.floor_path(0)).value();
+  ASSERT_NE(level_a, nullptr);
+  RangeOptions options;
+  options.durability.enable = true;
+  options.replication.standby_count = 1;
+  options.replication.heartbeat_period = Duration::millis(200);
+  options.replication.promote_timeout = Duration::millis(800);
+  options.replication.sync_acks = 1;
+  range::ContextServer* level_b =
+      sci.create_range("levelB", building.floor_path(1), options).value();
+
+  PulseCE pulse(sci.network(), sci.new_guid(), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(sci.enroll(pulse, *level_b).is_ok());
+  PulseMonitor monitor(sci.network(), sci.new_guid(), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(sci.enroll(monitor, *level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .pattern("pulse")
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  sci.run_for(Duration::seconds(1));
+
+  for (int i = 0; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    sci.run_for(Duration::millis(100));
+  }
+  sci.run_for(Duration::seconds(1));
+  ASSERT_EQ(monitor.unique_events, 10);
+
+  // Kill the primary; the standby's watchdog fences and takes over.
+  range::ContextServer* old_primary = level_b;
+  const std::uint32_t fenced_epoch = old_primary->epoch();
+  ASSERT_TRUE(sci.network().set_crashed(old_primary->id(), true).is_ok());
+  ASSERT_TRUE(
+      sci.network().set_crashed(old_primary->server_node(), true).is_ok());
+  sci.run_for(Duration::seconds(3));
+
+  range::ContextServer* fresh = sci.find_range("levelB");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, old_primary);
+  ASSERT_EQ(fresh->role(), range::RangeConfig::Role::kPrimary);
+  ASSERT_GT(fresh->epoch(), fenced_epoch);
+
+  // Cold-restart the dead incarnation from its WAL: the replacement standby
+  // takes over the old primary's free store ("levelB") and recovers it.
+  auto rejoined = sci.add_standby("levelB");
+  ASSERT_TRUE(bool(rejoined));
+  EXPECT_EQ((*rejoined)->config().store_name, "levelB");
+  EXPECT_TRUE((*rejoined)->recovered_from_disk());
+  // The disk speaks for the fenced epoch, not the winner's.
+  EXPECT_EQ((*rejoined)->recovered_epoch(), fenced_epoch);
+  EXPECT_GT((*rejoined)->recovered_watermark(), 0u);
+  sci.run_for(Duration::seconds(1));
+
+  // Stale lineage ⇒ the winner shipped a replacing snapshot, not a delta.
+  const auto snap = sci.metrics().snapshot();
+  EXPECT_EQ(snap.counter("repl.catchup.delta"), 0u);
+  EXPECT_GE(snap.counter("repl.catchup.full"), 1u);
+  ASSERT_NE((*rejoined)->replication_follower(), nullptr);
+  EXPECT_FALSE((*rejoined)->replication_follower()->awaiting_snapshot());
+
+  // Traffic through the new incarnation reaches the monitor exactly once —
+  // nothing lost, nothing resurrected, nothing duplicated.
+  for (int i = 10; i < 15; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    sci.run_for(Duration::millis(100));
+  }
+  sci.run_for(Duration::seconds(5));
+  EXPECT_EQ(monitor.unique_events, 15);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+  EXPECT_EQ(fresh->replication_lag(), 0u);
+}
+
 }  // namespace
 }  // namespace sci
