@@ -223,6 +223,47 @@ Expected<unsigned> Sci::shard_of(std::string_view range, Guid entity) {
   return lead->shard_of(entity);
 }
 
+Expected<unsigned> Sci::rebalance_range(std::string_view range,
+                                        unsigned max_moves) {
+  std::vector<range::ContextServer*> group = shards(range);
+  if (group.empty()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no range named '" + std::string(range) + "'");
+  }
+  if (group.size() < 2) {
+    return make_error(ErrorCode::kUnavailable,
+                      "range '" + std::string(range) + "' is not partitioned");
+  }
+  unsigned moved = 0;
+  for (unsigned i = 0; i < max_moves; ++i) {
+    // Placement: hottest shard by publish-rate EWMA sheds its hottest vnode
+    // to the least loaded shard. Deterministic given the metric values.
+    range::ContextServer* hottest = nullptr;
+    range::ContextServer* coldest = nullptr;
+    for (range::ContextServer* shard : group) {
+      if (hottest == nullptr || shard->publish_rate() > hottest->publish_rate())
+        hottest = shard;
+      if (coldest == nullptr || shard->publish_rate() < coldest->publish_rate())
+        coldest = shard;
+    }
+    if (hottest == coldest || hottest->publish_rate() <= 0.0) break;
+    const std::vector<unsigned> hot = hottest->hot_vnodes(1);
+    if (hot.empty()) break;
+    const std::uint64_t epoch_before = hottest->map_epoch();
+    if (!hottest->begin_handoff(hot.front(), coldest->shard_index())) break;
+    // Bounded settle: step until the handoff commits or aborts. An injected
+    // crash mid-protocol can leave it pending for the successor — the
+    // deadline keeps the facade from spinning on it.
+    const SimTime deadline = simulator_.now() + Duration::seconds(10);
+    while (hottest->handoff_active() && simulator_.now() < deadline) {
+      if (!simulator_.step(deadline)) break;
+    }
+    if (hottest->map_epoch() <= epoch_before) break;  // aborted or pending
+    ++moved;
+  }
+  return moved;
+}
+
 std::vector<range::ContextServer*> Sci::ranges() const {
   std::vector<range::ContextServer*> view;
   view.reserve(ranges_.size());
@@ -762,6 +803,52 @@ void Sci::inject_faults(const sim::FaultPlan& plan) {
               default:
                 break;
             }
+          }
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
+                       Guid(), detail);
+          return;
+        }
+        case sim::FaultKind::kReshard: {
+          const unsigned max_moves =
+              event.group > 0 ? static_cast<unsigned>(event.group) : 1;
+          const auto moved = rebalance_range(event.target, max_moves);
+          if (!moved) {
+            SCI_WARN("sci", "fault reshard '%s' failed: %s",
+                     event.target.c_str(), moved.error().message().c_str());
+            return;
+          }
+          trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
+                       Guid(), detail);
+          return;
+        }
+        case sim::FaultKind::kHandoffCrash:
+        case sim::FaultKind::kHandoffPartition: {
+          std::vector<range::ContextServer*> group = shards(event.target);
+          if (group.empty()) {
+            SCI_WARN("sci", "fault %s targets unknown range '%s' — skipped",
+                     sim::to_string(event.kind), event.target.c_str());
+            return;
+          }
+          // One-shot strike, armed on every live shard primary: whichever
+          // handoff first reaches the named protocol step takes the hit.
+          // The probe is stored inside the server, so it cannot dangle.
+          const bool crash = event.kind == sim::FaultKind::kHandoffCrash;
+          auto fired = std::make_shared<bool>(false);
+          for (range::ContextServer* shard : group) {
+            shard->set_handoff_probe(
+                [this, shard, fired, crash, step = event.arg,
+                 group_id = event.group](const char* at) {
+                  if (*fired || step != at) return;
+                  *fired = true;
+                  if (crash) {
+                    (void)network_.set_crashed(shard->id(), true);
+                    (void)network_.set_crashed(shard->server_node(), true);
+                  } else {
+                    network_.set_partition_group(shard->id(), group_id);
+                    network_.set_partition_group(shard->server_node(),
+                                                 group_id);
+                  }
+                });
           }
           trace.record(simulator_.now(), obs::TraceKind::kFaultInject, Guid(),
                        Guid(), detail);

@@ -239,6 +239,13 @@ class Sci {
   // Index of the shard that owns `entity` under the named Range's map (0
   // for a monolithic range). kNotFound for unknown names.
   Expected<unsigned> shard_of(std::string_view range, Guid entity);
+  // Load-aware elastic rebalance (docs/SHARDING.md): moves up to `max_moves`
+  // hot vnodes off the busiest shard (by publish-rate EWMA) onto the least
+  // loaded one, running the simulator until each freeze→ship→commit handoff
+  // settles. Returns how many vnodes actually moved (0 when load is already
+  // level). kNotFound for unknown names, kUnavailable for monolithic ranges.
+  Expected<unsigned> rebalance_range(std::string_view range,
+                                     unsigned max_moves = 1);
 
   // --- replication & failover (docs/REPLICATION.md) ---------------------------
   // Creates one more standby for an existing range and brings it up to date

@@ -290,6 +290,23 @@ void Component::handle_message(const net::Message& message) {
       send(message.from, kPong, {});
       return;
     }
+    case kRedirect: {
+      // Our subject moved to a different shard (vnode handoff committed):
+      // future publishes/queries go to the new owner. Idempotent — the old
+      // owner re-sends this on every stale-routed frame it sees.
+      auto body = RedirectBody::decode(message.payload);
+      if (!body || !registered_) return;
+      if (registration_.context_server == body->context_server &&
+          registration_.event_mediator == body->event_mediator) {
+        return;
+      }
+      registration_.context_server = body->context_server;
+      registration_.event_mediator = body->event_mediator;
+      ++stats_.redirects_followed;
+      SCI_DEBUG(kTag, "%s: followed reshard redirect to %s", name_.c_str(),
+                body->context_server.short_string().c_str());
+      return;
+    }
     default:
       SCI_DEBUG(kTag, "%s: unhandled message type 0x%x", name_.c_str(),
                 message.type);

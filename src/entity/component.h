@@ -44,6 +44,7 @@ struct ComponentStats {
   std::uint64_t events_published = 0;
   std::uint64_t events_received = 0;
   std::uint64_t duplicate_deliveries = 0;  // suppressed failover replays
+  std::uint64_t redirects_followed = 0;    // resharding re-points applied
   std::uint64_t queries_submitted = 0;
   std::uint64_t results_received = 0;
   std::uint64_t invokes_handled = 0;

@@ -257,4 +257,22 @@ Expected<ProfileUpdateBody> ProfileUpdateBody::decode(
   return b;
 }
 
+std::vector<std::byte> RedirectBody::encode() const {
+  serde::Writer w;
+  write_guid(w, context_server);
+  write_guid(w, event_mediator);
+  return w.take();
+}
+
+Expected<RedirectBody> RedirectBody::decode(
+    const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  RedirectBody b;
+  SCI_TRY_ASSIGN(cs, read_guid(r));
+  b.context_server = cs;
+  SCI_TRY_ASSIGN(em, read_guid(r));
+  b.event_mediator = em;
+  return b;
+}
+
 }  // namespace sci::entity

@@ -45,6 +45,7 @@ enum ComponentMsg : std::uint32_t {
   kPing,   // liveness probe from the Range Service
   kPong,
   kLeaseRenew,  // keep-alive for subscription leases (empty body)
+  kRedirect,    // ownership moved (resharding): re-point CS/mediator guids
 };
 
 inline void write_guid(serde::Writer& w, Guid g) {
@@ -168,6 +169,18 @@ struct ProfileUpdateBody {
   [[nodiscard]] std::vector<std::byte> encode() const;
   static Expected<ProfileUpdateBody> decode(
       const std::vector<std::byte>& bytes);
+};
+
+// Sent by a (former) owner shard after a vnode handoff commits: the
+// component's subject moved to a new shard, so publishes and queries must
+// go to these addresses from now on. Fire-and-forget — a lost redirect is
+// repaired by the old owner re-sending it on every stale-routed frame.
+struct RedirectBody {
+  Guid context_server;
+  Guid event_mediator;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Expected<RedirectBody> decode(const std::vector<std::byte>& bytes);
 };
 
 }  // namespace sci::entity

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "entity/sensors.h"
+#include "serde/frame.h"
 
 namespace sci::range {
 
@@ -76,11 +77,81 @@ bool mutates_range_state(std::uint32_t type) {
     case kShardProfileRemove:
     case kShardSubscribe:
     case kShardUnsubscribe:
+    case kShardBatch:
+    case kHandoffFreeze:
+    case kHandoffState:
+    case kHandoffReady:
+    case kHandoffCommit:
+    case kHandoffAbort:
+    case kHandoffReplay:
       return true;
     default:
       return false;
   }
 }
+
+// Handoff protocol header, shared by the kHandoffFreeze/kHandoffCommit wire
+// frames and the kHandoffIntent/kHandoffCommit log records: which vnode is
+// moving, between whom, and the map epoch the move commits at.
+struct HandoffWire {
+  std::uint64_t id = 0;
+  unsigned vnode = 0;
+  unsigned source = 0;
+  unsigned target = 0;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    serde::Writer w;
+    w.varint(id);
+    w.varint(vnode);
+    w.varint(source);
+    w.varint(target);
+    w.varint(epoch);
+    return w.take();
+  }
+
+  static Expected<HandoffWire> decode(const std::vector<std::byte>& bytes) {
+    serde::Reader r(bytes);
+    HandoffWire out;
+    SCI_TRY_ASSIGN(id, r.varint());
+    out.id = id;
+    SCI_TRY_ASSIGN(vnode, r.varint());
+    out.vnode = static_cast<unsigned>(vnode);
+    SCI_TRY_ASSIGN(source, r.varint());
+    out.source = static_cast<unsigned>(source);
+    SCI_TRY_ASSIGN(target, r.varint());
+    out.target = static_cast<unsigned>(target);
+    SCI_TRY_ASSIGN(epoch, r.varint());
+    out.epoch = epoch;
+    return out;
+  }
+};
+
+// Length-prefixed byte blobs (varint len + raw) — same layout as string().
+void write_blob(serde::Writer& w, const std::vector<std::byte>& blob) {
+  w.varint(blob.size());
+  w.raw(blob.data(), blob.size());
+}
+
+Expected<std::vector<std::byte>> read_blob(serde::Reader& r) {
+  SCI_TRY_ASSIGN(s, r.string());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+// Record categories inside a kHandoffState batch (u8 tag per CRC frame).
+constexpr std::uint8_t kStateMember = 1;   // registrar MemberRecord
+constexpr std::uint8_t kStateProfile = 2;  // profile + advertisement
+constexpr std::uint8_t kStateEvent = 3;    // context-store event
+constexpr std::uint8_t kStateSub = 4;      // producer-keyed subscription
+constexpr std::uint8_t kStateDedup = 5;    // publish_seen window
+
+// Staged ops beyond this abort the handoff rather than buffer unboundedly.
+constexpr std::size_t kMaxStagedOps = 256;
+// State records per kHandoffState frame.
+constexpr std::size_t kHandoffBatchRecords = 32;
+// Mirror records coalesced per destination before an eager flush.
+constexpr std::size_t kMirrorBatchCap = 64;
 
 }  // namespace
 
@@ -132,6 +203,13 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   m_shard_profile_mirrors_ = &metrics.counter("cs.shard.profile_mirrors");
   m_shard_sub_mirrors_ = &metrics.counter("cs.shard.sub_mirrors");
   m_shard_forwarded_ = &metrics.counter("cs.shard.forwarded_queries");
+  m_mirror_batches_ = &metrics.counter("cs.shard.mirror_batches");
+  m_publish_rate_ = &metrics.gauge(
+      "cs.shard.publish_rate", "shard=" + std::to_string(config_.shard_index));
+  m_reshard_handoffs_ = &metrics.counter("reshard.handoffs");
+  m_reshard_staged_ = &metrics.counter("reshard.staged_events");
+  m_reshard_aborts_ = &metrics.counter("reshard.aborts");
+  m_reshard_pause_ = &metrics.histogram("reshard.pause_micros");
   m_view_hits_ = &metrics.counter("view.hits");
   m_view_misses_ = &metrics.counter("view.misses");
   m_view_installs_ = &metrics.counter("view.installs");
@@ -177,6 +255,10 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
     mediator_.mutable_table().set_next_id(
         1 + (static_cast<std::uint64_t>(config_.shard_index) << 48));
   }
+  // Local epoch-versioned ownership copy: starts as the shared initial map,
+  // then advances with every committed handoff (snapshot/WAL recovery
+  // overwrites it with the epoch the previous incarnation reached).
+  if (config_.shard_map != nullptr) map_ = *config_.shard_map;
 
   attached_as_ = config_.role == RangeConfig::Role::kStandby
                      ? config_.standby_node
@@ -246,6 +328,11 @@ ContextServer::ContextServer(net::Network& network, RangeConfig config,
   }
 
   start_primary_duties();
+
+  // A cold restart that recovered an in-flight handoff from the WAL resolves
+  // it now that the node is fully live: committed completes, uncommitted
+  // aborts (docs/SHARDING.md crash matrix).
+  if (recovered_any_) resolve_recovered_handoff();
 }
 
 ContextServer::~ContextServer() {
@@ -253,6 +340,10 @@ ContextServer::~ContextServer() {
   for (DeferredQuery& d : deferred_) network_.simulator().cancel(d.expiry);
   beacon_timer_.reset();
   ping_timer_.reset();
+  rate_timer_.reset();
+  network_.simulator().cancel(mirror_flush_timer_);
+  if (outgoing_handoff_) network_.simulator().cancel(outgoing_handoff_->deadline);
+  if (incoming_handoff_) network_.simulator().cancel(incoming_handoff_->deadline);
   follower_.reset();
   repl_log_.reset();
   scinet_.reset();
@@ -270,6 +361,22 @@ void ContextServer::start_primary_duties() {
   ping_timer_.emplace(network_.simulator(), config_.ping_period,
                       [this] { ping_tick(); });
   ping_timer_->start();
+
+  // Publish-rate EWMA (1 s tick, alpha 0.3): feeds the cs.shard.publish_rate
+  // gauge and the per-vnode heat ranking behind Sci::rebalance_range.
+  rate_timer_.emplace(network_.simulator(), Duration::seconds(1), [this] {
+    publish_rate_ewma_ =
+        0.3 * static_cast<double>(publish_window_count_) +
+        0.7 * publish_rate_ewma_;
+    publish_window_count_ = 0;
+    // Vnode heat decays geometrically so a migrated-away hotspot cools off.
+    for (auto it = vnode_publishes_.begin(); it != vnode_publishes_.end();) {
+      it->second /= 2;
+      it = it->second == 0 ? vnode_publishes_.erase(it) : std::next(it);
+    }
+    m_publish_rate_->set(publish_rate_ewma_);
+  });
+  rate_timer_->start();
 
   if (config_.beacon_period > Duration::seconds(0)) {
     beacon_timer_.emplace(network_.simulator(), config_.beacon_period,
@@ -446,6 +553,9 @@ void ContextServer::on_component_message(const net::Message& message) {
     m_lease_rejected_->inc();
     return;
   }
+  // Freeze window (docs/SHARDING.md): ops against a vnode mid-handoff park
+  // in the staging queue and replay on the new owner after commit.
+  if (stage_if_frozen(message)) return;
   switch (message.type) {
     case entity::kHello:
       handle_hello(message);
@@ -462,6 +572,8 @@ void ContextServer::on_component_message(const net::Message& message) {
     case entity::kProfileUpdate: {
       auto body = entity::ProfileUpdateBody::decode(message.payload);
       if (!body) return;
+      if (!registrar_.contains(message.from) && bounce_stale_frame(message))
+        return;
       registrar_.touch(message.from, network_.simulator().now());
       (void)profiles_.update(body->profile);
       invalidate_views_matching(body->profile);
@@ -509,6 +621,27 @@ void ContextServer::on_component_message(const net::Message& message) {
       return;
     case kShardUnsubscribe:
       handle_shard_unsubscribe(message);
+      return;
+    case kShardBatch:
+      handle_shard_batch(message);
+      return;
+    case kHandoffFreeze:
+      handle_handoff_freeze(message);
+      return;
+    case kHandoffState:
+      handle_handoff_state(message);
+      return;
+    case kHandoffReady:
+      handle_handoff_ready(message);
+      return;
+    case kHandoffCommit:
+      handle_handoff_commit(message);
+      return;
+    case kHandoffAbort:
+      handle_handoff_abort(message);
+      return;
+    case kHandoffReplay:
+      handle_handoff_replay(message);
       return;
     case replicate::kReplRecord:
       // The channel drops stale-epoch envelopes before delivery, so any
@@ -675,11 +808,16 @@ void ContextServer::handle_publish(const net::Message& message) {
   auto body = entity::PublishBody::decode(message.payload);
   if (!body) return;
   if (!registrar_.contains(message.from)) {
+    if (bounce_stale_frame(message)) return;
     SCI_DEBUG(kTag, "%s: publish from unregistered %s dropped",
               config_.name.c_str(), message.from.short_string().c_str());
     return;
   }
   registrar_.touch(message.from, network_.simulator().now());
+  // Load accounting for the rebalance planner: per-shard EWMA window plus
+  // per-vnode heat (only meaningful on a partitioned Range).
+  ++publish_window_count_;
+  if (sharded()) ++vnode_publishes_[map_.vnode_of(message.from)];
   // Cross-incarnation dedup (docs/REPLICATION.md): a publish the dead
   // primary acked was already replicated here, so the component's
   // retransmission to the promoted standby must not dispatch it twice.
@@ -1985,7 +2123,7 @@ void ContextServer::broadcast_profile_mirror(Guid subject) {
   const std::vector<std::byte> wire = w.take();
   for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
     if (i == config_.shard_index) continue;
-    channel_.send(shard_node(i), kShardProfile, wire);
+    queue_mirror(shard_node(i), kShardProfile, wire);
     ++stats_.shard_profile_mirrors;
     m_shard_profile_mirrors_->inc();
   }
@@ -2000,7 +2138,7 @@ void ContextServer::broadcast_profile_remove(Guid subject) {
   const std::vector<std::byte> wire = w.take();
   for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
     if (i == config_.shard_index) continue;
-    channel_.send(shard_node(i), kShardProfileRemove, wire);
+    queue_mirror(shard_node(i), kShardProfileRemove, wire);
   }
 }
 
@@ -2124,14 +2262,15 @@ void ContextServer::mirror_subscription_if_remote(event::SubscriptionId id) {
   w.boolean(s->one_time);
   w.varint(s->owner_tag);
   const Guid remote = shard_node(owner);
+  const Guid producer = *s->producer;
   // Move, not copy: the producer's publishes land on its owner shard, so a
   // local table entry could never match and would only slow dispatch down.
-  mirrored_subs_[id] = MirroredSub{remote, s->subscriber};
+  mirrored_subs_[id] = MirroredSub{remote, s->subscriber, producer};
   (void)mediator_.unsubscribe(id);
   // Standby replay keeps the same bookkeeping but stays silent; a promoted
   // standby inherits mirrored_subs_ and can still tear the copies down.
   if (!passive()) {
-    channel_.send(remote, kShardSubscribe, w.take());
+    queue_mirror(remote, kShardSubscribe, w.take());
     ++stats_.shard_sub_mirrors;
     m_shard_sub_mirrors_->inc();
   }
@@ -2143,7 +2282,7 @@ void ContextServer::drop_mirror(event::SubscriptionId id) {
   if (!passive()) {
     serde::Writer w;
     w.varint(id);
-    channel_.send(it->second.remote_node, kShardUnsubscribe, w.take());
+    queue_mirror(it->second.remote_node, kShardUnsubscribe, w.take());
   }
   mirrored_subs_.erase(it);
 }
@@ -2163,6 +2302,798 @@ void ContextServer::forward_to_shard(const query::Query& q, Guid app,
   if (passive()) return;  // the owner shard's primary heard it directly
   const ForwardedQueryWire wire{app, q.to_xml()};
   send_component(shard_node(shard), kForwardedQueryDirect, wire.encode());
+}
+
+// ---------------------------------------------------------------------------
+// mirror batching (docs/SHARDING.md)
+
+void ContextServer::queue_mirror(Guid node, std::uint32_t type,
+                                 std::vector<std::byte> payload) {
+  if (passive()) return;
+  auto& buffer = mirror_buffers_[node];
+  buffer.emplace_back(type, std::move(payload));
+  if (buffer.size() >= kMirrorBatchCap) {
+    flush_mirrors();
+    return;
+  }
+  if (!mirror_flush_scheduled_) {
+    mirror_flush_scheduled_ = true;
+    mirror_flush_timer_ = network_.simulator().schedule(
+        Duration::micros(1000), [this, alive = alive_] {
+          if (!*alive) return;
+          mirror_flush_scheduled_ = false;
+          flush_mirrors();
+        });
+  }
+}
+
+void ContextServer::flush_mirrors() {
+  network_.simulator().cancel(mirror_flush_timer_);
+  mirror_flush_scheduled_ = false;
+  if (mirror_buffers_.empty()) return;
+  auto buffers = std::move(mirror_buffers_);
+  mirror_buffers_.clear();
+  for (auto& [node, records] : buffers) {
+    if (records.empty()) continue;
+    if (records.size() == 1) {
+      // A lone record travels as itself — no batch framing overhead.
+      channel_.send(node, records.front().first,
+                    std::move(records.front().second));
+      continue;
+    }
+    serde::Writer w;
+    w.varint(records.size());
+    for (auto& [type, payload] : records) {
+      w.varint(type);
+      write_blob(w, payload);
+    }
+    channel_.send(node, kShardBatch, w.take());
+    ++stats_.mirror_batches;
+    m_mirror_batches_->inc();
+  }
+}
+
+void ContextServer::handle_shard_batch(const net::Message& message) {
+  serde::Reader r(message.payload);
+  const auto count = r.varint();
+  if (!count) return;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto type = r.varint();
+    if (!type) return;
+    auto blob = read_blob(r);
+    if (!blob) return;
+    net::Message inner;
+    inner.type = static_cast<std::uint32_t>(*type);
+    inner.from = message.from;
+    inner.to = message.to;
+    inner.payload = std::move(*blob);
+    switch (inner.type) {
+      case kShardProfile:
+        handle_shard_profile(inner);
+        break;
+      case kShardProfileRemove:
+        handle_shard_profile_remove(inner);
+        break;
+      case kShardSubscribe:
+        handle_shard_subscribe(inner);
+        break;
+      case kShardUnsubscribe:
+        handle_shard_unsubscribe(inner);
+        break;
+      default:
+        SCI_DEBUG(kTag, "%s: unknown type 0x%x inside kShardBatch",
+                  config_.name.c_str(), inner.type);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// elastic resharding (docs/SHARDING.md)
+
+std::vector<unsigned> ContextServer::hot_vnodes(std::size_t n) const {
+  std::vector<std::pair<std::uint64_t, unsigned>> ranked;
+  ranked.reserve(vnode_publishes_.size());
+  for (const auto& [vnode, count] : vnode_publishes_) {
+    if (map_.owner_of_vnode(vnode) != config_.shard_index) continue;
+    ranked.emplace_back(count, vnode);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // deterministic tie-break
+            });
+  std::vector<unsigned> out;
+  for (const auto& [count, vnode] : ranked) {
+    if (out.size() >= n) break;
+    out.push_back(vnode);
+  }
+  return out;
+}
+
+std::vector<Guid> ContextServer::subjects_in_vnode(unsigned vnode) const {
+  std::vector<Guid> subjects;
+  for (const Guid member : registrar_.members()) {
+    if (map_.vnode_of(member) == vnode) subjects.push_back(member);
+  }
+  return subjects;
+}
+
+bool ContextServer::handoff_probe_step(const char* step) {
+  if (handoff_probe_) handoff_probe_(step);
+  return !network_.is_crashed(attached_as_);
+}
+
+bool ContextServer::begin_handoff(unsigned vnode, unsigned target_shard) {
+  if (!sharded() || passive()) return false;
+  if (outgoing_handoff_ || incoming_handoff_) return false;
+  if (vnode >= map_.vnode_count() || target_shard >= map_.size() ||
+      target_shard == config_.shard_index) {
+    return false;
+  }
+  if (map_.owner_of_vnode(vnode) != config_.shard_index) return false;
+
+  // Queued mirror traffic must precede the freeze on the wire: the channel
+  // is FIFO per destination, so flushing now keeps pre-freeze records ahead
+  // of the state slice the target is about to stage.
+  flush_mirrors();
+
+  OutgoingHandoff handoff;
+  handoff.id = (static_cast<std::uint64_t>(config_.shard_index) << 48) |
+               ++next_handoff_seq_;
+  handoff.vnode = vnode;
+  handoff.target = target_shard;
+  handoff.epoch = map_.epoch() + 1;
+  outgoing_handoff_ = std::move(handoff);
+  handoff_started_at_ = network_.simulator().now();
+  SCI_INFO(kTag, "%s: handoff %llu — freezing vnode %u for shard %u",
+           config_.name.c_str(),
+           static_cast<unsigned long long>(outgoing_handoff_->id), vnode,
+           target_shard);
+
+  if (!handoff_probe_step("freeze")) return true;
+  const HandoffWire wire{outgoing_handoff_->id, vnode, config_.shard_index,
+                         target_shard, outgoing_handoff_->epoch};
+  const std::vector<std::byte> encoded = wire.encode();
+  // Intent into WAL + replication before the first frame leaves: a crash
+  // from here on recovers an explicit in-flight handoff and resolves it.
+  log_record(replicate::RecordKind::kHandoffIntent, Guid(),
+             outgoing_handoff_->id, encoded);
+  channel_.send(shard_node(target_shard), kHandoffFreeze, encoded);
+
+  if (!handoff_probe_step("ship")) return true;
+  ship_handoff_state();
+
+  // A silent or partitioned target must not freeze the vnode forever.
+  const std::uint64_t id = outgoing_handoff_->id;
+  outgoing_handoff_->deadline = network_.simulator().schedule(
+      Duration::seconds(5), [this, alive = alive_, id] {
+        if (!*alive) return;
+        if (outgoing_handoff_ && outgoing_handoff_->id == id &&
+            !outgoing_handoff_->committed) {
+          abort_outgoing_handoff("target silent past the handoff deadline");
+        }
+      });
+  return true;
+}
+
+void ContextServer::ship_handoff_state() {
+  if (!outgoing_handoff_ || passive()) return;
+  const unsigned vnode = outgoing_handoff_->vnode;
+  const Guid target_node = shard_node(outgoing_handoff_->target);
+
+  // Encode the vnode's slice: membership, profiles, stored context,
+  // producer-keyed subscriptions, publish-dedup windows.
+  std::vector<std::vector<std::byte>> records;
+  for (const Guid subject : subjects_in_vnode(vnode)) {
+    const MemberRecord* member = registrar_.find(subject);
+    {
+      serde::Writer w;
+      w.u8(kStateMember);
+      entity::write_guid(w, subject);
+      w.boolean(member->is_app);
+      w.svarint(member->registered_at.micros());
+      w.svarint(member->last_seen.micros());
+      w.varint(member->missed_pings);
+      records.push_back(w.take());
+    }
+    if (const entity::Profile* profile = profiles_.profile(subject);
+        profile != nullptr) {
+      serde::Writer w;
+      w.u8(kStateProfile);
+      profile->encode(w);
+      const entity::Advertisement* ad = profiles_.advertisement(subject);
+      w.boolean(ad != nullptr);
+      if (ad != nullptr) ad->encode(w);
+      records.push_back(w.take());
+    }
+    for (const std::string& type : context_store_.types_for(subject)) {
+      auto history = context_store_.history(
+          subject, type, std::numeric_limits<std::size_t>::max());
+      // history() is newest-first; re-ingestion must run oldest-first so the
+      // target's ring buffers evict in the same order as ours.
+      for (auto it = history.rbegin(); it != history.rend(); ++it) {
+        serde::Writer w;
+        w.u8(kStateEvent);
+        it->encode(w);
+        records.push_back(w.take());
+      }
+    }
+    if (const auto dedup = publish_seen_.find(subject);
+        dedup != publish_seen_.end()) {
+      serde::Writer w;
+      w.u8(kStateDedup);
+      entity::write_guid(w, subject);
+      w.varint(dedup->second.floor);
+      std::vector<std::uint64_t> above(dedup->second.above.begin(),
+                                       dedup->second.above.end());
+      std::sort(above.begin(), above.end());
+      w.varint(above.size());
+      for (const std::uint64_t seq : above) w.varint(seq);
+      records.push_back(w.take());
+    }
+  }
+  // Producer-keyed subscriptions on the moving slice (wire-compatible with
+  // kShardSubscribe, so the target installs them through the same path).
+  for (const event::Subscription& s : mediator_.table().all()) {
+    if (!s.producer || map_.vnode_of(*s.producer) != vnode) continue;
+    serde::Writer w;
+    w.u8(kStateSub);
+    w.varint(s.id);
+    entity::write_guid(w, s.subscriber);
+    w.boolean(true);
+    entity::write_guid(w, *s.producer);
+    w.string(s.event_type);
+    s.filter.encode(w);
+    w.boolean(s.one_time);
+    w.varint(s.owner_tag);
+    records.push_back(w.take());
+  }
+
+  // Ship as CRC-framed batches: [varint id][varint seq][bool last]
+  // [varint count] then one crc32+length frame per record, so a torn or
+  // corrupted batch is detected at the target rather than installed.
+  std::uint64_t batch_seq = 0;
+  for (std::size_t offset = 0;
+       offset < records.size() || (records.empty() && batch_seq == 0);
+       offset += kHandoffBatchRecords) {
+    const std::size_t end =
+        std::min(records.size(), offset + kHandoffBatchRecords);
+    const bool last = end == records.size();
+    serde::Writer header;
+    header.varint(outgoing_handoff_->id);
+    header.varint(batch_seq++);
+    header.boolean(last);
+    header.varint(end - offset);
+    std::vector<std::byte> body = header.take();
+    for (std::size_t i = offset; i < end; ++i) {
+      serde::append_frame(body, records[i]);
+    }
+    channel_.send(target_node, kHandoffState, std::move(body));
+    if (last) break;  // also exits the records.empty() degenerate case
+  }
+}
+
+void ContextServer::handle_handoff_freeze(const net::Message& message) {
+  auto wire = HandoffWire::decode(message.payload);
+  if (!wire) return;
+  if (!sharded() || wire->target != config_.shard_index) return;
+  if (wire->epoch <= map_.epoch()) return;  // stale retransmission
+  if (incoming_handoff_ && incoming_handoff_->id == wire->id) return;  // dup
+  if (incoming_handoff_ || outgoing_handoff_) {
+    // One migration at a time per node: refuse, the source rolls back.
+    if (!passive()) {
+      channel_.send(message.from, kHandoffAbort, message.payload);
+    }
+    return;
+  }
+  log_record(replicate::RecordKind::kHandoffIntent, Guid(), wire->id,
+             message.payload);
+  IncomingHandoff in;
+  in.id = wire->id;
+  in.vnode = wire->vnode;
+  in.source = wire->source;
+  in.epoch = wire->epoch;
+  incoming_handoff_ = std::move(in);
+  arm_incoming_deadline();
+  SCI_INFO(kTag, "%s: handoff %llu — staging vnode %u from shard %u",
+           config_.name.c_str(), static_cast<unsigned long long>(wire->id),
+           wire->vnode, wire->source);
+  // Replay state batches that overtook this freeze on the wire; anything
+  // parked for a different (dead) handoff fails ingest and is dropped here.
+  std::deque<std::vector<std::byte>> early;
+  early.swap(early_handoff_state_);
+  for (const auto& parked : early) accept_handoff_state(parked);
+}
+
+void ContextServer::arm_incoming_deadline() {
+  if (!incoming_handoff_ || passive()) return;
+  const std::uint64_t id = incoming_handoff_->id;
+  incoming_handoff_->deadline = network_.simulator().schedule(
+      Duration::seconds(10), [this, alive = alive_, id] {
+        if (!*alive) return;
+        if (!incoming_handoff_ || incoming_handoff_->id != id) return;
+        if (incoming_handoff_->complete) {
+          // We acknowledged readiness but no commit/abort ever came — the
+          // source (or its elected successor) may have lost the ack. Nudge
+          // and keep waiting: a commit may still be recovered from its WAL.
+          send_handoff_ready();
+          arm_incoming_deadline();
+          return;
+        }
+        // A half-staged handoff whose source went silent: the source can
+        // never commit without the ready we never sent, so discarding the
+        // partial staging is unconditionally safe (and unwedges this node
+        // for future migrations).
+        const HandoffWire wire{incoming_handoff_->id, incoming_handoff_->vnode,
+                               incoming_handoff_->source, config_.shard_index,
+                               incoming_handoff_->epoch};
+        log_record(replicate::RecordKind::kHandoffAbort, Guid(), id,
+                   wire.encode());
+        incoming_handoff_.reset();
+        SCI_WARN(kTag, "%s: incoming handoff %llu abandoned — source silent",
+                 config_.name.c_str(), static_cast<unsigned long long>(id));
+      });
+}
+
+bool ContextServer::ingest_handoff_batch(const std::vector<std::byte>& payload) {
+  if (!incoming_handoff_) return false;
+  serde::Reader r(payload);
+  const auto id = r.varint();
+  if (!id || *id != incoming_handoff_->id) return false;
+  const auto seq = r.varint();
+  const auto last = r.boolean();
+  const auto count = r.varint();
+  if (!seq || !last || !count) return false;
+  // The channel deduplicates but does not order, so a batch can overtake
+  // its predecessor. Park batches past the gap (drained below as it fills);
+  // anything below the cursor is a retransmission duplicate.
+  if (*seq != incoming_handoff_->next_batch_seq) {
+    if (*seq > incoming_handoff_->next_batch_seq &&
+        incoming_handoff_->out_of_order.size() < kHandoffBatchRecords) {
+      incoming_handoff_->out_of_order.emplace(*seq, payload);
+      return true;
+    }
+    return false;
+  }
+  const std::size_t offset = payload.size() - r.remaining();
+  serde::FrameCursor cursor(payload.data() + offset, payload.size() - offset);
+  std::vector<std::vector<std::byte>> batch;
+  std::vector<std::byte> record;
+  while (cursor.next(record)) batch.push_back(record);
+  if (cursor.stop() != serde::FrameStop::kClean || batch.size() != *count) {
+    SCI_WARN(kTag,
+             "%s: handoff batch %llu/%llu damaged (%s) — dropped, awaiting "
+             "abort",
+             config_.name.c_str(), static_cast<unsigned long long>(*id),
+             static_cast<unsigned long long>(*seq),
+             serde::to_string(cursor.stop()));
+    return false;
+  }
+  incoming_handoff_->next_batch_seq = *seq + 1;
+  for (auto& rec : batch) {
+    incoming_handoff_->records.push_back(std::move(rec));
+  }
+  if (*last) incoming_handoff_->complete = true;
+  // Drain any parked successors the gap was holding back.
+  auto it =
+      incoming_handoff_->out_of_order.find(incoming_handoff_->next_batch_seq);
+  while (it != incoming_handoff_->out_of_order.end()) {
+    const std::vector<std::byte> parked = std::move(it->second);
+    incoming_handoff_->out_of_order.erase(it);
+    ingest_handoff_batch(parked);
+    if (!incoming_handoff_) break;
+    it = incoming_handoff_->out_of_order.find(
+        incoming_handoff_->next_batch_seq);
+  }
+  return true;
+}
+
+void ContextServer::handle_handoff_state(const net::Message& message) {
+  accept_handoff_state(message.payload);
+}
+
+void ContextServer::accept_handoff_state(const std::vector<std::byte>& payload) {
+  if (!incoming_handoff_) {
+    // A state batch can overtake the freeze that precedes it (the channel
+    // dedups but does not order): park it and replay once the freeze lands.
+    if (early_handoff_state_.size() < kHandoffBatchRecords) {
+      early_handoff_state_.push_back(payload);
+    }
+    return;
+  }
+  if (!ingest_handoff_batch(payload)) return;
+  log_record(replicate::RecordKind::kHandoffState, Guid(),
+             incoming_handoff_->id, payload);
+  if (incoming_handoff_->complete) {
+    if (!handoff_probe_step("ready")) return;
+    send_handoff_ready();
+  }
+}
+
+void ContextServer::send_handoff_ready() {
+  if (passive() || !incoming_handoff_) return;
+  const HandoffWire wire{incoming_handoff_->id, incoming_handoff_->vnode,
+                         incoming_handoff_->source, config_.shard_index,
+                         incoming_handoff_->epoch};
+  channel_.send(shard_node(incoming_handoff_->source), kHandoffReady,
+                wire.encode());
+}
+
+void ContextServer::handle_handoff_ready(const net::Message& message) {
+  auto wire = HandoffWire::decode(message.payload);
+  if (!wire) return;
+  if (!outgoing_handoff_ || outgoing_handoff_->id != wire->id) {
+    if (passive()) return;
+    if (wire->epoch <= map_.epoch() &&
+        map_.owner_of_vnode(wire->vnode) == wire->target) {
+      // The move already committed (we may have completed it from the
+      // recovered WAL before this ready arrived) and the target's commit
+      // frame was evidently lost: re-send it. Idempotent at the receiver.
+      channel_.send(message.from, kHandoffCommit, message.payload);
+      return;
+    }
+    // An orphaned target (we recovered and aborted, or never knew the id):
+    // tell it to discard its staging state.
+    channel_.send(message.from, kHandoffAbort, message.payload);
+    return;
+  }
+  if (outgoing_handoff_->ready) return;  // dup across failover
+  outgoing_handoff_->ready = true;
+  commit_outgoing_handoff();
+}
+
+void ContextServer::commit_outgoing_handoff() {
+  if (!outgoing_handoff_ || outgoing_handoff_->committed) return;
+  if (!handoff_probe_step("commit")) return;
+  const HandoffWire wire{outgoing_handoff_->id, outgoing_handoff_->vnode,
+                         config_.shard_index, outgoing_handoff_->target,
+                         outgoing_handoff_->epoch};
+  // COMMIT POINT: once this record is durable (WAL) / replicated, the move
+  // happens — a crash after this line completes it from recorded state.
+  log_record(replicate::RecordKind::kHandoffCommit, Guid(),
+             outgoing_handoff_->id, wire.encode());
+  outgoing_handoff_->committed = true;
+  if (!handoff_probe_step("broadcast")) return;
+  complete_outgoing_handoff();
+}
+
+void ContextServer::complete_outgoing_handoff() {
+  if (!outgoing_handoff_) return;
+  OutgoingHandoff handoff = std::move(*outgoing_handoff_);
+  outgoing_handoff_.reset();
+  network_.simulator().cancel(handoff.deadline);
+
+  // Collect the moving components before the local apply sheds them.
+  const std::vector<Guid> moved = subjects_in_vnode(handoff.vnode);
+
+  const HandoffWire wire{handoff.id, handoff.vnode, config_.shard_index,
+                         handoff.target, handoff.epoch};
+  const std::vector<std::byte> encoded = wire.encode();
+  // Commit to the target and every sibling (and, via the replication log,
+  // to this shard's standbys): all copies of the map converge on the new
+  // epoch. Each receiver applies idempotently, so a recovered successor can
+  // re-run this whole block verbatim.
+  if (!passive()) {
+    for (unsigned i = 0; i < map_.size(); ++i) {
+      if (i == config_.shard_index) continue;
+      channel_.send(shard_node(i), kHandoffCommit, encoded);
+    }
+  }
+  apply_handoff_commit(handoff.vnode, handoff.target, handoff.epoch);
+
+  const Guid target_node = shard_node(handoff.target);
+  if (!passive()) {
+    // Ops parked during the freeze replay on the new owner in arrival order.
+    for (StagedOp& op : handoff.staged) {
+      serde::Writer w;
+      entity::write_guid(w, op.from);
+      w.varint(op.type);
+      write_blob(w, op.payload);
+      channel_.send(target_node, kHandoffReplay, w.take());
+    }
+    // Fire-and-forget re-point: moved components learn their new owner now
+    // instead of on their next stale-routed frame.
+    const entity::RedirectBody redirect{target_node, target_node};
+    for (const Guid subject : moved) {
+      send_to(subject, entity::kRedirect, redirect.encode());
+    }
+  }
+
+  ++stats_.handoffs_completed;
+  m_reshard_handoffs_->inc();
+  if (handoff_started_at_ != SimTime::zero()) {
+    m_reshard_pause_->observe(static_cast<double>(
+        network_.simulator().now().micros() - handoff_started_at_.micros()));
+    handoff_started_at_ = SimTime::zero();
+  }
+  SCI_INFO(kTag,
+           "%s: handoff %llu committed — vnode %u now owned by shard %u "
+           "(map epoch %llu, %zu staged ops replayed)",
+           config_.name.c_str(), static_cast<unsigned long long>(handoff.id),
+           handoff.vnode, handoff.target,
+           static_cast<unsigned long long>(handoff.epoch),
+           handoff.staged.size());
+}
+
+void ContextServer::abort_outgoing_handoff(const char* why) {
+  if (!outgoing_handoff_ || outgoing_handoff_->committed) return;
+  OutgoingHandoff handoff = std::move(*outgoing_handoff_);
+  outgoing_handoff_.reset();
+  network_.simulator().cancel(handoff.deadline);
+  SCI_WARN(kTag, "%s: handoff %llu of vnode %u aborted — %s",
+           config_.name.c_str(), static_cast<unsigned long long>(handoff.id),
+           handoff.vnode, why);
+  const HandoffWire wire{handoff.id, handoff.vnode, config_.shard_index,
+                         handoff.target, handoff.epoch};
+  log_record(replicate::RecordKind::kHandoffAbort, Guid(), handoff.id,
+             wire.encode());
+  ++stats_.handoffs_aborted;
+  m_reshard_aborts_->inc();
+  handoff_started_at_ = SimTime::zero();
+  if (!passive()) {
+    channel_.send(shard_node(handoff.target), kHandoffAbort, wire.encode());
+  }
+  // Unpark the staged ops through the normal admission path: this shard
+  // still owns the vnode, and each op re-logs as its own record (which is
+  // how standbys converge — their kHandoffAbort apply only drops the queue).
+  reingest_staged(std::move(handoff.staged));
+}
+
+void ContextServer::handle_handoff_commit(const net::Message& message) {
+  auto wire = HandoffWire::decode(message.payload);
+  if (!wire) return;
+  if (wire->epoch <= map_.epoch()) return;  // already applied (dup/broadcast)
+  log_record(replicate::RecordKind::kHandoffCommit, Guid(), wire->id,
+             message.payload);
+  if (incoming_handoff_ && incoming_handoff_->id == wire->id) {
+    if (!handoff_probe_step("install")) return;
+    install_incoming_handoff();
+  }
+  apply_handoff_commit(wire->vnode, wire->target, wire->epoch);
+}
+
+void ContextServer::handle_handoff_abort(const net::Message& message) {
+  auto wire = HandoffWire::decode(message.payload);
+  if (!wire) return;
+  if (incoming_handoff_ && incoming_handoff_->id == wire->id) {
+    log_record(replicate::RecordKind::kHandoffAbort, Guid(), wire->id,
+               message.payload);
+    network_.simulator().cancel(incoming_handoff_->deadline);
+    incoming_handoff_.reset();
+    SCI_INFO(kTag, "%s: incoming handoff %llu aborted by source",
+             config_.name.c_str(), static_cast<unsigned long long>(wire->id));
+    return;
+  }
+  if (outgoing_handoff_ && outgoing_handoff_->id == wire->id &&
+      !outgoing_handoff_->committed) {
+    abort_outgoing_handoff("target refused the handoff");
+  }
+}
+
+void ContextServer::handle_handoff_replay(const net::Message& message) {
+  serde::Reader r(message.payload);
+  const auto from = entity::read_guid(r);
+  if (!from) return;
+  const auto type = r.varint();
+  if (!type) return;
+  auto blob = read_blob(r);
+  if (!blob) return;
+  // Only the op types the freeze window stages are replayable.
+  if (*type != entity::kPublish && *type != entity::kProfileUpdate) return;
+  net::Message synthetic;
+  synthetic.type = static_cast<std::uint32_t>(*type);
+  synthetic.from = *from;
+  synthetic.to = attached_as_;
+  synthetic.payload = std::move(*blob);
+  on_component_message(synthetic);
+}
+
+bool ContextServer::bounce_stale_frame(const net::Message& message) {
+  if (!sharded() || passive()) return false;
+  const unsigned owner = map_.owner_of(message.from);
+  if (owner == config_.shard_index) return false;
+  // Stale-routed frame: a vnode move shed this subject, but the sender has
+  // not processed its redirect yet (or the frame was already in flight when
+  // the commit landed). Bounce it to the owner inside the replay envelope —
+  // which preserves the true originator — so nothing is lost in the
+  // shed-to-redirect window, and re-point the sender.
+  serde::Writer w;
+  entity::write_guid(w, message.from);
+  w.varint(message.type);
+  write_blob(w, message.payload);
+  const Guid owner_node = shard_node(owner);
+  channel_.send(owner_node, kHandoffReplay, w.take());
+  const entity::RedirectBody redirect{owner_node, owner_node};
+  send_to(message.from, entity::kRedirect, redirect.encode());
+  return true;
+}
+
+bool ContextServer::stage_if_frozen(const net::Message& message) {
+  if (!outgoing_handoff_ || outgoing_handoff_->committed) return false;
+  const unsigned vnode = outgoing_handoff_->vnode;
+  if (message.type == entity::kPublish ||
+      message.type == entity::kProfileUpdate) {
+    if (map_.vnode_of(message.from) != vnode) return false;
+    if (outgoing_handoff_->staged.size() >= kMaxStagedOps) {
+      // Bounded staging: a hot vnode outrunning the migration rolls the
+      // move back rather than buffering without limit. The triggering op
+      // proceeds normally (we still own the vnode after the abort).
+      abort_outgoing_handoff("staging queue overflow");
+      return false;
+    }
+    // Log before the publish-dedup window sees the sequence: the op is
+    // consumed here, and its replay on the new owner must not be treated as
+    // a duplicate by the shipped window.
+    hold_admit_until_committed(
+        log_record(replicate::RecordKind::kHandoffStaged, message.from,
+                   message.type, message.payload),
+        {});
+    outgoing_handoff_->staged.push_back(
+        StagedOp{message.from, message.type, message.payload});
+    ++stats_.handoff_staged_ops;
+    m_reshard_staged_->inc();
+    return true;
+  }
+  if (message.type == entity::kRegisterRequest &&
+      map_.vnode_of(message.from) == vnode) {
+    // Dropped, not staged: the component's bounded discovery retry re-routes
+    // through detect_arrival once the commit (or abort) lands.
+    return true;
+  }
+  return false;
+}
+
+void ContextServer::install_incoming_handoff() {
+  if (!incoming_handoff_) return;
+  IncomingHandoff in = std::move(*incoming_handoff_);
+  incoming_handoff_.reset();
+  network_.simulator().cancel(in.deadline);
+  for (const std::vector<std::byte>& record : in.records) {
+    if (record.empty()) continue;
+    const auto category = std::to_integer<std::uint8_t>(record.front());
+    const std::vector<std::byte> rest(record.begin() + 1, record.end());
+    switch (category) {
+      case kStateMember: {
+        serde::Reader r(rest);
+        MemberRecord member;
+        const auto id = entity::read_guid(r);
+        if (!id) break;
+        member.entity = *id;
+        const auto is_app = r.boolean();
+        if (!is_app) break;
+        member.is_app = *is_app;
+        const auto registered_at = r.svarint();
+        if (!registered_at) break;
+        member.registered_at = SimTime::from_micros(*registered_at);
+        const auto last_seen = r.svarint();
+        if (!last_seen) break;
+        member.last_seen = SimTime::from_micros(*last_seen);
+        const auto missed = r.varint();
+        if (!missed) break;
+        member.missed_pings = static_cast<unsigned>(*missed);
+        registrar_.restore(member);
+        break;
+      }
+      case kStateProfile:
+        ingest_shard_profile(rest);  // same wire shape as kShardProfile
+        break;
+      case kStateEvent: {
+        serde::Reader r(rest);
+        if (auto e = event::Event::decode(r)) {
+          (void)context_store_.record(*e);
+        }
+        break;
+      }
+      case kStateSub:
+        ingest_shard_subscribe(rest);  // same wire shape as kShardSubscribe
+        break;
+      case kStateDedup: {
+        serde::Reader r(rest);
+        const auto source = entity::read_guid(r);
+        if (!source) break;
+        reliable::SeqDedup dedup;
+        const auto floor = r.varint();
+        if (!floor) break;
+        dedup.floor = *floor;
+        const auto n_above = r.varint();
+        if (!n_above) break;
+        bool ok = true;
+        for (std::uint64_t j = 0; j < *n_above; ++j) {
+          const auto seq = r.varint();
+          if (!seq) {
+            ok = false;
+            break;
+          }
+          dedup.above.insert(*seq);
+        }
+        if (ok) publish_seen_[*source] = std::move(dedup);
+        break;
+      }
+      default:
+        SCI_DEBUG(kTag, "%s: unknown handoff state category %u",
+                  config_.name.c_str(), static_cast<unsigned>(category));
+        break;
+    }
+  }
+  SCI_INFO(kTag, "%s: handoff %llu — installed %zu state records for vnode %u",
+           config_.name.c_str(), static_cast<unsigned long long>(in.id),
+           in.records.size(), in.vnode);
+  // The gained members are new composition sources here.
+  retry_pending_queries();
+}
+
+void ContextServer::apply_handoff_commit(unsigned vnode, unsigned new_owner,
+                                         std::uint64_t epoch) {
+  if (epoch <= map_.epoch()) return;  // idempotence across replays
+  const unsigned old_owner = map_.owner_of_vnode(vnode);
+  map_.assign(vnode, new_owner);
+  map_.set_epoch(epoch);
+
+  const Guid new_node = shard_node(new_owner);
+  // Subscriptions mirrored onto the moving vnode's old owner follow it.
+  for (auto& [id, mirror] : mirrored_subs_) {
+    if (map_.vnode_of(mirror.producer) == vnode) {
+      mirror.remote_node = new_node;
+    }
+  }
+
+  if (old_owner == config_.shard_index && new_owner != config_.shard_index) {
+    // Shedding branch: this shard lost the slice. Producer-keyed
+    // subscriptions moved with the producer — record them as mirrors FIRST
+    // so unsubscribe/departure teardown still reaches the remote copies —
+    // then drop the slice. Profiles stay: every shard mirrors all profiles.
+    for (const event::Subscription& s : mediator_.table().all()) {
+      if (!s.producer || map_.vnode_of(*s.producer) != vnode) continue;
+      if (mirrored_subs_.contains(s.id)) continue;
+      mirrored_subs_[s.id] = MirroredSub{new_node, s.subscriber, *s.producer};
+    }
+    for (const Guid subject : subjects_in_vnode(vnode)) {
+      (void)registrar_.remove(subject);
+      mediator_.remove_producer(subject);
+      (void)context_store_.forget(subject);
+      publish_seen_.erase(subject);
+      invalidate_views_for_subject(subject);
+    }
+    vnode_publishes_.erase(vnode);
+  }
+}
+
+void ContextServer::resolve_recovered_handoff() {
+  if (config_.role != RangeConfig::Role::kPrimary || fenced_) return;
+  if (outgoing_handoff_) {
+    if (outgoing_handoff_->committed) {
+      // Crash after the commit point: finish from recorded state. Every
+      // completion frame is idempotent at its receiver.
+      SCI_INFO(kTag, "%s: completing committed handoff %llu after recovery",
+               config_.name.c_str(),
+               static_cast<unsigned long long>(outgoing_handoff_->id));
+      complete_outgoing_handoff();
+    } else {
+      // Crash before the commit point: deterministic rollback.
+      abort_outgoing_handoff("recovered an uncommitted handoff");
+    }
+    return;
+  }
+  if (incoming_handoff_) {
+    // The watchdog died with the previous incarnation (or never existed on
+    // the standby) — re-arm it, and re-signal readiness if fully staged:
+    // the ready we sent may have died with the old primary, and the source
+    // ignores duplicates.
+    arm_incoming_deadline();
+    if (incoming_handoff_->complete) send_handoff_ready();
+  }
+}
+
+void ContextServer::reingest_staged(std::vector<StagedOp> staged) {
+  for (StagedOp& op : staged) {
+    net::Message synthetic;
+    synthetic.type = op.type;
+    synthetic.from = op.from;
+    synthetic.to = attached_as_;
+    synthetic.payload = std::move(op.payload);
+    on_component_message(synthetic);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -2439,6 +3370,74 @@ void ContextServer::apply_record(const replicate::LogRecord& record) {
         note_view_drops(views_->invalidate_subject(record.subject, now));
       }
       return;
+    case replicate::RecordKind::kHandoffIntent: {
+      // A standby (or the WAL replay) mirrors the primary's in-flight
+      // handoff so a successor can resolve it deterministically.
+      auto wire = HandoffWire::decode(record.payload);
+      if (!wire) return;
+      if (wire->source == config_.shard_index) {
+        OutgoingHandoff handoff;
+        handoff.id = wire->id;
+        handoff.vnode = wire->vnode;
+        handoff.target = wire->target;
+        handoff.epoch = wire->epoch;
+        outgoing_handoff_ = std::move(handoff);
+        // Keep the id allocator ahead of every recovered handoff.
+        next_handoff_seq_ = std::max<std::uint64_t>(
+            next_handoff_seq_, wire->id & 0xFFFFFFFFFFFFull);
+      } else if (wire->target == config_.shard_index) {
+        IncomingHandoff in;
+        in.id = wire->id;
+        in.vnode = wire->vnode;
+        in.source = wire->source;
+        in.epoch = wire->epoch;
+        incoming_handoff_ = std::move(in);
+      }
+      return;
+    }
+    case replicate::RecordKind::kHandoffStaged:
+      if (outgoing_handoff_ && !outgoing_handoff_->committed) {
+        outgoing_handoff_->staged.push_back(
+            StagedOp{record.subject, static_cast<std::uint32_t>(record.flag),
+                     record.payload});
+        ++stats_.handoff_staged_ops;
+      }
+      return;
+    case replicate::RecordKind::kHandoffState:
+      (void)ingest_handoff_batch(record.payload);
+      return;
+    case replicate::RecordKind::kHandoffCommit: {
+      auto wire = HandoffWire::decode(record.payload);
+      if (!wire) return;
+      if (incoming_handoff_ && incoming_handoff_->id == wire->id) {
+        install_incoming_handoff();
+      }
+      if (outgoing_handoff_ && outgoing_handoff_->id == wire->id) {
+        // Mark committed but KEEP the mirror: a standby promoted after this
+        // record re-runs the (idempotent) completion broadcast via
+        // resolve_recovered_handoff().
+        outgoing_handoff_->committed = true;
+      }
+      apply_handoff_commit(wire->vnode, wire->target, wire->epoch);
+      return;
+    }
+    case replicate::RecordKind::kHandoffAbort: {
+      auto wire = HandoffWire::decode(record.payload);
+      if (!wire) return;
+      // Only drop the mirrors — do NOT reingest staged ops here. The live
+      // primary's abort path reingests them through the normal admission
+      // path, which logs each as its own record; replaying those AND the
+      // queue would double-apply.
+      if (outgoing_handoff_ && outgoing_handoff_->id == wire->id &&
+          !outgoing_handoff_->committed) {
+        outgoing_handoff_.reset();
+        ++stats_.handoffs_aborted;
+      }
+      if (incoming_handoff_ && incoming_handoff_->id == wire->id) {
+        incoming_handoff_.reset();
+      }
+      return;
+    }
   }
   SCI_DEBUG(kTag, "%s: unknown replication record kind %u",
             config_.name.c_str(), static_cast<unsigned>(record.kind));
@@ -2596,6 +3595,44 @@ std::vector<std::byte> ContextServer::snapshot_state() const {
     w.varint(id);
     entity::write_guid(w, mirror.remote_node);
     entity::write_guid(w, mirror.subscriber);
+    entity::write_guid(w, mirror.producer);
+  }
+
+  // Vnode ownership map + any in-flight handoff (docs/SHARDING.md): a
+  // standby bootstrapped mid-migration must resolve it exactly as one that
+  // followed the log.
+  w.varint(map_.epoch());
+  w.varint(map_.vnode_count());
+  for (unsigned v = 0; v < map_.vnode_count(); ++v) {
+    w.varint(map_.owner_of_vnode(v));
+  }
+  w.boolean(outgoing_handoff_.has_value());
+  if (outgoing_handoff_) {
+    w.varint(outgoing_handoff_->id);
+    w.varint(outgoing_handoff_->vnode);
+    w.varint(outgoing_handoff_->target);
+    w.varint(outgoing_handoff_->epoch);
+    w.boolean(outgoing_handoff_->ready);
+    w.boolean(outgoing_handoff_->committed);
+    w.varint(outgoing_handoff_->staged.size());
+    for (const StagedOp& op : outgoing_handoff_->staged) {
+      entity::write_guid(w, op.from);
+      w.varint(op.type);
+      write_blob(w, op.payload);
+    }
+  }
+  w.boolean(incoming_handoff_.has_value());
+  if (incoming_handoff_) {
+    w.varint(incoming_handoff_->id);
+    w.varint(incoming_handoff_->vnode);
+    w.varint(incoming_handoff_->source);
+    w.varint(incoming_handoff_->epoch);
+    w.varint(incoming_handoff_->next_batch_seq);
+    w.boolean(incoming_handoff_->complete);
+    w.varint(incoming_handoff_->records.size());
+    for (const std::vector<std::byte>& record : incoming_handoff_->records) {
+      write_blob(w, record);
+    }
   }
 
   // Materialized view table (docs/VIEWS.md), at the very end: a promoted
@@ -2623,6 +3660,8 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
   publish_seen_.clear();
   recent_events_.clear();
   mirrored_subs_.clear();
+  outgoing_handoff_.reset();
+  incoming_handoff_.reset();
   if (views_ != nullptr) views_->clear();
 
   const Status applied = [&]() -> Status {
@@ -2805,7 +3844,70 @@ void ContextServer::apply_snapshot_state(const std::vector<std::byte>& blob,
       SCI_TRY_ASSIGN(id, r.varint());
       SCI_TRY_ASSIGN(remote, entity::read_guid(r));
       SCI_TRY_ASSIGN(subscriber, entity::read_guid(r));
-      mirrored_subs_[id] = MirroredSub{remote, subscriber};
+      SCI_TRY_ASSIGN(producer, entity::read_guid(r));
+      mirrored_subs_[id] = MirroredSub{remote, subscriber, producer};
+    }
+
+    SCI_TRY_ASSIGN(map_epoch, r.varint());
+    SCI_TRY_ASSIGN(n_vnodes, r.varint());
+    for (std::uint64_t v = 0; v < n_vnodes; ++v) {
+      SCI_TRY_ASSIGN(owner, r.varint());
+      if (v < map_.vnode_count()) {
+        map_.assign(static_cast<unsigned>(v), static_cast<unsigned>(owner));
+      }
+    }
+    map_.set_epoch(map_epoch);
+    SCI_TRY_ASSIGN(has_outgoing, r.boolean());
+    if (has_outgoing) {
+      OutgoingHandoff handoff;
+      SCI_TRY_ASSIGN(id, r.varint());
+      handoff.id = id;
+      SCI_TRY_ASSIGN(vnode, r.varint());
+      handoff.vnode = static_cast<unsigned>(vnode);
+      SCI_TRY_ASSIGN(target, r.varint());
+      handoff.target = static_cast<unsigned>(target);
+      SCI_TRY_ASSIGN(h_epoch, r.varint());
+      handoff.epoch = h_epoch;
+      SCI_TRY_ASSIGN(ready, r.boolean());
+      handoff.ready = ready;
+      SCI_TRY_ASSIGN(committed, r.boolean());
+      handoff.committed = committed;
+      SCI_TRY_ASSIGN(n_staged, r.varint());
+      for (std::uint64_t i = 0; i < n_staged; ++i) {
+        StagedOp op;
+        SCI_TRY_ASSIGN(from, entity::read_guid(r));
+        op.from = from;
+        SCI_TRY_ASSIGN(type, r.varint());
+        op.type = static_cast<std::uint32_t>(type);
+        SCI_TRY_ASSIGN(payload, read_blob(r));
+        op.payload = std::move(payload);
+        handoff.staged.push_back(std::move(op));
+      }
+      next_handoff_seq_ = std::max<std::uint64_t>(
+          next_handoff_seq_, handoff.id & 0xFFFFFFFFFFFFull);
+      outgoing_handoff_ = std::move(handoff);
+    }
+    SCI_TRY_ASSIGN(has_incoming, r.boolean());
+    if (has_incoming) {
+      IncomingHandoff in;
+      SCI_TRY_ASSIGN(id, r.varint());
+      in.id = id;
+      SCI_TRY_ASSIGN(vnode, r.varint());
+      in.vnode = static_cast<unsigned>(vnode);
+      SCI_TRY_ASSIGN(source, r.varint());
+      in.source = static_cast<unsigned>(source);
+      SCI_TRY_ASSIGN(h_epoch, r.varint());
+      in.epoch = h_epoch;
+      SCI_TRY_ASSIGN(next_batch, r.varint());
+      in.next_batch_seq = next_batch;
+      SCI_TRY_ASSIGN(complete, r.boolean());
+      in.complete = complete;
+      SCI_TRY_ASSIGN(n_records, r.varint());
+      for (std::uint64_t i = 0; i < n_records; ++i) {
+        SCI_TRY_ASSIGN(record, read_blob(r));
+        in.records.push_back(std::move(record));
+      }
+      incoming_handoff_ = std::move(in);
     }
 
     SCI_TRY_ASSIGN(has_views, r.boolean());
@@ -2862,6 +3964,10 @@ std::uint64_t ContextServer::state_fingerprint() const {
   mix(tracked_.size());
   mix(app_edges_.size());
   mix(mirrored_subs_.size());
+  mix(map_.epoch());
+  for (unsigned v = 0; v < map_.vnode_count(); ++v) {
+    mix(map_.owner_of_vnode(v));
+  }
   return h;
 }
 
@@ -2961,6 +4067,9 @@ void ContextServer::promote(Guid join_via) {
   // not finished retransmitting died with its channel. Components dedup the
   // overlap by (subscription, source, sequence).
   redispatch_recent();
+  // An in-flight handoff mirrored from the dead primary resolves here:
+  // committed completes, uncommitted aborts (docs/SHARDING.md crash matrix).
+  resolve_recovered_handoff();
 }
 
 void ContextServer::fence() {
@@ -2975,6 +4084,16 @@ void ContextServer::fence() {
   for (DeferredQuery& d : deferred_) network_.simulator().cancel(d.expiry);
   beacon_timer_.reset();
   ping_timer_.reset();
+  rate_timer_.reset();
+  network_.simulator().cancel(mirror_flush_timer_);
+  mirror_flush_scheduled_ = false;
+  mirror_buffers_.clear();
+  if (outgoing_handoff_) {
+    network_.simulator().cancel(outgoing_handoff_->deadline);
+  }
+  if (incoming_handoff_) {
+    network_.simulator().cancel(incoming_handoff_->deadline);
+  }
   discovering_ = false;
   repl_log_.reset();
   follower_.reset();

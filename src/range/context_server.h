@@ -77,6 +77,21 @@ inline constexpr std::uint32_t kShardProfileRemove = 0xF102;  // departure
 inline constexpr std::uint32_t kShardSubscribe = 0xF103;      // sub install
 inline constexpr std::uint32_t kShardUnsubscribe = 0xF104;    // sub teardown
 
+// Elastic resharding frames (docs/SHARDING.md, "Elastic resharding"): the
+// freeze-and-handoff migration protocol that moves one vnode's state slice
+// between sibling shards. Same reliable-channel envelope discipline as the
+// mirror frames above, so every protocol step survives retransmission and
+// shard failover.
+inline constexpr std::uint32_t kHandoffFreeze = 0xF105;  // source → target
+inline constexpr std::uint32_t kHandoffState = 0xF106;   // CRC-framed batch
+inline constexpr std::uint32_t kHandoffReady = 0xF107;   // target staged all
+inline constexpr std::uint32_t kHandoffCommit = 0xF108;  // map epoch bump
+inline constexpr std::uint32_t kHandoffAbort = 0xF109;   // roll the move back
+inline constexpr std::uint32_t kHandoffReplay = 0xF10A;  // staged op replay
+// Coalesced mirror burst: several kShardProfile/kShardSubscribe/… records in
+// one frame (the kReplBatch shape applied to shard mirror traffic).
+inline constexpr std::uint32_t kShardBatch = 0xF10B;
+
 struct RangeConfig {
   Guid range;           // SCINET identity of this range
   Guid context_server;  // component-facing network node
@@ -182,6 +197,10 @@ struct ServerStats {
   std::uint64_t shard_profile_mirrors = 0;  // profile frames sent to siblings
   std::uint64_t shard_sub_mirrors = 0;      // subscriptions installed remotely
   std::uint64_t shard_forwarded_queries = 0;  // queries sent to owner shard
+  std::uint64_t mirror_batches = 0;       // coalesced kShardBatch frames sent
+  std::uint64_t handoffs_completed = 0;   // vnode migrations committed here
+  std::uint64_t handoffs_aborted = 0;     // vnode migrations rolled back
+  std::uint64_t handoff_staged_ops = 0;   // ops parked during freeze windows
 };
 
 class ContextServer {
@@ -375,13 +394,39 @@ class ContextServer {
     return config_.shard_map != nullptr && config_.shard_map->size() > 1;
   }
   [[nodiscard]] unsigned shard_index() const { return config_.shard_index; }
-  // The shard index owning `entity` per the shared map (0 when unsharded).
+  // The shard index owning `entity` per the local ownership table (0 when
+  // unsharded). The ring is shared and immutable; the vnode → shard table
+  // is this server's epoch-versioned copy, advanced by committed handoffs.
   [[nodiscard]] unsigned shard_of(Guid entity) const {
-    return sharded() ? config_.shard_map->owner_of(entity) : 0;
+    return sharded() ? map_.owner_of(entity) : 0;
   }
   // This shard owns `entity`'s registrar/store/mediator slice.
   [[nodiscard]] bool owns_entity(Guid entity) const {
     return !sharded() || shard_of(entity) == config_.shard_index;
+  }
+
+  // --- elastic resharding (docs/SHARDING.md) -------------------------------
+  // The local epoch-versioned ownership table and its version.
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+  [[nodiscard]] std::uint64_t map_epoch() const { return map_.epoch(); }
+  // EWMA of publishes/second admitted by this shard (1 s tick, alpha 0.3).
+  [[nodiscard]] double publish_rate() const { return publish_rate_ewma_; }
+  // Locally-owned vnodes ranked by recent publish volume, hottest first.
+  [[nodiscard]] std::vector<unsigned> hot_vnodes(std::size_t n) const;
+  // Starts a freeze-and-handoff migration of `vnode` to `target_shard`.
+  // Returns false (no-op) when a handoff is already in flight here, the
+  // vnode is not locally owned, or the target is invalid.
+  bool begin_handoff(unsigned vnode, unsigned target_shard);
+  [[nodiscard]] bool handoff_active() const {
+    return outgoing_handoff_.has_value() || incoming_handoff_.has_value();
+  }
+  // Fault-injection hook: invoked at each protocol step ("freeze", "ship",
+  // "ready", "commit", "broadcast", "install"). After the probe returns the
+  // server re-checks its own liveness, so a probe that crashes this node
+  // stops the protocol exactly at that step.
+  using HandoffProbe = std::function<void(const char* step)>;
+  void set_handoff_probe(HandoffProbe probe) {
+    handoff_probe_ = std::move(probe);
   }
 
  private:
@@ -493,6 +538,68 @@ class ContextServer {
   // Decode-and-apply half of handle_shard_profile_remove, shared with
   // apply_record kShardDrop.
   void ingest_shard_drop(Guid subject);
+  // Mirror batching (docs/SHARDING.md): per-destination buffers coalesce
+  // kShardProfile/kShardSubscribe bursts into kShardBatch frames, flushed at
+  // a size cap or a 1 ms timer — the kReplBatch shape for mirror traffic.
+  void queue_mirror(Guid node, std::uint32_t type,
+                    std::vector<std::byte> payload);
+  void flush_mirrors();
+  void handle_shard_batch(const net::Message& message);
+
+  // --- resharding internals (docs/SHARDING.md) -----------------------------
+  // An op parked while its subject's vnode is frozen mid-handoff.
+  struct StagedOp {
+    Guid from;
+    std::uint32_t type = 0;
+    std::vector<std::byte> payload;
+  };
+  void handle_handoff_freeze(const net::Message& message);
+  void handle_handoff_state(const net::Message& message);
+  void handle_handoff_ready(const net::Message& message);
+  void handle_handoff_commit(const net::Message& message);
+  void handle_handoff_abort(const net::Message& message);
+  void handle_handoff_replay(const net::Message& message);
+  // True when the op was parked (or consumed) by an active freeze window;
+  // the caller must not process it further.
+  bool stage_if_frozen(const net::Message& message);
+  // True when the frame came from a subject whose vnode now lives on another
+  // shard (stale-routed after a handoff): it was bounced to the owner inside
+  // a replay envelope and the sender was re-pointed with kRedirect.
+  bool bounce_stale_frame(const net::Message& message);
+  // (Re)schedules the incoming handoff's silence watchdog (see
+  // IncomingHandoff::deadline).
+  void arm_incoming_deadline();
+  // Ships the frozen vnode's registrar/profile/store/subscription/dedup
+  // slice to the target as CRC-framed kHandoffState batches.
+  void ship_handoff_state();
+  // Decodes one kHandoffState frame body into the incoming staging area.
+  // Returns false when the frame is stale, damaged, or not ours.
+  bool ingest_handoff_batch(const std::vector<std::byte>& payload);
+  // Ingests a state batch, parking it when it overtook the freeze.
+  void accept_handoff_state(const std::vector<std::byte>& payload);
+  void send_handoff_ready();
+  // Commit point: logs kHandoffCommit (WAL + replication), then completes.
+  void commit_outgoing_handoff();
+  // Post-commit completion: local apply, commit broadcast, staged replay,
+  // component redirects. Idempotent at every receiver; re-run verbatim by a
+  // successor that recovered a committed-but-unfinished handoff.
+  void complete_outgoing_handoff();
+  void abort_outgoing_handoff(const char* why);
+  // Installs the staged incoming state slice (registrar records, profiles,
+  // events, subscriptions, dedup windows) at the target.
+  void install_incoming_handoff();
+  // Applies a committed ownership change to the local map and sheds/repoints
+  // state accordingly. Idempotent: stale epochs are ignored.
+  void apply_handoff_commit(unsigned vnode, unsigned new_owner,
+                            std::uint64_t epoch);
+  // After promotion or cold restart: abort an uncommitted handoff, finish a
+  // committed one, or re-signal readiness for a fully staged incoming one.
+  void resolve_recovered_handoff();
+  // Runs the probe hook, then reports whether this node is still alive (a
+  // probe may have crashed it — the protocol stops exactly there).
+  bool handoff_probe_step(const char* step);
+  void reingest_staged(std::vector<StagedOp> staged);
+  [[nodiscard]] std::vector<Guid> subjects_in_vnode(unsigned vnode) const;
 
   // --- materialized views (docs/VIEWS.md) ----------------------------------
   // Normalized cache key for a query after owner-relative anchoring, or ""
@@ -679,17 +786,76 @@ class ContextServer {
 
   // --- sharding state ------------------------------------------------------
   // Subscriptions this shard created but installed on the producer's owner
-  // shard (id -> where + whose). Replicated via the snapshot so a promoted
-  // standby can still tear the remote copies down.
+  // shard (id -> where + whose + on whom). Replicated via the snapshot so a
+  // promoted standby can still tear the remote copies down; the producer is
+  // kept so a committed handoff can re-point remote_node when the producer's
+  // vnode moves shards.
   struct MirroredSub {
     Guid remote_node;  // owner shard's CS node
     Guid subscriber;
+    Guid producer;
   };
   std::map<event::SubscriptionId, MirroredSub> mirrored_subs_;
   obs::Counter* m_shard_redirects_ = nullptr;
   obs::Counter* m_shard_profile_mirrors_ = nullptr;
   obs::Counter* m_shard_sub_mirrors_ = nullptr;
   obs::Counter* m_shard_forwarded_ = nullptr;
+
+  // --- resharding state (docs/SHARDING.md) ---------------------------------
+  // This server's epoch-versioned ownership copy, seeded from the shared
+  // RangeConfig map (or a trivial 1-shard map when unsharded) and advanced
+  // by committed handoffs. The ring itself never changes.
+  ShardMap map_{1};
+  struct OutgoingHandoff {
+    std::uint64_t id = 0;
+    unsigned vnode = 0;
+    unsigned target = 0;
+    std::uint64_t epoch = 0;  // proposed map epoch
+    bool ready = false;       // target acknowledged full staging
+    bool committed = false;   // kHandoffCommit logged — point of no return
+    std::vector<StagedOp> staged;
+    sim::TimerHandle deadline;  // abort when the target stays silent
+  };
+  struct IncomingHandoff {
+    std::uint64_t id = 0;
+    unsigned vnode = 0;
+    unsigned source = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t next_batch_seq = 0;
+    std::vector<std::vector<std::byte>> records;  // staged state records
+    // Batches that overtook their predecessors on the wire (the channel
+    // dedups but does not order), keyed by batch seq until the gap fills.
+    std::map<std::uint64_t, std::vector<std::byte>> out_of_order;
+    bool complete = false;  // the last batch arrived
+    // Abandon a half-staged handoff whose source went silent (safe: the
+    // source cannot commit without the ready we never sent); when complete,
+    // the timer re-nudges kHandoffReady at the source's successor instead.
+    sim::TimerHandle deadline;
+  };
+  std::optional<OutgoingHandoff> outgoing_handoff_;
+  std::optional<IncomingHandoff> incoming_handoff_;
+  // State batches that arrived before the freeze that precedes them (the
+  // channel dedups but does not order); replayed once the freeze lands.
+  std::deque<std::vector<std::byte>> early_handoff_state_;
+  std::uint64_t next_handoff_seq_ = 0;
+  SimTime handoff_started_at_ = SimTime::zero();
+  HandoffProbe handoff_probe_;
+  // Publish-rate EWMA + per-vnode heat, driving Sci::rebalance_range.
+  double publish_rate_ewma_ = 0.0;
+  std::uint64_t publish_window_count_ = 0;
+  std::unordered_map<unsigned, std::uint64_t> vnode_publishes_;
+  std::optional<sim::PeriodicTimer> rate_timer_;
+  // Mirror batching buffers (flush at size cap or the 1 ms timer).
+  std::map<Guid, std::vector<std::pair<std::uint32_t, std::vector<std::byte>>>>
+      mirror_buffers_;
+  sim::TimerHandle mirror_flush_timer_;
+  bool mirror_flush_scheduled_ = false;
+  obs::Counter* m_mirror_batches_ = nullptr;
+  obs::Gauge* m_publish_rate_ = nullptr;
+  obs::Counter* m_reshard_handoffs_ = nullptr;
+  obs::Counter* m_reshard_staged_ = nullptr;
+  obs::Counter* m_reshard_aborts_ = nullptr;
+  obs::Histogram* m_reshard_pause_ = nullptr;
 
   ServerStats stats_;
 };

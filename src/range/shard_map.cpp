@@ -14,22 +14,25 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-// Virtual points per shard. Enough that a 4-shard split lands within a few
-// percent of 25% per shard; small enough that owner_of stays a binary
-// search over a few hundred entries.
-constexpr unsigned kPointsPerShard = 64;
-
 }  // namespace
 
 ShardMap::ShardMap(unsigned shard_count) {
   if (shard_count == 0) shard_count = 1;
   nodes_.resize(shard_count);
-  ring_.reserve(static_cast<std::size_t>(shard_count) * kPointsPerShard);
+  const std::size_t vnodes =
+      static_cast<std::size_t>(shard_count) * kVnodesPerShard;
+  ring_.reserve(vnodes);
+  owners_.reserve(vnodes);
+  // Ring hashes are keyed (shard << 32 | point) exactly as the historical
+  // static map was, so vnode v = shard * 64 + point lands on the same ring
+  // position the old Point{hash, shard} did and the initial assignment
+  // owners_[v] = v / 64 routes byte-identically.
   for (unsigned shard = 0; shard < shard_count; ++shard) {
-    for (unsigned point = 0; point < kPointsPerShard; ++point) {
+    for (unsigned point = 0; point < kVnodesPerShard; ++point) {
       const std::uint64_t h =
           mix((static_cast<std::uint64_t>(shard) << 32) | point);
-      ring_.push_back({h, shard});
+      ring_.push_back({h, shard * kVnodesPerShard + point});
+      owners_.push_back(shard);
     }
   }
   std::sort(ring_.begin(), ring_.end(),
@@ -40,14 +43,28 @@ void ShardMap::set_node(unsigned index, Guid cs_node) {
   if (index < nodes_.size()) nodes_[index] = cs_node;
 }
 
-unsigned ShardMap::owner_of(const Guid& entity) const {
+unsigned ShardMap::vnode_of(const Guid& entity) const {
   if (ring_.empty()) return 0;
   const std::uint64_t h = mix(entity.hi() ^ mix(entity.lo()));
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), h,
       [](const Point& p, std::uint64_t key) { return p.hash < key; });
   if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
-  return it->shard;
+  return it->vnode;
+}
+
+unsigned ShardMap::owner_of(const Guid& entity) const {
+  return owner_of_vnode(vnode_of(entity));
+}
+
+unsigned ShardMap::owner_of_vnode(unsigned vnode) const {
+  return vnode < owners_.size() ? owners_[vnode] : 0;
+}
+
+void ShardMap::assign(unsigned vnode, unsigned shard) {
+  if (vnode < owners_.size() && shard < nodes_.size()) {
+    owners_[vnode] = shard;
+  }
 }
 
 Guid ShardMap::node_of(unsigned index) const {

@@ -1,16 +1,21 @@
-// SCI — consistent GUID-hash shard map for partitioned Ranges.
+// SCI — epoch-versioned vnode ownership table for partitioned Ranges.
 //
 // One Range can be served by N shard Context Servers instead of a single
 // monolithic CS (docs/SHARDING.md). The ShardMap is the routing table for
-// that split: an immutable consistent-hash ring that maps any entity GUID
-// to the shard index that owns it, plus the stable CS-node GUID each shard
-// answers on. Every shard (and every shard standby) holds the same shared
-// map, so any node can compute ownership locally without coordination.
+// that split: a consistent-hash ring that maps any entity GUID to a stable
+// *vnode* (virtual node), plus an ownership table mapping each vnode to the
+// shard index that currently serves it, plus the stable CS-node GUID each
+// shard answers on. Every shard (and every shard standby) holds a copy of
+// the map, so any node can compute ownership locally without coordination.
 //
-// The ring is consistent-hash shaped (virtual points per shard) so a future
-// shard-count change moves only ~1/N of the key space; today the map is
-// fixed for the lifetime of the Range and failover keeps CS-node GUIDs
-// stable, so the map never needs to be republished.
+// Ownership is versioned: `epoch()` counts committed reassignments. The
+// initial assignment gives shard i the 64 vnodes it would have owned under
+// the original pure-hash scheme (vnode v -> shard v/64), so a map that has
+// never been resharded routes byte-identically to the historical static
+// ring. `assign()` moves one vnode to a new owner; the resharding protocol
+// in ContextServer (docs/SHARDING.md, "Elastic resharding") bumps the epoch
+// exactly once per committed handoff, so two maps agree iff their epochs
+// and ownership tables agree.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +27,11 @@ namespace sci::range {
 
 class ShardMap {
  public:
+  // Virtual nodes per shard in the initial assignment. Enough that a
+  // 4-shard split lands within a few percent of 25% per shard; small
+  // enough that vnode_of stays a binary search over a few hundred entries.
+  static constexpr unsigned kVnodesPerShard = 64;
+
   // `shard_count` >= 1. Nodes start nil; Sci fills them in with set_node
   // before handing the map to the shard Context Servers.
   explicit ShardMap(unsigned shard_count);
@@ -29,9 +39,26 @@ class ShardMap {
   // Records the (stable) CS-node GUID shard `index` answers on.
   void set_node(unsigned index, Guid cs_node);
 
-  // The shard index owning `entity` — deterministic, uniform-ish across
-  // shards, identical on every node holding the same map.
+  // The vnode owning `entity` — deterministic, uniform-ish, identical on
+  // every node holding the same ring (the ring never changes; only the
+  // vnode -> shard table does).
+  [[nodiscard]] unsigned vnode_of(const Guid& entity) const;
+
+  // The shard index owning `entity` under the current assignment.
   [[nodiscard]] unsigned owner_of(const Guid& entity) const;
+
+  // The shard index currently assigned vnode `vnode`.
+  [[nodiscard]] unsigned owner_of_vnode(unsigned vnode) const;
+
+  // Reassigns `vnode` to `shard`. Does NOT touch the epoch: the caller
+  // (the handoff commit path) bumps it via set_epoch so a batch of
+  // assignments lands under one version.
+  void assign(unsigned vnode, unsigned shard);
+
+  // Ownership-table version: 0 for a freshly built map, bumped once per
+  // committed handoff. Two maps route identically iff epochs match.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
 
   // The CS-node GUID for shard `index` (nil if unset / out of range).
   [[nodiscard]] Guid node_of(unsigned index) const;
@@ -40,14 +67,26 @@ class ShardMap {
     return static_cast<unsigned>(nodes_.size());
   }
 
+  [[nodiscard]] unsigned vnode_count() const {
+    return static_cast<unsigned>(owners_.size());
+  }
+
+  // The full vnode -> shard table (index = vnode). Used by snapshot
+  // encoding and by the rebalance planner.
+  [[nodiscard]] const std::vector<unsigned>& assignments() const {
+    return owners_;
+  }
+
  private:
   struct Point {
     std::uint64_t hash;
-    unsigned shard;
+    unsigned vnode;
   };
 
-  std::vector<Point> ring_;  // sorted by hash
-  std::vector<Guid> nodes_;  // shard index -> CS node
+  std::vector<Point> ring_;       // sorted by hash
+  std::vector<unsigned> owners_;  // vnode -> shard index
+  std::vector<Guid> nodes_;       // shard index -> CS node
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace sci::range

@@ -26,62 +26,90 @@ const char* to_string(FaultKind kind) {
       return "wal_sync_fail";
     case FaultKind::kWalShortRead:
       return "wal_short_read";
+    case FaultKind::kReshard:
+      return "reshard";
+    case FaultKind::kHandoffCrash:
+      return "handoff_crash";
+    case FaultKind::kHandoffPartition:
+      return "handoff_partition";
   }
   return "unknown";
 }
 
 FaultPlan& FaultPlan::crash(Duration at, std::string range) {
-  events_.push_back({at, FaultKind::kCrash, std::move(range), 0, 0.0});
+  events_.push_back({at, FaultKind::kCrash, std::move(range), 0, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::recover(Duration at, std::string range) {
-  events_.push_back({at, FaultKind::kRecover, std::move(range), 0, 0.0});
+  events_.push_back({at, FaultKind::kRecover, std::move(range), 0, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::partition(Duration at, std::string range, int group) {
-  events_.push_back({at, FaultKind::kPartition, std::move(range), group, 0.0});
+  events_.push_back({at, FaultKind::kPartition, std::move(range), group, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::heal(Duration at) {
-  events_.push_back({at, FaultKind::kHeal, {}, 0, 0.0});
+  events_.push_back({at, FaultKind::kHeal, {}, 0, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::loss_rate(Duration at, double probability) {
-  events_.push_back({at, FaultKind::kLossRate, {}, 0, probability});
+  events_.push_back({at, FaultKind::kLossRate, {}, 0, probability, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::promote(Duration at, std::string range, bool force) {
   events_.push_back(
-      {at, FaultKind::kPromote, std::move(range), 0, 0.0, force});
+      {at, FaultKind::kPromote, std::move(range), 0, 0.0, force, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::wal_torn(Duration at, std::string range, int bytes) {
-  events_.push_back({at, FaultKind::kWalTorn, std::move(range), bytes, 0.0});
+  events_.push_back({at, FaultKind::kWalTorn, std::move(range), bytes, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::wal_corrupt(Duration at, std::string range) {
-  events_.push_back({at, FaultKind::kWalCorrupt, std::move(range), 0, 0.0});
+  events_.push_back({at, FaultKind::kWalCorrupt, std::move(range), 0, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::wal_sync_fail(Duration at, std::string range,
                                     int count) {
   events_.push_back(
-      {at, FaultKind::kWalSyncFail, std::move(range), count, 0.0});
+      {at, FaultKind::kWalSyncFail, std::move(range), count, 0.0, false, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::wal_short_read(Duration at, std::string range,
                                      int limit) {
   events_.push_back(
-      {at, FaultKind::kWalShortRead, std::move(range), limit, 0.0});
+      {at, FaultKind::kWalShortRead, std::move(range), limit, 0.0, false, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::reshard(Duration at, std::string range, int max_moves) {
+  events_.push_back(
+      {at, FaultKind::kReshard, std::move(range), max_moves, 0.0, false, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::handoff_crash(Duration at, std::string range,
+                                    std::string step) {
+  FaultEvent e{at, FaultKind::kHandoffCrash, std::move(range), 0, 0.0, false, {}};
+  e.arg = std::move(step);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::handoff_partition(Duration at, std::string range,
+                                        std::string step, int group) {
+  FaultEvent e{at, FaultKind::kHandoffPartition, std::move(range), group, 0.0, false, {}};
+  e.arg = std::move(step);
+  events_.push_back(std::move(e));
   return *this;
 }
 
@@ -109,9 +137,16 @@ std::string FaultPlan::to_string() const {
       case FaultKind::kWalTorn:
       case FaultKind::kWalSyncFail:
       case FaultKind::kWalShortRead:
+      case FaultKind::kReshard:
         std::snprintf(line, sizeof line, "+%.3fs %s %s (%d)\n",
                       e.at.seconds_f(), sim::to_string(e.kind),
                       e.target.c_str(), e.group);
+        break;
+      case FaultKind::kHandoffCrash:
+      case FaultKind::kHandoffPartition:
+        std::snprintf(line, sizeof line, "+%.3fs %s %s @ %s\n",
+                      e.at.seconds_f(), sim::to_string(e.kind),
+                      e.target.c_str(), e.arg.c_str());
         break;
       default:
         std::snprintf(line, sizeof line, "+%.3fs %s %s\n", e.at.seconds_f(),

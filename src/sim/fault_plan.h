@@ -36,6 +36,12 @@ enum class FaultKind : std::uint8_t {
   kWalCorrupt,    // flip a byte near each WAL's durable tail (CRC damage)
   kWalSyncFail,   // fail the next `group` fsyncs on each WAL
   kWalShortRead,  // cap recovery reads at `group` bytes per WAL
+  // Elastic-resharding faults (docs/SHARDING.md). `arg` names the handoff
+  // protocol step ("freeze", "ship", "ready", "commit", "broadcast",
+  // "install") at which to strike.
+  kReshard,           // load-aware rebalance of `target` (≤ `group` moves)
+  kHandoffCrash,      // crash the shard primary when it reaches step `arg`
+  kHandoffPartition,  // partition that primary into group `group` at `arg`
 };
 
 const char* to_string(FaultKind kind);
@@ -49,6 +55,8 @@ struct FaultEvent {
   // kPromote only: bypass the standby election and promote by fiat (the old
   // pre-quorum behaviour). Default goes through the election path.
   bool force = false;
+  // kHandoffCrash/kHandoffPartition: the protocol step to strike at.
+  std::string arg;
 };
 
 class FaultPlan {
@@ -70,6 +78,16 @@ class FaultPlan {
   FaultPlan& wal_corrupt(Duration at, std::string range);
   FaultPlan& wal_sync_fail(Duration at, std::string range, int count);
   FaultPlan& wal_short_read(Duration at, std::string range, int limit);
+  // Load-aware rebalance of `range`: move up to `max_moves` hot vnodes off
+  // the busiest shard (Sci::rebalance_range at the scheduled time).
+  FaultPlan& reshard(Duration at, std::string range, int max_moves = 1);
+  // Arm a one-shot strike on `range`'s shard primaries: the next vnode
+  // handoff that reaches protocol step `step` crashes the node driving it
+  // (or moves it into partition group `group`). Steps: "freeze", "ship",
+  // "ready", "commit", "broadcast", "install".
+  FaultPlan& handoff_crash(Duration at, std::string range, std::string step);
+  FaultPlan& handoff_partition(Duration at, std::string range,
+                               std::string step, int group);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

@@ -581,6 +581,201 @@ TEST(PersistTest, TornAndCorruptWalRecoveryNeverPanics) {
   EXPECT_EQ(monitor.registered_calls, 1);
 }
 
+// --- elastic resharding durability (docs/SHARDING.md crash matrix) ---------
+
+// Mints a guid owned by the given shard of levelB.
+Guid guid_owned_by(Sci& sci, range::ContextServer* lead, unsigned shard) {
+  for (int i = 0; i < 4096; ++i) {
+    const Guid g = sci.new_guid();
+    if (lead->shard_of(g) == shard) return g;
+  }
+  ADD_FAILURE() << "no guid hashed to shard " << shard;
+  return Guid();
+}
+
+// A committed vnode handoff must survive a power cut: both shards cold-
+// restart onto the bumped map epoch, the moved membership and subscription
+// live on the new owner, and delivery resumes exactly-once.
+TEST(PersistTest, ResharpedTopologySurvivesColdRestart) {
+  DurableFixture f(0, 0, /*shard_count=*/2);
+  PulseCE pulse(f.sci.network(), guid_owned_by(f.sci, f.level_b, 0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), guid_owned_by(f.sci, f.level_b, 1),
+                       "monitor", entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  const unsigned vnode = f.level_b->shard_map().vnode_of(pulse.id());
+  ASSERT_TRUE(f.level_b->begin_handoff(vnode, 1));
+  f.sci.run_for(Duration::seconds(2));
+  ASSERT_EQ(f.level_b->map_epoch(), 1u);
+  ASSERT_EQ(f.level_b->shard_map().owner_of_vnode(vnode), 1u);
+
+  for (int i = 0; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));  // acked + group-committed
+  ASSERT_EQ(monitor.unique_events, 5);
+
+  ASSERT_TRUE(f.sci.shutdown_range("levelB").is_ok());
+  auto revived = f.sci.recover_range("levelB");
+  ASSERT_TRUE(bool(revived));
+  f.sci.run_for(Duration::seconds(1));
+
+  // The recovered topology routes at the committed epoch on every shard.
+  range::ContextServer* lead = f.sci.find_range("levelB");
+  range::ContextServer* sibling = f.sci.find_range("levelB#1");
+  ASSERT_NE(lead, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(lead->map_epoch(), 1u);
+  EXPECT_EQ(sibling->map_epoch(), 1u);
+  EXPECT_EQ(lead->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_EQ(sibling->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_EQ(lead->registrar().find(pulse.id()), nullptr);
+  EXPECT_NE(sibling->registrar().find(pulse.id()), nullptr);
+
+  for (int i = 5; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+  EXPECT_EQ(monitor.registered_calls, 1);
+}
+
+// Crash matrix, post-commit-point row: the source machine dies right after
+// the commit record reaches its WAL but before any sibling heard. A cold
+// restart must COMPLETE the move from recorded state — the commit record
+// is the point of no return.
+TEST(PersistTest, ColdRestartCompletesCommittedHandoff) {
+  DurableFixture f(0, 0, /*shard_count=*/2);
+  PulseCE pulse(f.sci.network(), guid_owned_by(f.sci, f.level_b, 0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), guid_owned_by(f.sci, f.level_b, 1),
+                       "monitor", entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  const unsigned vnode = f.level_b->shard_map().vnode_of(pulse.id());
+  const Guid crash_id = f.level_b->id();
+  const Guid crash_node = f.level_b->server_node();
+  f.level_b->set_handoff_probe([&](const char* step) {
+    if (std::string(step) == "broadcast") {
+      (void)f.sci.network().set_crashed(crash_id, true);
+      (void)f.sci.network().set_crashed(crash_node, true);
+    }
+  });
+  ASSERT_TRUE(f.level_b->begin_handoff(vnode, 1));
+  // The network died at the broadcast step, but the machine's write-behind
+  // store keeps group-committing: the logged commit record reaches the WAL.
+  f.sci.run_for(Duration::millis(300));
+  EXPECT_EQ(f.sci.find_range("levelB")->map_epoch(), 0u);  // nobody heard
+
+  ASSERT_TRUE(f.sci.shutdown_range("levelB").is_ok());
+  (void)f.sci.network().set_crashed(crash_id, false);
+  (void)f.sci.network().set_crashed(crash_node, false);
+  auto revived = f.sci.recover_range("levelB");
+  ASSERT_TRUE(bool(revived));
+  f.sci.run_for(Duration::seconds(2));
+
+  // resolve_recovered_handoff finished the move from the WAL's commit
+  // record; the target (re)heard the commit and installed its staged slice.
+  range::ContextServer* lead = f.sci.find_range("levelB");
+  range::ContextServer* sibling = f.sci.find_range("levelB#1");
+  ASSERT_NE(lead, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(lead->map_epoch(), 1u);
+  EXPECT_EQ(sibling->map_epoch(), 1u);
+  EXPECT_EQ(lead->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_EQ(sibling->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_NE(sibling->registrar().find(pulse.id()), nullptr);
+
+  for (int i = 0; i < 8; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 8);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+}
+
+// Crash matrix, pre-commit row: the source dies while shipping state. No
+// commit record exists, so the cold restart must ABORT: ownership rolls
+// back to the pre-handoff map and the vnode keeps serving from the source.
+TEST(PersistTest, ColdRestartAbortsUncommittedHandoff) {
+  DurableFixture f(0, 0, /*shard_count=*/2);
+  PulseCE pulse(f.sci.network(), guid_owned_by(f.sci, f.level_b, 0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.level_b).is_ok());
+  PulseMonitor monitor(f.sci.network(), guid_owned_by(f.sci, f.level_b, 0),
+                       "monitor", entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.level_b).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(1));
+
+  const unsigned vnode = f.level_b->shard_map().vnode_of(pulse.id());
+  const Guid crash_id = f.level_b->id();
+  const Guid crash_node = f.level_b->server_node();
+  f.level_b->set_handoff_probe([&](const char* step) {
+    if (std::string(step) == "ship") {
+      (void)f.sci.network().set_crashed(crash_id, true);
+      (void)f.sci.network().set_crashed(crash_node, true);
+    }
+  });
+  ASSERT_TRUE(f.level_b->begin_handoff(vnode, 1));
+  f.sci.run_for(Duration::millis(300));  // intent record group-commits
+
+  ASSERT_TRUE(f.sci.shutdown_range("levelB").is_ok());
+  (void)f.sci.network().set_crashed(crash_id, false);
+  (void)f.sci.network().set_crashed(crash_node, false);
+  auto revived = f.sci.recover_range("levelB");
+  ASSERT_TRUE(bool(revived));
+  f.sci.run_for(Duration::seconds(2));
+
+  range::ContextServer* lead = f.sci.find_range("levelB");
+  range::ContextServer* sibling = f.sci.find_range("levelB#1");
+  ASSERT_NE(lead, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_FALSE(lead->handoff_active());
+  EXPECT_EQ(lead->map_epoch(), 0u);
+  EXPECT_EQ(sibling->map_epoch(), 0u);
+  EXPECT_EQ(lead->shard_map().owner_of_vnode(vnode), 0u);
+  EXPECT_NE(lead->registrar().find(pulse.id()), nullptr);
+  EXPECT_GE(lead->stats().handoffs_aborted, 1u);
+
+  for (int i = 0; i < 8; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 8);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+}
+
 // Facade DLQ replay must preserve the original park order ACROSS shard
 // queues (docs/RELIABLE.md): draining queue-by-queue would reorder two
 // causally ordered frames that parked on different shards.

@@ -539,5 +539,358 @@ TEST(ShardTest, WarmViewsSurviveShardKillElectCycle) {
   EXPECT_GT(fresh->views()->stats().hits, hits_before);
 }
 
+// --- elastic resharding (ISSUE: crash-safe vnode handoff) -------------------
+
+// The versioned ownership table under the fixed ring: reassigning a vnode
+// re-routes exactly the guids hashing into it, epochs order map versions,
+// and an identically-built map replays to the same ownership.
+TEST(ShardTest, VnodeReassignmentBumpsEpochAndRemapsOwnership) {
+  Rng rng{11};
+  range::ShardMap map(4);
+  EXPECT_EQ(map.epoch(), 0u);
+  ASSERT_EQ(map.vnode_count(), 4u * range::ShardMap::kVnodesPerShard);
+
+  const Guid g = Guid::random(rng);
+  const unsigned vnode = map.vnode_of(g);
+  const unsigned before = map.owner_of(g);
+  EXPECT_EQ(map.owner_of_vnode(vnode), before);
+
+  const unsigned target = (before + 1) % 4;
+  map.assign(vnode, target);
+  map.set_epoch(map.epoch() + 1);
+  EXPECT_EQ(map.epoch(), 1u);
+  EXPECT_EQ(map.vnode_of(g), vnode);  // the ring itself never moves
+  EXPECT_EQ(map.owner_of(g), target);
+
+  // Only the reassigned vnode changed hands.
+  const range::ShardMap pristine(4);
+  for (int i = 0; i < 500; ++i) {
+    const Guid other = Guid::random(rng);
+    if (map.vnode_of(other) == vnode) {
+      EXPECT_EQ(map.owner_of(other), target);
+    } else {
+      EXPECT_EQ(map.owner_of(other), pristine.owner_of(other));
+    }
+  }
+  // A twin replaying the same assignment converges exactly.
+  range::ShardMap twin(4);
+  twin.assign(vnode, target);
+  twin.set_epoch(1);
+  Rng rng2{12};
+  for (int i = 0; i < 200; ++i) {
+    const Guid other = Guid::random(rng2);
+    EXPECT_EQ(map.owner_of(other), twin.owner_of(other));
+  }
+}
+
+// Tentpole end-to-end: a vnode migrates between live shards mid-stream.
+// The freeze window stages concurrent publishes, the commit re-points the
+// producer via kRedirect, and the subscriber sees every event exactly once.
+TEST(ShardTest, LiveHandoffMovesVnodeExactlyOnce) {
+  ShardFixture f(2);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::millis(500));
+
+  const auto shards = f.sci.shards("mall");
+  const unsigned vnode = f.lead->shard_map().vnode_of(pulse.id());
+  const std::uint64_t epoch_before = f.lead->map_epoch();
+
+  // Publish across the whole migration: before, during the freeze, after.
+  std::int64_t published = 0;
+  sim::PeriodicTimer publisher(f.sci.simulator(), Duration::millis(20), [&] {
+    pulse.publish("pulse", Value(published));
+    ++published;
+  });
+  publisher.start();
+  f.sci.run_for(Duration::millis(300));
+  ASSERT_TRUE(f.lead->begin_handoff(vnode, 1));
+  f.sci.run_for(Duration::seconds(2));
+  publisher.stop();
+  f.sci.run_for(Duration::seconds(2));
+
+  // Ownership converged on the bumped epoch everywhere.
+  EXPECT_EQ(f.lead->map_epoch(), epoch_before + 1);
+  EXPECT_EQ(shards[1]->map_epoch(), epoch_before + 1);
+  EXPECT_EQ(f.lead->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_EQ(f.lead->shard_of(pulse.id()), 1u);
+  EXPECT_EQ(f.lead->stats().handoffs_completed, 1u);
+  EXPECT_FALSE(f.lead->handoff_active());
+
+  // Membership moved with the vnode; the producer followed its redirect.
+  EXPECT_EQ(f.lead->registrar().find(pulse.id()), nullptr);
+  ASSERT_NE(shards[1]->registrar().find(pulse.id()), nullptr);
+  EXPECT_EQ(pulse.registration().context_server, shards[1]->server_node());
+  EXPECT_GE(pulse.stats().redirects_followed, 1u);
+
+  // Zero delivery gap, zero duplicates across the move.
+  EXPECT_GT(published, 0);
+  EXPECT_EQ(monitor.unique_events, published);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+
+  const auto snapshot = f.sci.metrics().snapshot();
+  EXPECT_GE(snapshot.counter("reshard.handoffs"), 1u);
+}
+
+// Load accounting drives placement: a publish burst makes the producer's
+// vnode the hottest on its shard, the EWMA gauge reports a positive rate,
+// and the facade's load-aware rebalance moves that vnode to the cold shard.
+TEST(ShardTest, PublishRateEwmaDrivesLoadAwareRebalance) {
+  ShardFixture f(2);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(300));
+
+  sim::PeriodicTimer publisher(f.sci.simulator(), Duration::millis(10), [&] {
+    static std::int64_t i = 0;
+    pulse.publish("pulse", Value(i++));
+  });
+  publisher.start();
+  f.sci.run_for(Duration::seconds(3));  // several EWMA windows
+
+  EXPECT_GT(f.lead->publish_rate(), 0.0);
+  const auto hot = f.lead->hot_vnodes(1);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot.front(), f.lead->shard_map().vnode_of(pulse.id()));
+  const auto warm = f.sci.metrics().snapshot();
+  EXPECT_GT(warm.gauge("cs.shard.publish_rate", "shard=0"), 0.0);
+
+  // The planner picks the hot shard's hottest vnode and lands it cold-side.
+  const unsigned vnode = hot.front();
+  const auto moved = f.sci.rebalance_range("mall");
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(*moved, 1u);
+  publisher.stop();
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_EQ(f.lead->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_EQ(f.sci.shards("mall")[1]->shard_of(pulse.id()), 1u);
+
+  // Monolithic ranges have nothing to rebalance.
+  auto* flat = f.sci.create_range("flat", f.building.floor_path(1)).value();
+  ASSERT_NE(flat, nullptr);
+  EXPECT_EQ(f.sci.rebalance_range("flat").error().code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(f.sci.rebalance_range("nope").error().code(),
+            ErrorCode::kNotFound);
+}
+
+// Satellite: a profile burst travels to sibling shards as coalesced
+// kShardBatch frames instead of one frame per record.
+TEST(ShardTest, MirrorBurstsShipAsBatches) {
+  ShardFixture f(2);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(1), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(300));
+
+  range::ContextServer* owner = f.sci.shards("mall")[1];
+  const std::uint64_t batches_before = owner->stats().mirror_batches;
+  // Same-tick burst: all mirrors buffer and flush as one batched frame.
+  for (int i = 0; i < 8; ++i) {
+    pulse.set_metadata(Value(static_cast<std::int64_t>(i)));
+  }
+  f.sci.run_for(Duration::millis(500));
+
+  EXPECT_GT(owner->stats().mirror_batches, batches_before);
+  // The lead still saw every profile version — batching reorders nothing.
+  EXPECT_NE(f.lead->profiles().profile(pulse.id()), nullptr);
+  const auto snapshot = f.sci.metrics().snapshot();
+  EXPECT_GE(snapshot.counter("cs.shard.mirror_batches"), 1u);
+}
+
+// Crash the source primary before the commit point (while shipping state).
+// The handoff record state is pre-commit, so whoever recovers the shard
+// aborts deterministically: ownership is unchanged and delivery resumes
+// exactly-once through the elected successor.
+TEST(ShardTest, SourceCrashBeforeCommitAbortsAfterElection) {
+  ShardFixture f(2, /*standby_count=*/2, /*sync_acks=*/1);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(2));
+
+  const unsigned vnode = f.lead->shard_map().vnode_of(pulse.id());
+  const std::uint64_t epoch_before = f.lead->map_epoch();
+
+  sim::FaultPlan plan;
+  plan.handoff_crash(Duration::millis(0), "mall", "ship");
+  f.sci.inject_faults(plan);
+  f.sci.run_for(Duration::millis(1));  // probes arm on the event wheel
+  range::ContextServer* doomed = f.lead;
+  ASSERT_TRUE(doomed->begin_handoff(vnode, 1));  // strikes at "ship"
+  ASSERT_TRUE(f.sci.network().is_crashed(doomed->server_node()));
+  f.sci.run_for(Duration::seconds(4));  // election + resolution
+
+  range::ContextServer* fresh = f.sci.find_range("mall");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, doomed);
+  EXPECT_TRUE(fresh->promoted_by_election());
+  // Pre-commit crash ⇒ rollback everywhere: the map never moved.
+  EXPECT_EQ(fresh->map_epoch(), epoch_before);
+  EXPECT_EQ(fresh->shard_map().owner_of_vnode(vnode), 0u);
+  EXPECT_FALSE(fresh->handoff_active());
+  // The target must not stay wedged: a later migration still succeeds.
+  f.sci.run_for(Duration::seconds(12));  // let any staged incoming expire
+  ASSERT_TRUE(fresh->begin_handoff(vnode, 1));
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(fresh->shard_map().owner_of_vnode(vnode), 1u);
+  EXPECT_EQ(fresh->map_epoch(), epoch_before + 1);
+
+  for (int i = 0; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+}
+
+// Crash the source at the broadcast step — after logging the commit record
+// locally, before any sibling heard. Whether the successor saw the commit
+// (completes) or not (aborts), every shard converges on one consistent
+// ownership answer and delivery stays exactly-once. ISSUE acceptance:
+// "aborts cleanly OR completes after election".
+TEST(ShardTest, SourceCrashAtBroadcastConvergesEitherWay) {
+  ShardFixture f(2, /*standby_count=*/2, /*sync_acks=*/1);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(1), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(2));
+
+  const unsigned vnode = f.lead->shard_map().vnode_of(pulse.id());
+  const std::uint64_t epoch_before = f.lead->map_epoch();
+
+  sim::FaultPlan plan;
+  plan.handoff_crash(Duration::millis(0), "mall", "broadcast");
+  f.sci.inject_faults(plan);
+  f.sci.run_for(Duration::millis(1));  // probes arm on the event wheel
+  range::ContextServer* doomed = f.lead;
+  ASSERT_TRUE(doomed->begin_handoff(vnode, 1));
+  f.sci.run_for(Duration::seconds(6));  // election + resolution + expiry
+
+  range::ContextServer* fresh = f.sci.find_range("mall");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(fresh, doomed);
+  EXPECT_TRUE(fresh->promoted_by_election());
+  range::ContextServer* sibling = f.sci.find_range("mall#1");
+  ASSERT_NE(sibling, nullptr);
+
+  // Converged: both shards agree on epoch and owner, no handoff left open.
+  EXPECT_FALSE(fresh->handoff_active());
+  EXPECT_EQ(fresh->map_epoch(), sibling->map_epoch());
+  EXPECT_EQ(fresh->shard_map().owner_of_vnode(vnode),
+            sibling->shard_map().owner_of_vnode(vnode));
+  const unsigned owner_now = fresh->shard_map().owner_of_vnode(vnode);
+  if (fresh->map_epoch() == epoch_before) {
+    EXPECT_EQ(owner_now, 0u);  // aborted cleanly
+  } else {
+    EXPECT_EQ(fresh->map_epoch(), epoch_before + 1);
+    EXPECT_EQ(owner_now, 1u);  // completed from recovered commit
+  }
+  // The surviving owner serves the producer exactly-once either way.
+  f.sci.run_for(Duration::seconds(10));  // ride out watchdog expiries
+  for (int i = 0; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(2));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+}
+
+// A dead target never acknowledges the state slice: the source's handoff
+// watchdog rolls the move back, replays its staged ops locally, and the
+// vnode keeps serving from the old owner with nothing lost.
+TEST(ShardTest, SilentTargetAbortsHandoffAndReplaysStagedOps) {
+  ShardFixture f(2);
+  PulseCE pulse(f.sci.network(), f.guid_owned_by(0), "pulse",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(pulse, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(0), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  ASSERT_TRUE(monitor
+                  .submit_query("sub",
+                                query::QueryBuilder("sub", monitor.id())
+                                    .named(pulse.id())
+                                    .mode(query::QueryMode::kEventSubscription)
+                                    .to_xml())
+                  .is_ok());
+  f.sci.run_for(Duration::seconds(2));
+
+  const unsigned vnode = f.lead->shard_map().vnode_of(pulse.id());
+  const std::uint64_t epoch_before = f.lead->map_epoch();
+
+  // Partition the target away so the whole freeze/ship exchange vanishes
+  // into the void and the source's watchdog is the only way out.
+  range::ContextServer* target = f.sci.shards("mall")[1];
+  f.sci.network().set_partition_group(target->server_node(), 1);
+  ASSERT_TRUE(f.lead->begin_handoff(vnode, 1));
+  EXPECT_TRUE(f.lead->handoff_active());
+
+  // Publishes during the freeze park in the staging queue...
+  for (int i = 0; i < 5; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  EXPECT_GT(f.lead->stats().handoff_staged_ops, 0u);
+  EXPECT_EQ(monitor.unique_events, 0);  // frozen: nothing delivered yet
+
+  // ...until the 5s watchdog aborts and reingests them in arrival order.
+  f.sci.run_for(Duration::seconds(6));
+  EXPECT_FALSE(f.lead->handoff_active());
+  EXPECT_GE(f.lead->stats().handoffs_aborted, 1u);
+  EXPECT_EQ(f.lead->map_epoch(), epoch_before);
+  EXPECT_EQ(f.lead->shard_map().owner_of_vnode(vnode), 0u);
+  EXPECT_EQ(monitor.unique_events, 5);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+
+  const auto snapshot = f.sci.metrics().snapshot();
+  EXPECT_GE(snapshot.counter("reshard.aborts"), 1u);
+  EXPECT_GE(snapshot.counter("reshard.staged_events"), 1u);
+
+  // Heal the partition: the range keeps working end to end.
+  f.sci.network().set_partition_group(target->server_node(), 0);
+  for (int i = 5; i < 10; ++i) {
+    pulse.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+}
+
 }  // namespace
 }  // namespace sci
