@@ -11,18 +11,71 @@
 // BM_SubscriptionChurn/N     — Event Mediator subscribe/unsubscribe cost.
 // BM_EventDispatch/N/S       — event fan-out through the mediator with N
 //                              registered members and S subscribers.
+// BM_ZeroCopyFanout/S        — publish→deliver through dispatch_shared with
+//                              S subscribers (the arena-pooled hot path).
+// BM_ZeroCopyHotPath         — the gated experiment (docs/MEMORY.md): same
+//                              fan-out run twice, once with pooling and
+//                              frame sharing on and once with the legacy
+//                              copy-per-subscriber ablation, plus a global
+//                              operator-new audit of the steady state.
 //
 // Expected shape: registration and profile ops stay near-constant in N
 // (hash-indexed stores); dispatch scales with the matched subscriber count,
-// not with the population.
+// not with the population. The zero-copy path should deliver at least 2x
+// the legacy throughput with zero allocations per delivered event; both
+// numbers land in BENCH_fig2.json ("zero_copy/fanout") and CI gates on
+// them.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <new>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/stats.h"
 #include "core/sci.h"
 #include "entity/sensors.h"
+#include "event/event.h"
+#include "mem/arena.h"
+#include "net/network.h"
+#include "range/event_mediator.h"
+#include "serde/buffer.h"
+#include "sim/simulator.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting (same idiom as tests/mem_test.cpp): replacement global
+// operator new so the bench can prove — not estimate — that the steady-state
+// publish→deliver cycle never touches the heap.
+
+namespace {
+std::uint64_t g_allocations = 0;
+}  // namespace
+
+// GCC pairs the replacement operator delete's std::free against its builtin
+// operator new and warns; the pairing here is in fact malloc/free on both
+// sides.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -158,6 +211,179 @@ void BM_EventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(received));
 }
 
+// ------------------------------------------------------------- zero-copy
+
+// Minimal publish→deliver harness: a bare mediator over a bare network, no
+// reliable channel (its pending map is a per-send rendezvous — measured in
+// fig9, deliberately excluded here so the arena is the only variable).
+// Every subscriber's handler does the real consumer-side work zero-copy
+// style: peel the DeliverBody's two-varint prefix and parse an EventView
+// straight off the arriving frame, no materialisation.
+struct FanoutHarness {
+  sim::Simulator simulator{11};
+  net::Network network{simulator};
+  Guid producer{0xF1600001, 0x1};
+  range::EventMediator mediator{network, producer};
+  std::uint64_t delivered = 0;
+
+  explicit FanoutHarness(std::size_t subscribers) {
+    SCI_ASSERT(network.attach(producer, [](const net::Message&) {}).is_ok());
+    for (std::size_t i = 0; i < subscribers; ++i) {
+      const Guid node(0xF1600002, i + 1);
+      const Status attached =
+          network.attach(node, [this](const net::Message& m) { consume(m); });
+      SCI_ASSERT(attached.is_ok());
+      (void)mediator.subscribe(node, std::nullopt, "pulse", {});
+    }
+  }
+
+  void consume(const net::Message& m) {
+    serde::Reader r(m.payload);
+    const auto subscription = r.varint();
+    const auto owner_tag = r.varint();
+    if (!subscription.has_value() || !owner_tag.has_value()) return;
+    const serde::FrameView event_bytes = serde::FrameView(m.payload).subview(
+        r.position(), m.payload.size() - r.position());
+    const auto view = event::EventView::parse(event_bytes);
+    if (!view.has_value()) return;
+    benchmark::DoNotOptimize(view->sequence());
+    ++delivered;
+  }
+
+  void pump(event::Event& event, std::uint64_t sequence) {
+    event.sequence = sequence;
+    (void)mediator.dispatch_shared(event);
+    (void)simulator.run_all();
+  }
+};
+
+// A representative context event: a handful of typed fields, the shape a
+// sensor CE publishes every reading.
+event::Event make_pulse(Guid source) {
+  event::Event event;
+  event.type = "pulse";
+  event.source = source;
+  event.payload = vmap({{"value", 21.5},
+                        {"unit", std::string("celsius")},
+                        {"floor", static_cast<std::int64_t>(3)},
+                        {"room", std::string("3.14")},
+                        {"battery", 0.87},
+                        {"firmware", std::string("ce-2.4.1")}});
+  return event;
+}
+
+constexpr std::uint64_t kFanoutWarmup = 256;
+
+// Delivered events per wall-clock second with the given ablation setting.
+double fanout_events_per_sec(bool zero_copy, std::size_t subscribers,
+                             std::uint64_t events) {
+  mem::set_pooling_enabled(zero_copy);
+  mem::set_zero_copy_enabled(zero_copy);
+  FanoutHarness harness(subscribers);
+  event::Event event = make_pulse(harness.producer);
+  std::uint64_t sequence = 1;
+  for (std::uint64_t i = 0; i < kFanoutWarmup; ++i) {
+    harness.pump(event, sequence++);
+  }
+  const std::uint64_t before = harness.delivered;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < events; ++i) {
+    harness.pump(event, sequence++);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t delivered = harness.delivered - before;
+  SCI_ASSERT(delivered == events * subscribers);
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  mem::set_pooling_enabled(true);
+  mem::set_zero_copy_enabled(true);
+  return seconds > 0.0 ? static_cast<double>(delivered) / seconds : 0.0;
+}
+
+// Heap allocations across a steady-state publish→deliver region (pooling
+// and frame sharing on). The contract this gates: zero.
+std::uint64_t fanout_steady_state_allocs(std::size_t subscribers,
+                                         std::uint64_t events,
+                                         std::uint64_t* delivered_out) {
+  mem::set_pooling_enabled(true);
+  mem::set_zero_copy_enabled(true);
+  FanoutHarness harness(subscribers);
+  event::Event event = make_pulse(harness.producer);
+  std::uint64_t sequence = 1;
+  for (std::uint64_t i = 0; i < kFanoutWarmup; ++i) {
+    harness.pump(event, sequence++);
+  }
+  const std::uint64_t before_delivered = harness.delivered;
+  const std::uint64_t before_allocs = g_allocations;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    harness.pump(event, sequence++);
+  }
+  const std::uint64_t allocs = g_allocations - before_allocs;
+  *delivered_out = harness.delivered - before_delivered;
+  return allocs;
+}
+
+void BM_ZeroCopyFanout(benchmark::State& state) {
+  const auto subscribers = static_cast<std::size_t>(state.range(0));
+  FanoutHarness harness(subscribers);
+  event::Event event = make_pulse(harness.producer);
+  std::uint64_t sequence = 1;
+  for (std::uint64_t i = 0; i < kFanoutWarmup; ++i) {
+    harness.pump(event, sequence++);
+  }
+  for (auto _ : state) {
+    harness.pump(event, sequence++);
+  }
+  state.counters["subscribers"] = static_cast<double>(subscribers);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(subscribers));
+}
+
+void BM_ZeroCopyHotPath(benchmark::State& state) {
+  constexpr std::size_t kSubscribers = 16;
+  constexpr std::uint64_t kEvents = 20000;
+  double legacy_rate = 0.0;
+  double zero_copy_rate = 0.0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_delivered = 0;
+  for (auto _ : state) {
+    legacy_rate = fanout_events_per_sec(false, kSubscribers, kEvents);
+    zero_copy_rate = fanout_events_per_sec(true, kSubscribers, kEvents);
+    steady_allocs =
+        fanout_steady_state_allocs(kSubscribers, kEvents, &steady_delivered);
+  }
+  const double throughput_x =
+      legacy_rate > 0.0 ? zero_copy_rate / legacy_rate : 0.0;
+  const double allocs_per_event =
+      steady_delivered > 0
+          ? static_cast<double>(steady_allocs) /
+                static_cast<double>(steady_delivered)
+          : 0.0;
+  state.counters["throughput_x"] = throughput_x;
+  state.counters["allocs_per_delivered_event"] = allocs_per_event;
+  state.counters["zero_copy_events_per_sec"] = zero_copy_rate;
+  state.counters["legacy_events_per_sec"] = legacy_rate;
+
+  const mem::ArenaStats& arena = mem::BufferArena::global().stats();
+  ValueMap doc;
+  doc.emplace("subscribers", static_cast<std::int64_t>(kSubscribers));
+  doc.emplace("events_per_mode", static_cast<std::int64_t>(kEvents));
+  doc.emplace("throughput_x", throughput_x);
+  doc.emplace("zero_copy_events_per_sec", zero_copy_rate);
+  doc.emplace("legacy_events_per_sec", legacy_rate);
+  doc.emplace("allocs_per_delivered_event", allocs_per_event);
+  doc.emplace("steady_state_allocs", static_cast<std::int64_t>(steady_allocs));
+  doc.emplace("steady_state_deliveries",
+              static_cast<std::int64_t>(steady_delivered));
+  doc.emplace("arena_block_allocs",
+              static_cast<std::int64_t>(arena.block_allocs));
+  doc.emplace("arena_reuses", static_cast<std::int64_t>(arena.reuses));
+  doc.emplace("arena_oversize", static_cast<std::int64_t>(arena.oversize));
+  doc.emplace("arena_bytes_reserved",
+              static_cast<std::int64_t>(arena.bytes_reserved));
+  bench::add_run("zero_copy/fanout", Value(ValueMap(doc)));
+}
+
 }  // namespace
 
 BENCHMARK(BM_RegistrationHandshake)
@@ -173,5 +399,7 @@ BENCHMARK(BM_EventDispatch)
     ->Args({50, 32})
     ->Args({500, 8})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ZeroCopyFanout)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ZeroCopyHotPath)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCI_BENCHMARK_MAIN_WITH_REPORT("BENCH_fig2.json")

@@ -19,7 +19,7 @@ std::vector<std::byte> HelloBody::encode() const {
   return w.take();
 }
 
-Expected<HelloBody> HelloBody::decode(const std::vector<std::byte>& bytes) {
+Expected<HelloBody> HelloBody::decode(serde::FrameView bytes) {
   serde::Reader r(bytes);
   HelloBody b;
   SCI_TRY_ASSIGN(is_app, r.boolean());
@@ -37,7 +37,7 @@ std::vector<std::byte> RangeInfoBody::encode() const {
 }
 
 Expected<RangeInfoBody> RangeInfoBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   RangeInfoBody b;
   SCI_TRY_ASSIGN(range, read_guid(r));
@@ -56,7 +56,7 @@ std::vector<std::byte> RegisterRequestBody::encode() const {
 }
 
 Expected<RegisterRequestBody> RegisterRequestBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   RegisterRequestBody b;
   SCI_TRY_ASSIGN(is_app, r.boolean());
@@ -83,7 +83,7 @@ std::vector<std::byte> RegisterAckBody::encode() const {
 }
 
 Expected<RegisterAckBody> RegisterAckBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   RegisterAckBody b;
   SCI_TRY_ASSIGN(accepted, r.boolean());
@@ -108,7 +108,7 @@ std::vector<std::byte> PublishBody::encode() const {
 }
 
 Expected<PublishBody> PublishBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   PublishBody b;
   SCI_TRY_ASSIGN(event, event::Event::decode(r));
@@ -125,7 +125,7 @@ std::vector<std::byte> DeliverBody::encode() const {
 }
 
 Expected<DeliverBody> DeliverBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   DeliverBody b;
   SCI_TRY_ASSIGN(subscription, r.varint());
@@ -145,7 +145,7 @@ std::vector<std::byte> ConfigureBody::encode() const {
 }
 
 Expected<ConfigureBody> ConfigureBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   ConfigureBody b;
   SCI_TRY_ASSIGN(config_tag, r.varint());
@@ -163,7 +163,7 @@ std::vector<std::byte> QuerySubmitBody::encode() const {
 }
 
 Expected<QuerySubmitBody> QuerySubmitBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   QuerySubmitBody b;
   SCI_TRY_ASSIGN(query_id, r.string());
@@ -183,7 +183,7 @@ std::vector<std::byte> QueryResultBody::encode() const {
 }
 
 Expected<QueryResultBody> QueryResultBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   QueryResultBody b;
   SCI_TRY_ASSIGN(query_id, r.string());
@@ -206,7 +206,7 @@ std::vector<std::byte> ServiceInvokeBody::encode() const {
 }
 
 Expected<ServiceInvokeBody> ServiceInvokeBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   ServiceInvokeBody b;
   SCI_TRY_ASSIGN(invoke_id, r.varint());
@@ -228,7 +228,7 @@ std::vector<std::byte> ServiceReplyBody::encode() const {
 }
 
 Expected<ServiceReplyBody> ServiceReplyBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   ServiceReplyBody b;
   SCI_TRY_ASSIGN(invoke_id, r.varint());
@@ -249,7 +249,7 @@ std::vector<std::byte> ProfileUpdateBody::encode() const {
 }
 
 Expected<ProfileUpdateBody> ProfileUpdateBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   ProfileUpdateBody b;
   SCI_TRY_ASSIGN(profile, Profile::decode(r));
@@ -265,7 +265,7 @@ std::vector<std::byte> RedirectBody::encode() const {
 }
 
 Expected<RedirectBody> RedirectBody::decode(
-    const std::vector<std::byte>& bytes) {
+    serde::FrameView bytes) {
   serde::Reader r(bytes);
   RedirectBody b;
   SCI_TRY_ASSIGN(cs, read_guid(r));

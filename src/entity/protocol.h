@@ -64,7 +64,7 @@ struct HelloBody {
   std::string name;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<HelloBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<HelloBody> decode(serde::FrameView bytes);
 };
 
 struct RangeInfoBody {
@@ -72,7 +72,7 @@ struct RangeInfoBody {
   Guid registrar;  // network address (node) of the registrar
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<RangeInfoBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<RangeInfoBody> decode(serde::FrameView bytes);
 };
 
 struct RegisterRequestBody {
@@ -81,8 +81,7 @@ struct RegisterRequestBody {
   std::optional<Advertisement> advertisement;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<RegisterRequestBody> decode(
-      const std::vector<std::byte>& bytes);
+  static Expected<RegisterRequestBody> decode(serde::FrameView bytes);
 };
 
 struct RegisterAckBody {
@@ -96,14 +95,14 @@ struct RegisterAckBody {
   std::uint64_t lease_renew_micros = 0;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<RegisterAckBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<RegisterAckBody> decode(serde::FrameView bytes);
 };
 
 struct PublishBody {
   event::Event event;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<PublishBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<PublishBody> decode(serde::FrameView bytes);
 };
 
 struct DeliverBody {
@@ -112,7 +111,7 @@ struct DeliverBody {
   event::Event event;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<DeliverBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<DeliverBody> decode(serde::FrameView bytes);
 };
 
 // Per-configuration parameters handed to a CE when the Context Server wires
@@ -122,7 +121,7 @@ struct ConfigureBody {
   Value params;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<ConfigureBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<ConfigureBody> decode(serde::FrameView bytes);
 };
 
 struct QuerySubmitBody {
@@ -130,7 +129,7 @@ struct QuerySubmitBody {
   std::string xml;  // the Figure 6 document
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<QuerySubmitBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<QuerySubmitBody> decode(serde::FrameView bytes);
 };
 
 struct QueryResultBody {
@@ -140,7 +139,7 @@ struct QueryResultBody {
   Value result;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<QueryResultBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<QueryResultBody> decode(serde::FrameView bytes);
 };
 
 struct ServiceInvokeBody {
@@ -149,8 +148,7 @@ struct ServiceInvokeBody {
   Value args;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<ServiceInvokeBody> decode(
-      const std::vector<std::byte>& bytes);
+  static Expected<ServiceInvokeBody> decode(serde::FrameView bytes);
 };
 
 struct ServiceReplyBody {
@@ -160,15 +158,14 @@ struct ServiceReplyBody {
   Value result;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<ServiceReplyBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<ServiceReplyBody> decode(serde::FrameView bytes);
 };
 
 struct ProfileUpdateBody {
   Profile profile;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<ProfileUpdateBody> decode(
-      const std::vector<std::byte>& bytes);
+  static Expected<ProfileUpdateBody> decode(serde::FrameView bytes);
 };
 
 // Sent by a (former) owner shard after a vnode handoff commits: the
@@ -180,7 +177,7 @@ struct RedirectBody {
   Guid event_mediator;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<RedirectBody> decode(const std::vector<std::byte>& bytes);
+  static Expected<RedirectBody> decode(serde::FrameView bytes);
 };
 
 }  // namespace sci::entity

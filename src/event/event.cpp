@@ -33,6 +33,38 @@ std::string Event::to_string() const {
          payload.to_string();
 }
 
+Expected<EventView> EventView::parse(serde::FrameView frame) {
+  serde::Reader r(frame);
+  EventView v;
+  SCI_TRY_ASSIGN(sequence, r.varint());
+  v.sequence_ = sequence;
+  SCI_TRY_ASSIGN(type, r.string_view());
+  v.type_ = type;
+  SCI_TRY_ASSIGN(hi, r.u64());
+  SCI_TRY_ASSIGN(lo, r.u64());
+  v.source_ = Guid(hi, lo);
+  SCI_TRY_ASSIGN(ts, r.svarint());
+  v.timestamp_ = SimTime::from_micros(ts);
+  v.payload_ = frame.subview(r.position(), r.remaining());
+  return v;
+}
+
+Expected<Value> EventView::decode_payload() const {
+  serde::Reader r(payload_);
+  return Value::decode(r);
+}
+
+Expected<Event> EventView::materialize() const {
+  Event e;
+  e.sequence = sequence_;
+  e.type = std::string(type_);
+  e.source = source_;
+  e.timestamp = timestamp_;
+  SCI_TRY_ASSIGN(payload, decode_payload());
+  e.payload = std::move(payload);
+  return e;
+}
+
 bool FieldConstraint::matches(const Value& payload) const {
   const Value& field = payload.at(key);
   switch (op) {

@@ -9,11 +9,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/expected.h"
 #include "common/guid.h"
 #include "common/time.h"
+#include "serde/buffer.h"
 #include "serde/value.h"
 
 namespace sci::event {
@@ -29,6 +31,35 @@ struct Event {
   static Expected<Event> decode(serde::Reader& r);
 
   [[nodiscard]] std::string to_string() const;
+};
+
+// Zero-copy peek at an encoded Event (the wire form Event::encode writes).
+// Header fields parse without allocating — `type` is a string_view into the
+// frame — and the payload Value stays encoded until decode_payload(). The
+// publish hot path reads sequence/source for registrar and dedup checks
+// straight from the arriving frame and only materializes an owning Event
+// once the frame is known to be fresh. The view borrows: it must not
+// outlive the frame it was parsed from.
+class EventView {
+ public:
+  static Expected<EventView> parse(serde::FrameView frame);
+
+  [[nodiscard]] std::uint64_t sequence() const { return sequence_; }
+  [[nodiscard]] std::string_view type() const { return type_; }
+  [[nodiscard]] Guid source() const { return source_; }
+  [[nodiscard]] SimTime timestamp() const { return timestamp_; }
+  // The still-encoded payload Value bytes (tail of the event frame).
+  [[nodiscard]] serde::FrameView payload_bytes() const { return payload_; }
+  [[nodiscard]] Expected<Value> decode_payload() const;
+  // Deep copy into an owning Event (type string + decoded payload).
+  [[nodiscard]] Expected<Event> materialize() const;
+
+ private:
+  std::uint64_t sequence_ = 0;
+  std::string_view type_;
+  Guid source_;
+  SimTime timestamp_;
+  serde::FrameView payload_;
 };
 
 // Constraint operators for payload field filters.

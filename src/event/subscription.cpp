@@ -126,6 +126,35 @@ std::vector<Subscription> SubscriptionTable::collect_matches(
   return matched;
 }
 
+void SubscriptionTable::collect_matches_into(const Event& event,
+                                             std::vector<MatchRef>& out) {
+  out.clear();
+  const auto it = by_type_.find(event.type);
+  if (it == by_type_.end()) return;
+  bool any_one_shot = false;
+  for (const SubscriptionId id : it->second) {
+    auto sub_it = subscriptions_.find(id);
+    if (sub_it == subscriptions_.end()) continue;
+    Subscription& subscription = sub_it->second;
+    if (subscription.producer.has_value() &&
+        *subscription.producer != event.source) {
+      continue;
+    }
+    if (!subscription.filter.matches(event)) continue;
+    subscription.delivered += 1;
+    ++total_delivered_;
+    out.push_back({id, subscription.subscriber, subscription.owner_tag,
+                   subscription.one_time});
+    any_one_shot = any_one_shot || subscription.one_time;
+  }
+  // Removal after the scan: remove() edits the by_type_ id vector this loop
+  // just walked. `out` holds flat copies, so it survives the mutation.
+  if (!any_one_shot) return;
+  for (const MatchRef& match : out) {
+    if (match.one_time) (void)remove(match.id);
+  }
+}
+
 const Subscription* SubscriptionTable::find(SubscriptionId id) const {
   const auto it = subscriptions_.find(id);
   return it == subscriptions_.end() ? nullptr : &it->second;

@@ -8,10 +8,12 @@
 // mode) and per-subscription delivery statistics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +41,18 @@ struct Subscription {
   // Lease expiry: the subscription is reaped once simulated time passes
   // this point unless the subscriber renews. Infinity = no lease.
   SimTime expires_at = SimTime::infinity();
+};
+
+// Flat per-match record the dispatch hot path iterates instead of copying
+// whole Subscriptions (whose type string and filter vector would heap-
+// allocate per delivery). Everything the Context Server needs after a
+// dispatch — retiring one-time configurations, addressing the kDeliver
+// frame — fits in these four fields.
+struct MatchRef {
+  SubscriptionId id = 0;
+  Guid subscriber;
+  std::uint64_t owner_tag = 0;
+  bool one_time = false;
 };
 
 class SubscriptionTable {
@@ -74,6 +88,13 @@ class SubscriptionTable {
   // to iterate while the table mutates.
   std::vector<Subscription> collect_matches(const Event& event);
 
+  // Allocation-free variant for the fan-out hot path: fills `out` (cleared,
+  // capacity reused across calls) with flat per-match records instead of
+  // copying whole Subscriptions — no string or filter copies per delivery.
+  // Same side effects as collect_matches (counters bumped, one-time
+  // subscriptions dropped).
+  void collect_matches_into(const Event& event, std::vector<MatchRef>& out);
+
   [[nodiscard]] const Subscription* find(SubscriptionId id) const;
   [[nodiscard]] std::size_t size() const { return subscriptions_.size(); }
 
@@ -96,10 +117,21 @@ class SubscriptionTable {
   }
 
  private:
+  // Heterogeneous lookup so an EventView's string_view type probes the
+  // index without materializing a std::string first.
+  struct TypeHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
   // Index: event type -> subscription ids (producer filtering happens at
   // match time; type is the selective key in practice).
-  std::unordered_map<std::string, std::vector<SubscriptionId>> by_type_;
+  std::unordered_map<std::string, std::vector<SubscriptionId>, TypeHash,
+                     std::equal_to<>>
+      by_type_;
   SubscriptionId next_id_ = 1;
   std::uint64_t total_delivered_ = 0;
 

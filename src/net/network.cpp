@@ -123,29 +123,50 @@ Expected<bool> Network::offer(Message message) {
 
   const Duration latency = sample_latency(from_it->second, to_it->second);
   m_latency_ms_->observe(latency.millis_f());
-  const Guid to = message.to;
-  simulator_.schedule(
-      latency, [this, to, size, msg = std::move(message)]() mutable {
-        const auto it = nodes_.find(to);
-        // The destination may have detached or crashed in flight.
-        if (it == nodes_.end() || crashed_.contains(to)) {
-          ++total_dropped_;
-          m_dropped_->inc();
-          m_dropped_stale_->inc();
-          trace_->record(simulator_.now(), obs::TraceKind::kMessageDrop,
-                         msg.from, to,
-                         static_cast<std::uint64_t>(obs::DropCause::kStale));
-          return;
-        }
-        it->second.stats.messages_received += 1;
-        it->second.stats.bytes_received += size;
-        ++total_delivered_;
-        m_delivered_->inc();
-        trace_->record(simulator_.now(), obs::TraceKind::kMessageDeliver,
-                       msg.from, to, msg.type);
-        it->second.handler(msg);
-      });
+
+  // Park the frame in a recycled slot and schedule only [this, slot]: a
+  // 16-byte capture fits std::function's inline storage, so steady-state
+  // delivery costs no heap allocation per message.
+  std::size_t slot;
+  if (!free_flights_.empty()) {
+    slot = free_flights_.back();
+    free_flights_.pop_back();
+    flights_[slot] = Flight{std::move(message), size};
+  } else {
+    slot = flights_.size();
+    flights_.push_back(Flight{std::move(message), size});
+  }
+  simulator_.schedule(latency, [this, slot] { deliver(slot); });
   return true;
+}
+
+void Network::deliver(std::size_t slot) {
+  // Move the frame out and recycle the slot before invoking the handler:
+  // handlers send re-entrantly, which may grow flights_ and invalidate
+  // references into it.
+  Message msg = std::move(flights_[slot].msg);
+  const std::size_t size = flights_[slot].wire;
+  flights_[slot] = Flight{};
+  free_flights_.push_back(slot);
+
+  const auto it = nodes_.find(msg.to);
+  // The destination may have detached or crashed in flight.
+  if (it == nodes_.end() || crashed_.contains(msg.to)) {
+    ++total_dropped_;
+    m_dropped_->inc();
+    m_dropped_stale_->inc();
+    trace_->record(simulator_.now(), obs::TraceKind::kMessageDrop, msg.from,
+                   msg.to,
+                   static_cast<std::uint64_t>(obs::DropCause::kStale));
+    return;
+  }
+  it->second.stats.messages_received += 1;
+  it->second.stats.bytes_received += size;
+  ++total_delivered_;
+  m_delivered_->inc();
+  trace_->record(simulator_.now(), obs::TraceKind::kMessageDeliver, msg.from,
+                 msg.to, msg.type);
+  it->second.handler(msg);
 }
 
 std::size_t Network::broadcast(Message message, double radius) {

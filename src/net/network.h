@@ -26,12 +26,15 @@
 namespace sci::net {
 
 // A routed frame. `type` dispatches to the handler registered by the
-// receiving protocol layer; `payload` is an opaque serialized body.
+// receiving protocol layer; `payload` is an opaque serialized body held by
+// refcounted handle — forwarding, fan-out and retransmit all share the one
+// encoded frame (docs/MEMORY.md). Vector payloads still work through the
+// BufferRef converting constructor (a copy — cold paths only).
 struct Message {
   std::uint32_t type = 0;
   Guid from;
   Guid to;
-  std::vector<std::byte> payload;
+  serde::BufferRef payload;
 
   [[nodiscard]] std::size_t wire_size() const {
     // type + 2 GUIDs + length prefix + body; close enough for load stats.
@@ -154,6 +157,10 @@ class Network {
   // reserved for never-attached endpoints.
   Expected<bool> offer(Message message);
 
+  // Runs the delivery half of offer() for the in-flight frame parked in
+  // `flights_[slot]`.
+  void deliver(std::size_t slot);
+
   sim::Simulator& simulator_;
   Rng rng_;
   // Fabric instruments (interned once; hot-path updates are increments).
@@ -168,6 +175,17 @@ class Network {
   obs::Histogram* m_latency_ms_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   LinkModel link_model_;
+  // In-flight frames parked by slot index so the scheduled closure is just
+  // [this, slot] — small enough for std::function's inline storage, which
+  // keeps the per-message path free of heap allocations. Slots recycle
+  // through free_flights_.
+  struct Flight {
+    Message msg;
+    std::size_t wire = 0;
+  };
+  std::vector<Flight> flights_;
+  std::vector<std::size_t> free_flights_;
+
   std::unordered_map<Guid, NodeRecord> nodes_;
   std::unordered_set<Guid> crashed_;
   std::unordered_map<Guid, int> partition_groups_;

@@ -48,6 +48,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  if (snapshot_hook_) snapshot_hook_();
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& slot : counters_) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -144,6 +145,13 @@ class MetricsRegistry {
     return histograms_.size();
   }
 
+  // Runs just before every snapshot() copies the metrics out. Lets an owner
+  // mirror state that lives outside the registry — the Simulator installs
+  // one that publishes the buffer arena's pool counters as `mem.*` gauges —
+  // without putting a dependency on that state into every update path.
+  using SnapshotHook = std::function<void()>;
+  void set_snapshot_hook(SnapshotHook hook) { snapshot_hook_ = std::move(hook); }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   // Zeroes every metric; registrations (and cached pointers) stay valid.
@@ -175,6 +183,7 @@ class MetricsRegistry {
   std::map<Key, Counter*> counter_index_;
   std::map<Key, Gauge*> gauge_index_;
   std::map<Key, Histogram*> histogram_index_;
+  SnapshotHook snapshot_hook_;
 };
 
 }  // namespace sci::obs

@@ -22,7 +22,7 @@ std::vector<std::byte> encode(const HierMessage& m) {
   return w.take();
 }
 
-Expected<HierMessage> decode(const std::vector<std::byte>& bytes) {
+Expected<HierMessage> decode(serde::FrameView bytes) {
   serde::Reader r(bytes);
   HierMessage m;
   SCI_TRY_ASSIGN(dhi, r.u64());
@@ -40,7 +40,7 @@ Expected<HierMessage> decode(const std::vector<std::byte>& bytes) {
     return make_error(ErrorCode::kParseError, "hier payload truncated");
   m.payload.resize(static_cast<std::size_t>(len));
   const std::size_t offset = bytes.size() - r.remaining();
-  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+  std::copy_n(bytes.data() + static_cast<std::ptrdiff_t>(offset),
               static_cast<std::size_t>(len), m.payload.begin());
   return m;
 }

@@ -70,7 +70,7 @@ struct RoutedWire {
     return w.take();
   }
 
-  static Expected<RoutedWire> decode(const std::vector<std::byte>& bytes) {
+  static Expected<RoutedWire> decode(serde::FrameView bytes) {
     serde::Reader r(bytes);
     RoutedWire out;
     SCI_TRY_ASSIGN(key, read_guid(r));
@@ -90,7 +90,7 @@ struct RoutedWire {
       return make_error(ErrorCode::kParseError, "routed payload truncated");
     out.payload.resize(static_cast<std::size_t>(len));
     const std::size_t offset = bytes.size() - r.remaining();
-    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+    std::copy_n(bytes.data() + static_cast<std::ptrdiff_t>(offset),
                 static_cast<std::size_t>(len), out.payload.begin());
     return out;
   }

@@ -10,7 +10,7 @@ namespace {
 // WAL frame payload: [varint epoch][varint index][record bytes to end].
 std::vector<std::byte> encode_wal_payload(std::uint32_t epoch,
                                           std::uint64_t index,
-                                          const std::vector<std::byte>& rec) {
+                                          const serde::BufferRef& rec) {
   serde::Writer w(rec.size() + 12);
   w.varint(epoch);
   w.varint(index);
@@ -54,8 +54,8 @@ ShardStore::~ShardStore() {
 }
 
 void ShardStore::append(std::uint32_t epoch, std::uint64_t index,
-                        const std::vector<std::byte>& record_bytes) {
-  buffer_.push_back({epoch, index, record_bytes});
+                        serde::BufferRef record_bytes) {
+  buffer_.push_back({epoch, index, std::move(record_bytes)});
   if (index > appended_index_) appended_index_ = index;
   m_appends_->inc();
   if (buffer_.size() >= config_.flush_threshold) {

@@ -42,6 +42,7 @@
 #include "common/time.h"
 #include "obs/metrics.h"
 #include "persist/storage.h"
+#include "serde/buffer.h"
 #include "serde/frame.h"
 #include "sim/simulator.h"
 
@@ -105,9 +106,11 @@ class ShardStore {
   }
 
   // Buffers one applied record for group commit. Indices must be handed in
-  // ascending order (the apply order of the owning node).
+  // ascending order (the apply order of the owning node). The store keeps a
+  // reference to `record_bytes` until the group-commit flush — the WAL
+  // buffer shares the replication pipeline's block rather than copying it.
   void append(std::uint32_t epoch, std::uint64_t index,
-              const std::vector<std::byte>& record_bytes);
+              serde::BufferRef record_bytes);
 
   // Forces the buffered batch (and any unsynced file tail) to disk now.
   // Returns true when the durable watermark caught up to every append.
@@ -157,7 +160,7 @@ class ShardStore {
   struct Buffered {
     std::uint32_t epoch = 0;
     std::uint64_t index = 0;
-    std::vector<std::byte> bytes;
+    serde::BufferRef bytes;
   };
   std::vector<Buffered> buffer_;
   std::uint64_t appended_index_ = 0;  // highest index handed to append()

@@ -48,8 +48,7 @@ struct ForwardedQueryWire {
     return w.take();
   }
 
-  static Expected<ForwardedQueryWire> decode(
-      const std::vector<std::byte>& bytes) {
+  static Expected<ForwardedQueryWire> decode(serde::FrameView bytes) {
     serde::Reader r(bytes);
     ForwardedQueryWire out;
     SCI_TRY_ASSIGN(app, entity::read_guid(r));
@@ -110,7 +109,7 @@ struct HandoffWire {
     return w.take();
   }
 
-  static Expected<HandoffWire> decode(const std::vector<std::byte>& bytes) {
+  static Expected<HandoffWire> decode(serde::FrameView bytes) {
     serde::Reader r(bytes);
     HandoffWire out;
     SCI_TRY_ASSIGN(id, r.varint());
@@ -128,7 +127,7 @@ struct HandoffWire {
 };
 
 // Length-prefixed byte blobs (varint len + raw) — same layout as string().
-void write_blob(serde::Writer& w, const std::vector<std::byte>& blob) {
+void write_blob(serde::Writer& w, serde::FrameView blob) {
   w.varint(blob.size());
   w.raw(blob.data(), blob.size());
 }
@@ -449,7 +448,7 @@ void ContextServer::detect_departure(Guid component) {
 // message plumbing
 
 void ContextServer::send_to(Guid to, std::uint32_t type,
-                            std::vector<std::byte> payload) {
+                            serde::BufferRef payload) {
   if (passive()) return;  // standbys and fenced instances stay silent
   net::Message message;
   message.type = type;
@@ -460,7 +459,7 @@ void ContextServer::send_to(Guid to, std::uint32_t type,
 }
 
 void ContextServer::send_component(Guid to, std::uint32_t type,
-                                   std::vector<std::byte> payload) {
+                                   serde::BufferRef payload) {
   if (passive()) return;
   if (config_.acked_delivery) {
     channel_.send(to, type, std::move(payload));
@@ -805,8 +804,11 @@ void ContextServer::handle_register(const net::Message& message) {
 // event pipeline
 
 void ContextServer::handle_publish(const net::Message& message) {
-  auto body = entity::PublishBody::decode(message.payload);
-  if (!body) return;
+  // Peek the event header without materializing it: registrar and dedup
+  // rejections (and the replication log append below, which shares the
+  // arriving frame's bytes verbatim) never need the decoded payload Value.
+  const auto view = event::EventView::parse(message.payload);
+  if (!view) return;
   if (!registrar_.contains(message.from)) {
     if (bounce_stale_frame(message)) return;
     SCI_DEBUG(kTag, "%s: publish from unregistered %s dropped",
@@ -821,14 +823,16 @@ void ContextServer::handle_publish(const net::Message& message) {
   // Cross-incarnation dedup (docs/REPLICATION.md): a publish the dead
   // primary acked was already replicated here, so the component's
   // retransmission to the promoted standby must not dispatch it twice.
-  if (body->event.sequence != 0 &&
-      !publish_seen_[body->event.source].accept(body->event.sequence)) {
+  if (view->sequence() != 0 &&
+      !publish_seen_[view->source()].accept(view->sequence())) {
     ++stats_.duplicate_publishes;
     return;
   }
   hold_admit_until_committed(log_record(replicate::RecordKind::kPublish,
                                         message.from, 0, message.payload),
                              {});
+  auto body = entity::PublishBody::decode(message.payload);
+  if (!body) return;
   ingest_publish(*body);
 }
 
@@ -842,12 +846,17 @@ void ContextServer::ingest_publish(const entity::PublishBody& body) {
   context_store_.record(event);
 
   // 1. Fan out to subscribers; one-time configurations retire after their
-  // first delivery.
-  const auto matched = mediator_.dispatch(event);
-  for (const event::Subscription& subscription : matched) {
-    if (subscription.one_time && subscription.owner_tag != 0) {
-      retire_configuration(subscription.owner_tag);
+  // first delivery. The matches live in the mediator's scratch vector, so
+  // harvest the owner tags before anything here can dispatch again.
+  const auto& matched = mediator_.dispatch_shared(event);
+  retire_scratch_.clear();
+  for (const event::MatchRef& match : matched) {
+    if (match.one_time && match.owner_tag != 0) {
+      retire_scratch_.push_back(match.owner_tag);
     }
+  }
+  for (const std::uint64_t owner_tag : retire_scratch_) {
+    retire_configuration(owner_tag);
   }
   remember_recent(event);
 
@@ -2120,7 +2129,7 @@ void ContextServer::broadcast_profile_mirror(Guid subject) {
   const entity::Advertisement* ad = profiles_.advertisement(subject);
   w.boolean(ad != nullptr);
   if (ad != nullptr) ad->encode(w);
-  const std::vector<std::byte> wire = w.take();
+  const serde::BufferRef wire = w.take_ref();
   for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
     if (i == config_.shard_index) continue;
     queue_mirror(shard_node(i), kShardProfile, wire);
@@ -2135,15 +2144,14 @@ void ContextServer::broadcast_profile_remove(Guid subject) {
   if (record == nullptr || record->is_app) return;
   serde::Writer w;
   entity::write_guid(w, subject);
-  const std::vector<std::byte> wire = w.take();
+  const serde::BufferRef wire = w.take_ref();
   for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
     if (i == config_.shard_index) continue;
     queue_mirror(shard_node(i), kShardProfileRemove, wire);
   }
 }
 
-void ContextServer::ingest_shard_profile(
-    const std::vector<std::byte>& payload) {
+void ContextServer::ingest_shard_profile(serde::FrameView payload) {
   serde::Reader r(payload);
   auto profile = entity::Profile::decode(r);
   if (!profile) return;
@@ -2189,8 +2197,8 @@ void ContextServer::ingest_shard_drop(Guid subject) {
   recompose_after_loss(subject);
 }
 
-void ContextServer::ingest_shard_subscribe(
-    const std::vector<std::byte>& payload) {
+void ContextServer::ingest_shard_subscribe(serde::FrameView payload,
+                                           bool own_id_space) {
   serde::Reader r(payload);
   event::Subscription s;
   auto id = r.varint();
@@ -2228,8 +2236,8 @@ void ContextServer::ingest_shard_subscribe(
   // would silently replace the earlier live subscription.
   auto& table = mediator_.mutable_table();
   const event::SubscriptionId next = table.next_id();
-  table.restore(std::move(s));
-  table.set_next_id(next);
+  table.restore(std::move(s));  // bumps the mint counter past the id
+  if (!own_id_space) table.set_next_id(next);
 }
 
 void ContextServer::handle_shard_subscribe(const net::Message& message) {
@@ -2246,10 +2254,46 @@ void ContextServer::handle_shard_unsubscribe(const net::Message& message) {
   (void)mediator_.unsubscribe(*id);
 }
 
+event::SubscriptionId ContextServer::subscribe_pattern(
+    Guid subscriber, std::string event_type, event::EventFilter filter,
+    std::uint64_t owner_tag) {
+  const event::SubscriptionId id =
+      mediator_.subscribe(subscriber, std::nullopt, std::move(event_type),
+                          std::move(filter), /*one_time=*/false, owner_tag);
+  const event::Subscription* s = mediator_.table().find(id);
+  if (s == nullptr) return id;
+  // Replicated with flag=1 ("own id space"): the standby installs the entry
+  // through the same kShardSubscribe path as sibling mirrors but lets the
+  // id advance its mint counter, so post-promotion mints cannot collide.
+  serde::Writer w;
+  w.varint(s->id);
+  entity::write_guid(w, s->subscriber);
+  w.boolean(s->producer.has_value());
+  if (s->producer) entity::write_guid(w, *s->producer);
+  w.string(s->event_type);
+  s->filter.encode(w);
+  w.boolean(s->one_time);
+  w.varint(s->owner_tag);
+  log_record(replicate::RecordKind::kShardSubscribe, subscriber, 1,
+             w.take_ref());
+  mirror_subscription_if_remote(id);
+  return id;
+}
+
+Status ContextServer::unsubscribe(event::SubscriptionId id) {
+  drop_mirror(id);
+  log_record(replicate::RecordKind::kShardUnsubscribe, Guid(), id, {});
+  return mediator_.unsubscribe(id);
+}
+
 void ContextServer::mirror_subscription_if_remote(event::SubscriptionId id) {
   if (!sharded() || id == 0) return;
   const event::Subscription* s = mediator_.table().find(id);
-  if (s == nullptr || !s->producer) return;  // wildcard subs stay local
+  if (s == nullptr) return;
+  if (!s->producer) {
+    mirror_wildcard_subscription(*s);
+    return;
+  }
   const unsigned owner = shard_of(*s->producer);
   if (owner == config_.shard_index) return;
   serde::Writer w;
@@ -2276,13 +2320,53 @@ void ContextServer::mirror_subscription_if_remote(event::SubscriptionId id) {
   }
 }
 
+void ContextServer::mirror_wildcard_subscription(const event::Subscription& s) {
+  // A type-pattern subscription ("any producer of this type") must hear
+  // publishes landing on every shard: a publish routes to its producer's
+  // owner shard and never transits the subscriber's, so a local-only entry
+  // silently misses every remote producer. Install a copy on each sibling;
+  // the local entry stays for producers this shard owns. One-time wildcards
+  // stay local — the first delivery cancels only one table's entry, and the
+  // surviving sibling copies would keep delivering.
+  if (s.one_time) return;
+  serde::Writer w;
+  w.varint(s.id);
+  entity::write_guid(w, s.subscriber);
+  w.boolean(false);  // no named producer — stays a wildcard remotely
+  w.string(s.event_type);
+  s.filter.encode(w);
+  w.boolean(s.one_time);
+  w.varint(s.owner_tag);
+  // producer == Guid() marks the mirror as broadcast: teardown fans out to
+  // every sibling instead of one owner node, and handoff re-pointing skips
+  // it (every shard already holds a copy, wherever the vnode lands).
+  mirrored_subs_[s.id] = MirroredSub{Guid(), s.subscriber, Guid()};
+  if (passive()) return;
+  const serde::BufferRef frame = w.take_ref();
+  for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
+    if (i == config_.shard_index) continue;
+    queue_mirror(shard_node(i), kShardSubscribe, frame);
+    ++stats_.shard_sub_mirrors;
+    m_shard_sub_mirrors_->inc();
+  }
+}
+
 void ContextServer::drop_mirror(event::SubscriptionId id) {
   const auto it = mirrored_subs_.find(id);
   if (it == mirrored_subs_.end()) return;
   if (!passive()) {
     serde::Writer w;
     w.varint(id);
-    queue_mirror(it->second.remote_node, kShardUnsubscribe, w.take());
+    if (it->second.producer == Guid()) {
+      // Wildcard mirror: one encoded unsubscribe shared across all siblings.
+      const serde::BufferRef frame = w.take_ref();
+      for (unsigned i = 0; i < config_.shard_map->size(); ++i) {
+        if (i == config_.shard_index) continue;
+        queue_mirror(shard_node(i), kShardUnsubscribe, frame);
+      }
+    } else {
+      queue_mirror(it->second.remote_node, kShardUnsubscribe, w.take());
+    }
   }
   mirrored_subs_.erase(it);
 }
@@ -2308,7 +2392,7 @@ void ContextServer::forward_to_shard(const query::Query& q, Guid app,
 // mirror batching (docs/SHARDING.md)
 
 void ContextServer::queue_mirror(Guid node, std::uint32_t type,
-                                 std::vector<std::byte> payload) {
+                                 serde::BufferRef payload) {
   if (passive()) return;
   auto& buffer = mirror_buffers_[node];
   buffer.emplace_back(type, std::move(payload));
@@ -2601,7 +2685,7 @@ void ContextServer::handle_handoff_freeze(const net::Message& message) {
            wire->vnode, wire->source);
   // Replay state batches that overtook this freeze on the wire; anything
   // parked for a different (dead) handoff fails ingest and is dropped here.
-  std::deque<std::vector<std::byte>> early;
+  std::deque<serde::BufferRef> early;
   early.swap(early_handoff_state_);
   for (const auto& parked : early) accept_handoff_state(parked);
 }
@@ -2636,7 +2720,7 @@ void ContextServer::arm_incoming_deadline() {
       });
 }
 
-bool ContextServer::ingest_handoff_batch(const std::vector<std::byte>& payload) {
+bool ContextServer::ingest_handoff_batch(const serde::BufferRef& payload) {
   if (!incoming_handoff_) return false;
   serde::Reader r(payload);
   const auto id = r.varint();
@@ -2679,7 +2763,7 @@ bool ContextServer::ingest_handoff_batch(const std::vector<std::byte>& payload) 
   auto it =
       incoming_handoff_->out_of_order.find(incoming_handoff_->next_batch_seq);
   while (it != incoming_handoff_->out_of_order.end()) {
-    const std::vector<std::byte> parked = std::move(it->second);
+    const serde::BufferRef parked = std::move(it->second);
     incoming_handoff_->out_of_order.erase(it);
     ingest_handoff_batch(parked);
     if (!incoming_handoff_) break;
@@ -2693,7 +2777,7 @@ void ContextServer::handle_handoff_state(const net::Message& message) {
   accept_handoff_state(message.payload);
 }
 
-void ContextServer::accept_handoff_state(const std::vector<std::byte>& payload) {
+void ContextServer::accept_handoff_state(const serde::BufferRef& payload) {
   if (!incoming_handoff_) {
     // A state batch can overtake the freeze that precedes it (the channel
     // dedups but does not order): park it and replay once the freeze lands.
@@ -2949,10 +3033,10 @@ void ContextServer::install_incoming_handoff() {
   IncomingHandoff in = std::move(*incoming_handoff_);
   incoming_handoff_.reset();
   network_.simulator().cancel(in.deadline);
-  for (const std::vector<std::byte>& record : in.records) {
+  for (const serde::BufferRef& record : in.records) {
     if (record.empty()) continue;
-    const auto category = std::to_integer<std::uint8_t>(record.front());
-    const std::vector<std::byte> rest(record.begin() + 1, record.end());
+    const auto category = std::to_integer<std::uint8_t>(record.data()[0]);
+    const serde::BufferRef rest = record.slice(1, record.size() - 1);
     switch (category) {
       case kStateMember: {
         serde::Reader r(rest);
@@ -3032,7 +3116,10 @@ void ContextServer::apply_handoff_commit(unsigned vnode, unsigned new_owner,
 
   const Guid new_node = shard_node(new_owner);
   // Subscriptions mirrored onto the moving vnode's old owner follow it.
+  // Wildcard mirrors (producer == Guid()) live on every shard already and
+  // carry no owner node to re-point.
   for (auto& [id, mirror] : mirrored_subs_) {
+    if (mirror.producer == Guid()) continue;
     if (map_.vnode_of(mirror.producer) == vnode) {
       mirror.remote_node = new_node;
     }
@@ -3101,7 +3188,7 @@ void ContextServer::reingest_staged(std::vector<StagedOp> staged) {
 
 std::uint64_t ContextServer::log_record(replicate::RecordKind kind,
                                         Guid subject, std::uint64_t flag,
-                                        std::vector<std::byte> payload) {
+                                        serde::BufferRef payload) {
   if (config_.role != RangeConfig::Role::kPrimary || fenced_ || recovering_) {
     return 0;
   }
@@ -3356,7 +3443,7 @@ void ContextServer::apply_record(const replicate::LogRecord& record) {
       ingest_shard_drop(record.subject);
       return;
     case replicate::RecordKind::kShardSubscribe:
-      ingest_shard_subscribe(record.payload);
+      ingest_shard_subscribe(record.payload, record.flag == 1);
       return;
     case replicate::RecordKind::kShardUnsubscribe:
       (void)mediator_.unsubscribe(record.flag);
@@ -3630,7 +3717,7 @@ std::vector<std::byte> ContextServer::snapshot_state() const {
     w.varint(incoming_handoff_->next_batch_seq);
     w.boolean(incoming_handoff_->complete);
     w.varint(incoming_handoff_->records.size());
-    for (const std::vector<std::byte>& record : incoming_handoff_->records) {
+    for (const serde::BufferRef& record : incoming_handoff_->records) {
       write_blob(w, record);
     }
   }
@@ -4129,11 +4216,15 @@ void ContextServer::remember_recent(const event::Event& event) {
 
 void ContextServer::redispatch_recent() {
   for (const event::Event& event : recent_events_) {
-    const auto matched = mediator_.dispatch(event);
-    for (const event::Subscription& subscription : matched) {
-      if (subscription.one_time && subscription.owner_tag != 0) {
-        retire_configuration(subscription.owner_tag);
+    const auto& matched = mediator_.dispatch_shared(event);
+    retire_scratch_.clear();
+    for (const event::MatchRef& match : matched) {
+      if (match.one_time && match.owner_tag != 0) {
+        retire_scratch_.push_back(match.owner_tag);
       }
+    }
+    for (const std::uint64_t owner_tag : retire_scratch_) {
+      retire_configuration(owner_tag);
     }
   }
 }

@@ -388,6 +388,20 @@ class ContextServer {
   // retries. Returns true when anything was cancelled.
   bool cancel_query(Guid app, const std::string& query_id);
 
+  // --- direct subscriptions ------------------------------------------------
+  // Type-pattern subscription: `subscriber` hears every `event_type` event
+  // from ANY producer — including producers owned by sibling shards. On a
+  // partitioned Range the entry is mirrored range-wide (a publish routes to
+  // its producer's owner shard and never transits the subscriber's, so a
+  // local-only wildcard would silently miss every remote producer). The
+  // subscription is replicated, so a promoted standby keeps delivering.
+  event::SubscriptionId subscribe_pattern(Guid subscriber,
+                                          std::string event_type,
+                                          event::EventFilter filter = {},
+                                          std::uint64_t owner_tag = 0);
+  // Tears a direct subscription down, including any sibling-shard mirrors.
+  Status unsubscribe(event::SubscriptionId id);
+
   // --- sharding (docs/SHARDING.md) ----------------------------------------
   // Serving a slice of a partitioned Range (shard_map with size > 1).
   [[nodiscard]] bool sharded() const {
@@ -441,10 +455,10 @@ class ContextServer {
   // --- message plumbing ----------------------------------------------------
   void on_component_message(const net::Message& message);
   void on_scinet_deliver(const overlay::RoutedMessage& message);
-  void send_to(Guid to, std::uint32_t type, std::vector<std::byte> payload);
+  void send_to(Guid to, std::uint32_t type, serde::BufferRef payload);
   // Reliable variant when acked_delivery is on; falls back to send_to.
   void send_component(Guid to, std::uint32_t type,
-                      std::vector<std::byte> payload);
+                      serde::BufferRef payload);
   void on_channel_give_up(const net::Message& message, unsigned attempts);
   void on_lease_expired(const event::Subscription& subscription);
   void reply_result(Guid app, const std::string& query_id, const Error& error,
@@ -520,6 +534,10 @@ class ContextServer {
   // producer's publishes land on its owner shard) and installs over the
   // reliable channel on that shard, keeping its id.
   void mirror_subscription_if_remote(event::SubscriptionId id);
+  // Copies a type-pattern (no named producer) subscription onto every
+  // sibling shard so publishes landing there still reach the subscriber;
+  // the local entry stays for locally-owned producers.
+  void mirror_wildcard_subscription(const event::Subscription& s);
   // Tears down the remote copy of a mirrored subscription, if any.
   void drop_mirror(event::SubscriptionId id);
   void drop_mirrors_for_subscriber(Guid subscriber);
@@ -528,8 +546,12 @@ class ContextServer {
   void forward_to_shard(const query::Query& q, Guid app, unsigned shard);
   // Decode-and-apply halves of the mirror handlers, shared with
   // apply_record so a shard's standby mutates state identically.
-  void ingest_shard_profile(const std::vector<std::byte>& payload);
-  void ingest_shard_subscribe(const std::vector<std::byte>& payload);
+  void ingest_shard_profile(serde::FrameView payload);
+  // `own_id_space` distinguishes a self-logged direct subscription (the
+  // standby's mint counter must advance past its id) from a sibling mirror
+  // (foreign id space that must not leak into the local counter).
+  void ingest_shard_subscribe(serde::FrameView payload,
+                              bool own_id_space = false);
   // Entity ids / profiles the selection and composition stages scan. On a
   // monolithic CS these are the registrar's non-apps; on a shard they also
   // cover profiles mirrored in from sibling shards.
@@ -542,7 +564,7 @@ class ContextServer {
   // kShardProfile/kShardSubscribe bursts into kShardBatch frames, flushed at
   // a size cap or a 1 ms timer — the kReplBatch shape for mirror traffic.
   void queue_mirror(Guid node, std::uint32_t type,
-                    std::vector<std::byte> payload);
+                    serde::BufferRef payload);
   void flush_mirrors();
   void handle_shard_batch(const net::Message& message);
 
@@ -551,7 +573,7 @@ class ContextServer {
   struct StagedOp {
     Guid from;
     std::uint32_t type = 0;
-    std::vector<std::byte> payload;
+    serde::BufferRef payload;
   };
   void handle_handoff_freeze(const net::Message& message);
   void handle_handoff_state(const net::Message& message);
@@ -574,9 +596,9 @@ class ContextServer {
   void ship_handoff_state();
   // Decodes one kHandoffState frame body into the incoming staging area.
   // Returns false when the frame is stale, damaged, or not ours.
-  bool ingest_handoff_batch(const std::vector<std::byte>& payload);
+  bool ingest_handoff_batch(const serde::BufferRef& payload);
   // Ingests a state batch, parking it when it overtook the freeze.
-  void accept_handoff_state(const std::vector<std::byte>& payload);
+  void accept_handoff_state(const serde::BufferRef& payload);
   void send_handoff_ready();
   // Commit point: logs kHandoffCommit (WAL + replication), then completes.
   void commit_outgoing_handoff();
@@ -626,7 +648,7 @@ class ContextServer {
   // standbys) and returns its log index; returns 0 (no sync wait possible)
   // otherwise, so the hot path costs one branch.
   std::uint64_t log_record(replicate::RecordKind kind, Guid subject,
-                           std::uint64_t flag, std::vector<std::byte> payload);
+                           std::uint64_t flag, serde::BufferRef payload);
   // Follower apply callback: replays one primary operation locally.
   void apply_record(const replicate::LogRecord& record);
   [[nodiscard]] std::vector<std::byte> snapshot_state() const;
@@ -781,6 +803,9 @@ class ContextServer {
   // Recently dispatched events, redelivered after promotion to close the
   // primary's in-flight delivery hole (components dedup the overlap).
   std::deque<event::Event> recent_events_;
+  // Owner tags harvested from the mediator's scratch matches before
+  // retire_configuration can re-enter dispatch; capacity reused per publish.
+  std::vector<std::uint64_t> retire_scratch_;
   obs::Counter* m_promotions_ = nullptr;
   obs::Counter* m_lease_rejected_ = nullptr;
 
@@ -822,10 +847,10 @@ class ContextServer {
     unsigned source = 0;
     std::uint64_t epoch = 0;
     std::uint64_t next_batch_seq = 0;
-    std::vector<std::vector<std::byte>> records;  // staged state records
+    std::vector<serde::BufferRef> records;  // staged state records
     // Batches that overtook their predecessors on the wire (the channel
     // dedups but does not order), keyed by batch seq until the gap fills.
-    std::map<std::uint64_t, std::vector<std::byte>> out_of_order;
+    std::map<std::uint64_t, serde::BufferRef> out_of_order;
     bool complete = false;  // the last batch arrived
     // Abandon a half-staged handoff whose source went silent (safe: the
     // source cannot commit without the ready we never sent); when complete,
@@ -836,7 +861,7 @@ class ContextServer {
   std::optional<IncomingHandoff> incoming_handoff_;
   // State batches that arrived before the freeze that precedes them (the
   // channel dedups but does not order); replayed once the freeze lands.
-  std::deque<std::vector<std::byte>> early_handoff_state_;
+  std::deque<serde::BufferRef> early_handoff_state_;
   std::uint64_t next_handoff_seq_ = 0;
   SimTime handoff_started_at_ = SimTime::zero();
   HandoffProbe handoff_probe_;
@@ -846,7 +871,7 @@ class ContextServer {
   std::unordered_map<unsigned, std::uint64_t> vnode_publishes_;
   std::optional<sim::PeriodicTimer> rate_timer_;
   // Mirror batching buffers (flush at size cap or the 1 ms timer).
-  std::map<Guid, std::vector<std::pair<std::uint32_t, std::vector<std::byte>>>>
+  std::map<Guid, std::vector<std::pair<std::uint32_t, serde::BufferRef>>>
       mirror_buffers_;
   sim::TimerHandle mirror_flush_timer_;
   bool mirror_flush_scheduled_ = false;

@@ -1,6 +1,7 @@
 #include "range/event_mediator.h"
 
 #include "entity/protocol.h"
+#include "mem/arena.h"
 
 namespace sci::range {
 
@@ -12,23 +13,60 @@ std::vector<event::Subscription> EventMediator::dispatch(
   if (silent_) return matched;  // standby replica: bookkeeping only
   for (const event::Subscription& subscription : matched) {
     entity::DeliverBody body{subscription.id, subscription.owner_tag, event};
-    if (channel_ != nullptr) {
-      channel_->send(subscription.subscriber, entity::kDeliver, body.encode());
-      ++stats_.deliveries_out;
-      m_deliveries_->inc();
-      continue;
-    }
-    net::Message message;
-    message.type = entity::kDeliver;
-    message.from = node_;
-    message.to = subscription.subscriber;
-    message.payload = body.encode();
-    if (network_.send(std::move(message)).is_ok()) {
-      ++stats_.deliveries_out;
-      m_deliveries_->inc();
-    }
+    deliver_to(subscription.subscriber, body.encode());
   }
   return matched;
+}
+
+const std::vector<event::MatchRef>& EventMediator::dispatch_shared(
+    const event::Event& event) {
+  ++stats_.events_in;
+  m_events_in_->inc();
+  table_.collect_matches_into(event, scratch_matches_);
+  if (silent_ || scratch_matches_.empty()) return scratch_matches_;
+
+  if (!mem::zero_copy_enabled()) {
+    // Ablation baseline: re-encode the full DeliverBody (event included)
+    // for every subscriber, the way dispatch() always did.
+    for (const event::MatchRef& match : scratch_matches_) {
+      entity::DeliverBody body{match.id, match.owner_tag, event};
+      deliver_to(match.subscriber, body.encode());
+    }
+    return scratch_matches_;
+  }
+
+  // Encode the event once; each subscriber's frame is its two-varint
+  // prefix plus a raw append of the shared bytes, all drawn from the
+  // buffer arena.
+  serde::Writer event_writer;
+  event.encode(event_writer);
+  const serde::FrameView frame = event_writer.view();
+  for (const event::MatchRef& match : scratch_matches_) {
+    serde::Writer w;
+    w.varint(match.id);
+    w.varint(match.owner_tag);
+    w.raw(frame.data(), frame.size());
+    deliver_to(match.subscriber, w.take_ref());
+  }
+  return scratch_matches_;
+}
+
+void EventMediator::deliver_to(Guid subscriber, serde::BufferRef body) {
+  if (channel_ != nullptr) {
+    channel_->send(subscriber, entity::kDeliver, std::move(body));
+    ++stats_.deliveries_out;
+    m_deliveries_->inc();
+    return;
+  }
+  net::Message message;
+  message.type = entity::kDeliver;
+  message.from = node_;
+  message.to = subscriber;
+  message.payload = std::move(body);
+  if (network_.send(std::move(message)).is_ok()) {
+    ++stats_.deliveries_out;
+    m_deliveries_->inc();
+  }
 }
 
 void EventMediator::set_lease_options(LeaseOptions options) {

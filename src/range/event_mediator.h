@@ -140,6 +140,15 @@ class EventMediator {
   // owner tags).
   std::vector<event::Subscription> dispatch(const event::Event& event);
 
+  // Hot-path variant (docs/MEMORY.md): the event is encoded once and every
+  // subscriber's kDeliver frame shares those bytes behind its own two-varint
+  // header, written through a pooled serde::Writer — steady state performs
+  // no heap allocation per delivery. Returns the matches in a scratch vector
+  // that is overwritten by the next dispatch_shared call: consume it before
+  // doing anything that could publish again.
+  const std::vector<event::MatchRef>& dispatch_shared(
+      const event::Event& event);
+
   [[nodiscard]] const event::SubscriptionTable& table() const {
     return table_;
   }
@@ -159,6 +168,10 @@ class EventMediator {
 
   void reap_expired();
 
+  // Sends one encoded kDeliver body over the channel (retransmit on loss)
+  // or the raw network, bumping delivery stats on success.
+  void deliver_to(Guid subscriber, serde::BufferRef body);
+
   net::Network& network_;
   Guid node_;
   event::SubscriptionTable table_;
@@ -175,6 +188,9 @@ class EventMediator {
   obs::Counter* m_leases_expired_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   MediatorStats stats_;
+  // dispatch_shared scratch: capacity persists across dispatches so the
+  // steady-state fan-out never reallocates.
+  std::vector<event::MatchRef> scratch_matches_;
 };
 
 }  // namespace sci::range

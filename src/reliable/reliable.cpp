@@ -14,26 +14,28 @@ constexpr const char* kTag = "reliable";
 
 // kRelData payload: varint epoch, varint seq, u32 inner type, varint length,
 // raw body.
-std::vector<std::byte> encode_data(std::uint32_t epoch, std::uint64_t seq,
-                                   std::uint32_t inner_type,
-                                   const std::vector<std::byte>& payload) {
+serde::BufferRef encode_data(std::uint32_t epoch, std::uint64_t seq,
+                             std::uint32_t inner_type,
+                             const serde::BufferRef& payload) {
   serde::Writer w(payload.size() + 20);
   w.varint(epoch);
   w.varint(seq);
   w.u32(inner_type);
   w.varint(payload.size());
   w.raw(payload.data(), payload.size());
-  return w.take();
+  return w.take_ref();
 }
 
 struct DataWire {
   std::uint32_t epoch = 0;
   std::uint64_t seq = 0;
   std::uint32_t inner_type = 0;
-  std::vector<std::byte> payload;
+  serde::BufferRef payload;
 };
 
-Expected<DataWire> decode_data(const std::vector<std::byte>& bytes) {
+// The decoded payload is a zero-copy slice of the envelope buffer — the
+// inner frame handed to the application shares the network frame's block.
+Expected<DataWire> decode_data(const serde::BufferRef& bytes) {
   serde::Reader r(bytes);
   DataWire out;
   SCI_TRY_ASSIGN(epoch, r.varint());
@@ -45,19 +47,17 @@ Expected<DataWire> decode_data(const std::vector<std::byte>& bytes) {
   SCI_TRY_ASSIGN(len, r.varint());
   if (len > r.remaining())
     return make_error(ErrorCode::kParseError, "reliable payload truncated");
-  out.payload.resize(static_cast<std::size_t>(len));
-  const std::size_t offset = bytes.size() - r.remaining();
-  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-              static_cast<std::size_t>(len), out.payload.begin());
+  out.payload = bytes.slice(r.position(), static_cast<std::size_t>(len));
+  if (!mem::zero_copy_enabled()) out.payload = out.payload.clone();
   return out;
 }
 
 // kRelAck payload: varint epoch (echoed from the data frame), varint seq.
-std::vector<std::byte> encode_ack(std::uint32_t epoch, std::uint64_t seq) {
+serde::BufferRef encode_ack(std::uint32_t epoch, std::uint64_t seq) {
   serde::Writer w(16);
   w.varint(epoch);
   w.varint(seq);
-  return w.take();
+  return w.take_ref();
 }
 
 }  // namespace
@@ -77,6 +77,12 @@ const char* to_string(DeadLetterCause cause) {
 }
 
 bool SeqDedup::accept(std::uint64_t seq) {
+  // In-order fast path: the common no-loss case advances the floor without
+  // touching the gap set (no hash insert, no allocation).
+  if (seq == floor + 1 && above.empty()) {
+    ++floor;
+    return true;
+  }
   if (seq <= floor || above.contains(seq)) return false;
   above.insert(seq);
   // Compact: slide the floor over any now-contiguous prefix.
@@ -140,7 +146,7 @@ ReliableChannel::ReliableChannel(net::Network& network, Guid self,
 ReliableChannel::~ReliableChannel() { halt(); }
 
 std::uint64_t ReliableChannel::send(Guid to, std::uint32_t inner_type,
-                                    std::vector<std::byte> payload) {
+                                    serde::BufferRef payload) {
   ++stats_.accepted;
   m_accepted_.inc();
   Peer& peer = peers_[to];
@@ -167,12 +173,20 @@ void ReliableChannel::transmit(Guid to, std::uint64_t seq) {
     m_retransmits_.inc();
   }
 
+  // First transmit encodes the envelope once; retransmits reuse the same
+  // pooled frame by reference (re-encoded only if the epoch moved, or per
+  // attempt when frame sharing is ablated off).
+  if (pending.envelope.empty() || pending.envelope_epoch != epoch_ ||
+      !mem::zero_copy_enabled()) {
+    pending.envelope =
+        encode_data(epoch_, seq, pending.inner_type, pending.payload);
+    pending.envelope_epoch = epoch_;
+  }
   net::Message envelope;
   envelope.type = kRelData;
   envelope.from = self_;
   envelope.to = to;
-  envelope.payload =
-      encode_data(epoch_, seq, pending.inner_type, pending.payload);
+  envelope.payload = pending.envelope;
   const Status sent = network_.send(std::move(envelope));
   if (!sent.is_ok()) {
     // Destination never attached / detached for good: retrying is futile.

@@ -47,6 +47,7 @@
 #include "common/time.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "serde/buffer.h"
 #include "sim/simulator.h"
 
 namespace sci::reliable {
@@ -135,11 +136,13 @@ const char* to_string(DeadLetterCause cause);
 
 // One abandoned frame, kept intact so an operator (or a recovered
 // destination) can replay what the retransmit budget could not deliver.
+// `payload` shares the original send's pooled buffer — parking is a
+// refcount bump, not a copy.
 struct DeadLetter {
   Guid dest;
   std::uint64_t seq = 0;
   std::uint32_t inner_type = 0;
-  std::vector<std::byte> payload;
+  serde::BufferRef payload;
   unsigned attempts = 0;
   SimTime first_sent;
   SimTime parked_at;
@@ -228,9 +231,11 @@ class ReliableChannel {
   // Queues `payload` for reliable delivery of `inner_type` to `to` and
   // returns the assigned sequence number. Retransmits until acked, the
   // attempt cap is reached (dead letter + give-up callback), or the
-  // destination turns out to be detached (immediate give-up).
+  // destination turns out to be detached (immediate give-up). The channel
+  // keeps a reference to `payload`, not a copy; vector callers convert
+  // through BufferRef's copying constructor.
   std::uint64_t send(Guid to, std::uint32_t inner_type,
-                     std::vector<std::byte> payload);
+                     serde::BufferRef payload);
 
   // Funnel for the owner's network handler. Returns true when the frame was
   // a channel envelope (consumed): data frames are acked, deduplicated and
@@ -288,7 +293,13 @@ class ReliableChannel {
  private:
   struct Pending {
     std::uint32_t inner_type = 0;
-    std::vector<std::byte> payload;
+    serde::BufferRef payload;
+    // The encoded kRelData envelope, built once on first transmit and
+    // shared by every retransmission (the pre-refactor path re-encoded —
+    // and so re-copied the payload — per attempt). Invalidated when the
+    // channel epoch moves under it.
+    serde::BufferRef envelope;
+    std::uint32_t envelope_epoch = 0;
     unsigned attempts = 0;
     SimTime first_sent;
     sim::TimerHandle retry;

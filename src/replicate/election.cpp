@@ -127,7 +127,7 @@ void LeaseKeeper::renew_tick() {
   }
 }
 
-void LeaseKeeper::on_lease_ack(const std::vector<std::byte>& payload,
+void LeaseKeeper::on_lease_ack(serde::FrameView payload,
                                Guid from) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
@@ -208,7 +208,7 @@ void ElectionAgent::note_primary_alive() {
   active_ = false;
 }
 
-void ElectionAgent::on_heartbeat(const std::vector<std::byte>& payload) {
+void ElectionAgent::on_heartbeat(serde::FrameView payload) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
   // A superseded incarnation's heartbeat must neither refresh liveness nor
@@ -232,7 +232,7 @@ void ElectionAgent::on_heartbeat(const std::vector<std::byte>& payload) {
   view_ = std::move(fresh);
 }
 
-void ElectionAgent::on_lease_request(const std::vector<std::byte>& payload,
+void ElectionAgent::on_lease_request(serde::FrameView payload,
                                      Guid from) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
@@ -260,7 +260,7 @@ void ElectionAgent::on_lease_request(const std::vector<std::byte>& payload,
   ++stats_.lease_acks_sent;
 }
 
-void ElectionAgent::on_vote_request(const std::vector<std::byte>& payload,
+void ElectionAgent::on_vote_request(serde::FrameView payload,
                                     Guid from) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
@@ -319,7 +319,7 @@ void ElectionAgent::on_vote_request(const std::vector<std::byte>& payload,
   send_raw(from, kReplVoteGrant, w.take());
 }
 
-void ElectionAgent::on_vote_grant(const std::vector<std::byte>& payload,
+void ElectionAgent::on_vote_grant(serde::FrameView payload,
                                   Guid from) {
   serde::Reader r(payload);
   const auto epoch = r.varint();

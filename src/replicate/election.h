@@ -111,7 +111,7 @@ class LeaseKeeper {
   LeaseKeeper& operator=(const LeaseKeeper&) = delete;
 
   // Raw kReplLeaseAck from `from`.
-  void on_lease_ack(const std::vector<std::byte>& payload, Guid from);
+  void on_lease_ack(serde::FrameView payload, Guid from);
 
   // Admission predicate: the lease extension a majority last granted has
   // not yet run out. Purely time-based — precise even between renew ticks.
@@ -189,14 +189,14 @@ class ElectionAgent {
 
   // Raw kReplHeartbeat (also parsed by the follower): refreshes primary
   // liveness and the replica-group view the primary appends to each beat.
-  void on_heartbeat(const std::vector<std::byte>& payload);
+  void on_heartbeat(serde::FrameView payload);
   // Raw kReplLeaseReq from the primary: ack unless pledged to a higher
   // epoch. Doubles as primary liveness.
-  void on_lease_request(const std::vector<std::byte>& payload, Guid from);
+  void on_lease_request(serde::FrameView payload, Guid from);
   // Raw kReplVoteRequest from a candidate sibling.
-  void on_vote_request(const std::vector<std::byte>& payload, Guid from);
+  void on_vote_request(serde::FrameView payload, Guid from);
   // Raw kReplVoteGrant from a voter sibling.
-  void on_vote_grant(const std::vector<std::byte>& payload, Guid from);
+  void on_vote_grant(serde::FrameView payload, Guid from);
   // Replication records/snapshots also prove the primary is alive.
   void note_primary_alive();
 

@@ -71,7 +71,7 @@ const char* to_string(RecordKind kind) {
   return "unknown";
 }
 
-std::vector<std::byte> LogRecord::encode() const {
+serde::BufferRef LogRecord::encode() const {
   serde::Writer w(payload.size() + 48);
   w.varint(index);
   w.u8(static_cast<std::uint8_t>(kind));
@@ -79,10 +79,10 @@ std::vector<std::byte> LogRecord::encode() const {
   w.varint(flag);
   w.varint(payload.size());
   w.raw(payload.data(), payload.size());
-  return w.take();
+  return w.take_ref();
 }
 
-Expected<LogRecord> LogRecord::decode(const std::vector<std::byte>& bytes) {
+Expected<LogRecord> LogRecord::decode(const serde::BufferRef& bytes) {
   serde::Reader r(bytes);
   LogRecord out;
   SCI_TRY_ASSIGN(index, r.varint());
@@ -96,31 +96,29 @@ Expected<LogRecord> LogRecord::decode(const std::vector<std::byte>& bytes) {
   SCI_TRY_ASSIGN(len, r.varint());
   if (len > r.remaining())
     return make_error(ErrorCode::kParseError, "log record truncated");
-  out.payload.resize(static_cast<std::size_t>(len));
-  const std::size_t offset = bytes.size() - r.remaining();
-  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-              static_cast<std::size_t>(len), out.payload.begin());
+  out.payload = bytes.slice(bytes.size() - r.remaining(),
+                            static_cast<std::size_t>(len));
+  if (!mem::zero_copy_enabled()) out.payload = out.payload.clone();
   return out;
 }
 
-std::vector<std::byte> frame_record(std::uint32_t epoch,
-                                    const LogRecord& record) {
-  const std::vector<std::byte> inner = record.encode();
+serde::BufferRef frame_record(std::uint32_t epoch, const LogRecord& record) {
+  const serde::BufferRef inner = record.encode();
   serde::Writer w(inner.size() + 8);
   w.varint(epoch);
   w.raw(inner.data(), inner.size());
-  return w.take();
+  return w.take_ref();
 }
 
-std::vector<std::byte> encode_snapshot(std::uint32_t epoch,
-                                       std::uint64_t base_index,
-                                       const std::vector<std::byte>& blob) {
+serde::BufferRef encode_snapshot(std::uint32_t epoch,
+                                 std::uint64_t base_index,
+                                 const std::vector<std::byte>& blob) {
   serde::Writer w(blob.size() + 24);
   w.varint(epoch);
   w.varint(base_index);
   w.varint(blob.size());
   w.raw(blob.data(), blob.size());
-  return w.take();
+  return w.take_ref();
 }
 
 // ---------------------------------------------------------------------------
@@ -192,8 +190,7 @@ void ReplicationLog::attach_standby(Guid node, std::uint32_t from_epoch,
     if (record.index <= floor) continue;
     ++stats_.records_shipped;
     m_records_shipped_->inc();
-    const std::vector<std::byte> wire =
-        frame_record(channel_.epoch(), record);
+    const serde::BufferRef wire = frame_record(channel_.epoch(), record);
     if (delta) {
       stats_.delta_bytes += wire.size();
       m_delta_bytes_->inc(wire.size());
@@ -242,8 +239,7 @@ void ReplicationLog::flush_pending() {
   unflushed_ = 0;
   if (applied_.empty()) return;  // nobody attached: the tail alone suffices
   if (count == 1) {
-    const std::vector<std::byte> wire =
-        frame_record(channel_.epoch(), tail_.back());
+    const serde::BufferRef wire = frame_record(channel_.epoch(), tail_.back());
     for (const auto& [standby, applied] : applied_) {
       ++stats_.records_shipped;
       m_records_shipped_->inc();
@@ -255,11 +251,11 @@ void ReplicationLog::flush_pending() {
   w.varint(channel_.epoch());
   w.varint(count);
   for (std::size_t i = tail_.size() - count; i < tail_.size(); ++i) {
-    const std::vector<std::byte> inner = tail_[i].encode();
+    const serde::BufferRef inner = tail_[i].encode();
     w.varint(inner.size());
     w.raw(inner.data(), inner.size());
   }
-  const std::vector<std::byte> wire = w.take();
+  const serde::BufferRef wire = w.take_ref();
   for (const auto& [standby, applied] : applied_) {
     stats_.records_shipped += count;
     m_records_shipped_->inc(count);
@@ -291,7 +287,7 @@ void ReplicationLog::compact_tail() {
     if (fresh) continue;  // latest record for this subject — keep
     it->kind = RecordKind::kNoop;
     it->flag = 0;
-    it->payload.clear();
+    it->payload = serde::BufferRef();
     ++compacted;
   }
   if (compacted > 0) {
@@ -374,7 +370,7 @@ void ReplicationLog::take_snapshot() {
 void ReplicationLog::ship_snapshot(Guid standby) {
   if (!have_snapshot_) take_snapshot();
   ++stats_.snapshots_shipped;
-  const std::vector<std::byte> wire =
+  const serde::BufferRef wire =
       encode_snapshot(channel_.epoch(), snapshot_base_, snapshot_blob_);
   m_snapshot_bytes_->inc(wire.size());
   channel_.send(standby, kReplSnapshot, wire);
@@ -399,7 +395,7 @@ void ReplicationLog::heartbeat_tick() {
     w.u64(member.hi());
     w.u64(member.lo());
   }
-  const std::vector<std::byte> payload = w.take();
+  const serde::BufferRef payload = w.take_ref();
   for (const auto& [standby, applied] : applied_) {
     net::Message beat;
     beat.type = kReplHeartbeat;
@@ -482,14 +478,12 @@ void ReplicationFollower::drain_gap() {
   }
 }
 
-void ReplicationFollower::on_record(const std::vector<std::byte>& payload) {
+void ReplicationFollower::on_record(const serde::BufferRef& payload) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
   if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
-  const std::size_t offset = payload.size() - r.remaining();
-  std::vector<std::byte> inner(payload.begin() +
-                                   static_cast<std::ptrdiff_t>(offset),
-                               payload.end());
+  const serde::BufferRef inner =
+      payload.slice(payload.size() - r.remaining(), r.remaining());
   auto record = LogRecord::decode(inner);
   if (!record) {
     SCI_WARN(kTag, "malformed log record: %s",
@@ -511,7 +505,7 @@ void ReplicationFollower::buffer_record(LogRecord record) {
   gap_.emplace(record.index, std::move(record));
 }
 
-void ReplicationFollower::on_batch(const std::vector<std::byte>& payload) {
+void ReplicationFollower::on_batch(const serde::BufferRef& payload) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
   if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
@@ -525,10 +519,8 @@ void ReplicationFollower::on_batch(const std::vector<std::byte>& payload) {
                static_cast<unsigned long long>(*count));
       break;
     }
-    const std::size_t offset = payload.size() - r.remaining();
-    std::vector<std::byte> inner(
-        payload.begin() + static_cast<std::ptrdiff_t>(offset),
-        payload.begin() + static_cast<std::ptrdiff_t>(offset + *len));
+    const serde::BufferRef inner = payload.slice(
+        payload.size() - r.remaining(), static_cast<std::size_t>(*len));
     (void)r.skip(static_cast<std::size_t>(*len));
     auto record = LogRecord::decode(inner);
     if (!record) {
@@ -542,7 +534,7 @@ void ReplicationFollower::on_batch(const std::vector<std::byte>& payload) {
   ack();  // one cumulative ack per batch
 }
 
-void ReplicationFollower::on_snapshot(const std::vector<std::byte>& payload) {
+void ReplicationFollower::on_snapshot(const serde::BufferRef& payload) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
   if (!epoch || !advance_epoch(static_cast<std::uint32_t>(*epoch))) return;
@@ -552,7 +544,7 @@ void ReplicationFollower::on_snapshot(const std::vector<std::byte>& payload) {
   if (!len || *len > r.remaining()) return;
   std::vector<std::byte> blob(static_cast<std::size_t>(*len));
   const std::size_t offset = payload.size() - r.remaining();
-  std::copy_n(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+  std::copy_n(payload.data() + static_cast<std::ptrdiff_t>(offset),
               static_cast<std::size_t>(*len), blob.begin());
   apply_snapshot_(blob, *base);
   // The snapshot *replaces* local state, so the applied index resets to its
@@ -564,7 +556,7 @@ void ReplicationFollower::on_snapshot(const std::vector<std::byte>& payload) {
   ack();
 }
 
-void ReplicationFollower::on_heartbeat(const std::vector<std::byte>& payload) {
+void ReplicationFollower::on_heartbeat(serde::FrameView payload) {
   serde::Reader r(payload);
   const auto epoch = r.varint();
   // Stale incarnations must not refresh liveness: their heartbeats would

@@ -102,10 +102,14 @@ struct LogRecord {
   RecordKind kind = RecordKind::kRegister;
   Guid subject;             // the component/entity the record is about
   std::uint64_t flag = 0;   // kind-specific scalar (e.g. failure bit)
-  std::vector<std::byte> payload;
+  // Opaque CS-owned body. Shared by reference along the whole pipeline:
+  // the primary's retained tail, shipped frames, the follower's gap buffer
+  // and the WAL append all hold the same pooled block (docs/MEMORY.md).
+  serde::BufferRef payload;
 
-  [[nodiscard]] std::vector<std::byte> encode() const;
-  static Expected<LogRecord> decode(const std::vector<std::byte>& bytes);
+  [[nodiscard]] serde::BufferRef encode() const;
+  // The decoded payload is a zero-copy slice of `bytes`.
+  static Expected<LogRecord> decode(const serde::BufferRef& bytes);
 };
 
 struct ReplicationConfig {
@@ -281,14 +285,15 @@ class ReplicationFollower {
   ReplicationFollower& operator=(const ReplicationFollower&) = delete;
 
   // Inner kReplRecord frame (already unwrapped by the reliable channel).
-  void on_record(const std::vector<std::byte>& payload);
+  // Decoded records keep zero-copy slices of `payload`.
+  void on_record(const serde::BufferRef& payload);
   // Inner kReplBatch frame: several records under one epoch prefix, applied
   // through the same gap buffer, acked once.
-  void on_batch(const std::vector<std::byte>& payload);
+  void on_batch(const serde::BufferRef& payload);
   // Inner kReplSnapshot frame.
-  void on_snapshot(const std::vector<std::byte>& payload);
+  void on_snapshot(const serde::BufferRef& payload);
   // Raw kReplHeartbeat frame.
-  void on_heartbeat(const std::vector<std::byte>& payload);
+  void on_heartbeat(serde::FrameView payload);
 
   // Adopts locally recovered state (docs/DURABILITY.md): the follower
   // already holds everything through `applied` of incarnation `epoch`, so it
@@ -351,10 +356,9 @@ class ReplicationFollower {
 // Wire envelopes shared by log and follower. Records: varint epoch, then
 // the LogRecord encoding. Snapshots: varint epoch, varint base_index,
 // varint blob length, raw blob.
-std::vector<std::byte> frame_record(std::uint32_t epoch,
-                                    const LogRecord& record);
-std::vector<std::byte> encode_snapshot(std::uint32_t epoch,
-                                       std::uint64_t base_index,
-                                       const std::vector<std::byte>& blob);
+serde::BufferRef frame_record(std::uint32_t epoch, const LogRecord& record);
+serde::BufferRef encode_snapshot(std::uint32_t epoch,
+                                 std::uint64_t base_index,
+                                 const std::vector<std::byte>& blob);
 
 }  // namespace sci::replicate

@@ -4,24 +4,176 @@
 // writers/readers, so the benches measure real encode/decode work rather
 // than pointer passing. Format: little-endian fixed ints, LEB128 varints,
 // zigzag for signed varints, length-prefixed strings and containers.
+//
+// Zero-copy layer (docs/MEMORY.md): Writer encodes into a pooled
+// mem::BufferArena block and hands the finished frame out as a refcounted
+// BufferRef via take_ref(). A BufferRef is an immutable byte range whose
+// copies share the block — the mediator fan-out, the reliable retransmit
+// map, the replication tail and the WAL buffer all hold the *same* encoded
+// frame. FrameView is the borrowing, non-owning counterpart used by decode
+// paths that only read. The legacy std::vector<std::byte> encode/decode
+// API survives as a copying shim for cold paths.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/expected.h"
+#include "mem/arena.h"
 
 namespace sci::serde {
 
+// Immutable, refcounted view of a contiguous encoded frame. Copying shares
+// the underlying pool block; slice() carves a sub-range that keeps the
+// whole block alive (frames are small, so retaining the block for a slice
+// is the right trade). An empty BufferRef owns nothing.
+class BufferRef {
+ public:
+  BufferRef() = default;
+
+  // Cold-path shim: copies `bytes` into a pooled block so legacy
+  // vector-producing encoders can feed BufferRef-consuming layers.
+  BufferRef(const std::vector<std::byte>& bytes)  // NOLINT(google-explicit-constructor)
+      : BufferRef(copy_of(bytes.data(), bytes.size())) {}
+
+  BufferRef(const BufferRef& other)
+      : block_(other.block_), data_(other.data_), size_(other.size_) {
+    if (block_ != nullptr) mem::BufferArena::ref(block_);
+  }
+  BufferRef(BufferRef&& other) noexcept
+      : block_(std::exchange(other.block_, nullptr)),
+        data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  BufferRef& operator=(const BufferRef& other) {
+    BufferRef copy(other);
+    swap(copy);
+    return *this;
+  }
+  BufferRef& operator=(BufferRef&& other) noexcept {
+    BufferRef moved(std::move(other));
+    swap(moved);
+    return *this;
+  }
+  ~BufferRef() {
+    if (block_ != nullptr) mem::BufferArena::unref(block_);
+  }
+
+  // Takes ownership of the caller's reference to `block` (no extra ref).
+  static BufferRef adopt(mem::BufferArena::Block* block, std::size_t size) {
+    BufferRef ref;
+    ref.block_ = block;
+    ref.data_ = block != nullptr ? block->data() : nullptr;
+    ref.size_ = size;
+    return ref;
+  }
+
+  // Copies raw bytes into a fresh pooled block.
+  static BufferRef copy_of(const void* data, std::size_t size) {
+    if (size == 0) return BufferRef();
+    auto* block = mem::BufferArena::global().acquire(size);
+    std::memcpy(block->data(), data, size);
+    return adopt(block, size);
+  }
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Sub-range sharing the same block. Out-of-range requests clamp to the
+  // frame rather than read past it.
+  [[nodiscard]] BufferRef slice(std::size_t offset, std::size_t len) const {
+    if (offset > size_) offset = size_;
+    if (len > size_ - offset) len = size_ - offset;
+    BufferRef sub(*this);
+    sub.data_ += offset;
+    sub.size_ = len;
+    return sub;
+  }
+
+  // Deep copy into a fresh block (the ablation path when frame sharing is
+  // disabled; also detaches a long-lived retainer from a giant block).
+  [[nodiscard]] BufferRef clone() const { return copy_of(data_, size_); }
+
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    return std::vector<std::byte>(data_, data_ + size_);
+  }
+
+  friend bool operator==(const BufferRef& a, const BufferRef& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+  void swap(BufferRef& other) noexcept {
+    std::swap(block_, other.block_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+ private:
+  mem::BufferArena::Block* block_ = nullptr;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Borrowed, non-owning view of an encoded frame — the argument type for
+// decode paths that only read. Implicitly constructible from the owning
+// forms so `X::decode(message.payload)` and `X::decode(vec)` both work;
+// the caller keeps the backing bytes alive for the view's lifetime.
+class FrameView {
+ public:
+  constexpr FrameView() = default;
+  constexpr FrameView(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+  FrameView(const BufferRef& ref)  // NOLINT(google-explicit-constructor)
+      : data_(ref.data()), size_(ref.size()) {}
+  FrameView(const std::vector<std::byte>& bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  [[nodiscard]] constexpr const std::byte* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+
+  // Clamped sub-view (no ownership — see BufferRef::slice for the
+  // lifetime-extending variant).
+  [[nodiscard]] constexpr FrameView subview(std::size_t offset,
+                                            std::size_t len) const {
+    if (offset > size_) offset = size_;
+    if (len > size_ - offset) len = size_ - offset;
+    return FrameView(data_ + offset, len);
+  }
+
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    return std::vector<std::byte>(data_, data_ + size_);
+  }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Encoder over a pooled arena block. Steady state allocates nothing: the
+// block comes off a freelist and returns there when the last BufferRef
+// drops. take_ref() is the zero-copy handoff; take()/bytes() remain for
+// cold-path callers that still want a vector.
 class Writer {
  public:
   Writer() = default;
-  explicit Writer(std::size_t reserve) { bytes_.reserve(reserve); }
+  explicit Writer(std::size_t reserve) { ensure(reserve); }
 
-  void u8(std::uint8_t v) { bytes_.push_back(std::byte{v}); }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+  ~Writer() {
+    if (block_ != nullptr) mem::BufferArena::unref(block_);
+  }
+
+  void u8(std::uint8_t v) {
+    ensure(1);
+    block_->data()[size_++] = std::byte{v};
+  }
   void u16(std::uint16_t v) { fixed(&v, sizeof v); }
   void u32(std::uint32_t v) { fixed(&v, sizeof v); }
   void u64(std::uint64_t v) { fixed(&v, sizeof v); }
@@ -29,11 +181,14 @@ class Writer {
 
   // Unsigned LEB128.
   void varint(std::uint64_t v) {
+    ensure(10);
+    std::byte* out = block_->data() + size_;
     while (v >= 0x80) {
-      u8(static_cast<std::uint8_t>(v) | 0x80U);
+      *out++ = std::byte{static_cast<std::uint8_t>(v | 0x80U)};
       v >>= 7;
     }
-    u8(static_cast<std::uint8_t>(v));
+    *out++ = std::byte{static_cast<std::uint8_t>(v)};
+    size_ = static_cast<std::size_t>(out - block_->data());
   }
 
   // ZigZag-encoded signed varint.
@@ -50,18 +205,65 @@ class Writer {
   }
 
   void raw(const void* data, std::size_t size) {
-    const auto* p = static_cast<const std::byte*>(data);
-    bytes_.insert(bytes_.end(), p, p + size);
+    if (size == 0) return;
+    ensure(size);
+    std::memcpy(block_->data() + size_, data, size);
+    size_ += size;
   }
 
-  [[nodiscard]] const std::vector<std::byte>& bytes() const { return bytes_; }
-  [[nodiscard]] std::vector<std::byte> take() { return std::move(bytes_); }
-  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  // Zero-copy handoff: the finished frame leaves with the block; the
+  // Writer resets and re-acquires lazily on the next write.
+  [[nodiscard]] BufferRef take_ref() {
+    if (block_ == nullptr) return BufferRef();
+    const std::size_t n = size_;
+    auto* block = std::exchange(block_, nullptr);
+    size_ = 0;
+    capacity_ = 0;
+    return BufferRef::adopt(block, n);
+  }
+
+  // Legacy copying shim for cold-path callers.
+  [[nodiscard]] std::vector<std::byte> take() {
+    std::vector<std::byte> out = bytes();
+    if (block_ != nullptr) {
+      mem::BufferArena::unref(std::exchange(block_, nullptr));
+      size_ = 0;
+      capacity_ = 0;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::byte> bytes() const {
+    if (block_ == nullptr) return {};
+    return std::vector<std::byte>(block_->data(), block_->data() + size_);
+  }
+
+  [[nodiscard]] FrameView view() const {
+    return block_ == nullptr ? FrameView()
+                             : FrameView(block_->data(), size_);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
 
  private:
   void fixed(const void* v, std::size_t n) { raw(v, n); }
 
-  std::vector<std::byte> bytes_;
+  void ensure(std::size_t extra) {
+    if (capacity_ - size_ >= extra) return;
+    std::size_t want = size_ + extra;
+    if (want < 2 * capacity_) want = 2 * capacity_;
+    auto* grown = mem::BufferArena::global().acquire(want);
+    if (block_ != nullptr) {
+      std::memcpy(grown->data(), block_->data(), size_);
+      mem::BufferArena::unref(block_);
+    }
+    block_ = grown;
+    capacity_ = grown->capacity;
+  }
+
+  mem::BufferArena::Block* block_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 // Bounds-checked reader over a borrowed byte span. All accessors return
@@ -72,9 +274,14 @@ class Reader {
       : data_(data), size_(size) {}
   explicit Reader(const std::vector<std::byte>& bytes)
       : Reader(bytes.data(), bytes.size()) {}
+  // A Reader borrows its bytes; reading a temporary vector would dangle.
+  explicit Reader(std::vector<std::byte>&&) = delete;
+  explicit Reader(FrameView view) : Reader(view.data(), view.size()) {}
+  explicit Reader(const BufferRef& ref) : Reader(ref.data(), ref.size()) {}
 
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
   [[nodiscard]] bool at_end() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
 
   Expected<std::uint8_t> u8() {
     if (remaining() < 1) return truncated("u8");
@@ -112,6 +319,17 @@ class Reader {
     if (len > remaining()) return truncated("string body");
     std::string out(reinterpret_cast<const char*>(data_ + pos_),
                     static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  // Zero-copy variant: the returned view borrows the Reader's backing
+  // bytes, so it is only valid while they live.
+  Expected<std::string_view> string_view() {
+    SCI_TRY_ASSIGN(len, varint());
+    if (len > remaining()) return truncated("string body");
+    std::string_view out(reinterpret_cast<const char*>(data_ + pos_),
+                         static_cast<std::size_t>(len));
     pos_ += static_cast<std::size_t>(len);
     return out;
   }

@@ -18,6 +18,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "mem/arena.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,6 +49,19 @@ class Simulator {
     scheduled_counter_ = &metrics_.counter("sim.events.scheduled");
     cancelled_counter_ = &metrics_.counter("sim.events.cancelled");
     queue_depth_gauge_ = &metrics_.gauge("sim.queue.depth");
+    // Pool health (docs/MEMORY.md): the process-wide buffer arena has no
+    // registry of its own, so its counters are mirrored into `mem.*`
+    // gauges whenever a snapshot is taken. Note the arena is shared by
+    // every deployment in the process; these gauges describe the pool,
+    // not this simulator alone.
+    mem_block_allocs_ = &metrics_.gauge("mem.pool.block_allocs");
+    mem_reuses_ = &metrics_.gauge("mem.pool.reuses");
+    mem_oversize_ = &metrics_.gauge("mem.pool.oversize");
+    mem_releases_ = &metrics_.gauge("mem.pool.releases");
+    mem_outstanding_ = &metrics_.gauge("mem.pool.outstanding");
+    mem_pooled_free_ = &metrics_.gauge("mem.pool.free");
+    mem_bytes_reserved_ = &metrics_.gauge("mem.pool.bytes_reserved");
+    metrics_.set_snapshot_hook([this] { sync_pool_gauges(); });
   }
 
   ~Simulator() { Logger::instance().set_clock(nullptr); }
@@ -113,6 +127,17 @@ class Simulator {
   }
 
  private:
+  void sync_pool_gauges() {
+    const mem::ArenaStats& s = mem::BufferArena::global().stats();
+    mem_block_allocs_->set(static_cast<double>(s.block_allocs));
+    mem_reuses_->set(static_cast<double>(s.reuses));
+    mem_oversize_->set(static_cast<double>(s.oversize));
+    mem_releases_->set(static_cast<double>(s.releases));
+    mem_outstanding_->set(static_cast<double>(s.outstanding));
+    mem_pooled_free_->set(static_cast<double>(s.pooled_free));
+    mem_bytes_reserved_->set(static_cast<double>(s.bytes_reserved));
+  }
+
   struct Entry {
     SimTime when;
     std::uint64_t id;
@@ -135,6 +160,13 @@ class Simulator {
   obs::Counter* scheduled_counter_ = nullptr;
   obs::Counter* cancelled_counter_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* mem_block_allocs_ = nullptr;
+  obs::Gauge* mem_reuses_ = nullptr;
+  obs::Gauge* mem_oversize_ = nullptr;
+  obs::Gauge* mem_releases_ = nullptr;
+  obs::Gauge* mem_outstanding_ = nullptr;
+  obs::Gauge* mem_pooled_free_ = nullptr;
+  obs::Gauge* mem_bytes_reserved_ = nullptr;
   std::priority_queue<Entry> queue_;
   std::vector<std::uint64_t> cancelled_;
   std::uint64_t next_id_ = 0;

@@ -474,7 +474,7 @@ TEST(ViewCacheTest, EncodeDecodeRoundTripsEntries) {
 
   serde::Writer w(64);
   cache.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   ViewCache copy(8);
   ASSERT_TRUE(copy.decode(r).is_ok());
   EXPECT_EQ(copy.size(), 2u);
@@ -500,7 +500,7 @@ TEST(ViewCacheTest, DecodeRespectsSmallerCapacity) {
   }
   serde::Writer w(64);
   cache.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   ViewCache small(2);
   ASSERT_TRUE(small.decode(r).is_ok());
   EXPECT_LE(small.size(), 2u);

@@ -31,7 +31,7 @@ TEST(TypeSigTest, ToStringAndCodec) {
   EXPECT_EQ((TypeSig{"t", "", ""}).to_string(), "t");
   serde::Writer w;
   sig.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   const auto decoded = TypeSig::decode(r);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, sig);
@@ -49,7 +49,7 @@ TEST(ProfileTest, CodecRoundTripWithLocationAndMetadata) {
 
   serde::Writer w;
   p.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   const auto decoded = Profile::decode(r);
   ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
   EXPECT_EQ(decoded->entity, p.entity);
@@ -81,7 +81,7 @@ TEST(AdvertisementTest, CodecAndMethodLookup) {
   ad.attributes = vmap({{"pages_per_minute", 12.0}});
   serde::Writer w;
   ad.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   const auto decoded = Advertisement::decode(r);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->service, "printing");

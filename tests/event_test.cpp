@@ -26,7 +26,7 @@ TEST(EventTest, EncodeDecodeRoundTrip) {
       vmap({{"entity", Guid::random(rng)}, {"place", 7}, {"x", 1.5}}), 42);
   serde::Writer w;
   original.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   const auto decoded = Event::decode(r);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->sequence, 42u);
@@ -83,7 +83,7 @@ TEST(EventFilterTest, EncodeDecodeRoundTrip) {
   filter.fields.push_back({"config", FilterOp::kEquals, 9});
   serde::Writer w;
   filter.encode(w);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   const auto decoded = EventFilter::decode(r);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->source, filter.source);

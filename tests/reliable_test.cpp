@@ -95,7 +95,7 @@ TEST(ReliableTest, RetransmitsThroughLossExactlyOnce) {
   ASSERT_EQ(b.delivered.size(), static_cast<std::size_t>(kFrames));
   std::vector<bool> seen(kFrames, false);
   for (const auto& m : b.delivered) {
-    const int i = static_cast<int>(m.payload.at(0));
+    const int i = static_cast<int>(std::to_integer<int>(m.payload.data()[0]));
     EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
     seen[static_cast<std::size_t>(i)] = true;
   }
@@ -246,7 +246,7 @@ TEST(ReliableTest, DeadLetterReplayRoundTrip) {
   std::multiset<int> payloads;
   for (const auto& d : b.delivered) {
     ASSERT_EQ(d.payload.size(), 1u);
-    payloads.insert(static_cast<int>(d.payload[0]));
+    payloads.insert(std::to_integer<int>(d.payload.data()[0]));
   }
   EXPECT_EQ(payloads, (std::multiset<int>{0, 1, 2}));
   EXPECT_EQ(a.channel.stats().dlq_replayed, 3u);

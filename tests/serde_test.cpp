@@ -22,7 +22,7 @@ TEST(BufferTest, PrimitivesRoundTrip) {
   w.boolean(false);
   w.string("hello, range");
 
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   EXPECT_EQ(*r.u8(), 0xAB);
   EXPECT_EQ(*r.u16(), 0x1234);
   EXPECT_EQ(*r.u32(), 0xDEADBEEFu);
@@ -41,7 +41,7 @@ TEST(BufferTest, VarintBoundaryValues) {
   for (const std::uint64_t v : cases) {
     serde::Writer w;
     w.varint(v);
-    serde::Reader r(w.bytes());
+    serde::Reader r(w.view());
     EXPECT_EQ(*r.varint(), v) << v;
   }
 }
@@ -52,7 +52,7 @@ TEST(BufferTest, SignedVarintZigZag) {
   for (const std::int64_t v : cases) {
     serde::Writer w;
     w.svarint(v);
-    serde::Reader r(w.bytes());
+    serde::Reader r(w.view());
     EXPECT_EQ(*r.svarint(), v) << v;
   }
 }
@@ -61,7 +61,7 @@ TEST(BufferTest, TruncatedReadsFailCleanly) {
   serde::Writer w;
   w.u64(42);
   {
-    serde::Reader r(w.bytes().data(), 3);  // cut mid-word
+    serde::Reader r(w.view().data(), 3);  // cut mid-word
     const auto v = r.u64();
     ASSERT_FALSE(v.has_value());
     EXPECT_EQ(v.error().code(), ErrorCode::kParseError);
@@ -69,7 +69,7 @@ TEST(BufferTest, TruncatedReadsFailCleanly) {
   {
     serde::Writer sw;
     sw.string("a long string that gets cut");
-    serde::Reader r(sw.bytes().data(), 4);
+    serde::Reader r(sw.view().data(), 4);
     const auto s = r.string();
     ASSERT_FALSE(s.has_value());
     EXPECT_EQ(s.error().code(), ErrorCode::kParseError);
@@ -94,14 +94,14 @@ TEST(BufferTest, MalformedVarintTooLong) {
 TEST(BufferTest, BooleanRejectsNonBinaryByte) {
   serde::Writer w;
   w.u8(2);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   EXPECT_FALSE(r.boolean().has_value());
 }
 
 TEST(BufferTest, SkipBoundsChecked) {
   serde::Writer w;
   w.u32(1);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   EXPECT_TRUE(r.skip(4).is_ok());
   EXPECT_FALSE(r.skip(1).is_ok());
 }
@@ -156,7 +156,7 @@ TEST_P(ValueRoundTripTest, ArbitraryTreesSurviveEncodeDecode) {
     const Value original = random_value(rng, 0);
     serde::Writer w;
     original.encode(w);
-    serde::Reader r(w.bytes());
+    serde::Reader r(w.view());
     const auto decoded = Value::decode(r);
     ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
     EXPECT_EQ(*decoded, original);
@@ -200,7 +200,7 @@ TEST(ValueTest, SubscriptCreatesMapEntries) {
 TEST(ValueTest, DecodeRejectsUnknownTag) {
   serde::Writer w;
   w.u8(200);
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   EXPECT_FALSE(Value::decode(r).has_value());
 }
 
@@ -208,7 +208,7 @@ TEST(ValueTest, DecodeRejectsOverlongContainerCount) {
   serde::Writer w;
   w.u8(static_cast<std::uint8_t>(Value::Kind::kList));
   w.varint(1'000'000);  // count exceeds remaining bytes
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   EXPECT_FALSE(Value::decode(r).has_value());
 }
 
@@ -219,7 +219,7 @@ TEST(ValueTest, DecodeRejectsExcessiveNesting) {
     w.varint(1);
   }
   w.u8(static_cast<std::uint8_t>(Value::Kind::kNull));
-  serde::Reader r(w.bytes());
+  serde::Reader r(w.view());
   EXPECT_FALSE(Value::decode(r).has_value());
 }
 

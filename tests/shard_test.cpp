@@ -220,6 +220,61 @@ TEST(ShardTest, CrossShardNamedSubscriptionDeliversExactlyOnce) {
   EXPECT_TRUE(shards[2]->mediator().table().all().empty());
 }
 
+// ISSUE satellite: a type-pattern (wildcard) subscription must hear
+// producers on EVERY shard, not just the shard it was created on. Publishes
+// route to the producer's owner shard; before wildcard mirroring, a
+// producer hashed to a sibling shard was silently invisible to the
+// subscriber.
+TEST(ShardTest, WildcardSubscriptionHearsProducersOnBothShards) {
+  ShardFixture f(2);
+  const auto shards = f.sci.shards("mall");
+  // One producer per shard, both advertising the same output type.
+  PulseCE local(f.sci.network(), f.guid_owned_by(0), "local",
+                entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(local, *f.lead).is_ok());
+  PulseCE remote(f.sci.network(), f.guid_owned_by(1), "remote",
+                 entity::EntityKind::kDevice);
+  ASSERT_TRUE(f.sci.enroll(remote, *f.lead).is_ok());
+  ShardMonitor monitor(f.sci.network(), f.guid_owned_by(0), "monitor",
+                       entity::EntityKind::kSoftware);
+  ASSERT_TRUE(f.sci.enroll(monitor, *f.lead).is_ok());
+  f.sci.run_for(Duration::millis(500));
+
+  // Wildcard subscription created at the monitor's shard (0): the local
+  // entry stays AND a copy installs on shard 1 (batched kShardSubscribe).
+  const event::SubscriptionId sub =
+      shards[0]->subscribe_pattern(monitor.id(), "pulse");
+  f.sci.run_for(Duration::millis(500));
+  EXPECT_GE(shards[0]->stats().shard_sub_mirrors, 1u);
+  EXPECT_FALSE(shards[0]->mediator().table().all().empty());
+  ASSERT_FALSE(shards[1]->mediator().table().all().empty());
+  // The sibling's copy keeps the home shard's id and stays a wildcard.
+  EXPECT_EQ(shards[1]->mediator().table().all().front().id, sub);
+  EXPECT_FALSE(shards[1]->mediator().table().all().front().producer);
+
+  for (int i = 0; i < 5; ++i) {
+    local.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    remote.publish("pulse", Value(static_cast<std::int64_t>(i)));
+    f.sci.run_for(Duration::millis(100));
+  }
+  f.sci.run_for(Duration::seconds(1));
+  // Both producers' events arrive, each exactly once.
+  EXPECT_EQ(monitor.unique_events, 10);
+  EXPECT_EQ(monitor.duplicate_events, 0);
+
+  // Teardown reaches the sibling copy too.
+  ASSERT_TRUE(shards[0]->unsubscribe(sub).is_ok());
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_TRUE(shards[0]->mediator().table().all().empty());
+  EXPECT_TRUE(shards[1]->mediator().table().all().empty());
+
+  const int before = monitor.unique_events;
+  local.publish("pulse", Value(static_cast<std::int64_t>(99)));
+  remote.publish("pulse", Value(static_cast<std::int64_t>(99)));
+  f.sci.run_for(Duration::seconds(1));
+  EXPECT_EQ(monitor.unique_events, before);
+}
+
 TEST(ShardTest, ForwardedContextPullAnswersFromOwnerShard) {
   ShardFixture f(4);
   PulseCE pulse(f.sci.network(), f.guid_owned_by(3), "pulse",
